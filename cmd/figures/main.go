@@ -1,0 +1,101 @@
+// Command figures regenerates the paper's evaluation figures (Figures
+// 5-9 of MIND, SOSP 2021) on the simulated rack and prints each panel as
+// a text table.
+//
+// Usage:
+//
+//	figures -fig all -scale quick
+//	figures -fig 5c -scale full
+//
+// Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"mind/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r, all)")
+	scaleName := flag.String("scale", "quick", "experiment scale: tiny, quick, full")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = experiments.Tiny
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	type panel struct {
+		id  string
+		run func() error
+	}
+	printMap := func(figs map[string]*experiments.Figure) {
+		names := make([]string, 0, len(figs))
+		for n := range figs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(figs[n])
+		}
+	}
+	printOne := func(f *experiments.Figure) { fmt.Println(f) }
+
+	panels := []panel{
+		{"5l", func() error { f, err := experiments.Fig5Left(scale); printMapIf(printMap, f, err); return err }},
+		{"5c", func() error { f, err := experiments.Fig5Center(scale); printMapIf(printMap, f, err); return err }},
+		{"5r", func() error { f, err := experiments.Fig5Right(scale); printMapIf(printMap, f, err); return err }},
+		{"6", func() error { f, err := experiments.Fig6(scale); printMapIf(printMap, f, err); return err }},
+		{"7l", func() error { f, err := experiments.Fig7Left(scale); printOneIf(printOne, f, err); return err }},
+		{"7c", func() error { f, err := experiments.Fig7Center(scale); printOneIf(printOne, f, err); return err }},
+		{"7r", func() error { f, err := experiments.Fig7Right(scale); printOneIf(printOne, f, err); return err }},
+		{"8l", func() error { f, err := experiments.Fig8Left(scale); printMapIf(printMap, f, err); return err }},
+		{"8c", func() error { f, err := experiments.Fig8Center(scale); printOneIf(printOne, f, err); return err }},
+		{"8r", func() error { f, err := experiments.Fig8Right(scale); printOneIf(printOne, f, err); return err }},
+		{"9l", func() error { f, err := experiments.Fig9Left(scale); printMapIf(printMap, f, err); return err }},
+		{"9r", func() error { f, err := experiments.Fig9Right(scale); printMapIf(printMap, f, err); return err }},
+	}
+
+	ran := false
+	for _, p := range panels {
+		if *fig != "all" && *fig != p.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		if err := p.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "panel %s: %v\n", p.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[panel %s regenerated in %v]\n\n", p.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown panel %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printMapIf(p func(map[string]*experiments.Figure), f map[string]*experiments.Figure, err error) {
+	if err == nil {
+		p(f)
+	}
+}
+
+func printOneIf(p func(*experiments.Figure), f *experiments.Figure, err error) {
+	if err == nil {
+		p(f)
+	}
+}

@@ -1,0 +1,135 @@
+// Command mindsim runs one workload configuration on the simulated MIND
+// rack and reports runtime, throughput, per-access protocol rates and the
+// remote-access latency breakdown.
+//
+// Examples:
+//
+//	mindsim -workload TF -blades 4 -threads 40
+//	mindsim -workload uniform -read 0.5 -sharing 1 -blades 8 -threads 8
+//	mindsim -workload MA -blades 8 -threads 80 -consistency pso
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mind/internal/core"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+	"mind/internal/workloads"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "TF", "TF, GC, MA, MC, kvs-a, kvs-c, uniform")
+		blades      = flag.Int("blades", 2, "compute blades")
+		memBlades   = flag.Int("memblades", 8, "memory blades")
+		threads     = flag.Int("threads", 20, "total threads (spread round-robin)")
+		ops         = flag.Int("ops", 20000, "accesses per thread")
+		consistency = flag.String("consistency", "tso", "tso, pso, pso+")
+		readRatio   = flag.Float64("read", 0.5, "read ratio (uniform workload)")
+		sharing     = flag.Float64("sharing", 0.5, "sharing ratio (uniform workload)")
+		scale       = flag.Int("scale", 1, "workload footprint scale")
+		cacheFrac   = flag.Float64("cache", 0.25, "per-blade cache as fraction of footprint")
+		dirSlots    = flag.Int("dirslots", 0, "directory slot capacity (0 = paper default 30k)")
+		epoch       = flag.Duration("epoch", 0, "bounded-splitting epoch (0 = 100ms)")
+		seed        = flag.Uint64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	var w workloads.Workload
+	switch *workload {
+	case "TF":
+		w = workloads.TF(*scale)
+	case "GC":
+		w = workloads.GC(*scale)
+	case "MA":
+		w = workloads.MemcachedA(*scale)
+	case "MC":
+		w = workloads.MemcachedC(*scale)
+	case "kvs-a":
+		w = workloads.NativeKVS(0.5, *scale)
+	case "kvs-c":
+		w = workloads.NativeKVS(1.0, *scale)
+	case "uniform":
+		w = workloads.Uniform(uint64(8192**scale), *readRatio, *sharing)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig(*blades, *memBlades)
+	cfg.MemoryBladeCapacity = 1 << 32
+	cfg.CachePagesPerBlade = int(float64(w.Footprint/mem.PageSize) * *cacheFrac)
+	if cfg.CachePagesPerBlade < 64 {
+		cfg.CachePagesPerBlade = 64
+	}
+	switch *consistency {
+	case "tso":
+		cfg.Consistency = core.TSO
+	case "pso":
+		cfg.Consistency = core.PSO
+	case "pso+":
+		cfg.Consistency = core.PSOPlus
+	default:
+		fmt.Fprintf(os.Stderr, "unknown consistency %q\n", *consistency)
+		os.Exit(2)
+	}
+	if *dirSlots > 0 {
+		cfg.ASIC.SlotCapacity = *dirSlots
+	}
+	if *epoch > 0 {
+		cfg.SplitterEpoch = sim.Duration(epoch.Nanoseconds())
+	}
+	cfg.Seed = *seed
+
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	proc := c.Exec(*workload)
+	vma, err := proc.Mmap(w.Footprint, mem.PermReadWrite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := workloads.Params{Threads: *threads, Blades: *blades, OpsPerThread: *ops, Seed: *seed}
+	for t := 0; t < *threads; t++ {
+		th, err := proc.SpawnThread(t % *blades)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		th.Start(w.Gen(vma.Base, t, p), nil)
+	}
+	end := c.RunThreads()
+
+	col := c.Collector()
+	total := col.Counter(stats.CtrAccesses)
+	remote := col.Counter(stats.CtrRemoteAccesses)
+	fmt.Printf("workload=%s blades=%d threads=%d ops/thread=%d consistency=%s\n",
+		w.Name, *blades, *threads, *ops, cfg.Consistency)
+	fmt.Printf("footprint        %d pages (%d MB), cache %d pages/blade\n",
+		w.Footprint/mem.PageSize, w.Footprint>>20, cfg.CachePagesPerBlade)
+	fmt.Printf("virtual runtime  %.3f ms\n", end.Sub(0).Seconds()*1e3)
+	fmt.Printf("throughput       %.3f MOPS\n", float64(total)/end.Sub(0).Seconds()/1e6)
+	fmt.Printf("accesses         %d (hits %.2f%%)\n", total,
+		100*float64(col.Counter(stats.CtrLocalHits))/float64(total))
+	fmt.Printf("remote/access    %s\n", stats.FormatPerAccess(col.PerAccess(stats.CtrRemoteAccesses)))
+	fmt.Printf("invals/access    %s\n", stats.FormatPerAccess(col.PerAccess(stats.CtrInvalidations)))
+	fmt.Printf("flushed/access   %s\n", stats.FormatPerAccess(col.PerAccess(stats.CtrFlushedPages)))
+	fmt.Printf("false invals     %d\n", col.Counter(stats.CtrFalseInvals))
+	fmt.Printf("splits/merges    %d/%d\n", col.Counter(stats.CtrSplits), col.Counter(stats.CtrMerges))
+	fmt.Printf("directory peak   %d entries (capacity %d)\n",
+		c.Controller().ASIC().Directory.Peak(), cfg.ASIC.SlotCapacity)
+	if remote > 0 {
+		fmt.Printf("latency/remote   pgfault=%v network=%v inv-queue=%v inv-tlb=%v\n",
+			col.MeanLatency(stats.LatPgFault, remote),
+			col.MeanLatency(stats.LatNetwork, remote),
+			col.MeanLatency(stats.LatInvQueue, remote),
+			col.MeanLatency(stats.LatInvTLB, remote))
+	}
+}

@@ -1,0 +1,96 @@
+// protection: MIND's capability-style memory protection (§4.2). A server
+// process creates one protection domain per client session, so one
+// session can never read another session's buffers — enforced by TCAM
+// range matches in the switch data plane, with richer semantics than
+// per-process Unix permissions.
+//
+//	go run ./examples/protection
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"mind/internal/core"
+	"mind/internal/ctrlplane"
+	"mind/internal/mem"
+)
+
+func main() {
+	cfg := core.DefaultConfig(2, 1)
+	cfg.MemoryBladeCapacity = 1 << 28
+	cfg.CachePagesPerBlade = 512
+	cluster, err := core.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := cluster.Exec("database-server")
+	worker, err := server.SpawnThread(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two client sessions, each with a private buffer and its own
+	// protection domain.
+	type session struct {
+		name   string
+		domain mem.PDID
+		buf    mem.VMA
+	}
+	var sessions []session
+	for _, name := range []string{"alice", "bob"} {
+		buf, err := server.Mmap(64<<10, mem.PermReadWrite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := server.CreateDomain()
+		// The session may read and write its own buffer...
+		if err := server.GrantDomain(d, buf.Base, 64<<10, mem.PermReadWrite); err != nil {
+			log.Fatal(err)
+		}
+		sessions = append(sessions, session{name: name, domain: d, buf: buf})
+		fmt.Printf("session %-5s -> domain %d, buffer %#x\n", name, d, uint64(buf.Base))
+	}
+
+	// The server itself (PID domain) fills both buffers.
+	if err := worker.Store(sessions[0].buf.Base, 0xA11CE); err != nil {
+		log.Fatal(err)
+	}
+	if err := worker.Store(sessions[1].buf.Base, 0xB0B); err != nil {
+		log.Fatal(err)
+	}
+
+	prot := cluster.Controller().Protection()
+	check := func(who session, target session, want mem.Perm) {
+		err := prot.Check(who.domain, target.buf.Base, want)
+		verdict := "ALLOWED"
+		if err != nil {
+			verdict = "DENIED"
+		}
+		fmt.Printf("  %s -> %s buffer (%v): %s\n", who.name, target.name, want, verdict)
+	}
+
+	fmt.Println("\ndata-plane permission checks:")
+	check(sessions[0], sessions[0], mem.PermReadWrite) // alice -> alice: allowed
+	check(sessions[0], sessions[1], mem.PermRead)      // alice -> bob: denied
+	check(sessions[1], sessions[1], mem.PermRead)      // bob -> bob: allowed
+	check(sessions[1], sessions[0], mem.PermReadWrite) // bob -> alice: denied
+
+	// Downgrade alice to read-only (e.g. the session turned into a
+	// follower) and verify writes now bounce.
+	if err := server.GrantDomain(sessions[0].domain, sessions[0].buf.Base, 64<<10, mem.PermRead); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter downgrading alice to read-only:")
+	check(sessions[0], sessions[0], mem.PermRead)
+	check(sessions[0], sessions[0], mem.PermReadWrite)
+
+	// The enforcement is in the fault path too: a thread with no grant
+	// on an address gets EACCES from the switch.
+	if err := worker.Touch(0x10, false); !errors.Is(err, ctrlplane.ErrPermission) {
+		log.Fatalf("unmapped access should be denied, got %v", err)
+	}
+	fmt.Println("\nunmapped access rejected by the data plane (EACCES)")
+	fmt.Printf("protection rejects so far: %d\n", prot.Rejects())
+}

@@ -1,0 +1,558 @@
+package coherence
+
+import (
+	"fmt"
+
+	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+	"mind/internal/switchasic"
+)
+
+// Invalidation is the message multicast to compute blades when a region
+// transition requires revoking cached copies (§4.3.2).
+type Invalidation struct {
+	// Region is the address range to invalidate.
+	Region mem.Range
+	// Requested is the page whose fault triggered the invalidation; dirty
+	// pages other than it count as false invalidations (§4.3.1).
+	Requested mem.VA
+	// Downgrade selects M→S semantics: flush dirty pages but keep copies
+	// read-only. Otherwise copies are dropped entirely.
+	Downgrade bool
+	// Reset marks the §4.4 recovery path: flush and drop unconditionally.
+	Reset bool
+	// Requester is the blade whose request triggered this.
+	Requester int
+}
+
+// AckInfo is a sharer's response to an invalidation.
+type AckInfo struct {
+	Blade        int
+	FlushedDirty int // dirty pages written back to the memory blade
+	FalseInvals  int // flushed dirty pages other than the requested one
+	Dropped      int // clean copies discarded
+	QueueDelay   sim.Duration
+	TLBTime      sim.Duration
+}
+
+// BladePort is the compute-blade side of the protocol: the switch
+// delivers invalidations through it. Implementations must eventually call
+// ack exactly once.
+type BladePort interface {
+	HandleInvalidation(inv Invalidation, ack func(AckInfo))
+}
+
+// Completion reports the outcome of a page request back to the faulting
+// blade.
+type Completion struct {
+	// Err is non-nil when the data plane rejected the request
+	// (protection or translation failure).
+	Err error
+	// Retry indicates the region was reset mid-transition (§4.4); the
+	// blade should reissue the fault.
+	Retry bool
+	// Writable reports whether the page may be mapped read-write.
+	Writable bool
+	// Transition is the directory transition taken, e.g. "S->M".
+	Transition string
+	// Invalidations is the number of sharers invalidated.
+	Invalidations int
+	// InvQueue and InvTLB are the largest queueing delay and TLB
+	// shootdown time among the invalidated sharers on this request's
+	// critical path (Figure 7 right components).
+	InvQueue sim.Duration
+	InvTLB   sim.Duration
+}
+
+// Config parameterizes the directory.
+type Config struct {
+	// InitialRegionSize is the granularity at which directory entries are
+	// first created; the paper's default is 16 KB (§5.2 "From theory to
+	// practice").
+	InitialRegionSize uint64
+	// TopLevelSize is the maximum region size M·4KB (default 2 MB).
+	TopLevelSize uint64
+	// SequentialInvalidation disables the switch's native multicast and
+	// sends invalidations one by one, each waiting for the previous ACK —
+	// the ablation for §4.3.2's multicast design choice.
+	SequentialInvalidation bool
+	// ExclusiveOnColdRead enables a MESI-style Exclusive grant (§8
+	// "Other coherence protocols"): a cold read with no other sharers is
+	// granted write permission immediately, eliminating the later S→M
+	// upgrade fault for private read-then-write patterns. The directory
+	// tracks the region as owned (E behaves like M thereafter: a second
+	// reader pays the serial flush-downgrade instead of the cheap S→S).
+	// The materialized state-transition table grows accordingly.
+	ExclusiveOnColdRead bool
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{InitialRegionSize: 16 << 10, TopLevelSize: 2 << 20}
+}
+
+type reqKey struct {
+	blade int
+	page  mem.VA
+	want  mem.Perm
+}
+
+// pending is one in-flight or queued page request.
+type pending struct {
+	key  reqKey
+	pdid mem.PDID
+	va   mem.VA
+	done func(Completion)
+
+	// Transition bookkeeping.
+	transition   string
+	needAcks     int
+	acksForFetch bool // serial M→X path: fetch only after acks
+	dataAtBlade  bool
+	invQueue     sim.Duration
+	invTLB       sim.Duration
+	invCount     int
+	writable     bool
+	notified     bool
+}
+
+// Directory is the in-network cache directory plus protocol engine. All
+// methods must be called from simulation event context (single-threaded).
+type Directory struct {
+	eng  *sim.Engine
+	fab  *fabric.Fabric
+	asic *switchasic.ASIC
+	col  *stats.Collector
+	cfg  Config
+
+	translate func(mem.VA) (ctrlplane.BladeID, error)
+	protect   func(mem.PDID, mem.VA, mem.Perm) error
+	memNode   func(ctrlplane.BladeID) fabric.NodeID
+	bladeNode func(int) fabric.NodeID
+
+	blades map[int]BladePort
+
+	regions  map[mem.VA]*Region            // by base
+	blocks   map[mem.VA]map[mem.VA]*Region // top-level block -> base -> region
+	inFlight map[reqKey]*pending
+}
+
+// Deps bundles the directory's external hooks, wired by the core package.
+type Deps struct {
+	Engine    *sim.Engine
+	Fabric    *fabric.Fabric
+	ASIC      *switchasic.ASIC
+	Collector *stats.Collector
+	// Translate resolves a VA to its memory blade (data-plane TCAM).
+	Translate func(mem.VA) (ctrlplane.BladeID, error)
+	// Protect performs the data-plane permission check.
+	Protect func(mem.PDID, mem.VA, mem.Perm) error
+	// MemNode and BladeNode map blade identities to fabric endpoints.
+	MemNode   func(ctrlplane.BladeID) fabric.NodeID
+	BladeNode func(int) fabric.NodeID
+}
+
+// NewDirectory builds the directory.
+func NewDirectory(cfg Config, d Deps) *Directory {
+	if cfg.InitialRegionSize == 0 {
+		cfg.InitialRegionSize = 16 << 10
+	}
+	if cfg.TopLevelSize == 0 {
+		cfg.TopLevelSize = 2 << 20
+	}
+	if !mem.IsPow2(cfg.InitialRegionSize) || !mem.IsPow2(cfg.TopLevelSize) ||
+		cfg.InitialRegionSize < mem.PageSize || cfg.TopLevelSize < cfg.InitialRegionSize {
+		panic(fmt.Sprintf("coherence: bad region config %+v", cfg))
+	}
+	return &Directory{
+		eng:       d.Engine,
+		fab:       d.Fabric,
+		asic:      d.ASIC,
+		col:       d.Collector,
+		cfg:       cfg,
+		translate: d.Translate,
+		protect:   d.Protect,
+		memNode:   d.MemNode,
+		bladeNode: d.BladeNode,
+		blades:    make(map[int]BladePort),
+		regions:   make(map[mem.VA]*Region),
+		blocks:    make(map[mem.VA]map[mem.VA]*Region),
+		inFlight:  make(map[reqKey]*pending),
+	}
+}
+
+// RegisterBlade attaches a compute blade's invalidation port.
+func (d *Directory) RegisterBlade(id int, port BladePort) { d.blades[id] = port }
+
+// Lookup returns the region containing va, if any.
+func (d *Directory) Lookup(va mem.VA) (*Region, error) {
+	block := mem.AlignDown(va, d.cfg.TopLevelSize)
+	for _, r := range d.blocks[block] {
+		if r.Contains(va) {
+			return r, nil
+		}
+	}
+	return nil, ErrNoRegion
+}
+
+// lookupOrCreate returns the region covering va, creating one at the
+// configured initial size on first touch (§6.3 "MIND creates a directory
+// entry for a region during its allocation"). If the initial size would
+// overlap finer existing regions, the creation size shrinks until it
+// fits.
+func (d *Directory) lookupOrCreate(va mem.VA) (*Region, error) {
+	if r, err := d.Lookup(va); err == nil {
+		return r, nil
+	}
+	block := mem.AlignDown(va, d.cfg.TopLevelSize)
+	size := d.cfg.InitialRegionSize
+	for ; size >= mem.PageSize; size /= 2 {
+		base := mem.AlignDown(va, size)
+		if !d.overlapsExisting(block, base, size) {
+			return d.createRegion(block, base, size)
+		}
+	}
+	return nil, fmt.Errorf("coherence: cannot place region for %#x", uint64(va))
+}
+
+func (d *Directory) overlapsExisting(block, base mem.VA, size uint64) bool {
+	for _, r := range d.blocks[block] {
+		if base < r.Base+mem.VA(r.Size) && r.Base < base+mem.VA(size) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Directory) createRegion(block, base mem.VA, size uint64) (*Region, error) {
+	slot, err := d.asic.Directory.Alloc()
+	if err != nil {
+		// Capacity pressure: coarsen the coldest buddy pair anywhere and
+		// retry once (the control plane's merge path, compressed into the
+		// moment of need).
+		if !d.emergencyMerge() {
+			return nil, fmt.Errorf("coherence: directory slots exhausted and nothing mergeable: %w", err)
+		}
+		slot, err = d.asic.Directory.Alloc()
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := &Region{Base: base, Size: size, state: Invalid, sharers: make(map[int]bool), slot: int(slot)}
+	d.regions[base] = r
+	bm := d.blocks[block]
+	if bm == nil {
+		bm = make(map[mem.VA]*Region)
+		d.blocks[block] = bm
+	}
+	bm[base] = r
+	return r, nil
+}
+
+// RequestPage is the data-plane entry point: a compute blade's page-fault
+// RDMA request has arrived at the switch. The directory performs the
+// protection check, the region transition (with a recirculation, §6.3),
+// any invalidations, the memory fetch, and finally delivers the response
+// to the blade. done runs at the faulting blade when the page (or an
+// error) arrives.
+func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Perm, done func(Completion)) {
+	page := mem.PageBase(va)
+	key := reqKey{blade: blade, page: page, want: want}
+	if _, dup := d.inFlight[key]; dup {
+		// Retransmission of a request we are already serving (§4.4):
+		// drop the duplicate.
+		return
+	}
+
+	// Data-plane permission check (§4.2), in the same pipeline pass.
+	if err := d.protect(pdid, va, want); err != nil {
+		d.col.Inc(stats.CtrRejected, 1)
+		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
+			done(Completion{Err: err})
+		})
+		return
+	}
+
+	p := &pending{key: key, pdid: pdid, va: page, done: done}
+	d.inFlight[key] = p
+	d.col.Inc(stats.CtrRemoteAccesses, 1)
+
+	region, err := d.lookupOrCreate(page)
+	if err != nil {
+		delete(d.inFlight, key)
+		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
+			done(Completion{Err: err})
+		})
+		return
+	}
+	if region.resetting {
+		// A §4.4 reset is tearing this entry down; tell the blade to
+		// retry once the reset completes.
+		p.notified = true
+		delete(d.inFlight, key)
+		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
+			done(Completion{Retry: true})
+		})
+		return
+	}
+	if region.busy {
+		region.waiters = append(region.waiters, p)
+		return
+	}
+	d.startTransition(region, p)
+}
+
+// startTransition claims the region and performs the state transition via
+// the two-MAU + recirculation pattern (§6.3, Figure 4).
+func (d *Directory) startTransition(r *Region, p *pending) {
+	r.busy = true
+	d.asic.Recirculated()
+	d.col.Inc(stats.CtrRecirculations, 1)
+	d.fab.Recirculate(func() { d.executeTransition(r, p) })
+}
+
+func (d *Directory) executeTransition(r *Region, p *pending) {
+	blade := p.key.blade
+	write := p.key.want == mem.PermReadWrite
+
+	var targets []int
+	downgrade := false
+
+	switch {
+	case !write && r.state == Invalid && d.cfg.ExclusiveOnColdRead:
+		p.transition = "I->E"
+		r.state = Modified // E is tracked as owned; see Config docs
+		r.owner = blade
+		r.sharers = map[int]bool{blade: true}
+		p.writable = true
+	case !write && r.state == Invalid:
+		p.transition = "I->S"
+		r.state = Shared
+		r.sharers[blade] = true
+	case !write && r.state == Shared:
+		p.transition = "S->S"
+		r.sharers[blade] = true
+	case !write && r.state == Modified && r.owner == blade:
+		p.transition = "M->M(own)"
+		p.writable = true
+	case !write && r.state == Modified:
+		p.transition = "M->S"
+		targets = []int{r.owner}
+		downgrade = true
+		r.state = Shared
+		r.sharers = map[int]bool{r.owner: true, blade: true}
+	case write && r.state == Invalid:
+		p.transition = "I->M"
+		r.state = Modified
+		r.owner = blade
+		r.sharers = map[int]bool{blade: true}
+		p.writable = true
+	case write && r.state == Shared:
+		p.transition = "S->M"
+		for s := range r.sharers {
+			if s != blade {
+				targets = append(targets, s)
+			}
+		}
+		r.state = Modified
+		r.owner = blade
+		r.sharers = map[int]bool{blade: true}
+		p.writable = true
+	case write && r.state == Modified && r.owner == blade:
+		p.transition = "M->M(own)"
+		p.writable = true
+	case write && r.state == Modified:
+		p.transition = "M->M"
+		targets = []int{r.owner}
+		r.state = Modified
+		r.owner = blade
+		r.sharers = map[int]bool{blade: true}
+		p.writable = true
+	}
+
+	p.invCount = len(targets)
+	p.needAcks = len(targets)
+	// M→X transitions must flush the old owner before the memory fetch;
+	// S→M invalidations proceed in parallel with the fetch (§7.2).
+	p.acksForFetch = len(targets) > 0 && (p.transition == "M->S" || p.transition == "M->M")
+
+	if len(targets) > 0 {
+		d.sendInvalidations(r, p, targets, downgrade)
+	}
+	if !p.acksForFetch {
+		d.fetchAndDeliver(r, p)
+	}
+}
+
+// sendInvalidations multicasts an invalidation to the target sharers. The
+// packet is replicated to the whole compute-blade multicast group and
+// pruned in egress to the sharer list (§4.3.2).
+func (d *Directory) sendInvalidations(r *Region, p *pending, targets []int, downgrade bool) {
+	set := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		set[t] = true
+	}
+	ports, err := d.asic.PruneMulticast(ctrlplane.InvalidationGroup, set)
+	if err != nil {
+		panic(fmt.Sprintf("coherence: multicast: %v", err))
+	}
+	d.col.Inc(stats.CtrMulticasts, 1)
+	inv := Invalidation{
+		Region:    r.Range(),
+		Requested: p.va,
+		Downgrade: downgrade,
+		Requester: p.key.blade,
+	}
+	nodes := make([]fabric.NodeID, len(ports))
+	for i, pt := range ports {
+		nodes[i] = d.bladeNode(pt)
+	}
+	deliver := func(to fabric.NodeID, acked func()) {
+		bladeID := int(to)
+		port := d.blades[bladeID]
+		if port == nil {
+			panic(fmt.Sprintf("coherence: invalidation to unregistered blade %d", bladeID))
+		}
+		d.col.Inc(stats.CtrInvalidations, 1)
+		port.HandleInvalidation(inv, func(info AckInfo) {
+			// ACK travels sharer -> switch.
+			d.fab.SendToSwitch(to, fabric.CtrlMsgBytes, func() {
+				d.handleAck(r, p, info)
+				if acked != nil {
+					acked()
+				}
+			})
+		})
+	}
+	if !d.cfg.SequentialInvalidation {
+		d.fab.MulticastFromSwitch(nodes, fabric.CtrlMsgBytes, func(to fabric.NodeID) {
+			deliver(to, nil)
+		})
+		return
+	}
+	// Ablation: one unicast at a time, each waiting for the previous ACK.
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(nodes) {
+			return
+		}
+		to := nodes[i]
+		d.fab.SendFromSwitch(to, fabric.CtrlMsgBytes, func() {
+			deliver(to, func() { next(i + 1) })
+		})
+	}
+	next(0)
+}
+
+func (d *Directory) handleAck(r *Region, p *pending, info AckInfo) {
+	r.falseInvals += uint64(info.FalseInvals)
+	r.invalsEpoch++
+	d.col.Inc(stats.CtrFlushedPages, uint64(info.FlushedDirty))
+	d.col.Inc(stats.CtrFalseInvals, uint64(info.FalseInvals))
+	if p.notified {
+		// The region was reset mid-transition (§4.4); the requester has
+		// already been told to retry.
+		return
+	}
+	if info.QueueDelay > p.invQueue {
+		p.invQueue = info.QueueDelay
+	}
+	if info.TLBTime > p.invTLB {
+		p.invTLB = info.TLBTime
+	}
+	p.needAcks--
+	if p.needAcks > 0 {
+		return
+	}
+	if p.acksForFetch {
+		// Serial path: the flush has landed, memory is now fresh.
+		d.fetchAndDeliver(r, p)
+		return
+	}
+	// Parallel path: if the data already reached the blade, notify it
+	// that exclusivity is established (the requester waits for ACKs,
+	// §4.4).
+	if p.dataAtBlade {
+		d.notifyComplete(r, p)
+	}
+}
+
+// fetchAndDeliver issues the one-sided RDMA read to the home memory blade
+// and forwards the 4 KB response to the requester, rewriting headers
+// (RDMA connection virtualization, §6.3).
+func (d *Directory) fetchAndDeliver(r *Region, p *pending) {
+	home, err := d.translate(p.va)
+	if err != nil {
+		d.failPending(r, p, err)
+		return
+	}
+	memN := d.memNode(home)
+	d.fab.SendFromSwitch(memN, fabric.CtrlMsgBytes, func() {
+		// At the memory blade: NIC-only DMA service, no CPU (§6.2).
+		d.eng.Schedule(d.fab.MemDMA(), func() {
+			d.fab.SendToSwitch(memN, fabric.PageBytes, func() {
+				d.fab.SendFromSwitch(d.bladeNode(p.key.blade), fabric.PageBytes, func() {
+					p.dataAtBlade = true
+					if p.needAcks > 0 {
+						return // still waiting on parallel ACKs
+					}
+					d.notifyComplete(r, p)
+				})
+			})
+		})
+	})
+}
+
+// notifyComplete finishes the request at the blade and releases the
+// region for the next waiter.
+func (d *Directory) notifyComplete(r *Region, p *pending) {
+	if p.notified {
+		return
+	}
+	p.notified = true
+	delete(d.inFlight, p.key)
+	p.done(Completion{
+		Writable:      p.writable,
+		Transition:    p.transition,
+		Invalidations: p.invCount,
+		InvQueue:      p.invQueue,
+		InvTLB:        p.invTLB,
+	})
+	d.finish(r)
+}
+
+func (d *Directory) failPending(r *Region, p *pending, err error) {
+	if p.notified {
+		return
+	}
+	p.notified = true
+	delete(d.inFlight, p.key)
+	d.fab.SendFromSwitch(d.bladeNode(p.key.blade), fabric.CtrlMsgBytes, func() {
+		p.done(Completion{Err: err})
+	})
+	d.finish(r)
+}
+
+// finish releases the region and starts the next queued transition.
+func (d *Directory) finish(r *Region) {
+	r.busy = false
+	if len(r.waiters) == 0 {
+		return
+	}
+	next := r.waiters[0]
+	r.waiters = r.waiters[1:]
+	d.startTransition(r, next)
+}
+
+// SharerDropped records a silent clean eviction: the blade no longer
+// caches any page of the region, so future invalidations to it are
+// spurious but harmless. MIND decouples eviction from coherence (§4.3.1),
+// so this does NOT update the directory — the method exists for tests to
+// assert that stale sharer lists stay safe. It is intentionally a no-op.
+func (d *Directory) SharerDropped(blade int, va mem.VA) {}
+
+// Regions returns the number of live directory entries.
+func (d *Directory) RegionCount() int { return len(d.regions) }

@@ -1,0 +1,353 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+	"mind/internal/switchasic"
+)
+
+// This file implements region management: the ctrlplane.RegionDirectory
+// interface consumed by the Bounded Splitting algorithm (§5), plus the
+// reset recovery mechanism (§4.4) and directory entry removal (§6.3).
+
+var _ ctrlplane.RegionDirectory = (*Directory)(nil)
+
+// EpochStats returns one entry per live region with the current epoch's
+// false invalidation count.
+func (d *Directory) EpochStats() []ctrlplane.RegionStat {
+	out := make([]ctrlplane.RegionStat, 0, len(d.regions))
+	for _, r := range d.regions {
+		out = append(out, ctrlplane.RegionStat{
+			Base:          r.Base,
+			Size:          r.Size,
+			FalseInvals:   r.falseInvals,
+			Invalidations: r.invalsEpoch,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// ResetEpochCounters zeroes per-epoch false invalidation counters.
+func (d *Directory) ResetEpochCounters() {
+	for _, r := range d.regions {
+		r.falseInvals = 0
+		r.invalsEpoch = 0
+	}
+}
+
+// SlotsInUse returns current directory SRAM occupancy.
+func (d *Directory) SlotsInUse() int { return d.asic.Directory.InUse() }
+
+// SlotCapacity returns the directory SRAM capacity (0 = unlimited).
+func (d *Directory) SlotCapacity() int { return d.asic.Directory.Capacity() }
+
+func (d *Directory) block(va mem.VA) mem.VA { return mem.AlignDown(va, d.cfg.TopLevelSize) }
+
+// SplitRegion splits the region based at base into two halves, allocating
+// one extra SRAM slot. Children conservatively inherit the parent's
+// coherence state and sharers. Busy regions cannot split (§6.3 performs
+// directory updates atomically between transitions).
+func (d *Directory) SplitRegion(base mem.VA) error {
+	r, ok := d.regions[base]
+	if !ok {
+		return ErrNoRegion
+	}
+	if r.busy || len(r.waiters) > 0 {
+		return ErrRegionBusy
+	}
+	if r.Size <= mem.PageSize {
+		return fmt.Errorf("coherence: region %#x already at page size", uint64(base))
+	}
+	slot, err := d.asic.Directory.Alloc()
+	if err != nil {
+		return err
+	}
+	half := r.Size / 2
+	sibling := &Region{
+		Base:    r.Base + mem.VA(half),
+		Size:    half,
+		state:   r.state,
+		owner:   r.owner,
+		sharers: cloneSharers(r.sharers),
+		slot:    int(slot),
+	}
+	r.Size = half
+	// Split the epoch's signal between the halves; it re-accumulates with
+	// real traffic next epoch.
+	sibling.falseInvals = r.falseInvals / 2
+	r.falseInvals -= sibling.falseInvals
+	sibling.invalsEpoch = r.invalsEpoch / 2
+	r.invalsEpoch -= sibling.invalsEpoch
+
+	d.regions[sibling.Base] = sibling
+	d.blocks[d.block(sibling.Base)][sibling.Base] = sibling
+	d.col.Inc(stats.CtrSplits, 1)
+	return nil
+}
+
+// MergeRegion merges the region based at lo with its (same-size) buddy,
+// releasing one slot. If the buddy address range has no directory entry
+// at all, the region simply expands over the empty space (no slot is
+// freed). Merging fails when either side is mid-transition, when the
+// result would exceed the top-level size, or when coherence states are
+// incompatible (two different Modified owners).
+func (d *Directory) MergeRegion(lo mem.VA) error {
+	r, ok := d.regions[lo]
+	if !ok {
+		return ErrNoRegion
+	}
+	if r.busy || len(r.waiters) > 0 {
+		return ErrRegionBusy
+	}
+	if r.Size*2 > d.cfg.TopLevelSize {
+		return fmt.Errorf("coherence: merge would exceed top-level size")
+	}
+	buddyBase := lo ^ mem.VA(r.Size)
+	buddy, ok := d.regions[buddyBase]
+	if !ok {
+		// Expansion into uncovered space (either side): legal only if
+		// nothing overlaps the buddy range.
+		if d.overlapsExisting(d.block(buddyBase), buddyBase, r.Size) {
+			return fmt.Errorf("coherence: buddy range partially covered")
+		}
+		if buddyBase < lo {
+			// The region's base moves down; rekey it.
+			delete(d.regions, lo)
+			delete(d.blocks[d.block(lo)], lo)
+			r.Base = buddyBase
+			d.regions[buddyBase] = r
+			d.blocks[d.block(buddyBase)][buddyBase] = r
+		}
+		r.Size *= 2
+		return nil
+	}
+	if buddyBase < lo {
+		// Normalize pair merges onto the lower half.
+		return d.MergeRegion(buddyBase)
+	}
+	if buddy.Size != r.Size {
+		return fmt.Errorf("coherence: buddy sizes differ (%d vs %d)", r.Size, buddy.Size)
+	}
+	if buddy.busy || len(buddy.waiters) > 0 {
+		return ErrRegionBusy
+	}
+	st, owner, sharers, err := mergeStates(r, buddy)
+	if err != nil {
+		return err
+	}
+	r.state, r.owner, r.sharers = st, owner, sharers
+	r.falseInvals += buddy.falseInvals
+	r.invalsEpoch += buddy.invalsEpoch
+	r.Size *= 2
+	delete(d.regions, buddyBase)
+	delete(d.blocks[d.block(buddyBase)], buddyBase)
+	if err := d.asic.Directory.Release(switchasic.SlotID(buddy.slot)); err != nil {
+		panic(fmt.Sprintf("coherence: releasing buddy slot: %v", err))
+	}
+	d.col.Inc(stats.CtrMerges, 1)
+	return nil
+}
+
+// mergeStates combines two buddies' coherence metadata conservatively.
+func mergeStates(a, b *Region) (State, int, map[int]bool, error) {
+	union := cloneSharers(a.sharers)
+	for s := range b.sharers {
+		union[s] = true
+	}
+	switch {
+	case a.state == Invalid && b.state == Invalid:
+		return Invalid, 0, union, nil
+	case a.state != Modified && b.state != Modified:
+		return Shared, 0, union, nil
+	case a.state == Modified && b.state == Modified:
+		if a.owner != b.owner {
+			return 0, 0, nil, ErrCannotMerge
+		}
+		return Modified, a.owner, union, nil
+	case a.state == Modified:
+		if subsetOf(b.sharers, a.owner) {
+			return Modified, a.owner, union, nil
+		}
+		return 0, 0, nil, ErrCannotMerge
+	default: // b Modified
+		if subsetOf(a.sharers, b.owner) {
+			return Modified, b.owner, union, nil
+		}
+		return 0, 0, nil, ErrCannotMerge
+	}
+}
+
+func subsetOf(set map[int]bool, only int) bool {
+	for s := range set {
+		if s != only {
+			return false
+		}
+	}
+	return true
+}
+
+// emergencyMerge coarsens the coldest mergeable buddy pair to free one
+// slot when region creation finds the SRAM full. Returns false if nothing
+// can merge.
+func (d *Directory) emergencyMerge() bool {
+	type cand struct {
+		lo   mem.VA
+		heat uint64
+	}
+	var best *cand
+	for base, r := range d.regions {
+		if r.busy || len(r.waiters) > 0 || r.Size*2 > d.cfg.TopLevelSize {
+			continue
+		}
+		buddyBase := base ^ mem.VA(r.Size)
+		if buddyBase < base {
+			continue
+		}
+		buddy, ok := d.regions[buddyBase]
+		if !ok || buddy.Size != r.Size || buddy.busy || len(buddy.waiters) > 0 {
+			continue
+		}
+		if _, _, _, err := mergeStates(r, buddy); err != nil {
+			continue
+		}
+		heat := r.falseInvals + buddy.falseInvals
+		if best == nil || heat < best.heat || (heat == best.heat && base < best.lo) {
+			best = &cand{lo: base, heat: heat}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	return d.MergeRegion(best.lo) == nil
+}
+
+// SwapASIC repoints the directory at a backup data plane after failover
+// (§4.4). The directory must be empty — all regions reset — since SRAM
+// slot ids are not portable across ASICs.
+func (d *Directory) SwapASIC(a *switchasic.ASIC) {
+	if len(d.regions) != 0 {
+		panic("coherence: SwapASIC with live regions; reset them first")
+	}
+	d.asic = a
+}
+
+// RemoveRegion deletes a directory entry outright (munmap / reset path,
+// §6.3 "removing a directory entry follows the reverse procedure"). The
+// region must be idle.
+func (d *Directory) RemoveRegion(base mem.VA) error {
+	r, ok := d.regions[base]
+	if !ok {
+		return ErrNoRegion
+	}
+	if r.busy || len(r.waiters) > 0 {
+		return ErrRegionBusy
+	}
+	delete(d.regions, base)
+	delete(d.blocks[d.block(base)], base)
+	if err := d.asic.Directory.Release(switchasic.SlotID(r.slot)); err != nil {
+		panic(fmt.Sprintf("coherence: releasing slot: %v", err))
+	}
+	return nil
+}
+
+// ResetRegion implements the §4.4 recovery path: when a compute blade
+// exhausts retransmissions for an address, it asks the control plane to
+// reset. All compute blades flush their data for the region, pending
+// requests are failed with Retry, and the directory entry is removed.
+// done fires when the reset is complete.
+func (d *Directory) ResetRegion(va mem.VA, done func()) {
+	r, err := d.Lookup(va)
+	if err != nil {
+		// Nothing tracked: reset is trivially complete.
+		d.eng.Schedule(0, done)
+		return
+	}
+	d.col.Inc(stats.CtrResets, 1)
+	r.resetting = true
+
+	// Fail queued waiters immediately; the in-flight transition (if any)
+	// is abandoned — its completion is superseded by Retry.
+	waiters := r.waiters
+	r.waiters = nil
+	inflight := make([]*pending, 0, 1)
+	for _, p := range d.inFlight {
+		if r.Contains(p.va) {
+			inflight = append(inflight, p)
+		}
+	}
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].key.page < inflight[j].key.page })
+	retryAll := append(inflight, waiters...)
+	for _, p := range retryAll {
+		if p.notified {
+			continue
+		}
+		p.notified = true
+		delete(d.inFlight, p.key)
+		pp := p
+		d.fab.SendFromSwitch(d.bladeNode(pp.key.blade), fabric.CtrlMsgBytes, func() {
+			pp.done(Completion{Retry: true})
+		})
+	}
+
+	// Force every compute blade to flush and drop the region. Unlike
+	// data-plane invalidations, the reset travels over the control
+	// plane's reliable TCP connections (§4.4, §6.1) — it must make
+	// progress even when the data path is lossy, otherwise recovery
+	// itself could wedge.
+	bladeIDs := make([]int, 0, len(d.blades))
+	for b := range d.blades {
+		bladeIDs = append(bladeIDs, b)
+	}
+	sort.Ints(bladeIDs)
+	inv := Invalidation{Region: r.Range(), Requested: mem.PageBase(va), Reset: true}
+	remaining := len(bladeIDs)
+	if remaining == 0 {
+		d.removeAfterReset(r)
+		d.eng.Schedule(0, done)
+		return
+	}
+	half := sim.Duration(int64(d.fab.Config().CtrlRTT) / 2)
+	for _, b := range bladeIDs {
+		port := d.blades[b]
+		d.eng.Schedule(half, func() {
+			port.HandleInvalidation(inv, func(info AckInfo) {
+				d.eng.Schedule(half, func() {
+					d.col.Inc(stats.CtrFlushedPages, uint64(info.FlushedDirty))
+					remaining--
+					if remaining == 0 {
+						d.removeAfterReset(r)
+						done()
+					}
+				})
+			})
+		})
+	}
+}
+
+func (d *Directory) removeAfterReset(r *Region) {
+	r.busy = false
+	// Requests that slipped into the waiter queue during the reset are
+	// bounced with Retry (their retransmissions were deduped against the
+	// in-flight table, so they must be answered, not dropped).
+	for _, p := range r.waiters {
+		if p.notified {
+			continue
+		}
+		p.notified = true
+		delete(d.inFlight, p.key)
+		pp := p
+		d.fab.SendFromSwitch(d.bladeNode(pp.key.blade), fabric.CtrlMsgBytes, func() {
+			pp.done(Completion{Retry: true})
+		})
+	}
+	r.waiters = nil
+	r.resetting = false
+	_ = d.RemoveRegion(r.Base)
+}

@@ -1,0 +1,380 @@
+package computeblade
+
+import (
+	"fmt"
+
+	"mind/internal/coherence"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// Config parameterizes a compute blade's local costs, calibrated against
+// the paper's measured transition latencies (Figure 7).
+type Config struct {
+	ID         int
+	CachePages int
+	// PageFaultCost is the kernel fault entry + RDMA post cost charged
+	// before the request leaves the blade.
+	PageFaultCost sim.Duration
+	// PTEInstall is the local page-table population cost charged when the
+	// page arrives (§6.1 "local memory structures such as PTEs are
+	// populated").
+	PTEInstall sim.Duration
+	// InvHandlerService is the fixed kernel service time per invalidation
+	// request; the handler is serial, so bursts queue (Figure 7 right
+	// "Inv (queue)").
+	InvHandlerService sim.Duration
+	// TLBShootdown is the synchronous shootdown cost paid when an
+	// invalidation changes PTEs (Figure 7 right "Inv (TLB)", [70]).
+	TLBShootdown sim.Duration
+	// FaultTimeout and MaxRetries implement §4.4: a fault unanswered for
+	// FaultTimeout is retransmitted; after MaxRetries the blade asks the
+	// control plane to reset the address.
+	FaultTimeout sim.Duration
+	MaxRetries   int
+}
+
+// DefaultConfig returns calibrated blade costs.
+func DefaultConfig(id, cachePages int) Config {
+	return Config{
+		ID:                id,
+		CachePages:        cachePages,
+		PageFaultCost:     1800 * sim.Nanosecond,
+		PTEInstall:        700 * sim.Nanosecond,
+		InvHandlerService: 900 * sim.Nanosecond,
+		TLBShootdown:      2800 * sim.Nanosecond,
+		FaultTimeout:      2 * sim.Millisecond,
+		MaxRetries:        3,
+	}
+}
+
+// AccessResult reports a completed remote access with the latency
+// breakdown Figure 7 (right) plots.
+type AccessResult struct {
+	Err        error
+	Total      sim.Duration
+	PgFault    sim.Duration
+	Network    sim.Duration
+	InvQueue   sim.Duration
+	InvTLB     sim.Duration
+	Transition string
+	Retries    int
+}
+
+// Deps are the blade's hooks into the rest of the rack, wired by core.
+type Deps struct {
+	Engine    *sim.Engine
+	Collector *stats.Collector
+	// SendRequest carries a page-fault request to the switch data plane;
+	// the completion callback runs at this blade when the response
+	// arrives (it includes all network time).
+	SendRequest func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion))
+	// Writeback sends one dirty page to its memory blade via one-sided
+	// RDMA; done runs when the write has landed.
+	Writeback func(va mem.VA, data []byte, done func())
+	// FetchData copies the page's current bytes at the simulated moment
+	// of arrival (zero-time data plumbing; latency is modelled by the
+	// protocol path).
+	FetchData func(va mem.VA) []byte
+	// Reset asks the control plane to reset a wedged address (§4.4).
+	Reset func(va mem.VA, done func())
+}
+
+type waiter struct {
+	start sim.Time
+	done  func(AccessResult)
+}
+
+type fault struct {
+	page    mem.VA
+	want    mem.Perm
+	pdid    mem.PDID
+	start   sim.Time
+	waiters []waiter
+	retries int
+	timeout *sim.Event
+	settled bool
+}
+
+type faultKey struct {
+	page mem.VA
+	want mem.Perm
+}
+
+// Blade is one compute blade: cache + fault machinery + invalidation
+// handler.
+type Blade struct {
+	cfg   Config
+	eng   *sim.Engine
+	col   *stats.Collector
+	cache *Cache
+	deps  Deps
+
+	invHandler *sim.Resource
+	faults     map[faultKey]*fault
+
+	// WritebackQueueLen tracks in-flight dirty evictions (diagnostics).
+	pendingWritebacks int
+}
+
+// New creates a blade.
+func New(cfg Config, deps Deps) *Blade {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.FaultTimeout == 0 {
+		cfg.FaultTimeout = 2 * sim.Millisecond
+	}
+	return &Blade{
+		cfg:        cfg,
+		eng:        deps.Engine,
+		col:        deps.Collector,
+		cache:      NewCache(cfg.CachePages),
+		deps:       deps,
+		invHandler: sim.NewResource(fmt.Sprintf("inv-handler-%d", cfg.ID), 1),
+		faults:     make(map[faultKey]*fault),
+	}
+}
+
+// ID returns the blade's identity.
+func (b *Blade) ID() int { return b.cfg.ID }
+
+// Cache exposes the page cache (tests, eviction checks).
+func (b *Blade) Cache() *Cache { return b.cache }
+
+// WouldHit reports whether an access would be served from the local cache
+// with sufficient rights, without touching accounting or recency. Threads
+// use it to batch hits while issuing faults at accurate timestamps.
+func (b *Blade) WouldHit(va mem.VA, write bool) bool {
+	p, ok := b.cache.Peek(va)
+	return ok && (!write || p.Writable)
+}
+
+// Access attempts one LOAD/STORE. Cache hits (with sufficient rights)
+// return hit=true immediately — the caller charges HitLatency itself.
+// Otherwise a page fault starts and done fires on completion. done may be
+// nil only when the caller has established the access will hit.
+func (b *Blade) Access(pdid mem.PDID, va mem.VA, write bool, done func(AccessResult)) (hit bool) {
+	b.col.Inc(stats.CtrAccesses, 1)
+	if p, ok := b.cache.Lookup(va); ok {
+		if !write {
+			b.col.Inc(stats.CtrLocalHits, 1)
+			return true
+		}
+		if p.Writable {
+			p.Dirty = true
+			b.col.Inc(stats.CtrLocalHits, 1)
+			return true
+		}
+		// Cached read-only, write wanted: coherence upgrade fault (§3.2).
+	}
+	if done == nil {
+		panic("computeblade: miss with nil completion callback")
+	}
+	want := mem.PermRead
+	if write {
+		want = mem.PermReadWrite
+	}
+	b.startFault(pdid, mem.PageBase(va), want, done)
+	return false
+}
+
+// startFault begins or joins a page fault for (page, want).
+func (b *Blade) startFault(pdid mem.PDID, page mem.VA, want mem.Perm, done func(AccessResult)) {
+	key := faultKey{page: page, want: want}
+	if f, ok := b.faults[key]; ok {
+		// Another thread on this blade already faulted: share the fault.
+		f.waiters = append(f.waiters, waiter{start: b.eng.Now(), done: done})
+		return
+	}
+	f := &fault{page: page, want: want, pdid: pdid, start: b.eng.Now()}
+	f.waiters = []waiter{{start: f.start, done: done}}
+	b.faults[key] = f
+	// Kernel fault entry, then the request goes out.
+	b.eng.Schedule(b.cfg.PageFaultCost, func() { b.issue(f) })
+}
+
+func (b *Blade) issue(f *fault) {
+	if f.settled {
+		return
+	}
+	f.timeout = b.eng.Schedule(b.cfg.FaultTimeout, func() { b.onTimeout(f) })
+	b.deps.SendRequest(f.pdid, f.page, f.want, func(c coherence.Completion) {
+		b.onCompletion(f, c)
+	})
+}
+
+func (b *Blade) onTimeout(f *fault) {
+	if f.settled {
+		return
+	}
+	f.retries++
+	if f.retries <= b.cfg.MaxRetries {
+		b.col.Inc(stats.CtrRetransmits, 1)
+		b.issue(f)
+		return
+	}
+	// Retransmissions exhausted: reset the address at the control plane
+	// (§4.4), then retry once from scratch.
+	b.deps.Reset(f.page, func() {
+		if f.settled {
+			return
+		}
+		f.retries = 0
+		b.issue(f)
+	})
+}
+
+func (b *Blade) onCompletion(f *fault, c coherence.Completion) {
+	if f.settled {
+		return
+	}
+	if f.timeout != nil {
+		b.eng.Cancel(f.timeout)
+		f.timeout = nil
+	}
+	if c.Retry {
+		// Region reset mid-flight: reissue after a fresh fault cost.
+		b.eng.Schedule(b.cfg.PageFaultCost, func() { b.issue(f) })
+		return
+	}
+	if c.Err != nil {
+		b.settle(f, AccessResult{Err: c.Err, Retries: f.retries})
+		return
+	}
+	// Evict if needed, then install the page and charge PTE population.
+	for b.cache.NeedsEviction() {
+		b.evictOne()
+	}
+	p := b.cache.Insert(f.page, c.Writable)
+	if b.deps.FetchData != nil {
+		if data := b.deps.FetchData(f.page); data != nil {
+			p.Data = data
+		}
+	}
+	if f.want == mem.PermReadWrite {
+		p.Dirty = true
+	}
+	b.eng.Schedule(b.cfg.PTEInstall, func() {
+		total := b.eng.Now().Sub(f.start)
+		pg := b.cfg.PageFaultCost + b.cfg.PTEInstall
+		net := total - pg - c.InvQueue - c.InvTLB
+		if net < 0 {
+			net = 0
+		}
+		b.col.AddLatency(stats.LatPgFault, pg)
+		b.col.AddLatency(stats.LatNetwork, net)
+		b.col.AddLatency(stats.LatInvQueue, c.InvQueue)
+		b.col.AddLatency(stats.LatInvTLB, c.InvTLB)
+		b.settle(f, AccessResult{
+			Total:      total,
+			PgFault:    pg,
+			Network:    net,
+			InvQueue:   c.InvQueue,
+			InvTLB:     c.InvTLB,
+			Transition: c.Transition,
+			Retries:    f.retries,
+		})
+	})
+}
+
+func (b *Blade) settle(f *fault, r AccessResult) {
+	f.settled = true
+	delete(b.faults, faultKey{page: f.page, want: f.want})
+	now := b.eng.Now()
+	for _, w := range f.waiters {
+		res := r
+		res.Total = now.Sub(w.start)
+		w.done(res)
+	}
+}
+
+// evictOne removes the LRU page, writing it back first if dirty.
+// Writebacks are asynchronous (swap-out does not block the fault) but
+// occupy the NIC via the Writeback hook.
+func (b *Blade) evictOne() {
+	victim := b.cache.EvictLRU()
+	if victim == nil {
+		return
+	}
+	b.col.Inc(stats.CtrEvictions, 1)
+	if victim.Dirty {
+		b.col.Inc(stats.CtrWritebacks, 1)
+		b.pendingWritebacks++
+		data := victim.Data
+		b.deps.Writeback(victim.VA, data, func() { b.pendingWritebacks-- })
+	}
+}
+
+// PendingWritebacks returns in-flight dirty evictions (diagnostics).
+func (b *Blade) PendingWritebacks() int { return b.pendingWritebacks }
+
+// HandleInvalidation implements coherence.BladePort: the switch delivered
+// an invalidation for a region. The serial kernel handler queues requests
+// (queueing delay), flushes dirty pages in the region, adjusts PTEs, and
+// performs a synchronous TLB shootdown before ACKing (§6.1, §7.2).
+func (b *Blade) HandleInvalidation(inv coherence.Invalidation, ack func(coherence.AckInfo)) {
+	arrive := b.eng.Now()
+	start, end := b.invHandler.Reserve(arrive, b.cfg.InvHandlerService)
+	queueDelay := start.Sub(arrive)
+	b.eng.At(end, func() { b.processInvalidation(inv, queueDelay, ack) })
+}
+
+func (b *Blade) processInvalidation(inv coherence.Invalidation, queueDelay sim.Duration, ack func(coherence.AckInfo)) {
+	pages := b.cache.PagesIn(inv.Region.Base, inv.Region.Size)
+	info := coherence.AckInfo{Blade: b.cfg.ID, QueueDelay: queueDelay}
+
+	var flushes int
+	pteChanged := false
+	for _, p := range pages {
+		if p.Dirty {
+			info.FlushedDirty++
+			if p.VA != inv.Requested {
+				info.FalseInvals++
+			}
+			flushes++
+			data := p.Data
+			va := p.VA
+			b.deps.Writeback(va, data, func() {})
+			p.Dirty = false
+		}
+		if inv.Downgrade && !inv.Reset {
+			// M→S: keep the copy read-only.
+			if p.Writable {
+				p.Writable = false
+				pteChanged = true
+			}
+		} else {
+			// Full invalidation or reset: drop the mapping.
+			b.cache.Remove(p.VA)
+			info.Dropped++
+			pteChanged = true
+		}
+	}
+	finish := func() {
+		if pteChanged {
+			info.TLBTime = b.cfg.TLBShootdown
+			b.eng.Schedule(b.cfg.TLBShootdown, func() { ack(info) })
+			return
+		}
+		ack(info)
+	}
+	if flushes > 0 {
+		// The ACK must not leave before the flushed data is safely at the
+		// memory blade; approximate the last flush landing with one
+		// writeback round per dirty page through the blade's NIC. The
+		// Writeback hook already booked NIC occupancy; here we wait for
+		// the slowest flush via a completion barrier.
+		b.flushBarrier(pages, inv, finish)
+		return
+	}
+	finish()
+}
+
+// flushBarrier waits until all dirty-page writebacks issued for this
+// invalidation have landed. Implemented by issuing one extra zero-byte
+// barrier writeback that serializes after them on the same NIC.
+func (b *Blade) flushBarrier(pages []*PageState, inv coherence.Invalidation, done func()) {
+	b.deps.Writeback(inv.Requested, nil, done)
+}

@@ -1,0 +1,151 @@
+// Package computeblade models a MIND compute blade (§6.1): a traditional
+// server whose local DRAM acts as a page cache over disaggregated memory.
+// It implements page-fault-driven remote access, a local page table with
+// writable-page tracking, the invalidation handler that flushes dirty
+// pages and performs TLB shootdowns on coherence events, and the
+// ACK/timeout/reset recovery protocol of §4.4.
+package computeblade
+
+import (
+	"container/list"
+	"fmt"
+
+	"mind/internal/mem"
+	"mind/internal/sim"
+)
+
+// PageState describes one locally cached page.
+type PageState struct {
+	VA       mem.VA
+	Dirty    bool
+	Writable bool
+	Data     []byte // nil until real bytes are stored (lazy materialization)
+
+	lru *list.Element
+}
+
+// Cache is the compute blade's local DRAM page cache: virtually addressed
+// and permission-carrying (§3.2). The zero value is not usable; use
+// NewCache.
+type Cache struct {
+	capacity int // pages
+	pages    map[mem.VA]*PageState
+	lru      *list.List // front = most recent
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCache creates a cache holding at most capacity pages.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		panic("computeblade: cache needs at least one page")
+	}
+	return &Cache{capacity: capacity, pages: make(map[mem.VA]*PageState), lru: list.New()}
+}
+
+// Capacity returns the page capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Hits and Misses return lookup accounting.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of failed lookups.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Lookup returns the page if cached, bumping recency.
+func (c *Cache) Lookup(va mem.VA) (*PageState, bool) {
+	p, ok := c.pages[mem.PageBase(va)]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(p.lru)
+	return p, true
+}
+
+// Peek returns the page without recency or accounting effects.
+func (c *Cache) Peek(va mem.VA) (*PageState, bool) {
+	p, ok := c.pages[mem.PageBase(va)]
+	return p, ok
+}
+
+// Insert adds a page (evicting if needed is the caller's job — use
+// NeedsEviction/EvictLRU first). Inserting an existing page updates it.
+func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
+	base := mem.PageBase(va)
+	if p, ok := c.pages[base]; ok {
+		p.Writable = writable
+		c.lru.MoveToFront(p.lru)
+		return p
+	}
+	if len(c.pages) >= c.capacity {
+		panic(fmt.Sprintf("computeblade: insert over capacity (%d)", c.capacity))
+	}
+	p := &PageState{VA: base, Writable: writable}
+	p.lru = c.lru.PushFront(p)
+	c.pages[base] = p
+	return p
+}
+
+// NeedsEviction reports whether an insert requires evicting first.
+func (c *Cache) NeedsEviction() bool { return len(c.pages) >= c.capacity }
+
+// EvictLRU removes and returns the least-recently-used page. Returns nil
+// if the cache is empty.
+func (c *Cache) EvictLRU() *PageState {
+	back := c.lru.Back()
+	if back == nil {
+		return nil
+	}
+	p := back.Value.(*PageState)
+	c.remove(p)
+	return p
+}
+
+// Remove drops a specific page (invalidation path). Returns false if not
+// cached.
+func (c *Cache) Remove(va mem.VA) bool {
+	p, ok := c.pages[mem.PageBase(va)]
+	if !ok {
+		return false
+	}
+	c.remove(p)
+	return true
+}
+
+func (c *Cache) remove(p *PageState) {
+	c.lru.Remove(p.lru)
+	delete(c.pages, p.VA)
+}
+
+// PagesIn returns the cached pages whose addresses fall in [base,
+// base+size), in unspecified order — the invalidation handler's scan.
+func (c *Cache) PagesIn(base mem.VA, size uint64) []*PageState {
+	var out []*PageState
+	end := base + mem.VA(size)
+	// Scan-by-page when the range is small relative to occupancy,
+	// otherwise scan the map.
+	pagesInRange := size / mem.PageSize
+	if pagesInRange <= uint64(len(c.pages)) {
+		for va := base; va < end; va += mem.PageSize {
+			if p, ok := c.pages[va]; ok {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	for _, p := range c.pages {
+		if p.VA >= base && p.VA < end {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// HitLatency is the local DRAM access latency (< 100 ns, §7.2).
+const HitLatency = 90 * sim.Nanosecond

@@ -1,0 +1,147 @@
+package computeblade
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mind/internal/mem"
+)
+
+func TestCacheInsertLookup(t *testing.T) {
+	c := NewCache(4)
+	p := c.Insert(0x1234, true)
+	if p.VA != 0x1000 {
+		t.Errorf("page base = %#x", uint64(p.VA))
+	}
+	got, ok := c.Lookup(0x1fff)
+	if !ok || got != p {
+		t.Error("lookup by any address in page should hit")
+	}
+	if _, ok := c.Lookup(0x2000); ok {
+		t.Error("missing page hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(3)
+	c.Insert(0x1000, false)
+	c.Insert(0x2000, false)
+	c.Insert(0x3000, false)
+	// Touch 0x1000 so 0x2000 becomes LRU.
+	c.Lookup(0x1000)
+	if !c.NeedsEviction() {
+		t.Fatal("cache should be full")
+	}
+	v := c.EvictLRU()
+	if v.VA != 0x2000 {
+		t.Errorf("evicted %#x, want 0x2000", uint64(v.VA))
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheInsertExistingUpdates(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(0x1000, false)
+	p := c.Insert(0x1000, true)
+	if !p.Writable {
+		t.Error("reinsert should upgrade writability")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(0x1000, false)
+	if !c.Remove(0x1800) {
+		t.Error("remove by interior address failed")
+	}
+	if c.Remove(0x1000) {
+		t.Error("double remove succeeded")
+	}
+	if c.EvictLRU() != nil {
+		t.Error("evict from empty should be nil")
+	}
+}
+
+func TestCachePagesIn(t *testing.T) {
+	c := NewCache(16)
+	for i := uint64(0); i < 8; i++ {
+		c.Insert(mem.VA(i*0x1000), false)
+	}
+	got := c.PagesIn(0x2000, 0x3000) // pages 2,3,4
+	if len(got) != 3 {
+		t.Fatalf("pages in range = %d, want 3", len(got))
+	}
+	// Large sparse range exercises the map-scan path.
+	got = c.PagesIn(0, 1<<30)
+	if len(got) != 8 {
+		t.Errorf("pages in whole range = %d", len(got))
+	}
+	if got := c.PagesIn(0x100000, 0x1000); len(got) != 0 {
+		t.Errorf("empty range returned %d", len(got))
+	}
+}
+
+func TestCacheCapacityPanics(t *testing.T) {
+	c := NewCache(1)
+	c.Insert(0x1000, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-capacity insert should panic")
+		}
+	}()
+	c.Insert(0x2000, false)
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity cache should panic")
+		}
+	}()
+	NewCache(0)
+}
+
+// Property: the cache never exceeds capacity and Len matches the set of
+// live pages under arbitrary insert/remove/evict interleavings.
+func TestCachePropertyConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewCache(8)
+		live := map[mem.VA]bool{}
+		for _, op := range ops {
+			va := mem.VA(op%32) << 12
+			switch {
+			case op%5 == 4 && len(live) > 0:
+				if c.Remove(va) != live[va] {
+					return false
+				}
+				delete(live, va)
+			default:
+				if live[va] {
+					c.Insert(va, true)
+					continue
+				}
+				if c.NeedsEviction() {
+					v := c.EvictLRU()
+					delete(live, v.VA)
+				}
+				c.Insert(va, false)
+				live[va] = true
+			}
+			if c.Len() != len(live) || c.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mind/internal/ctrlplane"
+	"mind/internal/mem"
+	"mind/internal/sim"
+)
+
+// Process is a user process running over the MIND rack. Its threads may
+// live on different compute blades while transparently sharing the global
+// address space (§6.1).
+type Process struct {
+	c   *Cluster
+	pid mem.PDID
+}
+
+// Exec starts a process (exec intercept → switch control plane).
+func (c *Cluster) Exec(name string) *Process {
+	var p *ctrlplane.Process
+	c.await(func(done func()) {
+		c.fab.CtrlCall(0, func() {
+			p = c.ctl.Exec(name)
+			done()
+		})
+	})
+	return &Process{c: c, pid: p.PID}
+}
+
+// PID returns the process/protection-domain id.
+func (p *Process) PID() mem.PDID { return p.pid }
+
+// Mmap allocates a shared virtual memory area (§6.1). The syscall round
+// trips through the switch control plane.
+func (p *Process) Mmap(length uint64, perm mem.Perm) (mem.VMA, error) {
+	var vma mem.VMA
+	var err error
+	p.c.await(func(done func()) {
+		p.c.fab.CtrlCall(0, func() {
+			vma, err = p.c.ctl.Mmap(p.pid, length, perm)
+			done()
+		})
+	})
+	return vma, err
+}
+
+// Munmap releases an area.
+func (p *Process) Munmap(base mem.VA) error {
+	var err error
+	p.c.await(func(done func()) {
+		p.c.fab.CtrlCall(0, func() {
+			err = p.c.ctl.Munmap(p.pid, base)
+			done()
+		})
+	})
+	return err
+}
+
+// MProtect changes permissions on a range.
+func (p *Process) MProtect(base mem.VA, length uint64, perm mem.Perm) error {
+	var err error
+	p.c.await(func(done func()) {
+		p.c.fab.CtrlCall(0, func() {
+			err = p.c.ctl.MProtect(p.pid, base, length, perm)
+			done()
+		})
+	})
+	return err
+}
+
+// CreateDomain mints a session protection domain (§4.2).
+func (p *Process) CreateDomain() mem.PDID {
+	var d mem.PDID
+	p.c.await(func(done func()) {
+		p.c.fab.CtrlCall(0, func() {
+			d = p.c.ctl.CreateDomain()
+			done()
+		})
+	})
+	return d
+}
+
+// GrantDomain grants a session domain rights over a range.
+func (p *Process) GrantDomain(d mem.PDID, base mem.VA, length uint64, perm mem.Perm) error {
+	var err error
+	p.c.await(func(done func()) {
+		p.c.fab.CtrlCall(0, func() {
+			err = p.c.ctl.GrantDomain(d, base, length, perm)
+			done()
+		})
+	})
+	return err
+}
+
+// Exit tears the process down.
+func (p *Process) Exit() error {
+	var err error
+	p.c.await(func(done func()) {
+		p.c.fab.CtrlCall(0, func() {
+			err = p.c.ctl.Exit(p.pid)
+			done()
+		})
+	})
+	return err
+}
+
+// SpawnThread places a thread of this process on the given compute blade
+// (experiments pin threads per blade as §7.1 does).
+func (p *Process) SpawnThread(blade int) (*Thread, error) {
+	if blade < 0 || blade >= len(p.c.cblades) {
+		return nil, fmt.Errorf("core: no compute blade %d", blade)
+	}
+	var tid ctrlplane.TID
+	var err error
+	p.c.await(func(done func()) {
+		p.c.fab.CtrlCall(0, func() {
+			tid, err = p.c.ctl.Processes().SpawnThreadOn(p.pid, blade)
+			done()
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Thread{
+		c:     p.c,
+		proc:  p,
+		tid:   tid,
+		blade: blade,
+		pdid:  p.pid,
+	}
+	p.c.threads = append(p.c.threads, t)
+	return t, nil
+}
+
+// --- Synchronous data-path operations (used by examples and the KVS) ---
+
+// access performs one blocking access with the given intent, driving the
+// simulation until it completes.
+func (t *Thread) access(va mem.VA, write bool) error {
+	var res error
+	t.c.await(func(done func()) {
+		hit := t.c.cblades[t.blade].Access(t.pdid, va, write, func(r accessResultAlias) {
+			res = r.Err
+			done()
+		})
+		if hit {
+			done()
+		}
+	})
+	return res
+}
+
+// Load reads one byte-addressed uint64 (little endian) from the global
+// address space, faulting the page in if needed.
+func (t *Thread) Load(va mem.VA) (uint64, error) {
+	if err := t.access(va, false); err != nil {
+		return 0, err
+	}
+	p, ok := t.c.cblades[t.blade].Cache().Peek(va)
+	if !ok {
+		return 0, fmt.Errorf("core: page vanished after load fault at %#x", uint64(va))
+	}
+	if p.Data == nil {
+		return 0, nil // never-written memory reads as zero
+	}
+	off := int(va - mem.PageBase(va))
+	if off+8 > mem.PageSize {
+		return 0, fmt.Errorf("core: load crosses page boundary at %#x", uint64(va))
+	}
+	return binary.LittleEndian.Uint64(p.Data[off : off+8]), nil
+}
+
+// Store writes one uint64 (little endian), acquiring write ownership.
+func (t *Thread) Store(va mem.VA, val uint64) error {
+	if err := t.access(va, true); err != nil {
+		return err
+	}
+	p, ok := t.c.cblades[t.blade].Cache().Peek(va)
+	if !ok {
+		return fmt.Errorf("core: page vanished after store fault at %#x", uint64(va))
+	}
+	if p.Data == nil {
+		p.Data = make([]byte, mem.PageSize)
+	}
+	off := int(va - mem.PageBase(va))
+	if off+8 > mem.PageSize {
+		return fmt.Errorf("core: store crosses page boundary at %#x", uint64(va))
+	}
+	binary.LittleEndian.PutUint64(p.Data[off:off+8], val)
+	p.Dirty = true
+	return nil
+}
+
+// LoadBytes copies length bytes starting at va (must stay within one
+// page).
+func (t *Thread) LoadBytes(va mem.VA, length int) ([]byte, error) {
+	if err := t.access(va, false); err != nil {
+		return nil, err
+	}
+	off := int(va - mem.PageBase(va))
+	if off+length > mem.PageSize {
+		return nil, fmt.Errorf("core: LoadBytes crosses page boundary")
+	}
+	p, _ := t.c.cblades[t.blade].Cache().Peek(va)
+	out := make([]byte, length)
+	if p != nil && p.Data != nil {
+		copy(out, p.Data[off:off+length])
+	}
+	return out, nil
+}
+
+// StoreBytes writes bytes starting at va (within one page).
+func (t *Thread) StoreBytes(va mem.VA, data []byte) error {
+	if err := t.access(va, true); err != nil {
+		return err
+	}
+	off := int(va - mem.PageBase(va))
+	if off+len(data) > mem.PageSize {
+		return fmt.Errorf("core: StoreBytes crosses page boundary")
+	}
+	p, _ := t.c.cblades[t.blade].Cache().Peek(va)
+	if p == nil {
+		return fmt.Errorf("core: page vanished after store fault")
+	}
+	if p.Data == nil {
+		p.Data = make([]byte, mem.PageSize)
+	}
+	copy(p.Data[off:off+len(data)], data)
+	p.Dirty = true
+	return nil
+}
+
+// Touch performs one timing-only access (no data materialization) —
+// the primitive synthetic workloads use.
+func (t *Thread) Touch(va mem.VA, write bool) error {
+	return t.access(va, write)
+}
+
+// AdvanceTime idles the cluster for d of virtual time (lets epochs run).
+func (c *Cluster) AdvanceTime(d sim.Duration) {
+	c.eng.RunUntil(c.eng.Now().Add(d))
+}

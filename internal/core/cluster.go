@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"mind/internal/coherence"
+	"mind/internal/computeblade"
+	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
+	"mind/internal/mem"
+	"mind/internal/memblade"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// memNodeBase offsets memory-blade fabric node IDs away from compute
+// blades'.
+const memNodeBase fabric.NodeID = 1000
+
+// Cluster is one simulated MIND rack.
+type Cluster struct {
+	cfg Config
+
+	eng *sim.Engine
+	fab *fabric.Fabric
+	col *stats.Collector
+
+	ctl      *ctrlplane.Controller
+	dir      *coherence.Directory
+	splitter *ctrlplane.Splitter
+
+	cblades []*computeblade.Blade
+	mblades []*memblade.Blade
+
+	threads       []*Thread
+	activeThreads int
+	epochTick     *sim.Event
+}
+
+// NewCluster builds and wires a rack.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.ComputeBlades < 1 || cfg.MemoryBlades < 1 {
+		return nil, fmt.Errorf("core: need at least one compute and one memory blade")
+	}
+	if cfg.CachePagesPerBlade < 1 {
+		return nil, fmt.Errorf("core: cache must hold at least one page")
+	}
+	if cfg.StoreBufferDepth == 0 {
+		cfg.StoreBufferDepth = 16
+	}
+	if cfg.ThinkTime == 0 {
+		cfg.ThinkTime = 30 * sim.Nanosecond
+	}
+
+	asicCfg := cfg.ASIC
+	if cfg.Consistency == PSOPlus {
+		// MIND-PSO+ simulates infinite directory capacity (§7.1).
+		asicCfg.SlotCapacity = 0
+	}
+
+	c := &Cluster{
+		cfg: cfg,
+		eng: sim.NewEngine(),
+		col: stats.NewCollector(),
+	}
+	c.fab = fabric.New(c.eng, cfg.Fabric)
+	c.ctl = ctrlplane.NewController(asicCfg, cfg.Placement, cfg.ComputeBlades)
+
+	for i := 0; i < cfg.ComputeBlades; i++ {
+		c.fab.AddNode(fabric.NodeID(i))
+	}
+	for m := 0; m < cfg.MemoryBlades; m++ {
+		c.fab.AddNode(memNodeBase + fabric.NodeID(m))
+		if _, err := c.ctl.Allocator().AddBlade(cfg.MemoryBladeCapacity); err != nil {
+			return nil, fmt.Errorf("core: register memory blade %d: %w", m, err)
+		}
+		c.mblades = append(c.mblades, memblade.New(m))
+	}
+
+	c.dir = coherence.NewDirectory(coherence.Config{
+		InitialRegionSize:      cfg.InitialRegionSize,
+		TopLevelSize:           cfg.TopLevelRegionSize,
+		SequentialInvalidation: cfg.SequentialInvalidation,
+		ExclusiveOnColdRead:    cfg.ExclusiveReads,
+	}, coherence.Deps{
+		Engine:    c.eng,
+		Fabric:    c.fab,
+		ASIC:      c.ctl.ASIC(),
+		Collector: c.col,
+		Translate: c.ctl.Allocator().Translate,
+		Protect:   c.ctl.Protection().Check,
+		MemNode:   func(id ctrlplane.BladeID) fabric.NodeID { return memNodeBase + fabric.NodeID(id) },
+		BladeNode: func(i int) fabric.NodeID { return fabric.NodeID(i) },
+	})
+
+	for i := 0; i < cfg.ComputeBlades; i++ {
+		bcfg := cfg.Blade
+		if bcfg.PageFaultCost == 0 {
+			bcfg = computeblade.DefaultConfig(i, cfg.CachePagesPerBlade)
+		}
+		bcfg.ID = i
+		bcfg.CachePages = cfg.CachePagesPerBlade
+		blade := computeblade.New(bcfg, computeblade.Deps{
+			Engine:    c.eng,
+			Collector: c.col,
+			SendRequest: func(i int) func(mem.PDID, mem.VA, mem.Perm, func(coherence.Completion)) {
+				return func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion)) {
+					c.fab.SendToSwitch(fabric.NodeID(i), fabric.CtrlMsgBytes, func() {
+						c.dir.RequestPage(i, pdid, va, want, done)
+					})
+				}
+			}(i),
+			Writeback: func(i int) func(mem.VA, []byte, func()) {
+				return func(va mem.VA, data []byte, done func()) {
+					c.writeback(fabric.NodeID(i), va, data, done)
+				}
+			}(i),
+			FetchData: c.fetchData,
+			Reset: func(va mem.VA, done func()) {
+				// Reset goes through the (slow) control plane (§4.4).
+				c.fab.CtrlCall(fabric.SwitchNode, func() {
+					c.dir.ResetRegion(va, done)
+				})
+			},
+		})
+		c.cblades = append(c.cblades, blade)
+		c.dir.RegisterBlade(i, blade)
+	}
+
+	// Bounded Splitting runs as a control-plane epoch loop (§5).
+	if !cfg.DisableSplitting {
+		scfg := ctrlplane.DefaultSplitterConfig()
+		if cfg.SplitterEpoch > 0 {
+			scfg.Epoch = int64(cfg.SplitterEpoch)
+		}
+		if cfg.TopLevelRegionSize > 0 {
+			scfg.TopLevelSize = cfg.TopLevelRegionSize
+		}
+		if cfg.SplitterC > 0 {
+			scfg.C = cfg.SplitterC
+		}
+		c.splitter = ctrlplane.NewSplitter(scfg, c.dir)
+		c.scheduleEpoch(sim.Duration(scfg.Epoch))
+	}
+	return c, nil
+}
+
+func (c *Cluster) scheduleEpoch(epoch sim.Duration) {
+	c.epochTick = c.eng.Schedule(epoch, func() {
+		c.splitter.RunEpoch()
+		c.col.Series("directory_entries").Append(c.eng.Now(), float64(c.dir.SlotsInUse()))
+		c.scheduleEpoch(epoch)
+	})
+}
+
+// StopEpochs cancels the splitter's epoch loop (end of run).
+func (c *Cluster) StopEpochs() {
+	if c.epochTick != nil {
+		c.eng.Cancel(c.epochTick)
+		c.epochTick = nil
+	}
+}
+
+// writeback models a one-sided RDMA page write from a blade to the home
+// memory blade, via the switch.
+func (c *Cluster) writeback(from fabric.NodeID, va mem.VA, data []byte, done func()) {
+	c.fab.SendToSwitch(from, fabric.PageBytes, func() {
+		home, err := c.ctl.Allocator().Translate(va)
+		if err != nil {
+			done() // unmapped (racing munmap); drop
+			return
+		}
+		c.fab.SendFromSwitch(memNodeBase+fabric.NodeID(home), fabric.PageBytes, func() {
+			c.mblades[int(home)].WritePage(va, data)
+			done()
+		})
+	})
+}
+
+// fetchData copies page bytes from the home memory blade at the simulated
+// moment of delivery.
+func (c *Cluster) fetchData(va mem.VA) []byte {
+	home, err := c.ctl.Allocator().Translate(va)
+	if err != nil {
+		return nil
+	}
+	return c.mblades[int(home)].ReadPage(va)
+}
+
+// Engine exposes the simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Collector exposes run metrics.
+func (c *Cluster) Collector() *stats.Collector { return c.col }
+
+// Controller exposes the switch control plane.
+func (c *Cluster) Controller() *ctrlplane.Controller { return c.ctl }
+
+// Directory exposes the coherence directory (tests, experiments).
+func (c *Cluster) Directory() *coherence.Directory { return c.dir }
+
+// Splitter exposes the Bounded Splitting controller (nil when disabled).
+func (c *Cluster) Splitter() *ctrlplane.Splitter { return c.splitter }
+
+// Blade returns compute blade i.
+func (c *Cluster) Blade(i int) *computeblade.Blade { return c.cblades[i] }
+
+// MemBlade returns memory blade m.
+func (c *Cluster) MemBlade(m int) *memblade.Blade { return c.mblades[m] }
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Now returns current virtual time.
+func (c *Cluster) Now() sim.Time { return c.eng.Now() }
+
+// await drives the engine until done() has been called by some event.
+func (c *Cluster) await(op func(done func())) {
+	fired := false
+	op(func() { fired = true })
+	steps := 0
+	for !fired {
+		if !c.eng.Step() {
+			panic("core: await ran out of events (protocol wedge)")
+		}
+		steps++
+		if steps > 500_000_000 {
+			panic("core: await exceeded step budget")
+		}
+	}
+}
+
+// InjectFailure installs a message-drop hook on the fabric (nil clears).
+func (c *Cluster) InjectFailure(drop func(from, to fabric.NodeID) bool) {
+	c.fab.DropFn = drop
+}
+
+// Failover switches to the backup control plane/data plane (§4.4).
+// Directory entries are data-plane state and are not replicated: every
+// live region is reset first (compute blades flush their data), then the
+// backup ASIC is reconstructed from control-plane state and becomes
+// active.
+func (c *Cluster) Failover() {
+	var bases []mem.VA
+	for _, st := range c.dir.EpochStats() {
+		bases = append(bases, st.Base)
+	}
+	for _, b := range bases {
+		base := b
+		c.await(func(done func()) { c.dir.ResetRegion(base, done) })
+	}
+	backup := c.ctl.Failover()
+	c.dir.SwapASIC(backup)
+}

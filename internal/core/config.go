@@ -1,0 +1,113 @@
+// Package core assembles the MIND rack (Figure 2): compute blades with
+// local DRAM caches, passive memory blades, and the programmable switch
+// hosting the control plane (allocation, protection, processes, Bounded
+// Splitting) and data plane (translation, protection checks, cache
+// directory, RDMA virtualization). It exposes the transparent virtual
+// memory API applications use — mmap/munmap, Load/Store — plus the
+// workload-driven execution engine the evaluation harness runs.
+package core
+
+import (
+	"mind/internal/computeblade"
+	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
+	"mind/internal/sim"
+	"mind/internal/switchasic"
+)
+
+// Consistency selects the memory consistency model (§6.1, §7.1).
+type Consistency int
+
+const (
+	// TSO is MIND's default: writes fault synchronously (x86 page-fault
+	// limitation, §6.1).
+	TSO Consistency = iota
+	// PSO simulates Process Store Order: writes propagate asynchronously;
+	// reads to pages with pending writes block (the MIND-PSO variant).
+	PSO
+	// PSOPlus is PSO with infinite switch directory capacity (the
+	// MIND-PSO+ variant).
+	PSOPlus
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case TSO:
+		return "TSO"
+	case PSO:
+		return "PSO"
+	case PSOPlus:
+		return "PSO+"
+	default:
+		return "consistency(?)"
+	}
+}
+
+// Config assembles a cluster.
+type Config struct {
+	// ComputeBlades and MemoryBlades size the rack (§7: up to 8 compute
+	// blades, memory blades hosted on one server).
+	ComputeBlades int
+	MemoryBlades  int
+	// MemoryBladeCapacity is each memory blade's capacity (power of two).
+	MemoryBladeCapacity uint64
+	// CachePagesPerBlade sizes each compute blade's local DRAM cache; the
+	// paper uses 512 MB ≈ 25% of workload footprint (§7).
+	CachePagesPerBlade int
+	// Consistency selects TSO (default), PSO, or PSO+.
+	Consistency Consistency
+	// Placement selects the allocation placement policy (§4.1).
+	Placement ctrlplane.PlacementPolicy
+	// InitialRegionSize and TopLevelRegionSize parameterize directory
+	// granularity (§5; defaults 16 KB and 2 MB).
+	InitialRegionSize  uint64
+	TopLevelRegionSize uint64
+	// SplitterEpoch is the Bounded Splitting epoch (default 100 ms). Set
+	// DisableSplitting for fixed-granularity ablations (Figure 9 left).
+	SplitterEpoch    sim.Duration
+	DisableSplitting bool
+	// SplitterC is the initial fairness constant c (Eq. 1).
+	SplitterC float64
+	// ASIC, Fabric and Blade carry the hardware calibration constants.
+	ASIC   switchasic.Config
+	Fabric fabric.Config
+	Blade  computeblade.Config
+	// ThinkTime is the per-access CPU cost threads pay between memory
+	// accesses (models instruction execution; default 30 ns).
+	ThinkTime sim.Duration
+	// StoreBufferDepth bounds outstanding async writes under PSO.
+	StoreBufferDepth int
+	// SequentialInvalidation disables the multicast engine and sends
+	// invalidations one by one (ablation for §4.3.2).
+	SequentialInvalidation bool
+	// ExclusiveReads enables the MESI-style Exclusive grant on cold reads
+	// (§8 extension): private read-then-write patterns save the upgrade
+	// fault, at the cost of serial downgrades for read-shared data.
+	ExclusiveReads bool
+	// Seed drives all deterministic randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a rack calibrated to the paper's testbed: the
+// given number of compute/memory blades, 30k directory slots, 45k rules,
+// 16 KB initial regions, 100 ms epochs.
+func DefaultConfig(computeBlades, memoryBlades int) Config {
+	return Config{
+		ComputeBlades:       computeBlades,
+		MemoryBlades:        memoryBlades,
+		MemoryBladeCapacity: 1 << 32, // 4 GB per blade
+		CachePagesPerBlade:  128 << 10 / 4,
+		Consistency:         TSO,
+		Placement:           ctrlplane.PlaceLeastLoaded,
+		InitialRegionSize:   16 << 10,
+		TopLevelRegionSize:  2 << 20,
+		SplitterEpoch:       100 * sim.Millisecond,
+		SplitterC:           4,
+		ASIC:                switchasic.DefaultConfig(),
+		Fabric:              fabric.DefaultConfig(),
+		Blade:               computeblade.DefaultConfig(0, 0),
+		ThinkTime:           30 * sim.Nanosecond,
+		StoreBufferDepth:    16,
+		Seed:                1,
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mind/internal/mem"
+	"mind/internal/sim"
+)
+
+// TestCoherencePropertyAcrossSeeds is the property-based form of the
+// coherence-vs-reference check: for ANY seed, a random interleaving of
+// cross-blade stores and loads must agree with a sequential reference.
+func TestCoherencePropertyAcrossSeeds(t *testing.T) {
+	f := func(seed uint16) bool {
+		cfg := DefaultConfig(3, 2)
+		cfg.MemoryBladeCapacity = 1 << 26
+		cfg.CachePagesPerBlade = 128
+		cfg.Seed = uint64(seed)
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return false
+		}
+		p := c.Exec("prop")
+		const words = 128
+		vma, err := p.Mmap(words*8, mem.PermReadWrite)
+		if err != nil {
+			return false
+		}
+		var threads []*Thread
+		for i := 0; i < 3; i++ {
+			th, err := p.SpawnThread(i)
+			if err != nil {
+				return false
+			}
+			threads = append(threads, th)
+		}
+		rng := sim.NewRNG(uint64(seed)+1, "prop")
+		ref := map[mem.VA]uint64{}
+		for op := 0; op < 300; op++ {
+			th := threads[rng.Intn(3)]
+			addr := vma.Base + mem.VA(rng.Intn(words)*8)
+			if rng.Bool(0.5) {
+				val := rng.Uint64()
+				if th.Store(addr, val) != nil {
+					return false
+				}
+				ref[addr] = val
+			} else {
+				got, err := th.Load(addr)
+				if err != nil || got != ref[addr] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoherencePropertyWithTinyCache repeats the property with a cache so
+// small that every region constantly evicts — writeback ordering and
+// stale-sharer invalidations get heavy exercise.
+func TestCoherencePropertyWithTinyCache(t *testing.T) {
+	f := func(seed uint16) bool {
+		cfg := DefaultConfig(2, 1)
+		cfg.MemoryBladeCapacity = 1 << 26
+		cfg.CachePagesPerBlade = 4 // brutal
+		cfg.Seed = uint64(seed)
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return false
+		}
+		p := c.Exec("prop")
+		const pages = 32
+		vma, err := p.Mmap(pages*mem.PageSize, mem.PermReadWrite)
+		if err != nil {
+			return false
+		}
+		a, err := p.SpawnThread(0)
+		if err != nil {
+			return false
+		}
+		b, err := p.SpawnThread(1)
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(uint64(seed)+7, "tiny")
+		ref := map[mem.VA]uint64{}
+		for op := 0; op < 200; op++ {
+			th := a
+			if rng.Bool(0.5) {
+				th = b
+			}
+			addr := vma.Base + mem.VA(rng.Intn(pages)*mem.PageSize) + mem.VA(rng.Intn(16)*8)
+			if rng.Bool(0.6) {
+				val := rng.Uint64()
+				if th.Store(addr, val) != nil {
+					return false
+				}
+				ref[addr] = val
+			} else {
+				got, err := th.Load(addr)
+				if err != nil || got != ref[addr] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoherencePropertyUnderPSO checks the PSO variant still returns
+// written values once drains complete (the sync API awaits each op, so
+// program order is preserved per thread).
+func TestCoherencePropertyUnderPSO(t *testing.T) {
+	f := func(seed uint16) bool {
+		cfg := DefaultConfig(2, 1)
+		cfg.MemoryBladeCapacity = 1 << 26
+		cfg.CachePagesPerBlade = 256
+		cfg.Consistency = PSO
+		cfg.Seed = uint64(seed)
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return false
+		}
+		p := c.Exec("prop")
+		vma, err := p.Mmap(64*mem.PageSize, mem.PermReadWrite)
+		if err != nil {
+			return false
+		}
+		a, _ := p.SpawnThread(0)
+		b, _ := p.SpawnThread(1)
+		rng := sim.NewRNG(uint64(seed)+13, "pso-prop")
+		ref := map[mem.VA]uint64{}
+		for op := 0; op < 200; op++ {
+			th := a
+			if rng.Bool(0.5) {
+				th = b
+			}
+			addr := vma.Base + mem.VA(rng.Intn(64)*mem.PageSize)
+			if rng.Bool(0.5) {
+				val := rng.Uint64()
+				if th.Store(addr, val) != nil {
+					return false
+				}
+				ref[addr] = val
+			} else {
+				got, err := th.Load(addr)
+				if err != nil || got != ref[addr] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

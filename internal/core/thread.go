@@ -1,0 +1,240 @@
+package core
+
+import (
+	"mind/internal/computeblade"
+	"mind/internal/ctrlplane"
+	"mind/internal/mem"
+	"mind/internal/sim"
+)
+
+type accessResultAlias = computeblade.AccessResult
+
+// AccessGen produces a thread's memory access stream: each call returns
+// the next access; ok=false ends the thread. Generators must be
+// deterministic.
+type AccessGen func() (va mem.VA, write bool, ok bool)
+
+// Thread executes an access stream on one compute blade under the
+// cluster's consistency model.
+type Thread struct {
+	c     *Cluster
+	proc  *Process
+	tid   ctrlplane.TID
+	blade int
+	pdid  mem.PDID
+
+	gen      AccessGen
+	done     bool
+	ops      uint64
+	faults   uint64
+	finished func()
+
+	// PSO state (§6.1): pages with writes still propagating.
+	pendingWrites map[mem.VA]int
+	pendingTotal  int
+	blockedOn     mem.VA // page whose drain unblocks us (0 = any slot)
+	resumeOnDrain bool
+	stash         stashed
+}
+
+// stashed is an access deferred by a PSO stall.
+type stashed struct {
+	va    mem.VA
+	write bool
+	valid bool
+}
+
+// TID returns the thread id.
+func (t *Thread) TID() ctrlplane.TID { return t.tid }
+
+// BladeID returns the hosting compute blade.
+func (t *Thread) BladeID() int { return t.blade }
+
+// Ops returns completed accesses.
+func (t *Thread) Ops() uint64 { return t.ops }
+
+// Faults returns the number of remote faults the thread triggered.
+func (t *Thread) Faults() uint64 { return t.faults }
+
+// Done reports whether the access stream is exhausted.
+func (t *Thread) Done() bool { return t.done }
+
+// yieldQuantum bounds how much local (cache-hit) time a thread
+// accumulates before re-entering the event loop, keeping virtual-time
+// interleaving fine-grained.
+const yieldQuantum = 5 * sim.Microsecond
+
+// inlineBatch bounds hits processed per event dispatch.
+const inlineBatch = 4096
+
+// Start begins executing the generator; onFinish (optional) runs when the
+// stream is exhausted.
+func (t *Thread) Start(gen AccessGen, onFinish func()) {
+	t.gen = gen
+	t.finished = onFinish
+	if t.c.cfg.Consistency != TSO {
+		t.pendingWrites = make(map[mem.VA]int)
+	}
+	t.c.activeThreads++
+	t.c.eng.Schedule(0, t.step)
+}
+
+func (t *Thread) finish() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.c.activeThreads--
+	if t.finished != nil {
+		t.finished()
+	}
+}
+
+// step is the thread's main loop: cache hits are consumed inline
+// (accumulating local virtual time), faults are issued after that local
+// time elapses, and the thread resumes via completion callbacks.
+func (t *Thread) step() {
+	blade := t.c.cblades[t.blade]
+	var local sim.Duration
+	for i := 0; i < inlineBatch && local < yieldQuantum; i++ {
+		va, write, ok := t.gen()
+		if !ok {
+			t.c.eng.Schedule(local, t.finish)
+			return
+		}
+		local += t.c.cfg.ThinkTime
+		pso := t.pendingWrites != nil
+		page := mem.PageBase(va)
+
+		// PSO read-after-write hazard: block until the page's pending
+		// writes drain (§6.1).
+		if pso && !write && t.pendingWrites[page] > 0 {
+			t.blockedOn, t.resumeOnDrain = page, true
+			t.stash = stashed{va: va, write: write, valid: true}
+			return
+		}
+
+		if blade.WouldHit(va, write) {
+			blade.Access(t.pdid, va, write, nil)
+			t.ops++
+			local += computeblade.HitLatency
+			continue
+		}
+
+		// Miss. Under PSO, writes go asynchronous unless the store
+		// buffer is full.
+		if pso && write {
+			if t.pendingTotal >= t.c.cfg.StoreBufferDepth {
+				t.blockedOn, t.resumeOnDrain = 0, true
+				t.stash = stashed{va: va, write: true, valid: true}
+				return
+			}
+			t.issueAsyncWrite(va)
+			continue
+		}
+
+		// Blocking fault, issued after accrued local time.
+		if local > 0 {
+			va, write := va, write
+			t.c.eng.Schedule(local, func() { t.issueBlocking(va, write) })
+			return
+		}
+		t.issueBlocking(va, write)
+		return
+	}
+	t.c.eng.Schedule(local, t.step)
+}
+
+// issueBlocking performs a fault the thread waits on (TSO accesses, PSO
+// reads).
+func (t *Thread) issueBlocking(va mem.VA, write bool) {
+	blade := t.c.cblades[t.blade]
+	hit := blade.Access(t.pdid, va, write, func(r accessResultAlias) {
+		t.ops++
+		t.c.eng.Schedule(0, t.step)
+	})
+	if hit {
+		// Raced with a concurrent fault that installed the page.
+		t.ops++
+		t.c.eng.Schedule(0, t.step)
+		return
+	}
+	t.faults++
+}
+
+// issueAsyncWrite starts a PSO write fault the thread does not wait on.
+func (t *Thread) issueAsyncWrite(va mem.VA) {
+	blade := t.c.cblades[t.blade]
+	page := mem.PageBase(va)
+	hit := blade.Access(t.pdid, va, true, func(r accessResultAlias) {
+		t.writeDrained(page)
+	})
+	t.ops++
+	if !hit {
+		t.faults++
+		t.pendingWrites[page]++
+		t.pendingTotal++
+	}
+}
+
+// writeDrained runs when an async PSO write completes.
+func (t *Thread) writeDrained(page mem.VA) {
+	if t.pendingWrites[page] > 0 {
+		t.pendingWrites[page]--
+		if t.pendingWrites[page] == 0 {
+			delete(t.pendingWrites, page)
+		}
+	}
+	if t.pendingTotal > 0 {
+		t.pendingTotal--
+	}
+	if !t.resumeOnDrain {
+		return
+	}
+	// Resume only once the blocking condition cleared: the specific page
+	// drained, or (blockedOn == 0) any store-buffer slot freed.
+	if t.blockedOn != 0 && t.pendingWrites[t.blockedOn] > 0 {
+		return
+	}
+	t.resumeOnDrain = false
+	t.blockedOn = 0
+	st := t.stash
+	t.stash = stashed{}
+	if !st.valid {
+		t.c.eng.Schedule(0, t.step)
+		return
+	}
+	t.replay(st)
+}
+
+// replay re-issues a stalled access, then continues the main loop.
+func (t *Thread) replay(st stashed) {
+	blade := t.c.cblades[t.blade]
+	if blade.WouldHit(st.va, st.write) {
+		blade.Access(t.pdid, st.va, st.write, nil)
+		t.ops++
+		t.c.eng.Schedule(computeblade.HitLatency, t.step)
+		return
+	}
+	if st.write && t.pendingWrites != nil {
+		t.issueAsyncWrite(st.va)
+		t.c.eng.Schedule(0, t.step)
+		return
+	}
+	t.issueBlocking(st.va, st.write)
+}
+
+// RunThreads drives the engine until every started thread finishes, then
+// stops the epoch loop and drains remaining events (in-flight writebacks
+// etc.). It returns the virtual time at which the last thread finished.
+func (c *Cluster) RunThreads() sim.Time {
+	for c.activeThreads > 0 {
+		if !c.eng.Step() {
+			panic("core: threads pending but no events (wedged)")
+		}
+	}
+	finishedAt := c.eng.Now()
+	c.StopEpochs()
+	c.eng.Run()
+	return finishedAt
+}

@@ -1,0 +1,261 @@
+package ctrlplane
+
+import (
+	"sort"
+
+	"mind/internal/mem"
+)
+
+// RegionStat is the per-region traffic summary the control plane reads
+// from the data plane each epoch: the region's identity and its false
+// invalidation count for the current epoch (§5.1).
+type RegionStat struct {
+	Base        mem.VA
+	Size        uint64
+	FalseInvals uint64
+	// Invalidations counts all invalidation deliveries for the region
+	// this epoch (false or not) — the merge policy uses it to avoid
+	// re-coarsening regions that are hot but falsely-clean only because
+	// they already reached the 4 KB floor (O2).
+	Invalidations uint64
+}
+
+// RegionDirectory is the view of the cache directory the Bounded
+// Splitting algorithm manipulates. The coherence package implements it.
+type RegionDirectory interface {
+	// EpochStats returns one entry per live directory region with this
+	// epoch's false invalidation count.
+	EpochStats() []RegionStat
+	// SplitRegion splits the region based at base into two halves,
+	// allocating one extra directory slot. It fails if the region is at
+	// the 4 KB minimum or no slot is free.
+	SplitRegion(base mem.VA) error
+	// MergeRegion merges the region based at base with its buddy,
+	// releasing one slot. It fails if the buddy is not present at the
+	// same size or the merged region would exceed the top-level size.
+	MergeRegion(base mem.VA) error
+	// ResetEpochCounters zeroes all false-invalidation counters.
+	ResetEpochCounters()
+	// SlotsInUse and SlotCapacity expose SRAM occupancy (capacity 0 =
+	// unlimited).
+	SlotsInUse() int
+	SlotCapacity() int
+}
+
+// SplitterConfig parameterizes the Bounded Splitting algorithm (§5).
+type SplitterConfig struct {
+	// Epoch is the epoch length; the paper's default is 100 ms (§7).
+	Epoch int64 // nanoseconds
+	// TopLevelSize is M·PageSize: the maximum region size; splits never
+	// merge beyond it. Default 2 MB.
+	TopLevelSize uint64
+	// C is the initial fairness constant c in t = Σf / (c·N) (Eq. 1).
+	C float64
+	// UtilizationCap is the SRAM occupancy above which the controller
+	// stops splitting and starts merging; the paper keeps utilization
+	// below 95% (§5.2).
+	UtilizationCap float64
+	// MinC and MaxC clamp the adaptive adjustment of C.
+	MinC, MaxC float64
+}
+
+// DefaultSplitterConfig returns the paper's defaults.
+func DefaultSplitterConfig() SplitterConfig {
+	return SplitterConfig{
+		Epoch:          100 * 1e6, // 100 ms
+		TopLevelSize:   2 << 20,
+		C:              4,
+		UtilizationCap: 0.95,
+		MinC:           0.25,
+		MaxC:           1024,
+	}
+}
+
+// Splitter runs the Bounded Splitting algorithm: each epoch it splits
+// regions whose false invalidation count exceeds the threshold t (down to
+// the 4 KB floor), merges cold buddies under capacity pressure, and
+// adapts c to keep SRAM utilization under the cap (§5).
+type Splitter struct {
+	cfg SplitterConfig
+	dir RegionDirectory
+
+	c      float64
+	epochs uint64
+	splits uint64
+	merges uint64
+}
+
+// NewSplitter creates a splitter over dir.
+func NewSplitter(cfg SplitterConfig, dir RegionDirectory) *Splitter {
+	if cfg.C <= 0 {
+		cfg.C = 1
+	}
+	if cfg.UtilizationCap <= 0 || cfg.UtilizationCap > 1 {
+		cfg.UtilizationCap = 0.95
+	}
+	return &Splitter{cfg: cfg, dir: dir, c: cfg.C}
+}
+
+// C returns the current adaptive fairness constant.
+func (s *Splitter) C() float64 { return s.c }
+
+// Epochs, Splits and Merges return cumulative operation counts.
+func (s *Splitter) Epochs() uint64 { return s.epochs }
+
+// Splits returns the cumulative number of region splits performed.
+func (s *Splitter) Splits() uint64 { return s.splits }
+
+// Merges returns the cumulative number of region merges performed.
+func (s *Splitter) Merges() uint64 { return s.merges }
+
+// Threshold computes t = Σf / (c·N) over the current epoch's stats
+// (Eq. 1), with N the number of top-level-size blocks spanned by live
+// regions. A floor of 1 keeps zero-traffic epochs from splitting
+// everything.
+func (s *Splitter) Threshold(statsList []RegionStat) float64 {
+	if len(statsList) == 0 {
+		return 1
+	}
+	var sum float64
+	blocks := map[mem.VA]bool{}
+	for _, r := range statsList {
+		sum += float64(r.FalseInvals)
+		blocks[mem.AlignDown(r.Base, s.cfg.TopLevelSize)] = true
+	}
+	n := float64(len(blocks))
+	t := sum / (s.c * n)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// RunEpoch executes one epoch of the algorithm and returns the number of
+// splits and merges performed.
+func (s *Splitter) RunEpoch() (splits, merges int) {
+	s.epochs++
+	statsList := s.dir.EpochStats()
+	t := s.Threshold(statsList)
+
+	cap := s.dir.SlotCapacity()
+	util := func() float64 {
+		if cap <= 0 {
+			return 0
+		}
+		return float64(s.dir.SlotsInUse()) / float64(cap)
+	}
+
+	// Split phase: any region with count > t splits once this epoch
+	// (repeated splitting across epochs converges in <= log2 M epochs,
+	// §5.1). Hottest first so capacity pressure cuts off the cold tail.
+	sort.Slice(statsList, func(i, j int) bool {
+		if statsList[i].FalseInvals != statsList[j].FalseInvals {
+			return statsList[i].FalseInvals > statsList[j].FalseInvals
+		}
+		return statsList[i].Base < statsList[j].Base
+	})
+	for _, r := range statsList {
+		if float64(r.FalseInvals) <= t || r.Size <= mem.PageSize {
+			continue
+		}
+		if util() >= s.cfg.UtilizationCap {
+			break
+		}
+		if err := s.dir.SplitRegion(r.Base); err == nil {
+			splits++
+			s.splits++
+		}
+	}
+
+	// Merge phase: coalesce cold buddy pairs (combined count below t/2).
+	// This runs every epoch, not only under capacity pressure — regions
+	// that see no false invalidations gain nothing from fine granularity,
+	// and proactive consolidation is what keeps low-contention workloads
+	// (TF/GC) far below the capacity limit in Figure 8 (left). The t/2
+	// hysteresis (split above t, merge below t/2) damps oscillation.
+	merges += s.mergeCold(t)
+
+	// Adapt c (§5.2): too full -> coarser regions (smaller c -> larger
+	// t); any headroom -> allow finer tracking (larger c), increasing
+	// storage utilization without hitting capacity.
+	if cap > 0 {
+		if util() >= s.cfg.UtilizationCap {
+			s.c /= 2
+		} else {
+			s.c *= 2
+		}
+		if s.c < s.cfg.MinC {
+			s.c = s.cfg.MinC
+		}
+		if s.c > s.cfg.MaxC {
+			s.c = s.cfg.MaxC
+		}
+	}
+
+	s.dir.ResetEpochCounters()
+	return splits, merges
+}
+
+// mergeCold merges buddy pairs whose combined false-invalidation count is
+// below t/2, coldest first.
+func (s *Splitter) mergeCold(t float64) int {
+	statsList := s.dir.EpochStats()
+	bySize := map[mem.VA]RegionStat{}
+	for _, r := range statsList {
+		bySize[r.Base] = r
+	}
+	type pair struct {
+		lo   mem.VA
+		heat uint64
+	}
+	var pairs []pair
+	seen := map[mem.VA]bool{}
+	for _, r := range statsList {
+		if r.Size >= s.cfg.TopLevelSize {
+			continue
+		}
+		buddyBase := r.Base ^ mem.VA(r.Size)
+		b, ok := bySize[buddyBase]
+		if !ok || b.Size != r.Size {
+			continue
+		}
+		lo := r.Base
+		if buddyBase < lo {
+			lo = buddyBase
+		}
+		if seen[lo] {
+			continue
+		}
+		seen[lo] = true
+		heat := r.FalseInvals + b.FalseInvals + r.Invalidations + b.Invalidations
+		if float64(heat) < t/2 {
+			pairs = append(pairs, pair{lo: lo, heat: heat})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].heat != pairs[j].heat {
+			return pairs[i].heat < pairs[j].heat
+		}
+		return pairs[i].lo < pairs[j].lo
+	})
+	merged := 0
+	for _, p := range pairs {
+		if err := s.dir.MergeRegion(p.lo); err == nil {
+			merged++
+			s.merges++
+		}
+	}
+	return merged
+}
+
+// WorstCaseRegions returns the Theorem 5.1 bound on the number of
+// sub-regions an M-sized region with false invalidation count f can
+// generate: (⌈f/t⌉ − 1)·(1 + log2 M) for f > t, and 1 otherwise.
+func WorstCaseRegions(f uint64, t float64, topLevelSize uint64) uint64 {
+	if float64(f) <= t {
+		return 1
+	}
+	k := uint64((float64(f) + t - 1) / t) // ⌈f/t⌉
+	logM := uint64(mem.Log2(topLevelSize / mem.PageSize))
+	return (k - 1) * (1 + logM)
+}

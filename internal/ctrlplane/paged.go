@@ -1,0 +1,79 @@
+package ctrlplane
+
+import (
+	"fmt"
+
+	"mind/internal/mem"
+)
+
+// PagedAllocator models the conventional page-table-based translation
+// alternative that Figure 8 (center/right) compares MIND against: the
+// address space is mapped at a fixed translation-page granularity (2 MB
+// or 1 GB), each mapped page needs one match-action rule, and each page
+// lives wholesale on one memory blade.
+//
+// Allocations pack into the currently open translation page (as a real
+// OS fills huge pages) and a fresh page is mapped — on the least-loaded
+// blade — only when the open one is full. The page is therefore both the
+// rule granularity (rules grow linearly with the dataset, Figure 8
+// center) and the placement granularity (1 GB pages balance poorly for
+// multi-GB footprints, Figure 8 right).
+type PagedAllocator struct {
+	pageSize      uint64
+	loads         []uint64 // bytes placed per blade
+	rules         int
+	nextVA        mem.VA
+	openRemaining uint64
+}
+
+// NewPagedAllocator creates a model with the given translation page size
+// (power of two) over the given number of blades.
+func NewPagedAllocator(pageSize uint64, blades int) (*PagedAllocator, error) {
+	if !mem.IsPow2(pageSize) || pageSize < mem.PageSize {
+		return nil, fmt.Errorf("ctrlplane: page size %#x must be a power of two >= 4KB", pageSize)
+	}
+	if blades < 1 {
+		return nil, fmt.Errorf("ctrlplane: need at least one blade")
+	}
+	return &PagedAllocator{pageSize: pageSize, loads: make([]uint64, blades)}, nil
+}
+
+// Alloc maps an area of length bytes, filling the open translation page
+// first and mapping new pages as needed.
+func (p *PagedAllocator) Alloc(length uint64) mem.VMA {
+	base := p.nextVA
+	remaining := length
+	for remaining > 0 {
+		if p.openRemaining == 0 {
+			best := 0
+			for b := 1; b < len(p.loads); b++ {
+				if p.loads[b] < p.loads[best] {
+					best = b
+				}
+			}
+			p.loads[best] += p.pageSize
+			p.rules++
+			p.openRemaining = p.pageSize
+		}
+		take := remaining
+		if take > p.openRemaining {
+			take = p.openRemaining
+		}
+		remaining -= take
+		p.openRemaining -= take
+		p.nextVA += mem.VA(take)
+	}
+	return mem.VMA{Base: base, Len: length}
+}
+
+// Rules returns the installed translation rule count.
+func (p *PagedAllocator) Rules() int { return p.rules }
+
+// BladeLoad returns per-blade placed bytes for fairness computation.
+func (p *PagedAllocator) BladeLoad() []float64 {
+	out := make([]float64, len(p.loads))
+	for i, v := range p.loads {
+		out[i] = float64(v)
+	}
+	return out
+}

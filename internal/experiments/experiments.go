@@ -1,0 +1,239 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§7, Figures 5-9). Each Fig* function runs the corresponding experiment
+// on the simulated rack and returns a Figure whose series mirror the
+// paper's plot: same x-axis points, same compared systems. Absolute
+// numbers come from the calibrated simulator; the shapes (who wins, by
+// roughly what factor, where crossovers fall) are the reproduction
+// target — EXPERIMENTS.md records paper-vs-measured for each panel.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mind/internal/core"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// Scale shrinks the experiments so they regenerate in seconds. The paper
+// runs minutes-long jobs over ~2 GB footprints; Quick and Full keep the
+// cache at 25% of the footprint (§7) and scale directory capacity with
+// the footprint so capacity-pressure effects (Figure 8 left) reproduce.
+type Scale struct {
+	// WorkloadScale multiplies workload footprints.
+	WorkloadScale int
+	// TotalOps is the fixed job size split across threads.
+	TotalOps int
+	// CacheFraction sizes each blade's cache as a fraction of footprint.
+	CacheFraction float64
+	// DirSlots is the directory SRAM capacity used for runs where
+	// capacity pressure matters (scaled stand-in for the paper's 30k).
+	DirSlots int
+	// Epoch is the Bounded Splitting epoch for workload runs.
+	Epoch sim.Duration
+}
+
+// Quick is the test/bench scale (tens of seconds per panel).
+var Quick = Scale{WorkloadScale: 1, TotalOps: 240_000, CacheFraction: 0.25, DirSlots: 450, Epoch: 2 * sim.Millisecond}
+
+// Full is the figure-regeneration scale used by cmd/figures.
+var Full = Scale{WorkloadScale: 2, TotalOps: 1_200_000, CacheFraction: 0.25, DirSlots: 1500, Epoch: 5 * sim.Millisecond}
+
+// Tiny is for unit tests that only check qualitative shape.
+var Tiny = Scale{WorkloadScale: 1, TotalOps: 80_000, CacheFraction: 0.25, DirSlots: 250, Epoch: 1 * sim.Millisecond}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is one panel of the paper's evaluation.
+type Figure struct {
+	ID     string // e.g. "5-left"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+func (f *Figure) add(label string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			f.Series[i].X = append(f.Series[i].X, x)
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Label: label, X: []float64{x}, Y: []float64{y}})
+}
+
+// Get returns the y value of series label at x.
+func (f *Figure) Get(label string, x float64) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for i, xv := range s.X {
+			if xv == x {
+				return s.Y[i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// String renders the figure as an aligned text table: one row per x
+// value, one column per series — the rows the paper's plots encode.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	fmt.Fprintf(&b, "%-18s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-18.4g", x)
+		for _, s := range f.Series {
+			if y, ok := figLookup(s, x); ok {
+				fmt.Fprintf(&b, "%16.4g", y)
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func figLookup(s Series, x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// runner abstracts the three compared systems for workload-driven runs.
+type runner interface {
+	Alloc(length uint64) (mem.VA, error)
+	Spawn(blade int, gen core.AccessGen) error
+	Run() sim.Time
+	Collector() *stats.Collector
+}
+
+// mindRunner adapts core.Cluster to the runner interface.
+type mindRunner struct {
+	c *core.Cluster
+	p *core.Process
+}
+
+// newMind builds a MIND rack for an experiment. mutate (optional) adjusts
+// the config before construction.
+func newMind(computeBlades, memBlades, cachePages int, consistency core.Consistency, mutate func(*core.Config)) (*mindRunner, error) {
+	cfg := core.DefaultConfig(computeBlades, memBlades)
+	cfg.MemoryBladeCapacity = 1 << 30
+	cfg.CachePagesPerBlade = cachePages
+	cfg.Consistency = consistency
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &mindRunner{c: c, p: c.Exec("bench")}, nil
+}
+
+func (r *mindRunner) Alloc(length uint64) (mem.VA, error) {
+	vma, err := r.p.Mmap(length, mem.PermReadWrite)
+	if err != nil {
+		return 0, err
+	}
+	return vma.Base, nil
+}
+
+func (r *mindRunner) Spawn(blade int, gen core.AccessGen) error {
+	th, err := r.p.SpawnThread(blade)
+	if err != nil {
+		return err
+	}
+	th.Start(gen, nil)
+	return nil
+}
+
+func (r *mindRunner) Run() sim.Time               { return r.c.RunThreads() }
+func (r *mindRunner) Collector() *stats.Collector { return r.c.Collector() }
+
+// cachePagesFor sizes the per-blade cache at the scale's fraction of the
+// footprint, with a floor to keep tiny runs sane.
+func cachePagesFor(s Scale, footprint uint64) int {
+	p := int(float64(footprint/mem.PageSize) * s.CacheFraction)
+	if p < 64 {
+		p = 64
+	}
+	return p
+}
+
+// opsPerThread splits the fixed job across threads.
+func opsPerThread(s Scale, threads int) int {
+	o := s.TotalOps / threads
+	if o < 1 {
+		o = 1
+	}
+	return o
+}
+
+// allocationTrace models a workload's vma mix for Figure 8: real
+// applications create tens of vmas of mixed sizes (§7.2, [71,72]); the
+// trace splits the footprint into vmaCount areas with a deterministic
+// size mix.
+func allocationTrace(footprint uint64, vmaCount int, seed uint64) []uint64 {
+	rng := sim.NewRNG(seed, "alloc-trace")
+	out := make([]uint64, 0, vmaCount)
+	remaining := footprint
+	capSz := mem.NextPow2(footprint / 16) // no single vma dominates placement
+	if capSz < mem.PageSize {
+		capSz = mem.PageSize
+	}
+	// The first vmaCount-1 areas take a log-uniform size mix (stacks,
+	// code, small mmaps); the bulk data that remains is carved into
+	// cap-sized arenas, the way glibc grows a large heap as multiple
+	// arena mmaps.
+	for i := 0; i < vmaCount-1 && remaining > capSz; i++ {
+		span := mem.Log2(capSz / mem.PageSize)
+		sz := uint64(mem.PageSize) << uint(rng.Intn(span+1))
+		if sz > remaining {
+			sz = remaining
+		}
+		out = append(out, sz)
+		remaining -= sz
+	}
+	for remaining > 0 {
+		sz := capSz
+		if sz > remaining {
+			sz = remaining
+		}
+		out = append(out, sz)
+		remaining -= sz
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run at Tiny scale and assert the qualitative
+// shapes the paper reports — who wins, what direction curves move — not
+// absolute values.
+
+func TestFigureAddGetString(t *testing.T) {
+	f := &Figure{ID: "x", Title: "t", XLabel: "x", YLabel: "y"}
+	f.add("a", 1, 10)
+	f.add("a", 2, 20)
+	f.add("b", 1, 5)
+	if v, ok := f.Get("a", 2); !ok || v != 20 {
+		t.Errorf("Get = %v %v", v, ok)
+	}
+	if _, ok := f.Get("a", 3); ok {
+		t.Error("missing x found")
+	}
+	if _, ok := f.Get("zz", 1); ok {
+		t.Error("missing series found")
+	}
+	s := f.String()
+	if !strings.Contains(s, "Figure x") || !strings.Contains(s, "a") {
+		t.Errorf("render:\n%s", s)
+	}
+	// Missing cells render as "-".
+	if !strings.Contains(s, "-") {
+		t.Errorf("missing cell not rendered:\n%s", s)
+	}
+}
+
+func TestAllocationTraceCoversFootprint(t *testing.T) {
+	const fp = 64 << 20
+	trace := allocationTrace(fp, 40, 7)
+	var sum uint64
+	for _, sz := range trace {
+		if sz == 0 {
+			t.Fatal("zero-size vma")
+		}
+		sum += sz
+	}
+	if sum != fp {
+		t.Errorf("trace sums to %d, want %d", sum, fp)
+	}
+	if len(trace) < 10 {
+		t.Errorf("trace has only %d vmas", len(trace))
+	}
+}
+
+func TestFig5LeftShape(t *testing.T) {
+	figs, err := Fig5Left(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TF", "GC", "MA", "MC"} {
+		fig := figs[name]
+		if fig == nil {
+			t.Fatalf("missing workload %s", name)
+		}
+		// MIND and FastSwap scale up within a blade; GAM is slower in
+		// absolute terms (software overheads).
+		m1, _ := fig.Get("MIND", 1)
+		m10, _ := fig.Get("MIND", 10)
+		if m10 < 2*m1 {
+			t.Errorf("%s: MIND 10-thread perf %v vs 1-thread %v — no intra-blade scaling", name, m10, m1)
+		}
+		f10, _ := fig.Get("FastSwap", 10)
+		if f10 < 2*m1 {
+			t.Errorf("%s: FastSwap does not scale: %v", name, f10)
+		}
+		g1, _ := fig.Get("GAM", 1)
+		if g1 > 0.8*m1 {
+			t.Errorf("%s: GAM 1-thread %v should trail MIND %v", name, g1, m1)
+		}
+		// GAM's software path flattens its scaling by 10 threads
+		// relative to MIND's.
+		g10, _ := fig.Get("GAM", 10)
+		if g10/g1 > m10/m1*1.2 {
+			t.Errorf("%s: GAM scaled better than MIND (%v vs %v)", name, g10/g1, m10/m1)
+		}
+	}
+}
+
+func TestFig5CenterShape(t *testing.T) {
+	figs, err := Fig5Center(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TF scales across blades; MA does not (§7.1).
+	tf := figs["TF"]
+	tf8, _ := tf.Get("MIND", 8)
+	if tf8 < 1.1 {
+		t.Errorf("TF at 8 blades = %v, want > 1 (scales)", tf8)
+	}
+	ma := figs["MA"]
+	ma8, _ := ma.Get("MIND", 8)
+	if ma8 > 0.7 {
+		t.Errorf("MA at 8 blades = %v, want well below 1 (read-write contention)", ma8)
+	}
+	// PSO relieves MC substantially (asynchronous writes).
+	mc := figs["MC"]
+	mcTSO, _ := mc.Get("MIND", 8)
+	mcPSO, _ := mc.Get("MIND-PSO", 8)
+	if mcPSO < 2*mcTSO {
+		t.Errorf("MC: PSO (%v) should be >= 2x TSO (%v) at 8 blades", mcPSO, mcTSO)
+	}
+	// PSO+ (infinite directory) is at least as good as PSO everywhere.
+	for _, name := range []string{"MA", "MC"} {
+		pso, _ := figs[name].Get("MIND-PSO", 8)
+		psop, _ := figs[name].Get("MIND-PSO+", 8)
+		if psop < 0.9*pso {
+			t.Errorf("%s: PSO+ (%v) worse than PSO (%v)", name, psop, pso)
+		}
+	}
+}
+
+func TestFig5RightShape(t *testing.T) {
+	figs, err := Fig5Right(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// YCSB-C (read-only) scales with threads on a single blade and
+	// beyond; YCSB-A multi-blade trails YCSB-C multi-blade badly.
+	c := figs["YCSB-C"]
+	c1, _ := c.Get("MIND(1 blade)", 1)
+	c10, _ := c.Get("MIND(1 blade)", 10)
+	if c10 < 2*c1 {
+		t.Errorf("YCSB-C single blade: %v -> %v, want scaling", c1, c10)
+	}
+	c80, ok := c.Get("MIND(multi)", 80)
+	if !ok {
+		t.Fatal("missing multi-blade point")
+	}
+	if c80 < c10 {
+		t.Errorf("YCSB-C multi-blade (%v) should beat single-blade (%v)", c80, c10)
+	}
+	a := figs["YCSB-A"]
+	a80, _ := a.Get("MIND(multi)", 80)
+	if a80 > c80*0.8 {
+		t.Errorf("YCSB-A at 80 threads (%v) should trail YCSB-C (%v) — invalidations", a80, c80)
+	}
+	// FastSwap exists only on the single blade.
+	if _, ok := a.Get("FastSwap", 20); ok {
+		t.Error("FastSwap must not have multi-blade points")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	figs, err := Fig6(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M_A triggers far more invalidations per access than TF at 8
+	// blades (paper: over 10x).
+	tf, _ := figs["TF"].Get("invalidations", 8)
+	ma, _ := figs["MA"].Get("invalidations", 8)
+	if ma < 5*tf {
+		t.Errorf("MA invalidations/access (%v) should dwarf TF's (%v)", ma, tf)
+	}
+	// Invalidations are zero at 1 blade (no cross-blade sharing).
+	for _, name := range []string{"TF", "GC", "MA", "MC"} {
+		v, _ := figs[name].Get("invalidations", 1)
+		if v != 0 {
+			t.Errorf("%s: invalidations at 1 blade = %v, want 0", name, v)
+		}
+		r, _ := figs[name].Get("remote", 8)
+		if r <= 0 {
+			t.Errorf("%s: no remote accesses recorded", name)
+		}
+	}
+}
+
+func TestFig7LeftShape(t *testing.T) {
+	fig, err := Fig7Left(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blades := range []float64{2, 4, 8} {
+		iS, _ := fig.Get("I->S/M", blades)
+		sS, _ := fig.Get("S->S", blades)
+		sM, _ := fig.Get("S->M", blades)
+		mS, _ := fig.Get("M->S", blades)
+		mM, _ := fig.Get("M->M", blades)
+		// No-invalidation transitions land near 9 us.
+		for _, v := range []float64{iS, sS} {
+			if v < 6 || v > 13 {
+				t.Errorf("blades=%v: no-inval latency %v us, want ~9", blades, v)
+			}
+		}
+		// S->M stays cheap (parallel invalidation); M->X costs ~2x.
+		if sM > 15 {
+			t.Errorf("blades=%v: S->M = %v us, want < 15", blades, sM)
+		}
+		if mS < 1.5*sS || mM < 1.5*sS {
+			t.Errorf("blades=%v: M->S/M (%v/%v) should be ~2x S->S (%v)", blades, mS, mM, sS)
+		}
+		if mS > 26 || mM > 26 {
+			t.Errorf("blades=%v: M->X too slow: %v/%v", blades, mS, mM)
+		}
+	}
+}
+
+func TestFig7CenterShape(t *testing.T) {
+	// This panel needs enough accesses for the invalidation storm to
+	// reach steady state; Tiny is too short.
+	fig, err := Fig7Center(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write-heavy shared traffic collapses throughput (paper: ~10x at
+	// sharing 1); private traffic stays fast regardless of write ratio;
+	// throughput is monotone in read ratio at full sharing.
+	r1s1, _ := fig.Get("R=1.00", 1)
+	r5s1, _ := fig.Get("R=0.50", 1)
+	r0s1, _ := fig.Get("R=0.00", 1)
+	r0s0, _ := fig.Get("R=0.00", 0)
+	if r0s1 > r1s1/3 {
+		t.Errorf("write-heavy shared (%v) should collapse vs read-only (%v)", r0s1, r1s1)
+	}
+	if r0s0 < 3*r0s1 {
+		t.Errorf("private writes (%v) should beat shared writes (%v)", r0s0, r0s1)
+	}
+	if r5s1 < r0s1 || r5s1 > r1s1 {
+		t.Errorf("R=0.5 (%v) should fall between R=0 (%v) and R=1 (%v)", r5s1, r0s1, r1s1)
+	}
+}
+
+func TestFig7RightShape(t *testing.T) {
+	fig, err := Fig7Right(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-only: no invalidation components at any blade count.
+	for _, b := range []float64{1, 2, 4, 8} {
+		q, _ := fig.Get("R=1.0/inv_queue", b)
+		tl, _ := fig.Get("R=1.0/inv_tlb", b)
+		if q != 0 || tl != 0 {
+			t.Errorf("read-only at %v blades has inv components: %v/%v", b, q, tl)
+		}
+	}
+	// Write-heavy at 8 blades: invalidation components material, and
+	// total latency grows with blade count.
+	tl8, _ := fig.Get("R=0.0/inv_tlb", 8)
+	if tl8 <= 0 {
+		t.Error("write-heavy at 8 blades should show TLB shootdown time")
+	}
+	total := func(r string, b float64) float64 {
+		var sum float64
+		for _, c := range []string{"pgfault", "network", "inv_queue", "inv_tlb"} {
+			v, _ := fig.Get("R="+r+"/"+c, b)
+			sum += v
+		}
+		return sum
+	}
+	if total("0.0", 8) < total("0.0", 1)*1.2 {
+		t.Errorf("write-heavy latency should grow with blades: %v vs %v",
+			total("0.0", 8), total("0.0", 1))
+	}
+	if total("1.0", 8) > total("0.0", 8) {
+		t.Errorf("read-only latency (%v) should undercut write-heavy (%v)",
+			total("1.0", 8), total("0.0", 8))
+	}
+}
+
+func TestFig8LeftShape(t *testing.T) {
+	figs, err := Fig8Left(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalOf := func(name string) float64 {
+		f := 0.0
+		for _, s := range figs[name].Series {
+			if len(s.Y) > 0 {
+				f = s.Y[len(s.Y)-1]
+			}
+		}
+		return f
+	}
+	maxOf := func(name string) float64 {
+		m := 0.0
+		for _, s := range figs[name].Series {
+			for _, y := range s.Y {
+				if y > m {
+					m = y
+				}
+			}
+		}
+		return m
+	}
+	// Steady state: M_A pins near the capacity limit; TF and GC settle
+	// below it as Bounded Splitting consolidates their cold regions.
+	cap := float64(Quick.DirSlots)
+	if finalOf("MA") < cap*0.9 {
+		t.Errorf("MA final entries = %v, want near capacity %v", finalOf("MA"), cap)
+	}
+	if finalOf("TF") > cap*0.85 {
+		t.Errorf("TF final entries = %v, want below capacity %v", finalOf("TF"), cap)
+	}
+	if finalOf("GC") > cap*0.85 {
+		t.Errorf("GC final entries = %v, want below capacity %v", finalOf("GC"), cap)
+	}
+	for _, n := range []string{"TF", "GC", "MA", "MC"} {
+		if maxOf(n) > cap {
+			t.Errorf("%s exceeded capacity: %v > %v", n, maxOf(n), cap)
+		}
+	}
+}
+
+func TestFig8CenterShape(t *testing.T) {
+	fig, err := Fig8Center(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TF", "GC", "MA&C"} {
+		mind8, _ := fig.Get("MIND/"+name, 8)
+		mind1, _ := fig.Get("MIND/"+name, 1)
+		twoMB, _ := fig.Get("2MB/"+name, 8)
+		oneGB, _ := fig.Get("1GB/"+name, 8)
+		// MIND's rules stay within a small constant factor as blades
+		// scale (coalescing degrades slightly with interleaved
+		// placement) and sit far below page-granularity translation.
+		if mind8 > 2.5*mind1 {
+			t.Errorf("%s: MIND rules grow too fast with blades: %v -> %v", name, mind1, mind8)
+		}
+		if mind8 > twoMB/5 {
+			t.Errorf("%s: MIND rules (%v) should be well under 2MB pages (%v)", name, mind8, twoMB)
+		}
+		// 2MB page translation grows with the dataset: far above 1GB's.
+		if twoMB < 10*oneGB {
+			t.Errorf("%s: 2MB rules (%v) should dwarf 1GB rules (%v)", name, twoMB, oneGB)
+		}
+	}
+}
+
+func TestFig8RightShape(t *testing.T) {
+	fig, err := Fig8Right(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TF", "GC", "MA&C"} {
+		mind, _ := fig.Get("MIND/"+name, 8)
+		twoMB, _ := fig.Get("2MB/"+name, 8)
+		oneGB, _ := fig.Get("1GB/"+name, 8)
+		if mind < 0.9 {
+			t.Errorf("%s: MIND fairness = %v, want ~1", name, mind)
+		}
+		if twoMB < 0.9 {
+			t.Errorf("%s: 2MB fairness = %v, want ~1", name, twoMB)
+		}
+		if oneGB > 0.6 {
+			t.Errorf("%s: 1GB fairness = %v, want poor (<0.6)", name, oneGB)
+		}
+	}
+}
+
+func TestFig9LeftShape(t *testing.T) {
+	figs, err := Fig9Left(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TF", "GC"} {
+		fig := figs[name]
+		// Finer fixed granularity -> fewer false invalidations, more
+		// directory entries (the §4.3.1 tradeoff).
+		fi2MB, _ := fig.Get("false-invals", 0)
+		fi16KB, _ := fig.Get("false-invals", 4)
+		if fi16KB > fi2MB {
+			t.Errorf("%s: 16KB false invals (%v) should be <= 2MB (%v)", name, fi16KB, fi2MB)
+		}
+		de2MB, _ := fig.Get("dir-entries", 0)
+		de16KB, _ := fig.Get("dir-entries", 4)
+		if de16KB < de2MB {
+			t.Errorf("%s: 16KB entries (%v) should exceed 2MB entries (%v)", name, de16KB, de2MB)
+		}
+		// Bounded Splitting lands between the extremes on both axes.
+		fiBS, _ := fig.Get("false-invals", 5)
+		deBS, _ := fig.Get("dir-entries", 5)
+		if fiBS > fi2MB*1.1 {
+			t.Errorf("%s: BS false invals (%v) should be well under 2MB's (%v)", name, fiBS, fi2MB)
+		}
+		if deBS > de16KB*1.5 {
+			t.Errorf("%s: BS entries (%v) should not exceed fine-grain entries (%v)", name, deBS, de16KB)
+		}
+	}
+}
+
+func TestFig9RightShape(t *testing.T) {
+	figs, err := Fig9Right(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TF", "GC"} {
+		fig := figs[name]
+		// Epoch sweep is normalized to the largest epoch: last point = 1.
+		if v, ok := fig.Get("epoch-sweep", 2); !ok || v != 1 {
+			t.Errorf("%s: epoch sweep normalization wrong: %v", name, v)
+		}
+		// Initial-size sweep normalized to 2MB: first point = 1, and
+		// smaller initial sizes must not be dramatically worse.
+		if v, ok := fig.Get("initial-size-sweep", 0); !ok || v != 1 {
+			t.Errorf("%s: size sweep normalization wrong: %v", name, v)
+		}
+		v16, _ := fig.Get("initial-size-sweep", 4)
+		if v16 > 1.5 {
+			t.Errorf("%s: 16KB initial size (%v) should not exceed 2MB baseline by 50%%", name, v16)
+		}
+	}
+}

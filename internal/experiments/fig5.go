@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mind/internal/core"
+	"mind/internal/fastswap"
+	"mind/internal/gam"
+	"mind/internal/sim"
+	"mind/internal/workloads"
+)
+
+// runWorkload executes one workload to completion on a runner and returns
+// the finish time (used by counter-based experiments like Figure 6).
+func runWorkload(r runner, w workloads.Workload, threads, blades, ops int, seed uint64) (sim.Time, error) {
+	base, err := r.Alloc(w.Footprint)
+	if err != nil {
+		return 0, err
+	}
+	p := workloads.Params{Threads: threads, Blades: blades, OpsPerThread: ops, Seed: seed}
+	for t := 0; t < threads; t++ {
+		if err := r.Spawn(t%blades, w.Gen(base, t, p)); err != nil {
+			return 0, err
+		}
+	}
+	return r.Run(), nil
+}
+
+// steadyTime measures the steady-state runtime of `ops` accesses per
+// thread: the deterministic job is run once with ops and once with 2*ops
+// per thread, and the difference cancels the cold-start (compulsory-miss)
+// phase that the paper's minutes-long runs amortize away.
+func steadyTime(mk func() (runner, error), w workloads.Workload, threads, blades, ops int, seed uint64) (sim.Duration, error) {
+	r1, err := mk()
+	if err != nil {
+		return 0, err
+	}
+	t1, err := runWorkload(r1, w, threads, blades, ops, seed)
+	if err != nil {
+		return 0, err
+	}
+	r2, err := mk()
+	if err != nil {
+		return 0, err
+	}
+	t2, err := runWorkload(r2, w, threads, blades, 2*ops, seed)
+	if err != nil {
+		return 0, err
+	}
+	dt := t2.Sub(t1)
+	if dt <= 0 {
+		dt = t2.Sub(0)
+	}
+	return dt, nil
+}
+
+// steadyPerf is 1/steadyTime — the paper's "performance" metric.
+func steadyPerf(mk func() (runner, error), w workloads.Workload, threads, blades, ops int, seed uint64) (float64, error) {
+	dt, err := steadyTime(mk, w, threads, blades, ops, seed)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / dt.Seconds(), nil
+}
+
+// Fig5Left reproduces Figure 5 (left): intra-blade scaling of MIND,
+// FastSwap and GAM on TF/GC/M_A/M_C for 1-10 threads on a single compute
+// blade. Performance is normalized by MIND at 1 thread per workload.
+func Fig5Left(s Scale) (map[string]*Figure, error) {
+	threadCounts := []int{1, 2, 4, 10}
+	out := make(map[string]*Figure)
+	for _, w := range workloads.All(s.WorkloadScale) {
+		w := w
+		fig := &Figure{
+			ID:     "5-left/" + w.Name,
+			Title:  fmt.Sprintf("Intra-blade scaling, %s (normalized perf)", w.Name),
+			XLabel: "threads",
+			YLabel: "perf normalized to MIND@1",
+		}
+		cache := cachePagesFor(s, w.Footprint)
+		var mindBase float64
+		for _, th := range threadCounts {
+			ops := opsPerThread(s, th) / 2
+
+			mp, err := steadyPerf(func() (runner, error) {
+				return newMind(1, 8, cache, core.TSO, nil)
+			}, w, th, 1, ops, s.seed())
+			if err != nil {
+				return nil, err
+			}
+			if th == 1 {
+				mindBase = mp
+			}
+			fig.add("MIND", float64(th), mp/mindBase)
+
+			fp, err := steadyPerf(func() (runner, error) {
+				return fastswap.New(fastswap.DefaultConfig(8, cache)), nil
+			}, w, th, 1, ops, s.seed())
+			if err != nil {
+				return nil, err
+			}
+			fig.add("FastSwap", float64(th), fp/mindBase)
+
+			gp, err := steadyPerf(func() (runner, error) {
+				return gam.New(gam.DefaultConfig(1, 8, cache)), nil
+			}, w, th, 1, ops, s.seed())
+			if err != nil {
+				return nil, err
+			}
+			fig.add("GAM", float64(th), gp/mindBase)
+		}
+		out[w.Name] = fig
+	}
+	return out, nil
+}
+
+// Fig5Center reproduces Figure 5 (center): inter-blade scaling with 10
+// threads per blade for MIND (TSO), MIND-PSO, MIND-PSO+ and GAM.
+// Performance is normalized by MIND at 1 blade.
+func Fig5Center(s Scale) (map[string]*Figure, error) {
+	bladeCounts := []int{1, 2, 4, 8}
+	const threadsPerBlade = 10
+	out := make(map[string]*Figure)
+	for _, w := range workloads.All(s.WorkloadScale) {
+		w := w
+		fig := &Figure{
+			ID:     "5-center/" + w.Name,
+			Title:  fmt.Sprintf("Inter-blade scaling, %s (normalized perf)", w.Name),
+			XLabel: "blades",
+			YLabel: "perf normalized to MIND@1",
+		}
+		cache := cachePagesFor(s, w.Footprint)
+		var mindBase float64
+		for _, blades := range bladeCounts {
+			blades := blades
+			threads := threadsPerBlade * blades
+			ops := opsPerThread(s, threads) / 2
+
+			variants := []struct {
+				label string
+				model core.Consistency
+			}{
+				{"MIND", core.TSO},
+				{"MIND-PSO", core.PSO},
+				{"MIND-PSO+", core.PSOPlus},
+			}
+			for _, v := range variants {
+				v := v
+				perf, err := steadyPerf(func() (runner, error) {
+					return newMind(blades, 8, cache, v.model, func(c *core.Config) {
+						c.ASIC.SlotCapacity = s.DirSlots
+						c.SplitterEpoch = s.Epoch
+					})
+				}, w, threads, blades, ops, s.seed())
+				if err != nil {
+					return nil, err
+				}
+				if v.label == "MIND" && blades == 1 {
+					mindBase = perf
+				}
+				fig.add(v.label, float64(blades), perf/mindBase)
+			}
+
+			gp, err := steadyPerf(func() (runner, error) {
+				return gam.New(gam.DefaultConfig(blades, 8, cache)), nil
+			}, w, threads, blades, ops, s.seed())
+			if err != nil {
+				return nil, err
+			}
+			fig.add("GAM", float64(blades), gp/mindBase)
+		}
+		out[w.Name] = fig
+	}
+	return out, nil
+}
+
+// Fig5Right reproduces Figure 5 (right): Native-KVS throughput (MOPS)
+// under YCSB-A and YCSB-C, single-blade (1-10 threads, MIND and FastSwap)
+// and multi-blade (2-8 blades x 10 threads, MIND only — FastSwap cannot
+// scale out, §7.1).
+func Fig5Right(s Scale) (map[string]*Figure, error) {
+	out := make(map[string]*Figure)
+	for _, wl := range []struct {
+		name      string
+		readRatio float64
+	}{{"YCSB-A", 0.5}, {"YCSB-C", 1.0}} {
+		w := workloads.NativeKVS(wl.readRatio, s.WorkloadScale)
+		fig := &Figure{
+			ID:     "5-right/" + wl.name,
+			Title:  fmt.Sprintf("Native-KVS %s throughput", wl.name),
+			XLabel: "threads",
+			YLabel: "MOPS",
+		}
+		cache := cachePagesFor(s, w.Footprint)
+		// KVS ops take two accesses (bucket probe + item access).
+		const accessesPerOp = 2
+
+		mops := func(mk func() (runner, error), threads, blades int) (float64, error) {
+			ops := opsPerThread(s, threads) / 2
+			dt, err := steadyTime(mk, w, threads, blades, ops, s.seed())
+			if err != nil {
+				return 0, err
+			}
+			return float64(threads*ops) / accessesPerOp / dt.Seconds() / 1e6, nil
+		}
+
+		for _, th := range []int{1, 2, 4, 10} {
+			m, err := mops(func() (runner, error) {
+				return newMind(1, 8, cache, core.TSO, nil)
+			}, th, 1)
+			if err != nil {
+				return nil, err
+			}
+			fig.add("MIND(1 blade)", float64(th), m)
+
+			fsm, err := mops(func() (runner, error) {
+				return fastswap.New(fastswap.DefaultConfig(8, cache)), nil
+			}, th, 1)
+			if err != nil {
+				return nil, err
+			}
+			fig.add("FastSwap", float64(th), fsm)
+		}
+		for _, blades := range []int{2, 4, 8} {
+			blades := blades
+			m, err := mops(func() (runner, error) {
+				return newMind(blades, 8, cache, core.TSO, func(c *core.Config) {
+					c.ASIC.SlotCapacity = s.DirSlots
+					c.SplitterEpoch = s.Epoch
+				})
+			}, blades*10, blades)
+			if err != nil {
+				return nil, err
+			}
+			fig.add("MIND(multi)", float64(blades*10), m)
+		}
+		out[wl.name] = fig
+	}
+	return out, nil
+}
+
+// seed returns the deterministic run seed for a scale.
+func (s Scale) seed() uint64 { return uint64(s.WorkloadScale)*1000 + uint64(s.TotalOps%997) }

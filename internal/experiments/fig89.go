@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mind/internal/core"
+	"mind/internal/ctrlplane"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+	"mind/internal/switchasic"
+	"mind/internal/workloads"
+)
+
+// Fig8Left reproduces Figure 8 (left): directory entries in use over
+// normalized runtime, per workload, on 8 blades x 10 threads with a
+// capacity-limited directory. TF/GC stay below the limit; M_A/M_C pin at
+// it.
+func Fig8Left(s Scale) (map[string]*Figure, error) {
+	out := make(map[string]*Figure)
+	const blades = 8
+	for _, w := range workloads.All(s.WorkloadScale) {
+		fig := &Figure{
+			ID:     "8-left/" + w.Name,
+			Title:  fmt.Sprintf("Directory entries over time, %s (capacity %d)", w.Name, s.DirSlots),
+			XLabel: "normalized runtime",
+			YLabel: "#used directory entries",
+		}
+		cache := cachePagesFor(s, w.Footprint)
+		threads := blades * 10
+		run := func(epoch sim.Duration) (*mindRunner, sim.Time, error) {
+			mr, err := newMind(blades, 8, cache, core.TSO, func(c *core.Config) {
+				c.ASIC.SlotCapacity = s.DirSlots
+				c.SplitterEpoch = epoch
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			end, err := runWorkload(mr, w, threads, blades, opsPerThread(s, threads), s.seed())
+			return mr, end, err
+		}
+		// Two passes: the first sizes the epoch so the run spans ~40
+		// epochs (the paper's minutes-long runs cover thousands of 100 ms
+		// epochs; short scaled runs need a proportional epoch to show the
+		// same split/merge dynamics).
+		_, end, err := run(s.Epoch)
+		if err != nil {
+			return nil, err
+		}
+		epoch := sim.Duration(int64(end) / 40)
+		if epoch < 100*sim.Microsecond {
+			epoch = 100 * sim.Microsecond
+		}
+		mr, _, err := run(epoch)
+		if err != nil {
+			return nil, err
+		}
+		x, y := mr.Collector().Series("directory_entries").Normalized()
+		// Thin to at most 20 samples for the table.
+		step := len(x)/20 + 1
+		for i := 0; i < len(x); i += step {
+			fig.add(w.Name, x[i], y[i])
+		}
+		if len(x) > 0 {
+			fig.add(w.Name, x[len(x)-1], y[len(y)-1])
+		}
+		out[w.Name] = fig
+	}
+	return out, nil
+}
+
+// fig8AllocTraces maps workload names to their vma-count models: the
+// number of distinct areas typical of each application class (§7.2
+// reports vma counts well under 1-2k for datacenter applications).
+var fig8AllocTraces = map[string]int{"TF": 48, "GC": 28, "MA&C": 64}
+
+// fig8FootprintFactor scales workload footprints up to the paper's
+// multi-GB datasets for the allocation-only Figure 8 experiments — the
+// rule-count and load-balance contrasts (1 GB pages vs MIND) only appear
+// at realistic dataset sizes, and these runs allocate without executing
+// accesses, so they are cheap at any size.
+const fig8FootprintFactor = 64
+
+// fig8Controller builds a control plane with large (4 GB) blade
+// partitions for the paper-scale footprints.
+func fig8Controller(blades int) (*ctrlplane.Controller, error) {
+	ctl := ctrlplane.NewController(switchasic.DefaultConfig(), ctrlplane.PlaceLeastLoaded, 8)
+	for b := 0; b < blades; b++ {
+		if _, err := ctl.Allocator().AddBlade(1 << 32); err != nil {
+			return nil, err
+		}
+	}
+	return ctl, nil
+}
+
+// Fig8Center reproduces Figure 8 (center): the number of match-action
+// rules for address translation + protection, as memory blades scale,
+// for MIND vs page-granularity translation at 2 MB and 1 GB pages.
+func Fig8Center(s Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "8-center",
+		Title:  "Match-action rules for translation + protection",
+		XLabel: "memory blades",
+		YLabel: "#rules",
+	}
+	footprints := map[string]uint64{
+		"TF":   workloads.TF(s.WorkloadScale).Footprint,
+		"GC":   workloads.GC(s.WorkloadScale).Footprint,
+		"MA&C": workloads.MemcachedA(s.WorkloadScale).Footprint,
+	}
+	for name, fp := range footprints {
+		fp *= fig8FootprintFactor
+		trace := allocationTrace(fp, fig8AllocTraces[name], 1234)
+		for _, blades := range []int{1, 2, 4, 8} {
+			// MIND: one translation rule per blade + protection entries
+			// per vma (po2-coalesced).
+			ctl, err := fig8Controller(blades)
+			if err != nil {
+				return nil, err
+			}
+			proc := ctl.Exec(name)
+			for _, sz := range trace {
+				if _, err := ctl.Mmap(proc.PID, sz, mem.PermReadWrite); err != nil {
+					return nil, err
+				}
+			}
+			fig.add("MIND/"+name, float64(blades), float64(ctl.ASIC().Rules()))
+
+			for _, pg := range []struct {
+				label string
+				size  uint64
+			}{{"2MB", 2 << 20}, {"1GB", 1 << 30}} {
+				pa, err := ctrlplane.NewPagedAllocator(pg.size, blades)
+				if err != nil {
+					return nil, err
+				}
+				for _, sz := range trace {
+					pa.Alloc(sz)
+				}
+				fig.add(pg.label+"/"+name, float64(blades), float64(pa.Rules()))
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Fig8Right reproduces Figure 8 (right): Jain's fairness index of
+// per-memory-blade allocated bytes for MIND vs 2 MB and 1 GB page
+// placement.
+func Fig8Right(s Scale) (*Figure, error) {
+	fig := &Figure{
+		ID:     "8-right",
+		Title:  "Allocation load balance (Jain's fairness index)",
+		XLabel: "memory blades",
+		YLabel: "fairness",
+	}
+	footprints := map[string]uint64{
+		"TF":   workloads.TF(s.WorkloadScale).Footprint,
+		"GC":   workloads.GC(s.WorkloadScale).Footprint,
+		"MA&C": workloads.MemcachedA(s.WorkloadScale).Footprint,
+	}
+	for name, fp := range footprints {
+		fp *= fig8FootprintFactor
+		trace := allocationTrace(fp, fig8AllocTraces[name], 1234)
+		for _, blades := range []int{1, 2, 4, 8} {
+			ctl, err := fig8Controller(blades)
+			if err != nil {
+				return nil, err
+			}
+			proc := ctl.Exec(name)
+			for _, sz := range trace {
+				if _, err := ctl.Mmap(proc.PID, sz, mem.PermReadWrite); err != nil {
+					return nil, err
+				}
+			}
+			fig.add("MIND/"+name, float64(blades), stats.JainFairness(ctl.Allocator().BladeLoad()))
+
+			for _, pg := range []struct {
+				label string
+				size  uint64
+			}{{"2MB", 2 << 20}, {"1GB", 1 << 30}} {
+				pa, err := ctrlplane.NewPagedAllocator(pg.size, blades)
+				if err != nil {
+					return nil, err
+				}
+				for _, sz := range trace {
+					pa.Alloc(sz)
+				}
+				fig.add(pg.label+"/"+name, float64(blades), stats.JainFairness(pa.BladeLoad()))
+			}
+		}
+	}
+	return fig, nil
+}
+
+// fig9Run executes TF or GC on 8 blades with the given region
+// configuration and returns (falseInvalidations, peakDirectoryEntries).
+func fig9Run(s Scale, w workloads.Workload, initial uint64, split bool, epoch sim.Duration) (uint64, int, error) {
+	const blades = 8
+	cache := cachePagesFor(s, w.Footprint)
+	mr, err := newMind(blades, 8, cache, core.TSO, func(c *core.Config) {
+		c.ASIC.SlotCapacity = 0 // isolate granularity effects from capacity
+		c.InitialRegionSize = initial
+		if initial > c.TopLevelRegionSize {
+			c.TopLevelRegionSize = initial
+		}
+		c.DisableSplitting = !split
+		c.SplitterEpoch = epoch
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	threads := blades * 10
+	if _, err := runWorkload(mr, w, threads, blades, opsPerThread(s, threads), s.seed()); err != nil {
+		return 0, 0, err
+	}
+	col := mr.Collector()
+	return col.Counter(stats.CtrFalseInvals), mr.c.Controller().ASIC().Directory.Peak(), nil
+}
+
+// Fig9Left reproduces Figure 9 (left): false invalidations and directory
+// entry counts for fixed region granularities (2MB..16KB) versus Bounded
+// Splitting (BS), on TF and GC. False invalidations are normalized by the
+// 2 MB value, as in the paper.
+func Fig9Left(s Scale) (map[string]*Figure, error) {
+	sizes := []struct {
+		label string
+		size  uint64
+	}{{"2MB", 2 << 20}, {"1MB", 1 << 20}, {"256KB", 256 << 10}, {"64KB", 64 << 10}, {"16KB", 16 << 10}}
+	out := make(map[string]*Figure)
+	for _, w := range []workloads.Workload{workloads.TF(s.WorkloadScale), workloads.GC(s.WorkloadScale)} {
+		fig := &Figure{
+			ID:     "9-left/" + w.Name,
+			Title:  fmt.Sprintf("Region granularity tradeoff, %s", w.Name),
+			XLabel: "config index (0=2MB .. 4=16KB, 5=BS)",
+			YLabel: "normalized false invals / entries",
+		}
+		var base float64
+		for i, sz := range sizes {
+			fi, entries, err := fig9Run(s, w, sz.size, false, s.Epoch)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = float64(fi)
+				if base == 0 {
+					base = 1
+				}
+			}
+			fig.add("false-invals", float64(i), float64(fi)/base)
+			fig.add("dir-entries", float64(i), float64(entries))
+		}
+		fi, entries, err := fig9Run(s, w, 16<<10, true, s.Epoch)
+		if err != nil {
+			return nil, err
+		}
+		fig.add("false-invals", 5, float64(fi)/base)
+		fig.add("dir-entries", 5, float64(entries))
+		out[w.Name] = fig
+	}
+	return out, nil
+}
+
+// Fig9Right reproduces Figure 9 (right): sensitivity of Bounded Splitting
+// to epoch length (1/10/100 ms equivalents at simulation scale) and to
+// the initial region size (2MB..16KB). False invalidation counts are
+// normalized as in the paper (largest epoch, 2 MB initial size).
+func Fig9Right(s Scale) (map[string]*Figure, error) {
+	out := make(map[string]*Figure)
+	for _, w := range []workloads.Workload{workloads.TF(s.WorkloadScale), workloads.GC(s.WorkloadScale)} {
+		fig := &Figure{
+			ID:     "9-right/" + w.Name,
+			Title:  fmt.Sprintf("Bounded Splitting sensitivity, %s", w.Name),
+			XLabel: "sweep index",
+			YLabel: "normalized false invalidations",
+		}
+		// Epoch sweep at the default 16 KB initial size. The paper's
+		// 1/10/100 ms map to scaled epochs here.
+		epochs := []sim.Duration{s.Epoch / 100, s.Epoch / 10, s.Epoch}
+		var base float64
+		for i, ep := range epochs {
+			if ep < 50*sim.Microsecond {
+				ep = 50 * sim.Microsecond
+			}
+			fi, _, err := fig9Run(s, w, 16<<10, true, ep)
+			if err != nil {
+				return nil, err
+			}
+			if i == len(epochs)-1 {
+				base = float64(fi)
+				if base == 0 {
+					base = 1
+				}
+			}
+			fig.add("epoch-sweep", float64(i), float64(fi))
+		}
+		// Normalize the epoch sweep by the largest-epoch value.
+		for i := range fig.Series {
+			if fig.Series[i].Label == "epoch-sweep" {
+				for j := range fig.Series[i].Y {
+					fig.Series[i].Y[j] /= base
+				}
+			}
+		}
+		// Initial-size sweep at the default epoch, normalized by 2 MB.
+		sizes := []uint64{2 << 20, 1 << 20, 256 << 10, 64 << 10, 16 << 10}
+		var sbase float64
+		for i, sz := range sizes {
+			fi, _, err := fig9Run(s, w, sz, true, s.Epoch)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				sbase = float64(fi)
+				if sbase == 0 {
+					sbase = 1
+				}
+			}
+			fig.add("initial-size-sweep", float64(i), float64(fi)/sbase)
+		}
+		out[w.Name] = fig
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package fabric models the rack-scale network of the MIND architecture:
+// compute and memory blades, each with a dedicated 100 Gbps RDMA NIC,
+// connected by a single programmable switch (§2 "Assumptions").
+//
+// The model captures the latency structure that MIND's evaluation depends
+// on — per-message NIC overhead and serialization, link propagation, and
+// switch pipeline traversal/recirculation occupancy — without simulating
+// individual bytes. All queueing points are sim.Resources, so contention
+// (e.g. many blades flushing to one memory blade) produces the queueing
+// delays the paper reports in Figure 7 (right).
+package fabric
+
+import (
+	"fmt"
+
+	"mind/internal/sim"
+)
+
+// NodeID identifies a network endpoint: a compute blade, a memory blade,
+// or the switch control-plane CPU.
+type NodeID int
+
+// SwitchNode is the reserved NodeID of the switch control plane CPU
+// (reached via PCIe from the ASIC; system-call path).
+const SwitchNode NodeID = -1
+
+// Standard message sizes in bytes.
+const (
+	CtrlMsgBytes = 64   // RDMA request headers, invalidations, ACKs
+	PageBytes    = 4096 // one 4 KB page payload
+)
+
+// Config holds the calibration constants of the network model. Defaults
+// are tuned so that the end-to-end MSI transition latencies match the
+// paper's Figure 7 (left): ~9 µs for transitions without invalidation and
+// ~18 µs for M→S/M.
+type Config struct {
+	// WireDelay is one link traversal (propagation plus PHY/MAC).
+	WireDelay sim.Duration
+	// NICOverhead is the fixed per-message NIC cost (doorbell, DMA setup,
+	// completion handling).
+	NICOverhead sim.Duration
+	// NICBytesPerNs is NIC serialization bandwidth in bytes per
+	// nanosecond; 100 Gbps = 12.5 B/ns.
+	NICBytesPerNs float64
+	// PipelineDelay is the fixed latency of one ingress or egress pipeline
+	// traversal (parse + match-action stages + deparse).
+	PipelineDelay sim.Duration
+	// PipelineService is the per-packet occupancy of a pipeline (the
+	// reciprocal of packet rate); contention above line rate queues here.
+	PipelineService sim.Duration
+	// RecircDelay is the added latency of one recirculation through the
+	// traffic manager back to the ingress pipeline (§6.3, Figure 4).
+	RecircDelay sim.Duration
+	// PipelineSlots is the parallelism of each pipeline (ports served
+	// concurrently by the ASIC).
+	PipelineSlots int
+	// MemDMA is the memory-blade-side DMA setup cost for serving a
+	// one-sided RDMA request (no CPU involvement).
+	MemDMA sim.Duration
+	// CtrlRTT is the round-trip for control-plane (system call) traffic:
+	// TCP to the switch CPU over PCIe, much slower than the data path.
+	CtrlRTT sim.Duration
+}
+
+// DefaultConfig returns the calibrated rack model: 100 Gbps NICs, a
+// 6.4 Tbps 32-port switch.
+func DefaultConfig() Config {
+	return Config{
+		WireDelay:       200 * sim.Nanosecond,
+		NICOverhead:     600 * sim.Nanosecond,
+		NICBytesPerNs:   12.5,
+		PipelineDelay:   400 * sim.Nanosecond,
+		PipelineService: 60 * sim.Nanosecond,
+		RecircDelay:     400 * sim.Nanosecond,
+		PipelineSlots:   32,
+		MemDMA:          500 * sim.Nanosecond,
+		CtrlRTT:         30 * sim.Microsecond,
+	}
+}
+
+// Fabric is the instantiated network: one NIC pair per node and the
+// shared switch pipelines.
+type Fabric struct {
+	eng     *sim.Engine
+	cfg     Config
+	nicTx   map[NodeID]*sim.Resource
+	nicRx   map[NodeID]*sim.Resource
+	ingress *sim.Resource
+	egress  *sim.Resource
+
+	// DropFn, when non-nil, is consulted once per point-to-point delivery;
+	// returning true silently drops the message (failure injection for
+	// §4.4 communication-failure handling).
+	DropFn func(from, to NodeID) bool
+
+	// Delivered counts successful end-point deliveries; Dropped counts
+	// injected losses.
+	Delivered uint64
+	Dropped   uint64
+}
+
+// New constructs a fabric on the given engine.
+func New(eng *sim.Engine, cfg Config) *Fabric {
+	if cfg.PipelineSlots < 1 {
+		cfg.PipelineSlots = 1
+	}
+	return &Fabric{
+		eng:     eng,
+		cfg:     cfg,
+		nicTx:   make(map[NodeID]*sim.Resource),
+		nicRx:   make(map[NodeID]*sim.Resource),
+		ingress: sim.NewResource("switch-ingress", cfg.PipelineSlots),
+		egress:  sim.NewResource("switch-egress", cfg.PipelineSlots),
+	}
+}
+
+// Config returns the fabric's calibration constants.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Engine returns the underlying simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// AddNode registers a node's NIC with the fabric. Each blade has
+// dedicated access to a separate 100 Gbps NIC (§7 cluster setup).
+func (f *Fabric) AddNode(id NodeID) {
+	if _, dup := f.nicTx[id]; dup {
+		panic(fmt.Sprintf("fabric: duplicate node %d", id))
+	}
+	f.nicTx[id] = sim.NewResource(fmt.Sprintf("nic-tx-%d", id), 1)
+	f.nicRx[id] = sim.NewResource(fmt.Sprintf("nic-rx-%d", id), 1)
+}
+
+// HasNode reports whether id is registered.
+func (f *Fabric) HasNode(id NodeID) bool {
+	_, ok := f.nicTx[id]
+	return ok
+}
+
+func (f *Fabric) serialize(bytes int) sim.Duration {
+	return sim.Duration(float64(bytes) / f.cfg.NICBytesPerNs)
+}
+
+func (f *Fabric) nic(m map[NodeID]*sim.Resource, id NodeID, kind string) *sim.Resource {
+	r, ok := m[id]
+	if !ok {
+		panic(fmt.Sprintf("fabric: %s for unregistered node %d", kind, id))
+	}
+	return r
+}
+
+// SendToSwitch models node → switch: TX NIC serialization, the wire, and
+// one ingress pipeline traversal. fn fires when the packet has completed
+// ingress match-action processing and is ready for data-plane logic.
+func (f *Fabric) SendToSwitch(from NodeID, bytes int, fn func()) {
+	tx := f.nic(f.nicTx, from, "TX")
+	_, txEnd := tx.Reserve(f.eng.Now(), f.cfg.NICOverhead+f.serialize(bytes))
+	arrive := txEnd.Add(f.cfg.WireDelay)
+	_, ingEnd := f.ingress.Reserve(arrive, f.cfg.PipelineService)
+	f.eng.At(ingEnd.Add(f.cfg.PipelineDelay), fn)
+}
+
+// Recirculate models one pass through the traffic manager back into the
+// ingress pipeline (used by directory state updates, §6.3 step 2).
+func (f *Fabric) Recirculate(fn func()) {
+	_, ingEnd := f.ingress.Reserve(f.eng.Now().Add(f.cfg.RecircDelay), f.cfg.PipelineService)
+	f.eng.At(ingEnd, fn)
+}
+
+// SendFromSwitch models switch → node: one egress pipeline traversal, the
+// wire, and RX NIC processing. fn fires at delivery, unless the drop hook
+// eats the message.
+func (f *Fabric) SendFromSwitch(to NodeID, bytes int, fn func()) {
+	_, egrEnd := f.egress.Reserve(f.eng.Now(), f.cfg.PipelineService)
+	arrive := egrEnd.Add(f.cfg.PipelineDelay + f.cfg.WireDelay)
+	rx := f.nic(f.nicRx, to, "RX")
+	_, rxEnd := rx.Reserve(arrive, f.cfg.NICOverhead+f.serialize(bytes))
+	if f.DropFn != nil && f.DropFn(SwitchNode, to) {
+		f.Dropped++
+		return
+	}
+	f.eng.At(rxEnd, func() {
+		f.Delivered++
+		fn()
+	})
+}
+
+// MulticastFromSwitch models the native multicast primitive (§4.3.2): the
+// packet occupies the egress pipeline once and the traffic manager
+// replicates it to every target port. fn is invoked once per delivered
+// copy.
+func (f *Fabric) MulticastFromSwitch(tos []NodeID, bytes int, fn func(to NodeID)) {
+	_, egrEnd := f.egress.Reserve(f.eng.Now(), f.cfg.PipelineService)
+	for _, to := range tos {
+		to := to
+		arrive := egrEnd.Add(f.cfg.PipelineDelay + f.cfg.WireDelay)
+		rx := f.nic(f.nicRx, to, "RX")
+		_, rxEnd := rx.Reserve(arrive, f.cfg.NICOverhead+f.serialize(bytes))
+		if f.DropFn != nil && f.DropFn(SwitchNode, to) {
+			f.Dropped++
+			continue
+		}
+		f.eng.At(rxEnd, func() {
+			f.Delivered++
+			fn(to)
+		})
+	}
+}
+
+// Unicast models a full node → switch → node path with no data-plane
+// processing beyond forwarding (e.g. blade-to-blade transfers in the GAM
+// baseline). fn fires at delivery.
+func (f *Fabric) Unicast(from, to NodeID, bytes int, fn func()) {
+	f.SendToSwitch(from, bytes, func() {
+		f.SendFromSwitch(to, bytes, fn)
+	})
+}
+
+// MemDMA returns the memory-blade DMA service cost for one-sided RDMA.
+func (f *Fabric) MemDMA() sim.Duration { return f.cfg.MemDMA }
+
+// CtrlCall models a system-call round trip to the switch control plane
+// (TCP to the switch CPU, §6.1). fn fires when the response arrives back.
+func (f *Fabric) CtrlCall(from NodeID, fn func()) {
+	f.eng.Schedule(f.cfg.CtrlRTT, fn)
+}
+
+// PipelineStats exposes ingress/egress occupancy accounting for resource
+// reports.
+func (f *Fabric) PipelineStats() (ingressServed, egressServed uint64) {
+	is, _, _, _ := f.ingress.Stats()
+	es, _, _, _ := f.egress.Stats()
+	return is, es
+}
+
+// OneWayBase returns the unloaded one-way latency of a control message
+// from a node to the switch data plane — useful for calibration tests.
+func (f *Fabric) OneWayBase(bytes int) sim.Duration {
+	return f.cfg.NICOverhead + f.serialize(bytes) + f.cfg.WireDelay +
+		f.cfg.PipelineService + f.cfg.PipelineDelay
+}

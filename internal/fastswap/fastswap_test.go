@@ -1,0 +1,100 @@
+package fastswap
+
+import (
+	"testing"
+
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+func gen(base mem.VA, pages, n int, seed uint64) func() (mem.VA, bool, bool) {
+	rng := sim.NewRNG(seed, "fs-test")
+	i := 0
+	return func() (mem.VA, bool, bool) {
+		if i >= n {
+			return 0, false, false
+		}
+		i++
+		return base + mem.VA(rng.Intn(pages)*mem.PageSize), rng.Bool(0.3), true
+	}
+}
+
+func TestFastSwapBasicRun(t *testing.T) {
+	c := New(DefaultConfig(2, 128))
+	base, _ := c.Alloc(1 << 22)
+	if err := c.Spawn(0, gen(base, 512, 5000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	end := c.Run()
+	if end == 0 {
+		t.Fatal("no time elapsed")
+	}
+	col := c.Collector()
+	if col.Counter(stats.CtrAccesses) != 5000 {
+		t.Errorf("accesses = %d", col.Counter(stats.CtrAccesses))
+	}
+	// Working set (512 pages) exceeds the cache (128): faults and
+	// evictions must occur, with dirty writebacks.
+	if col.Counter(stats.CtrRemoteAccesses) == 0 || col.Counter(stats.CtrEvictions) == 0 {
+		t.Error("expected faults and evictions")
+	}
+	if col.Counter(stats.CtrWritebacks) == 0 {
+		t.Error("expected dirty writebacks")
+	}
+	// No coherence machinery at all.
+	if col.Counter(stats.CtrInvalidations) != 0 {
+		t.Error("fastswap must not produce invalidations")
+	}
+}
+
+func TestFastSwapSingleBladeOnly(t *testing.T) {
+	c := New(DefaultConfig(1, 64))
+	if err := c.Spawn(1, nil); err == nil {
+		t.Error("fastswap must reject threads beyond blade 0 (§2.2)")
+	}
+}
+
+func TestFastSwapIntraBladeScaling(t *testing.T) {
+	// Threads with private working sets that fit in cache scale nearly
+	// linearly (Figure 5 left).
+	runtime := func(threads int) sim.Duration {
+		c := New(DefaultConfig(1, 8192))
+		base, _ := c.Alloc(1 << 26)
+		const ops = 4000
+		for i := 0; i < threads; i++ {
+			lo := base + mem.VA(i*128*mem.PageSize)
+			if err := c.Spawn(0, gen(lo, 128, ops, uint64(i+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Run().Sub(0)
+	}
+	r1 := runtime(1)
+	r8 := runtime(8)
+	// 8 threads do 8x the work; near-linear scaling keeps the runtime
+	// within ~2.5x of a single thread.
+	if r8 > 5*r1/2 {
+		t.Errorf("8-thread runtime %v vs 1-thread %v: not near-linear", r8, r1)
+	}
+}
+
+func TestFastSwapSharedFaultDedupe(t *testing.T) {
+	// Two threads faulting the same page must produce one remote access.
+	c := New(DefaultConfig(1, 64))
+	base, _ := c.Alloc(1 << 16)
+	for i := 0; i < 2; i++ {
+		n := 0
+		_ = c.Spawn(0, func() (mem.VA, bool, bool) {
+			if n >= 1 {
+				return 0, false, false
+			}
+			n++
+			return base, false, true
+		})
+	}
+	c.Run()
+	if got := c.Collector().Counter(stats.CtrRemoteAccesses); got != 1 {
+		t.Errorf("remote accesses = %d, want 1 (dedupe)", got)
+	}
+}

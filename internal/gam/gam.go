@@ -1,0 +1,457 @@
+// Package gam implements the transparent-DSM baseline the paper compares
+// against (§7 "Compared systems"): GAM [35] adapted to the disaggregated
+// setting. The cache directory is partitioned across compute blades
+// (compute-centric design, §2.2), every memory access pays a software
+// permission check under a lock, the consistency model is PSO (writes
+// propagate asynchronously), and data lives on memory blades reached over
+// RDMA.
+//
+// The model reproduces the two properties the paper attributes GAM's
+// behaviour to: (i) software overhead limits intra-blade scaling beyond
+// ~4 threads on a 12-core node — local accesses are ~10x slower than
+// MIND's hardware-MMU path; and (ii) the small local/remote latency
+// differential makes inter-blade scaling flatter — extra invalidations
+// hurt GAM less than MIND (§7.1).
+package gam
+
+import (
+	"fmt"
+
+	"mind/internal/computeblade"
+	"mind/internal/core"
+	"mind/internal/fabric"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// Config parameterizes the GAM baseline.
+type Config struct {
+	ComputeBlades int
+	MemoryBlades  int
+	CachePages    int
+	// LocalAccess is the software-path cost of a local (cached) access:
+	// user-level library dispatch + permission check. ~10x MIND's local
+	// DRAM access (§7.1).
+	LocalAccess sim.Duration
+	// LockService is the serialized critical-section time of the per-
+	// blade metadata lock every access acquires.
+	LockService sim.Duration
+	// HomeService is the directory handler service time at a home blade.
+	HomeService sim.Duration
+	// Cores bounds per-blade software parallelism (12-core nodes, §7).
+	Cores int
+	// StoreBufferDepth bounds PSO's outstanding async writes.
+	StoreBufferDepth int
+	Fabric           fabric.Config
+}
+
+// DefaultConfig returns the calibrated baseline.
+func DefaultConfig(computeBlades, memoryBlades, cachePages int) Config {
+	return Config{
+		ComputeBlades:    computeBlades,
+		MemoryBlades:     memoryBlades,
+		CachePages:       cachePages,
+		LocalAccess:      900 * sim.Nanosecond,
+		LockService:      220 * sim.Nanosecond,
+		HomeService:      400 * sim.Nanosecond,
+		Cores:            12,
+		StoreBufferDepth: 16,
+		Fabric:           fabric.DefaultConfig(),
+	}
+}
+
+// pageState is a directory entry at a page's home blade.
+type pageState struct {
+	state   uint8 // 0=I 1=S 2=M
+	owner   int
+	sharers map[int]bool
+	busy    bool
+	waiters []func()
+}
+
+const (
+	stInvalid = iota
+	stShared
+	stModified
+)
+
+// Cluster is a GAM deployment over the shared fabric model.
+type Cluster struct {
+	cfg Config
+	eng *sim.Engine
+	fab *fabric.Fabric
+	col *stats.Collector
+
+	caches []*computeblade.Cache
+	locks  []*sim.Resource // per-blade metadata lock (serial)
+	cpus   []*sim.Resource // per-blade cores
+	homes  []*sim.Resource // per-blade directory handler
+
+	dir    map[mem.VA]*pageState
+	nextVA mem.VA
+
+	threads int
+	active  int
+}
+
+// New creates a GAM cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Cores < 1 {
+		cfg.Cores = 12
+	}
+	if cfg.StoreBufferDepth < 1 {
+		cfg.StoreBufferDepth = 16
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		col:    stats.NewCollector(),
+		dir:    make(map[mem.VA]*pageState),
+		nextVA: 1 << 32,
+	}
+	c.fab = fabric.New(c.eng, cfg.Fabric)
+	for i := 0; i < cfg.ComputeBlades; i++ {
+		c.fab.AddNode(fabric.NodeID(i))
+		c.caches = append(c.caches, computeblade.NewCache(cfg.CachePages))
+		c.locks = append(c.locks, sim.NewResource(fmt.Sprintf("gam-lock-%d", i), 1))
+		c.cpus = append(c.cpus, sim.NewResource(fmt.Sprintf("gam-cpu-%d", i), cfg.Cores))
+		// The home directory handler runs multi-threaded (GAM dedicates
+		// several service threads per node).
+		c.homes = append(c.homes, sim.NewResource(fmt.Sprintf("gam-home-%d", i), 4))
+	}
+	for m := 0; m < cfg.MemoryBlades; m++ {
+		c.fab.AddNode(1000 + fabric.NodeID(m))
+	}
+	return c
+}
+
+// Collector returns run metrics.
+func (c *Cluster) Collector() *stats.Collector { return c.col }
+
+// Engine returns the simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Alloc reserves address space (GAM's specialized memory API; metadata
+// only).
+func (c *Cluster) Alloc(length uint64) (mem.VA, error) {
+	base := mem.AlignUp(c.nextVA, mem.PageSize)
+	c.nextVA = base + mem.VA(mem.NextPow2(length))
+	return base, nil
+}
+
+// home returns the blade owning a page's directory entry.
+func (c *Cluster) home(page mem.VA) int {
+	return int(mem.PageIndex(page)) % c.cfg.ComputeBlades
+}
+
+// memBladeOf returns the memory blade storing a page.
+func (c *Cluster) memBladeOf(page mem.VA) fabric.NodeID {
+	return 1000 + fabric.NodeID(int(mem.PageIndex(page))%c.cfg.MemoryBlades)
+}
+
+func (c *Cluster) entry(page mem.VA) *pageState {
+	e, ok := c.dir[page]
+	if !ok {
+		e = &pageState{sharers: make(map[int]bool)}
+		c.dir[page] = e
+	}
+	return e
+}
+
+// thread executes an access stream with PSO semantics.
+type thread struct {
+	c     *Cluster
+	blade int
+	gen   core.AccessGen
+	done  bool
+
+	pendingWrites map[mem.VA]int
+	pendingTotal  int
+	stVA          mem.VA
+	stWrite       bool
+	stValid       bool
+	blockedOn     mem.VA
+	waitingDrain  bool
+
+	ops uint64
+}
+
+// Spawn starts a thread on a blade.
+func (c *Cluster) Spawn(blade int, gen core.AccessGen) error {
+	if blade < 0 || blade >= c.cfg.ComputeBlades {
+		return fmt.Errorf("gam: no blade %d", blade)
+	}
+	t := &thread{c: c, blade: blade, gen: gen, pendingWrites: make(map[mem.VA]int)}
+	c.threads++
+	c.active++
+	c.eng.Schedule(0, t.step)
+	return nil
+}
+
+// Run drives the engine until all threads finish and returns the finish
+// time.
+func (c *Cluster) Run() sim.Time {
+	for c.active > 0 {
+		if !c.eng.Step() {
+			panic("gam: wedged")
+		}
+	}
+	end := c.eng.Now()
+	c.eng.Run()
+	return end
+}
+
+const inlineBatch = 2048
+
+func (t *thread) step() {
+	c := t.c
+	var local sim.Duration
+	for i := 0; i < inlineBatch && local < 5*sim.Microsecond; i++ {
+		va, write, ok := t.gen()
+		if !ok {
+			t.done = true
+			c.active--
+			return
+		}
+		page := mem.PageBase(va)
+
+		// PSO read-after-write hazard. (The access is not counted yet:
+		// stalled accesses count when they actually execute on replay.)
+		if !write && t.pendingWrites[page] > 0 {
+			t.stVA, t.stWrite, t.stValid = va, write, true
+			t.blockedOn, t.waitingDrain = page, true
+			return
+		}
+
+		// Every access pays the software path: lock + library overhead,
+		// scheduled on the blade's core pool.
+		now := c.eng.Now().Add(local)
+		_, lockEnd := c.locks[t.blade].Reserve(now, c.cfg.LockService)
+		_, cpuEnd := c.cpus[t.blade].Reserve(now, c.cfg.LocalAccess)
+		softEnd := lockEnd
+		if cpuEnd > softEnd {
+			softEnd = cpuEnd
+		}
+		local = softEnd.Sub(c.eng.Now())
+
+		p, cached := c.caches[t.blade].Lookup(va)
+		if cached && (!write || p.Writable) {
+			if write {
+				p.Dirty = true
+			}
+			t.ops++
+			c.col.Inc(stats.CtrAccesses, 1)
+			c.col.Inc(stats.CtrLocalHits, 1)
+			continue
+		}
+
+		// Remote path.
+		if write {
+			if t.pendingTotal >= c.cfg.StoreBufferDepth {
+				t.stVA, t.stWrite, t.stValid = va, true, true
+				t.blockedOn, t.waitingDrain = 0, true
+				return
+			}
+			t.ops++
+			c.col.Inc(stats.CtrAccesses, 1)
+			t.pendingWrites[page]++
+			t.pendingTotal++
+			c.eng.Schedule(local, func() { c.remoteAccess(t.blade, page, true, func() { t.drained(page) }) })
+			continue
+		}
+		c.col.Inc(stats.CtrAccesses, 1)
+		c.eng.Schedule(local, func() {
+			c.remoteAccess(t.blade, page, false, func() {
+				t.ops++
+				c.eng.Schedule(0, t.step)
+			})
+		})
+		return
+	}
+	c.eng.Schedule(local, t.step)
+}
+
+func (t *thread) drained(page mem.VA) {
+	if t.pendingWrites[page] > 0 {
+		t.pendingWrites[page]--
+		if t.pendingWrites[page] == 0 {
+			delete(t.pendingWrites, page)
+		}
+	}
+	if t.pendingTotal > 0 {
+		t.pendingTotal--
+	}
+	if !t.waitingDrain {
+		return
+	}
+	if t.blockedOn != 0 && t.pendingWrites[t.blockedOn] > 0 {
+		return
+	}
+	t.waitingDrain = false
+	t.blockedOn = 0
+	if t.stValid {
+		t.stValid = false
+		va, write := t.stVA, t.stWrite
+		// Replay through the normal path by prepending to the stream.
+		prev := t.gen
+		replayed := false
+		t.gen = func() (mem.VA, bool, bool) {
+			if !replayed {
+				replayed = true
+				return va, write, true
+			}
+			return prev()
+		}
+	}
+	t.c.eng.Schedule(0, t.step)
+}
+
+// remoteAccess runs the compute-centric DSM protocol (§2.2): requester →
+// home blade directory → (invalidate/downgrade current holders) → fetch
+// from memory blade → respond. Hops are sequential remote requests.
+func (c *Cluster) remoteAccess(blade int, page mem.VA, write bool, done func()) {
+	c.col.Inc(stats.CtrRemoteAccesses, 1)
+	homeBlade := c.home(page)
+	toHome := func(fn func()) {
+		if homeBlade == blade {
+			// Metadata is local: just the handler service time.
+			_, end := c.homes[homeBlade].Reserve(c.eng.Now(), c.cfg.HomeService)
+			c.eng.At(end, fn)
+			return
+		}
+		c.fab.Unicast(fabric.NodeID(blade), fabric.NodeID(homeBlade), fabric.CtrlMsgBytes, func() {
+			_, end := c.homes[homeBlade].Reserve(c.eng.Now(), c.cfg.HomeService)
+			c.eng.At(end, fn)
+		})
+	}
+	toHome(func() { c.atHome(blade, page, write, done) })
+}
+
+func (c *Cluster) atHome(blade int, page mem.VA, write bool, done func()) {
+	e := c.entry(page)
+	if e.busy {
+		e.waiters = append(e.waiters, func() { c.atHome(blade, page, write, done) })
+		return
+	}
+	e.busy = true
+	finish := func() {
+		e.busy = false
+		if len(e.waiters) > 0 {
+			next := e.waiters[0]
+			e.waiters = e.waiters[1:]
+			c.eng.Schedule(0, next)
+		}
+		done()
+	}
+	fetch := func(after func()) {
+		memN := c.memBladeOf(page)
+		c.fab.Unicast(fabric.NodeID(c.home(page)), memN, fabric.CtrlMsgBytes, func() {
+			c.eng.Schedule(c.fab.MemDMA(), func() {
+				c.fab.Unicast(memN, fabric.NodeID(blade), fabric.PageBytes, after)
+			})
+		})
+	}
+	install := func(writable bool) {
+		cache := c.caches[blade]
+		for cache.NeedsEviction() {
+			v := cache.EvictLRU()
+			c.col.Inc(stats.CtrEvictions, 1)
+			if v.Dirty {
+				c.col.Inc(stats.CtrWritebacks, 1)
+				c.fab.Unicast(fabric.NodeID(blade), c.memBladeOf(v.VA), fabric.PageBytes, func() {})
+			}
+		}
+		p := cache.Insert(page, writable)
+		if writable {
+			p.Dirty = true
+		}
+	}
+
+	invalidateHolders := func(targets []int, downgrade bool, after func()) {
+		if len(targets) == 0 {
+			after()
+			return
+		}
+		remaining := len(targets)
+		for _, tgt := range targets {
+			tgt := tgt
+			c.fab.Unicast(fabric.NodeID(c.home(page)), fabric.NodeID(tgt), fabric.CtrlMsgBytes, func() {
+				c.col.Inc(stats.CtrInvalidations, 1)
+				cache := c.caches[tgt]
+				if p, ok := cache.Peek(page); ok {
+					if p.Dirty {
+						c.col.Inc(stats.CtrFlushedPages, 1)
+						c.fab.Unicast(fabric.NodeID(tgt), c.memBladeOf(page), fabric.PageBytes, func() {})
+						p.Dirty = false
+					}
+					if downgrade {
+						p.Writable = false
+					} else {
+						cache.Remove(page)
+					}
+				}
+				// ACK back to home.
+				c.fab.Unicast(fabric.NodeID(tgt), fabric.NodeID(c.home(page)), fabric.CtrlMsgBytes, func() {
+					remaining--
+					if remaining == 0 {
+						after()
+					}
+				})
+			})
+		}
+	}
+
+	if !write {
+		switch e.state {
+		case stModified:
+			if e.owner == blade {
+				fetch(func() { install(true); finish() })
+				return
+			}
+			owner := e.owner
+			e.state = stShared
+			e.sharers = map[int]bool{owner: true, blade: true}
+			invalidateHolders([]int{owner}, true, func() {
+				fetch(func() { install(false); finish() })
+			})
+		default:
+			e.state = stShared
+			e.sharers[blade] = true
+			fetch(func() { install(false); finish() })
+		}
+		return
+	}
+	// Write.
+	switch e.state {
+	case stModified:
+		if e.owner == blade {
+			fetch(func() { install(true); finish() })
+			return
+		}
+		owner := e.owner
+		e.owner = blade
+		e.sharers = map[int]bool{blade: true}
+		invalidateHolders([]int{owner}, false, func() {
+			fetch(func() { install(true); finish() })
+		})
+	case stShared:
+		var targets []int
+		for s := range e.sharers {
+			if s != blade {
+				targets = append(targets, s)
+			}
+		}
+		e.state = stModified
+		e.owner = blade
+		e.sharers = map[int]bool{blade: true}
+		invalidateHolders(targets, false, func() {
+			fetch(func() { install(true); finish() })
+		})
+	default:
+		e.state = stModified
+		e.owner = blade
+		e.sharers = map[int]bool{blade: true}
+		fetch(func() { install(true); finish() })
+	}
+}

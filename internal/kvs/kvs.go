@@ -1,0 +1,246 @@
+// Package kvs is the "Native-KVS" of the paper's evaluation (§7.1): a
+// simple hash-table key-value store written directly against MIND's
+// transparent shared-memory API. Threads on any compute blade can attach
+// to the same store and operate on it; MIND's in-network coherence keeps
+// their views consistent with no KVS-level messaging.
+//
+// Layout within one vma (all offsets are bytes relative to the base; 0
+// means nil since offset 0 holds the header):
+//
+//	[0..8)                     heap bump pointer (next free offset)
+//	[8..8+8*buckets)           bucket heads (offset of first item)
+//	[heapStart..)              items
+//
+// Item encoding (never crosses a page boundary):
+//
+//	[0..8)   next item offset
+//	[8..12)  key length
+//	[12..16) value length
+//	[16..)   key bytes, then value bytes
+//
+// MIND provides coherence, not atomicity: like any shared-memory program,
+// concurrent writers to the same bucket need external synchronization.
+// The simulation's synchronous API serializes operations, so the examples
+// and tests are race-free by construction.
+package kvs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mind/internal/core"
+	"mind/internal/mem"
+)
+
+// ErrTooLarge is returned when key+value cannot fit in one page.
+var ErrTooLarge = errors.New("kvs: key+value too large for one page")
+
+// ErrFull is returned when the heap is exhausted.
+var ErrFull = errors.New("kvs: store full")
+
+const itemHeader = 16
+
+// Store is one client handle bound to a thread (and thus a compute
+// blade). Multiple handles may attach to the same underlying memory.
+type Store struct {
+	t        *core.Thread
+	base     mem.VA
+	buckets  uint64
+	capacity uint64
+}
+
+// Create allocates and initializes a store with the given bucket count
+// and heap capacity, owned by the thread's process.
+func Create(p *core.Process, t *core.Thread, buckets, heapBytes uint64) (*Store, error) {
+	if buckets == 0 {
+		return nil, fmt.Errorf("kvs: need at least one bucket")
+	}
+	meta := 8 + 8*buckets
+	total := meta + heapBytes
+	vma, err := p.Mmap(total, mem.PermReadWrite)
+	if err != nil {
+		return nil, fmt.Errorf("kvs: allocate store: %w", err)
+	}
+	s := &Store{t: t, base: vma.Base, buckets: buckets, capacity: mem.NextPow2(total)}
+	heapStart := (meta + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+	if err := t.Store(vma.Base, heapStart); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Attach binds another thread (possibly on another blade) to an existing
+// store.
+func Attach(t *core.Thread, base mem.VA, buckets uint64) *Store {
+	return &Store{t: t, base: base, buckets: buckets}
+}
+
+// Base returns the store's base address (for Attach).
+func (s *Store) Base() mem.VA { return s.base }
+
+// fnv1a hashes a key.
+func fnv1a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s *Store) bucketAddr(key []byte) mem.VA {
+	return s.base + 8 + mem.VA((fnv1a(key)%s.buckets)*8)
+}
+
+// allocItem bumps the heap pointer, skipping to the next page when the
+// item would straddle a boundary.
+func (s *Store) allocItem(size uint64) (mem.VA, error) {
+	if size > mem.PageSize {
+		return 0, ErrTooLarge
+	}
+	cur, err := s.t.Load(s.base)
+	if err != nil {
+		return 0, err
+	}
+	off := cur
+	pageRem := mem.PageSize - off%mem.PageSize
+	if pageRem < size {
+		off += pageRem
+	}
+	if s.capacity > 0 && off+size > s.capacity {
+		return 0, ErrFull
+	}
+	if err := s.t.Store(s.base, off+size); err != nil {
+		return 0, err
+	}
+	return s.base + mem.VA(off), nil
+}
+
+// readItem loads an item's header and key.
+func (s *Store) readItem(addr mem.VA) (next mem.VA, key []byte, valLen uint32, err error) {
+	hdr, err := s.t.LoadBytes(addr, itemHeader)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	nextOff := binary.LittleEndian.Uint64(hdr[0:8])
+	keyLen := binary.LittleEndian.Uint32(hdr[8:12])
+	valLen = binary.LittleEndian.Uint32(hdr[12:16])
+	key, err = s.t.LoadBytes(addr+itemHeader, int(keyLen))
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if nextOff != 0 {
+		next = s.base + mem.VA(nextOff)
+	}
+	return next, key, valLen, nil
+}
+
+// Put inserts or updates a key. Same-length updates happen in place;
+// otherwise a new item is prepended to the bucket chain (shadowing the
+// old one).
+func (s *Store) Put(key, value []byte) error {
+	if uint64(itemHeader+len(key)+len(value)) > mem.PageSize {
+		return ErrTooLarge
+	}
+	bucket := s.bucketAddr(key)
+	headOff, err := s.t.Load(bucket)
+	if err != nil {
+		return err
+	}
+	// In-place update scan.
+	for addr := headOff; addr != 0; {
+		itemAddr := s.base + mem.VA(addr)
+		next, k, valLen, err := s.readItem(itemAddr)
+		if err != nil {
+			return err
+		}
+		if bytes.Equal(k, key) && int(valLen) == len(value) {
+			return s.t.StoreBytes(itemAddr+itemHeader+mem.VA(len(key)), value)
+		}
+		if next == 0 {
+			break
+		}
+		addr = uint64(next - s.base)
+	}
+	// Prepend a fresh item.
+	size := uint64(itemHeader + len(key) + len(value))
+	item, err := s.allocItem(size)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, itemHeader)
+	binary.LittleEndian.PutUint64(hdr[0:8], headOff)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(value)))
+	if err := s.t.StoreBytes(item, hdr); err != nil {
+		return err
+	}
+	if err := s.t.StoreBytes(item+itemHeader, key); err != nil {
+		return err
+	}
+	if err := s.t.StoreBytes(item+itemHeader+mem.VA(len(key)), value); err != nil {
+		return err
+	}
+	return s.t.Store(bucket, uint64(item-s.base))
+}
+
+// Get returns the value for key, or found=false.
+func (s *Store) Get(key []byte) (value []byte, found bool, err error) {
+	bucket := s.bucketAddr(key)
+	headOff, err := s.t.Load(bucket)
+	if err != nil {
+		return nil, false, err
+	}
+	for addr := headOff; addr != 0; {
+		itemAddr := s.base + mem.VA(addr)
+		next, k, valLen, err := s.readItem(itemAddr)
+		if err != nil {
+			return nil, false, err
+		}
+		if bytes.Equal(k, key) {
+			v, err := s.t.LoadBytes(itemAddr+itemHeader+mem.VA(len(k)), int(valLen))
+			return v, true, err
+		}
+		if next == 0 {
+			return nil, false, nil
+		}
+		addr = uint64(next - s.base)
+	}
+	return nil, false, nil
+}
+
+// Delete unlinks a key from its bucket chain. It returns whether the key
+// was present.
+func (s *Store) Delete(key []byte) (bool, error) {
+	bucket := s.bucketAddr(key)
+	headOff, err := s.t.Load(bucket)
+	if err != nil {
+		return false, err
+	}
+	var prev mem.VA // item whose next pointer references the current item
+	for addr := headOff; addr != 0; {
+		itemAddr := s.base + mem.VA(addr)
+		next, k, _, err := s.readItem(itemAddr)
+		if err != nil {
+			return false, err
+		}
+		var nextOff uint64
+		if next != 0 {
+			nextOff = uint64(next - s.base)
+		}
+		if bytes.Equal(k, key) {
+			if prev == 0 {
+				return true, s.t.Store(bucket, nextOff)
+			}
+			return true, s.t.Store(prev, nextOff)
+		}
+		prev = itemAddr // next pointer lives at item offset 0
+		if next == 0 {
+			return false, nil
+		}
+		addr = nextOff
+	}
+	return false, nil
+}

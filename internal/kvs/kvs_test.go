@@ -1,0 +1,215 @@
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mind/internal/core"
+)
+
+func newStore(t *testing.T, computeBlades int) (*core.Cluster, *core.Process, []*core.Thread, *Store) {
+	t.Helper()
+	cfg := core.DefaultConfig(computeBlades, 2)
+	cfg.MemoryBladeCapacity = 1 << 28
+	cfg.CachePagesPerBlade = 2048
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Exec("kvs")
+	var threads []*core.Thread
+	for i := 0; i < computeBlades; i++ {
+		th, err := p.SpawnThread(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		threads = append(threads, th)
+	}
+	s, err := Create(p, threads[0], 256, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p, threads, s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, _, _, s := newStore(t, 1)
+	if err := s.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := s.Get([]byte("hello"))
+	if err != nil || !found {
+		t.Fatalf("get: %v found=%v", err, found)
+	}
+	if string(v) != "world" {
+		t.Errorf("value = %q", v)
+	}
+	if _, found, _ := s.Get([]byte("missing")); found {
+		t.Error("missing key found")
+	}
+}
+
+func TestUpdateInPlaceAndResize(t *testing.T) {
+	_, _, _, s := newStore(t, 1)
+	key := []byte("k")
+	if err := s.Put(key, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("bbbb")); err != nil { // same length: in place
+		t.Fatal(err)
+	}
+	v, _, _ := s.Get(key)
+	if string(v) != "bbbb" {
+		t.Errorf("after same-size update: %q", v)
+	}
+	if err := s.Put(key, []byte("longer-value")); err != nil { // resize: shadow
+		t.Fatal(err)
+	}
+	v, _, _ = s.Get(key)
+	if string(v) != "longer-value" {
+		t.Errorf("after resize: %q", v)
+	}
+}
+
+func TestManyKeysWithCollisions(t *testing.T) {
+	_, _, _, s := newStore(t, 1)
+	// 256 buckets, 1000 keys: plenty of chaining.
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v := []byte(fmt.Sprintf("val-%04d", i*i))
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v, found, err := s.Get(k)
+		if err != nil || !found {
+			t.Fatalf("key %d: %v found=%v", i, err, found)
+		}
+		if string(v) != fmt.Sprintf("val-%04d", i*i) {
+			t.Fatalf("key %d value = %q", i, v)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, _, _, s := newStore(t, 1)
+	// Several keys in (likely) shared buckets.
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}
+	for i, k := range keys {
+		if err := s.Put(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found, err := s.Delete([]byte("b"))
+	if err != nil || !found {
+		t.Fatalf("delete: %v %v", found, err)
+	}
+	if _, found, _ := s.Get([]byte("b")); found {
+		t.Error("deleted key still present")
+	}
+	for _, k := range [][]byte{[]byte("a"), []byte("c"), []byte("d")} {
+		if _, found, _ := s.Get(k); !found {
+			t.Errorf("key %q lost after unrelated delete", k)
+		}
+	}
+	if found, _ := s.Delete([]byte("zz")); found {
+		t.Error("deleting missing key reported found")
+	}
+}
+
+func TestCrossBladeKVSCoherence(t *testing.T) {
+	// The headline property: a store written from blade 0 is readable
+	// and writable from blade 1 with no application-level coordination.
+	_, _, threads, s0 := newStore(t, 2)
+	s1 := Attach(threads[1], s0.Base(), 256)
+
+	if err := s0.Put([]byte("shared"), []byte("from-blade-0")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := s1.Get([]byte("shared"))
+	if err != nil || !found {
+		t.Fatalf("blade 1 get: %v %v", err, found)
+	}
+	if string(v) != "from-blade-0" {
+		t.Errorf("blade 1 read %q", v)
+	}
+	// Blade 1 updates; blade 0 observes.
+	if err := s1.Put([]byte("shared"), []byte("from-blade-1")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = s0.Get([]byte("shared"))
+	if string(v) != "from-blade-1" {
+		t.Errorf("blade 0 read %q after blade 1 update", v)
+	}
+	// Interleaved inserts from both blades all remain visible everywhere.
+	for i := 0; i < 50; i++ {
+		src := s0
+		if i%2 == 1 {
+			src = s1
+		}
+		if err := src.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		for _, s := range []*Store{s0, s1} {
+			v, found, err := s.Get([]byte(fmt.Sprintf("k%02d", i)))
+			if err != nil || !found || string(v) != fmt.Sprintf("v%02d", i) {
+				t.Fatalf("k%02d: %q found=%v err=%v", i, v, found, err)
+			}
+		}
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	_, _, _, s := newStore(t, 1)
+	big := make([]byte, 5000)
+	if err := s.Put([]byte("k"), big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized put: %v", err)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	cfg := core.DefaultConfig(1, 1)
+	cfg.MemoryBladeCapacity = 1 << 28
+	cfg.CachePagesPerBlade = 256
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Exec("kvs")
+	th, _ := p.SpawnThread(0)
+	s, err := Create(p, th, 16, 8192) // tiny heap
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	for i := 0; i < 200; i++ {
+		err := s.Put([]byte(fmt.Sprintf("key-%d", i)), make([]byte, 200))
+		if errors.Is(err, ErrFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Error("tiny heap never filled")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	cfg := core.DefaultConfig(1, 1)
+	cfg.MemoryBladeCapacity = 1 << 28
+	cfg.CachePagesPerBlade = 64
+	c, _ := core.NewCluster(cfg)
+	p := c.Exec("kvs")
+	th, _ := p.SpawnThread(0)
+	if _, err := Create(p, th, 0, 1024); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}

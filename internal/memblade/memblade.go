@@ -1,0 +1,66 @@
+// Package memblade models a MIND memory blade (§6.2): a passive page
+// store served entirely by one-sided RDMA — no CPU involvement beyond
+// one-time registration. All timing (NIC serialization, DMA service) is
+// modelled in the fabric and the directory's protocol path; this package
+// only holds bytes.
+package memblade
+
+import (
+	"mind/internal/mem"
+)
+
+// Blade is one memory blade's page store. Pages materialize lazily: a
+// page read before any write returns zeroes without allocating, so
+// metadata-only simulations (synthetic traces over hundreds of thousands
+// of pages) stay cheap while functional workloads (the KVS) get real
+// bytes.
+type Blade struct {
+	id    int
+	pages map[uint64][]byte // page index -> 4 KB contents
+
+	reads  uint64
+	writes uint64
+}
+
+// New creates an empty blade.
+func New(id int) *Blade {
+	return &Blade{id: id, pages: make(map[uint64][]byte)}
+}
+
+// ID returns the blade id.
+func (b *Blade) ID() int { return b.id }
+
+// ReadPage returns the page containing va, or nil if it was never
+// materialized (all-zero). The returned slice is a copy.
+func (b *Blade) ReadPage(va mem.VA) []byte {
+	b.reads++
+	p, ok := b.pages[mem.PageIndex(va)]
+	if !ok {
+		return nil
+	}
+	cp := make([]byte, mem.PageSize)
+	copy(cp, p)
+	return cp
+}
+
+// WritePage stores the page containing va. A nil data writes nothing (a
+// never-materialized page stays zero) — used by barrier writebacks.
+func (b *Blade) WritePage(va mem.VA, data []byte) {
+	b.writes++
+	if data == nil {
+		return
+	}
+	idx := mem.PageIndex(va)
+	p, ok := b.pages[idx]
+	if !ok {
+		p = make([]byte, mem.PageSize)
+		b.pages[idx] = p
+	}
+	copy(p, data)
+}
+
+// MaterializedPages returns how many pages hold real bytes.
+func (b *Blade) MaterializedPages() int { return len(b.pages) }
+
+// Ops returns served one-sided reads and writes.
+func (b *Blade) Ops() (reads, writes uint64) { return b.reads, b.writes }

@@ -1,0 +1,64 @@
+package memblade
+
+import (
+	"testing"
+
+	"mind/internal/mem"
+)
+
+func TestReadUnwrittenReturnsNil(t *testing.T) {
+	b := New(0)
+	if got := b.ReadPage(0x1000); got != nil {
+		t.Errorf("unwritten page = %v, want nil (all-zero)", got)
+	}
+	if b.MaterializedPages() != 0 {
+		t.Error("read must not materialize")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := New(1)
+	data := make([]byte, mem.PageSize)
+	data[0], data[4095] = 0xAA, 0xBB
+	b.WritePage(0x2000, data)
+	got := b.ReadPage(0x2345) // any address within the page
+	if got == nil || got[0] != 0xAA || got[4095] != 0xBB {
+		t.Fatalf("round trip failed: %v...", got[:2])
+	}
+	// The returned slice is a copy: mutating it must not affect the store.
+	got[0] = 0x00
+	if b.ReadPage(0x2000)[0] != 0xAA {
+		t.Error("ReadPage returned an aliased slice")
+	}
+	if b.MaterializedPages() != 1 {
+		t.Errorf("materialized = %d", b.MaterializedPages())
+	}
+}
+
+func TestNilWriteIsBarrier(t *testing.T) {
+	b := New(0)
+	b.WritePage(0x3000, nil)
+	if b.MaterializedPages() != 0 {
+		t.Error("nil write materialized a page")
+	}
+	reads, writes := b.Ops()
+	if reads != 0 || writes != 1 {
+		t.Errorf("ops = %d/%d", reads, writes)
+	}
+}
+
+func TestPartialOverwrite(t *testing.T) {
+	b := New(0)
+	d1 := make([]byte, mem.PageSize)
+	d1[100] = 1
+	b.WritePage(0x4000, d1)
+	d2 := make([]byte, mem.PageSize)
+	d2[100] = 2
+	b.WritePage(0x4000, d2)
+	if b.ReadPage(0x4000)[100] != 2 {
+		t.Error("overwrite lost")
+	}
+	if b.MaterializedPages() != 1 {
+		t.Error("overwrite duplicated the page")
+	}
+}

@@ -1,0 +1,188 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// used by every component of the MIND reproduction: a virtual clock in
+// integer nanoseconds, an event heap, FIFO service resources for modelling
+// queueing (NICs, switch pipelines, invalidation handlers), and a
+// deterministic random-number source.
+//
+// The engine is strictly single-threaded: all component state is mutated
+// inside event callbacks, executed in (time, sequence) order, so runs are
+// bit-for-bit reproducible given the same seed and configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts the duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros converts the duration to floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	idx int // heap index, -1 when not queued
+}
+
+// Canceled reports whether the event was removed before firing.
+func (e *Event) Canceled() bool { return e.idx < 0 && e.fn == nil }
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core. Create one with NewEngine;
+// the zero value is not usable.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Executed counts events dispatched since creation, for debugging and
+	// runaway detection in tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn to run after delay. A negative delay is treated as
+// zero (the event runs at the current time, after already-queued events at
+// that time). It returns the event so callers may cancel it.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now.Add(delay), fn)
+}
+
+// At enqueues fn to run at the absolute virtual time at. Times in the past
+// are clamped to the current time.
+func (e *Engine) At(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.fn = nil
+	ev.idx = -1
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step dispatches the single earliest event, advancing the clock to its
+// timestamp. It returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.Executed++
+	fn()
+	return true
+}
+
+// Run dispatches events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= deadline, then sets the
+// clock to deadline if the simulation ran dry earlier. Events scheduled
+// beyond deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }

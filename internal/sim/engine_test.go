@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("final clock = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	// Events at identical timestamps must fire in scheduling order.
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d fired out of order (got %d)", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Schedule(12, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	want := []Time{10, 12, 15}
+	for i, w := range want {
+		if fired[i] != w {
+			t.Fatalf("fired=%v want=%v", fired, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(10, func() { ran = true })
+	e.Cancel(ev)
+	e.Run()
+	if ran {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("event not marked canceled")
+	}
+	// Double-cancel and cancel-nil must not panic.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.Schedule(Duration(i+1), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i*10), func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Errorf("clock = %d, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 200 {
+		t.Errorf("clock = %d, want 200 (idle advance)", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 after Stop", count)
+	}
+	if e.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		// Scheduling into the past must clamp to now, not rewind time.
+		e.At(10, func() {
+			if e.Now() != 100 {
+				t.Errorf("past event ran at %d, want clamp to 100", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Error("negative-delay event did not run")
+	}
+}
+
+func TestResourceSerialQueueing(t *testing.T) {
+	r := NewResource("nic", 1)
+	s1, e1 := r.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first job: start=%d end=%d", s1, e1)
+	}
+	s2, e2 := r.Reserve(0, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second job queued wrong: start=%d end=%d", s2, e2)
+	}
+	// A job arriving after the backlog drains starts immediately.
+	s3, e3 := r.Reserve(100, 5)
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("third job: start=%d end=%d", s3, e3)
+	}
+	served, busy, waited, maxWait := r.Stats()
+	if served != 3 || busy != 25 || waited != 10 || maxWait != 10 {
+		t.Errorf("stats: served=%d busy=%d waited=%d max=%d", served, busy, waited, maxWait)
+	}
+}
+
+func TestResourceParallelSlots(t *testing.T) {
+	r := NewResource("pipe", 2)
+	_, e1 := r.Reserve(0, 10)
+	_, e2 := r.Reserve(0, 10)
+	if e1 != 10 || e2 != 10 {
+		t.Fatalf("two slots should serve in parallel: %d %d", e1, e2)
+	}
+	s3, _ := r.Reserve(0, 10)
+	if s3 != 10 {
+		t.Fatalf("third job should queue: start=%d", s3)
+	}
+}
+
+func TestResourceQueueDelay(t *testing.T) {
+	r := NewResource("x", 1)
+	r.Reserve(0, 100)
+	if d := r.QueueDelay(20); d != 80 {
+		t.Errorf("QueueDelay(20) = %d, want 80", d)
+	}
+	if d := r.QueueDelay(200); d != 0 {
+		t.Errorf("QueueDelay(200) = %d, want 0", d)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x", 1)
+	r.Reserve(0, 100)
+	r.Reset()
+	s, _ := r.Reserve(0, 10)
+	if s != 0 {
+		t.Errorf("after reset start=%d, want 0", s)
+	}
+	served, _, _, _ := r.Stats()
+	if served != 1 {
+		t.Errorf("served=%d after reset+1, want 1", served)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7, "blade-0")
+	b := NewRNG(7, "blade-0")
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, tag) produced different streams")
+		}
+	}
+	c := NewRNG(7, "blade-1")
+	same := 0
+	a = NewRNG(7, "blade-0")
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different tags produced %d/1000 identical values", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(1, "t")
+	f := func(n uint16) bool {
+		nn := int(n%1000) + 1
+		v := r.Intn(nn)
+		return v >= 0 && v < nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3, "f")
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	r := NewRNG(4, "b")
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	// Rough proportion check.
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if hits < 28000 || hits > 32000 {
+		t.Errorf("Bool(0.3) hit %d/100000, want ~30000", hits)
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := NewRNG(5, "z")
+	const n = 1000
+	z := NewZipf(r, n, 0.99)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Key 0 must be the hottest by a wide margin under theta=0.99.
+	if counts[0] < counts[n/2]*10 {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[mid]=%d", counts[0], counts[n/2])
+	}
+}
+
+func TestZipfLargeRange(t *testing.T) {
+	r := NewRNG(6, "z2")
+	z := NewZipf(r, 10_000_000, 0.99)
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(); v >= 10_000_000 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	d := 1500 * Nanosecond
+	if d.Micros() != 1.5 {
+		t.Errorf("Micros = %v", d.Micros())
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Errorf("Seconds = %v", (2 * Second).Seconds())
+	}
+	tm := Time(100).Add(50)
+	if tm != 150 {
+		t.Errorf("Add = %v", tm)
+	}
+	if tm.Sub(100) != 50 {
+		t.Errorf("Sub = %v", tm.Sub(100))
+	}
+}
+
+// The engine must tolerate heavy churn: schedule/cancel interleavings keep
+// heap indices consistent.
+func TestEngineHeapChurnProperty(t *testing.T) {
+	rng := NewRNG(99, "churn")
+	e := NewEngine()
+	live := map[*Event]bool{}
+	fired := 0
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			ev := e.Schedule(Duration(rng.Intn(1000)), func() { fired++ })
+			live[ev] = true
+		case 2:
+			for ev := range live {
+				e.Cancel(ev)
+				delete(live, ev)
+				break
+			}
+		}
+	}
+	e.Run()
+	if fired == 0 {
+		t.Error("nothing fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after Run", e.Pending())
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i%1000), func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,148 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64 seeded xorshift128+). Every simulated component that needs
+// randomness derives its own RNG from the run seed plus a component tag so
+// results are independent of event interleaving.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// splitmix64 expands a seed into well-distributed state words.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed and a component tag. The same
+// (seed, tag) pair always yields the same stream.
+func NewRNG(seed uint64, tag string) *RNG {
+	x := seed
+	for _, c := range []byte(tag) {
+		x = x*131 + uint64(c)
+	}
+	r := &RNG{}
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Zipf draws from a bounded Zipf-like distribution over [0, n) with skew
+// theta in (0, 1) using the standard YCSB-style rejection-free inverse
+// method approximation. theta = 0 degenerates to uniform.
+type Zipf struct {
+	rng   *RNG
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf constructs a Zipf sampler over [0, n) with parameter theta
+// (commonly 0.99 for YCSB).
+func NewZipf(rng *RNG, n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("sim: Zipf over empty range")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - powF(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact for small n; integral approximation for the tail keeps
+	// construction O(1e4) regardless of range size.
+	const maxExact = 10000
+	if n <= maxExact {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1.0 / powF(float64(i), theta)
+		}
+		return sum
+	}
+	sum := zeta(maxExact, theta)
+	a := float64(maxExact)
+	b := float64(n)
+	if theta == 1 {
+		return sum + math.Log(b) - math.Log(a)
+	}
+	return sum + (powF(b, 1-theta)-powF(a, 1-theta))/(1-theta)
+}
+
+func powF(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}
+
+// Next draws the next Zipf value in [0, n).
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+powF(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * powF(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}

@@ -1,0 +1,273 @@
+// Package stats collects the metrics the MIND evaluation reports: event
+// counters, latency-component breakdowns (Figure 7 right), time series of
+// switch resource occupancy (Figure 8 left), histograms, and Jain's
+// fairness index (Figure 8 right).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mind/internal/sim"
+)
+
+// Counter names used across the simulator. Components register counts
+// under these keys so experiment runners can read them uniformly.
+const (
+	CtrAccesses       = "accesses"        // memory LOAD/STOREs issued
+	CtrLocalHits      = "local_hits"      // served from compute-blade cache
+	CtrRemoteAccesses = "remote_accesses" // page faults requiring the fabric
+	CtrInvalidations  = "invalidations"   // invalidation requests delivered
+	CtrFlushedPages   = "flushed_pages"   // dirty pages written back on invalidation
+	CtrFalseInvals    = "false_invals"    // flushed pages other than the requested one
+	CtrEvictions      = "evictions"       // cache-capacity evictions
+	CtrWritebacks     = "writebacks"      // dirty evictions written back
+	CtrSplits         = "region_splits"   // bounded-splitting splits
+	CtrMerges         = "region_merges"   // bounded-splitting merges
+	CtrResets         = "coherence_resets"
+	CtrRetransmits    = "retransmits"
+	CtrRejected       = "protection_rejects"
+	CtrRecirculations = "recirculations"
+	CtrMulticasts     = "multicasts"
+	CtrPrunedCopies   = "pruned_copies" // multicast copies dropped at egress
+)
+
+// Latency component names (Figure 7 right breakdown).
+const (
+	LatPgFault  = "pgfault"
+	LatNetwork  = "network"
+	LatInvQueue = "inv_queue"
+	LatInvTLB   = "inv_tlb"
+)
+
+// Collector accumulates all metrics for one simulation run. It is not
+// safe for concurrent use; the simulator is single-threaded.
+type Collector struct {
+	counters map[string]uint64
+	// Latency component sums and the count of sampled operations, keyed by
+	// component name.
+	latSum   map[string]sim.Duration
+	latCount map[string]uint64
+	series   map[string]*Series
+	hists    map[string]*Histogram
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: make(map[string]uint64),
+		latSum:   make(map[string]sim.Duration),
+		latCount: make(map[string]uint64),
+		series:   make(map[string]*Series),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (c *Collector) Inc(name string, delta uint64) { c.counters[name] += delta }
+
+// Counter returns the current value of the named counter (zero if never
+// incremented).
+func (c *Collector) Counter(name string) uint64 { return c.counters[name] }
+
+// PerAccess returns counter/accesses, the normalization used by Figure 6.
+func (c *Collector) PerAccess(name string) float64 {
+	a := c.counters[CtrAccesses]
+	if a == 0 {
+		return 0
+	}
+	return float64(c.counters[name]) / float64(a)
+}
+
+// AddLatency accumulates d under the named latency component.
+func (c *Collector) AddLatency(component string, d sim.Duration) {
+	c.latSum[component] += d
+	c.latCount[component]++
+}
+
+// MeanLatency returns the mean of the named component over ops sampled
+// operations. If ops is zero the component's own sample count is used.
+func (c *Collector) MeanLatency(component string, ops uint64) sim.Duration {
+	if ops == 0 {
+		ops = c.latCount[component]
+	}
+	if ops == 0 {
+		return 0
+	}
+	return sim.Duration(int64(c.latSum[component]) / int64(ops))
+}
+
+// LatencySum returns the total accumulated duration for a component.
+func (c *Collector) LatencySum(component string) sim.Duration { return c.latSum[component] }
+
+// Series returns (creating on first use) a named time series.
+func (c *Collector) Series(name string) *Series {
+	s, ok := c.series[name]
+	if !ok {
+		s = &Series{}
+		c.series[name] = s
+	}
+	return s
+}
+
+// Histogram returns (creating on first use) a named histogram.
+func (c *Collector) Histogram(name string) *Histogram {
+	h, ok := c.hists[name]
+	if !ok {
+		h = NewHistogram()
+		c.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a copy of all plain counters, for test assertions.
+func (c *Collector) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Series is an append-only (time, value) sequence, e.g. directory entries
+// in use sampled each epoch (Figure 8 left).
+type Series struct {
+	Times  []sim.Time
+	Values []float64
+}
+
+// Append records one sample.
+func (s *Series) Append(t sim.Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Max returns the maximum value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Normalized returns values with times rescaled to [0,1] of the run, the
+// form Figure 8 (left) plots.
+func (s *Series) Normalized() (x, y []float64) {
+	if len(s.Times) == 0 {
+		return nil, nil
+	}
+	t0 := s.Times[0]
+	t1 := s.Times[len(s.Times)-1]
+	span := float64(t1 - t0)
+	if span == 0 {
+		span = 1
+	}
+	x = make([]float64, len(s.Times))
+	y = make([]float64, len(s.Values))
+	for i := range s.Times {
+		x[i] = float64(s.Times[i]-t0) / span
+		y[i] = s.Values[i]
+	}
+	return x, y
+}
+
+// Histogram is a simple exact-value histogram over int64 samples with
+// percentile queries; sample counts in this simulator are small enough
+// that exact storage is fine.
+type Histogram struct {
+	samples []int64
+	sorted  bool
+	sum     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the sample mean, 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by
+// nearest-rank; 0 if empty.
+func (h *Histogram) Percentile(p float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return h.samples[rank-1]
+}
+
+// JainFairness computes Jain's fairness index (Σx)² / (n·Σx²) over the
+// given loads — 1.0 is perfectly balanced, 1/n is maximally skewed.
+// An all-zero or empty input returns 1 (nothing allocated is trivially
+// fair, matching the paper's plots which start at 1).
+func JainFairness(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range loads {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(loads)) * sumSq)
+}
+
+// FormatPerAccess renders a per-access rate the way the paper's Figure 6
+// axis does (occurrences per access, log scale), for human-readable CLI
+// output.
+func FormatPerAccess(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e", v)
+}

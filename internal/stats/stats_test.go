@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mind/internal/sim"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCollector()
+	c.Inc(CtrAccesses, 100)
+	c.Inc(CtrInvalidations, 5)
+	if c.Counter(CtrAccesses) != 100 {
+		t.Errorf("accesses = %d", c.Counter(CtrAccesses))
+	}
+	if got := c.PerAccess(CtrInvalidations); got != 0.05 {
+		t.Errorf("per-access = %v, want 0.05", got)
+	}
+	if c.Counter("never") != 0 {
+		t.Error("unknown counter should be 0")
+	}
+}
+
+func TestPerAccessZeroDenominator(t *testing.T) {
+	c := NewCollector()
+	c.Inc(CtrInvalidations, 5)
+	if got := c.PerAccess(CtrInvalidations); got != 0 {
+		t.Errorf("per-access with zero accesses = %v, want 0", got)
+	}
+}
+
+func TestLatencyBreakdown(t *testing.T) {
+	c := NewCollector()
+	c.AddLatency(LatNetwork, 6*sim.Microsecond)
+	c.AddLatency(LatNetwork, 4*sim.Microsecond)
+	c.AddLatency(LatPgFault, 2*sim.Microsecond)
+	if got := c.MeanLatency(LatNetwork, 0); got != 5*sim.Microsecond {
+		t.Errorf("mean network = %v", got)
+	}
+	// Explicit op count normalization (e.g. mean across all ops, not only
+	// ops that experienced the component).
+	if got := c.MeanLatency(LatPgFault, 4); got != 500*sim.Nanosecond {
+		t.Errorf("mean pgfault over 4 ops = %v", got)
+	}
+	if c.LatencySum(LatPgFault) != 2*sim.Microsecond {
+		t.Errorf("sum = %v", c.LatencySum(LatPgFault))
+	}
+	if c.MeanLatency("none", 0) != 0 {
+		t.Error("empty component should be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	c := NewCollector()
+	s := c.Series("dir")
+	s.Append(0, 10)
+	s.Append(50, 30)
+	s.Append(100, 20)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Max() != 30 {
+		t.Errorf("max = %v", s.Max())
+	}
+	if s.Mean() != 20 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	x, y := s.Normalized()
+	if x[0] != 0 || x[1] != 0.5 || x[2] != 1 {
+		t.Errorf("normalized x = %v", x)
+	}
+	if y[1] != 30 {
+		t.Errorf("normalized y = %v", y)
+	}
+	// Same name returns the same series.
+	if c.Series("dir") != s {
+		t.Error("Series not memoized")
+	}
+}
+
+func TestSeriesEmptyAndSingle(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Mean() != 0 {
+		t.Error("empty series should be zeros")
+	}
+	x, y := s.Normalized()
+	if x != nil || y != nil {
+		t.Error("empty normalized should be nil")
+	}
+	s.Append(42, 7)
+	x, _ = s.Normalized()
+	if x[0] != 0 {
+		t.Errorf("single-point normalized x = %v", x)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := h.Percentile(99); p != 99 {
+		t.Errorf("p99 = %d", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Errorf("p100 = %d", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Errorf("p0 = %d", p)
+	}
+	// Observing after a percentile query must re-sort.
+	h.Observe(0)
+	if p := h.Percentile(0); p != 0 {
+		t.Errorf("p0 after new min = %d", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("balanced = %v, want 1", got)
+	}
+	if got := JainFairness([]float64{4, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("skewed = %v, want 0.25", got)
+	}
+	if got := JainFairness(nil); got != 1 {
+		t.Errorf("empty = %v, want 1", got)
+	}
+	if got := JainFairness([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero = %v, want 1", got)
+	}
+}
+
+// Property: Jain's index is always in [1/n, 1] for non-negative loads with
+// at least one positive entry.
+func TestJainFairnessBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		any := false
+		for i, v := range raw {
+			loads[i] = float64(v)
+			if v > 0 {
+				any = true
+			}
+		}
+		got := JainFairness(loads)
+		if !any {
+			return got == 1
+		}
+		n := float64(len(loads))
+		return got >= 1/n-1e-9 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram percentiles are monotone in p.
+func TestHistogramMonotoneProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Observe(int64(v))
+		}
+		prev := h.Percentile(0)
+		for p := 5.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatPerAccess(t *testing.T) {
+	if FormatPerAccess(0) != "0" {
+		t.Error("zero format")
+	}
+	if got := FormatPerAccess(0.00123); got != "1.23e-03" {
+		t.Errorf("format = %q", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Inc("a", 1)
+	snap := c.Snapshot()
+	c.Inc("a", 1)
+	if snap["a"] != 1 {
+		t.Error("snapshot should be a copy")
+	}
+}

@@ -1,0 +1,161 @@
+package switchasic
+
+import "fmt"
+
+// Default resource limits measured on the paper's Tofino testbed (§7.2):
+// about 45k match-action rules for translation + protection, and 30k
+// SRAM slots reserved for cache-directory entries.
+const (
+	DefaultRuleCapacity = 45000
+	DefaultSlotCapacity = 30000
+)
+
+// Config sizes an ASIC instance.
+type Config struct {
+	// RuleCapacity bounds the combined translation + protection rule
+	// count (0 = unlimited).
+	RuleCapacity int
+	// SlotCapacity bounds directory entries (0 = unlimited).
+	SlotCapacity int
+	// Stages is the number of match-action stages per pipeline; the MIND
+	// directory transition needs two MAUs plus a recirculation (§6.3).
+	Stages int
+}
+
+// DefaultConfig returns the Tofino-calibrated limits.
+func DefaultConfig() Config {
+	return Config{
+		RuleCapacity: DefaultRuleCapacity,
+		SlotCapacity: DefaultSlotCapacity,
+		Stages:       12,
+	}
+}
+
+// ASIC bundles the data-plane stores MIND programs: the translation
+// table, the protection table, the directory slot SRAM, and the
+// materialized MSI state-transition table (§6.3). It also accounts for
+// multicast replication and egress pruning (§4.3.2).
+type ASIC struct {
+	cfg Config
+
+	// Translation maps virtual addresses to memory blade IDs: one
+	// wildcard-PDID range rule per blade partition plus outlier LPM
+	// entries (§4.1).
+	Translation *TCAM
+	// Protection maps (PDID, va-range) to a permission class (§4.2).
+	Protection *TCAM
+	// Directory is the SRAM slot store for region directory entries.
+	Directory *SlotStore
+
+	// sttEntries counts rules in the materialized state-transition table;
+	// it is a small constant for MSI but grows for MOESI-class protocols
+	// (§8), so we account for it.
+	sttEntries int
+
+	// Multicast group membership: group id -> ports (compute blades).
+	groups map[int][]int
+
+	// Accounting.
+	recirculations  uint64
+	multicasts      uint64
+	prunedCopies    uint64
+	deliveredCopies uint64
+}
+
+// New constructs an ASIC with the given limits. The shared rule budget is
+// split between translation and protection dynamically: both tables draw
+// from one capacity pool, which we model by giving each table the full
+// capacity and checking the combined count in RulesFull.
+func New(cfg Config) *ASIC {
+	a := &ASIC{
+		cfg:         cfg,
+		Translation: NewTCAM("translation", 0),
+		Protection:  NewTCAM("protection", 0),
+		Directory:   NewSlotStore(cfg.SlotCapacity),
+		groups:      make(map[int][]int),
+	}
+	return a
+}
+
+// Rules returns the combined installed match-action rule count.
+func (a *ASIC) Rules() int { return a.Translation.Len() + a.Protection.Len() + a.sttEntries }
+
+// RulesFull reports whether installing n more rules would exceed the
+// shared capacity.
+func (a *ASIC) RulesFull(n int) bool {
+	return a.cfg.RuleCapacity > 0 && a.Rules()+n > a.cfg.RuleCapacity
+}
+
+// RuleCapacity returns the shared rule budget (0 = unlimited).
+func (a *ASIC) RuleCapacity() int { return a.cfg.RuleCapacity }
+
+// InstallSTT records the materialized state-transition table for the
+// coherence protocol: one rule per (state, request-type) pair (§6.3).
+func (a *ASIC) InstallSTT(entries int) { a.sttEntries = entries }
+
+// STTEntries returns the installed transition-table size.
+func (a *ASIC) STTEntries() int { return a.sttEntries }
+
+// SetGroup installs multicast group membership (all compute blades in the
+// rack, §4.3.2).
+func (a *ASIC) SetGroup(id int, ports []int) {
+	cp := make([]int, len(ports))
+	copy(cp, ports)
+	a.groups[id] = cp
+}
+
+// Group returns a group's membership.
+func (a *ASIC) Group(id int) []int { return a.groups[id] }
+
+// PruneMulticast resolves one multicast send: the packet is replicated to
+// every group member, and copies whose output port does not lead to a
+// blade in the sharer list are dropped in the egress pipeline (§4.3.2).
+// It returns the ports that actually receive a copy.
+func (a *ASIC) PruneMulticast(group int, sharers map[int]bool) ([]int, error) {
+	members, ok := a.groups[group]
+	if !ok {
+		return nil, fmt.Errorf("switchasic: unknown multicast group %d", group)
+	}
+	a.multicasts++
+	out := make([]int, 0, len(sharers))
+	for _, p := range members {
+		if sharers[p] {
+			out = append(out, p)
+			a.deliveredCopies++
+		} else {
+			a.prunedCopies++
+		}
+	}
+	return out, nil
+}
+
+// Recirculated increments the recirculation counter (one per directory
+// state transition, §6.3).
+func (a *ASIC) Recirculated() { a.recirculations++ }
+
+// Accounting returns cumulative data-plane counters.
+func (a *ASIC) Accounting() (recircs, multicasts, pruned, delivered uint64) {
+	return a.recirculations, a.multicasts, a.prunedCopies, a.deliveredCopies
+}
+
+// CloneState deep-copies all data-plane state into a fresh ASIC — this is
+// the backup-switch reconstruction path for switch failover (§4.4): the
+// control plane replays its state into the backup's data plane.
+func (a *ASIC) CloneState() *ASIC {
+	b := New(a.cfg)
+	for _, e := range a.Translation.Entries() {
+		if err := b.Translation.Insert(e); err != nil {
+			panic(fmt.Sprintf("switchasic: clone translation: %v", err))
+		}
+	}
+	for _, e := range a.Protection.Entries() {
+		if err := b.Protection.Insert(e); err != nil {
+			panic(fmt.Sprintf("switchasic: clone protection: %v", err))
+		}
+	}
+	b.sttEntries = a.sttEntries
+	for id, ports := range a.groups {
+		b.SetGroup(id, ports)
+	}
+	return b
+}

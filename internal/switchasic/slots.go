@@ -1,0 +1,98 @@
+package switchasic
+
+import "errors"
+
+// ErrSlotsFull is returned when the SRAM slot store has no free slot.
+var ErrSlotsFull = errors.New("switchasic: directory SRAM slots exhausted")
+
+// ErrBadSlot is returned for operations on unallocated slots.
+var ErrBadSlot = errors.New("switchasic: slot not allocated")
+
+// SlotID identifies one fixed-size SRAM register slot.
+type SlotID int
+
+// SlotStore models the fixed SRAM region the data plane reserves for
+// cache-directory entries (§6.3): a fixed number of fixed-size slots
+// managed through a free list. The control plane maps region base
+// addresses to slots; the store itself only tracks occupancy and a peak
+// watermark.
+type SlotStore struct {
+	capacity int
+	freeList []SlotID
+	used     map[SlotID]bool
+	peak     int
+}
+
+// NewSlotStore creates a store with capacity slots; capacity <= 0 means
+// unlimited (the PSO+ simulation variant, §7.1).
+func NewSlotStore(capacity int) *SlotStore {
+	s := &SlotStore{capacity: capacity, used: make(map[SlotID]bool)}
+	if capacity > 0 {
+		s.freeList = make([]SlotID, 0, capacity)
+		// All slots are initially added to the free list (§6.3); popping
+		// from the tail keeps allocation O(1).
+		for i := capacity - 1; i >= 0; i-- {
+			s.freeList = append(s.freeList, SlotID(i))
+		}
+	}
+	return s
+}
+
+// Capacity returns the total slot count (0 = unlimited).
+func (s *SlotStore) Capacity() int { return s.capacity }
+
+// InUse returns the number of allocated slots.
+func (s *SlotStore) InUse() int { return len(s.used) }
+
+// Peak returns the maximum simultaneous occupancy observed.
+func (s *SlotStore) Peak() int { return s.peak }
+
+// Free returns the number of free slots; -1 when unlimited.
+func (s *SlotStore) Free() int {
+	if s.capacity <= 0 {
+		return -1
+	}
+	return s.capacity - len(s.used)
+}
+
+// Utilization returns occupancy in [0,1]; always 0 when unlimited.
+func (s *SlotStore) Utilization() float64 {
+	if s.capacity <= 0 {
+		return 0
+	}
+	return float64(len(s.used)) / float64(s.capacity)
+}
+
+// Alloc removes a slot from the free list.
+func (s *SlotStore) Alloc() (SlotID, error) {
+	var id SlotID
+	if s.capacity <= 0 {
+		id = SlotID(len(s.used))
+		for s.used[id] {
+			id++
+		}
+	} else {
+		if len(s.freeList) == 0 {
+			return 0, ErrSlotsFull
+		}
+		id = s.freeList[len(s.freeList)-1]
+		s.freeList = s.freeList[:len(s.freeList)-1]
+	}
+	s.used[id] = true
+	if len(s.used) > s.peak {
+		s.peak = len(s.used)
+	}
+	return id, nil
+}
+
+// Release returns a slot to the free list.
+func (s *SlotStore) Release(id SlotID) error {
+	if !s.used[id] {
+		return ErrBadSlot
+	}
+	delete(s.used, id)
+	if s.capacity > 0 {
+		s.freeList = append(s.freeList, id)
+	}
+	return nil
+}

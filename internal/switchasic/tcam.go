@@ -1,0 +1,231 @@
+// Package switchasic models the programmable switch data plane that MIND
+// programs: TCAM tables with longest-prefix-match semantics over
+// power-of-two address ranges (used for address translation and
+// vma-granularity memory protection, §4.1-4.2), SRAM register slots (the
+// cache-directory store, §6.3), a native multicast engine with egress
+// sharer-list pruning (§4.3.2), and capacity accounting matching the
+// paper's reported limits (~45k match-action rules, 30k directory slots,
+// §7.2).
+package switchasic
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// ErrTCAMFull is returned when inserting would exceed the TCAM's rule
+// capacity.
+var ErrTCAMFull = errors.New("switchasic: TCAM rule capacity exhausted")
+
+// ErrNoEntry is returned by lookups that match nothing.
+var ErrNoEntry = errors.New("switchasic: no matching TCAM entry")
+
+// WildcardPDID matches any protection domain; used by the translation
+// table, where entries are shared across all processes (§4.1).
+const WildcardPDID uint32 = 0
+
+// Entry is one TCAM rule: it matches addresses in [Base, Base+Size) —
+// Size a power of two, Base Size-aligned (the TCAM's power-of-two range
+// restriction, §4.2) — optionally qualified by an exact-match protection
+// domain ID. Value is rule output (a memory blade ID for translation, a
+// permission class for protection).
+type Entry struct {
+	PDID  uint32 // WildcardPDID to match every domain
+	Base  uint64
+	Size  uint64
+	Value int64
+}
+
+func (e Entry) String() string {
+	return fmt.Sprintf("tcam{pdid=%d [%#x,+%#x) -> %d}", e.PDID, e.Base, e.Size, e.Value)
+}
+
+type tcamKey struct {
+	pdid uint32
+	base uint64
+}
+
+// TCAM is a longest-prefix-match table over power-of-two ranges. The most
+// specific (smallest) matching range wins, which is exactly the LPM
+// property the paper relies on for outlier translation entries (§4.1).
+type TCAM struct {
+	name     string
+	capacity int
+	levels   map[int]map[tcamKey]int64 // log2(size) -> key -> value
+	inUse    []int                     // sorted distinct levels present
+	count    int
+	lookups  uint64
+}
+
+// NewTCAM creates a table with the given rule capacity; capacity <= 0
+// means unlimited (used by the PSO+ "infinite switch capacity" variant).
+func NewTCAM(name string, capacity int) *TCAM {
+	return &TCAM{name: name, capacity: capacity, levels: make(map[int]map[tcamKey]int64)}
+}
+
+// Name returns the table's diagnostic name.
+func (t *TCAM) Name() string { return t.name }
+
+// Len returns the number of installed rules.
+func (t *TCAM) Len() int { return t.count }
+
+// Capacity returns the rule capacity (0 = unlimited).
+func (t *TCAM) Capacity() int { return t.capacity }
+
+// Lookups returns the number of Lookup calls served (data-plane load).
+func (t *TCAM) Lookups() uint64 { return t.lookups }
+
+func checkPo2Range(base, size uint64) error {
+	if size == 0 || size&(size-1) != 0 {
+		return fmt.Errorf("switchasic: size %#x is not a power of two", size)
+	}
+	if base&(size-1) != 0 {
+		return fmt.Errorf("switchasic: base %#x is not aligned to size %#x", base, size)
+	}
+	return nil
+}
+
+func level(size uint64) int { return bits.TrailingZeros64(size) }
+
+// Insert installs a rule. It fails if the range is not a power-of-two
+// aligned range, if an identical (PDID, range) rule exists, or if the
+// table is full.
+func (t *TCAM) Insert(e Entry) error {
+	if err := checkPo2Range(e.Base, e.Size); err != nil {
+		return err
+	}
+	lvl := level(e.Size)
+	m := t.levels[lvl]
+	if m == nil {
+		m = make(map[tcamKey]int64)
+		t.levels[lvl] = m
+		t.inUse = insertSortedUnique(t.inUse, lvl)
+	}
+	k := tcamKey{pdid: e.PDID, base: e.Base}
+	if _, dup := m[k]; dup {
+		return fmt.Errorf("switchasic: duplicate rule %v", e)
+	}
+	if t.capacity > 0 && t.count >= t.capacity {
+		return ErrTCAMFull
+	}
+	m[k] = e.Value
+	t.count++
+	return nil
+}
+
+// Delete removes the rule exactly matching (pdid, base, size). It returns
+// ErrNoEntry if absent.
+func (t *TCAM) Delete(pdid uint32, base, size uint64) error {
+	if err := checkPo2Range(base, size); err != nil {
+		return err
+	}
+	lvl := level(size)
+	m := t.levels[lvl]
+	if m == nil {
+		return ErrNoEntry
+	}
+	k := tcamKey{pdid: pdid, base: base}
+	if _, ok := m[k]; !ok {
+		return ErrNoEntry
+	}
+	delete(m, k)
+	t.count--
+	if len(m) == 0 {
+		delete(t.levels, lvl)
+		t.inUse = removeSorted(t.inUse, lvl)
+	}
+	return nil
+}
+
+// Lookup returns the value of the most specific rule matching (pdid,
+// addr). Rules qualified with the exact pdid take precedence over
+// wildcard rules of the same size; smaller ranges always beat larger
+// ones (LPM).
+func (t *TCAM) Lookup(pdid uint32, addr uint64) (int64, error) {
+	t.lookups++
+	for _, lvl := range t.inUse {
+		m := t.levels[lvl]
+		base := addr &^ (uint64(1)<<lvl - 1)
+		if pdid != WildcardPDID {
+			if v, ok := m[tcamKey{pdid: pdid, base: base}]; ok {
+				return v, nil
+			}
+		}
+		if v, ok := m[tcamKey{pdid: WildcardPDID, base: base}]; ok {
+			return v, nil
+		}
+	}
+	return 0, ErrNoEntry
+}
+
+// LookupEntry is Lookup but returns the full winning rule, for tests and
+// failover reconstruction checks.
+func (t *TCAM) LookupEntry(pdid uint32, addr uint64) (Entry, error) {
+	t.lookups++
+	for _, lvl := range t.inUse {
+		m := t.levels[lvl]
+		base := addr &^ (uint64(1)<<lvl - 1)
+		if pdid != WildcardPDID {
+			k := tcamKey{pdid: pdid, base: base}
+			if v, ok := m[k]; ok {
+				return Entry{PDID: pdid, Base: base, Size: 1 << lvl, Value: v}, nil
+			}
+		}
+		k := tcamKey{pdid: WildcardPDID, base: base}
+		if v, ok := m[k]; ok {
+			return Entry{PDID: WildcardPDID, Base: base, Size: 1 << lvl, Value: v}, nil
+		}
+	}
+	return Entry{}, ErrNoEntry
+}
+
+// Entries returns all installed rules in deterministic order (by size,
+// then base, then PDID) — used to replicate data-plane state to a backup
+// switch (§4.4).
+func (t *TCAM) Entries() []Entry {
+	out := make([]Entry, 0, t.count)
+	for _, lvl := range t.inUse {
+		keys := make([]tcamKey, 0, len(t.levels[lvl]))
+		for k := range t.levels[lvl] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].base != keys[j].base {
+				return keys[i].base < keys[j].base
+			}
+			return keys[i].pdid < keys[j].pdid
+		})
+		for _, k := range keys {
+			out = append(out, Entry{PDID: k.pdid, Base: k.base, Size: 1 << lvl, Value: t.levels[lvl][k]})
+		}
+	}
+	return out
+}
+
+// Clear removes every rule.
+func (t *TCAM) Clear() {
+	t.levels = make(map[int]map[tcamKey]int64)
+	t.inUse = nil
+	t.count = 0
+}
+
+func insertSortedUnique(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

@@ -1,0 +1,235 @@
+package switchasic
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestTCAMInsertLookup(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	if err := tc.Insert(Entry{PDID: WildcardPDID, Base: 0x10000, Size: 0x10000, Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tc.Lookup(7, 0x1abcd)
+	if err != nil || v != 3 {
+		t.Fatalf("lookup = %d, %v", v, err)
+	}
+	if _, err := tc.Lookup(7, 0x20000); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("out-of-range lookup should miss, got %v", err)
+	}
+}
+
+func TestTCAMLPMMostSpecificWins(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	// Outlier-entry semantics (§4.1): a specific migrated range overrides
+	// the blade-partition range that covers it.
+	must(t, tc.Insert(Entry{Base: 0, Size: 1 << 30, Value: 1}))         // blade partition
+	must(t, tc.Insert(Entry{Base: 0x100000, Size: 0x1000, Value: 2}))   // migrated 4KB page
+	must(t, tc.Insert(Entry{Base: 0x100000, Size: 0x100000, Value: 3})) // 1MB outlier
+	if v, _ := tc.Lookup(0, 0x100800); v != 2 {
+		t.Errorf("most specific (4KB) should win, got %d", v)
+	}
+	if v, _ := tc.Lookup(0, 0x150000); v != 3 {
+		t.Errorf("1MB outlier should win over partition, got %d", v)
+	}
+	if v, _ := tc.Lookup(0, 0x5000); v != 1 {
+		t.Errorf("partition should match elsewhere, got %d", v)
+	}
+}
+
+func TestTCAMPDIDPrecedence(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	must(t, tc.Insert(Entry{PDID: WildcardPDID, Base: 0x1000, Size: 0x1000, Value: 1}))
+	must(t, tc.Insert(Entry{PDID: 42, Base: 0x1000, Size: 0x1000, Value: 2}))
+	if v, _ := tc.Lookup(42, 0x1800); v != 2 {
+		t.Errorf("exact PDID should beat wildcard, got %d", v)
+	}
+	if v, _ := tc.Lookup(7, 0x1800); v != 1 {
+		t.Errorf("other PDID should fall to wildcard, got %d", v)
+	}
+}
+
+func TestTCAMAlignmentValidation(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	if err := tc.Insert(Entry{Base: 0x1000, Size: 0x3000}); err == nil {
+		t.Error("non-po2 size accepted")
+	}
+	if err := tc.Insert(Entry{Base: 0x800, Size: 0x1000}); err == nil {
+		t.Error("misaligned base accepted")
+	}
+	if err := tc.Insert(Entry{Base: 0, Size: 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestTCAMDuplicateRejected(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	e := Entry{PDID: 1, Base: 0x2000, Size: 0x1000, Value: 5}
+	must(t, tc.Insert(e))
+	if err := tc.Insert(e); err == nil {
+		t.Error("duplicate accepted")
+	}
+	// Same range, different PDID is fine.
+	e.PDID = 2
+	must(t, tc.Insert(e))
+}
+
+func TestTCAMCapacity(t *testing.T) {
+	tc := NewTCAM("t", 2)
+	must(t, tc.Insert(Entry{Base: 0x0000, Size: 0x1000, Value: 1}))
+	must(t, tc.Insert(Entry{Base: 0x1000, Size: 0x1000, Value: 2}))
+	err := tc.Insert(Entry{Base: 0x2000, Size: 0x1000, Value: 3})
+	if !errors.Is(err, ErrTCAMFull) {
+		t.Errorf("want ErrTCAMFull, got %v", err)
+	}
+	// Delete then insert succeeds again.
+	must(t, tc.Delete(WildcardPDID, 0x0000, 0x1000))
+	must(t, tc.Insert(Entry{Base: 0x2000, Size: 0x1000, Value: 3}))
+}
+
+func TestTCAMDelete(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	must(t, tc.Insert(Entry{Base: 0x4000, Size: 0x1000, Value: 9}))
+	if err := tc.Delete(WildcardPDID, 0x4000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Lookup(0, 0x4800); !errors.Is(err, ErrNoEntry) {
+		t.Error("deleted rule still matches")
+	}
+	if err := tc.Delete(WildcardPDID, 0x4000, 0x1000); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("double delete should fail, got %v", err)
+	}
+	if tc.Len() != 0 {
+		t.Errorf("len = %d after delete", tc.Len())
+	}
+}
+
+func TestTCAMEntriesDeterministic(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	ins := []Entry{
+		{Base: 0x3000, Size: 0x1000, Value: 1},
+		{Base: 0x1000, Size: 0x1000, Value: 2},
+		{PDID: 5, Base: 0x1000, Size: 0x1000, Value: 3},
+		{Base: 0x0, Size: 0x10000, Value: 4},
+	}
+	for _, e := range ins {
+		must(t, tc.Insert(e))
+	}
+	a := tc.Entries()
+	b := tc.Entries()
+	if len(a) != 4 {
+		t.Fatalf("entries = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Entries() not deterministic")
+		}
+	}
+	// Smallest size first, then base, then PDID.
+	if a[0].Base != 0x1000 || a[0].PDID != 0 {
+		t.Errorf("order wrong: %v", a)
+	}
+	if a[3].Size != 0x10000 {
+		t.Errorf("largest last: %v", a)
+	}
+}
+
+func TestTCAMClear(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	must(t, tc.Insert(Entry{Base: 0, Size: 4096, Value: 1}))
+	tc.Clear()
+	if tc.Len() != 0 {
+		t.Error("clear failed")
+	}
+	if _, err := tc.Lookup(0, 100); !errors.Is(err, ErrNoEntry) {
+		t.Error("lookup after clear matched")
+	}
+}
+
+func TestTCAMLookupEntry(t *testing.T) {
+	tc := NewTCAM("t", 0)
+	must(t, tc.Insert(Entry{PDID: 3, Base: 0x8000, Size: 0x2000, Value: 7}))
+	e, err := tc.LookupEntry(3, 0x9fff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Base != 0x8000 || e.Size != 0x2000 || e.Value != 7 || e.PDID != 3 {
+		t.Errorf("entry = %v", e)
+	}
+}
+
+// Property: for any set of nested po2 ranges, Lookup returns the value of
+// the smallest range containing the address.
+func TestTCAMLPMProperty(t *testing.T) {
+	f := func(addrSeed uint32, levels uint8) bool {
+		tc := NewTCAM("p", 0)
+		addr := uint64(addrSeed) << 12
+		nl := int(levels%8) + 1
+		// Insert nested ranges of sizes 4K<<i all containing addr.
+		for i := 0; i < nl; i++ {
+			size := uint64(4096) << (2 * i)
+			base := addr &^ (size - 1)
+			_ = tc.Insert(Entry{Base: base, Size: size, Value: int64(i)})
+		}
+		v, err := tc.Lookup(0, addr)
+		return err == nil && v == 0 // smallest range (i=0) must win
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insert then delete leaves the table exactly as before.
+func TestTCAMInsertDeleteInverseProperty(t *testing.T) {
+	f := func(bases []uint16) bool {
+		tc := NewTCAM("p", 0)
+		must2 := func(err error) bool { return err == nil }
+		// Fixed background rule.
+		if !must2(tc.Insert(Entry{Base: 0, Size: 1 << 40, Value: 99})) {
+			return false
+		}
+		inserted := map[uint64]bool{}
+		for _, b := range bases {
+			base := uint64(b) << 12
+			if inserted[base] {
+				continue
+			}
+			if tc.Insert(Entry{Base: base, Size: 4096, Value: int64(b)}) == nil {
+				inserted[base] = true
+			}
+		}
+		for base := range inserted {
+			if tc.Delete(WildcardPDID, base, 4096) != nil {
+				return false
+			}
+		}
+		if tc.Len() != 1 {
+			return false
+		}
+		v, err := tc.Lookup(0, 12345)
+		return err == nil && v == 99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTCAMLookup(b *testing.B) {
+	tc := NewTCAM("b", 0)
+	for i := 0; i < 1000; i++ {
+		_ = tc.Insert(Entry{Base: uint64(i) << 20, Size: 1 << 20, Value: int64(i)})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = tc.Lookup(0, uint64(i%1000)<<20+4096)
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mind/internal/mem"
+	"mind/internal/workloads"
+)
+
+func TestRoundTripBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{VA: 0x100000000, Write: false},
+		{VA: 0x100001000, Write: true},
+		{VA: 0x7fffffff000, Write: true},
+	}
+	for _, r := range recs {
+		if err := w.Append(r.VA, r.Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Errorf("count = %d", w.Count())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripFileWithCountFixup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := w.Append(mem.VA(0x100000000+i*64), i%3 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	got, err := Read(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("records = %d", len(got))
+	}
+	if !got[0].Write && !got[3].Write {
+		t.Error("write flags lost")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace at all"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("garbage: %v", err)
+	}
+	// Correct magic, wrong declared count.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Append(0x1000, false)
+	_ = w.Finish()
+	data := buf.Bytes()
+	data[8] = 42 // corrupt the count
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("count mismatch: %v", err)
+	}
+	// Truncated record.
+	var buf2 bytes.Buffer
+	w2, _ := NewWriter(&buf2)
+	_ = w2.Append(0x1000, false)
+	_ = w2.Finish()
+	if _, err := Read(bytes.NewReader(buf2.Bytes()[:20])); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestAppendRejectsHugeAddress(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Append(mem.VA(1)<<63, false); err == nil {
+		t.Error("top-bit address accepted")
+	}
+}
+
+func TestCaptureReplayIdentical(t *testing.T) {
+	// The paper's methodology: capture once, replay identically.
+	w := workloads.GC(1)
+	p := workloads.Params{Threads: 2, Blades: 2, OpsPerThread: 500, Seed: 9}
+	recs := Capture(w.Gen(0x100000000, 0, p), 0)
+	if len(recs) != 500 {
+		t.Fatalf("captured %d", len(recs))
+	}
+	replay := Replay(recs)
+	orig := w.Gen(0x100000000, 0, p)
+	for i := 0; ; i++ {
+		va1, wr1, ok1 := orig()
+		va2, wr2, ok2 := replay()
+		if ok1 != ok2 || va1 != va2 || wr1 != wr2 {
+			t.Fatalf("divergence at %d", i)
+		}
+		if !ok1 {
+			break
+		}
+	}
+}
+
+func TestCaptureLimit(t *testing.T) {
+	w := workloads.TF(1)
+	p := workloads.Params{Threads: 1, Blades: 1, OpsPerThread: 1000, Seed: 1}
+	recs := Capture(w.Gen(0x100000000, 0, p), 100)
+	if len(recs) != 100 {
+		t.Errorf("limit ignored: %d", len(recs))
+	}
+}
+
+func TestRebase(t *testing.T) {
+	recs := []Record{{VA: 0x100000010, Write: true}, {VA: 0x100002000}}
+	out := Rebase(recs, 0x100000000, 0x200000000)
+	if out[0].VA != 0x200000010 || out[1].VA != 0x200002000 {
+		t.Errorf("rebase wrong: %+v", out)
+	}
+	if !out[0].Write || out[1].Write {
+		t.Error("write flags lost in rebase")
+	}
+	// The original is untouched.
+	if recs[0].VA != 0x100000010 {
+		t.Error("rebase mutated input")
+	}
+}
