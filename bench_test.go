@@ -6,6 +6,11 @@ package mind_test
 // panel at the Tiny experiment scale and reports headline values through
 // b.ReportMetric, so `go test -bench=.` walks the entire evaluation.
 //
+// Figure benches route through internal/runner (the experiments package
+// fans every panel's data points across its worker pool), so wall time
+// reflects the parallel harness; each iteration resets the run cache so
+// repeated iterations measure real executions, not cache hits.
+//
 // Absolute values come from the calibrated simulator; the reproduction
 // target is the paper's shapes (see EXPERIMENTS.md).
 
@@ -25,6 +30,7 @@ import (
 // thread scaling of MIND vs FastSwap vs GAM.
 func BenchmarkFig5IntraBlade(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		figs, err := experiments.Fig5Left(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -42,6 +48,7 @@ func BenchmarkFig5IntraBlade(b *testing.B) {
 // scaling of MIND/MIND-PSO/MIND-PSO+/GAM.
 func BenchmarkFig5InterBlade(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		figs, err := experiments.Fig5Center(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -59,6 +66,7 @@ func BenchmarkFig5InterBlade(b *testing.B) {
 // YCSB-A/C throughput.
 func BenchmarkFig5NativeKVS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		figs, err := experiments.Fig5Right(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -73,6 +81,7 @@ func BenchmarkFig5NativeKVS(b *testing.B) {
 // rates per access vs blade count.
 func BenchmarkFig6InvalidationOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		figs, err := experiments.Fig6(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -87,6 +96,7 @@ func BenchmarkFig6InvalidationOverhead(b *testing.B) {
 // MSI latencies.
 func BenchmarkFig7Transitions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		fig, err := experiments.Fig7Left(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -104,6 +114,7 @@ func BenchmarkFig7Transitions(b *testing.B) {
 // read/sharing ratio.
 func BenchmarkFig7Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		fig, err := experiments.Fig7Center(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -121,6 +132,7 @@ func BenchmarkFig7Throughput(b *testing.B) {
 // latency breakdown.
 func BenchmarkFig7Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		fig, err := experiments.Fig7Right(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -135,6 +147,7 @@ func BenchmarkFig7Breakdown(b *testing.B) {
 // over time under the capacity limit.
 func BenchmarkFig8Directory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		figs, err := experiments.Fig8Left(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -155,6 +168,7 @@ func BenchmarkFig8Directory(b *testing.B) {
 // for MIND vs page-granularity translation.
 func BenchmarkFig8Rules(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		fig, err := experiments.Fig8Center(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -172,6 +186,7 @@ func BenchmarkFig8Rules(b *testing.B) {
 // balance.
 func BenchmarkFig8Fairness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		fig, err := experiments.Fig8Right(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -189,6 +204,7 @@ func BenchmarkFig8Fairness(b *testing.B) {
 // granularities vs Bounded Splitting.
 func BenchmarkFig9Tradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		figs, err := experiments.Fig9Left(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)
@@ -203,6 +219,7 @@ func BenchmarkFig9Tradeoff(b *testing.B) {
 // initial-region-size sensitivity.
 func BenchmarkFig9Sensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		figs, err := experiments.Fig9Right(experiments.Tiny)
 		if err != nil {
 			b.Fatal(err)

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	figures -fig all -scale quick
-//	figures -fig 5c -scale full
+//	figures -fig 5c -scale full -parallel 8
 //
 // Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r, or "all".
+//
+// Every data point is an independent deterministic simulation run, so
+// -parallel fans the runs of each panel out across a worker pool
+// (default: one worker per CPU). Output is bit-identical at any worker
+// count; -parallel -1 forces the reference serial execution. Points
+// repeated across panels (e.g. Figure 7 center/right, Figure 8
+// center/right) are computed once per process via the run cache.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r, all)")
 	scaleName := flag.String("scale", "quick", "experiment scale: tiny, quick, full")
+	parallel := flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -37,6 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+	scale.Workers = *parallel
 
 	type panel struct {
 		id  string
@@ -70,22 +79,26 @@ func main() {
 	}
 
 	ran := false
+	start := time.Now()
 	for _, p := range panels {
 		if *fig != "all" && *fig != p.id {
 			continue
 		}
 		ran = true
-		start := time.Now()
+		panelStart := time.Now()
 		if err := p.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "panel %s: %v\n", p.id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[panel %s regenerated in %v]\n\n", p.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[panel %s regenerated in %v]\n\n", p.id, time.Since(panelStart).Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown panel %q\n", *fig)
 		os.Exit(2)
 	}
+	hits, misses := experiments.CacheStats()
+	fmt.Printf("[total %v — %d runs executed, %d served from cache]\n",
+		time.Since(start).Round(time.Millisecond), misses, hits)
 }
 
 func printMapIf(p func(map[string]*experiments.Figure), f map[string]*experiments.Figure, err error) {

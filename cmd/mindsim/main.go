@@ -7,6 +7,14 @@
 //	mindsim -workload TF -blades 4 -threads 40
 //	mindsim -workload uniform -read 0.5 -sharing 1 -blades 8 -threads 8
 //	mindsim -workload MA -blades 8 -threads 80 -consistency pso
+//	mindsim -workload GC -runs 8 -parallel 4
+//
+// With -runs N > 1, mindsim executes N replicates of the configuration —
+// replicate i derives its seed from the root -seed via sim.DeriveSeed,
+// so the set of replicates is fixed by the root seed alone — and fans
+// them out across the runner's worker pool (-parallel), reporting
+// per-replicate throughput plus the mean/min/max spread. Replicate order
+// in the output is deterministic regardless of worker count.
 package main
 
 import (
@@ -16,10 +24,36 @@ import (
 
 	"mind/internal/core"
 	"mind/internal/mem"
+	"mind/internal/runner"
 	"mind/internal/sim"
 	"mind/internal/stats"
 	"mind/internal/workloads"
 )
+
+// runReport is everything one simulation run prints.
+type runReport struct {
+	Seed       uint64
+	End        sim.Time
+	Total      uint64
+	HitPct     float64
+	RemotePA   float64
+	InvalsPA   float64
+	FlushedPA  float64
+	FalseInv   uint64
+	Splits     uint64
+	Merges     uint64
+	PeakDir    int
+	DirCap     int
+	Remote     uint64
+	LatPgFault sim.Duration
+	LatNetwork sim.Duration
+	LatInvQ    sim.Duration
+	LatInvTLB  sim.Duration
+}
+
+func (r runReport) mops() float64 {
+	return float64(r.Total) / r.End.Sub(0).Seconds() / 1e6
+}
 
 func main() {
 	var (
@@ -35,9 +69,16 @@ func main() {
 		cacheFrac   = flag.Float64("cache", 0.25, "per-blade cache as fraction of footprint")
 		dirSlots    = flag.Int("dirslots", 0, "directory slot capacity (0 = paper default 30k)")
 		epoch       = flag.Duration("epoch", 0, "bounded-splitting epoch (0 = 100ms)")
-		seed        = flag.Uint64("seed", 1, "run seed")
+		seed        = flag.Uint64("seed", 1, "root run seed")
+		runs        = flag.Int("runs", 1, "replicates with seeds derived from the root seed")
+		parallel    = flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
 	)
 	flag.Parse()
+
+	if *runs < 1 {
+		fmt.Fprintf(os.Stderr, "-runs must be >= 1 (got %d)\n", *runs)
+		os.Exit(2)
+	}
 
 	var w workloads.Workload
 	switch *workload {
@@ -60,76 +101,144 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.DefaultConfig(*blades, *memBlades)
-	cfg.MemoryBladeCapacity = 1 << 32
-	cfg.CachePagesPerBlade = int(float64(w.Footprint/mem.PageSize) * *cacheFrac)
-	if cfg.CachePagesPerBlade < 64 {
-		cfg.CachePagesPerBlade = 64
-	}
+	var cons core.Consistency
 	switch *consistency {
 	case "tso":
-		cfg.Consistency = core.TSO
+		cons = core.TSO
 	case "pso":
-		cfg.Consistency = core.PSO
+		cons = core.PSO
 	case "pso+":
-		cfg.Consistency = core.PSOPlus
+		cons = core.PSOPlus
 	default:
 		fmt.Fprintf(os.Stderr, "unknown consistency %q\n", *consistency)
 		os.Exit(2)
 	}
-	if *dirSlots > 0 {
-		cfg.ASIC.SlotCapacity = *dirSlots
-	}
-	if *epoch > 0 {
-		cfg.SplitterEpoch = sim.Duration(epoch.Nanoseconds())
-	}
-	cfg.Seed = *seed
 
-	c, err := core.NewCluster(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	cachePages := int(float64(w.Footprint/mem.PageSize) * *cacheFrac)
+	if cachePages < 64 {
+		cachePages = 64
 	}
-	proc := c.Exec(*workload)
-	vma, err := proc.Mmap(w.Footprint, mem.PermReadWrite)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	p := workloads.Params{Threads: *threads, Blades: *blades, OpsPerThread: *ops, Seed: *seed}
-	for t := 0; t < *threads; t++ {
-		th, err := proc.SpawnThread(t % *blades)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+
+	runOnce := func(runSeed uint64) (runReport, error) {
+		cfg := core.DefaultConfig(*blades, *memBlades)
+		cfg.MemoryBladeCapacity = 1 << 32
+		cfg.CachePagesPerBlade = cachePages
+		cfg.Consistency = cons
+		if *dirSlots > 0 {
+			cfg.ASIC.SlotCapacity = *dirSlots
 		}
-		th.Start(w.Gen(vma.Base, t, p), nil)
-	}
-	end := c.RunThreads()
+		if *epoch > 0 {
+			cfg.SplitterEpoch = sim.Duration(epoch.Nanoseconds())
+		}
+		cfg.Seed = runSeed
 
-	col := c.Collector()
-	total := col.Counter(stats.CtrAccesses)
-	remote := col.Counter(stats.CtrRemoteAccesses)
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return runReport{}, err
+		}
+		proc := c.Exec(*workload)
+		vma, err := proc.Mmap(w.Footprint, mem.PermReadWrite)
+		if err != nil {
+			return runReport{}, err
+		}
+		p := workloads.Params{Threads: *threads, Blades: *blades, OpsPerThread: *ops, Seed: runSeed}
+		for t := 0; t < *threads; t++ {
+			th, err := proc.SpawnThread(t % *blades)
+			if err != nil {
+				return runReport{}, err
+			}
+			th.Start(w.Gen(vma.Base, t, p), nil)
+		}
+		end := c.RunThreads()
+
+		col := c.Collector()
+		total := col.Counter(stats.CtrAccesses)
+		remote := col.Counter(stats.CtrRemoteAccesses)
+		return runReport{
+			Seed:       runSeed,
+			End:        end,
+			Total:      total,
+			HitPct:     100 * float64(col.Counter(stats.CtrLocalHits)) / float64(total),
+			RemotePA:   col.PerAccess(stats.CtrRemoteAccesses),
+			InvalsPA:   col.PerAccess(stats.CtrInvalidations),
+			FlushedPA:  col.PerAccess(stats.CtrFlushedPages),
+			FalseInv:   col.Counter(stats.CtrFalseInvals),
+			Splits:     col.Counter(stats.CtrSplits),
+			Merges:     col.Counter(stats.CtrMerges),
+			PeakDir:    c.Controller().ASIC().Directory.Peak(),
+			DirCap:     cfg.ASIC.SlotCapacity,
+			Remote:     remote,
+			LatPgFault: col.MeanLatency(stats.LatPgFault, remote),
+			LatNetwork: col.MeanLatency(stats.LatNetwork, remote),
+			LatInvQ:    col.MeanLatency(stats.LatInvQueue, remote),
+			LatInvTLB:  col.MeanLatency(stats.LatInvTLB, remote),
+		}, nil
+	}
+
+	// Replicate 0 runs the root seed itself (so -runs 1 reproduces the
+	// classic single-run behavior bit for bit); later replicates derive
+	// independent seeds from the root.
+	seeds := make([]uint64, *runs)
+	specs := make([]runner.Spec, *runs)
+	for i := range specs {
+		runSeed := *seed
+		if i > 0 {
+			runSeed = sim.DeriveSeed(*seed, fmt.Sprintf("replicate-%d", i))
+		}
+		seeds[i] = runSeed
+		specs[i] = runner.Spec{
+			Key: runner.KeyOf("mindsim", *workload, *blades, *memBlades, *threads, *ops,
+				cons, *readRatio, *sharing, *scale, cachePages, *dirSlots, int64(*epoch), runSeed),
+			Run: func() (any, error) { return runOnce(runSeed) },
+		}
+	}
+	results, err := runner.Do(specs, runner.Options{Workers: *parallel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	first := results[0].(runReport)
 	fmt.Printf("workload=%s blades=%d threads=%d ops/thread=%d consistency=%s\n",
-		w.Name, *blades, *threads, *ops, cfg.Consistency)
+		w.Name, *blades, *threads, *ops, cons)
 	fmt.Printf("footprint        %d pages (%d MB), cache %d pages/blade\n",
-		w.Footprint/mem.PageSize, w.Footprint>>20, cfg.CachePagesPerBlade)
-	fmt.Printf("virtual runtime  %.3f ms\n", end.Sub(0).Seconds()*1e3)
-	fmt.Printf("throughput       %.3f MOPS\n", float64(total)/end.Sub(0).Seconds()/1e6)
-	fmt.Printf("accesses         %d (hits %.2f%%)\n", total,
-		100*float64(col.Counter(stats.CtrLocalHits))/float64(total))
-	fmt.Printf("remote/access    %s\n", stats.FormatPerAccess(col.PerAccess(stats.CtrRemoteAccesses)))
-	fmt.Printf("invals/access    %s\n", stats.FormatPerAccess(col.PerAccess(stats.CtrInvalidations)))
-	fmt.Printf("flushed/access   %s\n", stats.FormatPerAccess(col.PerAccess(stats.CtrFlushedPages)))
-	fmt.Printf("false invals     %d\n", col.Counter(stats.CtrFalseInvals))
-	fmt.Printf("splits/merges    %d/%d\n", col.Counter(stats.CtrSplits), col.Counter(stats.CtrMerges))
-	fmt.Printf("directory peak   %d entries (capacity %d)\n",
-		c.Controller().ASIC().Directory.Peak(), cfg.ASIC.SlotCapacity)
-	if remote > 0 {
+		w.Footprint/mem.PageSize, w.Footprint>>20, cachePages)
+	fmt.Printf("virtual runtime  %.3f ms\n", first.End.Sub(0).Seconds()*1e3)
+	fmt.Printf("throughput       %.3f MOPS\n", first.mops())
+	fmt.Printf("accesses         %d (hits %.2f%%)\n", first.Total, first.HitPct)
+	fmt.Printf("remote/access    %s\n", stats.FormatPerAccess(first.RemotePA))
+	fmt.Printf("invals/access    %s\n", stats.FormatPerAccess(first.InvalsPA))
+	fmt.Printf("flushed/access   %s\n", stats.FormatPerAccess(first.FlushedPA))
+	fmt.Printf("false invals     %d\n", first.FalseInv)
+	fmt.Printf("splits/merges    %d/%d\n", first.Splits, first.Merges)
+	fmt.Printf("directory peak   %d entries (capacity %d)\n", first.PeakDir, first.DirCap)
+	if first.Remote > 0 {
 		fmt.Printf("latency/remote   pgfault=%v network=%v inv-queue=%v inv-tlb=%v\n",
-			col.MeanLatency(stats.LatPgFault, remote),
-			col.MeanLatency(stats.LatNetwork, remote),
-			col.MeanLatency(stats.LatInvQueue, remote),
-			col.MeanLatency(stats.LatInvTLB, remote))
+			first.LatPgFault, first.LatNetwork, first.LatInvQ, first.LatInvTLB)
+	}
+
+	if *runs > 1 {
+		fmt.Printf("\nreplicates (%d runs, root seed %d):\n", *runs, *seed)
+		min, max, sum := -1.0, 0.0, 0.0
+		for i, r := range results {
+			rep := r.(runReport)
+			m := rep.mops()
+			sum += m
+			if min < 0 || m < min {
+				min = m
+			}
+			if m > max {
+				max = m
+			}
+			fmt.Printf("  run %-3d seed=%-20d runtime=%8.3f ms  %7.3f MOPS  invals/access=%s\n",
+				i, seeds[i], rep.End.Sub(0).Seconds()*1e3, m, stats.FormatPerAccess(rep.InvalsPA))
+		}
+		mean := sum / float64(len(results))
+		spreadPct := 0.0
+		if mean > 0 {
+			spreadPct = 100 * (max - min) / mean
+		}
+		fmt.Printf("  mean %.3f MOPS, min %.3f, max %.3f (spread %.1f%% of mean)\n",
+			mean, min, max, spreadPct)
 	}
 }

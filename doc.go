@@ -11,6 +11,11 @@
 // the architecture tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 //
+// Every figure data point is an independent deterministic simulation
+// run; internal/runner fans the runs of each panel across a worker pool
+// and merges results in canonical order, so regeneration parallelizes
+// across cores with bit-identical output.
+//
 // The root package holds no code; bench_test.go hosts the benchmark
 // harness with one benchmark per evaluation figure plus the design-choice
 // ablations.

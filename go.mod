@@ -1,0 +1,3 @@
+module mind
+
+go 1.22

@@ -5,6 +5,13 @@
 // numbers come from the calibrated simulator; the shapes (who wins, by
 // roughly what factor, where crossovers fall) are the reproduction
 // target — EXPERIMENTS.md records paper-vs-measured for each panel.
+//
+// Every data point is an independent deterministic simulation run, so
+// panels enumerate their points as declarative runner.Specs and fan them
+// out across a worker pool (internal/runner). Results merge back in spec
+// order, which makes the output bit-identical to serial execution
+// regardless of worker count, and a process-wide content-addressed cache
+// computes points repeated across panels only once.
 package experiments
 
 import (
@@ -13,9 +20,13 @@ import (
 	"strings"
 
 	"mind/internal/core"
+	"mind/internal/fastswap"
+	"mind/internal/gam"
 	"mind/internal/mem"
+	prun "mind/internal/runner"
 	"mind/internal/sim"
 	"mind/internal/stats"
+	"mind/internal/workloads"
 )
 
 // Scale shrinks the experiments so they regenerate in seconds. The paper
@@ -34,6 +45,18 @@ type Scale struct {
 	DirSlots int
 	// Epoch is the Bounded Splitting epoch for workload runs.
 	Epoch sim.Duration
+	// Workers selects the runner pool width for this scale's panels:
+	// n > 0 fixes the worker count, 0 uses one worker per CPU, and
+	// n < 0 executes runs inline serially — the reference mode the
+	// determinism goldens compare the pool against.
+	Workers int
+	// RootSeed, when nonzero, overrides the default scale-derived run
+	// seed with sim.DeriveSeed(RootSeed, "experiments"), so one root
+	// seed pins every random stream of every run.
+	RootSeed uint64
+	// cache, when set, replaces the shared package cache (tests use a
+	// fresh cache per execution to compare runs honestly).
+	cache *prun.Cache
 }
 
 // Quick is the test/bench scale (tens of seconds per panel).
@@ -44,6 +67,39 @@ var Full = Scale{WorkloadScale: 2, TotalOps: 1_200_000, CacheFraction: 0.25, Dir
 
 // Tiny is for unit tests that only check qualitative shape.
 var Tiny = Scale{WorkloadScale: 1, TotalOps: 80_000, CacheFraction: 0.25, DirSlots: 250, Epoch: 1 * sim.Millisecond}
+
+// seed returns the deterministic run seed for a scale.
+func (s Scale) seed() uint64 {
+	if s.RootSeed != 0 {
+		return sim.DeriveSeed(s.RootSeed, "experiments")
+	}
+	return uint64(s.WorkloadScale)*1000 + uint64(s.TotalOps%997)
+}
+
+// runCache memoizes finished runs by spec key for the life of the
+// process, so points repeated across panels — Figure 7 center and right
+// share their sharing-ratio-1 runs, Figure 8 center and right share
+// their allocation runs, Figure 9's two panels share Bounded-Splitting
+// runs, and Figure 8 (left) reuses Figure 6's 8-blade runs — are
+// computed once.
+var runCache = prun.NewCache()
+
+// ResetCache drops every memoized run result. Benchmarks reset between
+// iterations so timings measure real runs, not cache lookups.
+func ResetCache() { runCache.Reset() }
+
+// CacheStats reports run-cache hits and misses since the last reset.
+func CacheStats() (hits, misses uint64) { return runCache.Stats() }
+
+// do fans specs out across the scale's worker pool and returns results
+// in spec order.
+func (s Scale) do(specs []prun.Spec) ([]any, error) {
+	c := s.cache
+	if c == nil {
+		c = runCache
+	}
+	return prun.Do(specs, prun.Options{Workers: s.Workers, Cache: c})
+}
 
 // Series is one labelled line of a figure.
 type Series struct {
@@ -132,15 +188,15 @@ func figLookup(s Series, x float64) (float64, bool) {
 	return 0, false
 }
 
-// runner abstracts the three compared systems for workload-driven runs.
-type runner interface {
+// system abstracts the three compared systems for workload-driven runs.
+type system interface {
 	Alloc(length uint64) (mem.VA, error)
 	Spawn(blade int, gen core.AccessGen) error
 	Run() sim.Time
 	Collector() *stats.Collector
 }
 
-// mindRunner adapts core.Cluster to the runner interface.
+// mindRunner adapts core.Cluster to the system interface.
 type mindRunner struct {
 	c *core.Cluster
 	p *core.Process
@@ -182,6 +238,181 @@ func (r *mindRunner) Spawn(blade int, gen core.AccessGen) error {
 
 func (r *mindRunner) Run() sim.Time               { return r.c.RunThreads() }
 func (r *mindRunner) Collector() *stats.Collector { return r.c.Collector() }
+
+// sysDesc pairs a system constructor with the canonical key of its full
+// configuration, for content-addressed run specs. Two descs with equal
+// keys must construct identical systems, so the key covers every config
+// field the constructor sets.
+type sysDesc struct {
+	key  string
+	make func() (system, error)
+}
+
+// mindDesc describes a MIND rack variant. mutate must be a pure function
+// of the values encoded in mutateKey.
+func mindDesc(computeBlades, memBlades, cachePages int, cons core.Consistency, mutate func(*core.Config), mutateKey string) sysDesc {
+	return sysDesc{
+		key: prun.KeyOf("mind", computeBlades, memBlades, cachePages, cons, mutateKey),
+		make: func() (system, error) {
+			return newMind(computeBlades, memBlades, cachePages, cons, mutate)
+		},
+	}
+}
+
+// tunedMind is the common workload-run variant: the scale's directory
+// capacity and Bounded-Splitting epoch applied to an 8-memory-blade rack.
+func (s Scale) tunedMind(computeBlades, cachePages int, cons core.Consistency) sysDesc {
+	return s.epochMind(computeBlades, cachePages, cons, s.Epoch)
+}
+
+// epochMind is tunedMind with an explicit splitting epoch (Figure 8 left
+// derives a per-workload epoch from a sizing pass).
+func (s Scale) epochMind(computeBlades, cachePages int, cons core.Consistency, epoch sim.Duration) sysDesc {
+	return mindDesc(computeBlades, 8, cachePages, cons, func(c *core.Config) {
+		c.ASIC.SlotCapacity = s.DirSlots
+		c.SplitterEpoch = epoch
+	}, prun.KeyOf("slots", s.DirSlots, "epoch", int64(epoch)))
+}
+
+func fastswapDesc(memBlades, cachePages int) sysDesc {
+	return sysDesc{
+		key: prun.KeyOf("fastswap", memBlades, cachePages),
+		make: func() (system, error) {
+			return fastswap.New(fastswap.DefaultConfig(memBlades, cachePages)), nil
+		},
+	}
+}
+
+func gamDesc(computeBlades, memBlades, cachePages int) sysDesc {
+	return sysDesc{
+		key: prun.KeyOf("gam", computeBlades, memBlades, cachePages),
+		make: func() (system, error) {
+			return gam.New(gam.DefaultConfig(computeBlades, memBlades, cachePages)), nil
+		},
+	}
+}
+
+// keyedWorkload pairs a workload with the canonical key of everything
+// that parameterized its construction — Workload.Name alone does not
+// encode NativeKVS's read ratio or Uniform's working-set mix.
+type keyedWorkload struct {
+	w   workloads.Workload
+	key string
+}
+
+func kwAll(scale int) []keyedWorkload {
+	ws := workloads.All(scale)
+	out := make([]keyedWorkload, len(ws))
+	for i, w := range ws {
+		out[i] = keyedWorkload{w, prun.KeyOf(w.Name, scale)}
+	}
+	return out
+}
+
+func kwOne(w workloads.Workload, scale int) keyedWorkload {
+	return keyedWorkload{w, prun.KeyOf(w.Name, scale)}
+}
+
+func kwKVS(readRatio float64, scale int) keyedWorkload {
+	return keyedWorkload{workloads.NativeKVS(readRatio, scale), prun.KeyOf("NativeKVS", readRatio, scale)}
+}
+
+func kwUniform(workingSetPages uint64, readRatio, sharingRatio float64) keyedWorkload {
+	return keyedWorkload{workloads.Uniform(workingSetPages, readRatio, sharingRatio),
+		prun.KeyOf("Uniform", workingSetPages, readRatio, sharingRatio)}
+}
+
+// runWorkload executes one workload to completion on a system and returns
+// the finish time (used by counter-based experiments like Figure 6).
+func runWorkload(r system, w workloads.Workload, threads, blades, ops int, seed uint64) (sim.Time, error) {
+	base, err := r.Alloc(w.Footprint)
+	if err != nil {
+		return 0, err
+	}
+	p := workloads.Params{Threads: threads, Blades: blades, OpsPerThread: ops, Seed: seed}
+	for t := 0; t < threads; t++ {
+		if err := r.Spawn(t%blades, w.Gen(base, t, p)); err != nil {
+			return 0, err
+		}
+	}
+	return r.Run(), nil
+}
+
+// runResult carries every metric any panel extracts from one workload
+// run, so panels that share a run share one cache entry.
+type runResult struct {
+	End      sim.Time
+	Accesses uint64
+	// Per-access protocol rates (Figure 6).
+	RemotePA, InvalsPA, FlushedPA float64
+	FalseInv                      uint64
+	// MIND only: directory entry high-water mark (Figure 9).
+	PeakDir int
+	// Per-remote-access latency means in microseconds (Figure 7 right).
+	LatPgFaultUS, LatNetworkUS, LatInvQueueUS, LatInvTLBUS float64
+	// MIND only: normalized directory-entries series (Figure 8 left).
+	DirX, DirY []float64
+}
+
+// workRunSpec is the canonical spec for "run this workload to completion
+// on this system" — the unit nearly every panel fans out.
+func workRunSpec(sys sysDesc, kw keyedWorkload, threads, blades, ops int, seed uint64) prun.Spec {
+	return prun.Spec{
+		Key: prun.KeyOf("workrun", sys.key, kw.key, threads, blades, ops, seed),
+		Run: func() (any, error) {
+			r, err := sys.make()
+			if err != nil {
+				return nil, err
+			}
+			end, err := runWorkload(r, kw.w, threads, blades, ops, seed)
+			if err != nil {
+				return nil, err
+			}
+			col := r.Collector()
+			remote := col.Counter(stats.CtrRemoteAccesses)
+			res := runResult{
+				End:           end,
+				Accesses:      col.Counter(stats.CtrAccesses),
+				RemotePA:      col.PerAccess(stats.CtrRemoteAccesses),
+				InvalsPA:      col.PerAccess(stats.CtrInvalidations),
+				FlushedPA:     col.PerAccess(stats.CtrFlushedPages),
+				FalseInv:      col.Counter(stats.CtrFalseInvals),
+				LatPgFaultUS:  col.MeanLatency(stats.LatPgFault, remote).Micros(),
+				LatNetworkUS:  col.MeanLatency(stats.LatNetwork, remote).Micros(),
+				LatInvQueueUS: col.MeanLatency(stats.LatInvQueue, remote).Micros(),
+				LatInvTLBUS:   col.MeanLatency(stats.LatInvTLB, remote).Micros(),
+			}
+			if mr, ok := r.(*mindRunner); ok {
+				res.PeakDir = mr.c.Controller().ASIC().Directory.Peak()
+				res.DirX, res.DirY = col.Series("directory_entries").Normalized()
+			}
+			return res, nil
+		},
+	}
+}
+
+// steadySpecs is the §7-methodology pair behind one steady-state data
+// point: the same deterministic job at ops and 2*ops per thread. steadyOf
+// merges the pair — the end-time difference cancels the cold-start
+// (compulsory-miss) phase that the paper's minutes-long runs amortize.
+func steadySpecs(sys sysDesc, kw keyedWorkload, threads, blades, ops int, seed uint64) [2]prun.Spec {
+	return [2]prun.Spec{
+		workRunSpec(sys, kw, threads, blades, ops, seed),
+		workRunSpec(sys, kw, threads, blades, 2*ops, seed),
+	}
+}
+
+// steadyOf converts a steadySpecs result pair into the steady-state
+// runtime.
+func steadyOf(r1, r2 any) sim.Duration {
+	t1 := r1.(runResult).End
+	t2 := r2.(runResult).End
+	dt := t2.Sub(t1)
+	if dt <= 0 {
+		dt = t2.Sub(0)
+	}
+	return dt
+}
 
 // cachePagesFor sizes the per-blade cache at the scale's fraction of the
 // footprint, with a floor to keep tiny runs sane.

@@ -1,13 +1,19 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
 
 // The experiment tests run at Tiny scale and assert the qualitative
 // shapes the paper reports — who wins, what direction curves move — not
-// absolute values.
+// absolute values. The two panels that need Quick fidelity to reach
+// steady state (Figure 7 center, Figure 8 left) fall back to Tiny with
+// structural-only checks under `go test -short`. Shape tests run in
+// parallel with each other; each panel already fans its runs out across
+// the runner's worker pool, and the shared run cache deduplicates points
+// repeated across panels.
 
 func TestFigureAddGetString(t *testing.T) {
 	f := &Figure{ID: "x", Title: "t", XLabel: "x", YLabel: "y"}
@@ -52,6 +58,7 @@ func TestAllocationTraceCoversFootprint(t *testing.T) {
 }
 
 func TestFig5LeftShape(t *testing.T) {
+	t.Parallel()
 	figs, err := Fig5Left(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +93,7 @@ func TestFig5LeftShape(t *testing.T) {
 }
 
 func TestFig5CenterShape(t *testing.T) {
+	t.Parallel()
 	figs, err := Fig5Center(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +127,7 @@ func TestFig5CenterShape(t *testing.T) {
 }
 
 func TestFig5RightShape(t *testing.T) {
+	t.Parallel()
 	figs, err := Fig5Right(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +159,7 @@ func TestFig5RightShape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	t.Parallel()
 	figs, err := Fig6(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -175,6 +185,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7LeftShape(t *testing.T) {
+	t.Parallel()
 	fig, err := Fig7Left(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -205,8 +216,24 @@ func TestFig7LeftShape(t *testing.T) {
 }
 
 func TestFig7CenterShape(t *testing.T) {
+	t.Parallel()
 	// This panel needs enough accesses for the invalidation storm to
-	// reach steady state; Tiny is too short.
+	// reach steady state; Tiny is too short for the shape assertions, so
+	// -short only checks the panel regenerates completely.
+	if testing.Short() {
+		fig, err := Fig7Center(Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, read := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			for _, share := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				if v, ok := fig.Get(fmt.Sprintf("R=%.2f", read), share); !ok || v <= 0 {
+					t.Errorf("R=%.2f share=%v: missing or non-positive IOPS (%v)", read, share, v)
+				}
+			}
+		}
+		return
+	}
 	fig, err := Fig7Center(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -230,6 +257,7 @@ func TestFig7CenterShape(t *testing.T) {
 }
 
 func TestFig7RightShape(t *testing.T) {
+	t.Parallel()
 	fig, err := Fig7Right(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -267,6 +295,28 @@ func TestFig7RightShape(t *testing.T) {
 }
 
 func TestFig8LeftShape(t *testing.T) {
+	t.Parallel()
+	// Steady-state capacity pinning needs Quick-length runs; -short runs
+	// Tiny and only checks the panel's structure and the capacity bound.
+	if testing.Short() {
+		figs, err := Fig8Left(Tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := float64(Tiny.DirSlots)
+		for _, name := range []string{"TF", "GC", "MA", "MC"} {
+			fig := figs[name]
+			if fig == nil || len(fig.Series) == 0 || len(fig.Series[0].Y) < 2 {
+				t.Fatalf("%s: directory series missing or too short", name)
+			}
+			for _, y := range fig.Series[0].Y {
+				if y > cap {
+					t.Errorf("%s exceeded capacity: %v > %v", name, y, cap)
+				}
+			}
+		}
+		return
+	}
 	figs, err := Fig8Left(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -358,6 +408,7 @@ func TestFig8RightShape(t *testing.T) {
 }
 
 func TestFig9LeftShape(t *testing.T) {
+	t.Parallel()
 	figs, err := Fig9Left(Tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -389,6 +440,7 @@ func TestFig9LeftShape(t *testing.T) {
 }
 
 func TestFig9RightShape(t *testing.T) {
+	t.Parallel()
 	figs, err := Fig9Right(Tiny)
 	if err != nil {
 		t.Fatal(err)

@@ -4,112 +4,61 @@ import (
 	"fmt"
 
 	"mind/internal/core"
-	"mind/internal/fastswap"
-	"mind/internal/gam"
-	"mind/internal/sim"
-	"mind/internal/workloads"
+	prun "mind/internal/runner"
 )
-
-// runWorkload executes one workload to completion on a runner and returns
-// the finish time (used by counter-based experiments like Figure 6).
-func runWorkload(r runner, w workloads.Workload, threads, blades, ops int, seed uint64) (sim.Time, error) {
-	base, err := r.Alloc(w.Footprint)
-	if err != nil {
-		return 0, err
-	}
-	p := workloads.Params{Threads: threads, Blades: blades, OpsPerThread: ops, Seed: seed}
-	for t := 0; t < threads; t++ {
-		if err := r.Spawn(t%blades, w.Gen(base, t, p)); err != nil {
-			return 0, err
-		}
-	}
-	return r.Run(), nil
-}
-
-// steadyTime measures the steady-state runtime of `ops` accesses per
-// thread: the deterministic job is run once with ops and once with 2*ops
-// per thread, and the difference cancels the cold-start (compulsory-miss)
-// phase that the paper's minutes-long runs amortize away.
-func steadyTime(mk func() (runner, error), w workloads.Workload, threads, blades, ops int, seed uint64) (sim.Duration, error) {
-	r1, err := mk()
-	if err != nil {
-		return 0, err
-	}
-	t1, err := runWorkload(r1, w, threads, blades, ops, seed)
-	if err != nil {
-		return 0, err
-	}
-	r2, err := mk()
-	if err != nil {
-		return 0, err
-	}
-	t2, err := runWorkload(r2, w, threads, blades, 2*ops, seed)
-	if err != nil {
-		return 0, err
-	}
-	dt := t2.Sub(t1)
-	if dt <= 0 {
-		dt = t2.Sub(0)
-	}
-	return dt, nil
-}
-
-// steadyPerf is 1/steadyTime — the paper's "performance" metric.
-func steadyPerf(mk func() (runner, error), w workloads.Workload, threads, blades, ops int, seed uint64) (float64, error) {
-	dt, err := steadyTime(mk, w, threads, blades, ops, seed)
-	if err != nil {
-		return 0, err
-	}
-	return 1 / dt.Seconds(), nil
-}
 
 // Fig5Left reproduces Figure 5 (left): intra-blade scaling of MIND,
 // FastSwap and GAM on TF/GC/M_A/M_C for 1-10 threads on a single compute
 // blade. Performance is normalized by MIND at 1 thread per workload.
 func Fig5Left(s Scale) (map[string]*Figure, error) {
 	threadCounts := []int{1, 2, 4, 10}
-	out := make(map[string]*Figure)
-	for _, w := range workloads.All(s.WorkloadScale) {
-		w := w
-		fig := &Figure{
-			ID:     "5-left/" + w.Name,
-			Title:  fmt.Sprintf("Intra-blade scaling, %s (normalized perf)", w.Name),
-			XLabel: "threads",
-			YLabel: "perf normalized to MIND@1",
-		}
-		cache := cachePagesFor(s, w.Footprint)
-		var mindBase float64
+	type point struct {
+		wName, label string
+		th           int
+	}
+	var pts []point
+	var specs []prun.Spec
+	for _, kw := range kwAll(s.WorkloadScale) {
+		cache := cachePagesFor(s, kw.w.Footprint)
 		for _, th := range threadCounts {
 			ops := opsPerThread(s, th) / 2
-
-			mp, err := steadyPerf(func() (runner, error) {
-				return newMind(1, 8, cache, core.TSO, nil)
-			}, w, th, 1, ops, s.seed())
-			if err != nil {
-				return nil, err
+			for _, sys := range []struct {
+				label string
+				d     sysDesc
+			}{
+				{"MIND", mindDesc(1, 8, cache, core.TSO, nil, "")},
+				{"FastSwap", fastswapDesc(8, cache)},
+				{"GAM", gamDesc(1, 8, cache)},
+			} {
+				sp := steadySpecs(sys.d, kw, th, 1, ops, s.seed())
+				specs = append(specs, sp[0], sp[1])
+				pts = append(pts, point{kw.w.Name, sys.label, th})
 			}
-			if th == 1 {
-				mindBase = mp
-			}
-			fig.add("MIND", float64(th), mp/mindBase)
-
-			fp, err := steadyPerf(func() (runner, error) {
-				return fastswap.New(fastswap.DefaultConfig(8, cache)), nil
-			}, w, th, 1, ops, s.seed())
-			if err != nil {
-				return nil, err
-			}
-			fig.add("FastSwap", float64(th), fp/mindBase)
-
-			gp, err := steadyPerf(func() (runner, error) {
-				return gam.New(gam.DefaultConfig(1, 8, cache)), nil
-			}, w, th, 1, ops, s.seed())
-			if err != nil {
-				return nil, err
-			}
-			fig.add("GAM", float64(th), gp/mindBase)
 		}
-		out[w.Name] = fig
+	}
+	res, err := s.do(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]*Figure)
+	mindBase := map[string]float64{}
+	for i, pt := range pts {
+		fig := out[pt.wName]
+		if fig == nil {
+			fig = &Figure{
+				ID:     "5-left/" + pt.wName,
+				Title:  fmt.Sprintf("Intra-blade scaling, %s (normalized perf)", pt.wName),
+				XLabel: "threads",
+				YLabel: "perf normalized to MIND@1",
+			}
+			out[pt.wName] = fig
+		}
+		perf := 1 / steadyOf(res[2*i], res[2*i+1]).Seconds()
+		if pt.label == "MIND" && pt.th == 1 {
+			mindBase[pt.wName] = perf
+		}
+		fig.add(pt.label, float64(pt.th), perf/mindBase[pt.wName])
 	}
 	return out, nil
 }
@@ -120,56 +69,57 @@ func Fig5Left(s Scale) (map[string]*Figure, error) {
 func Fig5Center(s Scale) (map[string]*Figure, error) {
 	bladeCounts := []int{1, 2, 4, 8}
 	const threadsPerBlade = 10
-	out := make(map[string]*Figure)
-	for _, w := range workloads.All(s.WorkloadScale) {
-		w := w
-		fig := &Figure{
-			ID:     "5-center/" + w.Name,
-			Title:  fmt.Sprintf("Inter-blade scaling, %s (normalized perf)", w.Name),
-			XLabel: "blades",
-			YLabel: "perf normalized to MIND@1",
-		}
-		cache := cachePagesFor(s, w.Footprint)
-		var mindBase float64
+	type point struct {
+		wName, label string
+		blades       int
+	}
+	var pts []point
+	var specs []prun.Spec
+	for _, kw := range kwAll(s.WorkloadScale) {
+		cache := cachePagesFor(s, kw.w.Footprint)
 		for _, blades := range bladeCounts {
-			blades := blades
 			threads := threadsPerBlade * blades
 			ops := opsPerThread(s, threads) / 2
-
-			variants := []struct {
+			for _, v := range []struct {
 				label string
 				model core.Consistency
 			}{
 				{"MIND", core.TSO},
 				{"MIND-PSO", core.PSO},
 				{"MIND-PSO+", core.PSOPlus},
+			} {
+				sp := steadySpecs(s.tunedMind(blades, cache, v.model), kw, threads, blades, ops, s.seed())
+				specs = append(specs, sp[0], sp[1])
+				pts = append(pts, point{kw.w.Name, v.label, blades})
 			}
-			for _, v := range variants {
-				v := v
-				perf, err := steadyPerf(func() (runner, error) {
-					return newMind(blades, 8, cache, v.model, func(c *core.Config) {
-						c.ASIC.SlotCapacity = s.DirSlots
-						c.SplitterEpoch = s.Epoch
-					})
-				}, w, threads, blades, ops, s.seed())
-				if err != nil {
-					return nil, err
-				}
-				if v.label == "MIND" && blades == 1 {
-					mindBase = perf
-				}
-				fig.add(v.label, float64(blades), perf/mindBase)
-			}
-
-			gp, err := steadyPerf(func() (runner, error) {
-				return gam.New(gam.DefaultConfig(blades, 8, cache)), nil
-			}, w, threads, blades, ops, s.seed())
-			if err != nil {
-				return nil, err
-			}
-			fig.add("GAM", float64(blades), gp/mindBase)
+			sp := steadySpecs(gamDesc(blades, 8, cache), kw, threads, blades, ops, s.seed())
+			specs = append(specs, sp[0], sp[1])
+			pts = append(pts, point{kw.w.Name, "GAM", blades})
 		}
-		out[w.Name] = fig
+	}
+	res, err := s.do(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]*Figure)
+	mindBase := map[string]float64{}
+	for i, pt := range pts {
+		fig := out[pt.wName]
+		if fig == nil {
+			fig = &Figure{
+				ID:     "5-center/" + pt.wName,
+				Title:  fmt.Sprintf("Inter-blade scaling, %s (normalized perf)", pt.wName),
+				XLabel: "blades",
+				YLabel: "perf normalized to MIND@1",
+			}
+			out[pt.wName] = fig
+		}
+		perf := 1 / steadyOf(res[2*i], res[2*i+1]).Seconds()
+		if pt.label == "MIND" && pt.blades == 1 {
+			mindBase[pt.wName] = perf
+		}
+		fig.add(pt.label, float64(pt.blades), perf/mindBase[pt.wName])
 	}
 	return out, nil
 }
@@ -179,65 +129,53 @@ func Fig5Center(s Scale) (map[string]*Figure, error) {
 // and multi-blade (2-8 blades x 10 threads, MIND only — FastSwap cannot
 // scale out, §7.1).
 func Fig5Right(s Scale) (map[string]*Figure, error) {
-	out := make(map[string]*Figure)
+	// KVS ops take two accesses (bucket probe + item access).
+	const accessesPerOp = 2
+	type point struct {
+		wlName, label string
+		threads, ops  int
+	}
+	var pts []point
+	var specs []prun.Spec
 	for _, wl := range []struct {
 		name      string
 		readRatio float64
 	}{{"YCSB-A", 0.5}, {"YCSB-C", 1.0}} {
-		w := workloads.NativeKVS(wl.readRatio, s.WorkloadScale)
-		fig := &Figure{
-			ID:     "5-right/" + wl.name,
-			Title:  fmt.Sprintf("Native-KVS %s throughput", wl.name),
-			XLabel: "threads",
-			YLabel: "MOPS",
-		}
-		cache := cachePagesFor(s, w.Footprint)
-		// KVS ops take two accesses (bucket probe + item access).
-		const accessesPerOp = 2
-
-		mops := func(mk func() (runner, error), threads, blades int) (float64, error) {
+		kw := kwKVS(wl.readRatio, s.WorkloadScale)
+		cache := cachePagesFor(s, kw.w.Footprint)
+		addPoint := func(d sysDesc, label string, threads, blades int) {
 			ops := opsPerThread(s, threads) / 2
-			dt, err := steadyTime(mk, w, threads, blades, ops, s.seed())
-			if err != nil {
-				return 0, err
-			}
-			return float64(threads*ops) / accessesPerOp / dt.Seconds() / 1e6, nil
+			sp := steadySpecs(d, kw, threads, blades, ops, s.seed())
+			specs = append(specs, sp[0], sp[1])
+			pts = append(pts, point{wl.name, label, threads, ops})
 		}
-
 		for _, th := range []int{1, 2, 4, 10} {
-			m, err := mops(func() (runner, error) {
-				return newMind(1, 8, cache, core.TSO, nil)
-			}, th, 1)
-			if err != nil {
-				return nil, err
-			}
-			fig.add("MIND(1 blade)", float64(th), m)
-
-			fsm, err := mops(func() (runner, error) {
-				return fastswap.New(fastswap.DefaultConfig(8, cache)), nil
-			}, th, 1)
-			if err != nil {
-				return nil, err
-			}
-			fig.add("FastSwap", float64(th), fsm)
+			addPoint(mindDesc(1, 8, cache, core.TSO, nil, ""), "MIND(1 blade)", th, 1)
+			addPoint(fastswapDesc(8, cache), "FastSwap", th, 1)
 		}
 		for _, blades := range []int{2, 4, 8} {
-			blades := blades
-			m, err := mops(func() (runner, error) {
-				return newMind(blades, 8, cache, core.TSO, func(c *core.Config) {
-					c.ASIC.SlotCapacity = s.DirSlots
-					c.SplitterEpoch = s.Epoch
-				})
-			}, blades*10, blades)
-			if err != nil {
-				return nil, err
-			}
-			fig.add("MIND(multi)", float64(blades*10), m)
+			addPoint(s.tunedMind(blades, cache, core.TSO), "MIND(multi)", blades*10, blades)
 		}
-		out[wl.name] = fig
+	}
+	res, err := s.do(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]*Figure)
+	for i, pt := range pts {
+		fig := out[pt.wlName]
+		if fig == nil {
+			fig = &Figure{
+				ID:     "5-right/" + pt.wlName,
+				Title:  fmt.Sprintf("Native-KVS %s throughput", pt.wlName),
+				XLabel: "threads",
+				YLabel: "MOPS",
+			}
+			out[pt.wlName] = fig
+		}
+		dt := steadyOf(res[2*i], res[2*i+1])
+		fig.add(pt.label, float64(pt.threads), float64(pt.threads*pt.ops)/accessesPerOp/dt.Seconds()/1e6)
 	}
 	return out, nil
 }
-
-// seed returns the deterministic run seed for a scale.
-func (s Scale) seed() uint64 { return uint64(s.WorkloadScale)*1000 + uint64(s.TotalOps%997) }

@@ -5,45 +5,131 @@ import (
 
 	"mind/internal/core"
 	"mind/internal/mem"
+	prun "mind/internal/runner"
 	"mind/internal/sim"
 	"mind/internal/stats"
-	"mind/internal/workloads"
 )
 
 // Fig6 reproduces Figure 6: the number of remote accesses, invalidations
 // and flushed pages per memory access as compute blades scale from 1 to
 // 8 (10 threads per blade), per workload.
 func Fig6(s Scale) (map[string]*Figure, error) {
-	out := make(map[string]*Figure)
-	for _, w := range workloads.All(s.WorkloadScale) {
-		fig := &Figure{
-			ID:     "6/" + w.Name,
-			Title:  fmt.Sprintf("Invalidation overhead, %s", w.Name),
-			XLabel: "blades",
-			YLabel: "occurrences per access",
-		}
-		cache := cachePagesFor(s, w.Footprint)
+	type point struct {
+		wName  string
+		blades int
+	}
+	var pts []point
+	var specs []prun.Spec
+	for _, kw := range kwAll(s.WorkloadScale) {
+		cache := cachePagesFor(s, kw.w.Footprint)
 		for _, blades := range []int{1, 2, 4, 8} {
 			threads := blades * 10
-			ops := opsPerThread(s, threads)
-			mr, err := newMind(blades, 8, cache, core.TSO, func(c *core.Config) {
-				c.ASIC.SlotCapacity = s.DirSlots
-				c.SplitterEpoch = s.Epoch
-			})
+			specs = append(specs, workRunSpec(s.tunedMind(blades, cache, core.TSO), kw,
+				threads, blades, opsPerThread(s, threads), s.seed()))
+			pts = append(pts, point{kw.w.Name, blades})
+		}
+	}
+	res, err := s.do(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]*Figure)
+	for i, pt := range pts {
+		fig := out[pt.wName]
+		if fig == nil {
+			fig = &Figure{
+				ID:     "6/" + pt.wName,
+				Title:  fmt.Sprintf("Invalidation overhead, %s", pt.wName),
+				XLabel: "blades",
+				YLabel: "occurrences per access",
+			}
+			out[pt.wName] = fig
+		}
+		r := res[i].(runResult)
+		fig.add("remote", float64(pt.blades), r.RemotePA)
+		fig.add("invalidations", float64(pt.blades), r.InvalsPA)
+		fig.add("flushed", float64(pt.blades), r.FlushedPA)
+	}
+	return out, nil
+}
+
+// fig7Latencies is one Figure 7 (left) data column: mean microseconds per
+// MSI transition at a given sharer count.
+type fig7Latencies struct {
+	IS, SS, SM, MS, MM float64
+}
+
+// fig7LeftSpec hand-drives the MSI transitions on a fresh rack with the
+// given number of compute blades. The run takes no scale parameters, so
+// its key is shared across scales.
+func fig7LeftSpec(blades int) prun.Spec {
+	const pagesPerCase = 32
+	return prun.Spec{
+		Key: prun.KeyOf("fig7left", blades, pagesPerCase),
+		Run: func() (any, error) {
+			mr, err := newMind(blades, 2, 4096, core.TSO, nil)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := runWorkload(mr, w, threads, blades, ops, s.seed()); err != nil {
+			c := mr.c
+			vma, err := mr.p.Mmap(uint64(16*pagesPerCase*mem.PageSize), mem.PermReadWrite)
+			if err != nil {
 				return nil, err
 			}
-			col := mr.Collector()
-			fig.add("remote", float64(blades), col.PerAccess(stats.CtrRemoteAccesses))
-			fig.add("invalidations", float64(blades), col.PerAccess(stats.CtrInvalidations))
-			fig.add("flushed", float64(blades), col.PerAccess(stats.CtrFlushedPages))
-		}
-		out[w.Name] = fig
+			var threads []*core.Thread
+			for i := 0; i < blades; i++ {
+				th, err := mr.p.SpawnThread(i)
+				if err != nil {
+					return nil, err
+				}
+				threads = append(threads, th)
+			}
+			measure := func(th *core.Thread, va mem.VA, write bool) sim.Duration {
+				start := c.Now()
+				if err := th.Touch(va, write); err != nil {
+					panic(err)
+				}
+				return c.Now().Sub(start)
+			}
+			mean := func(vals []sim.Duration) float64 {
+				var sum sim.Duration
+				for _, v := range vals {
+					sum += v
+				}
+				return sum.Micros() / float64(len(vals))
+			}
+
+			// Pages are spaced one region apart so each case sees a fresh
+			// directory entry.
+			region := mem.VA(16 << 10)
+			page := func(caseIdx, i int) mem.VA {
+				return vma.Base + mem.VA(caseIdx*pagesPerCase)*region + mem.VA(i)*region
+			}
+
+			var iS, sS, sM, mS, mM []sim.Duration
+			for i := 0; i < pagesPerCase; i++ {
+				// I->S: first touch (cold read).
+				iS = append(iS, measure(threads[0], page(0, i), false))
+				// S->S: all other blades read it; measure the last reader.
+				for b := 1; b < blades-1; b++ {
+					_ = measure(threads[b], page(0, i), false)
+				}
+				sS = append(sS, measure(threads[blades-1], page(0, i), false))
+				// S->M: writer invalidates the sharers in parallel.
+				sM = append(sM, measure(threads[0], page(0, i), true))
+				// M->S: another blade reads the modified region (serial
+				// downgrade + flush).
+				mS = append(mS, measure(threads[1], page(0, i), false))
+				// M->M: prepare fresh M state, then a different blade writes.
+				_ = measure(threads[0], page(1, i), true)
+				mM = append(mM, measure(threads[1], page(1, i), true))
+			}
+			return fig7Latencies{
+				IS: mean(iS), SS: mean(sS), SM: mean(sM), MS: mean(mS), MM: mean(mM),
+			}, nil
+		},
 	}
-	return out, nil
 }
 
 // Fig7Left reproduces Figure 7 (left): end-to-end latency of each MSI
@@ -57,71 +143,23 @@ func Fig7Left(s Scale) (*Figure, error) {
 		XLabel: "sharers (blades)",
 		YLabel: "latency (us)",
 	}
-	const pagesPerCase = 32
-	for _, blades := range []int{2, 4, 8} {
-		mr, err := newMind(blades, 2, 4096, core.TSO, nil)
-		if err != nil {
-			return nil, err
-		}
-		c := mr.c
-		vma, err := mr.p.Mmap(uint64(16*pagesPerCase*mem.PageSize), mem.PermReadWrite)
-		if err != nil {
-			return nil, err
-		}
-		var threads []*core.Thread
-		for i := 0; i < blades; i++ {
-			th, err := mr.p.SpawnThread(i)
-			if err != nil {
-				return nil, err
-			}
-			threads = append(threads, th)
-		}
-		measure := func(th *core.Thread, va mem.VA, write bool) sim.Duration {
-			start := c.Now()
-			if err := th.Touch(va, write); err != nil {
-				panic(err)
-			}
-			return c.Now().Sub(start)
-		}
-		mean := func(vals []sim.Duration) float64 {
-			var sum sim.Duration
-			for _, v := range vals {
-				sum += v
-			}
-			return sum.Micros() / float64(len(vals))
-		}
-
-		// Pages are spaced one region apart so each case sees a fresh
-		// directory entry.
-		region := mem.VA(16 << 10)
-		page := func(caseIdx, i int) mem.VA {
-			return vma.Base + mem.VA(caseIdx*pagesPerCase)*region + mem.VA(i)*region
-		}
-
-		var iS, sS, sM, mS, mM []sim.Duration
-		for i := 0; i < pagesPerCase; i++ {
-			// I->S: first touch (cold read).
-			iS = append(iS, measure(threads[0], page(0, i), false))
-			// S->S: all other blades read it; measure the last reader.
-			for b := 1; b < blades-1; b++ {
-				_ = measure(threads[b], page(0, i), false)
-			}
-			sS = append(sS, measure(threads[blades-1], page(0, i), false))
-			// S->M: writer invalidates the sharers in parallel.
-			sM = append(sM, measure(threads[0], page(0, i), true))
-			// M->S: another blade reads the modified region (serial
-			// downgrade + flush).
-			mS = append(mS, measure(threads[1], page(0, i), false))
-			// M->M: prepare fresh M state, then a different blade writes.
-			_ = measure(threads[0], page(1, i), true)
-			mM = append(mM, measure(threads[1], page(1, i), true))
-		}
+	bladeCounts := []int{2, 4, 8}
+	var specs []prun.Spec
+	for _, blades := range bladeCounts {
+		specs = append(specs, fig7LeftSpec(blades))
+	}
+	res, err := s.do(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, blades := range bladeCounts {
+		lat := res[i].(fig7Latencies)
 		x := float64(blades)
-		fig.add("I->S/M", x, mean(iS))
-		fig.add("S->S", x, mean(sS))
-		fig.add("S->M", x, mean(sM))
-		fig.add("M->S", x, mean(mS))
-		fig.add("M->M", x, mean(mM))
+		fig.add("I->S/M", x, lat.IS)
+		fig.add("S->S", x, lat.SS)
+		fig.add("S->M", x, lat.SM)
+		fig.add("M->S", x, lat.MS)
+		fig.add("M->M", x, lat.MM)
 	}
 	return fig, nil
 }
@@ -144,32 +182,29 @@ func Fig7Center(s Scale) (*Figure, error) {
 	if cache < 64 {
 		cache = 64
 	}
+	type point struct {
+		read, share  float64
+		threads, ops int
+	}
+	var pts []point
+	var specs []prun.Spec
 	for _, read := range []float64{0, 0.25, 0.5, 0.75, 1} {
 		for _, share := range []float64{0, 0.25, 0.5, 0.75, 1} {
-			w := workloads.Uniform(workingSet, read, share)
-			mr, err := newMind(blades, 8, cache, core.TSO, func(c *core.Config) {
-				c.ASIC.SlotCapacity = s.DirSlots
-				c.SplitterEpoch = s.Epoch
-			})
-			if err != nil {
-				return nil, err
-			}
 			threads := blades // 1 thread per blade (§7.2)
 			ops := opsPerThread(s, threads)
-			base, err := mr.Alloc(w.Footprint)
-			if err != nil {
-				return nil, err
-			}
-			p := workloads.Params{Threads: threads, Blades: blades, OpsPerThread: ops, Seed: s.seed()}
-			for t := 0; t < threads; t++ {
-				if err := mr.Spawn(t, w.Gen(base, t, p)); err != nil {
-					return nil, err
-				}
-			}
-			end := mr.Run()
-			iops := float64(threads*ops) / end.Sub(0).Seconds()
-			fig.add(fmt.Sprintf("R=%.2f", read), share, iops)
+			specs = append(specs, workRunSpec(s.tunedMind(blades, cache, core.TSO),
+				kwUniform(workingSet, read, share), threads, blades, ops, s.seed()))
+			pts = append(pts, point{read, share, threads, ops})
 		}
+	}
+	res, err := s.do(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		end := res[i].(runResult).End
+		iops := float64(pt.threads*pt.ops) / end.Sub(0).Seconds()
+		fig.add(fmt.Sprintf("R=%.2f", pt.read), pt.share, iops)
 	}
 	return fig, nil
 }
@@ -178,7 +213,9 @@ func Fig7Center(s Scale) (*Figure, error) {
 // fault, network, invalidation queueing, TLB shootdown) of remote
 // accesses at sharing ratio 1 for read ratios {0, 0.5, 1} across 1-8
 // blades. Output series are labelled "R=x/component"; values are the
-// mean microseconds per remote access.
+// mean microseconds per remote access. The sharing-ratio-1 runs at 8
+// blades are the same runs Figure 7 (center) performs, so a shared cache
+// computes them once.
 func Fig7Right(s Scale) (*Figure, error) {
 	fig := &Figure{
 		ID:     "7-right",
@@ -191,35 +228,36 @@ func Fig7Right(s Scale) (*Figure, error) {
 	if cache < 64 {
 		cache = 64
 	}
+	type point struct {
+		read   float64
+		blades int
+	}
+	var pts []point
+	var specs []prun.Spec
 	for _, read := range []float64{0, 0.5, 1} {
 		for _, blades := range []int{1, 2, 4, 8} {
-			w := workloads.Uniform(workingSet, read, 1.0)
-			mr, err := newMind(blades, 8, cache, core.TSO, func(c *core.Config) {
-				c.ASIC.SlotCapacity = s.DirSlots
-				c.SplitterEpoch = s.Epoch
-			})
-			if err != nil {
-				return nil, err
-			}
 			threads := blades
-			ops := opsPerThread(s, threads)
-			base, err := mr.Alloc(w.Footprint)
-			if err != nil {
-				return nil, err
-			}
-			p := workloads.Params{Threads: threads, Blades: blades, OpsPerThread: ops, Seed: s.seed()}
-			for t := 0; t < threads; t++ {
-				if err := mr.Spawn(t, w.Gen(base, t, p)); err != nil {
-					return nil, err
-				}
-			}
-			mr.Run()
-			col := mr.Collector()
-			remote := col.Counter(stats.CtrRemoteAccesses)
-			for _, comp := range []string{stats.LatPgFault, stats.LatNetwork, stats.LatInvQueue, stats.LatInvTLB} {
-				mean := col.MeanLatency(comp, remote)
-				fig.add(fmt.Sprintf("R=%.1f/%s", read, comp), float64(blades), mean.Micros())
-			}
+			specs = append(specs, workRunSpec(s.tunedMind(blades, cache, core.TSO),
+				kwUniform(workingSet, read, 1.0), threads, blades, opsPerThread(s, threads), s.seed()))
+			pts = append(pts, point{read, blades})
+		}
+	}
+	res, err := s.do(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range pts {
+		r := res[i].(runResult)
+		for _, comp := range []struct {
+			name string
+			mean float64
+		}{
+			{stats.LatPgFault, r.LatPgFaultUS},
+			{stats.LatNetwork, r.LatNetworkUS},
+			{stats.LatInvQueue, r.LatInvQueueUS},
+			{stats.LatInvTLB, r.LatInvTLBUS},
+		} {
+			fig.add(fmt.Sprintf("R=%.1f/%s", pt.read, comp.name), float64(pt.blades), comp.mean)
 		}
 	}
 	return fig, nil

@@ -26,7 +26,7 @@ func TestTraceReplayAcrossSystems(t *testing.T) {
 		captured = append(captured, trace.Capture(w.Gen(capturedBase, th, params), 0))
 	}
 
-	runOn := func(r runner) uint64 {
+	runOn := func(r system) uint64 {
 		base, err := r.Alloc(w.Footprint)
 		if err != nil {
 			t.Fatal(err)
@@ -49,7 +49,7 @@ func TestTraceReplayAcrossSystems(t *testing.T) {
 	g := gam.New(gam.DefaultConfig(1, 2, cache))
 	fs := fastswap.New(fastswap.DefaultConfig(2, cache))
 
-	for name, r := range map[string]runner{"mind": mind, "gam": g, "fastswap": fs} {
+	for name, r := range map[string]system{"mind": mind, "gam": g, "fastswap": fs} {
 		if got := runOn(r); got != 2*ops {
 			t.Errorf("%s replayed %d accesses, want %d", name, got, 2*ops)
 		}

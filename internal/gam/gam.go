@@ -16,6 +16,7 @@ package gam
 
 import (
 	"fmt"
+	"sort"
 
 	"mind/internal/computeblade"
 	"mind/internal/core"
@@ -442,6 +443,10 @@ func (c *Cluster) atHome(blade int, page mem.VA, write bool, done func()) {
 				targets = append(targets, s)
 			}
 		}
+		// The sharer set is a Go map; unicast in blade order so the event
+		// schedule (and therefore timing) is reproducible. MIND's path gets
+		// this for free from the switch's multicast-group member order.
+		sort.Ints(targets)
 		e.state = stModified
 		e.owner = blade
 		e.sharers = map[int]bool{blade: true}

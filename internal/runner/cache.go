@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Cache is a content-addressed, in-memory result cache with singleflight
+// semantics: the first spec to present a key computes it; every later
+// spec with the same key — in the same Do batch, a concurrent one, or a
+// later panel — waits for and shares that result. Errors and panics are
+// cached too, so replays are deterministic.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed once the entry is populated
+	val  any
+	err  error
+	pan  *panicked
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// do returns the cached result for key, computing it with run if this is
+// the first request.
+func (c *Cache) do(key string, run func() (any, error)) (any, error, *panicked) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err, e.pan
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	defer close(e.done)
+	e.val, e.err, e.pan = runGuarded(run)
+	return e.val, e.err, e.pan
+}
+
+// Stats reports how many lookups were served from the cache (hits) and
+// how many triggered a computation (misses).
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of distinct keys stored.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops all entries and zeroes the hit/miss counters. In-flight
+// computations complete against the old entries; new lookups recompute.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+	c.hits, c.misses = 0, 0
+}
+
+// runGuarded invokes run, converting a panic into a carried value so
+// worker goroutines never crash the process directly.
+func runGuarded(run func() (any, error)) (val any, err error, pan *panicked) {
+	defer func() {
+		if r := recover(); r != nil {
+			pan = &panicked{val: r, stack: debug.Stack()}
+		}
+	}()
+	val, err = run()
+	return
+}

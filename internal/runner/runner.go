@@ -1,0 +1,137 @@
+// Package runner is the deterministic parallel experiment harness. Every
+// figure of the evaluation is a set of independent simulation runs — each
+// builds its own sim.Engine-backed cluster and derives all randomness
+// from its spec content — so the runs can fan out across a worker pool
+// while the merged output stays bit-identical to serial execution.
+//
+// The contract that makes this safe:
+//
+//   - A Spec's Run closure is self-contained: it constructs its own
+//     cluster/engine, seeds its own RNGs, and never touches shared
+//     mutable state.
+//   - A Spec's Key canonically names every input that shapes the run
+//     (system variant, workload, scale, threads, blades, ops, seed).
+//     Equal keys MUST describe identical runs; the content-addressed
+//     Cache hands the first computed result to every later spec with the
+//     same key, including repeated points across figure panels.
+//   - Do returns results indexed by spec position, so callers merge in
+//     submission order regardless of completion order or worker count.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Spec is one declarative unit of work: a canonical content key plus the
+// closure that performs the run.
+type Spec struct {
+	// Key identifies the run's full configuration. Two specs with equal
+	// keys must produce identical results — the cache enforces
+	// compute-once semantics per key.
+	Key string
+	// Run executes the run and returns its result. It must be
+	// deterministic given the spec content and safe to call from any
+	// goroutine.
+	Run func() (any, error)
+}
+
+// Options configure one Do call.
+type Options struct {
+	// Workers selects the pool width: n > 0 uses n worker goroutines,
+	// 0 uses one per CPU (GOMAXPROCS), and n < 0 executes inline on the
+	// calling goroutine with no pool at all — the reference serial mode
+	// the determinism goldens compare against.
+	Workers int
+	// Cache, when non-nil, deduplicates specs by key across this call
+	// and any other Do call sharing the cache.
+	Cache *Cache
+}
+
+// panicked carries a recovered panic from a worker back to the caller.
+type panicked struct {
+	val   any
+	stack []byte
+}
+
+// Do executes every spec and returns results in spec order: results[i]
+// belongs to specs[i], whatever the interleaving. If any run returns an
+// error, Do returns the error of the lowest-index failing spec (runs
+// still complete, keeping the choice deterministic). If any run panics,
+// Do re-panics on the calling goroutine with the lowest-index panic
+// after all workers have drained.
+func Do(specs []Spec, opts Options) ([]any, error) {
+	results := make([]any, len(specs))
+	errs := make([]error, len(specs))
+	pans := make([]*panicked, len(specs))
+
+	exec := func(i int) {
+		results[i], errs[i], pans[i] = execute(specs[i], opts.Cache)
+	}
+
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 0 || len(specs) <= 1 {
+		for i := range specs {
+			exec(i)
+		}
+	} else {
+		if workers > len(specs) {
+			workers = len(specs)
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					exec(i)
+				}
+			}()
+		}
+		for i := range specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for i, p := range pans {
+		if p != nil {
+			panic(fmt.Sprintf("runner: spec %d (%s) panicked: %v\n%s", i, specs[i].Key, p.val, p.stack))
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: spec %d (%s): %w", i, specs[i].Key, err)
+		}
+	}
+	return results, nil
+}
+
+// execute runs one spec, through the cache when present.
+func execute(s Spec, c *Cache) (any, error, *panicked) {
+	if c == nil {
+		return runGuarded(s.Run)
+	}
+	return c.do(s.Key, s.Run)
+}
+
+// KeyOf builds a canonical spec key from its parts, joined with '|'.
+// Parts should be plain values (strings, ints, floats, bools); the
+// caller is responsible for including every input that shapes the run.
+func KeyOf(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%v", p)
+	}
+	return b.String()
+}

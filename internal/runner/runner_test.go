@@ -1,0 +1,262 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// specsReturningIndex builds n specs whose results are their own index,
+// with later specs finishing first under parallelism (descending sleeps)
+// to stress result ordering.
+func specsReturningIndex(n int) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		i := i
+		specs[i] = Spec{
+			Key: KeyOf("idx", i),
+			Run: func() (any, error) {
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i, nil
+			},
+		}
+	}
+	return specs
+}
+
+func TestDoPreservesSpecOrder(t *testing.T) {
+	for _, workers := range []int{-1, 1, 2, 8} {
+		res, err := Do(specsReturningIndex(16), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range res {
+			if v.(int) != i {
+				t.Errorf("workers=%d: results[%d] = %v, want %d", workers, i, v, i)
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	if res, err := Do(nil, Options{}); err != nil || len(res) != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	res, err := Do([]Spec{{Key: "one", Run: func() (any, error) { return "v", nil }}}, Options{Workers: 4})
+	if err != nil || res[0].(string) != "v" {
+		t.Fatalf("single: %v %v", res, err)
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache()
+	var computed atomic.Int64
+	mk := func(key string) Spec {
+		return Spec{Key: key, Run: func() (any, error) {
+			computed.Add(1)
+			return key, nil
+		}}
+	}
+	// 9 specs over 3 distinct keys: 3 misses, 6 hits, 3 computations.
+	var specs []Spec
+	for i := 0; i < 3; i++ {
+		specs = append(specs, mk("a"), mk("b"), mk("c"))
+	}
+	res, err := Do(specs, Options{Workers: 4, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res {
+		if v.(string) != specs[i].Key {
+			t.Errorf("results[%d] = %v, want %s", i, v, specs[i].Key)
+		}
+	}
+	if got := computed.Load(); got != 3 {
+		t.Errorf("computed %d times, want 3", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 6 || misses != 3 {
+		t.Errorf("stats = %d hits / %d misses, want 6/3", hits, misses)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+
+	// A second batch over the same keys is served entirely from cache.
+	if _, err := Do(specs[:3], Options{Workers: 2, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	if got := computed.Load(); got != 3 {
+		t.Errorf("second batch recomputed: %d", got)
+	}
+	hits, _ = c.Stats()
+	if hits != 9 {
+		t.Errorf("hits after second batch = %d, want 9", hits)
+	}
+
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 || c.Len() != 0 {
+		t.Errorf("after Reset: %d/%d len %d", h, m, c.Len())
+	}
+}
+
+func TestCacheErrorsAreCached(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	var computed atomic.Int64
+	spec := Spec{Key: "fails", Run: func() (any, error) {
+		computed.Add(1)
+		return nil, boom
+	}}
+	for i := 0; i < 2; i++ {
+		_, err := Do([]Spec{spec}, Options{Cache: c})
+		if !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: err = %v, want %v", i, err, boom)
+		}
+	}
+	if computed.Load() != 1 {
+		t.Errorf("failing run recomputed: %d", computed.Load())
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	specs := []Spec{
+		{Key: "0", Run: func() (any, error) {
+			time.Sleep(20 * time.Millisecond) // finishes last
+			return nil, errA
+		}},
+		{Key: "1", Run: func() (any, error) { return nil, errB }},
+	}
+	for _, workers := range []int{-1, 2} {
+		_, err := Do(specs, Options{Workers: workers})
+		if !errors.Is(err, errA) {
+			t.Errorf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	specs := []Spec{
+		{Key: "fine", Run: func() (any, error) { return 1, nil }},
+		{Key: "explodes", Run: func() (any, error) { panic("kaboom") }},
+	}
+	for _, workers := range []int{-1, 1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("workers=%d: panic not propagated", workers)
+					return
+				}
+				if s, ok := r.(string); !ok || !strings.Contains(s, "kaboom") || !strings.Contains(s, "explodes") {
+					t.Errorf("workers=%d: panic lost context: %v", workers, r)
+				}
+			}()
+			Do(specs, Options{Workers: workers})
+		}()
+	}
+}
+
+func TestCachedPanicReplays(t *testing.T) {
+	c := NewCache()
+	var computed atomic.Int64
+	spec := Spec{Key: "explodes", Run: func() (any, error) {
+		computed.Add(1)
+		panic("kaboom")
+	}}
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("attempt %d: no panic", i)
+				}
+			}()
+			Do([]Spec{spec}, Options{Cache: c})
+		}()
+	}
+	if computed.Load() != 1 {
+		t.Errorf("panicking run recomputed: %d", computed.Load())
+	}
+}
+
+// TestConcurrentDoSharedCache exercises singleflight under concurrent Do
+// calls sharing one cache — the race detector pass covers the locking.
+func TestConcurrentDoSharedCache(t *testing.T) {
+	c := NewCache()
+	var computed atomic.Int64
+	var specs []Spec
+	for i := 0; i < 8; i++ {
+		i := i
+		specs = append(specs, Spec{
+			Key: KeyOf("shared", i%4),
+			Run: func() (any, error) {
+				computed.Add(1)
+				time.Sleep(time.Millisecond)
+				return i % 4, nil
+			},
+		})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Do(specs, Options{Workers: 3, Cache: c})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, v := range res {
+				if v.(int) != i%4 {
+					t.Errorf("results[%d] = %v", i, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := computed.Load(); got != 4 {
+		t.Errorf("computed %d distinct keys, want 4", got)
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	if got := KeyOf("mind", 8, 0.25, true); got != "mind|8|0.25|true" {
+		t.Errorf("KeyOf = %q", got)
+	}
+	if KeyOf() != "" {
+		t.Errorf("empty KeyOf = %q", KeyOf())
+	}
+	if KeyOf("a", 12) == KeyOf("a1", 2) {
+		t.Error("separator failed to disambiguate")
+	}
+}
+
+func BenchmarkDoParallelFanout(b *testing.B) {
+	work := func() (any, error) {
+		// A small deterministic CPU-bound kernel standing in for a sim run.
+		s := uint64(1)
+		for i := 0; i < 20000; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+		}
+		return s, nil
+	}
+	for _, workers := range []int{-1, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			specs := make([]Spec, 64)
+			for i := range specs {
+				specs[i] = Spec{Key: KeyOf("bench", i), Run: work}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Do(specs, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

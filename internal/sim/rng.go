@@ -19,6 +19,19 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// DeriveSeed deterministically derives an independent child seed from a
+// root seed and a tag. Parallel experiment runs each derive their own
+// seed from the run's root seed plus a per-run tag, so every run's
+// random streams are fixed by spec content alone — never by which worker
+// executes it or in what order.
+func DeriveSeed(root uint64, tag string) uint64 {
+	x := root
+	for _, c := range []byte(tag) {
+		x = x*131 + uint64(c)
+	}
+	return splitmix64(&x)
+}
+
 // NewRNG returns a generator seeded from seed and a component tag. The same
 // (seed, tag) pair always yields the same stream.
 func NewRNG(seed uint64, tag string) *RNG {
