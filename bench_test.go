@@ -15,12 +15,14 @@ package mind_test
 // target is the paper's shapes (see EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"testing"
 
 	"mind/internal/core"
 	"mind/internal/ctrlplane"
 	"mind/internal/experiments"
 	"mind/internal/mem"
+	"mind/internal/sim"
 	"mind/internal/stats"
 	"mind/internal/switchasic"
 	"mind/internal/workloads"
@@ -501,5 +503,85 @@ func BenchmarkOwnershipPingPong(b *testing.B) {
 		if err := th.Touch(vma.Base, true); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDrainBatchSize measures the drain throttle's operating
+// points: for each migration batch size, a 1024-page blade drains while
+// a foreground thread streams accesses through the rack. Reported
+// metrics are virtual: pages migrated per virtual millisecond of drain
+// (drain bandwidth), the drain's blackout in virtual ms, and the
+// foreground throughput achieved during the run (MOPS). Small batches
+// keep the foreground fast but stretch the drain; big batches invert
+// the tradeoff — DefaultMigrationConfig picks from this curve.
+func BenchmarkDrainBatchSize(b *testing.B) {
+	for _, batch := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(2, 2)
+				cfg.MemoryBladeCapacity = 1 << 28
+				cfg.CachePagesPerBlade = 512
+				cfg.Migration.BatchPages = batch
+				c, err := core.NewCluster(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				proc := c.Exec("drain-bench")
+				const pages = 1024
+				// Two vmas: least-loaded placement puts one per blade.
+				v0, err := proc.Mmap(pages*mem.PageSize, mem.PermReadWrite)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v1, err := proc.Mmap(pages*mem.PageSize, mem.PermReadWrite)
+				if err != nil {
+					b.Fatal(err)
+				}
+				alloc := c.Controller().Allocator()
+				victim, err := alloc.Translate(v0.Base)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Preload the victim's vma with real bytes so the drain
+				// moves a full dataset.
+				buf := make([]byte, mem.PageSize)
+				for p := 0; p < pages; p++ {
+					buf[0] = byte(p)
+					c.MemBlade(int(victim)).WritePage(v0.Base+mem.VA(p)*mem.PageSize, buf)
+				}
+				// Foreground load over the survivor's vma.
+				th, err := proc.SpawnThread(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				const ops = 20000
+				j := 0
+				th.Start(func() (mem.VA, bool, bool) {
+					if j >= ops {
+						return 0, false, false
+					}
+					va := v1.Base + mem.VA((j*7919)%(pages*mem.PageSize))
+					j++
+					return va, j%4 == 0, true
+				}, nil)
+				var rep core.DrainReport
+				c.Engine().Schedule(100*sim.Microsecond, func() {
+					c.DrainMemBladeAsync(victim, func(r core.DrainReport, e error) {
+						rep = r
+						if e != nil {
+							b.Error(e)
+						}
+					})
+				})
+				end := c.RunThreads()
+				if rep.PagesMoved != pages {
+					b.Fatalf("moved %d pages, want %d", rep.PagesMoved, pages)
+				}
+				blackoutMS := rep.Blackout().Seconds() * 1e3
+				b.ReportMetric(float64(rep.PagesMoved)/blackoutMS, "pages/vms")
+				b.ReportMetric(blackoutMS, "blackout-vms")
+				b.ReportMetric(float64(ops)/end.Sub(0).Seconds()/1e6, "fg-MOPS")
+			}
+		})
 	}
 }

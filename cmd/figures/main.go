@@ -7,7 +7,10 @@
 //	figures -fig all -scale quick
 //	figures -fig 5c -scale full -parallel 8
 //
-// Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r, or "all".
+// Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10, or "all". Panel 10
+// is the elasticity timeline (beyond the paper): throughput while a
+// memory blade hot-joins, another drains with live page migration, and a
+// third is killed mid-run.
 //
 // Every data point is an independent deterministic simulation run, so
 // -parallel fans the runs of each panel out across a worker pool
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r, all)")
+	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10, all)")
 	scaleName := flag.String("scale", "quick", "experiment scale: tiny, quick, full")
 	parallel := flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
 	flag.Parse()
@@ -76,6 +79,7 @@ func main() {
 		{"8r", func() error { f, err := experiments.Fig8Right(scale); printOneIf(printOne, f, err); return err }},
 		{"9l", func() error { f, err := experiments.Fig9Left(scale); printMapIf(printMap, f, err); return err }},
 		{"9r", func() error { f, err := experiments.Fig9Right(scale); printMapIf(printMap, f, err); return err }},
+		{"10", func() error { f, err := experiments.Fig10(scale); printOneIf(printOne, f, err); return err }},
 	}
 
 	ran := false

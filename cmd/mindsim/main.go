@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"mind/internal/core"
+	"mind/internal/ctrlplane"
 	"mind/internal/mem"
 	"mind/internal/runner"
 	"mind/internal/sim"
@@ -33,6 +34,14 @@ import (
 // runReport is everything one simulation run prints.
 type runReport struct {
 	Seed       uint64
+	Drain      core.DrainReport
+	Kill       core.KillReport
+	AddedBlade ctrlplane.BladeID
+	DidAdd     bool
+	DidDrain   bool
+	DidKill    bool
+	MigStalls  uint64
+	MigPages   uint64
 	End        sim.Time
 	Total      uint64
 	HitPct     float64
@@ -72,6 +81,13 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "root run seed")
 		runs        = flag.Int("runs", 1, "replicates with seeds derived from the root seed")
 		parallel    = flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
+
+		// Online memory elasticity events (0 disables each).
+		addBladeAt = flag.Duration("add-blade-at", 0, "hot-add a memory blade at this virtual time")
+		drainAt    = flag.Duration("drain-blade-at", 0, "live-drain -drain-blade at this virtual time")
+		drainBlade = flag.Int("drain-blade", 0, "memory blade to drain")
+		killAt     = flag.Duration("kill-blade-at", 0, "kill -kill-blade at this virtual time (failure injection)")
+		killBlade  = flag.Int("kill-blade", 1, "memory blade to kill")
 	)
 	flag.Parse()
 
@@ -149,30 +165,67 @@ func main() {
 			}
 			th.Start(w.Gen(vma.Base, t, p), nil)
 		}
+
+		// Membership events, if requested, fire at fixed virtual times.
+		var report runReport
+		var evErr error
+		if *addBladeAt > 0 {
+			c.Engine().Schedule(sim.Duration(addBladeAt.Nanoseconds()), func() {
+				id, err := c.AddMemBlade(0)
+				report.AddedBlade, report.DidAdd = id, true
+				if err != nil && evErr == nil {
+					evErr = err
+				}
+			})
+		}
+		if *drainAt > 0 {
+			c.Engine().Schedule(sim.Duration(drainAt.Nanoseconds()), func() {
+				c.DrainMemBladeAsync(ctrlplane.BladeID(*drainBlade), func(r core.DrainReport, err error) {
+					report.Drain, report.DidDrain = r, true
+					if err != nil && evErr == nil {
+						evErr = err
+					}
+				})
+			})
+		}
+		if *killAt > 0 {
+			c.Engine().Schedule(sim.Duration(killAt.Nanoseconds()), func() {
+				c.KillMemBladeAsync(ctrlplane.BladeID(*killBlade), func(r core.KillReport, err error) {
+					report.Kill, report.DidKill = r, true
+					if err != nil && evErr == nil {
+						evErr = err
+					}
+				})
+			})
+		}
 		end := c.RunThreads()
+		if evErr != nil {
+			return runReport{}, evErr
+		}
 
 		col := c.Collector()
 		total := col.Counter(stats.CtrAccesses)
 		remote := col.Counter(stats.CtrRemoteAccesses)
-		return runReport{
-			Seed:       runSeed,
-			End:        end,
-			Total:      total,
-			HitPct:     100 * float64(col.Counter(stats.CtrLocalHits)) / float64(total),
-			RemotePA:   col.PerAccess(stats.CtrRemoteAccesses),
-			InvalsPA:   col.PerAccess(stats.CtrInvalidations),
-			FlushedPA:  col.PerAccess(stats.CtrFlushedPages),
-			FalseInv:   col.Counter(stats.CtrFalseInvals),
-			Splits:     col.Counter(stats.CtrSplits),
-			Merges:     col.Counter(stats.CtrMerges),
-			PeakDir:    c.Controller().ASIC().Directory.Peak(),
-			DirCap:     cfg.ASIC.SlotCapacity,
-			Remote:     remote,
-			LatPgFault: col.MeanLatency(stats.LatPgFault, remote),
-			LatNetwork: col.MeanLatency(stats.LatNetwork, remote),
-			LatInvQ:    col.MeanLatency(stats.LatInvQueue, remote),
-			LatInvTLB:  col.MeanLatency(stats.LatInvTLB, remote),
-		}, nil
+		report.Seed = runSeed
+		report.End = end
+		report.Total = total
+		report.HitPct = 100 * float64(col.Counter(stats.CtrLocalHits)) / float64(total)
+		report.RemotePA = col.PerAccess(stats.CtrRemoteAccesses)
+		report.InvalsPA = col.PerAccess(stats.CtrInvalidations)
+		report.FlushedPA = col.PerAccess(stats.CtrFlushedPages)
+		report.FalseInv = col.Counter(stats.CtrFalseInvals)
+		report.Splits = col.Counter(stats.CtrSplits)
+		report.Merges = col.Counter(stats.CtrMerges)
+		report.PeakDir = c.Controller().ASIC().Directory.Peak()
+		report.DirCap = cfg.ASIC.SlotCapacity
+		report.Remote = remote
+		report.LatPgFault = col.MeanLatency(stats.LatPgFault, remote)
+		report.LatNetwork = col.MeanLatency(stats.LatNetwork, remote)
+		report.LatInvQ = col.MeanLatency(stats.LatInvQueue, remote)
+		report.LatInvTLB = col.MeanLatency(stats.LatInvTLB, remote)
+		report.MigStalls = col.Counter(stats.CtrMigrationStalls)
+		report.MigPages = col.Counter(stats.CtrMigratedPages)
+		return report, nil
 	}
 
 	// Replicate 0 runs the root seed itself (so -runs 1 reproduces the
@@ -188,7 +241,8 @@ func main() {
 		seeds[i] = runSeed
 		specs[i] = runner.Spec{
 			Key: runner.KeyOf("mindsim", *workload, *blades, *memBlades, *threads, *ops,
-				cons, *readRatio, *sharing, *scale, cachePages, *dirSlots, int64(*epoch), runSeed),
+				cons, *readRatio, *sharing, *scale, cachePages, *dirSlots, int64(*epoch), runSeed,
+				int64(*addBladeAt), int64(*drainAt), *drainBlade, int64(*killAt), *killBlade),
 			Run: func() (any, error) { return runOnce(runSeed) },
 		}
 	}
@@ -215,6 +269,22 @@ func main() {
 	if first.Remote > 0 {
 		fmt.Printf("latency/remote   pgfault=%v network=%v inv-queue=%v inv-tlb=%v\n",
 			first.LatPgFault, first.LatNetwork, first.LatInvQ, first.LatInvTLB)
+	}
+	if first.DidAdd {
+		fmt.Printf("blade added      id=%d at %v\n", first.AddedBlade, *addBladeAt)
+	}
+	if first.DidDrain {
+		d := first.Drain
+		fmt.Printf("blade drained    id=%d: %d vmas, %d pages in %d batches, blackout %.3f ms\n",
+			d.Victim, d.Allocations, d.PagesMoved, d.Batches, d.Blackout().Seconds()*1e3)
+	}
+	if first.DidKill {
+		k := first.Kill
+		fmt.Printf("blade killed     id=%d: %d pages lost, %d vmas re-homed, blackout %.3f ms\n",
+			k.Victim, k.PagesLost, k.Allocations, k.Blackout().Seconds()*1e3)
+	}
+	if first.MigStalls > 0 || first.MigPages > 0 {
+		fmt.Printf("migration        %d pages moved, %d foreground stalls\n", first.MigPages, first.MigStalls)
 	}
 
 	if *runs > 1 {

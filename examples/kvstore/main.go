@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mind/internal/core"
 	"mind/internal/kvs"
@@ -18,12 +20,23 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example; tiny shrinks the key count for smoke tests.
+func run(out io.Writer, tiny bool) error {
+	keysPerBlade := 200
+	if tiny {
+		keysPerBlade = 40
+	}
 	cfg := core.DefaultConfig(4, 2)
 	cfg.MemoryBladeCapacity = 1 << 28
 	cfg.CachePagesPerBlade = 2048
 	cluster, err := core.NewCluster(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	proc := cluster.Exec("kvstore")
 
@@ -31,35 +44,34 @@ func main() {
 	var handles []*kvs.Store
 	owner, err := proc.SpawnThread(0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	store, err := kvs.Create(proc, owner, 1024, 4<<20)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	handles = append(handles, store)
 	for b := 1; b < 4; b++ {
 		th, err := proc.SpawnThread(b)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		handles = append(handles, kvs.Attach(th, store.Base(), 1024))
 	}
 
 	// A YCSB-flavoured workload: each blade inserts its own keys, then
 	// every blade reads everyone's keys.
-	const keysPerBlade = 200
 	rng := sim.NewRNG(7, "kvstore-example")
 	for b, h := range handles {
 		for i := 0; i < keysPerBlade; i++ {
 			key := fmt.Sprintf("blade%d/key%03d", b, i)
 			val := fmt.Sprintf("value-%d", rng.Uint64n(1_000_000))
 			if err := h.Put([]byte(key), []byte(val)); err != nil {
-				log.Fatalf("put %s: %v", key, err)
+				return fmt.Errorf("put %s: %w", key, err)
 			}
 		}
 	}
-	fmt.Printf("loaded %d keys from 4 blades (t=%v)\n", 4*keysPerBlade, cluster.Now())
+	fmt.Fprintf(out, "loaded %d keys from 4 blades (t=%v)\n", 4*keysPerBlade, cluster.Now())
 
 	misses := 0
 	for _, h := range handles {
@@ -67,28 +79,35 @@ func main() {
 			for i := 0; i < keysPerBlade; i += 17 {
 				key := fmt.Sprintf("blade%d/key%03d", b, i)
 				if _, found, err := h.Get([]byte(key)); err != nil {
-					log.Fatal(err)
+					return err
 				} else if !found {
 					misses++
 				}
 			}
 		}
 	}
-	fmt.Printf("cross-blade read check: %d misses (want 0), t=%v\n", misses, cluster.Now())
+	fmt.Fprintf(out, "cross-blade read check: %d misses (want 0), t=%v\n", misses, cluster.Now())
+	if misses != 0 {
+		return fmt.Errorf("%d cross-blade misses, want 0", misses)
+	}
 
 	// Update from one blade, observe from another.
 	if err := handles[2].Put([]byte("blade0/key000"), []byte("overwritten-by-blade-2")); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	v, _, err := handles[0].Get([]byte("blade0/key000"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("blade 0 sees blade 2's update: %q\n", v)
+	if string(v) != "overwritten-by-blade-2" {
+		return fmt.Errorf("blade 0 sees %q, want blade 2's update", v)
+	}
+	fmt.Fprintf(out, "blade 0 sees blade 2's update: %q\n", v)
 
 	col := cluster.Collector()
-	fmt.Printf("\ncoherence under the hood: %d invalidations, %d flushed pages, %d false invalidations\n",
+	fmt.Fprintf(out, "\ncoherence under the hood: %d invalidations, %d flushed pages, %d false invalidations\n",
 		col.Counter(stats.CtrInvalidations),
 		col.Counter(stats.CtrFlushedPages),
 		col.Counter(stats.CtrFalseInvals))
+	return nil
 }

@@ -9,8 +9,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"mind/internal/core"
 	"mind/internal/mem"
@@ -19,29 +21,38 @@ import (
 )
 
 const (
-	vertices = 256
-	blades   = 4
-	damping  = 0.85
-	iters    = 12
+	blades  = 4
+	damping = 0.85
 	// Ranks are stored as fixed-point uint64 (1e9 = 1.0) since the
 	// shared-memory API moves integers.
 	fixed = 1_000_000_000
 )
 
 func main() {
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example; tiny shrinks the graph for smoke tests.
+func run(out io.Writer, tiny bool) error {
+	vertices, iters := 256, 12
+	if tiny {
+		vertices, iters = 64, 4
+	}
 	cfg := core.DefaultConfig(blades, 2)
 	cfg.MemoryBladeCapacity = 1 << 28
 	cfg.CachePagesPerBlade = 1024
 	cluster, err := core.NewCluster(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	proc := cluster.Exec("pagerank")
 
 	// Shared layout: ranks[vertices] and next[vertices], 8 bytes each.
-	area, err := proc.Mmap(2*vertices*8, mem.PermReadWrite)
+	area, err := proc.Mmap(uint64(2*vertices*8), mem.PermReadWrite)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rankAt := func(v int) mem.VA { return area.Base + mem.VA(v*8) }
 	nextAt := func(v int) mem.VA { return area.Base + mem.VA((vertices+v)*8) }
@@ -49,21 +60,21 @@ func main() {
 	// A deterministic power-law-ish digraph: vertex v links to a handful
 	// of earlier vertices (preferential attachment flavour).
 	rng := sim.NewRNG(42, "pagerank-graph")
-	out := make([][]int, vertices)
+	outEdges := make([][]int, vertices)
 	in := make([][]int, vertices)
 	for v := 1; v < vertices; v++ {
 		deg := 1 + rng.Intn(4)
 		for e := 0; e < deg; e++ {
 			to := rng.Intn(v)
-			out[v] = append(out[v], to)
+			outEdges[v] = append(outEdges[v], to)
 			in[to] = append(in[to], v)
 		}
 	}
 	// No dangling vertices: rank mass must be conserved.
 	for v := 0; v < vertices; v++ {
-		if len(out[v]) == 0 {
+		if len(outEdges[v]) == 0 {
 			to := (v + 1) % vertices
-			out[v] = append(out[v], to)
+			outEdges[v] = append(outEdges[v], to)
 			in[to] = append(in[to], v)
 		}
 	}
@@ -72,7 +83,7 @@ func main() {
 	for b := 0; b < blades; b++ {
 		th, err := proc.SpawnThread(b)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		workers = append(workers, th)
 	}
@@ -81,7 +92,7 @@ func main() {
 	init := uint64(fixed / vertices)
 	for v := 0; v < vertices; v++ {
 		if err := workers[0].Store(rankAt(v), init); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -96,14 +107,14 @@ func main() {
 				for _, u := range in[v] {
 					r, err := w.Load(rankAt(u))
 					if err != nil {
-						log.Fatal(err)
+						return err
 					}
-					sum += r / uint64(len(out[u]))
+					sum += r / uint64(len(outEdges[u]))
 				}
 				teleport := (1 - damping) * float64(fixed) / float64(vertices)
 				nr := uint64(teleport) + uint64(damping*float64(sum))
 				if err := w.Store(nextAt(v), nr); err != nil {
-					log.Fatal(err)
+					return err
 				}
 			}
 		}
@@ -112,10 +123,10 @@ func main() {
 			for v := b * part; v < (b+1)*part; v++ {
 				nr, err := w.Load(nextAt(v))
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				if err := w.Store(rankAt(v), nr); err != nil {
-					log.Fatal(err)
+					return err
 				}
 			}
 		}
@@ -127,7 +138,7 @@ func main() {
 	for v := 0; v < vertices; v++ {
 		r, err := workers[0].Load(rankAt(v))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		f := float64(r) / fixed
 		total += f
@@ -135,16 +146,17 @@ func main() {
 			best, bestV = f, v
 		}
 	}
-	fmt.Printf("pagerank over %d vertices on %d blades, %d iterations (t=%v)\n",
+	fmt.Fprintf(out, "pagerank over %d vertices on %d blades, %d iterations (t=%v)\n",
 		vertices, blades, iters, cluster.Now())
-	fmt.Printf("rank mass = %.4f (want ~1.0), top vertex %d with rank %.4f\n", total, bestV, best)
+	fmt.Fprintf(out, "rank mass = %.4f (want ~1.0), top vertex %d with rank %.4f\n", total, bestV, best)
 	if math.Abs(total-1) > 0.05 {
-		log.Fatalf("rank mass diverged: %v", total)
+		return fmt.Errorf("rank mass diverged: %v", total)
 	}
 
 	col := cluster.Collector()
-	fmt.Printf("coherence: %d remote accesses, %d invalidations, %d flushed pages\n",
+	fmt.Fprintf(out, "coherence: %d remote accesses, %d invalidations, %d flushed pages\n",
 		col.Counter(stats.CtrRemoteAccesses),
 		col.Counter(stats.CtrInvalidations),
 		col.Counter(stats.CtrFlushedPages))
+	return nil
 }

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSmoke runs the example's full path at tiny scale; CI exercises it
+// in short mode.
+func TestSmoke(t *testing.T) {
+	if err := run(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,7 +10,9 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mind/internal/core"
 	"mind/internal/ctrlplane"
@@ -18,17 +20,26 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example; tiny is accepted for smoke-test symmetry
+// with the other examples (this one is already tiny).
+func run(out io.Writer, tiny bool) error {
+	_ = tiny
 	cfg := core.DefaultConfig(2, 1)
 	cfg.MemoryBladeCapacity = 1 << 28
 	cfg.CachePagesPerBlade = 512
 	cluster, err := core.NewCluster(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	server := cluster.Exec("database-server")
 	worker, err := server.SpawnThread(0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Two client sessions, each with a private buffer and its own
@@ -42,55 +53,70 @@ func main() {
 	for _, name := range []string{"alice", "bob"} {
 		buf, err := server.Mmap(64<<10, mem.PermReadWrite)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		d := server.CreateDomain()
 		// The session may read and write its own buffer...
 		if err := server.GrantDomain(d, buf.Base, 64<<10, mem.PermReadWrite); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sessions = append(sessions, session{name: name, domain: d, buf: buf})
-		fmt.Printf("session %-5s -> domain %d, buffer %#x\n", name, d, uint64(buf.Base))
+		fmt.Fprintf(out, "session %-5s -> domain %d, buffer %#x\n", name, d, uint64(buf.Base))
 	}
 
 	// The server itself (PID domain) fills both buffers.
 	if err := worker.Store(sessions[0].buf.Base, 0xA11CE); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := worker.Store(sessions[1].buf.Base, 0xB0B); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	prot := cluster.Controller().Protection()
-	check := func(who session, target session, want mem.Perm) {
+	check := func(who session, target session, want mem.Perm, wantAllowed bool) error {
 		err := prot.Check(who.domain, target.buf.Base, want)
 		verdict := "ALLOWED"
 		if err != nil {
 			verdict = "DENIED"
 		}
-		fmt.Printf("  %s -> %s buffer (%v): %s\n", who.name, target.name, want, verdict)
+		fmt.Fprintf(out, "  %s -> %s buffer (%v): %s\n", who.name, target.name, want, verdict)
+		if (err == nil) != wantAllowed {
+			return fmt.Errorf("%s -> %s (%v): got %s", who.name, target.name, want, verdict)
+		}
+		return nil
 	}
 
-	fmt.Println("\ndata-plane permission checks:")
-	check(sessions[0], sessions[0], mem.PermReadWrite) // alice -> alice: allowed
-	check(sessions[0], sessions[1], mem.PermRead)      // alice -> bob: denied
-	check(sessions[1], sessions[1], mem.PermRead)      // bob -> bob: allowed
-	check(sessions[1], sessions[0], mem.PermReadWrite) // bob -> alice: denied
+	fmt.Fprintln(out, "\ndata-plane permission checks:")
+	for _, c := range []error{
+		check(sessions[0], sessions[0], mem.PermReadWrite, true),  // alice -> alice
+		check(sessions[0], sessions[1], mem.PermRead, false),      // alice -> bob
+		check(sessions[1], sessions[1], mem.PermRead, true),       // bob -> bob
+		check(sessions[1], sessions[0], mem.PermReadWrite, false), // bob -> alice
+	} {
+		if c != nil {
+			return c
+		}
+	}
 
 	// Downgrade alice to read-only (e.g. the session turned into a
 	// follower) and verify writes now bounce.
 	if err := server.GrantDomain(sessions[0].domain, sessions[0].buf.Base, 64<<10, mem.PermRead); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nafter downgrading alice to read-only:")
-	check(sessions[0], sessions[0], mem.PermRead)
-	check(sessions[0], sessions[0], mem.PermReadWrite)
+	fmt.Fprintln(out, "\nafter downgrading alice to read-only:")
+	if err := check(sessions[0], sessions[0], mem.PermRead, true); err != nil {
+		return err
+	}
+	if err := check(sessions[0], sessions[0], mem.PermReadWrite, false); err != nil {
+		return err
+	}
 
 	// The enforcement is in the fault path too: a thread with no grant
 	// on an address gets EACCES from the switch.
 	if err := worker.Touch(0x10, false); !errors.Is(err, ctrlplane.ErrPermission) {
-		log.Fatalf("unmapped access should be denied, got %v", err)
+		return fmt.Errorf("unmapped access should be denied, got %v", err)
 	}
-	fmt.Println("\nunmapped access rejected by the data plane (EACCES)")
-	fmt.Printf("protection rejects so far: %d\n", prot.Rejects())
+	fmt.Fprintln(out, "\nunmapped access rejected by the data plane (EACCES)")
+	fmt.Fprintf(out, "protection rejects so far: %d\n", prot.Rejects())
+	return nil
 }

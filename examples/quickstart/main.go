@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mind/internal/core"
 	"mind/internal/mem"
@@ -15,6 +17,15 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, false); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example; tiny is accepted for smoke-test symmetry
+// with the other examples (this one is already tiny).
+func run(out io.Writer, tiny bool) error {
+	_ = tiny
 	// A rack with 2 compute blades and 2 memory blades behind one
 	// programmable switch.
 	cfg := core.DefaultConfig(2, 2)
@@ -22,7 +33,7 @@ func main() {
 	cfg.CachePagesPerBlade = 1024     // 4 MB local DRAM cache per blade
 	cluster, err := core.NewCluster(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Start a process; its threads may run on any compute blade while
@@ -30,52 +41,56 @@ func main() {
 	proc := cluster.Exec("quickstart")
 	vma, err := proc.Mmap(1<<20, mem.PermReadWrite) // 1 MB shared area
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("mmap -> vma at %#x (+%d KB) on the global address space\n",
+	fmt.Fprintf(out, "mmap -> vma at %#x (+%d KB) on the global address space\n",
 		uint64(vma.Base), vma.Len>>10)
 
 	t0, err := proc.SpawnThread(0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t1, err := proc.SpawnThread(1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Blade 0 writes; the directory at the switch grants it ownership
 	// (I->M).
 	if err := t0.Store(vma.Base, 42); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("blade 0 stored 42 at %#x (t=%v)\n", uint64(vma.Base), cluster.Now())
+	fmt.Fprintf(out, "blade 0 stored 42 at %#x (t=%v)\n", uint64(vma.Base), cluster.Now())
 
 	// Blade 1 reads the same address: the switch downgrades blade 0
 	// (M->S), blade 0 flushes the dirty page, and blade 1 fetches it.
 	v, err := t1.Load(vma.Base)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("blade 1 loaded %d             (t=%v)\n", v, cluster.Now())
+	fmt.Fprintf(out, "blade 1 loaded %d             (t=%v)\n", v, cluster.Now())
 
 	// Blade 1 takes ownership (S->M, invalidating blade 0 in parallel
 	// with the fetch) and writes.
 	if err := t1.Store(vma.Base, 1234); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	v, err = t0.Load(vma.Base)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("blade 0 re-loaded %d        (t=%v)\n", v, cluster.Now())
+	if v != 1234 {
+		return fmt.Errorf("blade 0 re-loaded %d, want 1234 (coherence broken)", v)
+	}
+	fmt.Fprintf(out, "blade 0 re-loaded %d        (t=%v)\n", v, cluster.Now())
 
 	col := cluster.Collector()
-	fmt.Printf("\nprotocol activity: %d remote accesses, %d invalidations, %d flushed pages\n",
+	fmt.Fprintf(out, "\nprotocol activity: %d remote accesses, %d invalidations, %d flushed pages\n",
 		col.Counter(stats.CtrRemoteAccesses),
 		col.Counter(stats.CtrInvalidations),
 		col.Counter(stats.CtrFlushedPages))
-	fmt.Printf("switch resources:  %d match-action rules, %d directory entries\n",
+	fmt.Fprintf(out, "switch resources:  %d match-action rules, %d directory entries\n",
 		cluster.Controller().ASIC().Rules(),
 		cluster.Controller().ASIC().Directory.InUse())
+	return nil
 }

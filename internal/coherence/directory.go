@@ -138,6 +138,13 @@ type Directory struct {
 	regions  map[mem.VA]*Region            // by base
 	blocks   map[mem.VA]map[mem.VA]*Region // top-level block -> base -> region
 	inFlight map[reqKey]*pending
+
+	// frozen lists address ranges under live migration: requests inside
+	// them bounce with Retry until the mover unfreezes (the per-area
+	// blackout of a drain). freezeAll is the switch-failover blackout —
+	// every request bounces while the backup data plane is built.
+	frozen    []mem.Range
+	freezeAll bool
 }
 
 // Deps bundles the directory's external hooks, wired by the core package.
@@ -272,6 +279,17 @@ func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Pe
 		d.col.Inc(stats.CtrRejected, 1)
 		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
 			done(Completion{Err: err})
+		})
+		return
+	}
+
+	if d.freezeAll || d.isFrozen(page) {
+		// The page's home is mid-migration (or the switch is failing
+		// over): bounce with Retry, exactly like a §4.4 reset. No pending
+		// entry is created, so retransmissions bounce individually.
+		d.col.Inc(stats.CtrMigrationStalls, 1)
+		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
+			done(Completion{Retry: true})
 		})
 		return
 	}

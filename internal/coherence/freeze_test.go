@@ -1,0 +1,97 @@
+package coherence
+
+import (
+	"testing"
+
+	"mind/internal/mem"
+	"mind/internal/stats"
+)
+
+func TestFrozenRangeBouncesWithRetry(t *testing.T) {
+	h := newProtoHarness(t, 2, 100)
+	va := mem.VA(0x100000)
+	frozen := mem.Range{Base: mem.AlignDown(va, 1<<20), Size: 1 << 20}
+	h.dir.FreezeRange(frozen)
+
+	c := h.request(t, 0, va, mem.PermRead)
+	if !c.Retry || c.Err != nil {
+		t.Fatalf("frozen request: %+v, want Retry", c)
+	}
+	if h.dir.RegionCount() != 0 {
+		t.Fatal("frozen request created a directory entry")
+	}
+	if h.col.Counter(stats.CtrMigrationStalls) != 1 {
+		t.Fatalf("migration_stalls = %d, want 1", h.col.Counter(stats.CtrMigrationStalls))
+	}
+	// Outside the frozen range requests proceed normally.
+	c = h.request(t, 0, va+mem.VA(2<<20), mem.PermRead)
+	if c.Retry || c.Err != nil {
+		t.Fatalf("request outside frozen range bounced: %+v", c)
+	}
+
+	h.dir.UnfreezeRange(frozen)
+	if h.dir.FrozenRanges() != 0 {
+		t.Fatal("freeze not lifted")
+	}
+	c = h.request(t, 0, va, mem.PermRead)
+	if c.Retry || c.Err != nil {
+		t.Fatalf("request after unfreeze: %+v", c)
+	}
+}
+
+func TestFreezeAllBouncesEverything(t *testing.T) {
+	h := newProtoHarness(t, 2, 100)
+	h.dir.SetFreezeAll(true)
+	c := h.request(t, 0, 0x100000, mem.PermReadWrite)
+	if !c.Retry {
+		t.Fatalf("request under freeze-all: %+v, want Retry", c)
+	}
+	h.dir.SetFreezeAll(false)
+	c = h.request(t, 0, 0x100000, mem.PermReadWrite)
+	if c.Retry || c.Err != nil {
+		t.Fatalf("request after freeze-all lifted: %+v", c)
+	}
+}
+
+func TestSplitMergeRefuseFrozenRegions(t *testing.T) {
+	h := newProtoHarness(t, 2, 100)
+	va := mem.VA(0x100000)
+	if c := h.request(t, 0, va, mem.PermRead); c.Err != nil {
+		t.Fatal(c.Err)
+	}
+	r, err := h.dir.Lookup(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.dir.FreezeRange(mem.Range{Base: r.Base, Size: r.Size})
+	if err := h.dir.SplitRegion(r.Base); err != ErrRegionBusy {
+		t.Fatalf("split of frozen region: %v, want ErrRegionBusy", err)
+	}
+	if err := h.dir.MergeRegion(r.Base); err != ErrRegionBusy {
+		t.Fatalf("merge of frozen region: %v, want ErrRegionBusy", err)
+	}
+	h.dir.UnfreezeRange(mem.Range{Base: r.Base, Size: r.Size})
+	if err := h.dir.SplitRegion(r.Base); err != nil {
+		t.Fatalf("split after unfreeze: %v", err)
+	}
+}
+
+func TestRegionsOverlappingSorted(t *testing.T) {
+	h := newProtoHarness(t, 2, 100)
+	// Touch three separate 16 KB regions.
+	for i := 0; i < 3; i++ {
+		if c := h.request(t, 0, mem.VA(0x100000+i*(16<<10)), mem.PermRead); c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	got := h.dir.RegionsOverlapping(mem.Range{Base: 0x100000, Size: 2 * (16 << 10)})
+	if len(got) != 2 {
+		t.Fatalf("overlapping regions = %v, want 2 entries", got)
+	}
+	if got[0] != 0x100000 || got[1] != 0x104000 {
+		t.Fatalf("bases %#x %#x, want sorted 0x100000 0x104000", uint64(got[0]), uint64(got[1]))
+	}
+	if n := len(h.dir.AllRegionBases()); n != 3 {
+		t.Fatalf("AllRegionBases = %d, want 3", n)
+	}
+}

@@ -50,6 +50,76 @@ func (d *Directory) SlotCapacity() int { return d.asic.Directory.Capacity() }
 
 func (d *Directory) block(va mem.VA) mem.VA { return mem.AlignDown(va, d.cfg.TopLevelSize) }
 
+// --- Migration freezes (online elasticity) ---
+
+// FreezeRange gates new page requests inside r: they bounce with Retry
+// until UnfreezeRange. The mover resets the covered regions next, so
+// by the time data moves no blade caches any page of r.
+func (d *Directory) FreezeRange(r mem.Range) { d.frozen = append(d.frozen, r) }
+
+// UnfreezeRange lifts the gate installed by FreezeRange (exact match).
+func (d *Directory) UnfreezeRange(r mem.Range) {
+	for i, f := range d.frozen {
+		if f == r {
+			d.frozen = append(d.frozen[:i], d.frozen[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetFreezeAll gates every page request (switch-failover blackout).
+func (d *Directory) SetFreezeAll(on bool) { d.freezeAll = on }
+
+// FrozenRanges returns how many range freezes are active (diagnostics).
+func (d *Directory) FrozenRanges() int { return len(d.frozen) }
+
+func (d *Directory) isFrozen(va mem.VA) bool {
+	for _, f := range d.frozen {
+		if f.Contains(va) {
+			return true
+		}
+	}
+	return false
+}
+
+// frozenOverlaps reports whether any frozen range overlaps [base,
+// base+size).
+func (d *Directory) frozenOverlaps(base mem.VA, size uint64) bool {
+	if d.freezeAll {
+		return true
+	}
+	r := mem.Range{Base: base, Size: size}
+	for _, f := range d.frozen {
+		if f.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// RegionsOverlapping returns the bases of live regions overlapping r, in
+// ascending order — the reset work list of a migration or failover.
+func (d *Directory) RegionsOverlapping(r mem.Range) []mem.VA {
+	var out []mem.VA
+	for base, reg := range d.regions {
+		if r.Overlaps(mem.Range{Base: base, Size: reg.Size}) {
+			out = append(out, base)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllRegionBases returns every live region base in ascending order.
+func (d *Directory) AllRegionBases() []mem.VA {
+	out := make([]mem.VA, 0, len(d.regions))
+	for base := range d.regions {
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SplitRegion splits the region based at base into two halves, allocating
 // one extra SRAM slot. Children conservatively inherit the parent's
 // coherence state and sharers. Busy regions cannot split (§6.3 performs
@@ -59,7 +129,12 @@ func (d *Directory) SplitRegion(base mem.VA) error {
 	if !ok {
 		return ErrNoRegion
 	}
-	if r.busy || len(r.waiters) > 0 {
+	if r.busy || len(r.waiters) > 0 || r.resetting {
+		return ErrRegionBusy
+	}
+	if d.frozenOverlaps(r.Base, r.Size) {
+		// The region is about to be reset by a migration; granularity
+		// changes mid-flight would orphan half the reset.
 		return ErrRegionBusy
 	}
 	if r.Size <= mem.PageSize {
@@ -103,11 +178,14 @@ func (d *Directory) MergeRegion(lo mem.VA) error {
 	if !ok {
 		return ErrNoRegion
 	}
-	if r.busy || len(r.waiters) > 0 {
+	if r.busy || len(r.waiters) > 0 || r.resetting {
 		return ErrRegionBusy
 	}
 	if r.Size*2 > d.cfg.TopLevelSize {
 		return fmt.Errorf("coherence: merge would exceed top-level size")
+	}
+	if d.frozenOverlaps(lo^mem.VA(r.Size), r.Size) || d.frozenOverlaps(lo, r.Size) {
+		return ErrRegionBusy
 	}
 	buddyBase := lo ^ mem.VA(r.Size)
 	buddy, ok := d.regions[buddyBase]
@@ -135,7 +213,7 @@ func (d *Directory) MergeRegion(lo mem.VA) error {
 	if buddy.Size != r.Size {
 		return fmt.Errorf("coherence: buddy sizes differ (%d vs %d)", r.Size, buddy.Size)
 	}
-	if buddy.busy || len(buddy.waiters) > 0 {
+	if buddy.busy || len(buddy.waiters) > 0 || buddy.resetting {
 		return ErrRegionBusy
 	}
 	st, owner, sharers, err := mergeStates(r, buddy)
@@ -282,7 +360,16 @@ func (d *Directory) ResetRegion(va mem.VA, done func()) {
 			inflight = append(inflight, p)
 		}
 	}
-	sort.Slice(inflight, func(i, j int) bool { return inflight[i].key.page < inflight[j].key.page })
+	sort.Slice(inflight, func(i, j int) bool {
+		a, b := inflight[i].key, inflight[j].key
+		if a.page != b.page {
+			return a.page < b.page
+		}
+		if a.blade != b.blade {
+			return a.blade < b.blade
+		}
+		return a.want < b.want
+	})
 	retryAll := append(inflight, waiters...)
 	for _, p := range retryAll {
 		if p.notified {
@@ -300,12 +387,27 @@ func (d *Directory) ResetRegion(va mem.VA, done func()) {
 	// data-plane invalidations, the reset travels over the control
 	// plane's reliable TCP connections (§4.4, §6.1) — it must make
 	// progress even when the data path is lossy, otherwise recovery
-	// itself could wedge.
-	bladeIDs := make([]int, 0, len(d.blades))
-	for b := range d.blades {
-		bladeIDs = append(bladeIDs, b)
+	// itself could wedge. The target list is the invalidation multicast
+	// group's membership — the control plane's authoritative, sorted
+	// record of which compute blades are in the rack.
+	members := d.asic.Group(ctrlplane.InvalidationGroup)
+	if len(members) == 0 {
+		// Racks built without a group (unit-test directories): fall back
+		// to the registered ports, sorted.
+		for b := range d.blades {
+			members = append(members, b)
+		}
+		sort.Ints(members)
 	}
-	sort.Ints(bladeIDs)
+	// Tolerate group members whose directory port is not (yet)
+	// registered — membership updates and registration are separate
+	// control-plane steps.
+	bladeIDs := members[:0:0]
+	for _, b := range members {
+		if d.blades[b] != nil {
+			bladeIDs = append(bladeIDs, b)
+		}
+	}
 	inv := Invalidation{Region: r.Range(), Requested: mem.PageBase(va), Reset: true}
 	remaining := len(bladeIDs)
 	if remaining == 0 {

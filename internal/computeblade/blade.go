@@ -33,6 +33,12 @@ type Config struct {
 	// control plane to reset the address.
 	FaultTimeout sim.Duration
 	MaxRetries   int
+	// RetryBackoff and MaxRetryBackoff pace repeated Retry bounces (the
+	// address is mid-reset or mid-migration, §4.4): the reissue delay
+	// doubles from RetryBackoff up to the cap, so blades do not flood
+	// the fabric while a frozen area moves.
+	RetryBackoff    sim.Duration
+	MaxRetryBackoff sim.Duration
 }
 
 // DefaultConfig returns calibrated blade costs.
@@ -46,6 +52,8 @@ func DefaultConfig(id, cachePages int) Config {
 		TLBShootdown:      2800 * sim.Nanosecond,
 		FaultTimeout:      2 * sim.Millisecond,
 		MaxRetries:        3,
+		RetryBackoff:      5 * sim.Microsecond,
+		MaxRetryBackoff:   320 * sim.Microsecond,
 	}
 }
 
@@ -93,6 +101,7 @@ type fault struct {
 	start   sim.Time
 	waiters []waiter
 	retries int
+	bounces int // consecutive Retry completions (backoff driver)
 	timeout *sim.Event
 	settled bool
 }
@@ -125,6 +134,12 @@ func New(cfg Config, deps Deps) *Blade {
 	}
 	if cfg.FaultTimeout == 0 {
 		cfg.FaultTimeout = 2 * sim.Millisecond
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 5 * sim.Microsecond
+	}
+	if cfg.MaxRetryBackoff == 0 {
+		cfg.MaxRetryBackoff = 320 * sim.Microsecond
 	}
 	return &Blade{
 		cfg:        cfg,
@@ -235,8 +250,23 @@ func (b *Blade) onCompletion(f *fault, c coherence.Completion) {
 		f.timeout = nil
 	}
 	if c.Retry {
-		// Region reset mid-flight: reissue after a fresh fault cost.
-		b.eng.Schedule(b.cfg.PageFaultCost, func() { b.issue(f) })
+		// Region reset mid-flight, or the area is frozen for migration
+		// (§4.4): reissue after a fresh fault cost plus exponential
+		// backoff, so a long freeze is polled, not hammered.
+		f.bounces++
+		delay := b.cfg.PageFaultCost
+		if f.bounces > 1 && b.cfg.RetryBackoff > 0 {
+			shift := f.bounces - 2
+			if shift > 16 {
+				shift = 16
+			}
+			backoff := b.cfg.RetryBackoff << uint(shift)
+			if b.cfg.MaxRetryBackoff > 0 && backoff > b.cfg.MaxRetryBackoff {
+				backoff = b.cfg.MaxRetryBackoff
+			}
+			delay += backoff
+		}
+		b.eng.Schedule(delay, func() { b.issue(f) })
 		return
 	}
 	if c.Err != nil {

@@ -1,0 +1,122 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"mind/internal/runner"
+	"mind/internal/sim"
+)
+
+// scheduleCount is how many randomized membership-change schedules the
+// suite replays. The acceptance bar is 200+ under -race; short mode runs
+// the same count with smaller schedules.
+const scheduleCount = 220
+
+// rootSeed pins the whole suite; every schedule derives from it.
+const rootSeed = 20211026 // SOSP'21
+
+func scheduleConfig(i int, short bool) Config {
+	cfg := Config{Seed: sim.DeriveSeed(rootSeed, fmt.Sprintf("schedule-%d", i))}
+	if short {
+		cfg.Ops = 120
+		cfg.AreaPages = 24
+		cfg.Areas = 3
+		cfg.Events = 3
+	} else {
+		cfg.Ops = 260
+		cfg.AreaPages = 48
+		cfg.Events = 4
+	}
+	// A slice of schedules stresses more compute blades.
+	if i%5 == 0 {
+		cfg.ComputeBlades = 3
+	}
+	return cfg
+}
+
+// TestRandomMembershipSchedules replays scheduleCount randomized
+// add/drain/kill schedules interleaved with foreground reads and writes,
+// asserting the safety invariants documented on the package.
+func TestRandomMembershipSchedules(t *testing.T) {
+	t.Parallel()
+	var adds, drains, kills int
+	for i := 0; i < scheduleCount; i++ {
+		res, err := Run(scheduleConfig(i, testing.Short()))
+		if err != nil {
+			t.Fatalf("schedule %d: %v", i, err)
+		}
+		adds += res.Adds
+		drains += res.Drains
+		kills += res.Kills
+	}
+	// The generator must actually exercise every event type across the
+	// suite, or the invariants are vacuous.
+	if adds == 0 || drains == 0 || kills == 0 {
+		t.Fatalf("schedule mix degenerate: adds=%d drains=%d kills=%d", adds, drains, kills)
+	}
+	t.Logf("%d schedules: %d adds, %d drains, %d kills", scheduleCount, adds, drains, kills)
+}
+
+// TestScheduleDeterminism re-runs one schedule and requires identical
+// Results — failing seeds must replay bit-identically.
+func TestScheduleDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg := scheduleConfig(7, true)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+	cfg.Seed++
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatalf("different seed produced identical result %+v", a)
+	}
+}
+
+// TestDrainUnderLoadRace fans schedules heavy on drains across the
+// runner's worker pool — simulations running concurrently in multiple
+// goroutines — so the race detector sweeps the elasticity paths
+// (migration interleaved with foreground accesses) the way CI runs them.
+func TestDrainUnderLoadRace(t *testing.T) {
+	t.Parallel()
+	n := 16
+	if testing.Short() {
+		n = 8
+	}
+	specs := make([]runner.Spec, n)
+	for i := range specs {
+		cfg := scheduleConfig(1000+i, testing.Short())
+		cfg.Events = 6 // drain-heavy
+		specs[i] = runner.Spec{
+			Key: runner.KeyOf("conformance-race", cfg.Seed, cfg.Ops, cfg.Events),
+			Run: func() (any, error) {
+				res, err := Run(cfg)
+				return res, err
+			},
+		}
+	}
+	results, err := runner.Do(specs, runner.Options{Workers: 4, Cache: runner.NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDrain := false
+	for _, r := range results {
+		if r.(Result).Drains > 0 {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Fatal("no schedule drained a blade; race sweep is vacuous")
+	}
+}

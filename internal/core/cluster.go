@@ -51,6 +51,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.ThinkTime == 0 {
 		cfg.ThinkTime = 30 * sim.Nanosecond
 	}
+	if cfg.Migration.BatchPages == 0 {
+		cfg.Migration.BatchPages = DefaultMigrationConfig().BatchPages
+	}
+	if cfg.Migration.BatchGap == 0 {
+		cfg.Migration.BatchGap = DefaultMigrationConfig().BatchGap
+	}
+	if cfg.Migration.DetectionDelay == 0 {
+		cfg.Migration.DetectionDelay = DefaultMigrationConfig().DetectionDelay
+	}
 
 	asicCfg := cfg.ASIC
 	if cfg.Consistency == PSOPlus {
@@ -170,6 +179,15 @@ func (c *Cluster) writeback(from fabric.NodeID, va mem.VA, data []byte, done fun
 			done() // unmapped (racing munmap); drop
 			return
 		}
+		if c.mblades[int(home)].Dead() {
+			// One-sided write to a failed blade: the NIC's reliable
+			// connection errors out after the send attempt. The data is
+			// lost, but the completion (with error) still fires — flush
+			// barriers must not wedge on a dead target (§4.4).
+			c.col.Inc(stats.CtrLostWrites, 1)
+			c.eng.Schedule(c.fab.OneWayBase(fabric.PageBytes), done)
+			return
+		}
 		c.fab.SendFromSwitch(memNodeBase+fabric.NodeID(home), fabric.PageBytes, func() {
 			c.mblades[int(home)].WritePage(va, data)
 			done()
@@ -239,16 +257,8 @@ func (c *Cluster) InjectFailure(drop func(from, to fabric.NodeID) bool) {
 // Directory entries are data-plane state and are not replicated: every
 // live region is reset first (compute blades flush their data), then the
 // backup ASIC is reconstructed from control-plane state and becomes
-// active.
+// active. This is the blocking wrapper around KillSwitch, the
+// in-simulation failover event (elasticity.go).
 func (c *Cluster) Failover() {
-	var bases []mem.VA
-	for _, st := range c.dir.EpochStats() {
-		bases = append(bases, st.Base)
-	}
-	for _, b := range bases {
-		base := b
-		c.await(func(done func()) { c.dir.ResetRegion(base, done) })
-	}
-	backup := c.ctl.Failover()
-	c.dir.SwapASIC(backup)
+	c.KillSwitch()
 }

@@ -77,6 +77,9 @@ type Config struct {
 	ThinkTime sim.Duration
 	// StoreBufferDepth bounds outstanding async writes under PSO.
 	StoreBufferDepth int
+	// Migration throttles live page migration during blade drains and
+	// paces failure detection (online memory elasticity).
+	Migration MigrationConfig
 	// SequentialInvalidation disables the multicast engine and sends
 	// invalidations one by one (ablation for §4.3.2).
 	SequentialInvalidation bool
@@ -86,6 +89,27 @@ type Config struct {
 	ExclusiveReads bool
 	// Seed drives all deterministic randomness.
 	Seed uint64
+}
+
+// MigrationConfig paces online memory elasticity. A drain moves pages in
+// batches of BatchPages with BatchGap of idle fabric time between
+// batches, so foreground traffic keeps flowing through the same NICs;
+// DetectionDelay models how long the control plane takes to notice a
+// dead memory blade before recovery starts.
+type MigrationConfig struct {
+	BatchPages     int
+	BatchGap       sim.Duration
+	DetectionDelay sim.Duration
+}
+
+// DefaultMigrationConfig returns the drain throttle operating point
+// (see BenchmarkDrainBatchSize for the measured tradeoff).
+func DefaultMigrationConfig() MigrationConfig {
+	return MigrationConfig{
+		BatchPages:     32,
+		BatchGap:       3 * sim.Microsecond,
+		DetectionDelay: 50 * sim.Microsecond,
+	}
 }
 
 // DefaultConfig returns a rack calibrated to the paper's testbed: the
@@ -108,6 +132,7 @@ func DefaultConfig(computeBlades, memoryBlades int) Config {
 		Blade:               computeblade.DefaultConfig(0, 0),
 		ThinkTime:           30 * sim.Nanosecond,
 		StoreBufferDepth:    16,
+		Migration:           DefaultMigrationConfig(),
 		Seed:                1,
 	}
 }

@@ -1,0 +1,455 @@
+package core
+
+// Online memory elasticity (§1, §4.1 "Transparency via outlier entries",
+// §4.4): memory blades join, drain and die while applications keep
+// running. A drain relocates every vma off the departing blade with live
+// page migration — regions are frozen and reset (compute blades flush),
+// pages copy in throttled batches, the TCAM gains outlier rules routing
+// the vma to its new home, and the area thaws — then the blade's
+// partition rule is withdrawn so translation can never resolve to it
+// again. A kill is the involuntary version: the blade's contents are
+// lost, the fabric goes black to its node, and after a detection delay
+// the control plane replays the same re-homing without the copies.
+// Switch failover (§4.4) is the third membership event: every region is
+// reset under a global freeze, then the backup data plane, rebuilt from
+// replicated control-plane state, goes live.
+//
+// All three are in-simulation events: they interleave with foreground
+// traffic on the event engine, and their cost — the per-area blackout of
+// a drain, the rack-wide blackout of a failover — is measurable on the
+// throughput timeline (Figure 10 panel, internal/experiments).
+
+import (
+	"errors"
+	"fmt"
+
+	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
+	"mind/internal/mem"
+	"mind/internal/memblade"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// DrainReport summarizes one completed memory-blade drain.
+type DrainReport struct {
+	Victim      ctrlplane.BladeID
+	Start, End  sim.Time
+	Allocations int // vmas relocated
+	PagesMoved  int // materialized pages copied to survivors
+	PagesPurged int // stale pages of already-freed vmas discarded
+	RegionsHit  int // directory entries reset for re-homing
+	Batches     int // throttled copy batches
+}
+
+// Blackout returns the drain's total duration. The migration unit is
+// the vma: foreground traffic to every other vma flows throughout,
+// while the vma currently moving observes backed-off Retry bounces
+// until its freeze lifts. Applications that want fine-grained overlap
+// shard their dataset into multiple vmas (as the Fig10 experiment
+// does); a single giant vma moves as one unit.
+func (r DrainReport) Blackout() sim.Duration { return r.End.Sub(r.Start) }
+
+// KillReport summarizes recovery from a memory-blade failure.
+type KillReport struct {
+	Victim      ctrlplane.BladeID
+	Start, End  sim.Time
+	PagesLost   int // materialized pages that died with the blade
+	Allocations int // vmas re-homed (their contents read as zero)
+	VMAsLost    int // vmas forcibly unmapped (no survivor had capacity)
+	RegionsHit  int
+}
+
+// Blackout returns kill-to-recovered time (detection included).
+func (r KillReport) Blackout() sim.Duration { return r.End.Sub(r.Start) }
+
+// SwitchFailoverReport summarizes a switch failover executed as an
+// in-simulation event.
+type SwitchFailoverReport struct {
+	Start, End   sim.Time
+	RegionsReset int
+}
+
+// Blackout returns the rack-wide window during which every page request
+// bounced.
+func (r SwitchFailoverReport) Blackout() sim.Duration { return r.End.Sub(r.Start) }
+
+// MemBladeCount returns how many memory blades have ever been part of
+// the rack (including drained and dead ones; ids are never reused).
+func (c *Cluster) MemBladeCount() int { return len(c.mblades) }
+
+// AddMemBlade hot-adds a memory blade with the given capacity (0 uses
+// the rack's configured per-blade capacity). The blade is immediately
+// placeable: the very next mmap may land on it. Returns the new blade's
+// id.
+func (c *Cluster) AddMemBlade(capacity uint64) (ctrlplane.BladeID, error) {
+	if capacity == 0 {
+		capacity = c.cfg.MemoryBladeCapacity
+	}
+	id, err := c.ctl.Allocator().AddBlade(capacity)
+	if err != nil {
+		return 0, err
+	}
+	c.fab.AddNode(memNodeBase + fabric.NodeID(id))
+	c.mblades = append(c.mblades, memblade.New(int(id)))
+	c.col.Inc(stats.CtrBladeEvents, 1)
+	return id, nil
+}
+
+// DrainMemBladeAsync starts draining victim from event context; done
+// fires (still in event context) when the blade is empty and retired.
+// Foreground traffic keeps flowing while pages move.
+func (c *Cluster) DrainMemBladeAsync(victim ctrlplane.BladeID, done func(DrainReport, error)) {
+	alloc := c.ctl.Allocator()
+	rep := DrainReport{Victim: victim, Start: c.eng.Now()}
+	rep.End = rep.Start // failed reports still carry a sane window
+	if int(victim) < 0 || int(victim) >= len(c.mblades) {
+		done(rep, fmt.Errorf("core: no memory blade %d", victim))
+		return
+	}
+	if err := alloc.SetBladeAvailable(victim, false); err != nil {
+		done(rep, err)
+		return
+	}
+	c.col.Inc(stats.CtrBladeEvents, 1)
+
+	// An aborted drain must not leave a healthy blade excluded from
+	// placement forever: its data is intact and it still serves traffic,
+	// so availability is restored (unless the blade died meanwhile —
+	// kill recovery owns it then).
+	fail := func(err error) {
+		if !c.mblades[int(victim)].Dead() {
+			_ = alloc.SetBladeAvailable(victim, true)
+		}
+		rep.End = c.eng.Now()
+		done(rep, err)
+	}
+
+	// Validate up front that the drain can succeed at all, then move one
+	// vma at a time. Targets are chosen fresh after each area's reset —
+	// membership can change (a blade added mid-drain, a planned target
+	// failing) while a reset's flush round-trips run.
+	if _, err := alloc.PlanDrain(victim); err != nil {
+		fail(err)
+		return
+	}
+	var step func()
+	step = func() {
+		bases := alloc.AllocationsOn(victim)
+		if len(bases) == 0 {
+			c.finishDrain(victim, rep, done)
+			return
+		}
+		base := bases[0]
+		reserved, err := alloc.Reserved(base)
+		if err != nil {
+			fail(err)
+			return
+		}
+		area := mem.Range{Base: base, Size: reserved}
+		c.dir.FreezeRange(area)
+		c.resetRange(area, func(n int) {
+			rep.RegionsHit += n
+			to, err := alloc.PickMigrationTarget(victim, base)
+			if errors.Is(err, ctrlplane.ErrBadAddress) {
+				// The vma was munmapped while its regions reset; it has
+				// left the work list. Any stale pages are purged at
+				// retirement.
+				c.dir.UnfreezeRange(area)
+				step()
+				return
+			}
+			if err != nil {
+				c.dir.UnfreezeRange(area)
+				fail(err)
+				return
+			}
+			st := ctrlplane.MigrationStep{Base: base, Reserved: reserved, From: victim, To: to}
+			c.copyPages(st, &rep, func(moved []memblade.PageCopy, copyOK bool) {
+				if !copyOK {
+					// The target died mid-copy; everything already went
+					// back to the source. Retry the step with a fresh
+					// target.
+					c.dir.UnfreezeRange(area)
+					step()
+					return
+				}
+				err := alloc.Migrate(base, to)
+				c.dir.UnfreezeRange(area)
+				switch {
+				case err == nil:
+					// Cutover: only now do the copied pages materialize at
+					// the target and count as moved.
+					for _, pg := range moved {
+						c.mblades[int(to)].InstallPage(pg)
+					}
+					rep.PagesMoved += len(moved)
+					c.col.Inc(stats.CtrMigratedPages, uint64(len(moved)))
+					rep.Allocations++
+					step()
+				case errors.Is(err, ctrlplane.ErrBladeUnavailable), errors.Is(err, ctrlplane.ErrBadAddress):
+					// Transient: the target departed between selection
+					// and the TCAM rewrite, or the vma was munmapped
+					// mid-copy. Put the pages back (retirement purges
+					// them if the vma is gone) and continue the drain.
+					for _, pg := range moved {
+						c.mblades[int(victim)].ReturnPage(pg)
+					}
+					step()
+				default:
+					// Persistent failure (rule install): the TCAM rewrite
+					// rolled back, the pages go back home, and the drain
+					// aborts with the blade fully intact.
+					for _, pg := range moved {
+						c.mblades[int(victim)].ReturnPage(pg)
+					}
+					fail(err)
+				}
+			})
+		})
+	}
+	step()
+}
+
+// finishDrain purges garbage pages (writebacks of vmas freed while they
+// lived on the victim) and retires the blade.
+func (c *Cluster) finishDrain(victim ctrlplane.BladeID, rep DrainReport, done func(DrainReport, error)) {
+	rep.PagesPurged = c.mblades[int(victim)].DropAll()
+	err := c.ctl.Allocator().RetireBlade(victim)
+	rep.End = c.eng.Now()
+	done(rep, err)
+}
+
+// resetRange resets every directory entry overlapping r (compute blades
+// flush and drop their copies). The range is frozen by the caller, so
+// no new entry can appear inside it mid-sweep: one snapshot suffices,
+// and a reset of a base that vanished meanwhile (merged away) is a
+// harmless no-op.
+func (c *Cluster) resetRange(r mem.Range, done func(resets int)) {
+	c.resetBases(c.dir.RegionsOverlapping(r), done)
+}
+
+// resetBases resets the given region bases one at a time.
+func (c *Cluster) resetBases(bases []mem.VA, done func(resets int)) {
+	n := 0
+	var next func()
+	next = func() {
+		if n >= len(bases) {
+			done(n)
+			return
+		}
+		base := bases[n]
+		n++
+		c.dir.ResetRegion(base, next)
+	}
+	next()
+}
+
+// transfer models one blade-to-blade RDMA transfer whose completion is
+// guaranteed: done(true) fires at delivery, done(false) fires as an
+// error completion if either endpoint has died — a reliable-connection
+// send to a dead host errors out at the NIC instead of hanging. Plain
+// fabric sends silently drop messages to dead nodes, which is right for
+// one-sided traffic (the §4.4 timeout machinery recovers) but would
+// wedge a migration loop that waits on its own batch.
+func (c *Cluster) transfer(from, to fabric.NodeID, bytes int, done func(delivered bool)) {
+	errComplete := func() {
+		c.eng.Schedule(c.fab.OneWayBase(bytes), func() { done(false) })
+	}
+	if c.fab.NodeDead(from) || c.fab.NodeDead(to) {
+		errComplete()
+		return
+	}
+	c.fab.SendToSwitch(from, bytes, func() {
+		// At the switch: the target may have died while the batch was in
+		// flight.
+		if c.fab.NodeDead(to) {
+			errComplete()
+			return
+		}
+		c.fab.SendFromSwitch(to, bytes, func() { done(true) })
+	})
+}
+
+// copyPages ships the step's materialized pages in throttled batches:
+// each batch is one transfer through the switch (source NIC → fabric →
+// target NIC) followed by BatchGap of idle time, so foreground RDMA on
+// the same NICs interleaves with the migration instead of starving.
+// Copied pages are buffered and only installed at the target by the
+// caller at cutover (after the TCAM rewrite commits) — the source
+// retains the authoritative copy until then, exactly like a real live
+// migration. done receives the buffered pages; ok=false means the
+// target died mid-copy, in which case every page is already back on the
+// source and the caller should retry with a fresh target.
+func (c *Cluster) copyPages(st ctrlplane.MigrationStep, rep *DrainReport,
+	done func(moved []memblade.PageCopy, ok bool)) {
+	src := c.mblades[int(st.From)]
+	dst := c.mblades[int(st.To)]
+	batch := c.cfg.Migration.BatchPages
+	if batch < 1 {
+		batch = 1
+	}
+	var moved []memblade.PageCopy
+	var next func()
+	next = func() {
+		pages := src.TakePagesIn(st.Base, st.Reserved, batch)
+		if len(pages) == 0 {
+			done(moved, true)
+			return
+		}
+		rep.Batches++
+		c.transfer(memNodeBase+fabric.NodeID(st.From), memNodeBase+fabric.NodeID(st.To),
+			len(pages)*fabric.PageBytes, func(delivered bool) {
+				if !delivered || dst.Dead() {
+					// The target died with the batch in flight. Put
+					// everything back on the source (a no-op if the
+					// source died too — crash semantics) and report the
+					// failed copy.
+					for _, p := range pages {
+						src.ReturnPage(p)
+					}
+					for _, p := range moved {
+						src.ReturnPage(p)
+					}
+					done(nil, false)
+					return
+				}
+				moved = append(moved, pages...)
+				c.eng.Schedule(c.cfg.Migration.BatchGap, next)
+			})
+	}
+	next()
+}
+
+// DrainMemBlade drains victim and blocks (driving the simulation) until
+// it is empty and retired. For use outside event context (examples,
+// conformance tests); inside the simulation use DrainMemBladeAsync.
+func (c *Cluster) DrainMemBlade(victim ctrlplane.BladeID) (DrainReport, error) {
+	var rep DrainReport
+	var err error
+	c.await(func(done func()) {
+		c.DrainMemBladeAsync(victim, func(r DrainReport, e error) {
+			rep, err = r, e
+			done()
+		})
+	})
+	return rep, err
+}
+
+// KillMemBladeAsync injects a memory-blade failure from event context:
+// the blade's contents are lost instantly and its fabric port goes
+// black. After the configured detection delay the control plane re-homes
+// every vma that lived there (their pages read as zero — the data died)
+// and retires the blade. done fires when recovery completes.
+func (c *Cluster) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillReport, error)) {
+	alloc := c.ctl.Allocator()
+	rep := KillReport{Victim: victim, Start: c.eng.Now()}
+	rep.End = rep.Start // failed reports still carry a sane window
+	if int(victim) < 0 || int(victim) >= len(c.mblades) {
+		done(rep, fmt.Errorf("core: no memory blade %d", victim))
+		return
+	}
+	rep.PagesLost = c.mblades[int(victim)].Kill()
+	c.fab.SetNodeDead(memNodeBase+fabric.NodeID(victim), true)
+	if err := alloc.SetBladeAvailable(victim, false); err != nil {
+		done(rep, err)
+		return
+	}
+	c.col.Inc(stats.CtrBladeEvents, 1)
+
+	var step func()
+	step = func() {
+		bases := alloc.AllocationsOn(victim)
+		if len(bases) == 0 {
+			err := alloc.RetireBlade(victim)
+			rep.End = c.eng.Now()
+			done(rep, err)
+			return
+		}
+		base := bases[0]
+		reserved, err := alloc.Reserved(base)
+		if err != nil {
+			rep.End = c.eng.Now()
+			done(rep, err)
+			return
+		}
+		area := mem.Range{Base: base, Size: reserved}
+		c.dir.FreezeRange(area)
+		c.resetRange(area, func(n int) {
+			rep.RegionsHit += n
+			// No page copies — the data is gone. Re-home the translation
+			// so the vma's pages materialize (as zeroes) on the survivor.
+			// The target is chosen now, after the reset, so concurrent
+			// membership changes are reflected.
+			to, err := alloc.PickMigrationTarget(victim, base)
+			if err == nil {
+				err = alloc.Migrate(base, to)
+			}
+			switch {
+			case err == nil:
+				rep.Allocations++
+			case errors.Is(err, ctrlplane.ErrBadAddress):
+				// The vma was munmapped during the reset; nothing left
+				// to re-home.
+			default:
+				// No survivor can host this vma. It must not stay
+				// translated to the dead blade (every fault would hang on
+				// a black fabric port), so it is forcibly unmapped — the
+				// rack's OOM-kill analogue: later accesses fail with a
+				// translation error instead of wedging.
+				_ = alloc.Free(base)
+				rep.VMAsLost++
+			}
+			c.dir.UnfreezeRange(area)
+			step()
+		})
+	}
+	c.eng.Schedule(c.cfg.Migration.DetectionDelay, step)
+}
+
+// KillMemBlade kills victim and blocks until recovery completes.
+func (c *Cluster) KillMemBlade(victim ctrlplane.BladeID) (KillReport, error) {
+	var rep KillReport
+	var err error
+	c.await(func(done func()) {
+		c.KillMemBladeAsync(victim, func(r KillReport, e error) {
+			rep, err = r, e
+			done()
+		})
+	})
+	return rep, err
+}
+
+// KillSwitchAsync executes the §4.4 switch failover as an in-simulation
+// event: a rack-wide freeze (every page request bounces with Retry),
+// every live region reset (compute blades flush their data), then the
+// backup ASIC — rebuilt from consistently-replicated control-plane
+// state — becomes the active data plane and the freeze lifts.
+func (c *Cluster) KillSwitchAsync(done func(SwitchFailoverReport)) {
+	rep := SwitchFailoverReport{Start: c.eng.Now()}
+	c.dir.SetFreezeAll(true)
+	c.col.Inc(stats.CtrBladeEvents, 1)
+	// Under the rack-wide freeze no region can be created or split, so
+	// one snapshot covers every entry that must be torn down.
+	c.resetBases(c.dir.AllRegionBases(), func(n int) {
+		rep.RegionsReset = n
+		backup := c.ctl.Failover()
+		c.dir.SwapASIC(backup)
+		c.dir.SetFreezeAll(false)
+		rep.End = c.eng.Now()
+		done(rep)
+	})
+}
+
+// KillSwitch runs the switch failover and blocks until the backup data
+// plane is live, returning the measured blackout.
+func (c *Cluster) KillSwitch() SwitchFailoverReport {
+	var rep SwitchFailoverReport
+	c.await(func(done func()) {
+		c.KillSwitchAsync(func(r SwitchFailoverReport) {
+			rep = r
+			done()
+		})
+	})
+	return rep
+}

@@ -151,6 +151,12 @@ type bladeState struct {
 	partition mem.Range
 	free      *freeList
 	allocated uint64 // reserved bytes currently placed on this blade
+
+	// unavailable excludes the blade from new placements (it is draining
+	// or has failed); retired additionally means its partition rule has
+	// been withdrawn from the TCAM (see RetireBlade).
+	unavailable bool
+	retired     bool
 }
 
 // Allocator owns the global virtual address space: it range-partitions
@@ -217,12 +223,15 @@ func (a *Allocator) BladeLoad() []float64 {
 	return out
 }
 
-// pickBlade chooses the placement target per policy among blades that can
-// fit an aligned chunk of size.
+// pickBlade chooses the placement target per policy among available
+// blades that can fit an aligned chunk of size. Fit means both address
+// space in the blade's own partition (free list) and physical capacity
+// (allocated accounting, which includes vmas migrated in from drained
+// or failed blades).
 func (a *Allocator) pickBlade(size uint64) *bladeState {
 	var candidates []*bladeState
 	for _, b := range a.blades {
-		if b.free.canAlloc(size) {
+		if !b.unavailable && b.allocated+size <= b.partition.Size && b.free.canAlloc(size) {
 			candidates = append(candidates, b)
 		}
 	}
@@ -276,6 +285,25 @@ func (a *Allocator) Alloc(pdid mem.PDID, length uint64, perm mem.Perm) (mem.VMA,
 	return v, nil
 }
 
+// outlierRanges returns the TCAM ranges that carry a migrated vma's
+// outlier entries. Normally this is the power-of-two split of its
+// reserved footprint; a vma spanning its entire home partition would
+// collide with the partition rule (same base and size, so LPM cannot
+// prefer it), and is represented as two half-partition entries instead.
+// Migrate and Free must agree on this shape.
+func (a *Allocator) outlierRanges(base mem.VA, reserved uint64) []mem.Range {
+	ranges := mem.SplitPow2(base, reserved)
+	home := a.homeBlade(base)
+	if home != nil && len(ranges) == 1 && ranges[0] == home.partition && ranges[0].Size > mem.PageSize {
+		half := ranges[0].Size / 2
+		return []mem.Range{
+			{Base: ranges[0].Base, Size: half},
+			{Base: ranges[0].Base + mem.VA(half), Size: half},
+		}
+	}
+	return ranges
+}
+
 // Free releases the vma based at base. Outlier translation entries for
 // migrated areas are removed.
 func (a *Allocator) Free(base mem.VA) error {
@@ -284,7 +312,7 @@ func (a *Allocator) Free(base mem.VA) error {
 		return ErrBadAddress
 	}
 	if al.migrated {
-		for _, r := range mem.SplitPow2(base, al.reserved) {
+		for _, r := range a.outlierRanges(base, al.reserved) {
 			_ = a.asic.Translation.Delete(switchasic.WildcardPDID, uint64(r.Base), r.Size)
 		}
 	}
@@ -340,27 +368,58 @@ func (a *Allocator) Migrate(base mem.VA, to BladeID) error {
 	if int(to) < 0 || int(to) >= len(a.blades) {
 		return fmt.Errorf("ctrlplane: no blade %d", to)
 	}
+	if a.blades[int(to)].unavailable {
+		// Retired, draining or failed: data must not be routed there —
+		// a drain whose planned target died retries with the pages still
+		// safe on the source.
+		return fmt.Errorf("%w: blade %d", ErrBladeUnavailable, to)
+	}
 	if al.blade == to {
 		return nil
 	}
+	ranges := a.outlierRanges(base, al.reserved)
 	// Remove any previous outliers; home-partition routing resumes below.
-	if al.migrated {
-		for _, r := range mem.SplitPow2(base, al.reserved) {
+	wasMigrated := al.migrated
+	if wasMigrated {
+		for _, r := range ranges {
 			_ = a.asic.Translation.Delete(switchasic.WildcardPDID, uint64(r.Base), r.Size)
 		}
 		al.migrated = false
 	}
 	home := a.homeBlade(base)
 	if to != home.id {
-		for _, r := range mem.SplitPow2(base, al.reserved) {
+		// All-or-nothing install: a mid-loop failure must not leave the
+		// vma half-rerouted, so installed entries are rolled back and the
+		// previous routing restored (the freed entries guarantee the
+		// restore fits).
+		var installed []mem.Range
+		rollback := func() {
+			for _, u := range installed {
+				_ = a.asic.Translation.Delete(switchasic.WildcardPDID, uint64(u.Base), u.Size)
+			}
+			if wasMigrated {
+				for _, r := range ranges {
+					_ = a.asic.Translation.Insert(switchasic.Entry{
+						PDID:  switchasic.WildcardPDID,
+						Base:  uint64(r.Base),
+						Size:  r.Size,
+						Value: int64(al.blade),
+					})
+				}
+				al.migrated = true
+			}
+		}
+		for _, r := range ranges {
 			if err := a.asic.Translation.Insert(switchasic.Entry{
 				PDID:  switchasic.WildcardPDID,
 				Base:  uint64(r.Base),
 				Size:  r.Size,
 				Value: int64(to),
 			}); err != nil {
+				rollback()
 				return fmt.Errorf("ctrlplane: install outlier entry: %w", err)
 			}
+			installed = append(installed, r)
 		}
 		al.migrated = true
 	}

@@ -40,12 +40,12 @@ const msiRequestTypes = 2
 func NewController(asicCfg switchasic.Config, policy PlacementPolicy, computeBlades int) *Controller {
 	a := switchasic.New(asicCfg)
 	a.InstallSTT(MSIStates * msiRequestTypes)
-	// One multicast group containing every compute blade port (§4.3.2).
-	ports := make([]int, computeBlades)
-	for i := range ports {
-		ports[i] = i
+	// One multicast group containing every compute blade port (§4.3.2),
+	// built through the same incremental membership path a blade join
+	// would use.
+	for i := 0; i < computeBlades; i++ {
+		a.AddGroupMember(InvalidationGroup, i)
 	}
-	a.SetGroup(InvalidationGroup, ports)
 	c := &Controller{
 		asic:           a,
 		alloc:          NewAllocator(a, policy),

@@ -57,9 +57,10 @@ func hashFigMap(h interface{ Write(p []byte) (int, error) }, figs map[string]*Fi
 // goldenFingerprint regenerates a cross-section of panels — workload
 // counters (Fig6), region-granularity sweeps (Fig9 left), steady-state
 // pairs across all four systems including GAM's multi-blade software
-// invalidation path (Fig5 center) and allocation studies (Fig8 center)
-// — with the given worker setting, on a fresh cache so every run really
-// executes.
+// invalidation path (Fig5 center), allocation studies (Fig8 center) and
+// the elasticity timeline with its membership events and migration
+// scheduling (Fig10) — with the given worker setting, on a fresh cache
+// so every run really executes.
 func goldenFingerprint(t *testing.T, workers int) string {
 	t.Helper()
 	s := goldenScale
@@ -90,6 +91,12 @@ func goldenFingerprint(t *testing.T, workers int) string {
 		t.Fatal(err)
 	}
 	hashFig(h, fig8c)
+
+	fig10, err := Fig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashFig(h, fig10)
 
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

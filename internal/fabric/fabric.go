@@ -94,8 +94,14 @@ type Fabric struct {
 	// §4.4 communication-failure handling).
 	DropFn func(from, to NodeID) bool
 
+	// dead marks failed endpoints: every message addressed to (or sent
+	// from) a dead node is silently lost, the way a link to a crashed
+	// blade goes black. Unlike DropFn this is permanent rack state, set
+	// by failure-injection events (Cluster.KillMemBlade).
+	dead map[NodeID]bool
+
 	// Delivered counts successful end-point deliveries; Dropped counts
-	// injected losses.
+	// injected losses (DropFn hits plus messages to dead nodes).
 	Delivered uint64
 	Dropped   uint64
 }
@@ -112,7 +118,35 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		nicRx:   make(map[NodeID]*sim.Resource),
 		ingress: sim.NewResource("switch-ingress", cfg.PipelineSlots),
 		egress:  sim.NewResource("switch-egress", cfg.PipelineSlots),
+		dead:    make(map[NodeID]bool),
 	}
+}
+
+// SetNodeDead marks (or revives) an endpoint. Messages to a dead node
+// are dropped at the switch; nothing a dead node "sends" is delivered.
+func (f *Fabric) SetNodeDead(id NodeID, dead bool) {
+	if dead {
+		f.dead[id] = true
+	} else {
+		delete(f.dead, id)
+	}
+}
+
+// NodeDead reports whether id has been marked failed.
+func (f *Fabric) NodeDead(id NodeID) bool { return f.dead[id] }
+
+// lost reports whether a delivery from → to should be dropped, counting
+// the loss.
+func (f *Fabric) lost(from, to NodeID) bool {
+	if f.dead[from] || f.dead[to] {
+		f.Dropped++
+		return true
+	}
+	if f.DropFn != nil && f.DropFn(from, to) {
+		f.Dropped++
+		return true
+	}
+	return false
 }
 
 // Config returns the fabric's calibration constants.
@@ -155,6 +189,10 @@ func (f *Fabric) nic(m map[NodeID]*sim.Resource, id NodeID, kind string) *sim.Re
 func (f *Fabric) SendToSwitch(from NodeID, bytes int, fn func()) {
 	tx := f.nic(f.nicTx, from, "TX")
 	_, txEnd := tx.Reserve(f.eng.Now(), f.cfg.NICOverhead+f.serialize(bytes))
+	if f.dead[from] {
+		f.Dropped++
+		return
+	}
 	arrive := txEnd.Add(f.cfg.WireDelay)
 	_, ingEnd := f.ingress.Reserve(arrive, f.cfg.PipelineService)
 	f.eng.At(ingEnd.Add(f.cfg.PipelineDelay), fn)
@@ -175,8 +213,7 @@ func (f *Fabric) SendFromSwitch(to NodeID, bytes int, fn func()) {
 	arrive := egrEnd.Add(f.cfg.PipelineDelay + f.cfg.WireDelay)
 	rx := f.nic(f.nicRx, to, "RX")
 	_, rxEnd := rx.Reserve(arrive, f.cfg.NICOverhead+f.serialize(bytes))
-	if f.DropFn != nil && f.DropFn(SwitchNode, to) {
-		f.Dropped++
+	if f.lost(SwitchNode, to) {
 		return
 	}
 	f.eng.At(rxEnd, func() {
@@ -196,8 +233,7 @@ func (f *Fabric) MulticastFromSwitch(tos []NodeID, bytes int, fn func(to NodeID)
 		arrive := egrEnd.Add(f.cfg.PipelineDelay + f.cfg.WireDelay)
 		rx := f.nic(f.nicRx, to, "RX")
 		_, rxEnd := rx.Reserve(arrive, f.cfg.NICOverhead+f.serialize(bytes))
-		if f.DropFn != nil && f.DropFn(SwitchNode, to) {
-			f.Dropped++
+		if f.lost(SwitchNode, to) {
 			continue
 		}
 		f.eng.At(rxEnd, func() {

@@ -194,3 +194,35 @@ func TestPipelineStatsCount(t *testing.T) {
 		t.Errorf("pipeline stats = %d/%d, want 2/2", in, out)
 	}
 }
+
+func TestDeadNodeDropsDeliveries(t *testing.T) {
+	eng := sim.NewEngine()
+	f := New(eng, DefaultConfig())
+	f.AddNode(1)
+	f.AddNode(2)
+
+	f.SetNodeDead(2, true)
+	if !f.NodeDead(2) {
+		t.Fatal("node 2 not marked dead")
+	}
+	delivered := 0
+	f.SendFromSwitch(2, CtrlMsgBytes, func() { delivered++ })
+	f.SendFromSwitch(1, CtrlMsgBytes, func() { delivered++ })
+	f.MulticastFromSwitch([]NodeID{1, 2}, CtrlMsgBytes, func(NodeID) { delivered++ })
+	f.SendToSwitch(2, CtrlMsgBytes, func() { delivered++ }) // dead sender
+	eng.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d messages, want 2 (only node 1's)", delivered)
+	}
+	if f.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", f.Dropped)
+	}
+
+	// Revival restores delivery.
+	f.SetNodeDead(2, false)
+	f.SendFromSwitch(2, CtrlMsgBytes, func() { delivered++ })
+	eng.Run()
+	if delivered != 3 {
+		t.Fatalf("revived node did not receive (delivered=%d)", delivered)
+	}
+}

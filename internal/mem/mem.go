@@ -98,6 +98,10 @@ func (r Range) End() VA { return r.Base + VA(r.Size) }
 // Contains reports whether va falls inside the range.
 func (r Range) Contains(va VA) bool { return va >= r.Base && va < r.End() }
 
+// Overlaps reports whether the half-open ranges r and s share any
+// address.
+func (r Range) Overlaps(s Range) bool { return r.Base < s.End() && s.Base < r.End() }
+
 // IsPow2 reports whether x is a power of two.
 func IsPow2(x uint64) bool { return x != 0 && x&(x-1) == 0 }
 

@@ -6,6 +6,8 @@
 package memblade
 
 import (
+	"sort"
+
 	"mind/internal/mem"
 )
 
@@ -20,6 +22,12 @@ type Blade struct {
 
 	reads  uint64
 	writes uint64
+
+	// dead marks a killed blade (failure injection): its contents are
+	// gone and every subsequent access is accounted as lost.
+	dead     bool
+	deadOps  uint64
+	migrated uint64 // pages handed off by TakePagesIn (drain)
 }
 
 // New creates an empty blade.
@@ -31,8 +39,13 @@ func New(id int) *Blade {
 func (b *Blade) ID() int { return b.id }
 
 // ReadPage returns the page containing va, or nil if it was never
-// materialized (all-zero). The returned slice is a copy.
+// materialized (all-zero). The returned slice is a copy. A dead blade
+// serves nothing.
 func (b *Blade) ReadPage(va mem.VA) []byte {
+	if b.dead {
+		b.deadOps++
+		return nil
+	}
 	b.reads++
 	p, ok := b.pages[mem.PageIndex(va)]
 	if !ok {
@@ -46,6 +59,10 @@ func (b *Blade) ReadPage(va mem.VA) []byte {
 // WritePage stores the page containing va. A nil data writes nothing (a
 // never-materialized page stays zero) — used by barrier writebacks.
 func (b *Blade) WritePage(va mem.VA, data []byte) {
+	if b.dead {
+		b.deadOps++
+		return
+	}
 	b.writes++
 	if data == nil {
 		return
@@ -64,3 +81,86 @@ func (b *Blade) MaterializedPages() int { return len(b.pages) }
 
 // Ops returns served one-sided reads and writes.
 func (b *Blade) Ops() (reads, writes uint64) { return b.reads, b.writes }
+
+// PageCopy is one migrated page: its virtual address and contents.
+type PageCopy struct {
+	VA   mem.VA
+	Data []byte
+}
+
+// TakePagesIn removes and returns up to max materialized pages whose
+// addresses fall in [base, base+size), in ascending address order — one
+// drain batch. The returned slices are the blade's own buffers (the
+// blade no longer references them). max <= 0 means no limit.
+func (b *Blade) TakePagesIn(base mem.VA, size uint64, max int) []PageCopy {
+	lo, hi := mem.PageIndex(base), mem.PageIndex(base+mem.VA(size)-1)
+	idxs := make([]uint64, 0, 16)
+	for idx := range b.pages {
+		if idx >= lo && idx <= hi {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	if max > 0 && len(idxs) > max {
+		idxs = idxs[:max]
+	}
+	out := make([]PageCopy, 0, len(idxs))
+	for _, idx := range idxs {
+		out = append(out, PageCopy{VA: mem.VA(idx) * mem.PageSize, Data: b.pages[idx]})
+		delete(b.pages, idx)
+		b.migrated++
+	}
+	return out
+}
+
+// InstallPage stores a migrated page's bytes directly (the drain path's
+// receive side; no RDMA accounting — timing is modelled by the fabric).
+func (b *Blade) InstallPage(p PageCopy) {
+	if b.dead {
+		b.deadOps++
+		return
+	}
+	b.pages[mem.PageIndex(p.VA)] = p.Data
+}
+
+// ReturnPage undoes one page of a TakePagesIn whose transfer failed: the
+// bytes go back and the migrated-out count is corrected, so a retried
+// batch is not double-counted. A no-op on a dead blade (crash
+// semantics).
+func (b *Blade) ReturnPage(p PageCopy) {
+	if b.dead {
+		b.deadOps++
+		return
+	}
+	b.pages[mem.PageIndex(p.VA)] = p.Data
+	if b.migrated > 0 {
+		b.migrated--
+	}
+}
+
+// DropAll discards every materialized page (the final purge of a drain:
+// anything left after all live vmas migrated is garbage from freed
+// vmas). Returns how many pages were dropped.
+func (b *Blade) DropAll() int {
+	n := len(b.pages)
+	b.pages = make(map[uint64][]byte)
+	return n
+}
+
+// Kill marks the blade failed and discards its contents. Returns how
+// many materialized pages were lost.
+func (b *Blade) Kill() int {
+	lost := len(b.pages)
+	b.pages = make(map[uint64][]byte)
+	b.dead = true
+	return lost
+}
+
+// Dead reports whether the blade has been killed.
+func (b *Blade) Dead() bool { return b.dead }
+
+// DeadOps returns accesses that arrived after the blade died.
+func (b *Blade) DeadOps() uint64 { return b.deadOps }
+
+// MigratedOut returns pages handed off through TakePagesIn.
+func (b *Blade) MigratedOut() uint64 { return b.migrated }

@@ -62,3 +62,66 @@ func TestPartialOverwrite(t *testing.T) {
 		t.Error("overwrite duplicated the page")
 	}
 }
+
+func TestTakePagesInDrainsBatches(t *testing.T) {
+	b := New(0)
+	base := mem.VA(1) << 32
+	for i := 0; i < 10; i++ {
+		data := make([]byte, mem.PageSize)
+		data[0] = byte(i + 1)
+		b.WritePage(base+mem.VA(i)*mem.PageSize, data)
+	}
+	// Pages outside the range must be untouched.
+	b.WritePage(base+mem.VA(100)*mem.PageSize, make([]byte, mem.PageSize))
+
+	got := b.TakePagesIn(base, 10*mem.PageSize, 4)
+	if len(got) != 4 {
+		t.Fatalf("batch took %d pages, want 4", len(got))
+	}
+	for i, p := range got {
+		if p.VA != base+mem.VA(i)*mem.PageSize {
+			t.Fatalf("batch out of order: page %d at %#x", i, uint64(p.VA))
+		}
+		if p.Data[0] != byte(i+1) {
+			t.Fatalf("page %d contents %d, want %d", i, p.Data[0], i+1)
+		}
+	}
+	rest := b.TakePagesIn(base, 10*mem.PageSize, 0)
+	if len(rest) != 6 {
+		t.Fatalf("remainder took %d pages, want 6", len(rest))
+	}
+	if again := b.TakePagesIn(base, 10*mem.PageSize, 0); len(again) != 0 {
+		t.Fatalf("%d pages left in drained range, want 0", len(again))
+	}
+	if b.MaterializedPages() != 1 {
+		t.Fatalf("out-of-range page lost: %d materialized, want 1", b.MaterializedPages())
+	}
+	if b.MigratedOut() != 10 {
+		t.Fatalf("MigratedOut = %d, want 10", b.MigratedOut())
+	}
+}
+
+func TestKillDiscardsAndBlocksAccess(t *testing.T) {
+	b := New(0)
+	va := mem.VA(1) << 32
+	data := make([]byte, mem.PageSize)
+	data[7] = 42
+	b.WritePage(va, data)
+	if lost := b.Kill(); lost != 1 {
+		t.Fatalf("Kill lost %d pages, want 1", lost)
+	}
+	if !b.Dead() {
+		t.Fatal("blade not marked dead")
+	}
+	if got := b.ReadPage(va); got != nil {
+		t.Fatalf("dead blade served data: %v", got[:8])
+	}
+	b.WritePage(va, data)
+	b.InstallPage(PageCopy{VA: va, Data: data})
+	if b.MaterializedPages() != 0 {
+		t.Fatal("dead blade accepted writes")
+	}
+	if b.DeadOps() != 3 {
+		t.Fatalf("DeadOps = %d, want 3", b.DeadOps())
+	}
+}

@@ -31,6 +31,12 @@ const (
 	CtrRecirculations = "recirculations"
 	CtrMulticasts     = "multicasts"
 	CtrPrunedCopies   = "pruned_copies" // multicast copies dropped at egress
+
+	// Online-elasticity counters.
+	CtrMigrationStalls = "migration_stalls" // requests bounced off frozen ranges
+	CtrMigratedPages   = "migrated_pages"   // pages moved between blades by drains
+	CtrLostWrites      = "lost_writes"      // writebacks addressed to a dead blade
+	CtrBladeEvents     = "blade_events"     // membership changes (add/drain/kill)
 )
 
 // Latency component names (Figure 7 right breakdown).

@@ -1,6 +1,9 @@
 package switchasic
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Default resource limits measured on the paper's Tofino testbed (§7.2):
 // about 45k match-action rules for translation + protection, and 30k
@@ -97,15 +100,46 @@ func (a *ASIC) InstallSTT(entries int) { a.sttEntries = entries }
 func (a *ASIC) STTEntries() int { return a.sttEntries }
 
 // SetGroup installs multicast group membership (all compute blades in the
-// rack, §4.3.2).
+// rack, §4.3.2). Membership is kept sorted so replication order — and
+// with it every event ordering downstream of a multicast — is a function
+// of the member set, not of update history.
 func (a *ASIC) SetGroup(id int, ports []int) {
 	cp := make([]int, len(ports))
 	copy(cp, ports)
+	sort.Ints(cp)
 	a.groups[id] = cp
 }
 
-// Group returns a group's membership.
-func (a *ASIC) Group(id int) []int { return a.groups[id] }
+// Group returns a copy of a group's membership (sorted). Callers may
+// hold it across membership updates without aliasing the live table.
+func (a *ASIC) Group(id int) []int {
+	members := a.groups[id]
+	if members == nil {
+		return nil
+	}
+	cp := make([]int, len(members))
+	copy(cp, members)
+	return cp
+}
+
+// AddGroupMember installs one port into a multicast group, keeping
+// membership sorted so replication order is deterministic regardless of
+// the sequence of membership updates — the control plane builds the
+// invalidation group through this path, one rule install per compute
+// blade. Adding an existing member is a no-op. (The inverse operation
+// arrives with compute-blade retirement; memory blades are never group
+// members, so nothing removes entries today.)
+func (a *ASIC) AddGroupMember(id, port int) {
+	members := a.groups[id]
+	i := sort.SearchInts(members, port)
+	if i < len(members) && members[i] == port {
+		return
+	}
+	members = append(members, 0)
+	copy(members[i+1:], members[i:])
+	members[i] = port
+	a.groups[id] = members
+}
 
 // PruneMulticast resolves one multicast send: the packet is replicated to
 // every group member, and copies whose output port does not lead to a

@@ -173,3 +173,49 @@ func TestASICRecirculationAccounting(t *testing.T) {
 		t.Errorf("recircs = %d", r)
 	}
 }
+
+func TestASICGroupMembershipIncremental(t *testing.T) {
+	a := New(Config{})
+	// Out-of-order installation must yield sorted, deterministic
+	// membership regardless of the update sequence.
+	a.SetGroup(1, []int{3, 0, 2})
+	a.AddGroupMember(1, 1)
+	a.AddGroupMember(1, 1) // duplicate add is a no-op
+	got := a.Group(1)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("membership %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("membership %v, want %v", got, want)
+		}
+	}
+
+	// Group() hands out a copy: holding it across a membership update
+	// must not alias the live table.
+	held := a.Group(1)
+	a.AddGroupMember(1, 7)
+	if len(held) != 4 {
+		t.Fatalf("held membership mutated by later update: %v", held)
+	}
+
+	// Pruned multicast replicates to current members only.
+	ports, err := a.PruneMulticast(1, map[int]bool{0: true, 3: true, 9: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 2 || ports[0] != 0 || ports[1] != 3 {
+		t.Fatalf("pruned delivery %v, want [0 3]", ports)
+	}
+}
+
+func TestASICAddGroupMemberCreatesGroup(t *testing.T) {
+	a := New(Config{})
+	a.AddGroupMember(7, 5)
+	a.AddGroupMember(7, 2)
+	got := a.Group(7)
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("membership %v, want [2 5]", got)
+	}
+}
