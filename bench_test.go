@@ -21,12 +21,32 @@ import (
 	"mind/internal/core"
 	"mind/internal/ctrlplane"
 	"mind/internal/experiments"
+	"mind/internal/hotpath"
 	"mind/internal/mem"
 	"mind/internal/sim"
 	"mind/internal/stats"
 	"mind/internal/switchasic"
 	"mind/internal/workloads"
 )
+
+// BenchmarkHotPathMacro is the tracked hot-path macro benchmark behind
+// BENCH_hotpath.json (see cmd/bench and internal/hotpath): the fixed
+// Fig-6-class TF workload on an 8-blade rack. CI runs it with
+// -benchtime=1x as a smoke test; the reported metrics mirror the JSON
+// report's fields. The simulation outputs are deterministic, so the
+// events metric doubles as an identity check across revisions.
+func BenchmarkHotPathMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hotpath.Run(hotpath.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerOp, "sim-ns/op")
+		b.ReportMetric(res.AllocsPerOp, "sim-allocs/op")
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+	}
+}
 
 // BenchmarkFig5IntraBlade regenerates Figure 5 (left): intra-blade
 // thread scaling of MIND vs FastSwap vs GAM.

@@ -1,0 +1,127 @@
+// Command bench runs the hot-path macro benchmark (internal/hotpath) and
+// maintains BENCH_hotpath.json — the repo's performance trajectory file.
+//
+// The tracked workload is a Figure-6-class TF run on an 8-blade rack. The
+// JSON report keeps two entries: "baseline" (the last recorded reference
+// point — the pre-refactor allocator-heavy hot path when this file was
+// first created) and "current" (the latest run). Regenerate with:
+//
+//	go run ./cmd/bench -out BENCH_hotpath.json
+//
+// The baseline is preserved across runs; pass -rebaseline to promote the
+// new measurement to be the reference point for future work. -check
+// verifies the allocs/op improvement claim against the stored baseline
+// (allocs/op is a property of the code, not the host, so this is stable
+// in CI).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mind/internal/hotpath"
+)
+
+type entry struct {
+	Label string `json:"label"`
+	hotpath.Result
+}
+
+type improvement struct {
+	AllocsPerOpPct  float64 `json:"allocs_per_op_pct"`
+	NsPerOpPct      float64 `json:"ns_per_op_pct"`
+	EventsPerSecRel float64 `json:"events_per_sec_x"`
+}
+
+type report struct {
+	Benchmark   string       `json:"benchmark"`
+	Description string       `json:"description"`
+	Baseline    *entry       `json:"baseline,omitempty"`
+	Current     *entry       `json:"current,omitempty"`
+	Improvement *improvement `json:"improvement,omitempty"`
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - cur) / base * 100
+}
+
+func main() {
+	ops := flag.Int("ops", hotpath.Default().TotalOps, "total accesses across all threads")
+	out := flag.String("out", "", "JSON report to update (read-modify-write; empty = print only)")
+	label := flag.String("label", "current", "label for this measurement")
+	rebaseline := flag.Bool("rebaseline", false, "also record this run as the new baseline")
+	check := flag.Bool("check", false, "fail unless allocs/op beats the stored baseline by >= 30%")
+	flag.Parse()
+
+	cfg := hotpath.Default()
+	cfg.TotalOps = *ops
+	res, err := hotpath.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Benchmark: "hotpath-macro",
+		Description: "Fixed Fig-6-class workload (TF, 8 compute blades, 1 thread/blade, " +
+			"seed-pinned): host-side cost per simulated access and event throughput. " +
+			"Simulation outputs (ops/events/remote rate/virtual end) are deterministic " +
+			"and double as a cross-revision identity check.",
+	}
+	if *out != "" {
+		data, err := os.ReadFile(*out)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(data, &rep); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: parsing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		case os.IsNotExist(err):
+			// First run: this measurement becomes the baseline below.
+		default:
+			// A transient read failure must not silently replace the
+			// recorded baseline with the current run.
+			fmt.Fprintf(os.Stderr, "bench: reading %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	rep.Current = &entry{Label: *label, Result: res}
+	if *rebaseline || rep.Baseline == nil {
+		rep.Baseline = &entry{Label: *label + " (baseline)", Result: res}
+	}
+	rep.Improvement = &improvement{
+		AllocsPerOpPct: pct(rep.Baseline.AllocsPerOp, res.AllocsPerOp),
+		NsPerOpPct:     pct(rep.Baseline.NsPerOp, res.NsPerOp),
+	}
+	if rep.Baseline.EventsPerSec > 0 {
+		rep.Improvement.EventsPerSecRel = res.EventsPerSec / rep.Baseline.EventsPerSec
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	fmt.Print(string(enc))
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *check {
+		if *rebaseline {
+			fmt.Fprintln(os.Stderr, "bench: -check is meaningless against a just-reset baseline; skipping")
+			return
+		}
+		if got := rep.Improvement.AllocsPerOpPct; got < 30 {
+			fmt.Fprintf(os.Stderr, "bench: allocs/op improved only %.1f%% vs baseline (want >= 30%%)\n", got)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: allocs/op %.4f vs baseline %.4f (-%.1f%%) — OK\n",
+			res.AllocsPerOp, rep.Baseline.AllocsPerOp, rep.Improvement.AllocsPerOpPct)
+	}
+}

@@ -100,14 +100,21 @@ type reqKey struct {
 	want  mem.Perm
 }
 
-// pending is one in-flight or queued page request.
+// pending is one in-flight or queued page request. The directory, region
+// and home-node fields let the whole request pipeline run on pre-bound
+// package-level continuations (pendExec, pendAtMem, ...) instead of
+// per-hop closures.
 type pending struct {
+	d    *Directory
 	key  reqKey
 	pdid mem.PDID
 	va   mem.VA
 	done func(Completion)
 
 	// Transition bookkeeping.
+	region       *Region
+	memN         fabric.NodeID
+	inv          Invalidation
 	transition   string
 	needAcks     int
 	acksForFetch bool // serial M→X path: fetch only after acks
@@ -117,6 +124,18 @@ type pending struct {
 	invCount     int
 	writable     bool
 	notified     bool
+}
+
+// ackCtx carries one sharer's invalidation ACK back through the fabric.
+// Contexts are pooled on the directory; onAck is bound once per object.
+type ackCtx struct {
+	d    *Directory
+	p    *pending
+	to   fabric.NodeID
+	info AckInfo
+	// onAck is handed to BladePort.HandleInvalidation; it records the
+	// AckInfo and sends the ACK sharer -> switch.
+	onAck func(AckInfo)
 }
 
 // Directory is the in-network cache directory plus protocol engine. All
@@ -145,6 +164,23 @@ type Directory struct {
 	// every request bounces while the backup data plane is built.
 	frozen    []mem.Range
 	freezeAll bool
+
+	// Hot-path scratch and pools (single-threaded engine context).
+	ackFree        sim.Pool[ackCtx]
+	scratchTargets []int
+	scratchSet     map[int]bool
+	scratchPorts   []int
+	scratchNodes   []fabric.NodeID
+
+	// Pre-resolved stats handles.
+	hRemote     stats.Handle
+	hRejected   stats.Handle
+	hStalls     stats.Handle
+	hRecirc     stats.Handle
+	hMulticasts stats.Handle
+	hInvals     stats.Handle
+	hFlushed    stats.Handle
+	hFalseInv   stats.Handle
 }
 
 // Deps bundles the directory's external hooks, wired by the core package.
@@ -175,19 +211,29 @@ func NewDirectory(cfg Config, d Deps) *Directory {
 		panic(fmt.Sprintf("coherence: bad region config %+v", cfg))
 	}
 	return &Directory{
-		eng:       d.Engine,
-		fab:       d.Fabric,
-		asic:      d.ASIC,
-		col:       d.Collector,
-		cfg:       cfg,
-		translate: d.Translate,
-		protect:   d.Protect,
-		memNode:   d.MemNode,
-		bladeNode: d.BladeNode,
-		blades:    make(map[int]BladePort),
-		regions:   make(map[mem.VA]*Region),
-		blocks:    make(map[mem.VA]map[mem.VA]*Region),
-		inFlight:  make(map[reqKey]*pending),
+		eng:        d.Engine,
+		fab:        d.Fabric,
+		asic:       d.ASIC,
+		col:        d.Collector,
+		cfg:        cfg,
+		translate:  d.Translate,
+		protect:    d.Protect,
+		memNode:    d.MemNode,
+		bladeNode:  d.BladeNode,
+		blades:     make(map[int]BladePort),
+		regions:    make(map[mem.VA]*Region),
+		blocks:     make(map[mem.VA]map[mem.VA]*Region),
+		inFlight:   make(map[reqKey]*pending),
+		scratchSet: make(map[int]bool),
+
+		hRemote:     d.Collector.Handle(stats.CtrRemoteAccesses),
+		hRejected:   d.Collector.Handle(stats.CtrRejected),
+		hStalls:     d.Collector.Handle(stats.CtrMigrationStalls),
+		hRecirc:     d.Collector.Handle(stats.CtrRecirculations),
+		hMulticasts: d.Collector.Handle(stats.CtrMulticasts),
+		hInvals:     d.Collector.Handle(stats.CtrInvalidations),
+		hFlushed:    d.Collector.Handle(stats.CtrFlushedPages),
+		hFalseInv:   d.Collector.Handle(stats.CtrFalseInvals),
 	}
 }
 
@@ -276,7 +322,7 @@ func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Pe
 
 	// Data-plane permission check (§4.2), in the same pipeline pass.
 	if err := d.protect(pdid, va, want); err != nil {
-		d.col.Inc(stats.CtrRejected, 1)
+		d.col.IncH(d.hRejected, 1)
 		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
 			done(Completion{Err: err})
 		})
@@ -287,16 +333,16 @@ func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Pe
 		// The page's home is mid-migration (or the switch is failing
 		// over): bounce with Retry, exactly like a §4.4 reset. No pending
 		// entry is created, so retransmissions bounce individually.
-		d.col.Inc(stats.CtrMigrationStalls, 1)
+		d.col.IncH(d.hStalls, 1)
 		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
 			done(Completion{Retry: true})
 		})
 		return
 	}
 
-	p := &pending{key: key, pdid: pdid, va: page, done: done}
+	p := &pending{d: d, key: key, pdid: pdid, va: page, done: done}
 	d.inFlight[key] = p
-	d.col.Inc(stats.CtrRemoteAccesses, 1)
+	d.col.IncH(d.hRemote, 1)
 
 	region, err := d.lookupOrCreate(page)
 	if err != nil {
@@ -327,16 +373,32 @@ func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Pe
 // the two-MAU + recirculation pattern (§6.3, Figure 4).
 func (d *Directory) startTransition(r *Region, p *pending) {
 	r.busy = true
+	p.region = r
 	d.asic.Recirculated()
-	d.col.Inc(stats.CtrRecirculations, 1)
-	d.fab.Recirculate(func() { d.executeTransition(r, p) })
+	d.col.IncH(d.hRecirc, 1)
+	d.fab.RecirculateArg(pendExec, p)
+}
+
+// Pre-bound request-pipeline continuations: the pending carries all hop
+// state, so the steady-state fault path schedules no closures.
+func pendExec(x any) {
+	p := x.(*pending)
+	p.d.executeTransition(p.region, p)
+}
+
+// resetSharers empties a region's sharer set in place (the map is region-
+// private, so clearing beats replacing on the hot path).
+func resetSharers(r *Region) {
+	for s := range r.sharers {
+		delete(r.sharers, s)
+	}
 }
 
 func (d *Directory) executeTransition(r *Region, p *pending) {
 	blade := p.key.blade
 	write := p.key.want == mem.PermReadWrite
 
-	var targets []int
+	targets := d.scratchTargets[:0]
 	downgrade := false
 
 	switch {
@@ -344,7 +406,8 @@ func (d *Directory) executeTransition(r *Region, p *pending) {
 		p.transition = "I->E"
 		r.state = Modified // E is tracked as owned; see Config docs
 		r.owner = blade
-		r.sharers = map[int]bool{blade: true}
+		resetSharers(r)
+		r.sharers[blade] = true
 		p.writable = true
 	case !write && r.state == Invalid:
 		p.transition = "I->S"
@@ -358,15 +421,19 @@ func (d *Directory) executeTransition(r *Region, p *pending) {
 		p.writable = true
 	case !write && r.state == Modified:
 		p.transition = "M->S"
-		targets = []int{r.owner}
+		owner := r.owner
+		targets = append(targets, owner)
 		downgrade = true
 		r.state = Shared
-		r.sharers = map[int]bool{r.owner: true, blade: true}
+		resetSharers(r)
+		r.sharers[owner] = true
+		r.sharers[blade] = true
 	case write && r.state == Invalid:
 		p.transition = "I->M"
 		r.state = Modified
 		r.owner = blade
-		r.sharers = map[int]bool{blade: true}
+		resetSharers(r)
+		r.sharers[blade] = true
 		p.writable = true
 	case write && r.state == Shared:
 		p.transition = "S->M"
@@ -377,20 +444,22 @@ func (d *Directory) executeTransition(r *Region, p *pending) {
 		}
 		r.state = Modified
 		r.owner = blade
-		r.sharers = map[int]bool{blade: true}
+		resetSharers(r)
+		r.sharers[blade] = true
 		p.writable = true
 	case write && r.state == Modified && r.owner == blade:
 		p.transition = "M->M(own)"
 		p.writable = true
 	case write && r.state == Modified:
 		p.transition = "M->M"
-		targets = []int{r.owner}
+		owner := r.owner
+		targets = append(targets, owner)
 		r.state = Modified
 		r.owner = blade
-		r.sharers = map[int]bool{blade: true}
+		resetSharers(r)
+		r.sharers[blade] = true
 		p.writable = true
 	}
-
 	p.invCount = len(targets)
 	p.needAcks = len(targets)
 	// M→X transitions must flush the old owner before the memory fetch;
@@ -400,43 +469,104 @@ func (d *Directory) executeTransition(r *Region, p *pending) {
 	if len(targets) > 0 {
 		d.sendInvalidations(r, p, targets, downgrade)
 	}
+	// Return the (possibly grown) scratch buffer once this transition is
+	// done with it; nothing below executeTransition re-enters it
+	// synchronously.
+	d.scratchTargets = targets[:0]
 	if !p.acksForFetch {
 		d.fetchAndDeliver(r, p)
 	}
+}
+
+// newAckCtx takes an ACK context from the free list (or allocates one)
+// bound to (p, to).
+func (d *Directory) newAckCtx(p *pending, to fabric.NodeID) *ackCtx {
+	ctx := d.ackFree.Get()
+	if ctx == nil {
+		ctx = &ackCtx{d: d}
+		ctx.onAck = func(info AckInfo) {
+			// ACK travels sharer -> switch.
+			ctx.info = info
+			ctx.d.fab.SendToSwitchArg(ctx.to, fabric.CtrlMsgBytes, ackAtSwitch, ctx)
+		}
+	}
+	ctx.p, ctx.to = p, to
+	return ctx
+}
+
+// ackAtSwitch runs when a sharer's ACK reaches the switch; the context is
+// recycled afterwards (HandleInvalidation calls ack exactly once, so no
+// other reference survives).
+func ackAtSwitch(x any) {
+	ctx := x.(*ackCtx)
+	d, p, info := ctx.d, ctx.p, ctx.info
+	ctx.p = nil
+	ctx.info = AckInfo{}
+	d.ackFree.Put(ctx)
+	d.handleAck(p.region, p, info)
+}
+
+// pendDeliverInv runs at a sharer when a multicast invalidation copy
+// lands: deliver it to the blade port with a pooled ACK context.
+func pendDeliverInv(x any, to fabric.NodeID) {
+	p := x.(*pending)
+	d := p.d
+	bladeID := int(to)
+	port := d.blades[bladeID]
+	if port == nil {
+		panic(fmt.Sprintf("coherence: invalidation to unregistered blade %d", bladeID))
+	}
+	d.col.IncH(d.hInvals, 1)
+	port.HandleInvalidation(p.inv, d.newAckCtx(p, to).onAck)
 }
 
 // sendInvalidations multicasts an invalidation to the target sharers. The
 // packet is replicated to the whole compute-blade multicast group and
 // pruned in egress to the sharer list (§4.3.2).
 func (d *Directory) sendInvalidations(r *Region, p *pending, targets []int, downgrade bool) {
-	set := make(map[int]bool, len(targets))
+	set := d.scratchSet
+	for t := range set {
+		delete(set, t)
+	}
 	for _, t := range targets {
 		set[t] = true
 	}
-	ports, err := d.asic.PruneMulticast(ctrlplane.InvalidationGroup, set)
+	ports, err := d.asic.PruneMulticastInto(d.scratchPorts, ctrlplane.InvalidationGroup, set)
 	if err != nil {
 		panic(fmt.Sprintf("coherence: multicast: %v", err))
 	}
-	d.col.Inc(stats.CtrMulticasts, 1)
-	inv := Invalidation{
+	d.scratchPorts = ports
+	d.col.IncH(d.hMulticasts, 1)
+	p.inv = Invalidation{
 		Region:    r.Range(),
 		Requested: p.va,
 		Downgrade: downgrade,
 		Requester: p.key.blade,
 	}
-	nodes := make([]fabric.NodeID, len(ports))
-	for i, pt := range ports {
-		nodes[i] = d.bladeNode(pt)
+	nodes := d.scratchNodes[:0]
+	for _, pt := range ports {
+		nodes = append(nodes, d.bladeNode(pt))
 	}
+	d.scratchNodes = nodes[:0]
+	if !d.cfg.SequentialInvalidation {
+		// MulticastFromSwitchArg reads nodes synchronously, so the
+		// scratch buffer is safe to hand over.
+		d.fab.MulticastFromSwitchArg(nodes, fabric.CtrlMsgBytes, pendDeliverInv, p)
+		return
+	}
+	// Ablation: one unicast at a time, each waiting for the previous ACK.
+	// This path keeps per-hop closures: it exists to measure the cost of
+	// serial invalidation, not to be fast.
+	seq := make([]fabric.NodeID, len(nodes))
+	copy(seq, nodes)
 	deliver := func(to fabric.NodeID, acked func()) {
 		bladeID := int(to)
 		port := d.blades[bladeID]
 		if port == nil {
 			panic(fmt.Sprintf("coherence: invalidation to unregistered blade %d", bladeID))
 		}
-		d.col.Inc(stats.CtrInvalidations, 1)
-		port.HandleInvalidation(inv, func(info AckInfo) {
-			// ACK travels sharer -> switch.
+		d.col.IncH(d.hInvals, 1)
+		port.HandleInvalidation(p.inv, func(info AckInfo) {
 			d.fab.SendToSwitch(to, fabric.CtrlMsgBytes, func() {
 				d.handleAck(r, p, info)
 				if acked != nil {
@@ -445,19 +575,12 @@ func (d *Directory) sendInvalidations(r *Region, p *pending, targets []int, down
 			})
 		})
 	}
-	if !d.cfg.SequentialInvalidation {
-		d.fab.MulticastFromSwitch(nodes, fabric.CtrlMsgBytes, func(to fabric.NodeID) {
-			deliver(to, nil)
-		})
-		return
-	}
-	// Ablation: one unicast at a time, each waiting for the previous ACK.
 	var next func(i int)
 	next = func(i int) {
-		if i >= len(nodes) {
+		if i >= len(seq) {
 			return
 		}
-		to := nodes[i]
+		to := seq[i]
 		d.fab.SendFromSwitch(to, fabric.CtrlMsgBytes, func() {
 			deliver(to, func() { next(i + 1) })
 		})
@@ -468,8 +591,8 @@ func (d *Directory) sendInvalidations(r *Region, p *pending, targets []int, down
 func (d *Directory) handleAck(r *Region, p *pending, info AckInfo) {
 	r.falseInvals += uint64(info.FalseInvals)
 	r.invalsEpoch++
-	d.col.Inc(stats.CtrFlushedPages, uint64(info.FlushedDirty))
-	d.col.Inc(stats.CtrFalseInvals, uint64(info.FalseInvals))
+	d.col.IncH(d.hFlushed, uint64(info.FlushedDirty))
+	d.col.IncH(d.hFalseInv, uint64(info.FalseInvals))
 	if p.notified {
 		// The region was reset mid-transition (§4.4); the requester has
 		// already been told to retry.
@@ -500,28 +623,47 @@ func (d *Directory) handleAck(r *Region, p *pending, info AckInfo) {
 
 // fetchAndDeliver issues the one-sided RDMA read to the home memory blade
 // and forwards the 4 KB response to the requester, rewriting headers
-// (RDMA connection virtualization, §6.3).
+// (RDMA connection virtualization, §6.3). The four hops run on pre-bound
+// continuations carried by the pending.
 func (d *Directory) fetchAndDeliver(r *Region, p *pending) {
 	home, err := d.translate(p.va)
 	if err != nil {
 		d.failPending(r, p, err)
 		return
 	}
-	memN := d.memNode(home)
-	d.fab.SendFromSwitch(memN, fabric.CtrlMsgBytes, func() {
-		// At the memory blade: NIC-only DMA service, no CPU (§6.2).
-		d.eng.Schedule(d.fab.MemDMA(), func() {
-			d.fab.SendToSwitch(memN, fabric.PageBytes, func() {
-				d.fab.SendFromSwitch(d.bladeNode(p.key.blade), fabric.PageBytes, func() {
-					p.dataAtBlade = true
-					if p.needAcks > 0 {
-						return // still waiting on parallel ACKs
-					}
-					d.notifyComplete(r, p)
-				})
-			})
-		})
-	})
+	p.memN = d.memNode(home)
+	d.fab.SendFromSwitchArg(p.memN, fabric.CtrlMsgBytes, pendAtMem, p)
+}
+
+// pendAtMem: the request reached the memory blade — NIC-only DMA
+// service, no CPU (§6.2).
+func pendAtMem(x any) {
+	p := x.(*pending)
+	p.d.eng.ScheduleArg(p.d.fab.MemDMA(), pendDMADone, p)
+}
+
+// pendDMADone: the DMA read finished; the 4 KB response heads back to
+// the switch.
+func pendDMADone(x any) {
+	p := x.(*pending)
+	p.d.fab.SendToSwitchArg(p.memN, fabric.PageBytes, pendAtSwitch, p)
+}
+
+// pendAtSwitch: the response is in the switch; forward it (with header
+// rewrite) to the faulting blade.
+func pendAtSwitch(x any) {
+	p := x.(*pending)
+	p.d.fab.SendFromSwitchArg(p.d.bladeNode(p.key.blade), fabric.PageBytes, pendAtBlade, p)
+}
+
+// pendAtBlade: the page arrived at the requester.
+func pendAtBlade(x any) {
+	p := x.(*pending)
+	p.dataAtBlade = true
+	if p.needAcks > 0 {
+		return // still waiting on parallel ACKs
+	}
+	p.d.notifyComplete(p.region, p)
 }
 
 // notifyComplete finishes the request at the blade and releases the

@@ -60,7 +60,10 @@ func DefaultConfig(id, cachePages int) Config {
 // AccessResult reports a completed remote access with the latency
 // breakdown Figure 7 (right) plots.
 type AccessResult struct {
-	Err        error
+	Err error
+	// Page is the page the fault was for, so pre-bound completion
+	// callbacks need not capture it.
+	Page       mem.VA
 	Total      sim.Duration
 	PgFault    sim.Duration
 	Network    sim.Duration
@@ -94,7 +97,13 @@ type waiter struct {
 	done  func(AccessResult)
 }
 
+// fault is one in-flight page fault. Fault objects are pooled: settle
+// recycles a fault back to its blade's free list once no outstanding
+// callback can still reference it (every issued request has completed and
+// no control-plane reset is in flight). onComplete is bound once per
+// object and survives recycling, so steady-state faults allocate nothing.
 type fault struct {
+	b       *Blade
 	page    mem.VA
 	want    mem.Perm
 	pdid    mem.PDID
@@ -102,8 +111,34 @@ type fault struct {
 	waiters []waiter
 	retries int
 	bounces int // consecutive Retry completions (backoff driver)
+	// timeout is the fault's reusable timer event (engine.Rearm): owned
+	// by this fault object for its whole pooled lifetime.
 	timeout *sim.Event
 	settled bool
+
+	// comp holds the successful completion between the PTE-install
+	// charge being scheduled and the settle that consumes it.
+	comp       coherence.Completion
+	installing bool
+
+	// sends counts SendRequest issues; comps counts completions that
+	// came back (every delivered completion, even superseded ones).
+	// They match exactly when no request is still in flight — the
+	// recycling precondition.
+	sends int
+	comps int
+	// pendingIssues counts scheduled-but-not-yet-fired faultIssue
+	// events (the initial fault-entry delay and Retry-bounce backoffs);
+	// a fault with one in flight must not recycle, or the stale event
+	// would re-issue someone else's fault.
+	pendingIssues int
+	// resetPending marks an outstanding §4.4 control-plane reset whose
+	// callback still references this fault.
+	resetPending bool
+
+	// onComplete is the pre-bound SendRequest completion callback,
+	// allocated once per fault object.
+	onComplete func(coherence.Completion)
 }
 
 type faultKey struct {
@@ -123,6 +158,24 @@ type Blade struct {
 	invHandler *sim.Resource
 	faults     map[faultKey]*fault
 
+	// Free lists for the per-access hot path.
+	faultFree sim.Pool[fault]
+	invFree   sim.Pool[invJob]
+
+	// wbDone is the pre-bound writeback completion for dirty evictions.
+	wbDone func()
+
+	// Pre-resolved stats handles (see stats.Handle).
+	hAccesses    stats.Handle
+	hLocalHits   stats.Handle
+	hEvictions   stats.Handle
+	hWritebacks  stats.Handle
+	hRetransmits stats.Handle
+	hLatPgFault  stats.Handle
+	hLatNetwork  stats.Handle
+	hLatInvQueue stats.Handle
+	hLatInvTLB   stats.Handle
+
 	// WritebackQueueLen tracks in-flight dirty evictions (diagnostics).
 	pendingWritebacks int
 }
@@ -141,7 +194,7 @@ func New(cfg Config, deps Deps) *Blade {
 	if cfg.MaxRetryBackoff == 0 {
 		cfg.MaxRetryBackoff = 320 * sim.Microsecond
 	}
-	return &Blade{
+	b := &Blade{
 		cfg:        cfg,
 		eng:        deps.Engine,
 		col:        deps.Collector,
@@ -149,7 +202,19 @@ func New(cfg Config, deps Deps) *Blade {
 		deps:       deps,
 		invHandler: sim.NewResource(fmt.Sprintf("inv-handler-%d", cfg.ID), 1),
 		faults:     make(map[faultKey]*fault),
+
+		hAccesses:    deps.Collector.Handle(stats.CtrAccesses),
+		hLocalHits:   deps.Collector.Handle(stats.CtrLocalHits),
+		hEvictions:   deps.Collector.Handle(stats.CtrEvictions),
+		hWritebacks:  deps.Collector.Handle(stats.CtrWritebacks),
+		hRetransmits: deps.Collector.Handle(stats.CtrRetransmits),
+		hLatPgFault:  deps.Collector.LatencyHandle(stats.LatPgFault),
+		hLatNetwork:  deps.Collector.LatencyHandle(stats.LatNetwork),
+		hLatInvQueue: deps.Collector.LatencyHandle(stats.LatInvQueue),
+		hLatInvTLB:   deps.Collector.LatencyHandle(stats.LatInvTLB),
 	}
+	b.wbDone = func() { b.pendingWritebacks-- }
+	return b
 }
 
 // ID returns the blade's identity.
@@ -171,15 +236,15 @@ func (b *Blade) WouldHit(va mem.VA, write bool) bool {
 // Otherwise a page fault starts and done fires on completion. done may be
 // nil only when the caller has established the access will hit.
 func (b *Blade) Access(pdid mem.PDID, va mem.VA, write bool, done func(AccessResult)) (hit bool) {
-	b.col.Inc(stats.CtrAccesses, 1)
+	b.col.IncH(b.hAccesses, 1)
 	if p, ok := b.cache.Lookup(va); ok {
 		if !write {
-			b.col.Inc(stats.CtrLocalHits, 1)
+			b.col.IncH(b.hLocalHits, 1)
 			return true
 		}
 		if p.Writable {
 			p.Dirty = true
-			b.col.Inc(stats.CtrLocalHits, 1)
+			b.col.IncH(b.hLocalHits, 1)
 			return true
 		}
 		// Cached read-only, write wanted: coherence upgrade fault (§3.2).
@@ -195,6 +260,23 @@ func (b *Blade) Access(pdid mem.PDID, va mem.VA, write bool, done func(AccessRes
 	return false
 }
 
+// newFault takes a fault from the free list (or allocates one) and
+// initializes it for (page, want).
+func (b *Blade) newFault(pdid mem.PDID, page mem.VA, want mem.Perm) *fault {
+	f := b.faultFree.Get()
+	if f != nil {
+		f.waiters = f.waiters[:0]
+		f.retries, f.bounces, f.sends, f.comps = 0, 0, 0, 0
+		f.settled, f.installing, f.resetPending = false, false, false
+		f.comp = coherence.Completion{}
+	} else {
+		f = &fault{b: b}
+		f.onComplete = func(c coherence.Completion) { f.b.onCompletion(f, c) }
+	}
+	f.page, f.want, f.pdid, f.start = page, want, pdid, b.eng.Now()
+	return f
+}
+
 // startFault begins or joins a page fault for (page, want).
 func (b *Blade) startFault(pdid mem.PDID, page mem.VA, want mem.Perm, done func(AccessResult)) {
 	key := faultKey{page: page, want: want}
@@ -203,21 +285,53 @@ func (b *Blade) startFault(pdid mem.PDID, page mem.VA, want mem.Perm, done func(
 		f.waiters = append(f.waiters, waiter{start: b.eng.Now(), done: done})
 		return
 	}
-	f := &fault{page: page, want: want, pdid: pdid, start: b.eng.Now()}
-	f.waiters = []waiter{{start: f.start, done: done}}
+	f := b.newFault(pdid, page, want)
+	f.waiters = append(f.waiters, waiter{start: f.start, done: done})
 	b.faults[key] = f
 	// Kernel fault entry, then the request goes out.
-	b.eng.Schedule(b.cfg.PageFaultCost, func() { b.issue(f) })
+	f.pendingIssues++
+	b.eng.ScheduleArg(b.cfg.PageFaultCost, faultIssue, f)
+}
+
+// Pre-bound fault continuations (package-level so scheduling them never
+// allocates; the fault itself is the bound argument).
+func faultIssue(x any) {
+	f := x.(*fault)
+	f.pendingIssues--
+	f.b.issue(f)
+}
+func faultTimeout(x any) { f := x.(*fault); f.b.onTimeout(f) }
+func faultInstall(x any) { f := x.(*fault); f.b.install(f) }
+
+// maybeRecycle returns a settled, fully quiescent fault to the pool: no
+// outstanding completion, reset callback, or queued reissue event may
+// still reference it. Called from settle and from every late callback
+// that could be the last reference to drain.
+func (b *Blade) maybeRecycle(f *fault) {
+	if f.settled && f.sends == f.comps && !f.resetPending && f.pendingIssues == 0 {
+		f.comp = coherence.Completion{}
+		// Drop the waiter callbacks now, not at next reuse: a pooled
+		// fault must not pin the last access's completion closures.
+		for i := range f.waiters {
+			f.waiters[i] = waiter{}
+		}
+		f.waiters = f.waiters[:0]
+		b.faultFree.Put(f)
+	}
 }
 
 func (b *Blade) issue(f *fault) {
 	if f.settled {
+		b.maybeRecycle(f)
 		return
 	}
-	f.timeout = b.eng.Schedule(b.cfg.FaultTimeout, func() { b.onTimeout(f) })
-	b.deps.SendRequest(f.pdid, f.page, f.want, func(c coherence.Completion) {
-		b.onCompletion(f, c)
-	})
+	// Back-to-back reissues can find the timer still pending (two Retry
+	// completions — original plus retransmission — each queue a reissue
+	// with no completion in between); the newest issue owns the timeout.
+	b.eng.Cancel(f.timeout)
+	f.timeout = b.eng.Rearm(f.timeout, b.cfg.FaultTimeout, faultTimeout, f)
+	f.sends++
+	b.deps.SendRequest(f.pdid, f.page, f.want, f.onComplete)
 }
 
 func (b *Blade) onTimeout(f *fault) {
@@ -226,14 +340,17 @@ func (b *Blade) onTimeout(f *fault) {
 	}
 	f.retries++
 	if f.retries <= b.cfg.MaxRetries {
-		b.col.Inc(stats.CtrRetransmits, 1)
+		b.col.IncH(b.hRetransmits, 1)
 		b.issue(f)
 		return
 	}
 	// Retransmissions exhausted: reset the address at the control plane
 	// (§4.4), then retry once from scratch.
+	f.resetPending = true
 	b.deps.Reset(f.page, func() {
+		f.resetPending = false
 		if f.settled {
+			b.maybeRecycle(f)
 			return
 		}
 		f.retries = 0
@@ -242,13 +359,17 @@ func (b *Blade) onTimeout(f *fault) {
 }
 
 func (b *Blade) onCompletion(f *fault, c coherence.Completion) {
-	if f.settled {
+	f.comps++
+	if f.settled || f.installing {
+		// A duplicate completion (the answer to a retransmission that
+		// raced the original response): the first one wins. This may be
+		// the last outstanding reference — try to recycle.
+		b.maybeRecycle(f)
 		return
 	}
-	if f.timeout != nil {
-		b.eng.Cancel(f.timeout)
-		f.timeout = nil
-	}
+	// State-guarded cancel; the timer object stays with the fault for
+	// reuse by the next issue.
+	b.eng.Cancel(f.timeout)
 	if c.Retry {
 		// Region reset mid-flight, or the area is frozen for migration
 		// (§4.4): reissue after a fresh fault cost plus exponential
@@ -266,7 +387,8 @@ func (b *Blade) onCompletion(f *fault, c coherence.Completion) {
 			}
 			delay += backoff
 		}
-		b.eng.Schedule(delay, func() { b.issue(f) })
+		f.pendingIssues++
+		b.eng.ScheduleArg(delay, faultIssue, f)
 		return
 	}
 	if c.Err != nil {
@@ -286,38 +408,51 @@ func (b *Blade) onCompletion(f *fault, c coherence.Completion) {
 	if f.want == mem.PermReadWrite {
 		p.Dirty = true
 	}
-	b.eng.Schedule(b.cfg.PTEInstall, func() {
-		total := b.eng.Now().Sub(f.start)
-		pg := b.cfg.PageFaultCost + b.cfg.PTEInstall
-		net := total - pg - c.InvQueue - c.InvTLB
-		if net < 0 {
-			net = 0
-		}
-		b.col.AddLatency(stats.LatPgFault, pg)
-		b.col.AddLatency(stats.LatNetwork, net)
-		b.col.AddLatency(stats.LatInvQueue, c.InvQueue)
-		b.col.AddLatency(stats.LatInvTLB, c.InvTLB)
-		b.settle(f, AccessResult{
-			Total:      total,
-			PgFault:    pg,
-			Network:    net,
-			InvQueue:   c.InvQueue,
-			InvTLB:     c.InvTLB,
-			Transition: c.Transition,
-			Retries:    f.retries,
-		})
+	f.comp = c
+	f.installing = true
+	b.eng.ScheduleArg(b.cfg.PTEInstall, faultInstall, f)
+}
+
+// install finishes a successful fault after the PTE population charge.
+func (b *Blade) install(f *fault) {
+	c := f.comp
+	total := b.eng.Now().Sub(f.start)
+	pg := b.cfg.PageFaultCost + b.cfg.PTEInstall
+	net := total - pg - c.InvQueue - c.InvTLB
+	if net < 0 {
+		net = 0
+	}
+	b.col.AddLatencyH(b.hLatPgFault, pg)
+	b.col.AddLatencyH(b.hLatNetwork, net)
+	b.col.AddLatencyH(b.hLatInvQueue, c.InvQueue)
+	b.col.AddLatencyH(b.hLatInvTLB, c.InvTLB)
+	b.settle(f, AccessResult{
+		Total:      total,
+		PgFault:    pg,
+		Network:    net,
+		InvQueue:   c.InvQueue,
+		InvTLB:     c.InvTLB,
+		Transition: c.Transition,
+		Retries:    f.retries,
 	})
 }
 
 func (b *Blade) settle(f *fault, r AccessResult) {
 	f.settled = true
+	// Defensive: a recycled fault must never have a live timer pointing
+	// at it (Cancel is a no-op unless the timer is pending).
+	b.eng.Cancel(f.timeout)
 	delete(b.faults, faultKey{page: f.page, want: f.want})
 	now := b.eng.Now()
+	r.Page = f.page
 	for _, w := range f.waiters {
 		res := r
 		res.Total = now.Sub(w.start)
 		w.done(res)
 	}
+	// Faults whose requests were lost in the fabric stay un-recycled
+	// (garbage-collected); everything quiescent returns to the pool.
+	b.maybeRecycle(f)
 }
 
 // evictOne removes the LRU page, writing it back first if dirty.
@@ -328,17 +463,40 @@ func (b *Blade) evictOne() {
 	if victim == nil {
 		return
 	}
-	b.col.Inc(stats.CtrEvictions, 1)
+	b.col.IncH(b.hEvictions, 1)
 	if victim.Dirty {
-		b.col.Inc(stats.CtrWritebacks, 1)
+		b.col.IncH(b.hWritebacks, 1)
 		b.pendingWritebacks++
-		data := victim.Data
-		b.deps.Writeback(victim.VA, data, func() { b.pendingWritebacks-- })
+		b.deps.Writeback(victim.VA, victim.Data, b.wbDone)
 	}
 }
 
 // PendingWritebacks returns in-flight dirty evictions (diagnostics).
 func (b *Blade) PendingWritebacks() int { return b.pendingWritebacks }
+
+// invJob carries one invalidation through the blade's serial handler.
+// Jobs are pooled; finish is bound once per job object.
+type invJob struct {
+	b          *Blade
+	inv        coherence.Invalidation
+	queueDelay sim.Duration
+	ack        func(coherence.AckInfo)
+	info       coherence.AckInfo
+	pteChanged bool
+	// finish runs after the dirty flushes (if any) land; it charges the
+	// TLB shootdown and delivers the ACK.
+	finish func()
+}
+
+func invProcess(x any) { j := x.(*invJob); j.b.processInvalidation(j) }
+func invAck(x any) {
+	j := x.(*invJob)
+	j.b.finishInv(j)
+}
+
+// nopDone is the shared no-op writeback completion for invalidation
+// flushes (the barrier writeback tracks the last of them).
+func nopDone() {}
 
 // HandleInvalidation implements coherence.BladePort: the switch delivered
 // an invalidation for a region. The serial kernel handler queues requests
@@ -347,64 +505,73 @@ func (b *Blade) PendingWritebacks() int { return b.pendingWritebacks }
 func (b *Blade) HandleInvalidation(inv coherence.Invalidation, ack func(coherence.AckInfo)) {
 	arrive := b.eng.Now()
 	start, end := b.invHandler.Reserve(arrive, b.cfg.InvHandlerService)
-	queueDelay := start.Sub(arrive)
-	b.eng.At(end, func() { b.processInvalidation(inv, queueDelay, ack) })
+	j := b.invFree.Get()
+	if j == nil {
+		j = &invJob{b: b}
+		j.finish = func() {
+			if j.pteChanged {
+				j.info.TLBTime = j.b.cfg.TLBShootdown
+				j.b.eng.ScheduleArg(j.b.cfg.TLBShootdown, invAck, j)
+				return
+			}
+			j.b.finishInv(j)
+		}
+	}
+	j.inv, j.queueDelay, j.ack = inv, start.Sub(arrive), ack
+	j.info = coherence.AckInfo{}
+	j.pteChanged = false
+	b.eng.AtArg(end, invProcess, j)
 }
 
-func (b *Blade) processInvalidation(inv coherence.Invalidation, queueDelay sim.Duration, ack func(coherence.AckInfo)) {
+func (b *Blade) processInvalidation(j *invJob) {
+	inv := j.inv
 	pages := b.cache.PagesIn(inv.Region.Base, inv.Region.Size)
-	info := coherence.AckInfo{Blade: b.cfg.ID, QueueDelay: queueDelay}
+	j.info = coherence.AckInfo{Blade: b.cfg.ID, QueueDelay: j.queueDelay}
 
 	var flushes int
-	pteChanged := false
 	for _, p := range pages {
 		if p.Dirty {
-			info.FlushedDirty++
+			j.info.FlushedDirty++
 			if p.VA != inv.Requested {
-				info.FalseInvals++
+				j.info.FalseInvals++
 			}
 			flushes++
-			data := p.Data
-			va := p.VA
-			b.deps.Writeback(va, data, func() {})
+			b.deps.Writeback(p.VA, p.Data, nopDone)
 			p.Dirty = false
 		}
 		if inv.Downgrade && !inv.Reset {
 			// M→S: keep the copy read-only.
 			if p.Writable {
 				p.Writable = false
-				pteChanged = true
+				j.pteChanged = true
 			}
 		} else {
 			// Full invalidation or reset: drop the mapping.
 			b.cache.Remove(p.VA)
-			info.Dropped++
-			pteChanged = true
+			j.info.Dropped++
+			j.pteChanged = true
 		}
-	}
-	finish := func() {
-		if pteChanged {
-			info.TLBTime = b.cfg.TLBShootdown
-			b.eng.Schedule(b.cfg.TLBShootdown, func() { ack(info) })
-			return
-		}
-		ack(info)
 	}
 	if flushes > 0 {
 		// The ACK must not leave before the flushed data is safely at the
 		// memory blade; approximate the last flush landing with one
 		// writeback round per dirty page through the blade's NIC. The
 		// Writeback hook already booked NIC occupancy; here we wait for
-		// the slowest flush via a completion barrier.
-		b.flushBarrier(pages, inv, finish)
+		// the slowest flush via a completion barrier: one extra zero-byte
+		// writeback that serializes after them on the same NIC.
+		b.deps.Writeback(inv.Requested, nil, j.finish)
 		return
 	}
-	finish()
+	j.finish()
 }
 
-// flushBarrier waits until all dirty-page writebacks issued for this
-// invalidation have landed. Implemented by issuing one extra zero-byte
-// barrier writeback that serializes after them on the same NIC.
-func (b *Blade) flushBarrier(pages []*PageState, inv coherence.Invalidation, done func()) {
-	b.deps.Writeback(inv.Requested, nil, done)
+// finishInv delivers the ACK and recycles the job. The ack callback is
+// called exactly once per invalidation (the BladePort contract), so after
+// it returns nothing references the job.
+func (b *Blade) finishInv(j *invJob) {
+	ack, info := j.ack, j.info
+	j.ack = nil
+	j.inv = coherence.Invalidation{}
+	b.invFree.Put(j)
+	ack(info)
 }

@@ -280,3 +280,120 @@ func TestAccessMissWithNilCallbackPanics(t *testing.T) {
 	}()
 	b.Access(1, 0x9999, false, nil)
 }
+
+// TestFaultPoolDuplicateCompletion pins the fault-pool safety rule: when
+// a retransmitted request produces a second completion, the fault must
+// not recycle until both completions have landed, and the duplicate must
+// be ignored — no double settle, no corrupted reuse.
+func TestFaultPoolDuplicateCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	col := stats.NewCollector()
+	cfg := DefaultConfig(0, 8)
+	cfg.FaultTimeout = 100 * sim.Microsecond
+	cfg.MaxRetries = 2
+	// A switch that answers EVERY request it sees, but the first answer
+	// arrives only after the blade has timed out and retransmitted — so
+	// the blade receives two completions for one fault.
+	var b *Blade
+	answers := 0
+	deps := Deps{
+		Engine:    eng,
+		Collector: col,
+		SendRequest: func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion)) {
+			answers++
+			delay := 10 * sim.Microsecond
+			if answers == 1 {
+				delay = 150 * sim.Microsecond // past FaultTimeout
+			}
+			eng.Schedule(delay, func() {
+				done(coherence.Completion{Writable: true, Transition: "I->M"})
+			})
+		},
+		Writeback: func(va mem.VA, data []byte, done func()) { eng.Schedule(1, done) },
+		FetchData: func(va mem.VA) []byte { return nil },
+		Reset:     func(va mem.VA, done func()) { eng.Schedule(1, done) },
+	}
+	b = New(cfg, deps)
+	completions := 0
+	if hit := b.Access(1, 0x4000, true, func(r AccessResult) {
+		completions++
+		if r.Err != nil {
+			t.Errorf("fault failed: %v", r.Err)
+		}
+	}); hit {
+		t.Fatal("cold access hit")
+	}
+	eng.Run()
+	if answers != 2 {
+		t.Fatalf("switch answered %d requests, want 2 (original + retransmission)", answers)
+	}
+	if completions != 1 {
+		t.Fatalf("waiter completed %d times, want exactly 1", completions)
+	}
+	if got := col.Counter(stats.CtrRetransmits); got != 1 {
+		t.Errorf("retransmits = %d, want 1", got)
+	}
+	// With both completions consumed, the fault must now be recycled and
+	// reusable without corrupting the previous outcome.
+	if b.faultFree.Len() != 1 {
+		t.Fatalf("fault pool holds %d, want 1 (recycle deferred until the duplicate landed)", b.faultFree.Len())
+	}
+	done2 := false
+	if hit := b.Access(1, 0x8000, false, func(r AccessResult) { done2 = true }); hit {
+		t.Fatal("second cold access hit")
+	}
+	eng.Run()
+	if !done2 {
+		t.Fatal("recycled fault did not complete a fresh access")
+	}
+}
+
+// TestFaultDoubleRetryReissue pins the stacked-reissue interleaving: when
+// a timed-out fault's original AND retransmitted requests both bounce
+// with Retry (e.g. the region is frozen for a migration drain), two
+// reissue events queue back to back with no completion in between. The
+// second must not trip over the first's re-armed timeout timer.
+func TestFaultDoubleRetryReissue(t *testing.T) {
+	eng := sim.NewEngine()
+	col := stats.NewCollector()
+	cfg := DefaultConfig(0, 8)
+	cfg.FaultTimeout = 100 * sim.Microsecond
+	cfg.MaxRetries = 3
+	answers := 0
+	deps := Deps{
+		Engine:    eng,
+		Collector: col,
+		SendRequest: func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion)) {
+			answers++
+			switch answers {
+			case 1:
+				// The original's Retry arrives only after the blade has
+				// retransmitted...
+				eng.Schedule(110*sim.Microsecond, func() { done(coherence.Completion{Retry: true}) })
+			case 2:
+				// ...and the retransmission's Retry lands right behind it,
+				// inside the first reissue's PageFaultCost window.
+				eng.Schedule(10*sim.Microsecond+200*sim.Nanosecond, func() { done(coherence.Completion{Retry: true}) })
+			default:
+				eng.Schedule(50*sim.Microsecond, func() { done(coherence.Completion{Writable: true, Transition: "I->S"}) })
+			}
+		},
+		Writeback: func(va mem.VA, data []byte, done func()) { eng.Schedule(1, done) },
+		FetchData: func(va mem.VA) []byte { return nil },
+		Reset:     func(va mem.VA, done func()) { eng.Schedule(1, done) },
+	}
+	b := New(cfg, deps)
+	completed := false
+	if hit := b.Access(1, 0xA000, false, func(r AccessResult) {
+		completed = true
+		if r.Err != nil {
+			t.Errorf("fault failed: %v", r.Err)
+		}
+	}); hit {
+		t.Fatal("cold access hit")
+	}
+	eng.Run() // must not panic ("Rearm of a pending event")
+	if !completed {
+		t.Fatal("fault never completed after double Retry")
+	}
+}

@@ -7,21 +7,25 @@
 package computeblade
 
 import (
-	"container/list"
 	"fmt"
 
 	"mind/internal/mem"
 	"mind/internal/sim"
 )
 
-// PageState describes one locally cached page.
+// PageState describes one locally cached page. Page records are pooled:
+// evicted/invalidated pages return to the cache's free list and are
+// reinitialized on the next insert, so steady-state cache churn does not
+// allocate. Callers must treat a PageState as invalid once the page has
+// been evicted or removed.
 type PageState struct {
 	VA       mem.VA
 	Dirty    bool
 	Writable bool
 	Data     []byte // nil until real bytes are stored (lazy materialization)
 
-	lru *list.Element
+	// Intrusive LRU ring links (sentinel-based; see Cache.head).
+	prev, next *PageState
 }
 
 // Cache is the compute blade's local DRAM page cache: virtually addressed
@@ -30,7 +34,12 @@ type PageState struct {
 type Cache struct {
 	capacity int // pages
 	pages    map[mem.VA]*PageState
-	lru      *list.List // front = most recent
+	// head is the LRU ring sentinel: head.next is most recent, head.prev
+	// least recent.
+	head PageState
+
+	free    sim.Pool[PageState]
+	scratch []*PageState // PagesIn result buffer, reused per call
 
 	hits   uint64
 	misses uint64
@@ -41,7 +50,25 @@ func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		panic("computeblade: cache needs at least one page")
 	}
-	return &Cache{capacity: capacity, pages: make(map[mem.VA]*PageState), lru: list.New()}
+	c := &Cache{capacity: capacity, pages: make(map[mem.VA]*PageState)}
+	c.head.prev = &c.head
+	c.head.next = &c.head
+	return c
+}
+
+// unlink removes p from the LRU ring.
+func (c *Cache) unlink(p *PageState) {
+	p.prev.next = p.next
+	p.next.prev = p.prev
+	p.prev, p.next = nil, nil
+}
+
+// pushFront makes p the most-recently-used entry.
+func (c *Cache) pushFront(p *PageState) {
+	p.prev = &c.head
+	p.next = c.head.next
+	p.prev.next = p
+	p.next.prev = p
 }
 
 // Capacity returns the page capacity.
@@ -64,7 +91,10 @@ func (c *Cache) Lookup(va mem.VA) (*PageState, bool) {
 		return nil, false
 	}
 	c.hits++
-	c.lru.MoveToFront(p.lru)
+	if c.head.next != p {
+		c.unlink(p)
+		c.pushFront(p)
+	}
 	return p, true
 }
 
@@ -80,14 +110,25 @@ func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
 	base := mem.PageBase(va)
 	if p, ok := c.pages[base]; ok {
 		p.Writable = writable
-		c.lru.MoveToFront(p.lru)
+		if c.head.next != p {
+			c.unlink(p)
+			c.pushFront(p)
+		}
 		return p
 	}
 	if len(c.pages) >= c.capacity {
 		panic(fmt.Sprintf("computeblade: insert over capacity (%d)", c.capacity))
 	}
-	p := &PageState{VA: base, Writable: writable}
-	p.lru = c.lru.PushFront(p)
+	p := c.free.Get()
+	if p != nil {
+		// Reinitialize fully: stale Data from the page's previous
+		// identity must not leak into the new one.
+		p.Dirty, p.Data = false, nil
+	} else {
+		p = &PageState{}
+	}
+	p.VA, p.Writable = base, writable
+	c.pushFront(p)
 	c.pages[base] = p
 	return p
 }
@@ -96,13 +137,13 @@ func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
 func (c *Cache) NeedsEviction() bool { return len(c.pages) >= c.capacity }
 
 // EvictLRU removes and returns the least-recently-used page. Returns nil
-// if the cache is empty.
+// if the cache is empty. The returned record is recycled on the next
+// insert: the caller must finish with it before inserting.
 func (c *Cache) EvictLRU() *PageState {
-	back := c.lru.Back()
-	if back == nil {
+	if c.head.prev == &c.head {
 		return nil
 	}
-	p := back.Value.(*PageState)
+	p := c.head.prev
 	c.remove(p)
 	return p
 }
@@ -119,14 +160,17 @@ func (c *Cache) Remove(va mem.VA) bool {
 }
 
 func (c *Cache) remove(p *PageState) {
-	c.lru.Remove(p.lru)
+	c.unlink(p)
 	delete(c.pages, p.VA)
+	c.free.Put(p)
 }
 
 // PagesIn returns the cached pages whose addresses fall in [base,
 // base+size), in unspecified order — the invalidation handler's scan.
+// The returned slice is a scratch buffer owned by the cache, valid until
+// the next PagesIn call.
 func (c *Cache) PagesIn(base mem.VA, size uint64) []*PageState {
-	var out []*PageState
+	out := c.scratch[:0]
 	end := base + mem.VA(size)
 	// Scan-by-page when the range is small relative to occupancy,
 	// otherwise scan the map.
@@ -137,13 +181,14 @@ func (c *Cache) PagesIn(base mem.VA, size uint64) []*PageState {
 				out = append(out, p)
 			}
 		}
-		return out
-	}
-	for _, p := range c.pages {
-		if p.VA >= base && p.VA < end {
-			out = append(out, p)
+	} else {
+		for _, p := range c.pages {
+			if p.VA >= base && p.VA < end {
+				out = append(out, p)
+			}
 		}
 	}
+	c.scratch = out
 	return out
 }
 

@@ -35,6 +35,85 @@ type Cluster struct {
 	threads       []*Thread
 	activeThreads int
 	epochTick     *sim.Event
+
+	// Free lists for the pooled fabric-glue jobs (single-threaded
+	// engine context).
+	reqFree sim.Pool[reqJob]
+	wbFree  sim.Pool[wbJob]
+
+	hLostWrites stats.Handle
+}
+
+// reqJob carries one page-fault request blade -> switch; jobs are pooled
+// and recycled as soon as the request is handed to the directory.
+type reqJob struct {
+	c     *Cluster
+	blade int
+	pdid  mem.PDID
+	va    mem.VA
+	want  mem.Perm
+	done  func(coherence.Completion)
+}
+
+// reqAtSwitch runs when the fault request finishes ingress processing.
+func reqAtSwitch(x any) {
+	j := x.(*reqJob)
+	c, blade, pdid, va, want, done := j.c, j.blade, j.pdid, j.va, j.want, j.done
+	j.done = nil
+	c.reqFree.Put(j)
+	c.dir.RequestPage(blade, pdid, va, want, done)
+}
+
+// wbJob carries one page writeback blade -> switch -> memory blade.
+type wbJob struct {
+	c    *Cluster
+	va   mem.VA
+	data []byte
+	home fabric.NodeID
+	done func()
+}
+
+// wbAtSwitch runs when the writeback reaches the switch: translate and
+// forward to the home memory blade (or account a lost write).
+func wbAtSwitch(x any) {
+	j := x.(*wbJob)
+	c := j.c
+	home, err := c.ctl.Allocator().Translate(j.va)
+	if err != nil {
+		c.freeWB(j, true) // unmapped (racing munmap); drop
+		return
+	}
+	if c.mblades[int(home)].Dead() {
+		// One-sided write to a failed blade: the NIC's reliable
+		// connection errors out after the send attempt. The data is
+		// lost, but the completion (with error) still fires — flush
+		// barriers must not wedge on a dead target (§4.4).
+		c.col.IncH(c.hLostWrites, 1)
+		done := j.done
+		c.freeWB(j, false)
+		c.eng.ScheduleArg(c.fab.OneWayBase(fabric.PageBytes), sim.CallFunc, done)
+		return
+	}
+	j.home = fabric.NodeID(home)
+	c.fab.SendFromSwitchArg(memNodeBase+j.home, fabric.PageBytes, wbLanded, j)
+}
+
+// wbLanded runs at the memory blade: persist the page and complete.
+func wbLanded(x any) {
+	j := x.(*wbJob)
+	c, va, data, home, done := j.c, j.va, j.data, j.home, j.done
+	c.freeWB(j, false)
+	c.mblades[int(home)].WritePage(va, data)
+	done()
+}
+
+func (c *Cluster) freeWB(j *wbJob, callDone bool) {
+	done := j.done
+	j.done, j.data = nil, nil
+	c.wbFree.Put(j)
+	if callDone {
+		done()
+	}
 }
 
 // NewCluster builds and wires a rack.
@@ -72,6 +151,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		eng: sim.NewEngine(),
 		col: stats.NewCollector(),
 	}
+	c.hLostWrites = c.col.Handle(stats.CtrLostWrites)
 	c.fab = fabric.New(c.eng, cfg.Fabric)
 	c.ctl = ctrlplane.NewController(asicCfg, cfg.Placement, cfg.ComputeBlades)
 
@@ -114,9 +194,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Collector: c.col,
 			SendRequest: func(i int) func(mem.PDID, mem.VA, mem.Perm, func(coherence.Completion)) {
 				return func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion)) {
-					c.fab.SendToSwitch(fabric.NodeID(i), fabric.CtrlMsgBytes, func() {
-						c.dir.RequestPage(i, pdid, va, want, done)
-					})
+					j := c.newReqJob()
+					j.blade, j.pdid, j.va, j.want, j.done = i, pdid, va, want, done
+					c.fab.SendToSwitchArg(fabric.NodeID(i), fabric.CtrlMsgBytes, reqAtSwitch, j)
 				}
 			}(i),
 			Writeback: func(i int) func(mem.VA, []byte, func()) {
@@ -170,29 +250,23 @@ func (c *Cluster) StopEpochs() {
 	}
 }
 
+// newReqJob takes a request job from the free list (or allocates one).
+func (c *Cluster) newReqJob() *reqJob {
+	if j := c.reqFree.Get(); j != nil {
+		return j
+	}
+	return &reqJob{c: c}
+}
+
 // writeback models a one-sided RDMA page write from a blade to the home
 // memory blade, via the switch.
 func (c *Cluster) writeback(from fabric.NodeID, va mem.VA, data []byte, done func()) {
-	c.fab.SendToSwitch(from, fabric.PageBytes, func() {
-		home, err := c.ctl.Allocator().Translate(va)
-		if err != nil {
-			done() // unmapped (racing munmap); drop
-			return
-		}
-		if c.mblades[int(home)].Dead() {
-			// One-sided write to a failed blade: the NIC's reliable
-			// connection errors out after the send attempt. The data is
-			// lost, but the completion (with error) still fires — flush
-			// barriers must not wedge on a dead target (§4.4).
-			c.col.Inc(stats.CtrLostWrites, 1)
-			c.eng.Schedule(c.fab.OneWayBase(fabric.PageBytes), done)
-			return
-		}
-		c.fab.SendFromSwitch(memNodeBase+fabric.NodeID(home), fabric.PageBytes, func() {
-			c.mblades[int(home)].WritePage(va, data)
-			done()
-		})
-	})
+	j := c.wbFree.Get()
+	if j == nil {
+		j = &wbJob{c: c}
+	}
+	j.va, j.data, j.done = va, data, done
+	c.fab.SendToSwitchArg(from, fabric.PageBytes, wbAtSwitch, j)
 }
 
 // fetchData copies page bytes from the home memory blade at the simulated

@@ -35,6 +35,27 @@ type Thread struct {
 	blockedOn     mem.VA // page whose drain unblocks us (0 = any slot)
 	resumeOnDrain bool
 	stash         stashed
+
+	// Deferred blocking issue: step parks the faulting access here and
+	// schedules threadIssue after the accrued local time, instead of
+	// minting a closure per fault.
+	issueVA    mem.VA
+	issueWrite bool
+
+	// Pre-bound completion callbacks, created once in Start: blockDone
+	// resumes the main loop after a blocking fault; asyncDone drains a
+	// PSO write (the page comes back in AccessResult.Page).
+	blockDone func(accessResultAlias)
+	asyncDone func(accessResultAlias)
+}
+
+// Pre-bound thread continuations: scheduling them allocates neither a
+// closure nor (steady-state) an event.
+func threadStep(x any)   { x.(*Thread).step() }
+func threadFinish(x any) { x.(*Thread).finish() }
+func threadIssue(x any) {
+	t := x.(*Thread)
+	t.issueBlocking(t.issueVA, t.issueWrite)
 }
 
 // stashed is an access deferred by a PSO stall.
@@ -75,8 +96,13 @@ func (t *Thread) Start(gen AccessGen, onFinish func()) {
 	if t.c.cfg.Consistency != TSO {
 		t.pendingWrites = make(map[mem.VA]int)
 	}
+	t.blockDone = func(accessResultAlias) {
+		t.ops++
+		t.c.eng.ScheduleArg(0, threadStep, t)
+	}
+	t.asyncDone = func(r accessResultAlias) { t.writeDrained(r.Page) }
 	t.c.activeThreads++
-	t.c.eng.Schedule(0, t.step)
+	t.c.eng.ScheduleArg(0, threadStep, t)
 }
 
 func (t *Thread) finish() {
@@ -99,7 +125,7 @@ func (t *Thread) step() {
 	for i := 0; i < inlineBatch && local < yieldQuantum; i++ {
 		va, write, ok := t.gen()
 		if !ok {
-			t.c.eng.Schedule(local, t.finish)
+			t.c.eng.ScheduleArg(local, threadFinish, t)
 			return
 		}
 		local += t.c.cfg.ThinkTime
@@ -135,28 +161,25 @@ func (t *Thread) step() {
 
 		// Blocking fault, issued after accrued local time.
 		if local > 0 {
-			va, write := va, write
-			t.c.eng.Schedule(local, func() { t.issueBlocking(va, write) })
+			t.issueVA, t.issueWrite = va, write
+			t.c.eng.ScheduleArg(local, threadIssue, t)
 			return
 		}
 		t.issueBlocking(va, write)
 		return
 	}
-	t.c.eng.Schedule(local, t.step)
+	t.c.eng.ScheduleArg(local, threadStep, t)
 }
 
 // issueBlocking performs a fault the thread waits on (TSO accesses, PSO
 // reads).
 func (t *Thread) issueBlocking(va mem.VA, write bool) {
 	blade := t.c.cblades[t.blade]
-	hit := blade.Access(t.pdid, va, write, func(r accessResultAlias) {
-		t.ops++
-		t.c.eng.Schedule(0, t.step)
-	})
+	hit := blade.Access(t.pdid, va, write, t.blockDone)
 	if hit {
 		// Raced with a concurrent fault that installed the page.
 		t.ops++
-		t.c.eng.Schedule(0, t.step)
+		t.c.eng.ScheduleArg(0, threadStep, t)
 		return
 	}
 	t.faults++
@@ -166,9 +189,7 @@ func (t *Thread) issueBlocking(va mem.VA, write bool) {
 func (t *Thread) issueAsyncWrite(va mem.VA) {
 	blade := t.c.cblades[t.blade]
 	page := mem.PageBase(va)
-	hit := blade.Access(t.pdid, va, true, func(r accessResultAlias) {
-		t.writeDrained(page)
-	})
+	hit := blade.Access(t.pdid, va, true, t.asyncDone)
 	t.ops++
 	if !hit {
 		t.faults++
@@ -201,7 +222,7 @@ func (t *Thread) writeDrained(page mem.VA) {
 	st := t.stash
 	t.stash = stashed{}
 	if !st.valid {
-		t.c.eng.Schedule(0, t.step)
+		t.c.eng.ScheduleArg(0, threadStep, t)
 		return
 	}
 	t.replay(st)
@@ -213,12 +234,12 @@ func (t *Thread) replay(st stashed) {
 	if blade.WouldHit(st.va, st.write) {
 		blade.Access(t.pdid, st.va, st.write, nil)
 		t.ops++
-		t.c.eng.Schedule(computeblade.HitLatency, t.step)
+		t.c.eng.ScheduleArg(computeblade.HitLatency, threadStep, t)
 		return
 	}
 	if st.write && t.pendingWrites != nil {
 		t.issueAsyncWrite(st.va)
-		t.c.eng.Schedule(0, t.step)
+		t.c.eng.ScheduleArg(0, threadStep, t)
 		return
 	}
 	t.issueBlocking(st.va, st.write)

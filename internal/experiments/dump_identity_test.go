@@ -1,0 +1,114 @@
+package experiments
+
+// Refactor identity tool: dumps a per-panel sha256 of every Fig 5-10
+// panel at Tiny scale, so behavior-preserving refactors can be verified
+// bit-exact (dump before, dump after, diff). Skipped unless DUMP_PANELS
+// names an output file:
+//
+//	DUMP_PANELS=/tmp/panels_pre.txt go test -run TestDumpAllPanels ./internal/experiments
+//	... refactor ...
+//	DUMP_PANELS=/tmp/panels_post.txt go test -run TestDumpAllPanels ./internal/experiments
+//	diff /tmp/panels_pre.txt /tmp/panels_post.txt
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+)
+
+func TestDumpAllPanels(t *testing.T) {
+	out := os.Getenv("DUMP_PANELS")
+	if out == "" {
+		t.Skip("set DUMP_PANELS=<file> to dump panel hashes")
+	}
+	s := Tiny
+	var lines []string
+	one := func(name string, f *Figure, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h := sha256.New()
+		hashFig(h, f)
+		lines = append(lines, fmt.Sprintf("%s %x", name, h.Sum(nil)))
+	}
+	many := func(name string, figs map[string]*Figure, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		keys := make([]string, 0, len(figs))
+		for k := range figs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := sha256.New()
+			hashFig(h, figs[k])
+			lines = append(lines, fmt.Sprintf("%s/%s %x", name, k, h.Sum(nil)))
+		}
+	}
+
+	{
+		figs, err := Fig5Left(s)
+		many("fig5l", figs, err)
+	}
+	{
+		figs, err := Fig5Center(s)
+		many("fig5c", figs, err)
+	}
+	{
+		figs, err := Fig5Right(s)
+		many("fig5r", figs, err)
+	}
+	{
+		figs, err := Fig6(s)
+		many("fig6", figs, err)
+	}
+	{
+		f, err := Fig7Left(s)
+		one("fig7l", f, err)
+	}
+	{
+		f, err := Fig7Center(s)
+		one("fig7c", f, err)
+	}
+	{
+		f, err := Fig7Right(s)
+		one("fig7r", f, err)
+	}
+	{
+		figs, err := Fig8Left(s)
+		many("fig8l", figs, err)
+	}
+	{
+		f, err := Fig8Center(s)
+		one("fig8c", f, err)
+	}
+	{
+		f, err := Fig8Right(s)
+		one("fig8r", f, err)
+	}
+	{
+		figs, err := Fig9Left(s)
+		many("fig9l", figs, err)
+	}
+	{
+		figs, err := Fig9Right(s)
+		many("fig9r", figs, err)
+	}
+	{
+		f, err := Fig10(s)
+		one("fig10", f, err)
+	}
+
+	sort.Strings(lines)
+	data := ""
+	for _, l := range lines {
+		data += l + "\n"
+	}
+	if err := os.WriteFile(out, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d panel hashes to %s", len(lines), out)
+}

@@ -102,8 +102,33 @@ type Fabric struct {
 
 	// Delivered counts successful end-point deliveries; Dropped counts
 	// injected losses (DropFn hits plus messages to dead nodes).
+	// Delivered is incremented when a delivery commits (the drop
+	// decision is made at send time), so it may run ahead of the
+	// delivery callbacks by the messages currently in flight.
 	Delivered uint64
 	Dropped   uint64
+
+	// mcFree recycles the per-copy delivery records of
+	// MulticastFromSwitchArg.
+	mcFree sim.Pool[mcDelivery]
+}
+
+// mcDelivery carries one multicast copy's pre-bound completion through
+// the engine (the per-copy extra it needs beyond (fn, arg) is the target
+// node).
+type mcDelivery struct {
+	f   *Fabric
+	fn  func(arg any, to NodeID)
+	arg any
+	to  NodeID
+}
+
+func fireMCDelivery(x any) {
+	d := x.(*mcDelivery)
+	f, fn, arg, to := d.f, d.fn, d.arg, d.to
+	d.fn, d.arg = nil, nil
+	f.mcFree.Put(d)
+	fn(arg, to)
 }
 
 // New constructs a fabric on the given engine.
@@ -183,10 +208,11 @@ func (f *Fabric) nic(m map[NodeID]*sim.Resource, id NodeID, kind string) *sim.Re
 	return r
 }
 
-// SendToSwitch models node → switch: TX NIC serialization, the wire, and
-// one ingress pipeline traversal. fn fires when the packet has completed
-// ingress match-action processing and is ready for data-plane logic.
-func (f *Fabric) SendToSwitch(from NodeID, bytes int, fn func()) {
+// SendToSwitchArg models node → switch: TX NIC serialization, the wire,
+// and one ingress pipeline traversal. The pre-bound fn(arg) fires when
+// the packet has completed ingress match-action processing and is ready
+// for data-plane logic.
+func (f *Fabric) SendToSwitchArg(from NodeID, bytes int, fn func(any), arg any) {
 	tx := f.nic(f.nicTx, from, "TX")
 	_, txEnd := tx.Reserve(f.eng.Now(), f.cfg.NICOverhead+f.serialize(bytes))
 	if f.dead[from] {
@@ -195,20 +221,30 @@ func (f *Fabric) SendToSwitch(from NodeID, bytes int, fn func()) {
 	}
 	arrive := txEnd.Add(f.cfg.WireDelay)
 	_, ingEnd := f.ingress.Reserve(arrive, f.cfg.PipelineService)
-	f.eng.At(ingEnd.Add(f.cfg.PipelineDelay), fn)
+	f.eng.AtArg(ingEnd.Add(f.cfg.PipelineDelay), fn, arg)
 }
 
-// Recirculate models one pass through the traffic manager back into the
-// ingress pipeline (used by directory state updates, §6.3 step 2).
-func (f *Fabric) Recirculate(fn func()) {
+// SendToSwitch is the closure form of SendToSwitchArg.
+func (f *Fabric) SendToSwitch(from NodeID, bytes int, fn func()) {
+	f.SendToSwitchArg(from, bytes, sim.CallFunc, fn)
+}
+
+// RecirculateArg models one pass through the traffic manager back into
+// the ingress pipeline (used by directory state updates, §6.3 step 2).
+func (f *Fabric) RecirculateArg(fn func(any), arg any) {
 	_, ingEnd := f.ingress.Reserve(f.eng.Now().Add(f.cfg.RecircDelay), f.cfg.PipelineService)
-	f.eng.At(ingEnd, fn)
+	f.eng.AtArg(ingEnd, fn, arg)
 }
 
-// SendFromSwitch models switch → node: one egress pipeline traversal, the
-// wire, and RX NIC processing. fn fires at delivery, unless the drop hook
-// eats the message.
-func (f *Fabric) SendFromSwitch(to NodeID, bytes int, fn func()) {
+// Recirculate is the closure form of RecirculateArg.
+func (f *Fabric) Recirculate(fn func()) {
+	f.RecirculateArg(sim.CallFunc, fn)
+}
+
+// SendFromSwitchArg models switch → node: one egress pipeline traversal,
+// the wire, and RX NIC processing. The pre-bound fn(arg) fires at
+// delivery, unless the drop hook eats the message.
+func (f *Fabric) SendFromSwitchArg(to NodeID, bytes int, fn func(any), arg any) {
 	_, egrEnd := f.egress.Reserve(f.eng.Now(), f.cfg.PipelineService)
 	arrive := egrEnd.Add(f.cfg.PipelineDelay + f.cfg.WireDelay)
 	rx := f.nic(f.nicRx, to, "RX")
@@ -216,32 +252,46 @@ func (f *Fabric) SendFromSwitch(to NodeID, bytes int, fn func()) {
 	if f.lost(SwitchNode, to) {
 		return
 	}
-	f.eng.At(rxEnd, func() {
-		f.Delivered++
-		fn()
-	})
+	f.Delivered++
+	f.eng.AtArg(rxEnd, fn, arg)
 }
 
-// MulticastFromSwitch models the native multicast primitive (§4.3.2): the
-// packet occupies the egress pipeline once and the traffic manager
-// replicates it to every target port. fn is invoked once per delivered
-// copy.
-func (f *Fabric) MulticastFromSwitch(tos []NodeID, bytes int, fn func(to NodeID)) {
+// SendFromSwitch is the closure form of SendFromSwitchArg.
+func (f *Fabric) SendFromSwitch(to NodeID, bytes int, fn func()) {
+	f.SendFromSwitchArg(to, bytes, sim.CallFunc, fn)
+}
+
+// MulticastFromSwitchArg models the native multicast primitive (§4.3.2):
+// the packet occupies the egress pipeline once and the traffic manager
+// replicates it to every target port. fn(arg, to) is invoked once per
+// delivered copy; the per-copy records are pooled.
+func (f *Fabric) MulticastFromSwitchArg(tos []NodeID, bytes int, fn func(arg any, to NodeID), arg any) {
 	_, egrEnd := f.egress.Reserve(f.eng.Now(), f.cfg.PipelineService)
 	for _, to := range tos {
-		to := to
 		arrive := egrEnd.Add(f.cfg.PipelineDelay + f.cfg.WireDelay)
 		rx := f.nic(f.nicRx, to, "RX")
 		_, rxEnd := rx.Reserve(arrive, f.cfg.NICOverhead+f.serialize(bytes))
 		if f.lost(SwitchNode, to) {
 			continue
 		}
-		f.eng.At(rxEnd, func() {
-			f.Delivered++
-			fn(to)
-		})
+		f.Delivered++
+		d := f.mcFree.Get()
+		if d == nil {
+			d = &mcDelivery{f: f}
+		}
+		d.fn, d.arg, d.to = fn, arg, to
+		f.eng.AtArg(rxEnd, fireMCDelivery, d)
 	}
 }
+
+// MulticastFromSwitch is the closure form of MulticastFromSwitchArg.
+func (f *Fabric) MulticastFromSwitch(tos []NodeID, bytes int, fn func(to NodeID)) {
+	f.MulticastFromSwitchArg(tos, bytes, callNodeFunc, fn)
+}
+
+// callNodeFunc adapts the closure-style multicast API onto the pre-bound
+// path (the plain func() adapters use sim.CallFunc).
+func callNodeFunc(x any, to NodeID) { x.(func(NodeID))(to) }
 
 // Unicast models a full node → switch → node path with no data-plane
 // processing beyond forwarding (e.g. blade-to-blade transfers in the GAM

@@ -1,0 +1,130 @@
+// Package hotpath is the macro-benchmark harness behind BENCH_hotpath.json:
+// a fixed Figure-6-class workload (the TF access stream on an 8-blade rack,
+// one thread per blade) driven to completion while the Go allocator and the
+// event engine are measured. It is the repo's perf trajectory probe — the
+// same workload, the same seed, every PR — so ns/op, allocs/op and
+// events/sec are comparable across revisions.
+package hotpath
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"mind/internal/core"
+	"mind/internal/mem"
+	"mind/internal/stats"
+	"mind/internal/workloads"
+)
+
+// Config fixes the macro workload's shape. Defaults (see Default) are the
+// tracked configuration; only Ops should vary (CI smoke runs use a small
+// op count).
+type Config struct {
+	ComputeBlades int
+	MemoryBlades  int
+	Threads       int
+	TotalOps      int
+	Seed          uint64
+}
+
+// Default is the tracked macro-benchmark configuration.
+func Default() Config {
+	return Config{
+		ComputeBlades: 8,
+		MemoryBlades:  2,
+		Threads:       8,
+		TotalOps:      160_000,
+		Seed:          1021, // MIND is SOSP '21; any fixed value works
+	}
+}
+
+// Result is one measured macro run.
+type Result struct {
+	// Workload identity.
+	Workload string `json:"workload"`
+	Blades   int    `json:"blades"`
+	Threads  int    `json:"threads"`
+	Ops      uint64 `json:"ops"`
+
+	// Simulation outputs (determinism check across revisions).
+	Events      uint64  `json:"events"`
+	RemoteRate  float64 `json:"remote_per_access"`
+	VirtualEndS float64 `json:"virtual_end_s"`
+
+	// Host-side cost per simulated access.
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Run executes the macro benchmark once and returns the measurement. The
+// run is deterministic in its simulation outputs (Ops, Events, RemoteRate,
+// VirtualEndS); only the host-side timings vary between hosts.
+func Run(cfg Config) (Result, error) {
+	w := workloads.TF(1)
+	ccfg := core.DefaultConfig(cfg.ComputeBlades, cfg.MemoryBlades)
+	ccfg.MemoryBladeCapacity = 1 << 30
+	ccfg.CachePagesPerBlade = int(float64(w.Footprint/mem.PageSize) * 0.25)
+	c, err := core.NewCluster(ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	p := c.Exec("hotpath")
+	vma, err := p.Mmap(w.Footprint, mem.PermReadWrite)
+	if err != nil {
+		return Result{}, err
+	}
+	params := workloads.Params{
+		Threads:      cfg.Threads,
+		Blades:       cfg.ComputeBlades,
+		OpsPerThread: cfg.TotalOps / cfg.Threads,
+		Seed:         cfg.Seed,
+	}
+	threads := make([]*core.Thread, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		th, err := p.SpawnThread(t % cfg.ComputeBlades)
+		if err != nil {
+			return Result{}, err
+		}
+		threads[t] = th
+	}
+
+	// Settle the allocator before the measured window.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	events0 := c.Engine().Executed
+	start := time.Now()
+
+	for t, th := range threads {
+		th.Start(w.Gen(vma.Base, t, params), nil)
+	}
+	end := c.RunThreads()
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	col := c.Collector()
+	ops := col.Counter(stats.CtrAccesses)
+	if ops == 0 {
+		return Result{}, fmt.Errorf("hotpath: run performed no accesses")
+	}
+	events := c.Engine().Executed - events0
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	return Result{
+		Workload:     "TF x8 blades (Fig-6 class)",
+		Blades:       cfg.ComputeBlades,
+		Threads:      cfg.Threads,
+		Ops:          ops,
+		Events:       events,
+		RemoteRate:   col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:  end.Sub(0).Seconds(),
+		NsPerOp:      float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:  float64(allocs) / float64(ops),
+		BytesPerOp:   float64(bytes) / float64(ops),
+		EventsPerSec: float64(events) / wall.Seconds(),
+	}, nil
+}

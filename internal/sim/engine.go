@@ -7,6 +7,13 @@
 // The engine is strictly single-threaded: all component state is mutated
 // inside event callbacks, executed in (time, sequence) order, so runs are
 // bit-for-bit reproducible given the same seed and configuration.
+//
+// The steady-state scheduling path is allocation-free: ScheduleArg/AtArg
+// take a pre-bound callback (a plain function plus its argument, instead
+// of a freshly minted closure), their events are recycled through a free
+// list after firing, and events scheduled for the current instant bypass
+// the heap through a FIFO fast lane. Dispatch order is identical to a
+// pure (time, sequence) heap in every mode.
 package sim
 
 import (
@@ -46,19 +53,54 @@ func (d Duration) Micros() float64 { return float64(d) / 1e3 }
 
 func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
 
-// Event is a scheduled callback. The zero Event is invalid.
+// Event lifecycle states. A pending event is queued (heap or now lane);
+// firing and cancellation are terminal and mutually exclusive, which is
+// what makes recycling safe to reason about: only fired, never-escaped
+// events return to the free list.
+const (
+	statePending uint8 = iota
+	stateFired
+	stateCanceled
+)
+
+// Event is a scheduled callback. The zero Event is invalid. Events
+// returned by Schedule/At/ScheduleTimer stay owned by the caller and are
+// never recycled; events created by ScheduleArg/AtArg never escape the
+// engine and return to its free list after firing.
 type Event struct {
 	at  Time
 	seq uint64
-	fn  func()
-	idx int // heap index, -1 when not queued
+	fn  func(any)
+	arg any
+	// idx is the heap index, or -1 when the event is not in the heap
+	// (now lane, fired, canceled, or free).
+	idx    int
+	state  uint8
+	pooled bool
+	// lane marks an event physically resident in nowQ (set on push,
+	// cleared on pop). A canceled lane event stays resident until its
+	// slot drains, so Rearm must not reuse the object before then.
+	lane bool
 }
 
 // Canceled reports whether the event was removed before firing.
-func (e *Event) Canceled() bool { return e.idx < 0 && e.fn == nil }
+func (e *Event) Canceled() bool { return e.state == stateCanceled }
+
+// Fired reports whether the event's callback has been dispatched.
+func (e *Event) Fired() bool { return e.state == stateFired }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e.state == statePending }
 
 // Time returns the virtual time the event is (or was) scheduled for.
 func (e *Event) Time() Time { return e.at }
+
+// CallFunc adapts a plain func() onto the pre-bound fn(arg) dispatch
+// shape: pass CallFunc as fn and the closure as arg. Converting a func()
+// to any stores the function pointer directly in the interface word — no
+// allocation. The closure-style Schedule/At API and the fabric/cluster
+// shims all route through this one adapter.
+func CallFunc(x any) { x.(func())() }
 
 type eventHeap []*Event
 
@@ -92,10 +134,35 @@ func (h *eventHeap) Pop() any {
 // Engine is the discrete-event simulation core. Create one with NewEngine;
 // the zero value is not usable.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	now   Time
+	seq   uint64
+	queue eventHeap
+
+	// nowQ is the same-time fast lane: a FIFO of events scheduled for
+	// the current instant. The heap never receives an event at the
+	// current time (enqueue routes those here), so every heap entry at
+	// e.now predates — and therefore has a smaller seq than — every
+	// lane entry, and "drain heap-at-now first, then the lane in FIFO
+	// order" is exactly ascending (time, seq). nowHead is the drain
+	// cursor; nowLive counts lane entries that are still pending
+	// (cancellation skips lazily).
+	nowQ    []*Event
+	nowHead int
+	nowLive int
+
+	// free is the event free list: fired ScheduleArg/AtArg events are
+	// recycled here. Events whose pointer escaped to a caller
+	// (Schedule/At/ScheduleTimer) are never recycled — a retained
+	// handle must stay inert forever, not come back to life as someone
+	// else's event.
+	free Pool[Event]
+
 	stopped bool
+
+	// plain disables the free list and the fast lane, forcing every
+	// event through the reference (time, seq) heap — the oracle mode
+	// the pool-equivalence tests compare against.
+	plain bool
 
 	// Executed counts events dispatched since creation, for debugging and
 	// runaway detection in tests.
@@ -107,6 +174,13 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
+// newPlainEngine returns an engine with pooling and the same-time fast
+// lane disabled: the reference implementation the equivalence property
+// tests drive in lockstep with a pooled engine.
+func newPlainEngine() *Engine {
+	return &Engine{plain: true}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -114,10 +188,13 @@ func (e *Engine) Now() Time { return e.now }
 // zero (the event runs at the current time, after already-queued events at
 // that time). It returns the event so callers may cancel it.
 func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
 	if delay < 0 {
 		delay = 0
 	}
-	return e.At(e.now.Add(delay), fn)
+	return e.enqueue(e.now.Add(delay), CallFunc, fn, false)
 }
 
 // At enqueues fn to run at the absolute virtual time at. Times in the past
@@ -126,42 +203,184 @@ func (e *Engine) At(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: Schedule with nil callback")
 	}
+	return e.enqueue(at, CallFunc, fn, false)
+}
+
+// ScheduleArg enqueues the pre-bound callback fn(arg) to run after delay.
+// This is the hot-path form: fn is typically a package-level function and
+// arg a long-lived object, so no closure is allocated, and the event is
+// recycled through the engine's free list after it fires. The event
+// cannot be canceled (no handle is returned) — use ScheduleTimer for
+// cancelable pre-bound events.
+func (e *Engine) ScheduleArg(delay Duration, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: ScheduleArg with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.enqueue(e.now.Add(delay), fn, arg, !e.plain)
+}
+
+// AtArg enqueues the pre-bound callback fn(arg) at the absolute virtual
+// time at (clamped to now), with the same pooling as ScheduleArg.
+func (e *Engine) AtArg(at Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: AtArg with nil callback")
+	}
+	e.enqueue(at, fn, arg, !e.plain)
+}
+
+// ScheduleTimer enqueues the pre-bound callback fn(arg) after delay and
+// returns the event for cancellation (timeouts, periodic ticks). The
+// event escapes to the caller and is therefore never recycled.
+func (e *Engine) ScheduleTimer(delay Duration, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: ScheduleTimer with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.enqueue(e.now.Add(delay), fn, arg, false)
+}
+
+// Rearm reschedules a caller-owned timer event: ev must be nil (a fresh
+// event is allocated, as ScheduleTimer) or fired/canceled — the caller is
+// asserting exclusive ownership, so the object is reused in place instead
+// of allocating. This is how recurring timeouts (one per page-fault
+// issue) stay allocation-free without the engine ever recycling an
+// escaped event on its own.
+func (e *Engine) Rearm(ev *Event, delay Duration, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: Rearm with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	if ev == nil {
+		return e.enqueue(e.now.Add(delay), fn, arg, false)
+	}
+	if ev.state == statePending {
+		panic("sim: Rearm of a pending event (cancel it first)")
+	}
+	if ev.lane {
+		// The canceled event still occupies a now-lane slot; reusing the
+		// object would make the stale slot fire the re-armed callback at
+		// the wrong time. Hand back a fresh event instead — the stale one
+		// stays canceled and drains harmlessly.
+		return e.enqueue(e.now.Add(delay), fn, arg, false)
+	}
+	at := e.now.Add(delay)
+	e.seq++
+	ev.at, ev.seq, ev.fn, ev.arg = at, e.seq, fn, arg
+	ev.state, ev.idx, ev.pooled = statePending, -1, false
+	if !e.plain && at == e.now {
+		ev.lane = true
+		e.nowQ = append(e.nowQ, ev)
+		e.nowLive++
+		return ev
+	}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// alloc takes an event from the free list, or heap-allocates one.
+func (e *Engine) alloc() *Event {
+	if ev := e.free.Get(); ev != nil {
+		return ev
+	}
+	return &Event{}
+}
+
+// enqueue places one event, routing current-instant events to the fast
+// lane (unless in plain mode).
+func (e *Engine) enqueue(at Time, fn func(any), arg any, pooled bool) *Event {
 	if at < e.now {
 		at = e.now
 	}
+	ev := e.alloc()
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev.at, ev.seq, ev.fn, ev.arg = at, e.seq, fn, arg
+	ev.state, ev.pooled, ev.idx = statePending, pooled, -1
+	if !e.plain && at == e.now {
+		ev.lane = true
+		e.nowQ = append(e.nowQ, ev)
+		e.nowLive++
+		return ev
+	}
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op. Canceled events are never recycled:
+// the caller keeps the (now inert) handle.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 {
+	if ev == nil || ev.state != statePending {
 		return
 	}
-	heap.Remove(&e.queue, ev.idx)
-	ev.fn = nil
-	ev.idx = -1
+	if ev.idx >= 0 {
+		heap.Remove(&e.queue, ev.idx)
+	} else {
+		// In the now lane: mark and skip lazily at pop time.
+		e.nowLive--
+	}
+	ev.state = stateCanceled
+	ev.fn, ev.arg = nil, nil
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + e.nowLive }
+
+// fire dispatches one event, recycling it first if it never escaped.
+func (e *Engine) fire(ev *Event) {
+	fn, arg := ev.fn, ev.arg
+	ev.fn, ev.arg = nil, nil
+	ev.state = stateFired
+	if ev.pooled {
+		// Safe to recycle before the callback runs: fn/arg are saved,
+		// and an immediate reuse inside the callback just reinitializes
+		// the object.
+		e.free.Put(ev)
+	}
+	e.Executed++
+	fn(arg)
+}
 
 // Step dispatches the single earliest event, advancing the clock to its
 // timestamp. It returns false if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	for {
+		// Heap entries at the current instant predate everything in the
+		// now lane (see the nowQ invariant), so they dispatch first.
+		if len(e.queue) > 0 && e.queue[0].at == e.now {
+			e.fire(heap.Pop(&e.queue).(*Event))
+			return true
+		}
+		if e.nowHead < len(e.nowQ) {
+			ev := e.nowQ[e.nowHead]
+			e.nowQ[e.nowHead] = nil
+			e.nowHead++
+			if e.nowHead == len(e.nowQ) {
+				e.nowQ = e.nowQ[:0]
+				e.nowHead = 0
+			}
+			ev.lane = false
+			if ev.state == stateCanceled {
+				continue
+			}
+			e.nowLive--
+			e.fire(ev)
+			return true
+		}
+		if len(e.queue) > 0 {
+			ev := heap.Pop(&e.queue).(*Event)
+			e.now = ev.at
+			e.fire(ev)
+			return true
+		}
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	e.Executed++
-	fn()
-	return true
 }
 
 // Run dispatches events until the queue drains or Stop is called.
@@ -176,8 +395,16 @@ func (e *Engine) Run() {
 // beyond deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
-		e.Step()
+	for !e.stopped {
+		if e.nowLive > 0 && e.now <= deadline {
+			e.Step()
+			continue
+		}
+		if len(e.queue) > 0 && e.queue[0].at <= deadline {
+			e.Step()
+			continue
+		}
+		break
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -186,3 +413,7 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Stop halts Run/RunUntil after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
+
+// FreeListLen reports the current size of the event free list
+// (diagnostics and pool tests).
+func (e *Engine) FreeListLen() int { return e.free.Len() }

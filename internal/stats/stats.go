@@ -47,65 +47,126 @@ const (
 	LatInvTLB   = "inv_tlb"
 )
 
+// Handle is an integer index into a Collector's counter (or latency)
+// table, resolved once from a name. Hot-path components resolve their
+// handles at construction and bump plain slice slots per event; the
+// string-keyed methods remain as thin shims for tests and cold paths.
+type Handle int
+
 // Collector accumulates all metrics for one simulation run. It is not
 // safe for concurrent use; the simulator is single-threaded.
 type Collector struct {
-	counters map[string]uint64
-	// Latency component sums and the count of sampled operations, keyed by
-	// component name.
-	latSum   map[string]sim.Duration
-	latCount map[string]uint64
-	series   map[string]*Series
-	hists    map[string]*Histogram
+	// Plain counters: name -> index into cvals.
+	cidx  map[string]Handle
+	cvals []uint64
+	// Latency component sums and sample counts, indexed by handle.
+	lidx   map[string]Handle
+	lsum   []sim.Duration
+	lcount []uint64
+
+	series map[string]*Series
+	hists  map[string]*Histogram
+
+	// hAccesses is the pre-resolved CtrAccesses handle PerAccess uses.
+	hAccesses Handle
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{
-		counters: make(map[string]uint64),
-		latSum:   make(map[string]sim.Duration),
-		latCount: make(map[string]uint64),
-		series:   make(map[string]*Series),
-		hists:    make(map[string]*Histogram),
+	c := &Collector{
+		cidx:   make(map[string]Handle),
+		lidx:   make(map[string]Handle),
+		series: make(map[string]*Series),
+		hists:  make(map[string]*Histogram),
 	}
+	c.hAccesses = c.Handle(CtrAccesses)
+	return c
 }
 
+// Handle resolves (registering on first use) the integer handle for a
+// named counter.
+func (c *Collector) Handle(name string) Handle {
+	if h, ok := c.cidx[name]; ok {
+		return h
+	}
+	h := Handle(len(c.cvals))
+	c.cidx[name] = h
+	c.cvals = append(c.cvals, 0)
+	return h
+}
+
+// IncH adds delta to the counter behind a pre-resolved handle — the
+// allocation- and hash-free hot-path form of Inc.
+func (c *Collector) IncH(h Handle, delta uint64) { c.cvals[h] += delta }
+
 // Inc adds delta to the named counter.
-func (c *Collector) Inc(name string, delta uint64) { c.counters[name] += delta }
+func (c *Collector) Inc(name string, delta uint64) { c.IncH(c.Handle(name), delta) }
 
 // Counter returns the current value of the named counter (zero if never
 // incremented).
-func (c *Collector) Counter(name string) uint64 { return c.counters[name] }
+func (c *Collector) Counter(name string) uint64 {
+	if h, ok := c.cidx[name]; ok {
+		return c.cvals[h]
+	}
+	return 0
+}
 
 // PerAccess returns counter/accesses, the normalization used by Figure 6.
 func (c *Collector) PerAccess(name string) float64 {
-	a := c.counters[CtrAccesses]
+	a := c.cvals[c.hAccesses]
 	if a == 0 {
 		return 0
 	}
-	return float64(c.counters[name]) / float64(a)
+	return float64(c.Counter(name)) / float64(a)
+}
+
+// LatencyHandle resolves (registering on first use) the integer handle
+// for a named latency component.
+func (c *Collector) LatencyHandle(name string) Handle {
+	if h, ok := c.lidx[name]; ok {
+		return h
+	}
+	h := Handle(len(c.lsum))
+	c.lidx[name] = h
+	c.lsum = append(c.lsum, 0)
+	c.lcount = append(c.lcount, 0)
+	return h
+}
+
+// AddLatencyH accumulates d under a pre-resolved latency handle.
+func (c *Collector) AddLatencyH(h Handle, d sim.Duration) {
+	c.lsum[h] += d
+	c.lcount[h]++
 }
 
 // AddLatency accumulates d under the named latency component.
 func (c *Collector) AddLatency(component string, d sim.Duration) {
-	c.latSum[component] += d
-	c.latCount[component]++
+	c.AddLatencyH(c.LatencyHandle(component), d)
 }
 
 // MeanLatency returns the mean of the named component over ops sampled
 // operations. If ops is zero the component's own sample count is used.
 func (c *Collector) MeanLatency(component string, ops uint64) sim.Duration {
+	h, ok := c.lidx[component]
+	if !ok {
+		return 0
+	}
 	if ops == 0 {
-		ops = c.latCount[component]
+		ops = c.lcount[h]
 	}
 	if ops == 0 {
 		return 0
 	}
-	return sim.Duration(int64(c.latSum[component]) / int64(ops))
+	return sim.Duration(int64(c.lsum[h]) / int64(ops))
 }
 
 // LatencySum returns the total accumulated duration for a component.
-func (c *Collector) LatencySum(component string) sim.Duration { return c.latSum[component] }
+func (c *Collector) LatencySum(component string) sim.Duration {
+	if h, ok := c.lidx[component]; ok {
+		return c.lsum[h]
+	}
+	return 0
+}
 
 // Series returns (creating on first use) a named time series.
 func (c *Collector) Series(name string) *Series {
@@ -129,9 +190,9 @@ func (c *Collector) Histogram(name string) *Histogram {
 
 // Snapshot returns a copy of all plain counters, for test assertions.
 func (c *Collector) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(c.counters))
-	for k, v := range c.counters {
-		out[k] = v
+	out := make(map[string]uint64, len(c.cidx))
+	for k, h := range c.cidx {
+		out[k] = c.cvals[h]
 	}
 	return out
 }

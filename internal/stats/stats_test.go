@@ -218,3 +218,62 @@ func TestSnapshot(t *testing.T) {
 		t.Error("snapshot should be a copy")
 	}
 }
+
+// TestHandleStringEquivalence pins the contract between the indexed
+// hot-path API and the string shim: both address the same slots.
+func TestHandleStringEquivalence(t *testing.T) {
+	c := NewCollector()
+	h := c.Handle(CtrAccesses)
+	if h2 := c.Handle(CtrAccesses); h2 != h {
+		t.Fatalf("Handle not stable: %d then %d", h, h2)
+	}
+	c.IncH(h, 3)
+	c.Inc(CtrAccesses, 2)
+	if got := c.Counter(CtrAccesses); got != 5 {
+		t.Errorf("Counter = %d, want 5 (handle and string increments must merge)", got)
+	}
+	if got := c.Snapshot()[CtrAccesses]; got != 5 {
+		t.Errorf("Snapshot = %d, want 5", got)
+	}
+
+	lh := c.LatencyHandle(LatNetwork)
+	c.AddLatencyH(lh, 100)
+	c.AddLatency(LatNetwork, 300)
+	if got := c.LatencySum(LatNetwork); got != 400 {
+		t.Errorf("LatencySum = %d, want 400", got)
+	}
+	if got := c.MeanLatency(LatNetwork, 0); got != 200 {
+		t.Errorf("MeanLatency = %d, want 200", got)
+	}
+}
+
+// TestCounterUnknownName ensures reads of never-registered names stay
+// zero-valued (and do not register anything).
+func TestCounterUnknownName(t *testing.T) {
+	c := NewCollector()
+	if got := c.Counter("never-registered"); got != 0 {
+		t.Errorf("Counter(unknown) = %d, want 0", got)
+	}
+	if got := c.MeanLatency("never-registered", 0); got != 0 {
+		t.Errorf("MeanLatency(unknown) = %d, want 0", got)
+	}
+	if got := c.LatencySum("never-registered"); got != 0 {
+		t.Errorf("LatencySum(unknown) = %d, want 0", got)
+	}
+	if _, ok := c.Snapshot()["never-registered"]; ok {
+		t.Error("reading an unknown counter registered it")
+	}
+}
+
+// TestIncHZeroAlloc pins the indexed counter bump at zero allocations.
+func TestIncHZeroAlloc(t *testing.T) {
+	c := NewCollector()
+	h := c.Handle(CtrInvalidations)
+	lh := c.LatencyHandle(LatPgFault)
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.IncH(h, 1)
+		c.AddLatencyH(lh, 7)
+	}); avg != 0 {
+		t.Errorf("IncH/AddLatencyH allocates %v/op, want 0", avg)
+	}
+}

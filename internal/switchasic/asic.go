@@ -146,12 +146,18 @@ func (a *ASIC) AddGroupMember(id, port int) {
 // blade in the sharer list are dropped in the egress pipeline (§4.3.2).
 // It returns the ports that actually receive a copy.
 func (a *ASIC) PruneMulticast(group int, sharers map[int]bool) ([]int, error) {
+	return a.PruneMulticastInto(nil, group, sharers)
+}
+
+// PruneMulticastInto is PruneMulticast appending into a caller-owned
+// buffer (reset to length zero), so hot callers can reuse scratch space.
+func (a *ASIC) PruneMulticastInto(dst []int, group int, sharers map[int]bool) ([]int, error) {
 	members, ok := a.groups[group]
 	if !ok {
 		return nil, fmt.Errorf("switchasic: unknown multicast group %d", group)
 	}
 	a.multicasts++
-	out := make([]int, 0, len(sharers))
+	out := dst[:0]
 	for _, p := range members {
 		if sharers[p] {
 			out = append(out, p)
