@@ -48,6 +48,25 @@ func BenchmarkHotPathMacro(b *testing.B) {
 	}
 }
 
+// BenchmarkRackMacro is the rack-scale macro benchmark behind
+// BENCH_rack.json: the GC (PageRank) mix on a 64-blade rack, 4 threads
+// per blade. Sharer sets span the rack and the event queue runs deep, so
+// this tracks the scale headroom of the per-event structures (calendar
+// queue, sharer bitmaps, index-addressed tables) rather than per-op
+// cost.
+func BenchmarkRackMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hotpath.Run(hotpath.Rack())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerOp, "sim-ns/op")
+		b.ReportMetric(res.AllocsPerOp, "sim-allocs/op")
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+	}
+}
+
 // BenchmarkFig5IntraBlade regenerates Figure 5 (left): intra-blade
 // thread scaling of MIND vs FastSwap vs GAM.
 func BenchmarkFig5IntraBlade(b *testing.B) {

@@ -1,0 +1,121 @@
+// Package bitset provides a small growable bitmap over non-negative
+// integers, used for the per-access hot-path sets of the simulator:
+// coherence sharer sets, multicast group membership, and fabric
+// dead-node state. Compared to map[int]bool it is allocation-free in
+// steady state, O(words) to walk, and its iteration order is always
+// ascending — which is exactly the determinism contract the simulator
+// needs (no map-order dependence may reach the event queue).
+package bitset
+
+import "math/bits"
+
+// Set is a growable bitmap. The zero value is an empty set ready for
+// use. Methods are not safe for concurrent use (the simulator is
+// single-threaded).
+type Set struct {
+	words []uint64
+}
+
+// Add inserts i (growing the backing array as needed).
+func (s *Set) Add(i int) {
+	w := i >> 6
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << uint(i&63)
+}
+
+// Remove deletes i; absent members are a no-op.
+func (s *Set) Remove(i int) {
+	w := i >> 6
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(i&63)
+	}
+}
+
+// Has reports membership.
+func (s *Set) Has(i int) bool {
+	w := i >> 6
+	return w < len(s.words) && s.words[w]&(1<<uint(i&63)) != 0
+}
+
+// Clear empties the set, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyFrom makes s an exact copy of o, reusing s's backing array.
+func (s *Set) CopyFrom(o *Set) {
+	if cap(s.words) < len(o.words) {
+		s.words = make([]uint64, len(o.words))
+	} else {
+		s.words = s.words[:len(o.words)]
+	}
+	copy(s.words, o.words)
+}
+
+// UnionWith adds every member of o to s.
+func (s *Set) UnionWith(o *Set) {
+	for i, w := range o.words {
+		if w == 0 {
+			continue
+		}
+		for i >= len(s.words) {
+			s.words = append(s.words, 0)
+		}
+		s.words[i] |= w
+	}
+}
+
+// AppendTo appends the members in ascending order to dst and returns
+// the extended slice (pass dst[:0] to reuse scratch space).
+func (s *Set) AppendTo(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// OnlyMember reports whether the set is empty or contains exactly
+// {only} — the "no foreign members" test coherence merges use.
+func (s *Set) OnlyMember(only int) bool {
+	ow := only >> 6
+	obit := uint64(1) << uint(only&63)
+	for wi, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if wi != ow || w&^obit != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Words exposes the backing words (read-only; for word-parallel
+// intersection in the switch ASIC's egress pruning).
+func (s *Set) Words() []uint64 { return s.words }

@@ -1,0 +1,165 @@
+package coherence
+
+import (
+	"math/bits"
+	"sort"
+
+	"mind/internal/mem"
+)
+
+// blockTable is the directory's region index: a dense table addressed by
+// top-level block number (va >> log2(TopLevelSize)), each block holding
+// its regions as a small array sorted by base address. It replaces the
+// two chained VA-keyed Go maps (regions by base, blocks by block base) —
+// a region lookup is one shift, one bounds check, and a short binary
+// search, with no hashing. A region never crosses a block boundary
+// (bases are size-aligned and sizes bounded by TopLevelSize), so each
+// region lives in exactly one block's array.
+//
+// The table is offset-based: MIND's global VA space hands out
+// allocations from 1<<32 upward, so entry 0 maps to the first block ever
+// touched and the table grows (amortized, cold-path) in either
+// direction.
+type blockTable struct {
+	shift uint // log2(TopLevelSize)
+	base  int64
+	tab   [][]*Region
+	count int
+}
+
+func newBlockTable(topLevelSize uint64) *blockTable {
+	return &blockTable{shift: uint(bits.TrailingZeros64(topLevelSize))}
+}
+
+// blockOf returns the block number containing va.
+func (t *blockTable) blockOf(va mem.VA) int64 { return int64(uint64(va) >> t.shift) }
+
+// slot returns the table index for block b, or -1 when b is outside the
+// table.
+func (t *blockTable) slot(b int64) int {
+	i := b - t.base
+	if i < 0 || i >= int64(len(t.tab)) || len(t.tab) == 0 {
+		return -1
+	}
+	return int(i)
+}
+
+// ensure grows the table to cover block b and returns its index.
+func (t *blockTable) ensure(b int64) int {
+	if len(t.tab) == 0 {
+		t.base = b
+		t.tab = append(t.tab, nil)
+		return 0
+	}
+	for b < t.base {
+		// Prepend room; rare (allocations mostly grow upward).
+		grow := int64(len(t.tab))
+		if t.base-b > grow {
+			grow = t.base - b
+		}
+		nt := make([][]*Region, int64(len(t.tab))+grow)
+		copy(nt[grow:], t.tab)
+		t.tab = nt
+		t.base -= grow
+	}
+	for b >= t.base+int64(len(t.tab)) {
+		t.tab = append(t.tab, nil)
+	}
+	return int(b - t.base)
+}
+
+// lookup returns the region containing va, or nil.
+func (t *blockTable) lookup(va mem.VA) *Region {
+	i := t.slot(t.blockOf(va))
+	if i < 0 {
+		return nil
+	}
+	regs := t.tab[i]
+	// Binary search for the last region with Base <= va.
+	lo, hi := 0, len(regs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if regs[mid].Base <= va {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	if r := regs[lo-1]; r.Contains(va) {
+		return r
+	}
+	return nil
+}
+
+// exact returns the region based exactly at base, or nil.
+func (t *blockTable) exact(base mem.VA) *Region {
+	if r := t.lookup(base); r != nil && r.Base == base {
+		return r
+	}
+	return nil
+}
+
+// overlaps reports whether any region intersects [base, base+size).
+// Regions never cross block boundaries and [base, base+size) is
+// size-aligned (power of two <= TopLevelSize), so only base's block
+// needs checking.
+func (t *blockTable) overlaps(base mem.VA, size uint64) bool {
+	i := t.slot(t.blockOf(base))
+	if i < 0 {
+		return false
+	}
+	end := base + mem.VA(size)
+	for _, r := range t.tab[i] {
+		if r.Base >= end {
+			return false
+		}
+		if base < r.Base+mem.VA(r.Size) {
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds r, keeping the block's array sorted by base.
+func (t *blockTable) insert(r *Region) {
+	i := t.ensure(t.blockOf(r.Base))
+	regs := t.tab[i]
+	pos := sort.Search(len(regs), func(j int) bool { return regs[j].Base >= r.Base })
+	regs = append(regs, nil)
+	copy(regs[pos+1:], regs[pos:])
+	regs[pos] = r
+	t.tab[i] = regs
+	t.count++
+}
+
+// remove deletes the region based at base, returning it (nil if absent).
+func (t *blockTable) remove(base mem.VA) *Region {
+	i := t.slot(t.blockOf(base))
+	if i < 0 {
+		return nil
+	}
+	regs := t.tab[i]
+	pos := sort.Search(len(regs), func(j int) bool { return regs[j].Base >= base })
+	if pos == len(regs) || regs[pos].Base != base {
+		return nil
+	}
+	r := regs[pos]
+	copy(regs[pos:], regs[pos+1:])
+	regs[len(regs)-1] = nil
+	t.tab[i] = regs[:len(regs)-1]
+	t.count--
+	return r
+}
+
+// forEach visits every region in ascending base order (the natural
+// deterministic iteration the old code had to sort maps to get).
+func (t *blockTable) forEach(f func(*Region)) {
+	for _, regs := range t.tab {
+		for _, r := range regs {
+			f(r)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"mind/internal/bitset"
 	"mind/internal/ctrlplane"
 	"mind/internal/fabric"
 	"mind/internal/mem"
@@ -103,7 +104,13 @@ type reqKey struct {
 // pending is one in-flight or queued page request. The directory, region
 // and home-node fields let the whole request pipeline run on pre-bound
 // package-level continuations (pendExec, pendAtMem, ...) instead of
-// per-hop closures.
+// per-hop closures. Pendings are pooled: a request that completes
+// normally (notifyComplete/failPending with every expected ACK counted)
+// has no surviving references — the fetch chain has ended at the blade,
+// every ackCtx has been recycled, and the inFlight entry is deleted — so
+// the object returns to the directory's free list. Requests abandoned by
+// a §4.4 reset or wedged by message loss are never recycled (their
+// callbacks may still hold the pointer); they are simply garbage.
 type pending struct {
 	d    *Directory
 	key  reqKey
@@ -152,10 +159,12 @@ type Directory struct {
 	memNode   func(ctrlplane.BladeID) fabric.NodeID
 	bladeNode func(int) fabric.NodeID
 
-	blades map[int]BladePort
+	// blades is indexed by blade ID (dense; the control plane numbers
+	// compute blades 0..N-1).
+	blades []BladePort
 
-	regions  map[mem.VA]*Region            // by base
-	blocks   map[mem.VA]map[mem.VA]*Region // top-level block -> base -> region
+	// rt is the block-indexed region table (see blockTable).
+	rt       *blockTable
 	inFlight map[reqKey]*pending
 
 	// frozen lists address ranges under live migration: requests inside
@@ -166,11 +175,19 @@ type Directory struct {
 	freezeAll bool
 
 	// Hot-path scratch and pools (single-threaded engine context).
-	ackFree        sim.Pool[ackCtx]
-	scratchTargets []int
-	scratchSet     map[int]bool
-	scratchPorts   []int
-	scratchNodes   []fabric.NodeID
+	ackFree  sim.Pool[ackCtx]
+	pendFree sim.Pool[pending]
+	// invTargets is the scratch sharer bitmap of the transition being
+	// executed; it feeds the ASIC's egress-pruning intersection
+	// directly.
+	invTargets   bitset.Set
+	scratchPorts []int
+	scratchNodes []fabric.NodeID
+	// regSlab hands out Region objects in 256-entry slabs: directory
+	// entries are created in working-set-sized bursts (one per touched
+	// initial region), so slab allocation keeps entry creation off the
+	// per-object allocator.
+	regSlab []Region
 
 	// Pre-resolved stats handles.
 	hRemote     stats.Handle
@@ -181,6 +198,9 @@ type Directory struct {
 	hInvals     stats.Handle
 	hFlushed    stats.Handle
 	hFalseInv   stats.Handle
+	hSplits     stats.Handle
+	hMerges     stats.Handle
+	hResets     stats.Handle
 }
 
 // Deps bundles the directory's external hooks, wired by the core package.
@@ -211,20 +231,17 @@ func NewDirectory(cfg Config, d Deps) *Directory {
 		panic(fmt.Sprintf("coherence: bad region config %+v", cfg))
 	}
 	return &Directory{
-		eng:        d.Engine,
-		fab:        d.Fabric,
-		asic:       d.ASIC,
-		col:        d.Collector,
-		cfg:        cfg,
-		translate:  d.Translate,
-		protect:    d.Protect,
-		memNode:    d.MemNode,
-		bladeNode:  d.BladeNode,
-		blades:     make(map[int]BladePort),
-		regions:    make(map[mem.VA]*Region),
-		blocks:     make(map[mem.VA]map[mem.VA]*Region),
-		inFlight:   make(map[reqKey]*pending),
-		scratchSet: make(map[int]bool),
+		eng:       d.Engine,
+		fab:       d.Fabric,
+		asic:      d.ASIC,
+		col:       d.Collector,
+		cfg:       cfg,
+		translate: d.Translate,
+		protect:   d.Protect,
+		memNode:   d.MemNode,
+		bladeNode: d.BladeNode,
+		rt:        newBlockTable(cfg.TopLevelSize),
+		inFlight:  make(map[reqKey]*pending),
 
 		hRemote:     d.Collector.Handle(stats.CtrRemoteAccesses),
 		hRejected:   d.Collector.Handle(stats.CtrRejected),
@@ -234,19 +251,32 @@ func NewDirectory(cfg Config, d Deps) *Directory {
 		hInvals:     d.Collector.Handle(stats.CtrInvalidations),
 		hFlushed:    d.Collector.Handle(stats.CtrFlushedPages),
 		hFalseInv:   d.Collector.Handle(stats.CtrFalseInvals),
+		hSplits:     d.Collector.Handle(stats.CtrSplits),
+		hMerges:     d.Collector.Handle(stats.CtrMerges),
+		hResets:     d.Collector.Handle(stats.CtrResets),
 	}
 }
 
 // RegisterBlade attaches a compute blade's invalidation port.
-func (d *Directory) RegisterBlade(id int, port BladePort) { d.blades[id] = port }
+func (d *Directory) RegisterBlade(id int, port BladePort) {
+	for id >= len(d.blades) {
+		d.blades = append(d.blades, nil)
+	}
+	d.blades[id] = port
+}
+
+// bladePort returns the registered port for a blade, or nil.
+func (d *Directory) bladePort(id int) BladePort {
+	if id < 0 || id >= len(d.blades) {
+		return nil
+	}
+	return d.blades[id]
+}
 
 // Lookup returns the region containing va, if any.
 func (d *Directory) Lookup(va mem.VA) (*Region, error) {
-	block := mem.AlignDown(va, d.cfg.TopLevelSize)
-	for _, r := range d.blocks[block] {
-		if r.Contains(va) {
-			return r, nil
-		}
+	if r := d.rt.lookup(va); r != nil {
+		return r, nil
 	}
 	return nil, ErrNoRegion
 }
@@ -257,30 +287,32 @@ func (d *Directory) Lookup(va mem.VA) (*Region, error) {
 // overlap finer existing regions, the creation size shrinks until it
 // fits.
 func (d *Directory) lookupOrCreate(va mem.VA) (*Region, error) {
-	if r, err := d.Lookup(va); err == nil {
+	if r := d.rt.lookup(va); r != nil {
 		return r, nil
 	}
-	block := mem.AlignDown(va, d.cfg.TopLevelSize)
 	size := d.cfg.InitialRegionSize
 	for ; size >= mem.PageSize; size /= 2 {
 		base := mem.AlignDown(va, size)
-		if !d.overlapsExisting(block, base, size) {
-			return d.createRegion(block, base, size)
+		if !d.rt.overlaps(base, size) {
+			return d.createRegion(base, size)
 		}
 	}
 	return nil, fmt.Errorf("coherence: cannot place region for %#x", uint64(va))
 }
 
-func (d *Directory) overlapsExisting(block, base mem.VA, size uint64) bool {
-	for _, r := range d.blocks[block] {
-		if base < r.Base+mem.VA(r.Size) && r.Base < base+mem.VA(size) {
-			return true
-		}
+// allocRegion takes a zeroed Region from the slab. Slab entries are
+// never returned individually; removed regions (munmap/reset) simply
+// drop out of the table.
+func (d *Directory) allocRegion() *Region {
+	if len(d.regSlab) == 0 {
+		d.regSlab = make([]Region, 256)
 	}
-	return false
+	r := &d.regSlab[0]
+	d.regSlab = d.regSlab[1:]
+	return r
 }
 
-func (d *Directory) createRegion(block, base mem.VA, size uint64) (*Region, error) {
+func (d *Directory) createRegion(base mem.VA, size uint64) (*Region, error) {
 	slot, err := d.asic.Directory.Alloc()
 	if err != nil {
 		// Capacity pressure: coarsen the coldest buddy pair anywhere and
@@ -294,15 +326,42 @@ func (d *Directory) createRegion(block, base mem.VA, size uint64) (*Region, erro
 			return nil, err
 		}
 	}
-	r := &Region{Base: base, Size: size, state: Invalid, sharers: make(map[int]bool), slot: int(slot)}
-	d.regions[base] = r
-	bm := d.blocks[block]
-	if bm == nil {
-		bm = make(map[mem.VA]*Region)
-		d.blocks[block] = bm
-	}
-	bm[base] = r
+	r := d.allocRegion()
+	r.Base, r.Size, r.state, r.slot = base, size, Invalid, int(slot)
+	d.rt.insert(r)
 	return r, nil
+}
+
+// newPending takes a request context from the free list (or allocates
+// one) and initializes it.
+func (d *Directory) newPending(key reqKey, pdid mem.PDID, done func(Completion)) *pending {
+	p := d.pendFree.Get()
+	if p == nil {
+		p = &pending{d: d}
+	}
+	p.key, p.pdid, p.va, p.done = key, pdid, key.page, done
+	p.region, p.memN = nil, 0
+	p.inv = Invalidation{}
+	p.transition = ""
+	p.needAcks, p.invCount = 0, 0
+	p.acksForFetch, p.dataAtBlade, p.writable, p.notified = false, false, false, false
+	p.invQueue, p.invTLB = 0, 0
+	return p
+}
+
+// recycle returns a quiescent pending to the pool: every expected ACK
+// arrived (needAcks == 0) and the caller just delivered the final
+// completion, so nothing in the engine still references it. Requests
+// with outstanding ACKs (lost messages) or abandoned by a reset keep the
+// object alive as garbage instead.
+func (d *Directory) recycle(p *pending) {
+	if p.needAcks != 0 {
+		return
+	}
+	p.done = nil
+	p.region = nil
+	p.inv = Invalidation{}
+	d.pendFree.Put(p)
 }
 
 // RequestPage is the data-plane entry point: a compute blade's page-fault
@@ -340,13 +399,14 @@ func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Pe
 		return
 	}
 
-	p := &pending{d: d, key: key, pdid: pdid, va: page, done: done}
+	p := d.newPending(key, pdid, done)
 	d.inFlight[key] = p
 	d.col.IncH(d.hRemote, 1)
 
 	region, err := d.lookupOrCreate(page)
 	if err != nil {
 		delete(d.inFlight, key)
+		d.recycle(p)
 		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
 			done(Completion{Err: err})
 		})
@@ -355,8 +415,8 @@ func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Pe
 	if region.resetting {
 		// A §4.4 reset is tearing this entry down; tell the blade to
 		// retry once the reset completes.
-		p.notified = true
 		delete(d.inFlight, key)
+		d.recycle(p)
 		d.fab.SendFromSwitch(d.bladeNode(blade), fabric.CtrlMsgBytes, func() {
 			done(Completion{Retry: true})
 		})
@@ -386,19 +446,14 @@ func pendExec(x any) {
 	p.d.executeTransition(p.region, p)
 }
 
-// resetSharers empties a region's sharer set in place (the map is region-
-// private, so clearing beats replacing on the hot path).
-func resetSharers(r *Region) {
-	for s := range r.sharers {
-		delete(r.sharers, s)
-	}
-}
-
 func (d *Directory) executeTransition(r *Region, p *pending) {
 	blade := p.key.blade
 	write := p.key.want == mem.PermReadWrite
 
-	targets := d.scratchTargets[:0]
+	// The transition's invalidation targets, as a bitmap the egress
+	// pruning consumes directly.
+	tg := &d.invTargets
+	tg.Clear()
 	downgrade := false
 
 	switch {
@@ -406,73 +461,66 @@ func (d *Directory) executeTransition(r *Region, p *pending) {
 		p.transition = "I->E"
 		r.state = Modified // E is tracked as owned; see Config docs
 		r.owner = blade
-		resetSharers(r)
-		r.sharers[blade] = true
+		r.sharers.Clear()
+		r.sharers.Add(blade)
 		p.writable = true
 	case !write && r.state == Invalid:
 		p.transition = "I->S"
 		r.state = Shared
-		r.sharers[blade] = true
+		r.sharers.Add(blade)
 	case !write && r.state == Shared:
 		p.transition = "S->S"
-		r.sharers[blade] = true
+		r.sharers.Add(blade)
 	case !write && r.state == Modified && r.owner == blade:
 		p.transition = "M->M(own)"
 		p.writable = true
 	case !write && r.state == Modified:
 		p.transition = "M->S"
 		owner := r.owner
-		targets = append(targets, owner)
+		tg.Add(owner)
 		downgrade = true
 		r.state = Shared
-		resetSharers(r)
-		r.sharers[owner] = true
-		r.sharers[blade] = true
+		r.sharers.Clear()
+		r.sharers.Add(owner)
+		r.sharers.Add(blade)
 	case write && r.state == Invalid:
 		p.transition = "I->M"
 		r.state = Modified
 		r.owner = blade
-		resetSharers(r)
-		r.sharers[blade] = true
+		r.sharers.Clear()
+		r.sharers.Add(blade)
 		p.writable = true
 	case write && r.state == Shared:
 		p.transition = "S->M"
-		for s := range r.sharers {
-			if s != blade {
-				targets = append(targets, s)
-			}
-		}
+		tg.CopyFrom(&r.sharers)
+		tg.Remove(blade)
 		r.state = Modified
 		r.owner = blade
-		resetSharers(r)
-		r.sharers[blade] = true
+		r.sharers.Clear()
+		r.sharers.Add(blade)
 		p.writable = true
 	case write && r.state == Modified && r.owner == blade:
 		p.transition = "M->M(own)"
 		p.writable = true
 	case write && r.state == Modified:
 		p.transition = "M->M"
-		owner := r.owner
-		targets = append(targets, owner)
+		tg.Add(r.owner)
 		r.state = Modified
 		r.owner = blade
-		resetSharers(r)
-		r.sharers[blade] = true
+		r.sharers.Clear()
+		r.sharers.Add(blade)
 		p.writable = true
 	}
-	p.invCount = len(targets)
-	p.needAcks = len(targets)
+	n := tg.Count()
+	p.invCount = n
+	p.needAcks = n
 	// M→X transitions must flush the old owner before the memory fetch;
 	// S→M invalidations proceed in parallel with the fetch (§7.2).
-	p.acksForFetch = len(targets) > 0 && (p.transition == "M->S" || p.transition == "M->M")
+	p.acksForFetch = n > 0 && (p.transition == "M->S" || p.transition == "M->M")
 
-	if len(targets) > 0 {
-		d.sendInvalidations(r, p, targets, downgrade)
+	if n > 0 {
+		d.sendInvalidations(r, p, downgrade)
 	}
-	// Return the (possibly grown) scratch buffer once this transition is
-	// done with it; nothing below executeTransition re-enters it
-	// synchronously.
-	d.scratchTargets = targets[:0]
 	if !p.acksForFetch {
 		d.fetchAndDeliver(r, p)
 	}
@@ -512,7 +560,7 @@ func pendDeliverInv(x any, to fabric.NodeID) {
 	p := x.(*pending)
 	d := p.d
 	bladeID := int(to)
-	port := d.blades[bladeID]
+	port := d.bladePort(bladeID)
 	if port == nil {
 		panic(fmt.Sprintf("coherence: invalidation to unregistered blade %d", bladeID))
 	}
@@ -520,18 +568,11 @@ func pendDeliverInv(x any, to fabric.NodeID) {
 	port.HandleInvalidation(p.inv, d.newAckCtx(p, to).onAck)
 }
 
-// sendInvalidations multicasts an invalidation to the target sharers. The
-// packet is replicated to the whole compute-blade multicast group and
-// pruned in egress to the sharer list (§4.3.2).
-func (d *Directory) sendInvalidations(r *Region, p *pending, targets []int, downgrade bool) {
-	set := d.scratchSet
-	for t := range set {
-		delete(set, t)
-	}
-	for _, t := range targets {
-		set[t] = true
-	}
-	ports, err := d.asic.PruneMulticastInto(d.scratchPorts, ctrlplane.InvalidationGroup, set)
+// sendInvalidations multicasts an invalidation to the targets in
+// d.invTargets. The packet is replicated to the whole compute-blade
+// multicast group and pruned in egress to the sharer bitmap (§4.3.2).
+func (d *Directory) sendInvalidations(r *Region, p *pending, downgrade bool) {
+	ports, err := d.asic.PruneMulticastBitmap(d.scratchPorts, ctrlplane.InvalidationGroup, &d.invTargets)
 	if err != nil {
 		panic(fmt.Sprintf("coherence: multicast: %v", err))
 	}
@@ -561,7 +602,7 @@ func (d *Directory) sendInvalidations(r *Region, p *pending, targets []int, down
 	copy(seq, nodes)
 	deliver := func(to fabric.NodeID, acked func()) {
 		bladeID := int(to)
-		port := d.blades[bladeID]
+		port := d.bladePort(bladeID)
 		if port == nil {
 			panic(fmt.Sprintf("coherence: invalidation to unregistered blade %d", bladeID))
 		}
@@ -682,6 +723,7 @@ func (d *Directory) notifyComplete(r *Region, p *pending) {
 		InvTLB:        p.invTLB,
 	})
 	d.finish(r)
+	d.recycle(p)
 }
 
 func (d *Directory) failPending(r *Region, p *pending, err error) {
@@ -690,10 +732,12 @@ func (d *Directory) failPending(r *Region, p *pending, err error) {
 	}
 	p.notified = true
 	delete(d.inFlight, p.key)
+	done := p.done
 	d.fab.SendFromSwitch(d.bladeNode(p.key.blade), fabric.CtrlMsgBytes, func() {
-		p.done(Completion{Err: err})
+		done(Completion{Err: err})
 	})
 	d.finish(r)
+	d.recycle(p)
 }
 
 // finish releases the region and starts the next queued transition.
@@ -715,4 +759,4 @@ func (d *Directory) finish(r *Region) {
 func (d *Directory) SharerDropped(blade int, va mem.VA) {}
 
 // Regions returns the number of live directory entries.
-func (d *Directory) RegionCount() int { return len(d.regions) }
+func (d *Directory) RegionCount() int { return d.rt.count }

@@ -4,42 +4,45 @@ import (
 	"fmt"
 	"sort"
 
+	"mind/internal/bitset"
 	"mind/internal/ctrlplane"
 	"mind/internal/fabric"
 	"mind/internal/mem"
 	"mind/internal/sim"
-	"mind/internal/stats"
 	"mind/internal/switchasic"
 )
 
 // This file implements region management: the ctrlplane.RegionDirectory
 // interface consumed by the Bounded Splitting algorithm (§5), plus the
 // reset recovery mechanism (§4.4) and directory entry removal (§6.3).
+//
+// All iteration runs over the block-indexed region table, whose natural
+// order is ascending base address — the deterministic order the old
+// map-based code had to sort into explicitly.
 
 var _ ctrlplane.RegionDirectory = (*Directory)(nil)
 
-// EpochStats returns one entry per live region with the current epoch's
-// false invalidation count.
+// EpochStats returns one entry per live region (ascending base) with the
+// current epoch's false invalidation count.
 func (d *Directory) EpochStats() []ctrlplane.RegionStat {
-	out := make([]ctrlplane.RegionStat, 0, len(d.regions))
-	for _, r := range d.regions {
+	out := make([]ctrlplane.RegionStat, 0, d.rt.count)
+	d.rt.forEach(func(r *Region) {
 		out = append(out, ctrlplane.RegionStat{
 			Base:          r.Base,
 			Size:          r.Size,
 			FalseInvals:   r.falseInvals,
 			Invalidations: r.invalsEpoch,
 		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	})
 	return out
 }
 
 // ResetEpochCounters zeroes per-epoch false invalidation counters.
 func (d *Directory) ResetEpochCounters() {
-	for _, r := range d.regions {
+	d.rt.forEach(func(r *Region) {
 		r.falseInvals = 0
 		r.invalsEpoch = 0
-	}
+	})
 }
 
 // SlotsInUse returns current directory SRAM occupancy.
@@ -47,8 +50,6 @@ func (d *Directory) SlotsInUse() int { return d.asic.Directory.InUse() }
 
 // SlotCapacity returns the directory SRAM capacity (0 = unlimited).
 func (d *Directory) SlotCapacity() int { return d.asic.Directory.Capacity() }
-
-func (d *Directory) block(va mem.VA) mem.VA { return mem.AlignDown(va, d.cfg.TopLevelSize) }
 
 // --- Migration freezes (online elasticity) ---
 
@@ -101,22 +102,18 @@ func (d *Directory) frozenOverlaps(base mem.VA, size uint64) bool {
 // ascending order — the reset work list of a migration or failover.
 func (d *Directory) RegionsOverlapping(r mem.Range) []mem.VA {
 	var out []mem.VA
-	for base, reg := range d.regions {
-		if r.Overlaps(mem.Range{Base: base, Size: reg.Size}) {
-			out = append(out, base)
+	d.rt.forEach(func(reg *Region) {
+		if r.Overlaps(mem.Range{Base: reg.Base, Size: reg.Size}) {
+			out = append(out, reg.Base)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	})
 	return out
 }
 
 // AllRegionBases returns every live region base in ascending order.
 func (d *Directory) AllRegionBases() []mem.VA {
-	out := make([]mem.VA, 0, len(d.regions))
-	for base := range d.regions {
-		out = append(out, base)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]mem.VA, 0, d.rt.count)
+	d.rt.forEach(func(r *Region) { out = append(out, r.Base) })
 	return out
 }
 
@@ -125,8 +122,8 @@ func (d *Directory) AllRegionBases() []mem.VA {
 // coherence state and sharers. Busy regions cannot split (§6.3 performs
 // directory updates atomically between transitions).
 func (d *Directory) SplitRegion(base mem.VA) error {
-	r, ok := d.regions[base]
-	if !ok {
+	r := d.rt.exact(base)
+	if r == nil {
 		return ErrNoRegion
 	}
 	if r.busy || len(r.waiters) > 0 || r.resetting {
@@ -145,14 +142,10 @@ func (d *Directory) SplitRegion(base mem.VA) error {
 		return err
 	}
 	half := r.Size / 2
-	sibling := &Region{
-		Base:    r.Base + mem.VA(half),
-		Size:    half,
-		state:   r.state,
-		owner:   r.owner,
-		sharers: cloneSharers(r.sharers),
-		slot:    int(slot),
-	}
+	sibling := d.allocRegion()
+	sibling.Base, sibling.Size = r.Base+mem.VA(half), half
+	sibling.state, sibling.owner, sibling.slot = r.state, r.owner, int(slot)
+	sibling.sharers.CopyFrom(&r.sharers)
 	r.Size = half
 	// Split the epoch's signal between the halves; it re-accumulates with
 	// real traffic next epoch.
@@ -161,9 +154,8 @@ func (d *Directory) SplitRegion(base mem.VA) error {
 	sibling.invalsEpoch = r.invalsEpoch / 2
 	r.invalsEpoch -= sibling.invalsEpoch
 
-	d.regions[sibling.Base] = sibling
-	d.blocks[d.block(sibling.Base)][sibling.Base] = sibling
-	d.col.Inc(stats.CtrSplits, 1)
+	d.rt.insert(sibling)
+	d.col.IncH(d.hSplits, 1)
 	return nil
 }
 
@@ -174,8 +166,8 @@ func (d *Directory) SplitRegion(base mem.VA) error {
 // result would exceed the top-level size, or when coherence states are
 // incompatible (two different Modified owners).
 func (d *Directory) MergeRegion(lo mem.VA) error {
-	r, ok := d.regions[lo]
-	if !ok {
+	r := d.rt.exact(lo)
+	if r == nil {
 		return ErrNoRegion
 	}
 	if r.busy || len(r.waiters) > 0 || r.resetting {
@@ -188,20 +180,18 @@ func (d *Directory) MergeRegion(lo mem.VA) error {
 		return ErrRegionBusy
 	}
 	buddyBase := lo ^ mem.VA(r.Size)
-	buddy, ok := d.regions[buddyBase]
-	if !ok {
+	buddy := d.rt.exact(buddyBase)
+	if buddy == nil {
 		// Expansion into uncovered space (either side): legal only if
 		// nothing overlaps the buddy range.
-		if d.overlapsExisting(d.block(buddyBase), buddyBase, r.Size) {
+		if d.rt.overlaps(buddyBase, r.Size) {
 			return fmt.Errorf("coherence: buddy range partially covered")
 		}
 		if buddyBase < lo {
 			// The region's base moves down; rekey it.
-			delete(d.regions, lo)
-			delete(d.blocks[d.block(lo)], lo)
+			d.rt.remove(lo)
 			r.Base = buddyBase
-			d.regions[buddyBase] = r
-			d.blocks[d.block(buddyBase)][buddyBase] = r
+			d.rt.insert(r)
 		}
 		r.Size *= 2
 		return nil
@@ -224,21 +214,19 @@ func (d *Directory) MergeRegion(lo mem.VA) error {
 	r.falseInvals += buddy.falseInvals
 	r.invalsEpoch += buddy.invalsEpoch
 	r.Size *= 2
-	delete(d.regions, buddyBase)
-	delete(d.blocks[d.block(buddyBase)], buddyBase)
+	d.rt.remove(buddyBase)
 	if err := d.asic.Directory.Release(switchasic.SlotID(buddy.slot)); err != nil {
 		panic(fmt.Sprintf("coherence: releasing buddy slot: %v", err))
 	}
-	d.col.Inc(stats.CtrMerges, 1)
+	d.col.IncH(d.hMerges, 1)
 	return nil
 }
 
 // mergeStates combines two buddies' coherence metadata conservatively.
-func mergeStates(a, b *Region) (State, int, map[int]bool, error) {
-	union := cloneSharers(a.sharers)
-	for s := range b.sharers {
-		union[s] = true
-	}
+func mergeStates(a, b *Region) (State, int, bitset.Set, error) {
+	var union bitset.Set
+	union.CopyFrom(&a.sharers)
+	union.UnionWith(&b.sharers)
 	switch {
 	case a.state == Invalid && b.state == Invalid:
 		return Invalid, 0, union, nil
@@ -246,71 +234,62 @@ func mergeStates(a, b *Region) (State, int, map[int]bool, error) {
 		return Shared, 0, union, nil
 	case a.state == Modified && b.state == Modified:
 		if a.owner != b.owner {
-			return 0, 0, nil, ErrCannotMerge
+			return 0, 0, bitset.Set{}, ErrCannotMerge
 		}
 		return Modified, a.owner, union, nil
 	case a.state == Modified:
-		if subsetOf(b.sharers, a.owner) {
+		if b.sharers.OnlyMember(a.owner) {
 			return Modified, a.owner, union, nil
 		}
-		return 0, 0, nil, ErrCannotMerge
+		return 0, 0, bitset.Set{}, ErrCannotMerge
 	default: // b Modified
-		if subsetOf(a.sharers, b.owner) {
+		if a.sharers.OnlyMember(b.owner) {
 			return Modified, b.owner, union, nil
 		}
-		return 0, 0, nil, ErrCannotMerge
+		return 0, 0, bitset.Set{}, ErrCannotMerge
 	}
-}
-
-func subsetOf(set map[int]bool, only int) bool {
-	for s := range set {
-		if s != only {
-			return false
-		}
-	}
-	return true
 }
 
 // emergencyMerge coarsens the coldest mergeable buddy pair to free one
 // slot when region creation finds the SRAM full. Returns false if nothing
 // can merge.
 func (d *Directory) emergencyMerge() bool {
-	type cand struct {
-		lo   mem.VA
-		heat uint64
-	}
-	var best *cand
-	for base, r := range d.regions {
+	var (
+		bestLo   mem.VA
+		bestHeat uint64
+		found    bool
+	)
+	d.rt.forEach(func(r *Region) {
 		if r.busy || len(r.waiters) > 0 || r.Size*2 > d.cfg.TopLevelSize {
-			continue
+			return
 		}
-		buddyBase := base ^ mem.VA(r.Size)
-		if buddyBase < base {
-			continue
+		buddyBase := r.Base ^ mem.VA(r.Size)
+		if buddyBase < r.Base {
+			return
 		}
-		buddy, ok := d.regions[buddyBase]
-		if !ok || buddy.Size != r.Size || buddy.busy || len(buddy.waiters) > 0 {
-			continue
+		buddy := d.rt.exact(buddyBase)
+		if buddy == nil || buddy.Size != r.Size || buddy.busy || len(buddy.waiters) > 0 {
+			return
 		}
 		if _, _, _, err := mergeStates(r, buddy); err != nil {
-			continue
+			return
 		}
 		heat := r.falseInvals + buddy.falseInvals
-		if best == nil || heat < best.heat || (heat == best.heat && base < best.lo) {
-			best = &cand{lo: base, heat: heat}
+		if !found || heat < bestHeat || (heat == bestHeat && r.Base < bestLo) {
+			found, bestLo, bestHeat = true, r.Base, heat
 		}
-	}
-	if best == nil {
+	})
+	if !found {
 		return false
 	}
-	return d.MergeRegion(best.lo) == nil
+	return d.MergeRegion(bestLo) == nil
 }
 
 // SwapASIC repoints the directory at a backup data plane after failover
 // (§4.4). The directory must be empty — all regions reset — since SRAM
 // slot ids are not portable across ASICs.
 func (d *Directory) SwapASIC(a *switchasic.ASIC) {
-	if len(d.regions) != 0 {
+	if d.rt.count != 0 {
 		panic("coherence: SwapASIC with live regions; reset them first")
 	}
 	d.asic = a
@@ -320,15 +299,14 @@ func (d *Directory) SwapASIC(a *switchasic.ASIC) {
 // §6.3 "removing a directory entry follows the reverse procedure"). The
 // region must be idle.
 func (d *Directory) RemoveRegion(base mem.VA) error {
-	r, ok := d.regions[base]
-	if !ok {
+	r := d.rt.exact(base)
+	if r == nil {
 		return ErrNoRegion
 	}
 	if r.busy || len(r.waiters) > 0 {
 		return ErrRegionBusy
 	}
-	delete(d.regions, base)
-	delete(d.blocks[d.block(base)], base)
+	d.rt.remove(base)
 	if err := d.asic.Directory.Release(switchasic.SlotID(r.slot)); err != nil {
 		panic(fmt.Sprintf("coherence: releasing slot: %v", err))
 	}
@@ -347,7 +325,7 @@ func (d *Directory) ResetRegion(va mem.VA, done func()) {
 		d.eng.Schedule(0, done)
 		return
 	}
-	d.col.Inc(stats.CtrResets, 1)
+	d.col.IncH(d.hResets, 1)
 	r.resetting = true
 
 	// Fail queued waiters immediately; the in-flight transition (if any)
@@ -393,18 +371,19 @@ func (d *Directory) ResetRegion(va mem.VA, done func()) {
 	members := d.asic.Group(ctrlplane.InvalidationGroup)
 	if len(members) == 0 {
 		// Racks built without a group (unit-test directories): fall back
-		// to the registered ports, sorted.
-		for b := range d.blades {
-			members = append(members, b)
+		// to the registered ports, ascending.
+		for b, port := range d.blades {
+			if port != nil {
+				members = append(members, b)
+			}
 		}
-		sort.Ints(members)
 	}
 	// Tolerate group members whose directory port is not (yet)
 	// registered — membership updates and registration are separate
 	// control-plane steps.
 	bladeIDs := members[:0:0]
 	for _, b := range members {
-		if d.blades[b] != nil {
+		if d.bladePort(b) != nil {
 			bladeIDs = append(bladeIDs, b)
 		}
 	}
@@ -421,7 +400,7 @@ func (d *Directory) ResetRegion(va mem.VA, done func()) {
 		d.eng.Schedule(half, func() {
 			port.HandleInvalidation(inv, func(info AckInfo) {
 				d.eng.Schedule(half, func() {
-					d.col.Inc(stats.CtrFlushedPages, uint64(info.FlushedDirty))
+					d.col.IncH(d.hFlushed, uint64(info.FlushedDirty))
 					remaining--
 					if remaining == 0 {
 						d.removeAfterReset(r)

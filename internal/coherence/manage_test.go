@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"mind/internal/bitset"
 	"mind/internal/ctrlplane"
 	"mind/internal/fabric"
 	"mind/internal/mem"
@@ -11,6 +12,15 @@ import (
 	"mind/internal/stats"
 	"mind/internal/switchasic"
 )
+
+// sharerSet builds a sharer bitmap from blade IDs.
+func sharerSet(ids ...int) bitset.Set {
+	var s bitset.Set
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
 
 // newTestDirectory builds a directory with stub deps for pure
 // region-management tests (no protocol traffic).
@@ -62,7 +72,7 @@ func TestSplitRegionInheritsState(t *testing.T) {
 	d, asic := newTestDirectory(t, 100, 16<<10, 2<<20)
 	r, _ := d.lookupOrCreate(0x4000)
 	r.state = Shared
-	r.sharers = map[int]bool{1: true, 3: true}
+	r.sharers = sharerSet(1, 3)
 	if err := d.SplitRegion(r.Base); err != nil {
 		t.Fatal(err)
 	}
@@ -74,12 +84,12 @@ func TestSplitRegionInheritsState(t *testing.T) {
 	if lo.Size != 8<<10 || hi.Size != 8<<10 {
 		t.Errorf("sizes = %d/%d", lo.Size, hi.Size)
 	}
-	if hi.state != Shared || !hi.sharers[1] || !hi.sharers[3] {
+	if hi.state != Shared || !hi.sharers.Has(1) || !hi.sharers.Has(3) {
 		t.Error("sibling did not inherit state/sharers")
 	}
 	// Sharer sets must be independent after the split.
-	delete(hi.sharers, 1)
-	if !lo.sharers[1] {
+	hi.sharers.Remove(1)
+	if !lo.sharers.Has(1) {
 		t.Error("sharer sets aliased across split")
 	}
 }
@@ -170,14 +180,14 @@ func TestMergeIncompatibleOwners(t *testing.T) {
 	_ = d.SplitRegion(r.Base)
 	lo, _ := d.Lookup(0x4000)
 	hi, _ := d.Lookup(0x6000)
-	lo.state, lo.owner, lo.sharers = Modified, 1, map[int]bool{1: true}
-	hi.state, hi.owner, hi.sharers = Modified, 2, map[int]bool{2: true}
+	lo.state, lo.owner, lo.sharers = Modified, 1, sharerSet(1)
+	hi.state, hi.owner, hi.sharers = Modified, 2, sharerSet(2)
 	if err := d.MergeRegion(0x4000); !errors.Is(err, ErrCannotMerge) {
 		t.Errorf("err = %v, want ErrCannotMerge", err)
 	}
 	// Same owner merges fine.
 	hi.owner = 1
-	hi.sharers = map[int]bool{1: true}
+	hi.sharers = sharerSet(1)
 	if err := d.MergeRegion(0x4000); err != nil {
 		t.Errorf("same-owner merge failed: %v", err)
 	}
@@ -194,8 +204,8 @@ func TestMergeModifiedWithShared(t *testing.T) {
 	lo, _ := d.Lookup(0x4000)
 	hi, _ := d.Lookup(0x6000)
 	// M merged with S is fine only when the S copies belong to the owner.
-	lo.state, lo.owner, lo.sharers = Modified, 1, map[int]bool{1: true}
-	hi.state, hi.sharers = Shared, map[int]bool{1: true}
+	lo.state, lo.owner, lo.sharers = Modified, 1, sharerSet(1)
+	hi.state, hi.sharers = Shared, sharerSet(1)
 	if err := d.MergeRegion(0x4000); err != nil {
 		t.Fatalf("M+S(owner-only) merge failed: %v", err)
 	}
@@ -204,8 +214,8 @@ func TestMergeModifiedWithShared(t *testing.T) {
 	_ = d.SplitRegion(m.Base)
 	lo, _ = d.Lookup(0x4000)
 	hi, _ = d.Lookup(0x6000)
-	lo.state, lo.owner, lo.sharers = Modified, 1, map[int]bool{1: true}
-	hi.state, hi.sharers = Shared, map[int]bool{2: true}
+	lo.state, lo.owner, lo.sharers = Modified, 1, sharerSet(1)
+	hi.state, hi.sharers = Shared, sharerSet(2)
 	if err := d.MergeRegion(0x4000); !errors.Is(err, ErrCannotMerge) {
 		t.Errorf("M+S(foreign) merge: %v", err)
 	}
@@ -270,7 +280,7 @@ func TestRegionStringAndStateString(t *testing.T) {
 	if State(9).String() == "" {
 		t.Error("unknown state should format")
 	}
-	r := &Region{Base: 0x1000, Size: 4096, state: Shared, sharers: map[int]bool{1: true}}
+	r := &Region{Base: 0x1000, Size: 4096, state: Shared, sharers: sharerSet(1)}
 	if r.String() == "" || len(r.Sharers()) != 1 || !r.Contains(0x1fff) || r.Contains(0x2000) {
 		t.Error("region accessors")
 	}

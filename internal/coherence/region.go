@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mind/internal/bitset"
 	"mind/internal/mem"
 )
 
@@ -60,9 +61,13 @@ type Region struct {
 	Base mem.VA
 	Size uint64
 
-	state   State
-	owner   int          // valid when state == Modified
-	sharers map[int]bool // compute blades possibly holding pages
+	state State
+	owner int // valid when state == Modified
+	// sharers is the set of compute blades possibly holding pages, as a
+	// bitmap over blade IDs — one uint64 word covers a 64-blade rack, so
+	// sharer-set updates and the egress-pruning intersection are
+	// word-parallel instead of per-member map operations.
+	sharers bitset.Set
 
 	// busy serializes transitions: while a transition is collecting ACKs
 	// or data, conflicting requests queue in waiters.
@@ -88,14 +93,8 @@ func (r *Region) State() State { return r.state }
 // Owner returns the owning blade (meaningful in Modified).
 func (r *Region) Owner() int { return r.owner }
 
-// Sharers returns the blades currently listed as sharers.
-func (r *Region) Sharers() []int {
-	out := make([]int, 0, len(r.sharers))
-	for b := range r.sharers {
-		out = append(out, b)
-	}
-	return out
-}
+// Sharers returns the blades currently listed as sharers, ascending.
+func (r *Region) Sharers() []int { return r.sharers.AppendTo(nil) }
 
 // Range returns the region's address range.
 func (r *Region) Range() mem.Range { return mem.Range{Base: r.Base, Size: r.Size} }
@@ -107,16 +106,5 @@ func (r *Region) Contains(va mem.VA) bool {
 
 func (r *Region) String() string {
 	return fmt.Sprintf("region{%#x +%#x %v owner=%d sharers=%d}",
-		uint64(r.Base), r.Size, r.state, r.owner, len(r.sharers))
-}
-
-// cloneSharers copies the sharer set.
-func cloneSharers(m map[int]bool) map[int]bool {
-	out := make(map[int]bool, len(m))
-	for k, v := range m {
-		if v {
-			out[k] = v
-		}
-	}
-	return out
+		uint64(r.Base), r.Size, r.state, r.owner, r.sharers.Count())
 }

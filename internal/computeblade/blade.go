@@ -141,11 +141,6 @@ type fault struct {
 	onComplete func(coherence.Completion)
 }
 
-type faultKey struct {
-	page mem.VA
-	want mem.Perm
-}
-
 // Blade is one compute blade: cache + fault machinery + invalidation
 // handler.
 type Blade struct {
@@ -156,7 +151,9 @@ type Blade struct {
 	deps  Deps
 
 	invHandler *sim.Resource
-	faults     map[faultKey]*fault
+	// faults dedups concurrent faults per (page, want): an open-addressed
+	// table keyed by the packed fault key (see faulttable.go).
+	faults faultTable
 
 	// Free lists for the per-access hot path.
 	faultFree sim.Pool[fault]
@@ -201,7 +198,6 @@ func New(cfg Config, deps Deps) *Blade {
 		cache:      NewCache(cfg.CachePages),
 		deps:       deps,
 		invHandler: sim.NewResource(fmt.Sprintf("inv-handler-%d", cfg.ID), 1),
-		faults:     make(map[faultKey]*fault),
 
 		hAccesses:    deps.Collector.Handle(stats.CtrAccesses),
 		hLocalHits:   deps.Collector.Handle(stats.CtrLocalHits),
@@ -279,15 +275,15 @@ func (b *Blade) newFault(pdid mem.PDID, page mem.VA, want mem.Perm) *fault {
 
 // startFault begins or joins a page fault for (page, want).
 func (b *Blade) startFault(pdid mem.PDID, page mem.VA, want mem.Perm, done func(AccessResult)) {
-	key := faultKey{page: page, want: want}
-	if f, ok := b.faults[key]; ok {
+	key := packFaultKey(page, want)
+	if f := b.faults.get(key); f != nil {
 		// Another thread on this blade already faulted: share the fault.
 		f.waiters = append(f.waiters, waiter{start: b.eng.Now(), done: done})
 		return
 	}
 	f := b.newFault(pdid, page, want)
 	f.waiters = append(f.waiters, waiter{start: f.start, done: done})
-	b.faults[key] = f
+	b.faults.put(key, f)
 	// Kernel fault entry, then the request goes out.
 	f.pendingIssues++
 	b.eng.ScheduleArg(b.cfg.PageFaultCost, faultIssue, f)
@@ -442,7 +438,7 @@ func (b *Blade) settle(f *fault, r AccessResult) {
 	// Defensive: a recycled fault must never have a live timer pointing
 	// at it (Cancel is a no-op unless the timer is pending).
 	b.eng.Cancel(f.timeout)
-	delete(b.faults, faultKey{page: f.page, want: f.want})
+	b.faults.del(packFaultKey(f.page, f.want))
 	now := b.eng.Now()
 	r.Page = f.page
 	for _, w := range f.waiters {

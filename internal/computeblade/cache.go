@@ -41,6 +41,12 @@ type Cache struct {
 	free    sim.Pool[PageState]
 	scratch []*PageState // PagesIn result buffer, reused per call
 
+	// arena backs the first `capacity` page records with one up-front
+	// slab, so filling a cold cache performs no per-page allocation
+	// (the free list then recycles records forever).
+	arena     []PageState
+	arenaNext int
+
 	hits   uint64
 	misses uint64
 }
@@ -50,7 +56,11 @@ func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		panic("computeblade: cache needs at least one page")
 	}
-	c := &Cache{capacity: capacity, pages: make(map[mem.VA]*PageState)}
+	c := &Cache{
+		capacity: capacity,
+		pages:    make(map[mem.VA]*PageState, capacity),
+		arena:    make([]PageState, capacity),
+	}
 	c.head.prev = &c.head
 	c.head.next = &c.head
 	return c
@@ -124,6 +134,9 @@ func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
 		// Reinitialize fully: stale Data from the page's previous
 		// identity must not leak into the new one.
 		p.Dirty, p.Data = false, nil
+	} else if c.arenaNext < len(c.arena) {
+		p = &c.arena[c.arenaNext]
+		c.arenaNext++
 	} else {
 		p = &PageState{}
 	}

@@ -1,0 +1,122 @@
+package computeblade
+
+import (
+	"mind/internal/mem"
+)
+
+// faultKeyPacked is a fault's identity packed into one word: the page
+// base keeps its low 12 bits free (pages are 4 KB aligned), so the
+// wanted permission class rides there. No valid key is zero (Perm is 1
+// or 2), which lets zero mark empty table slots.
+type faultKeyPacked uint64
+
+func packFaultKey(page mem.VA, want mem.Perm) faultKeyPacked {
+	return faultKeyPacked(uint64(page) | uint64(want))
+}
+
+// faultTable is an open-addressed hash table from packed fault keys to
+// in-flight faults — the blade's per-access dedup structure ("is this
+// page already faulting?"). Linear probing with backward-shift deletion
+// keeps lookups a few cache-line touches with no tombstone decay and no
+// per-entry allocation; the handful of concurrent faults a blade carries
+// makes probes short.
+type faultTable struct {
+	keys []faultKeyPacked
+	vals []*fault
+	n    int
+}
+
+const faultTableMinSize = 16 // power of two
+
+func (t *faultTable) mask() uint64 { return uint64(len(t.keys) - 1) }
+
+// hash mixes the packed key (fibonacci hashing; pages are aligned so
+// the low bits alone would collide structurally).
+func (t *faultTable) hash(k faultKeyPacked) uint64 {
+	return (uint64(k) * 0x9e3779b97f4a7c15) >> 32
+}
+
+// get returns the fault for k, or nil.
+func (t *faultTable) get(k faultKeyPacked) *fault {
+	if t.n == 0 {
+		return nil
+	}
+	m := t.mask()
+	for i := t.hash(k) & m; ; i = (i + 1) & m {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// put inserts k -> f (k must not be present).
+func (t *faultTable) put(k faultKeyPacked, f *fault) {
+	if len(t.keys) == 0 {
+		t.keys = make([]faultKeyPacked, faultTableMinSize)
+		t.vals = make([]*fault, faultTableMinSize)
+	} else if (t.n+1)*4 > len(t.keys)*3 {
+		t.grow()
+	}
+	m := t.mask()
+	i := t.hash(k) & m
+	for t.keys[i] != 0 {
+		i = (i + 1) & m
+	}
+	t.keys[i] = k
+	t.vals[i] = f
+	t.n++
+}
+
+// del removes k; absent keys are a no-op. Backward-shift deletion: the
+// vacated slot pulls back any displaced entries in its probe chain, so
+// the table never accumulates tombstones.
+func (t *faultTable) del(k faultKeyPacked) {
+	if t.n == 0 {
+		return
+	}
+	m := t.mask()
+	i := t.hash(k) & m
+	for t.keys[i] != k {
+		if t.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & m
+	}
+	t.n--
+	for {
+		t.keys[i] = 0
+		t.vals[i] = nil
+		// Shift back any entry whose home position precedes the hole.
+		j := i
+		for {
+			j = (j + 1) & m
+			if t.keys[j] == 0 {
+				return
+			}
+			home := t.hash(t.keys[j]) & m
+			// Entry j may move into the hole i iff its home position is
+			// outside the (cyclic) range (i, j].
+			if (j-home)&m >= (j-i)&m {
+				t.keys[i] = t.keys[j]
+				t.vals[i] = t.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+func (t *faultTable) grow() {
+	oldK, oldV := t.keys, t.vals
+	t.keys = make([]faultKeyPacked, 2*len(oldK))
+	t.vals = make([]*fault, 2*len(oldV))
+	t.n = 0
+	for i, k := range oldK {
+		if k != 0 {
+			t.put(k, oldV[i])
+		}
+	}
+}

@@ -41,7 +41,9 @@ type Cluster struct {
 	reqFree sim.Pool[reqJob]
 	wbFree  sim.Pool[wbJob]
 
-	hLostWrites stats.Handle
+	hLostWrites    stats.Handle
+	hBladeEvents   stats.Handle
+	hMigratedPages stats.Handle
 }
 
 // reqJob carries one page-fault request blade -> switch; jobs are pooled
@@ -152,6 +154,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		col: stats.NewCollector(),
 	}
 	c.hLostWrites = c.col.Handle(stats.CtrLostWrites)
+	c.hBladeEvents = c.col.Handle(stats.CtrBladeEvents)
+	c.hMigratedPages = c.col.Handle(stats.CtrMigratedPages)
 	c.fab = fabric.New(c.eng, cfg.Fabric)
 	c.ctl = ctrlplane.NewController(asicCfg, cfg.Placement, cfg.ComputeBlades)
 

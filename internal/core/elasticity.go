@@ -28,7 +28,6 @@ import (
 	"mind/internal/mem"
 	"mind/internal/memblade"
 	"mind/internal/sim"
-	"mind/internal/stats"
 )
 
 // DrainReport summarizes one completed memory-blade drain.
@@ -92,7 +91,7 @@ func (c *Cluster) AddMemBlade(capacity uint64) (ctrlplane.BladeID, error) {
 	}
 	c.fab.AddNode(memNodeBase + fabric.NodeID(id))
 	c.mblades = append(c.mblades, memblade.New(int(id)))
-	c.col.Inc(stats.CtrBladeEvents, 1)
+	c.col.IncH(c.hBladeEvents, 1)
 	return id, nil
 }
 
@@ -111,7 +110,7 @@ func (c *Cluster) DrainMemBladeAsync(victim ctrlplane.BladeID, done func(DrainRe
 		done(rep, err)
 		return
 	}
-	c.col.Inc(stats.CtrBladeEvents, 1)
+	c.col.IncH(c.hBladeEvents, 1)
 
 	// An aborted drain must not leave a healthy blade excluded from
 	// placement forever: its data is intact and it still serves traffic,
@@ -184,7 +183,7 @@ func (c *Cluster) DrainMemBladeAsync(victim ctrlplane.BladeID, done func(DrainRe
 						c.mblades[int(to)].InstallPage(pg)
 					}
 					rep.PagesMoved += len(moved)
-					c.col.Inc(stats.CtrMigratedPages, uint64(len(moved)))
+					c.col.IncH(c.hMigratedPages, uint64(len(moved)))
 					rep.Allocations++
 					step()
 				case errors.Is(err, ctrlplane.ErrBladeUnavailable), errors.Is(err, ctrlplane.ErrBadAddress):
@@ -355,7 +354,7 @@ func (c *Cluster) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillRepo
 		done(rep, err)
 		return
 	}
-	c.col.Inc(stats.CtrBladeEvents, 1)
+	c.col.IncH(c.hBladeEvents, 1)
 
 	var step func()
 	step = func() {
@@ -428,7 +427,7 @@ func (c *Cluster) KillMemBlade(victim ctrlplane.BladeID) (KillReport, error) {
 func (c *Cluster) KillSwitchAsync(done func(SwitchFailoverReport)) {
 	rep := SwitchFailoverReport{Start: c.eng.Now()}
 	c.dir.SetFreezeAll(true)
-	c.col.Inc(stats.CtrBladeEvents, 1)
+	c.col.IncH(c.hBladeEvents, 1)
 	// Under the rack-wide freeze no region can be created or split, so
 	// one snapshot covers every entry that must be torn down.
 	c.resetBases(c.dir.AllRegionBases(), func(n int) {

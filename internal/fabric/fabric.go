@@ -13,6 +13,7 @@ package fabric
 import (
 	"fmt"
 
+	"mind/internal/bitset"
 	"mind/internal/sim"
 )
 
@@ -82,10 +83,14 @@ func DefaultConfig() Config {
 // Fabric is the instantiated network: one NIC pair per node and the
 // shared switch pipelines.
 type Fabric struct {
-	eng     *sim.Engine
-	cfg     Config
-	nicTx   map[NodeID]*sim.Resource
-	nicRx   map[NodeID]*sim.Resource
+	eng *sim.Engine
+	cfg Config
+	// NIC resources are dense slices indexed by NodeID+1 (the +1 makes
+	// room for SwitchNode = -1): compute blades occupy the low indexes
+	// and memory blades a fixed offset above them, so the per-hop
+	// resource lookup is one bounds check instead of a map probe.
+	nicTx   []*sim.Resource
+	nicRx   []*sim.Resource
 	ingress *sim.Resource
 	egress  *sim.Resource
 
@@ -94,11 +99,12 @@ type Fabric struct {
 	// §4.4 communication-failure handling).
 	DropFn func(from, to NodeID) bool
 
-	// dead marks failed endpoints: every message addressed to (or sent
-	// from) a dead node is silently lost, the way a link to a crashed
-	// blade goes black. Unlike DropFn this is permanent rack state, set
-	// by failure-injection events (Cluster.KillMemBlade).
-	dead map[NodeID]bool
+	// dead marks failed endpoints (a bitset indexed by NodeID+1, like
+	// the NIC slices): every message addressed to (or sent from) a dead
+	// node is silently lost, the way a link to a crashed blade goes
+	// black. Unlike DropFn this is permanent rack state, set by
+	// failure-injection events (Cluster.KillMemBlade).
+	dead bitset.Set
 
 	// Delivered counts successful end-point deliveries; Dropped counts
 	// injected losses (DropFn hits plus messages to dead nodes).
@@ -139,31 +145,37 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 	return &Fabric{
 		eng:     eng,
 		cfg:     cfg,
-		nicTx:   make(map[NodeID]*sim.Resource),
-		nicRx:   make(map[NodeID]*sim.Resource),
 		ingress: sim.NewResource("switch-ingress", cfg.PipelineSlots),
 		egress:  sim.NewResource("switch-egress", cfg.PipelineSlots),
-		dead:    make(map[NodeID]bool),
 	}
+}
+
+// slot maps a NodeID onto the dense table index.
+func slot(id NodeID) int {
+	i := int(id) + 1
+	if i < 0 {
+		panic(fmt.Sprintf("fabric: invalid node id %d", id))
+	}
+	return i
 }
 
 // SetNodeDead marks (or revives) an endpoint. Messages to a dead node
 // are dropped at the switch; nothing a dead node "sends" is delivered.
 func (f *Fabric) SetNodeDead(id NodeID, dead bool) {
 	if dead {
-		f.dead[id] = true
+		f.dead.Add(slot(id))
 	} else {
-		delete(f.dead, id)
+		f.dead.Remove(slot(id))
 	}
 }
 
 // NodeDead reports whether id has been marked failed.
-func (f *Fabric) NodeDead(id NodeID) bool { return f.dead[id] }
+func (f *Fabric) NodeDead(id NodeID) bool { return f.dead.Has(slot(id)) }
 
 // lost reports whether a delivery from → to should be dropped, counting
 // the loss.
 func (f *Fabric) lost(from, to NodeID) bool {
-	if f.dead[from] || f.dead[to] {
+	if f.dead.Has(slot(from)) || f.dead.Has(slot(to)) {
 		f.Dropped++
 		return true
 	}
@@ -183,29 +195,34 @@ func (f *Fabric) Engine() *sim.Engine { return f.eng }
 // AddNode registers a node's NIC with the fabric. Each blade has
 // dedicated access to a separate 100 Gbps NIC (§7 cluster setup).
 func (f *Fabric) AddNode(id NodeID) {
-	if _, dup := f.nicTx[id]; dup {
+	i := slot(id)
+	for i >= len(f.nicTx) {
+		f.nicTx = append(f.nicTx, nil)
+		f.nicRx = append(f.nicRx, nil)
+	}
+	if f.nicTx[i] != nil {
 		panic(fmt.Sprintf("fabric: duplicate node %d", id))
 	}
-	f.nicTx[id] = sim.NewResource(fmt.Sprintf("nic-tx-%d", id), 1)
-	f.nicRx[id] = sim.NewResource(fmt.Sprintf("nic-rx-%d", id), 1)
+	f.nicTx[i] = sim.NewResource(fmt.Sprintf("nic-tx-%d", id), 1)
+	f.nicRx[i] = sim.NewResource(fmt.Sprintf("nic-rx-%d", id), 1)
 }
 
 // HasNode reports whether id is registered.
 func (f *Fabric) HasNode(id NodeID) bool {
-	_, ok := f.nicTx[id]
-	return ok
+	i := slot(id)
+	return i < len(f.nicTx) && f.nicTx[i] != nil
 }
 
 func (f *Fabric) serialize(bytes int) sim.Duration {
 	return sim.Duration(float64(bytes) / f.cfg.NICBytesPerNs)
 }
 
-func (f *Fabric) nic(m map[NodeID]*sim.Resource, id NodeID, kind string) *sim.Resource {
-	r, ok := m[id]
-	if !ok {
+func (f *Fabric) nic(m []*sim.Resource, id NodeID, kind string) *sim.Resource {
+	i := slot(id)
+	if i >= len(m) || m[i] == nil {
 		panic(fmt.Sprintf("fabric: %s for unregistered node %d", kind, id))
 	}
-	return r
+	return m[i]
 }
 
 // SendToSwitchArg models node → switch: TX NIC serialization, the wire,
@@ -215,7 +232,7 @@ func (f *Fabric) nic(m map[NodeID]*sim.Resource, id NodeID, kind string) *sim.Re
 func (f *Fabric) SendToSwitchArg(from NodeID, bytes int, fn func(any), arg any) {
 	tx := f.nic(f.nicTx, from, "TX")
 	_, txEnd := tx.Reserve(f.eng.Now(), f.cfg.NICOverhead+f.serialize(bytes))
-	if f.dead[from] {
+	if f.dead.Has(slot(from)) {
 		f.Dropped++
 		return
 	}

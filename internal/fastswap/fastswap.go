@@ -48,6 +48,14 @@ type Cluster struct {
 	fab *fabric.Fabric
 	col *stats.Collector
 
+	// Pre-resolved stats handles (the string-keyed Collector API is a
+	// deprecated shim; hot paths use integer handles).
+	hAccesses   stats.Handle
+	hLocalHits  stats.Handle
+	hRemote     stats.Handle
+	hEvictions  stats.Handle
+	hWritebacks stats.Handle
+
 	cache  *computeblade.Cache
 	nextVA mem.VA
 
@@ -67,6 +75,11 @@ func New(cfg Config) *Cluster {
 		nextVA: 1 << 32,
 		faults: make(map[mem.VA][]func()),
 	}
+	c.hAccesses = c.col.Handle(stats.CtrAccesses)
+	c.hLocalHits = c.col.Handle(stats.CtrLocalHits)
+	c.hRemote = c.col.Handle(stats.CtrRemoteAccesses)
+	c.hEvictions = c.col.Handle(stats.CtrEvictions)
+	c.hWritebacks = c.col.Handle(stats.CtrWritebacks)
 	c.fab = fabric.New(c.eng, cfg.Fabric)
 	c.fab.AddNode(0) // the single compute blade
 	for m := 0; m < cfg.MemoryBlades; m++ {
@@ -131,7 +144,7 @@ func (t *thread) step() {
 			c.active--
 			return
 		}
-		c.col.Inc(stats.CtrAccesses, 1)
+		c.col.IncH(c.hAccesses, 1)
 		page := mem.PageBase(va)
 		if p, cached := c.cache.Lookup(va); cached {
 			// Swap systems map resident pages read-write; writes just
@@ -140,7 +153,7 @@ func (t *thread) step() {
 				p.Dirty = true
 			}
 			t.ops++
-			c.col.Inc(stats.CtrLocalHits, 1)
+			c.col.IncH(c.hLocalHits, 1)
 			local += computeblade.HitLatency + 30*sim.Nanosecond
 			continue
 		}
@@ -164,7 +177,7 @@ func (c *Cluster) fault(page mem.VA, done func()) {
 		return
 	}
 	c.faults[page] = []func(){done}
-	c.col.Inc(stats.CtrRemoteAccesses, 1)
+	c.col.IncH(c.hRemote, 1)
 	c.eng.Schedule(c.cfg.PageFaultCost, func() {
 		memN := c.memBladeOf(page)
 		c.fab.Unicast(0, memN, fabric.CtrlMsgBytes, func() {
@@ -172,9 +185,9 @@ func (c *Cluster) fault(page mem.VA, done func()) {
 				c.fab.Unicast(memN, 0, fabric.PageBytes, func() {
 					for c.cache.NeedsEviction() {
 						v := c.cache.EvictLRU()
-						c.col.Inc(stats.CtrEvictions, 1)
+						c.col.IncH(c.hEvictions, 1)
 						if v.Dirty {
-							c.col.Inc(stats.CtrWritebacks, 1)
+							c.col.IncH(c.hWritebacks, 1)
 							c.fab.Unicast(0, c.memBladeOf(v.VA), fabric.PageBytes, func() {})
 						}
 					}

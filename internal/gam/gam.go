@@ -84,6 +84,16 @@ type Cluster struct {
 	fab *fabric.Fabric
 	col *stats.Collector
 
+	// Pre-resolved stats handles (the string-keyed Collector API is a
+	// deprecated shim; hot paths use integer handles).
+	hAccesses   stats.Handle
+	hLocalHits  stats.Handle
+	hRemote     stats.Handle
+	hEvictions  stats.Handle
+	hWritebacks stats.Handle
+	hInvals     stats.Handle
+	hFlushed    stats.Handle
+
 	caches []*computeblade.Cache
 	locks  []*sim.Resource // per-blade metadata lock (serial)
 	cpus   []*sim.Resource // per-blade cores
@@ -111,6 +121,13 @@ func New(cfg Config) *Cluster {
 		dir:    make(map[mem.VA]*pageState),
 		nextVA: 1 << 32,
 	}
+	c.hAccesses = c.col.Handle(stats.CtrAccesses)
+	c.hLocalHits = c.col.Handle(stats.CtrLocalHits)
+	c.hRemote = c.col.Handle(stats.CtrRemoteAccesses)
+	c.hEvictions = c.col.Handle(stats.CtrEvictions)
+	c.hWritebacks = c.col.Handle(stats.CtrWritebacks)
+	c.hInvals = c.col.Handle(stats.CtrInvalidations)
+	c.hFlushed = c.col.Handle(stats.CtrFlushedPages)
 	c.fab = fabric.New(c.eng, cfg.Fabric)
 	for i := 0; i < cfg.ComputeBlades; i++ {
 		c.fab.AddNode(fabric.NodeID(i))
@@ -242,8 +259,8 @@ func (t *thread) step() {
 				p.Dirty = true
 			}
 			t.ops++
-			c.col.Inc(stats.CtrAccesses, 1)
-			c.col.Inc(stats.CtrLocalHits, 1)
+			c.col.IncH(c.hAccesses, 1)
+			c.col.IncH(c.hLocalHits, 1)
 			continue
 		}
 
@@ -255,13 +272,13 @@ func (t *thread) step() {
 				return
 			}
 			t.ops++
-			c.col.Inc(stats.CtrAccesses, 1)
+			c.col.IncH(c.hAccesses, 1)
 			t.pendingWrites[page]++
 			t.pendingTotal++
 			c.eng.Schedule(local, func() { c.remoteAccess(t.blade, page, true, func() { t.drained(page) }) })
 			continue
 		}
-		c.col.Inc(stats.CtrAccesses, 1)
+		c.col.IncH(c.hAccesses, 1)
 		c.eng.Schedule(local, func() {
 			c.remoteAccess(t.blade, page, false, func() {
 				t.ops++
@@ -312,7 +329,7 @@ func (t *thread) drained(page mem.VA) {
 // home blade directory → (invalidate/downgrade current holders) → fetch
 // from memory blade → respond. Hops are sequential remote requests.
 func (c *Cluster) remoteAccess(blade int, page mem.VA, write bool, done func()) {
-	c.col.Inc(stats.CtrRemoteAccesses, 1)
+	c.col.IncH(c.hRemote, 1)
 	homeBlade := c.home(page)
 	toHome := func(fn func()) {
 		if homeBlade == blade {
@@ -357,9 +374,9 @@ func (c *Cluster) atHome(blade int, page mem.VA, write bool, done func()) {
 		cache := c.caches[blade]
 		for cache.NeedsEviction() {
 			v := cache.EvictLRU()
-			c.col.Inc(stats.CtrEvictions, 1)
+			c.col.IncH(c.hEvictions, 1)
 			if v.Dirty {
-				c.col.Inc(stats.CtrWritebacks, 1)
+				c.col.IncH(c.hWritebacks, 1)
 				c.fab.Unicast(fabric.NodeID(blade), c.memBladeOf(v.VA), fabric.PageBytes, func() {})
 			}
 		}
@@ -378,11 +395,11 @@ func (c *Cluster) atHome(blade int, page mem.VA, write bool, done func()) {
 		for _, tgt := range targets {
 			tgt := tgt
 			c.fab.Unicast(fabric.NodeID(c.home(page)), fabric.NodeID(tgt), fabric.CtrlMsgBytes, func() {
-				c.col.Inc(stats.CtrInvalidations, 1)
+				c.col.IncH(c.hInvals, 1)
 				cache := c.caches[tgt]
 				if p, ok := cache.Peek(page); ok {
 					if p.Dirty {
-						c.col.Inc(stats.CtrFlushedPages, 1)
+						c.col.IncH(c.hFlushed, 1)
 						c.fab.Unicast(fabric.NodeID(tgt), c.memBladeOf(page), fabric.PageBytes, func() {})
 						p.Dirty = false
 					}

@@ -1,9 +1,18 @@
-// Package hotpath is the macro-benchmark harness behind BENCH_hotpath.json:
-// a fixed Figure-6-class workload (the TF access stream on an 8-blade rack,
-// one thread per blade) driven to completion while the Go allocator and the
-// event engine are measured. It is the repo's perf trajectory probe — the
-// same workload, the same seed, every PR — so ns/op, allocs/op and
-// events/sec are comparable across revisions.
+// Package hotpath is the macro-benchmark harness behind the BENCH_*.json
+// trajectory files: fixed Figure-6-class workloads driven to completion
+// while the Go allocator and the event engine are measured. Each scenario
+// is pinned (shape + seed) so ns/op, allocs/op and events/sec are
+// comparable across revisions.
+//
+// Two scenarios are tracked:
+//
+//   - "hotpath" (BENCH_hotpath.json): the TF access stream on an 8-blade
+//     rack, one thread per blade — the per-op cost probe.
+//   - "rack" (BENCH_rack.json): the same workload class at rack scale, 64
+//     compute blades with 4 threads each — the scale headroom probe. Event
+//     count and blade count are high enough that any per-event structure
+//     that grows with either (event-queue sifts, hash lookups, sharer-set
+//     walks) dominates the host-side cost.
 package hotpath
 
 import (
@@ -17,31 +26,77 @@ import (
 	"mind/internal/workloads"
 )
 
-// Config fixes the macro workload's shape. Defaults (see Default) are the
-// tracked configuration; only Ops should vary (CI smoke runs use a small
-// op count).
+// Config fixes a macro workload's shape. Use Default/Rack (or Scenario)
+// for the tracked configurations; only Ops should vary (CI smoke runs use
+// a small op count).
 type Config struct {
+	Scenario      string
 	ComputeBlades int
 	MemoryBlades  int
 	Threads       int
 	TotalOps      int
 	Seed          uint64
+	// Workload names the Fig-6 application mix: "TF" (high locality,
+	// sparse sharing) or "GC" (PageRank: poor locality, rack-wide
+	// read-write sharing). Empty means TF.
+	Workload string
+	// WorkloadScale multiplies the workload footprint.
+	WorkloadScale int
+	// CacheFrac sizes each blade's page cache as a fraction of the
+	// workload footprint.
+	CacheFrac float64
 }
 
-// Default is the tracked macro-benchmark configuration.
+// Default is the tracked per-op macro-benchmark configuration
+// (BENCH_hotpath.json).
 func Default() Config {
 	return Config{
+		Scenario:      "hotpath",
 		ComputeBlades: 8,
 		MemoryBlades:  2,
 		Threads:       8,
 		TotalOps:      160_000,
 		Seed:          1021, // MIND is SOSP '21; any fixed value works
+		Workload:      "TF",
+		WorkloadScale: 1,
+		CacheFrac:     0.25,
 	}
+}
+
+// Rack is the tracked rack-scale configuration (BENCH_rack.json): 64
+// compute blades, 4 threads per blade, the GC (PageRank) mix across 8
+// memory blades. GC's skewed shared read-write vertex traffic keeps
+// rack-wide sharer sets and invalidation multicasts on the critical path,
+// so per-event queue and table costs dominate instead of cache-hit work.
+func Rack() Config {
+	return Config{
+		Scenario:      "rack",
+		ComputeBlades: 64,
+		MemoryBlades:  8,
+		Threads:       256,
+		TotalOps:      256_000,
+		Seed:          1021,
+		Workload:      "GC",
+		WorkloadScale: 4,
+		CacheFrac:     0.25,
+	}
+}
+
+// Scenario returns the tracked configuration with the given name.
+func Scenario(name string) (Config, error) {
+	switch name {
+	case "hotpath":
+		return Default(), nil
+	case "rack":
+		return Rack(), nil
+	}
+	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath or rack)", name)
 }
 
 // Result is one measured macro run.
 type Result struct {
 	// Workload identity.
+	Scenario string `json:"scenario"`
 	Workload string `json:"workload"`
 	Blades   int    `json:"blades"`
 	Threads  int    `json:"threads"`
@@ -63,10 +118,24 @@ type Result struct {
 // run is deterministic in its simulation outputs (Ops, Events, RemoteRate,
 // VirtualEndS); only the host-side timings vary between hosts.
 func Run(cfg Config) (Result, error) {
-	w := workloads.TF(1)
+	if cfg.WorkloadScale < 1 {
+		cfg.WorkloadScale = 1
+	}
+	if cfg.CacheFrac <= 0 {
+		cfg.CacheFrac = 0.25
+	}
+	var w workloads.Workload
+	switch cfg.Workload {
+	case "", "TF":
+		w = workloads.TF(cfg.WorkloadScale)
+	case "GC":
+		w = workloads.GC(cfg.WorkloadScale)
+	default:
+		return Result{}, fmt.Errorf("hotpath: unknown workload %q", cfg.Workload)
+	}
 	ccfg := core.DefaultConfig(cfg.ComputeBlades, cfg.MemoryBlades)
 	ccfg.MemoryBladeCapacity = 1 << 30
-	ccfg.CachePagesPerBlade = int(float64(w.Footprint/mem.PageSize) * 0.25)
+	ccfg.CachePagesPerBlade = int(float64(w.Footprint/mem.PageSize) * cfg.CacheFrac)
 	c, err := core.NewCluster(ccfg)
 	if err != nil {
 		return Result{}, err
@@ -115,7 +184,8 @@ func Run(cfg Config) (Result, error) {
 	allocs := after.Mallocs - before.Mallocs
 	bytes := after.TotalAlloc - before.TotalAlloc
 	return Result{
-		Workload:     "TF x8 blades (Fig-6 class)",
+		Scenario:     cfg.Scenario,
+		Workload:     fmt.Sprintf("%s x%d blades (Fig-6 class)", w.Name, cfg.ComputeBlades),
 		Blades:       cfg.ComputeBlades,
 		Threads:      cfg.Threads,
 		Ops:          ops,

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"testing"
+)
+
+// This file pins the calendar-queue event queue against the reference
+// (time, seq) heap: randomized dispatch-order equivalence across every
+// container (now lane, drain-window heap, calendar ring, far-future
+// overflow heap), including Cancel and Rearm of events that cross the
+// ring horizon — the operations whose bookkeeping differs most between
+// the two implementations.
+
+// calDriver runs a randomized schedule program on one engine, recording
+// dispatch order. Delays are drawn from bands that deliberately straddle
+// the engine's internal boundaries: 0 (fast lane), sub-bucket (drain
+// window), multi-bucket (ring), and beyond the ~2.1 ms horizon
+// (overflow heap, later migrated into the ring).
+type calDriver struct {
+	e      *Engine
+	order  []uint64
+	nextID uint64
+	budget int
+	timers []*Event // cancelable/re-armable handles, in creation order
+}
+
+// calDelay maps a hash to a delay in one of the boundary-straddling
+// bands.
+func calDelay(h uint64) Duration {
+	switch h % 5 {
+	case 0:
+		return 0 // current instant: now lane
+	case 1:
+		return Duration(h % uint64(bucketWidth)) // inside the drain window
+	case 2:
+		return Duration(h % uint64(64*bucketWidth)) // nearby ring buckets
+	case 3:
+		return Duration(h % uint64(horizon)) // anywhere in the ring
+	default:
+		// Past the horizon: lands in the overflow heap and must migrate
+		// into the ring as the clock advances.
+		return Duration(uint64(horizon) + h%uint64(horizon))
+	}
+}
+
+func (d *calDriver) schedule(id uint64) {
+	h := eqMix(id)
+	delay := calDelay(h >> 8)
+	switch h % 3 {
+	case 0:
+		d.e.ScheduleArg(delay, d.fire, id)
+	case 1:
+		d.timers = append(d.timers, d.e.Schedule(delay, func() { d.fired(id) }))
+	default:
+		d.timers = append(d.timers, d.e.ScheduleTimer(delay, d.fire, id))
+	}
+}
+
+func (d *calDriver) fire(x any) { d.fired(x.(uint64)) }
+
+func (d *calDriver) fired(id uint64) {
+	d.order = append(d.order, id)
+	h := eqMix(id + 0x517c)
+	if h%3 == 0 && d.budget > 0 {
+		d.budget--
+		d.nextID++
+		d.schedule(d.nextID)
+	}
+	if h%5 == 0 && d.budget > 0 {
+		d.budget--
+		d.nextID++
+		d.schedule(d.nextID)
+	}
+	if h%7 == 0 && len(d.timers) > 0 {
+		// Cancel a surviving handle — possibly one that has already
+		// migrated overflow -> ring, or that sits in the window being
+		// drained right now.
+		d.e.Cancel(d.timers[int(h>>16)%len(d.timers)])
+	}
+	if h%11 == 0 && len(d.timers) > 0 && d.budget > 0 {
+		// Rearm a settled (fired or canceled) timer across bands: a
+		// short-delay timer comes back far-future and vice versa.
+		i := int(h>>24) % len(d.timers)
+		if tm := d.timers[i]; !tm.Pending() {
+			d.budget--
+			d.nextID++
+			id := d.nextID
+			d.timers[i] = d.e.Rearm(tm, calDelay(eqMix(id)), d.fire, id)
+		}
+	}
+}
+
+// TestCalendarHeapEquivalenceRandomized drives an identical randomized
+// schedule — all delay bands, nested scheduling, cancellations, and
+// cross-horizon re-arms — through the calendar-queue engine and the
+// plain reference heap, asserting identical dispatch order, Executed
+// counts, and final clocks.
+func TestCalendarHeapEquivalenceRandomized(t *testing.T) {
+	const seeds = 25
+	for seed := uint64(0); seed < seeds; seed++ {
+		run := func(e *Engine) *calDriver {
+			d := &calDriver{e: e, budget: 3000, nextID: seed * 1_000_000}
+			for i := 0; i < 40; i++ {
+				d.nextID++
+				d.schedule(d.nextID)
+			}
+			e.Run()
+			return d
+		}
+		wheel := run(NewEngine())
+		plain := run(newPlainEngine())
+
+		if len(wheel.order) != len(plain.order) {
+			t.Fatalf("seed %d: wheel dispatched %d events, plain %d",
+				seed, len(wheel.order), len(plain.order))
+		}
+		for i := range wheel.order {
+			if wheel.order[i] != plain.order[i] {
+				t.Fatalf("seed %d: dispatch order diverges at %d: wheel=%d plain=%d",
+					seed, i, wheel.order[i], plain.order[i])
+			}
+		}
+		if wheel.e.Executed != plain.e.Executed {
+			t.Errorf("seed %d: Executed %d vs %d", seed, wheel.e.Executed, plain.e.Executed)
+		}
+		if wheel.e.Now() != plain.e.Now() {
+			t.Errorf("seed %d: final clock %d vs %d", seed, wheel.e.Now(), plain.e.Now())
+		}
+		if wheel.e.Pending() != 0 {
+			t.Errorf("seed %d: wheel Pending = %d after drain", seed, wheel.e.Pending())
+		}
+	}
+}
+
+// TestOverflowMigrationOrdering pins the one ordering case the ring
+// cannot see at insert time: an event placed in the overflow heap (far
+// future, small seq) must still dispatch before a later-scheduled ring
+// event at the same timestamp (larger seq), which requires the migration
+// path to land it in the same bucket before that bucket's window opens.
+func TestOverflowMigrationOrdering(t *testing.T) {
+	e := NewEngine()
+	target := Time(horizon) + 777 // beyond the horizon at t=0
+	var got []int
+	e.At(target, func() { got = append(got, 1) }) // overflow; seq 1
+	// Walk the clock forward so the horizon crosses target long before
+	// it fires, then schedule a same-timestamp ring event with a larger
+	// seq.
+	e.Schedule(Duration(horizon)/2, func() {
+		e.At(target, func() { got = append(got, 2) }) // ring; seq 3
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("dispatch order %v, want [1 2] (overflow event first by seq)", got)
+	}
+	if e.Now() != target {
+		t.Fatalf("final clock %d, want %d", e.Now(), target)
+	}
+}
+
+// TestCancelAcrossContainers cancels events resident in each container
+// and verifies Pending accounting and that none fire.
+func TestCancelAcrossContainers(t *testing.T) {
+	e := NewEngine()
+	bad := func() { t.Error("canceled event fired") }
+	lane := e.Schedule(0, bad)                        // now lane
+	ring := e.Schedule(Duration(5*bucketWidth), bad)  // calendar ring
+	far := e.Schedule(Duration(horizon)+12345, bad)   // overflow heap
+	keep := false
+	e.Schedule(1, func() { keep = true })
+	if e.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", e.Pending())
+	}
+	for _, ev := range []*Event{lane, ring, far} {
+		e.Cancel(ev)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancels, want 1", e.Pending())
+	}
+	e.Run()
+	if !keep {
+		t.Error("surviving event did not fire")
+	}
+	for _, ev := range []*Event{lane, ring, far} {
+		if !ev.Canceled() {
+			t.Error("event not marked canceled")
+		}
+	}
+}
+
+// TestRearmAcrossHorizon re-arms one timer object back and forth across
+// the ring/overflow boundary; ring- and overflow-canceled events are
+// removed eagerly, so the object must be reused in place each time.
+func TestRearmAcrossHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	record := func(any) { fired = append(fired, e.Now()) }
+
+	tm := e.ScheduleTimer(Duration(2*horizon), record, nil) // overflow
+	e.Cancel(tm)
+	tm2 := e.Rearm(tm, Duration(3*bucketWidth), record, nil) // ring
+	if tm2 != tm {
+		t.Fatal("overflow-canceled timer was not reused in place")
+	}
+	e.Cancel(tm2)
+	tm3 := e.Rearm(tm2, Duration(2*horizon)+5, record, nil) // overflow again
+	if tm3 != tm2 {
+		t.Fatal("ring-canceled timer was not reused in place")
+	}
+	e.Run()
+	want := Time(0).Add(Duration(2*horizon) + 5)
+	if len(fired) != 1 || fired[0] != want {
+		t.Fatalf("fired %v, want exactly once at %d", fired, want)
+	}
+}
+
+// TestRunUntilAcrossWindows pins RunUntil semantics with the calendar:
+// deadlines inside empty stretches, between windows, and before queued
+// far-future events leave the clock at the deadline with the events
+// still pending.
+func TestRunUntilAcrossWindows(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	at := func(t Time) { e.At(t, func() { fired = append(fired, t) }) }
+	at(100)
+	at(Time(horizon) + 50) // overflow at insert
+	e.RunUntil(Time(horizon) / 2)
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("fired %v before deadline, want [100]", fired)
+	}
+	if e.Now() != Time(horizon)/2 {
+		t.Fatalf("clock %d, want deadline %d", e.Now(), Time(horizon)/2)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(2 * Time(horizon))
+	if len(fired) != 2 || fired[1] != Time(horizon)+50 {
+		t.Fatalf("fired %v after second deadline", fired)
+	}
+	if e.Now() != 2*Time(horizon) {
+		t.Fatalf("clock %d, want %d", e.Now(), 2*Time(horizon))
+	}
+}

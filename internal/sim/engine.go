@@ -1,25 +1,31 @@
 // Package sim provides a deterministic discrete-event simulation kernel
 // used by every component of the MIND reproduction: a virtual clock in
-// integer nanoseconds, an event heap, FIFO service resources for modelling
-// queueing (NICs, switch pipelines, invalidation handlers), and a
-// deterministic random-number source.
+// integer nanoseconds, a calendar-queue event queue, FIFO service
+// resources for modelling queueing (NICs, switch pipelines, invalidation
+// handlers), and a deterministic random-number source.
 //
 // The engine is strictly single-threaded: all component state is mutated
 // inside event callbacks, executed in (time, sequence) order, so runs are
 // bit-for-bit reproducible given the same seed and configuration.
 //
-// The steady-state scheduling path is allocation-free: ScheduleArg/AtArg
-// take a pre-bound callback (a plain function plus its argument, instead
-// of a freshly minted closure), their events are recycled through a free
-// list after firing, and events scheduled for the current instant bypass
-// the heap through a FIFO fast lane. Dispatch order is identical to a
-// pure (time, sequence) heap in every mode.
+// The steady-state scheduling path is allocation-free and O(1) per event:
+// ScheduleArg/AtArg take a pre-bound callback (a plain function plus its
+// argument, instead of a freshly minted closure), their events are
+// recycled through a free list after firing, and events scheduled for the
+// current instant bypass the queue through a FIFO fast lane. Events in
+// the near future land in a bucketed calendar ring (constant-time insert,
+// buckets sorted only when their window is reached); only far-future
+// events (past the ~2 ms ring horizon — fault timeouts sit just inside
+// it) fall back to a binary heap, and they migrate into the ring as the
+// horizon advances. Dispatch order is identical to a pure (time,
+// sequence) heap in every mode.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -53,14 +59,44 @@ func (d Duration) Micros() float64 { return float64(d) / 1e3 }
 
 func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
 
-// Event lifecycle states. A pending event is queued (heap or now lane);
-// firing and cancellation are terminal and mutually exclusive, which is
-// what makes recycling safe to reason about: only fired, never-escaped
-// events return to the free list.
+// Calendar-ring geometry. Buckets are 256 ns wide (a handful of fabric
+// hops), and the ring covers a ~2.1 ms horizon — wide enough that every
+// steady-state delay in the calibrated rack model (pipeline service,
+// NIC, wire, DMA, control RTT, retry backoff, and the 2 ms fault
+// timeout) schedules in O(1); only cold-path far-future events (epoch
+// ticks of slow configs, Fig-10 elasticity scripts) touch the overflow
+// heap.
+const (
+	bucketShift = 8                           // log2 bucket width (256 ns)
+	ringShift   = 13                          // log2 bucket count (8192 buckets)
+	numBuckets  = 1 << ringShift              // buckets in the ring
+	ringMask    = numBuckets - 1              // bucket index mask
+	bucketWidth = Time(1) << bucketShift      // ns per bucket
+	horizon     = bucketWidth * Time(numBuckets) // ring coverage (~2.1 ms)
+)
+
+// Event lifecycle states. A pending event is queued; firing and
+// cancellation are terminal and mutually exclusive, which is what makes
+// recycling safe to reason about: only fired, never-escaped events
+// return to the free list.
 const (
 	statePending uint8 = iota
 	stateFired
 	stateCanceled
+)
+
+// Event locations: which physical container currently holds the event.
+// whereRing/whereOverflow/whereCurHeap events can be removed eagerly on
+// Cancel (their idx names the slot); whereLane/whereSorted events are
+// canceled lazily and stay resident until their FIFO slot or sorted
+// window drains, so Rearm must not reuse the object before then.
+const (
+	whereNone uint8 = iota
+	whereLane      // nowQ FIFO (current instant)
+	whereRing      // a calendar-ring bucket; idx = position in the bucket
+	whereSorted    // the sorted current-window slice being drained
+	whereCurHeap   // the small heap of events behind the drain cursor
+	whereOverflow  // the far-future overflow heap; idx = heap index
 )
 
 // Event is a scheduled callback. The zero Event is invalid. Events
@@ -72,15 +108,13 @@ type Event struct {
 	seq uint64
 	fn  func(any)
 	arg any
-	// idx is the heap index, or -1 when the event is not in the heap
-	// (now lane, fired, canceled, or free).
+	// idx is the event's slot in its current container: heap index for
+	// whereOverflow/whereCurHeap, bucket position for whereRing, -1
+	// otherwise.
 	idx    int
 	state  uint8
+	where  uint8
 	pooled bool
-	// lane marks an event physically resident in nowQ (set on push,
-	// cleared on pop). A canceled lane event stays resident until its
-	// slot drains, so Rearm must not reuse the object before then.
-	lane bool
 }
 
 // Canceled reports whether the event was removed before firing.
@@ -102,15 +136,18 @@ func (e *Event) Time() Time { return e.at }
 // shims all route through this one adapter.
 func CallFunc(x any) { x.(func())() }
 
+// evLess is the global dispatch order: ascending (time, seq).
+func evLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return evLess(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
@@ -134,15 +171,51 @@ func (h *eventHeap) Pop() any {
 // Engine is the discrete-event simulation core. Create one with NewEngine;
 // the zero value is not usable.
 type Engine struct {
-	now   Time
-	seq   uint64
+	now Time
+	seq uint64
+
+	// queue is the far-future overflow heap: events past the ring
+	// horizon at insert time. Its minimum is always >= every ring/window
+	// event (overflow events migrate into the ring before their bucket's
+	// window can open), so it only needs consulting when the ring runs
+	// dry. In plain mode it is the only queue.
 	queue eventHeap
 
+	// The calendar ring: ring[b] holds events with
+	// wheelStart <= at < wheelStart+horizon whose (at>>bucketShift)
+	// lands on b. Buckets are unordered (sorted at drain); ringBits is
+	// the non-empty-bucket bitmap; wheelLive counts live ring events.
+	ring      [][]*Event
+	ringBits  []uint64
+	wheelLive int
+	// wheelStart is the lower edge of the ring: the end of the last
+	// drained bucket window, always bucket-aligned. Events scheduled
+	// below it (short delays inside the window being drained) go to
+	// curHeap instead.
+	wheelStart Time
+
+	// The current drain window: sortedCur is the last drained bucket,
+	// sorted ascending (time, seq), consumed from curIdx; curLive counts
+	// its not-yet-canceled remainder. curHeap holds events inserted
+	// behind wheelStart after the window opened; the dispatcher merges
+	// the two by (time, seq). Everything here is < wheelStart, so it
+	// precedes every ring and overflow event.
+	sortedCur []*Event
+	curIdx    int
+	curLive   int
+	curHeap   eventHeap
+
+	// slabs recycles bucket backing arrays: a drained window's slice
+	// returns here and the next insert into an empty bucket takes it,
+	// so steady-state bucket churn allocates nothing even though the
+	// set of active buckets slides forward in time.
+	slabs [][]*Event
+
 	// nowQ is the same-time fast lane: a FIFO of events scheduled for
-	// the current instant. The heap never receives an event at the
-	// current time (enqueue routes those here), so every heap entry at
+	// the current instant. The calendar never receives an event at the
+	// current time (enqueue routes those here), so every queued event at
 	// e.now predates — and therefore has a smaller seq than — every
-	// lane entry, and "drain heap-at-now first, then the lane in FIFO
+	// lane entry, and "drain queue-at-now first, then the lane in FIFO
 	// order" is exactly ascending (time, seq). nowHead is the drain
 	// cursor; nowLive counts lane entries that are still pending
 	// (cancellation skips lazily).
@@ -159,9 +232,9 @@ type Engine struct {
 
 	stopped bool
 
-	// plain disables the free list and the fast lane, forcing every
-	// event through the reference (time, seq) heap — the oracle mode
-	// the pool-equivalence tests compare against.
+	// plain disables the free list, the fast lane, and the calendar
+	// ring, forcing every event through the reference (time, seq) heap —
+	// the oracle mode the equivalence tests compare against.
 	plain bool
 
 	// Executed counts events dispatched since creation, for debugging and
@@ -171,12 +244,15 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{
+		ring:     make([][]*Event, numBuckets),
+		ringBits: make([]uint64, numBuckets/64),
+	}
 }
 
-// newPlainEngine returns an engine with pooling and the same-time fast
-// lane disabled: the reference implementation the equivalence property
-// tests drive in lockstep with a pooled engine.
+// newPlainEngine returns an engine with pooling, the fast lane, and the
+// calendar ring disabled: the reference implementation the equivalence
+// property tests drive in lockstep with a production engine.
 func newPlainEngine() *Engine {
 	return &Engine{plain: true}
 }
@@ -263,24 +339,19 @@ func (e *Engine) Rearm(ev *Event, delay Duration, fn func(any), arg any) *Event 
 	if ev.state == statePending {
 		panic("sim: Rearm of a pending event (cancel it first)")
 	}
-	if ev.lane {
-		// The canceled event still occupies a now-lane slot; reusing the
-		// object would make the stale slot fire the re-armed callback at
-		// the wrong time. Hand back a fresh event instead — the stale one
-		// stays canceled and drains harmlessly.
+	if ev.where != whereNone {
+		// The canceled event still occupies a lane slot or a sorted-
+		// window slot (lazy cancellation); reusing the object would make
+		// the stale slot fire the re-armed callback at the wrong time.
+		// Hand back a fresh event instead — the stale one stays canceled
+		// and drains harmlessly.
 		return e.enqueue(e.now.Add(delay), fn, arg, false)
 	}
 	at := e.now.Add(delay)
 	e.seq++
 	ev.at, ev.seq, ev.fn, ev.arg = at, e.seq, fn, arg
 	ev.state, ev.idx, ev.pooled = statePending, -1, false
-	if !e.plain && at == e.now {
-		ev.lane = true
-		e.nowQ = append(e.nowQ, ev)
-		e.nowLive++
-		return ev
-	}
-	heap.Push(&e.queue, ev)
+	e.place(ev)
 	return ev
 }
 
@@ -292,8 +363,7 @@ func (e *Engine) alloc() *Event {
 	return &Event{}
 }
 
-// enqueue places one event, routing current-instant events to the fast
-// lane (unless in plain mode).
+// enqueue creates (or recycles) one event and places it.
 func (e *Engine) enqueue(at Time, fn func(any), arg any, pooled bool) *Event {
 	if at < e.now {
 		at = e.now
@@ -302,14 +372,51 @@ func (e *Engine) enqueue(at Time, fn func(any), arg any, pooled bool) *Event {
 	e.seq++
 	ev.at, ev.seq, ev.fn, ev.arg = at, e.seq, fn, arg
 	ev.state, ev.pooled, ev.idx = statePending, pooled, -1
-	if !e.plain && at == e.now {
-		ev.lane = true
+	e.place(ev)
+	return ev
+}
+
+// place routes a pending event to its container: the plain-mode heap, the
+// current-instant fast lane, the current drain window's heap, a calendar
+// bucket, or the far-future overflow heap.
+func (e *Engine) place(ev *Event) {
+	if e.plain {
+		ev.where = whereOverflow
+		heap.Push(&e.queue, ev)
+		return
+	}
+	at := ev.at
+	switch {
+	case at == e.now:
+		ev.where = whereLane
 		e.nowQ = append(e.nowQ, ev)
 		e.nowLive++
-		return ev
+	case at < e.wheelStart:
+		// A short delay landing inside the window currently being
+		// drained: merge it with sortedCur through the window heap.
+		ev.where = whereCurHeap
+		heap.Push(&e.curHeap, ev)
+	case at < e.wheelStart+horizon:
+		e.pushRing(ev)
+	default:
+		ev.where = whereOverflow
+		heap.Push(&e.queue, ev)
 	}
-	heap.Push(&e.queue, ev)
-	return ev
+}
+
+// pushRing inserts a pending event into its calendar bucket (the event's
+// time must lie in [wheelStart, wheelStart+horizon)).
+func (e *Engine) pushRing(ev *Event) {
+	b := int(ev.at>>bucketShift) & ringMask
+	bucket := e.ring[b]
+	if bucket == nil {
+		bucket = e.popSlab()
+	}
+	ev.where = whereRing
+	ev.idx = len(bucket)
+	e.ring[b] = append(bucket, ev)
+	e.ringBits[b>>6] |= 1 << uint(b&63)
+	e.wheelLive++
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
@@ -319,9 +426,33 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.state != statePending {
 		return
 	}
-	if ev.idx >= 0 {
+	switch ev.where {
+	case whereOverflow:
 		heap.Remove(&e.queue, ev.idx)
-	} else {
+		ev.where = whereNone
+	case whereCurHeap:
+		heap.Remove(&e.curHeap, ev.idx)
+		ev.where = whereNone
+	case whereRing:
+		// Buckets are unordered until drained, so swap-remove is legal.
+		b := int(ev.at>>bucketShift) & ringMask
+		bucket := e.ring[b]
+		last := len(bucket) - 1
+		moved := bucket[last]
+		bucket[ev.idx] = moved
+		moved.idx = ev.idx
+		bucket[last] = nil
+		e.ring[b] = bucket[:last]
+		if last == 0 {
+			e.ringBits[b>>6] &^= 1 << uint(b&63)
+		}
+		e.wheelLive--
+		ev.where = whereNone
+		ev.idx = -1
+	case whereSorted:
+		// Lazily skipped when the drain cursor reaches it.
+		e.curLive--
+	case whereLane:
 		// In the now lane: mark and skip lazily at pop time.
 		e.nowLive--
 	}
@@ -330,13 +461,16 @@ func (e *Engine) Cancel(ev *Event) {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) + e.nowLive }
+func (e *Engine) Pending() int {
+	return e.nowLive + e.curLive + len(e.curHeap) + e.wheelLive + len(e.queue)
+}
 
 // fire dispatches one event, recycling it first if it never escaped.
 func (e *Engine) fire(ev *Event) {
 	fn, arg := ev.fn, ev.arg
 	ev.fn, ev.arg = nil, nil
 	ev.state = stateFired
+	ev.where = whereNone
 	if ev.pooled {
 		// Safe to recycle before the callback runs: fn/arg are saved,
 		// and an immediate reuse inside the callback just reinitializes
@@ -347,14 +481,221 @@ func (e *Engine) fire(ev *Event) {
 	fn(arg)
 }
 
+// sortEvents orders a drained bucket ascending (time, seq) in place,
+// allocation-free: insertion sort with a direct, inlinable comparison.
+// Buckets are tiny (events within one 256 ns window — the p99 is a
+// handful of entries), and this measurably outperforms
+// slices.SortFunc here: the generic pdqsort pays an indirect
+// comparator call per comparison, which at millions of drains per
+// second costs ~10% of rack-scenario throughput. The heapsort arm
+// bounds the degenerate case (one bucket absorbing a same-timestamp
+// burst) at O(n log n) without allocating.
+func sortEvents(s []*Event) {
+	n := len(s)
+	if n < 2 {
+		return
+	}
+	if n <= 48 {
+		for i := 1; i < n; i++ {
+			ev := s[i]
+			j := i - 1
+			for j >= 0 && evLess(ev, s[j]) {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = ev
+		}
+		return
+	}
+	// Heapsort: build a max-heap, then swap the max to the tail.
+	siftDown := func(lo, hi int) {
+		root := lo
+		for {
+			child := 2*root + 1
+			if child >= hi {
+				return
+			}
+			if child+1 < hi && evLess(s[child], s[child+1]) {
+				child++
+			}
+			if !evLess(s[root], s[child]) {
+				return
+			}
+			s[root], s[child] = s[child], s[root]
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		s[0], s[i] = s[i], s[0]
+		siftDown(0, i)
+	}
+}
+
+// advance refills the drain window from the calendar ring (migrating
+// overflow events that have come inside the horizon first), returning
+// false when no queued events remain anywhere. On return with true, the
+// earliest pending event is in sortedCur or curHeap.
+func (e *Engine) advance() bool {
+	for {
+		if e.curLive > 0 || len(e.curHeap) > 0 {
+			return true
+		}
+		if e.wheelLive == 0 {
+			if len(e.queue) == 0 {
+				return false
+			}
+			// The ring ran dry: jump its lower edge to the overflow
+			// minimum's bucket so migration can land it.
+			if ws := e.queue[0].at &^ (bucketWidth - 1); ws > e.wheelStart {
+				e.wheelStart = ws
+			}
+		}
+		// Migrate far-future events that the advancing horizon now
+		// covers. Their (time, seq) order relative to ring residents is
+		// restored by the per-bucket sort at drain.
+		for len(e.queue) > 0 && e.queue[0].at < e.wheelStart+horizon {
+			e.pushRing(heap.Pop(&e.queue).(*Event))
+		}
+		// Find the next non-empty bucket at or after wheelStart. All
+		// ring events live in [wheelStart, wheelStart+horizon), so
+		// scanning the bitmap forward (with wraparound) visits buckets
+		// in ascending time order.
+		start := int(e.wheelStart>>bucketShift) & ringMask
+		b := e.nextBucket(start)
+		if b < 0 {
+			// wheelLive > 0 guarantees a set bit; the bitmap is exact
+			// (cleared on cancel-to-empty and drain).
+			panic("sim: calendar ring accounting corrupted")
+		}
+		windowStart := e.wheelStart + Time((b-start)&ringMask)<<bucketShift
+
+		// Open the bucket as the new drain window. The previous
+		// window's backing array returns to the slab pool so the next
+		// newly-touched bucket reuses it — steady state allocates
+		// nothing. Any canceled leftovers behind the old cursor lose
+		// their residency first.
+		for i := e.curIdx; i < len(e.sortedCur); i++ {
+			if ev := e.sortedCur[i]; ev != nil {
+				ev.where = whereNone
+				e.sortedCur[i] = nil
+			}
+		}
+		if cap(e.sortedCur) > 0 {
+			e.slabs = append(e.slabs, e.sortedCur[:0])
+		}
+		bucket := e.ring[b]
+		e.ring[b] = nil
+		e.ringBits[b>>6] &^= 1 << uint(b&63)
+		for _, ev := range bucket {
+			ev.where = whereSorted
+			ev.idx = -1
+		}
+		sortEvents(bucket)
+		e.sortedCur = bucket
+		e.curIdx = 0
+		e.curLive = len(bucket)
+		e.wheelLive -= len(bucket)
+		e.wheelStart = windowStart + bucketWidth
+	}
+}
+
+// popSlab takes a recycled bucket backing array (zero length, retained
+// capacity), or nil when none is available (append will allocate).
+func (e *Engine) popSlab() []*Event {
+	n := len(e.slabs)
+	if n == 0 {
+		return nil
+	}
+	s := e.slabs[n-1]
+	e.slabs[n-1] = nil
+	e.slabs = e.slabs[:n-1]
+	return s
+}
+
+// nextBucket returns the first non-empty bucket index scanning forward
+// from start (wrapping), or -1 if the whole ring is empty.
+func (e *Engine) nextBucket(start int) int {
+	w := start >> 6
+	// Mask off bits below start in the first word; the wrapped-around
+	// final iteration re-reads it unmasked, which visits those low
+	// buckets last — exactly their position in time order.
+	word := e.ringBits[w] &^ ((1 << uint(start&63)) - 1)
+	for i := 0; i <= numBuckets/64; i++ {
+		if word != 0 {
+			return (w<<6 + bits.TrailingZeros64(word)) & ringMask
+		}
+		w = (w + 1) & (numBuckets/64 - 1)
+		word = e.ringBits[w]
+	}
+	return -1
+}
+
+// wheelHead returns the earliest pending calendar event without removing
+// it (ensuring the drain window is populated), or nil when none remain.
+func (e *Engine) wheelHead() *Event {
+	for {
+		// Drop canceled entries under the cursor so the head is live.
+		for e.curIdx < len(e.sortedCur) {
+			ev := e.sortedCur[e.curIdx]
+			if ev.state != stateCanceled {
+				break
+			}
+			ev.where = whereNone
+			e.sortedCur[e.curIdx] = nil
+			e.curIdx++
+		}
+		var head *Event
+		if e.curIdx < len(e.sortedCur) {
+			head = e.sortedCur[e.curIdx]
+		}
+		if len(e.curHeap) > 0 {
+			if h := e.curHeap[0]; head == nil || evLess(h, head) {
+				head = h
+			}
+		}
+		if head != nil {
+			return head
+		}
+		if !e.advance() {
+			return nil
+		}
+	}
+}
+
+// popWheel removes the event wheelHead returned.
+func (e *Engine) popWheel(ev *Event) {
+	if len(e.curHeap) > 0 && e.curHeap[0] == ev {
+		heap.Pop(&e.curHeap)
+		return
+	}
+	e.sortedCur[e.curIdx] = nil
+	e.curIdx++
+	e.curLive--
+}
+
 // Step dispatches the single earliest event, advancing the clock to its
 // timestamp. It returns false if the queue is empty.
 func (e *Engine) Step() bool {
+	if e.plain {
+		if len(e.queue) == 0 {
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.where = whereNone
+		e.now = ev.at
+		e.fire(ev)
+		return true
+	}
 	for {
-		// Heap entries at the current instant predate everything in the
-		// now lane (see the nowQ invariant), so they dispatch first.
-		if len(e.queue) > 0 && e.queue[0].at == e.now {
-			e.fire(heap.Pop(&e.queue).(*Event))
+		head := e.wheelHead()
+		// Calendar events at the current instant predate everything in
+		// the now lane (see the nowQ invariant), so they dispatch first.
+		if head != nil && head.at == e.now {
+			e.popWheel(head)
+			e.fire(head)
 			return true
 		}
 		if e.nowHead < len(e.nowQ) {
@@ -365,7 +706,7 @@ func (e *Engine) Step() bool {
 				e.nowQ = e.nowQ[:0]
 				e.nowHead = 0
 			}
-			ev.lane = false
+			ev.where = whereNone
 			if ev.state == stateCanceled {
 				continue
 			}
@@ -373,14 +714,31 @@ func (e *Engine) Step() bool {
 			e.fire(ev)
 			return true
 		}
-		if len(e.queue) > 0 {
-			ev := heap.Pop(&e.queue).(*Event)
-			e.now = ev.at
-			e.fire(ev)
+		if head != nil {
+			e.popWheel(head)
+			e.now = head.at
+			e.fire(head)
 			return true
 		}
 		return false
 	}
+}
+
+// peekTime returns the earliest pending event's timestamp.
+func (e *Engine) peekTime() (Time, bool) {
+	if e.plain {
+		if len(e.queue) == 0 {
+			return 0, false
+		}
+		return e.queue[0].at, true
+	}
+	if e.nowLive > 0 {
+		return e.now, true
+	}
+	if head := e.wheelHead(); head != nil {
+		return head.at, true
+	}
+	return 0, false
 }
 
 // Run dispatches events until the queue drains or Stop is called.
@@ -396,15 +754,11 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if e.nowLive > 0 && e.now <= deadline {
-			e.Step()
-			continue
+		t, ok := e.peekTime()
+		if !ok || t > deadline {
+			break
 		}
-		if len(e.queue) > 0 && e.queue[0].at <= deadline {
-			e.Step()
-			continue
-		}
-		break
+		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline

@@ -100,6 +100,10 @@ func (c *Collector) Handle(name string) Handle {
 func (c *Collector) IncH(h Handle, delta uint64) { c.cvals[h] += delta }
 
 // Inc adds delta to the named counter.
+//
+// Deprecated: Inc hashes the counter name on every call. In-tree
+// components resolve a Handle once at construction and use IncH; the
+// string form remains only for external callers and tests.
 func (c *Collector) Inc(name string, delta uint64) { c.IncH(c.Handle(name), delta) }
 
 // Counter returns the current value of the named counter (zero if never
@@ -140,6 +144,11 @@ func (c *Collector) AddLatencyH(h Handle, d sim.Duration) {
 }
 
 // AddLatency accumulates d under the named latency component.
+//
+// Deprecated: AddLatency hashes the component name on every call.
+// In-tree components resolve a Handle once via LatencyHandle and use
+// AddLatencyH; the string form remains only for external callers and
+// tests.
 func (c *Collector) AddLatency(component string, d sim.Duration) {
 	c.AddLatencyH(c.LatencyHandle(component), d)
 }

@@ -2,7 +2,10 @@ package switchasic
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+
+	"mind/internal/bitset"
 )
 
 // Default resource limits measured on the paper's Tofino testbed (§7.2):
@@ -55,8 +58,12 @@ type ASIC struct {
 	// (§8), so we account for it.
 	sttEntries int
 
-	// Multicast group membership: group id -> ports (compute blades).
-	groups map[int][]int
+	// Multicast group membership: group id -> ports (compute blades),
+	// kept sorted, plus the same membership as a bitmap for the egress
+	// pruning fast path (word-parallel intersection with sharer
+	// bitmaps).
+	groups    map[int][]int
+	groupBits map[int]*bitset.Set
 
 	// Accounting.
 	recirculations  uint64
@@ -76,6 +83,7 @@ func New(cfg Config) *ASIC {
 		Protection:  NewTCAM("protection", 0),
 		Directory:   NewSlotStore(cfg.SlotCapacity),
 		groups:      make(map[int][]int),
+		groupBits:   make(map[int]*bitset.Set),
 	}
 	return a
 }
@@ -108,6 +116,15 @@ func (a *ASIC) SetGroup(id int, ports []int) {
 	copy(cp, ports)
 	sort.Ints(cp)
 	a.groups[id] = cp
+	b := a.groupBits[id]
+	if b == nil {
+		b = &bitset.Set{}
+		a.groupBits[id] = b
+	}
+	b.Clear()
+	for _, p := range cp {
+		b.Add(p)
+	}
 }
 
 // Group returns a copy of a group's membership (sorted). Callers may
@@ -139,6 +156,12 @@ func (a *ASIC) AddGroupMember(id, port int) {
 	copy(members[i+1:], members[i:])
 	members[i] = port
 	a.groups[id] = members
+	b := a.groupBits[id]
+	if b == nil {
+		b = &bitset.Set{}
+		a.groupBits[id] = b
+	}
+	b.Add(port)
 }
 
 // PruneMulticast resolves one multicast send: the packet is replicated to
@@ -166,6 +189,38 @@ func (a *ASIC) PruneMulticastInto(dst []int, group int, sharers map[int]bool) ([
 			a.prunedCopies++
 		}
 	}
+	return out, nil
+}
+
+// PruneMulticastBitmap is the egress-pruning fast path consumed by the
+// coherence directory: identical semantics to PruneMulticastInto, but
+// the sharer list arrives as a bitmap, so the replicate-and-prune
+// resolves as a word-parallel intersection with the group's membership
+// bitmap instead of a per-member map probe. Ports are appended to dst
+// (reset to length zero) in ascending order — the same order the sorted
+// member walk produces.
+func (a *ASIC) PruneMulticastBitmap(dst []int, group int, sharers *bitset.Set) ([]int, error) {
+	members, ok := a.groups[group]
+	if !ok {
+		return nil, fmt.Errorf("switchasic: unknown multicast group %d", group)
+	}
+	a.multicasts++
+	out := dst[:0]
+	gw := a.groupBits[group].Words()
+	sw := sharers.Words()
+	n := len(gw)
+	if len(sw) < n {
+		n = len(sw)
+	}
+	for wi := 0; wi < n; wi++ {
+		w := gw[wi] & sw[wi]
+		for w != 0 {
+			out = append(out, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	a.deliveredCopies += uint64(len(out))
+	a.prunedCopies += uint64(len(members) - len(out))
 	return out, nil
 }
 

@@ -1,6 +1,9 @@
 package switchasic
 
-import "errors"
+import (
+	"errors"
+	"math/bits"
+)
 
 // ErrSlotsFull is returned when the SRAM slot store has no free slot.
 var ErrSlotsFull = errors.New("switchasic: directory SRAM slots exhausted")
@@ -12,27 +15,36 @@ var ErrBadSlot = errors.New("switchasic: slot not allocated")
 type SlotID int
 
 // SlotStore models the fixed SRAM region the data plane reserves for
-// cache-directory entries (§6.3): a fixed number of fixed-size slots
-// managed through a free list. The control plane maps region base
-// addresses to slots; the store itself only tracks occupancy and a peak
-// watermark.
+// cache-directory entries (§6.3): a fixed number of fixed-size slots.
+// Occupancy is a bitmap with a free-hint cursor — allocation scans at
+// most one wrap of the word array from the cursor (one popcount-class
+// instruction per 64 slots), and alloc/release touch no heap. The
+// control plane maps region base addresses to slots; the store itself
+// only tracks occupancy and a peak watermark.
 type SlotStore struct {
 	capacity int
-	freeList []SlotID
-	used     map[SlotID]bool
-	peak     int
+	// words is the occupancy bitmap. For bounded stores the tail bits of
+	// the last word (beyond capacity) are pre-set so the scan can never
+	// hand out an out-of-range slot. Unlimited stores (capacity <= 0,
+	// the PSO+ simulation variant, §7.1) grow the bitmap on demand.
+	words []uint64
+	// hint is the next-free search cursor: allocation starts scanning at
+	// its word, and a release rewinds it, so scans stay short under
+	// churn.
+	hint  int
+	inUse int
+	peak  int
 }
 
 // NewSlotStore creates a store with capacity slots; capacity <= 0 means
 // unlimited (the PSO+ simulation variant, §7.1).
 func NewSlotStore(capacity int) *SlotStore {
-	s := &SlotStore{capacity: capacity, used: make(map[SlotID]bool)}
+	s := &SlotStore{capacity: capacity}
 	if capacity > 0 {
-		s.freeList = make([]SlotID, 0, capacity)
-		// All slots are initially added to the free list (§6.3); popping
-		// from the tail keeps allocation O(1).
-		for i := capacity - 1; i >= 0; i-- {
-			s.freeList = append(s.freeList, SlotID(i))
+		s.words = make([]uint64, (capacity+63)/64)
+		if tail := capacity & 63; tail != 0 {
+			// Mask off the slots past capacity in the last word.
+			s.words[len(s.words)-1] = ^uint64(0) << uint(tail)
 		}
 	}
 	return s
@@ -42,7 +54,7 @@ func NewSlotStore(capacity int) *SlotStore {
 func (s *SlotStore) Capacity() int { return s.capacity }
 
 // InUse returns the number of allocated slots.
-func (s *SlotStore) InUse() int { return len(s.used) }
+func (s *SlotStore) InUse() int { return s.inUse }
 
 // Peak returns the maximum simultaneous occupancy observed.
 func (s *SlotStore) Peak() int { return s.peak }
@@ -52,7 +64,7 @@ func (s *SlotStore) Free() int {
 	if s.capacity <= 0 {
 		return -1
 	}
-	return s.capacity - len(s.used)
+	return s.capacity - s.inUse
 }
 
 // Utilization returns occupancy in [0,1]; always 0 when unlimited.
@@ -60,39 +72,67 @@ func (s *SlotStore) Utilization() float64 {
 	if s.capacity <= 0 {
 		return 0
 	}
-	return float64(len(s.used)) / float64(s.capacity)
+	return float64(s.inUse) / float64(s.capacity)
 }
 
-// Alloc removes a slot from the free list.
+// take marks slot (wi, b) used and advances the accounting.
+func (s *SlotStore) take(wi, b int) (SlotID, error) {
+	s.words[wi] |= 1 << uint(b)
+	s.inUse++
+	if s.inUse > s.peak {
+		s.peak = s.inUse
+	}
+	id := wi<<6 + b
+	s.hint = id + 1
+	return SlotID(id), nil
+}
+
+// Alloc claims a free slot.
 func (s *SlotStore) Alloc() (SlotID, error) {
-	var id SlotID
-	if s.capacity <= 0 {
-		id = SlotID(len(s.used))
-		for s.used[id] {
-			id++
-		}
-	} else {
-		if len(s.freeList) == 0 {
+	if s.capacity > 0 {
+		if s.inUse >= s.capacity {
 			return 0, ErrSlotsFull
 		}
-		id = s.freeList[len(s.freeList)-1]
-		s.freeList = s.freeList[:len(s.freeList)-1]
+		nw := len(s.words)
+		wi := s.hint >> 6
+		if wi >= nw {
+			wi = 0
+		}
+		for i := 0; i < nw; i++ {
+			if free := ^s.words[wi]; free != 0 {
+				return s.take(wi, bits.TrailingZeros64(free))
+			}
+			wi++
+			if wi == nw {
+				wi = 0
+			}
+		}
+		return 0, ErrSlotsFull
 	}
-	s.used[id] = true
-	if len(s.used) > s.peak {
-		s.peak = len(s.used)
+	// Unlimited: grow the bitmap as needed.
+	for wi := s.hint >> 6; ; wi++ {
+		for wi >= len(s.words) {
+			s.words = append(s.words, 0)
+		}
+		if free := ^s.words[wi]; free != 0 {
+			return s.take(wi, bits.TrailingZeros64(free))
+		}
 	}
-	return id, nil
 }
 
-// Release returns a slot to the free list.
+// Release returns a slot to the store.
 func (s *SlotStore) Release(id SlotID) error {
-	if !s.used[id] {
+	wi, b := int(id)>>6, int(id)&63
+	if id < 0 || wi >= len(s.words) || s.words[wi]&(1<<uint(b)) == 0 {
 		return ErrBadSlot
 	}
-	delete(s.used, id)
-	if s.capacity > 0 {
-		s.freeList = append(s.freeList, id)
+	if s.capacity > 0 && int(id) >= s.capacity {
+		return ErrBadSlot
+	}
+	s.words[wi] &^= 1 << uint(b)
+	s.inUse--
+	if int(id) < s.hint {
+		s.hint = int(id)
 	}
 	return nil
 }
