@@ -67,6 +67,25 @@ func BenchmarkRackMacro(b *testing.B) {
 	}
 }
 
+// BenchmarkPodMacro is the pod-scale macro benchmark behind
+// BENCH_pod.json: a 4-rack pod (16 compute blades per rack) running the
+// GC+Memcached mix, with two memory-poor racks borrowing blades across
+// the interconnect, so the cross-rack routing and interconnect queueing
+// sit on the fault path.
+func BenchmarkPodMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hotpath.Run(hotpath.PodScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerOp, "sim-ns/op")
+		b.ReportMetric(res.AllocsPerOp, "sim-allocs/op")
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+		b.ReportMetric(float64(res.CrossRackMsgs), "cross-rack-msgs")
+	}
+}
+
 // BenchmarkFig5IntraBlade regenerates Figure 5 (left): intra-blade
 // thread scaling of MIND vs FastSwap vs GAM.
 func BenchmarkFig5IntraBlade(b *testing.B) {

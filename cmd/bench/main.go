@@ -1,10 +1,11 @@
 // Command bench runs the hot-path macro benchmarks (internal/hotpath) and
 // maintains the BENCH_*.json performance-trajectory files.
 //
-// Two scenarios are tracked (-scenario):
+// Three scenarios are tracked (-scenario):
 //
 //	hotpath  the 8-blade per-op cost probe           -> BENCH_hotpath.json
 //	rack     the 64-blade x 4-thread scale probe     -> BENCH_rack.json
+//	pod      the 4-rack cross-rack memory probe      -> BENCH_pod.json
 //
 // Each JSON report keeps two entries: "baseline" (the recorded reference
 // point) and "current" (the latest run). Every record is stamped with the
@@ -13,6 +14,7 @@
 //
 //	go run ./cmd/bench -scenario hotpath -out BENCH_hotpath.json
 //	go run ./cmd/bench -scenario rack    -out BENCH_rack.json
+//	go run ./cmd/bench -scenario pod     -out BENCH_pod.json
 //
 // The baseline block is the trajectory anchor: it is only ever written on
 // the very first run against a file, or when -rebaseline explicitly
@@ -71,6 +73,11 @@ var descriptions = map[string]string{
 		"compute blades, 4 threads/blade, 8 memory blades, seed-pinned): event " +
 		"throughput with rack-wide sharer sets and a deep event queue. The baseline " +
 		"block records the pre-calendar-queue heap+map hot path on the same workload.",
+	"pod": "Pod-scale mixed workload (4 racks x 16 compute blades, GC+Memcached/YCSB-A " +
+		"alternating per rack, seed-pinned): racks 0-1 exhaust their single local " +
+		"memory blade and borrow capacity from racks 2-3, so their faults are routed " +
+		"through both ToR switches and the bounded-bandwidth interconnect. Pins the " +
+		"host-side cost of the pod topology layer (cross-rack hop chains are pooled).",
 }
 
 func fatalf(format string, args ...any) {
@@ -79,7 +86,7 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath or rack)")
+	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath, rack or pod)")
 	ops := flag.Int("ops", 0, "total accesses across all threads (0 = scenario default)")
 	out := flag.String("out", "", "JSON report to update (read-modify-write; empty = print only)")
 	label := flag.String("label", "current", "label for this measurement")
@@ -196,10 +203,22 @@ func main() {
 //     the gate is the absolute allocation budget. The events/sec ratio in
 //     the committed report is the tentpole claim, but it is host-relative,
 //     so CI gates on the budget only.
+//   - pod: brand-new scenario (its baseline IS the pod topology layer),
+//     so the gate is the absolute allocation budget plus the structural
+//     claims — the pod actually borrowed blades and routed cross-rack
+//     traffic, which is what the scenario exists to measure.
 func runCheck(scenario string, rep report, res hotpath.Result) {
 	if scenario == "hotpath" {
 		if got := rep.Improvement.AllocsPerOpPct; got < 30 {
 			fatalf("allocs/op improved only %.1f%% vs baseline (want >= 30%%)", got)
+		}
+	}
+	if scenario == "pod" {
+		if res.BladeBorrows < 2 {
+			fatalf("pod scenario borrowed %d blades (want >= 2); the shape drifted", res.BladeBorrows)
+		}
+		if res.CrossRackMsgs == 0 {
+			fatalf("pod scenario routed no cross-rack messages; the shape drifted")
 		}
 	}
 	if res.AllocsPerOp > 0.10 {

@@ -7,10 +7,13 @@
 //	figures -fig all -scale quick
 //	figures -fig 5c -scale full -parallel 8
 //
-// Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10, or "all". Panel 10
-// is the elasticity timeline (beyond the paper): throughput while a
-// memory blade hot-joins, another drains with live page migration, and a
-// third is killed mid-run.
+// Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10 pod, or "all".
+// Panel 10 is the elasticity timeline (beyond the paper): throughput
+// while a memory blade hot-joins, another drains with live page
+// migration, and a third is killed mid-run. Panel "pod" is the
+// pod-scale panel (beyond the paper): a 2-rack pod whose memory-poor
+// rack borrows a blade across the interconnect, with the hot-page
+// promotion policy toggled on vs off.
 //
 // Every data point is an independent deterministic simulation run, so
 // -parallel fans the runs of each panel out across a worker pool
@@ -31,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10, all)")
+	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10 pod, all)")
 	scaleName := flag.String("scale", "quick", "experiment scale: tiny, quick, full")
 	parallel := flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
 	flag.Parse()
@@ -80,6 +83,7 @@ func main() {
 		{"9l", func() error { f, err := experiments.Fig9Left(scale); printMapIf(printMap, f, err); return err }},
 		{"9r", func() error { f, err := experiments.Fig9Right(scale); printMapIf(printMap, f, err); return err }},
 		{"10", func() error { f, err := experiments.Fig10(scale); printOneIf(printOne, f, err); return err }},
+		{"pod", func() error { f, err := experiments.FigPod(scale); printOneIf(printOne, f, err); return err }},
 	}
 
 	ran := false

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mind/internal/core"
@@ -34,16 +35,21 @@ func main() {
 	)
 	flag.Parse()
 
+	var err error
 	switch {
 	case *capture != "":
-		doCapture(*capture, *out, *thread, *threads, *blades, *ops, *scale, *seed)
+		err = doCapture(*capture, *out, *thread, *threads, *blades, *ops, *scale, *seed)
 	case *inspect != "":
-		doInspect(*inspect)
+		err = doInspect(os.Stdout, *inspect)
 	case *replay != "":
-		doReplay(*replay, *blades)
+		err = doReplay(os.Stdout, *replay, *blades)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -69,19 +75,23 @@ func workloadByName(name string, scale int) (workloads.Workload, bool) {
 // Rebase adjusts at replay time.
 const captureBase = mem.VA(1) << 32
 
-func doCapture(name, out string, thread, threads, blades, ops, scale int, seed uint64) {
+func doCapture(name, out string, thread, threads, blades, ops, scale int, seed uint64) error {
 	w, ok := workloadByName(name, scale)
 	if !ok {
-		fatal("unknown workload %q", name)
+		return fmt.Errorf("unknown workload %q", name)
 	}
 	p := workloads.Params{Threads: threads, Blades: blades, OpsPerThread: ops, Seed: seed}
 	f, err := os.Create(out)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
+	// The explicit Close below reports the success-path error; the defer
+	// only reclaims the descriptor on early error returns (a second
+	// Close of an *os.File just returns ErrClosed).
+	defer f.Close()
 	tw, err := trace.NewWriter(f)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	gen := w.Gen(captureBase, thread, p)
 	for {
@@ -90,27 +100,28 @@ func doCapture(name, out string, thread, threads, blades, ops, scale int, seed u
 			break
 		}
 		if err := tw.Append(va, wr); err != nil {
-			fatal("%v", err)
+			return err
 		}
 	}
 	if err := tw.Finish(); err != nil {
-		fatal("%v", err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal("%v", err)
+		return err
 	}
 	fmt.Printf("captured %d accesses of %s thread %d -> %s\n", tw.Count(), w.Name, thread, out)
+	return nil
 }
 
-func doInspect(path string) {
+func doInspect(out io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	defer f.Close()
 	recs, err := trace.Read(f)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	writes := 0
 	pages := map[mem.VA]bool{}
@@ -127,23 +138,24 @@ func doInspect(path string) {
 			hi = r.VA
 		}
 	}
-	fmt.Printf("%s: %d accesses, %.1f%% writes, %d distinct pages, range [%#x, %#x]\n",
+	fmt.Fprintf(out, "%s: %d accesses, %.1f%% writes, %d distinct pages, range [%#x, %#x]\n",
 		path, len(recs), 100*float64(writes)/float64(max(len(recs), 1)), len(pages),
 		uint64(lo), uint64(hi))
+	return nil
 }
 
-func doReplay(path string, blades int) {
+func doReplay(out io.Writer, path string, blades int) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	recs, err := trace.Read(f)
 	f.Close()
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	if len(recs) == 0 {
-		fatal("empty trace")
+		return fmt.Errorf("empty trace")
 	}
 	// Size an area covering the trace's footprint.
 	var hi mem.VA
@@ -165,30 +177,26 @@ func doReplay(path string, blades int) {
 	}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	proc := c.Exec("replay")
 	vma, err := proc.Mmap(footprint, mem.PermReadWrite)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	th, err := proc.SpawnThread(0)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	th.Start(trace.Replay(trace.Rebase(recs, captureBase, vma.Base)), nil)
 	end := c.RunThreads()
 	col := c.Collector()
-	fmt.Printf("replayed %d accesses in %.3f ms virtual (%.2f MOPS)\n",
+	fmt.Fprintf(out, "replayed %d accesses in %.3f ms virtual (%.2f MOPS)\n",
 		len(recs), end.Sub(0).Seconds()*1e3,
 		float64(len(recs))/end.Sub(0).Seconds()/1e6)
-	fmt.Printf("hits %.2f%%, remote %d, invalidations %d\n",
+	fmt.Fprintf(out, "hits %.2f%%, remote %d, invalidations %d\n",
 		100*float64(col.Counter(stats.CtrLocalHits))/float64(col.Counter(stats.CtrAccesses)),
 		col.Counter(stats.CtrRemoteAccesses),
 		col.Counter(stats.CtrInvalidations))
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -120,7 +120,7 @@ type pending struct {
 
 	// Transition bookkeeping.
 	region       *Region
-	memN         fabric.NodeID
+	home         ctrlplane.BladeID
 	inv          Invalidation
 	transition   string
 	needAcks     int
@@ -154,10 +154,11 @@ type Directory struct {
 	col  *stats.Collector
 	cfg  Config
 
-	translate func(mem.VA) (ctrlplane.BladeID, error)
-	protect   func(mem.PDID, mem.VA, mem.Perm) error
-	memNode   func(ctrlplane.BladeID) fabric.NodeID
-	bladeNode func(int) fabric.NodeID
+	translate   func(mem.VA) (ctrlplane.BladeID, error)
+	protect     func(mem.PDID, mem.VA, mem.Perm) error
+	sendToMem   func(ctrlplane.BladeID, int, func(any), any)
+	sendFromMem func(ctrlplane.BladeID, int, func(any), any)
+	bladeNode   func(int) fabric.NodeID
 
 	// blades is indexed by blade ID (dense; the control plane numbers
 	// compute blades 0..N-1).
@@ -216,6 +217,13 @@ type Deps struct {
 	// MemNode and BladeNode map blade identities to fabric endpoints.
 	MemNode   func(ctrlplane.BladeID) fabric.NodeID
 	BladeNode func(int) fabric.NodeID
+	// SendToMem and SendFromMem, when set, route messages between the
+	// switch and a home memory blade — core wires these so borrowed
+	// (remote-homed) blades are reached through the owning rack's switch
+	// over the pod interconnect. When nil, both default to the classic
+	// single-switch hops over Fabric via MemNode.
+	SendToMem   func(id ctrlplane.BladeID, bytes int, fn func(any), arg any)
+	SendFromMem func(id ctrlplane.BladeID, bytes int, fn func(any), arg any)
 }
 
 // NewDirectory builds the directory.
@@ -230,18 +238,32 @@ func NewDirectory(cfg Config, d Deps) *Directory {
 		cfg.InitialRegionSize < mem.PageSize || cfg.TopLevelSize < cfg.InitialRegionSize {
 		panic(fmt.Sprintf("coherence: bad region config %+v", cfg))
 	}
+	sendToMem, sendFromMem := d.SendToMem, d.SendFromMem
+	if sendToMem == nil {
+		fab, memNode := d.Fabric, d.MemNode
+		sendToMem = func(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
+			fab.SendFromSwitchArg(memNode(id), bytes, fn, arg)
+		}
+	}
+	if sendFromMem == nil {
+		fab, memNode := d.Fabric, d.MemNode
+		sendFromMem = func(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
+			fab.SendToSwitchArg(memNode(id), bytes, fn, arg)
+		}
+	}
 	return &Directory{
-		eng:       d.Engine,
-		fab:       d.Fabric,
-		asic:      d.ASIC,
-		col:       d.Collector,
-		cfg:       cfg,
-		translate: d.Translate,
-		protect:   d.Protect,
-		memNode:   d.MemNode,
-		bladeNode: d.BladeNode,
-		rt:        newBlockTable(cfg.TopLevelSize),
-		inFlight:  make(map[reqKey]*pending),
+		eng:         d.Engine,
+		fab:         d.Fabric,
+		asic:        d.ASIC,
+		col:         d.Collector,
+		cfg:         cfg,
+		translate:   d.Translate,
+		protect:     d.Protect,
+		sendToMem:   sendToMem,
+		sendFromMem: sendFromMem,
+		bladeNode:   d.BladeNode,
+		rt:          newBlockTable(cfg.TopLevelSize),
+		inFlight:    make(map[reqKey]*pending),
 
 		hRemote:     d.Collector.Handle(stats.CtrRemoteAccesses),
 		hRejected:   d.Collector.Handle(stats.CtrRejected),
@@ -340,7 +362,7 @@ func (d *Directory) newPending(key reqKey, pdid mem.PDID, done func(Completion))
 		p = &pending{d: d}
 	}
 	p.key, p.pdid, p.va, p.done = key, pdid, key.page, done
-	p.region, p.memN = nil, 0
+	p.region, p.home = nil, 0
 	p.inv = Invalidation{}
 	p.transition = ""
 	p.needAcks, p.invCount = 0, 0
@@ -423,7 +445,7 @@ func (d *Directory) RequestPage(blade int, pdid mem.PDID, va mem.VA, want mem.Pe
 		return
 	}
 	if region.busy {
-		region.waiters = append(region.waiters, p)
+		region.pushWaiter(p)
 		return
 	}
 	d.startTransition(region, p)
@@ -672,8 +694,8 @@ func (d *Directory) fetchAndDeliver(r *Region, p *pending) {
 		d.failPending(r, p, err)
 		return
 	}
-	p.memN = d.memNode(home)
-	d.fab.SendFromSwitchArg(p.memN, fabric.CtrlMsgBytes, pendAtMem, p)
+	p.home = home
+	d.sendToMem(home, fabric.CtrlMsgBytes, pendAtMem, p)
 }
 
 // pendAtMem: the request reached the memory blade — NIC-only DMA
@@ -687,7 +709,7 @@ func pendAtMem(x any) {
 // the switch.
 func pendDMADone(x any) {
 	p := x.(*pending)
-	p.d.fab.SendToSwitchArg(p.memN, fabric.PageBytes, pendAtSwitch, p)
+	p.d.sendFromMem(p.home, fabric.PageBytes, pendAtSwitch, p)
 }
 
 // pendAtSwitch: the response is in the switch; forward it (with header
@@ -743,11 +765,10 @@ func (d *Directory) failPending(r *Region, p *pending, err error) {
 // finish releases the region and starts the next queued transition.
 func (d *Directory) finish(r *Region) {
 	r.busy = false
-	if len(r.waiters) == 0 {
+	next := r.popWaiter()
+	if next == nil {
 		return
 	}
-	next := r.waiters[0]
-	r.waiters = r.waiters[1:]
 	d.startTransition(r, next)
 }
 

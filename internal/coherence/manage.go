@@ -126,7 +126,7 @@ func (d *Directory) SplitRegion(base mem.VA) error {
 	if r == nil {
 		return ErrNoRegion
 	}
-	if r.busy || len(r.waiters) > 0 || r.resetting {
+	if r.busy || r.queuedWaiters() > 0 || r.resetting {
 		return ErrRegionBusy
 	}
 	if d.frozenOverlaps(r.Base, r.Size) {
@@ -170,7 +170,7 @@ func (d *Directory) MergeRegion(lo mem.VA) error {
 	if r == nil {
 		return ErrNoRegion
 	}
-	if r.busy || len(r.waiters) > 0 || r.resetting {
+	if r.busy || r.queuedWaiters() > 0 || r.resetting {
 		return ErrRegionBusy
 	}
 	if r.Size*2 > d.cfg.TopLevelSize {
@@ -203,7 +203,7 @@ func (d *Directory) MergeRegion(lo mem.VA) error {
 	if buddy.Size != r.Size {
 		return fmt.Errorf("coherence: buddy sizes differ (%d vs %d)", r.Size, buddy.Size)
 	}
-	if buddy.busy || len(buddy.waiters) > 0 || buddy.resetting {
+	if buddy.busy || buddy.queuedWaiters() > 0 || buddy.resetting {
 		return ErrRegionBusy
 	}
 	st, owner, sharers, err := mergeStates(r, buddy)
@@ -260,7 +260,7 @@ func (d *Directory) emergencyMerge() bool {
 		found    bool
 	)
 	d.rt.forEach(func(r *Region) {
-		if r.busy || len(r.waiters) > 0 || r.Size*2 > d.cfg.TopLevelSize {
+		if r.busy || r.queuedWaiters() > 0 || r.Size*2 > d.cfg.TopLevelSize {
 			return
 		}
 		buddyBase := r.Base ^ mem.VA(r.Size)
@@ -268,7 +268,7 @@ func (d *Directory) emergencyMerge() bool {
 			return
 		}
 		buddy := d.rt.exact(buddyBase)
-		if buddy == nil || buddy.Size != r.Size || buddy.busy || len(buddy.waiters) > 0 {
+		if buddy == nil || buddy.Size != r.Size || buddy.busy || buddy.queuedWaiters() > 0 {
 			return
 		}
 		if _, _, _, err := mergeStates(r, buddy); err != nil {
@@ -303,7 +303,7 @@ func (d *Directory) RemoveRegion(base mem.VA) error {
 	if r == nil {
 		return ErrNoRegion
 	}
-	if r.busy || len(r.waiters) > 0 {
+	if r.busy || r.queuedWaiters() > 0 {
 		return ErrRegionBusy
 	}
 	d.rt.remove(base)
@@ -330,8 +330,7 @@ func (d *Directory) ResetRegion(va mem.VA, done func()) {
 
 	// Fail queued waiters immediately; the in-flight transition (if any)
 	// is abandoned — its completion is superseded by Retry.
-	waiters := r.waiters
-	r.waiters = nil
+	waiters := r.takeWaiters()
 	inflight := make([]*pending, 0, 1)
 	for _, p := range d.inFlight {
 		if r.Contains(p.va) {
@@ -417,7 +416,7 @@ func (d *Directory) removeAfterReset(r *Region) {
 	// Requests that slipped into the waiter queue during the reset are
 	// bounced with Retry (their retransmissions were deduped against the
 	// in-flight table, so they must be answered, not dropped).
-	for _, p := range r.waiters {
+	for _, p := range r.takeWaiters() {
 		if p.notified {
 			continue
 		}
@@ -428,7 +427,6 @@ func (d *Directory) removeAfterReset(r *Region) {
 			pp.done(Completion{Retry: true})
 		})
 	}
-	r.waiters = nil
 	r.resetting = false
 	_ = d.RemoveRegion(r.Base)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"mind/internal/ctrlplane"
@@ -9,16 +10,19 @@ import (
 	"mind/internal/sim"
 )
 
-// Process is a user process running over the MIND rack. Its threads may
-// live on different compute blades while transparently sharing the global
-// address space (§6.1).
+// Process is a user process running over one MIND rack. Its threads may
+// live on different compute blades of that rack while transparently
+// sharing the global address space (§6.1).
 type Process struct {
-	c   *Cluster
+	c   *Rack
 	pid mem.PDID
 }
 
+// Rack returns the rack hosting the process.
+func (p *Process) Rack() *Rack { return p.c }
+
 // Exec starts a process (exec intercept → switch control plane).
-func (c *Cluster) Exec(name string) *Process {
+func (c *Rack) Exec(name string) *Process {
 	var p *ctrlplane.Process
 	c.await(func(done func()) {
 		c.fab.CtrlCall(0, func() {
@@ -33,14 +37,30 @@ func (c *Cluster) Exec(name string) *Process {
 func (p *Process) PID() mem.PDID { return p.pid }
 
 // Mmap allocates a shared virtual memory area (§6.1). The syscall round
-// trips through the switch control plane.
+// trips through the switch control plane. In a multi-rack pod, a rack
+// whose own memory blades cannot host the area borrows a spare blade
+// from another rack (one inter-rack control round trip) and retries —
+// the allocation ends up routed through both switches.
 func (p *Process) Mmap(length uint64, perm mem.Perm) (mem.VMA, error) {
 	var vma mem.VMA
 	var err error
 	p.c.await(func(done func()) {
 		p.c.fab.CtrlCall(0, func() {
 			vma, err = p.c.ctl.Mmap(p.pid, length, perm)
-			done()
+			if err == nil || !errors.Is(err, ctrlplane.ErrNoMemory) || !p.c.pod.canBorrow() {
+				done()
+				return
+			}
+			need := mem.NextPow2(length)
+			if need < mem.PageSize {
+				need = mem.PageSize
+			}
+			p.c.pod.borrowAsync(p.c, need, func(ok bool) {
+				if ok {
+					vma, err = p.c.ctl.Mmap(p.pid, length, perm)
+				}
+				done()
+			})
 		})
 	})
 	return vma, err
@@ -239,6 +259,6 @@ func (t *Thread) Touch(va mem.VA, write bool) error {
 }
 
 // AdvanceTime idles the cluster for d of virtual time (lets epochs run).
-func (c *Cluster) AdvanceTime(d sim.Duration) {
+func (c *Rack) AdvanceTime(d sim.Duration) {
 	c.eng.RunUntil(c.eng.Now().Add(d))
 }

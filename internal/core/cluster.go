@@ -1,342 +1,21 @@
 package core
 
-import (
-	"fmt"
-
-	"mind/internal/coherence"
-	"mind/internal/computeblade"
-	"mind/internal/ctrlplane"
-	"mind/internal/fabric"
-	"mind/internal/mem"
-	"mind/internal/memblade"
-	"mind/internal/sim"
-	"mind/internal/stats"
-)
-
-// memNodeBase offsets memory-blade fabric node IDs away from compute
-// blades'.
-const memNodeBase fabric.NodeID = 1000
-
-// Cluster is one simulated MIND rack.
+// Cluster is the single-rack MIND deployment the paper evaluates: a Pod
+// of exactly one Rack, presented as one object. Every Rack method
+// promotes, so existing single-rack consumers (experiments, examples,
+// the conformance suite) are unaffected by the pod-scale topology
+// layer. A 1-rack pod is constructed in exactly the order the original
+// single-rack cluster was, so its event schedule — and therefore every
+// figure panel — is bit-identical.
 type Cluster struct {
-	cfg Config
-
-	eng *sim.Engine
-	fab *fabric.Fabric
-	col *stats.Collector
-
-	ctl      *ctrlplane.Controller
-	dir      *coherence.Directory
-	splitter *ctrlplane.Splitter
-
-	cblades []*computeblade.Blade
-	mblades []*memblade.Blade
-
-	threads       []*Thread
-	activeThreads int
-	epochTick     *sim.Event
-
-	// Free lists for the pooled fabric-glue jobs (single-threaded
-	// engine context).
-	reqFree sim.Pool[reqJob]
-	wbFree  sim.Pool[wbJob]
-
-	hLostWrites    stats.Handle
-	hBladeEvents   stats.Handle
-	hMigratedPages stats.Handle
+	*Rack
 }
 
-// reqJob carries one page-fault request blade -> switch; jobs are pooled
-// and recycled as soon as the request is handed to the directory.
-type reqJob struct {
-	c     *Cluster
-	blade int
-	pdid  mem.PDID
-	va    mem.VA
-	want  mem.Perm
-	done  func(coherence.Completion)
-}
-
-// reqAtSwitch runs when the fault request finishes ingress processing.
-func reqAtSwitch(x any) {
-	j := x.(*reqJob)
-	c, blade, pdid, va, want, done := j.c, j.blade, j.pdid, j.va, j.want, j.done
-	j.done = nil
-	c.reqFree.Put(j)
-	c.dir.RequestPage(blade, pdid, va, want, done)
-}
-
-// wbJob carries one page writeback blade -> switch -> memory blade.
-type wbJob struct {
-	c    *Cluster
-	va   mem.VA
-	data []byte
-	home fabric.NodeID
-	done func()
-}
-
-// wbAtSwitch runs when the writeback reaches the switch: translate and
-// forward to the home memory blade (or account a lost write).
-func wbAtSwitch(x any) {
-	j := x.(*wbJob)
-	c := j.c
-	home, err := c.ctl.Allocator().Translate(j.va)
-	if err != nil {
-		c.freeWB(j, true) // unmapped (racing munmap); drop
-		return
-	}
-	if c.mblades[int(home)].Dead() {
-		// One-sided write to a failed blade: the NIC's reliable
-		// connection errors out after the send attempt. The data is
-		// lost, but the completion (with error) still fires — flush
-		// barriers must not wedge on a dead target (§4.4).
-		c.col.IncH(c.hLostWrites, 1)
-		done := j.done
-		c.freeWB(j, false)
-		c.eng.ScheduleArg(c.fab.OneWayBase(fabric.PageBytes), sim.CallFunc, done)
-		return
-	}
-	j.home = fabric.NodeID(home)
-	c.fab.SendFromSwitchArg(memNodeBase+j.home, fabric.PageBytes, wbLanded, j)
-}
-
-// wbLanded runs at the memory blade: persist the page and complete.
-func wbLanded(x any) {
-	j := x.(*wbJob)
-	c, va, data, home, done := j.c, j.va, j.data, j.home, j.done
-	c.freeWB(j, false)
-	c.mblades[int(home)].WritePage(va, data)
-	done()
-}
-
-func (c *Cluster) freeWB(j *wbJob, callDone bool) {
-	done := j.done
-	j.done, j.data = nil, nil
-	c.wbFree.Put(j)
-	if callDone {
-		done()
-	}
-}
-
-// NewCluster builds and wires a rack.
+// NewCluster builds and wires a one-rack pod.
 func NewCluster(cfg Config) (*Cluster, error) {
-	if cfg.ComputeBlades < 1 || cfg.MemoryBlades < 1 {
-		return nil, fmt.Errorf("core: need at least one compute and one memory blade")
-	}
-	if cfg.CachePagesPerBlade < 1 {
-		return nil, fmt.Errorf("core: cache must hold at least one page")
-	}
-	if cfg.StoreBufferDepth == 0 {
-		cfg.StoreBufferDepth = 16
-	}
-	if cfg.ThinkTime == 0 {
-		cfg.ThinkTime = 30 * sim.Nanosecond
-	}
-	if cfg.Migration.BatchPages == 0 {
-		cfg.Migration.BatchPages = DefaultMigrationConfig().BatchPages
-	}
-	if cfg.Migration.BatchGap == 0 {
-		cfg.Migration.BatchGap = DefaultMigrationConfig().BatchGap
-	}
-	if cfg.Migration.DetectionDelay == 0 {
-		cfg.Migration.DetectionDelay = DefaultMigrationConfig().DetectionDelay
-	}
-
-	asicCfg := cfg.ASIC
-	if cfg.Consistency == PSOPlus {
-		// MIND-PSO+ simulates infinite directory capacity (§7.1).
-		asicCfg.SlotCapacity = 0
-	}
-
-	c := &Cluster{
-		cfg: cfg,
-		eng: sim.NewEngine(),
-		col: stats.NewCollector(),
-	}
-	c.hLostWrites = c.col.Handle(stats.CtrLostWrites)
-	c.hBladeEvents = c.col.Handle(stats.CtrBladeEvents)
-	c.hMigratedPages = c.col.Handle(stats.CtrMigratedPages)
-	c.fab = fabric.New(c.eng, cfg.Fabric)
-	c.ctl = ctrlplane.NewController(asicCfg, cfg.Placement, cfg.ComputeBlades)
-
-	for i := 0; i < cfg.ComputeBlades; i++ {
-		c.fab.AddNode(fabric.NodeID(i))
-	}
-	for m := 0; m < cfg.MemoryBlades; m++ {
-		c.fab.AddNode(memNodeBase + fabric.NodeID(m))
-		if _, err := c.ctl.Allocator().AddBlade(cfg.MemoryBladeCapacity); err != nil {
-			return nil, fmt.Errorf("core: register memory blade %d: %w", m, err)
-		}
-		c.mblades = append(c.mblades, memblade.New(m))
-	}
-
-	c.dir = coherence.NewDirectory(coherence.Config{
-		InitialRegionSize:      cfg.InitialRegionSize,
-		TopLevelSize:           cfg.TopLevelRegionSize,
-		SequentialInvalidation: cfg.SequentialInvalidation,
-		ExclusiveOnColdRead:    cfg.ExclusiveReads,
-	}, coherence.Deps{
-		Engine:    c.eng,
-		Fabric:    c.fab,
-		ASIC:      c.ctl.ASIC(),
-		Collector: c.col,
-		Translate: c.ctl.Allocator().Translate,
-		Protect:   c.ctl.Protection().Check,
-		MemNode:   func(id ctrlplane.BladeID) fabric.NodeID { return memNodeBase + fabric.NodeID(id) },
-		BladeNode: func(i int) fabric.NodeID { return fabric.NodeID(i) },
-	})
-
-	for i := 0; i < cfg.ComputeBlades; i++ {
-		bcfg := cfg.Blade
-		if bcfg.PageFaultCost == 0 {
-			bcfg = computeblade.DefaultConfig(i, cfg.CachePagesPerBlade)
-		}
-		bcfg.ID = i
-		bcfg.CachePages = cfg.CachePagesPerBlade
-		blade := computeblade.New(bcfg, computeblade.Deps{
-			Engine:    c.eng,
-			Collector: c.col,
-			SendRequest: func(i int) func(mem.PDID, mem.VA, mem.Perm, func(coherence.Completion)) {
-				return func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion)) {
-					j := c.newReqJob()
-					j.blade, j.pdid, j.va, j.want, j.done = i, pdid, va, want, done
-					c.fab.SendToSwitchArg(fabric.NodeID(i), fabric.CtrlMsgBytes, reqAtSwitch, j)
-				}
-			}(i),
-			Writeback: func(i int) func(mem.VA, []byte, func()) {
-				return func(va mem.VA, data []byte, done func()) {
-					c.writeback(fabric.NodeID(i), va, data, done)
-				}
-			}(i),
-			FetchData: c.fetchData,
-			Reset: func(va mem.VA, done func()) {
-				// Reset goes through the (slow) control plane (§4.4).
-				c.fab.CtrlCall(fabric.SwitchNode, func() {
-					c.dir.ResetRegion(va, done)
-				})
-			},
-		})
-		c.cblades = append(c.cblades, blade)
-		c.dir.RegisterBlade(i, blade)
-	}
-
-	// Bounded Splitting runs as a control-plane epoch loop (§5).
-	if !cfg.DisableSplitting {
-		scfg := ctrlplane.DefaultSplitterConfig()
-		if cfg.SplitterEpoch > 0 {
-			scfg.Epoch = int64(cfg.SplitterEpoch)
-		}
-		if cfg.TopLevelRegionSize > 0 {
-			scfg.TopLevelSize = cfg.TopLevelRegionSize
-		}
-		if cfg.SplitterC > 0 {
-			scfg.C = cfg.SplitterC
-		}
-		c.splitter = ctrlplane.NewSplitter(scfg, c.dir)
-		c.scheduleEpoch(sim.Duration(scfg.Epoch))
-	}
-	return c, nil
-}
-
-func (c *Cluster) scheduleEpoch(epoch sim.Duration) {
-	c.epochTick = c.eng.Schedule(epoch, func() {
-		c.splitter.RunEpoch()
-		c.col.Series("directory_entries").Append(c.eng.Now(), float64(c.dir.SlotsInUse()))
-		c.scheduleEpoch(epoch)
-	})
-}
-
-// StopEpochs cancels the splitter's epoch loop (end of run).
-func (c *Cluster) StopEpochs() {
-	if c.epochTick != nil {
-		c.eng.Cancel(c.epochTick)
-		c.epochTick = nil
-	}
-}
-
-// newReqJob takes a request job from the free list (or allocates one).
-func (c *Cluster) newReqJob() *reqJob {
-	if j := c.reqFree.Get(); j != nil {
-		return j
-	}
-	return &reqJob{c: c}
-}
-
-// writeback models a one-sided RDMA page write from a blade to the home
-// memory blade, via the switch.
-func (c *Cluster) writeback(from fabric.NodeID, va mem.VA, data []byte, done func()) {
-	j := c.wbFree.Get()
-	if j == nil {
-		j = &wbJob{c: c}
-	}
-	j.va, j.data, j.done = va, data, done
-	c.fab.SendToSwitchArg(from, fabric.PageBytes, wbAtSwitch, j)
-}
-
-// fetchData copies page bytes from the home memory blade at the simulated
-// moment of delivery.
-func (c *Cluster) fetchData(va mem.VA) []byte {
-	home, err := c.ctl.Allocator().Translate(va)
+	pod, err := NewPod(PodConfig{Racks: []Config{cfg}})
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	return c.mblades[int(home)].ReadPage(va)
-}
-
-// Engine exposes the simulation engine.
-func (c *Cluster) Engine() *sim.Engine { return c.eng }
-
-// Collector exposes run metrics.
-func (c *Cluster) Collector() *stats.Collector { return c.col }
-
-// Controller exposes the switch control plane.
-func (c *Cluster) Controller() *ctrlplane.Controller { return c.ctl }
-
-// Directory exposes the coherence directory (tests, experiments).
-func (c *Cluster) Directory() *coherence.Directory { return c.dir }
-
-// Splitter exposes the Bounded Splitting controller (nil when disabled).
-func (c *Cluster) Splitter() *ctrlplane.Splitter { return c.splitter }
-
-// Blade returns compute blade i.
-func (c *Cluster) Blade(i int) *computeblade.Blade { return c.cblades[i] }
-
-// MemBlade returns memory blade m.
-func (c *Cluster) MemBlade(m int) *memblade.Blade { return c.mblades[m] }
-
-// Config returns the cluster's configuration.
-func (c *Cluster) Config() Config { return c.cfg }
-
-// Now returns current virtual time.
-func (c *Cluster) Now() sim.Time { return c.eng.Now() }
-
-// await drives the engine until done() has been called by some event.
-func (c *Cluster) await(op func(done func())) {
-	fired := false
-	op(func() { fired = true })
-	steps := 0
-	for !fired {
-		if !c.eng.Step() {
-			panic("core: await ran out of events (protocol wedge)")
-		}
-		steps++
-		if steps > 500_000_000 {
-			panic("core: await exceeded step budget")
-		}
-	}
-}
-
-// InjectFailure installs a message-drop hook on the fabric (nil clears).
-func (c *Cluster) InjectFailure(drop func(from, to fabric.NodeID) bool) {
-	c.fab.DropFn = drop
-}
-
-// Failover switches to the backup control plane/data plane (§4.4).
-// Directory entries are data-plane state and are not replicated: every
-// live region is reset first (compute blades flush their data), then the
-// backup ASIC is reconstructed from control-plane state and becomes
-// active. This is the blocking wrapper around KillSwitch, the
-// in-simulation failover event (elasticity.go).
-func (c *Cluster) Failover() {
-	c.KillSwitch()
+	return &Cluster{pod.Rack(0)}, nil
 }

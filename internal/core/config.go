@@ -1,10 +1,14 @@
-// Package core assembles the MIND rack (Figure 2): compute blades with
-// local DRAM caches, passive memory blades, and the programmable switch
-// hosting the control plane (allocation, protection, processes, Bounded
-// Splitting) and data plane (translation, protection checks, cache
-// directory, RDMA virtualization). It exposes the transparent virtual
-// memory API applications use — mmap/munmap, Load/Store — plus the
-// workload-driven execution engine the evaluation harness runs.
+// Package core assembles the MIND topology. A Rack is the paper's
+// Figure 2 unit: compute blades with local DRAM caches, passive memory
+// blades, and the programmable switch hosting the control plane
+// (allocation, protection, processes, Bounded Splitting) and data plane
+// (translation, protection checks, cache directory, RDMA
+// virtualization). A Pod composes N racks over an inter-rack
+// interconnect with cross-rack blade borrowing and hot-page promotion;
+// Cluster is the single-rack facade (a 1-rack Pod) the paper-facing
+// consumers use. The package exposes the transparent virtual memory API
+// applications use — mmap/munmap, Load/Store — plus the workload-driven
+// execution engine the evaluation harness runs.
 package core
 
 import (

@@ -75,13 +75,13 @@ func (r SwitchFailoverReport) Blackout() sim.Duration { return r.End.Sub(r.Start
 
 // MemBladeCount returns how many memory blades have ever been part of
 // the rack (including drained and dead ones; ids are never reused).
-func (c *Cluster) MemBladeCount() int { return len(c.mblades) }
+func (c *Rack) MemBladeCount() int { return len(c.mblades) }
 
 // AddMemBlade hot-adds a memory blade with the given capacity (0 uses
 // the rack's configured per-blade capacity). The blade is immediately
 // placeable: the very next mmap may land on it. Returns the new blade's
 // id.
-func (c *Cluster) AddMemBlade(capacity uint64) (ctrlplane.BladeID, error) {
+func (c *Rack) AddMemBlade(capacity uint64) (ctrlplane.BladeID, error) {
 	if capacity == 0 {
 		capacity = c.cfg.MemoryBladeCapacity
 	}
@@ -91,6 +91,9 @@ func (c *Cluster) AddMemBlade(capacity uint64) (ctrlplane.BladeID, error) {
 	}
 	c.fab.AddNode(memNodeBase + fabric.NodeID(id))
 	c.mblades = append(c.mblades, memblade.New(int(id)))
+	c.mbOwner = append(c.mbOwner, c.idx)
+	c.mbOwnNode = append(c.mbOwnNode, memNodeBase+fabric.NodeID(id))
+	c.remoteHeat = append(c.remoteHeat, 0)
 	c.col.IncH(c.hBladeEvents, 1)
 	return id, nil
 }
@@ -98,7 +101,7 @@ func (c *Cluster) AddMemBlade(capacity uint64) (ctrlplane.BladeID, error) {
 // DrainMemBladeAsync starts draining victim from event context; done
 // fires (still in event context) when the blade is empty and retired.
 // Foreground traffic keeps flowing while pages move.
-func (c *Cluster) DrainMemBladeAsync(victim ctrlplane.BladeID, done func(DrainReport, error)) {
+func (c *Rack) DrainMemBladeAsync(victim ctrlplane.BladeID, done func(DrainReport, error)) {
 	alloc := c.ctl.Allocator()
 	rep := DrainReport{Victim: victim, Start: c.eng.Now()}
 	rep.End = rep.Start // failed reports still carry a sane window
@@ -212,11 +215,29 @@ func (c *Cluster) DrainMemBladeAsync(victim ctrlplane.BladeID, done func(DrainRe
 
 // finishDrain purges garbage pages (writebacks of vmas freed while they
 // lived on the victim) and retires the blade.
-func (c *Cluster) finishDrain(victim ctrlplane.BladeID, rep DrainReport, done func(DrainReport, error)) {
+func (c *Rack) finishDrain(victim ctrlplane.BladeID, rep DrainReport, done func(DrainReport, error)) {
 	rep.PagesPurged = c.mblades[int(victim)].DropAll()
+	alreadyRetired := c.ctl.Allocator().BladeRetired(victim)
 	err := c.ctl.Allocator().RetireBlade(victim)
+	if err == nil && !alreadyRetired {
+		c.releaseLease(victim)
+	}
 	rep.End = c.eng.Now()
 	done(rep, err)
+}
+
+// releaseLease drops the borrow accounting when a borrowed blade
+// leaves the rack through a drain or kill instead of a return-to-owner
+// (a killed device is dead; a drained one stays stranded retired on
+// both sides — blade ids are never reused). Without this, Leases() and
+// BorrowedBlades() would report a phantom loan forever and the
+// promotion epochs would keep scanning an empty lease set.
+func (c *Rack) releaseLease(victim ctrlplane.BladeID) {
+	if !c.remoteBlade(victim) {
+		return
+	}
+	c.borrowed--
+	c.pod.leases--
 }
 
 // resetRange resets every directory entry overlapping r (compute blades
@@ -224,12 +245,12 @@ func (c *Cluster) finishDrain(victim ctrlplane.BladeID, rep DrainReport, done fu
 // no new entry can appear inside it mid-sweep: one snapshot suffices,
 // and a reset of a base that vanished meanwhile (merged away) is a
 // harmless no-op.
-func (c *Cluster) resetRange(r mem.Range, done func(resets int)) {
+func (c *Rack) resetRange(r mem.Range, done func(resets int)) {
 	c.resetBases(c.dir.RegionsOverlapping(r), done)
 }
 
 // resetBases resets the given region bases one at a time.
-func (c *Cluster) resetBases(bases []mem.VA, done func(resets int)) {
+func (c *Rack) resetBases(bases []mem.VA, done func(resets int)) {
 	n := 0
 	var next func()
 	next = func() {
@@ -251,7 +272,7 @@ func (c *Cluster) resetBases(bases []mem.VA, done func(resets int)) {
 // fabric sends silently drop messages to dead nodes, which is right for
 // one-sided traffic (the §4.4 timeout machinery recovers) but would
 // wedge a migration loop that waits on its own batch.
-func (c *Cluster) transfer(from, to fabric.NodeID, bytes int, done func(delivered bool)) {
+func (c *Rack) transfer(from, to fabric.NodeID, bytes int, done func(delivered bool)) {
 	errComplete := func() {
 		c.eng.Schedule(c.fab.OneWayBase(bytes), func() { done(false) })
 	}
@@ -280,7 +301,7 @@ func (c *Cluster) transfer(from, to fabric.NodeID, bytes int, done func(delivere
 // migration. done receives the buffered pages; ok=false means the
 // target died mid-copy, in which case every page is already back on the
 // source and the caller should retry with a fresh target.
-func (c *Cluster) copyPages(st ctrlplane.MigrationStep, rep *DrainReport,
+func (c *Rack) copyPages(st ctrlplane.MigrationStep, rep *DrainReport,
 	done func(moved []memblade.PageCopy, ok bool)) {
 	src := c.mblades[int(st.From)]
 	dst := c.mblades[int(st.To)]
@@ -297,7 +318,7 @@ func (c *Cluster) copyPages(st ctrlplane.MigrationStep, rep *DrainReport,
 			return
 		}
 		rep.Batches++
-		c.transfer(memNodeBase+fabric.NodeID(st.From), memNodeBase+fabric.NodeID(st.To),
+		c.bladeTransfer(st.From, st.To,
 			len(pages)*fabric.PageBytes, func(delivered bool) {
 				if !delivered || dst.Dead() {
 					// The target died with the batch in flight. Put
@@ -323,7 +344,7 @@ func (c *Cluster) copyPages(st ctrlplane.MigrationStep, rep *DrainReport,
 // DrainMemBlade drains victim and blocks (driving the simulation) until
 // it is empty and retired. For use outside event context (examples,
 // conformance tests); inside the simulation use DrainMemBladeAsync.
-func (c *Cluster) DrainMemBlade(victim ctrlplane.BladeID) (DrainReport, error) {
+func (c *Rack) DrainMemBlade(victim ctrlplane.BladeID) (DrainReport, error) {
 	var rep DrainReport
 	var err error
 	c.await(func(done func()) {
@@ -340,7 +361,7 @@ func (c *Cluster) DrainMemBlade(victim ctrlplane.BladeID) (DrainReport, error) {
 // black. After the configured detection delay the control plane re-homes
 // every vma that lived there (their pages read as zero — the data died)
 // and retires the blade. done fires when recovery completes.
-func (c *Cluster) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillReport, error)) {
+func (c *Rack) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillReport, error)) {
 	alloc := c.ctl.Allocator()
 	rep := KillReport{Victim: victim, Start: c.eng.Now()}
 	rep.End = rep.Start // failed reports still carry a sane window
@@ -349,7 +370,9 @@ func (c *Cluster) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillRepo
 		return
 	}
 	rep.PagesLost = c.mblades[int(victim)].Kill()
-	c.fab.SetNodeDead(memNodeBase+fabric.NodeID(victim), true)
+	// The blade's fabric port lives in the rack that physically hosts it
+	// (for a borrowed blade, the lender's fabric).
+	c.pod.racks[c.mbOwner[int(victim)]].fab.SetNodeDead(c.mbOwnNode[int(victim)], true)
 	if err := alloc.SetBladeAvailable(victim, false); err != nil {
 		done(rep, err)
 		return
@@ -360,7 +383,11 @@ func (c *Cluster) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillRepo
 	step = func() {
 		bases := alloc.AllocationsOn(victim)
 		if len(bases) == 0 {
+			alreadyRetired := alloc.BladeRetired(victim)
 			err := alloc.RetireBlade(victim)
+			if err == nil && !alreadyRetired {
+				c.releaseLease(victim)
+			}
 			rep.End = c.eng.Now()
 			done(rep, err)
 			return
@@ -407,7 +434,7 @@ func (c *Cluster) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillRepo
 }
 
 // KillMemBlade kills victim and blocks until recovery completes.
-func (c *Cluster) KillMemBlade(victim ctrlplane.BladeID) (KillReport, error) {
+func (c *Rack) KillMemBlade(victim ctrlplane.BladeID) (KillReport, error) {
 	var rep KillReport
 	var err error
 	c.await(func(done func()) {
@@ -424,7 +451,7 @@ func (c *Cluster) KillMemBlade(victim ctrlplane.BladeID) (KillReport, error) {
 // every live region reset (compute blades flush their data), then the
 // backup ASIC — rebuilt from consistently-replicated control-plane
 // state — becomes the active data plane and the freeze lifts.
-func (c *Cluster) KillSwitchAsync(done func(SwitchFailoverReport)) {
+func (c *Rack) KillSwitchAsync(done func(SwitchFailoverReport)) {
 	rep := SwitchFailoverReport{Start: c.eng.Now()}
 	c.dir.SetFreezeAll(true)
 	c.col.IncH(c.hBladeEvents, 1)
@@ -442,7 +469,7 @@ func (c *Cluster) KillSwitchAsync(done func(SwitchFailoverReport)) {
 
 // KillSwitch runs the switch failover and blocks until the backup data
 // plane is live, returning the measured blackout.
-func (c *Cluster) KillSwitch() SwitchFailoverReport {
+func (c *Rack) KillSwitch() SwitchFailoverReport {
 	var rep SwitchFailoverReport
 	c.await(func(done func()) {
 		c.KillSwitchAsync(func(r SwitchFailoverReport) {

@@ -1,0 +1,416 @@
+package core
+
+// Pod-scale MIND: a Pod composes N racks — each with its own
+// programmable ToR switch (TCAM, coherence directory), fabric and
+// blades — over an inter-rack interconnect with higher latency and
+// bounded bandwidth. One rack is no longer the world: it is a component.
+//
+// Cross-rack memory works by capacity borrowing at blade granularity. A
+// rack whose mmap hits ENOMEM asks the pod for a spare memory blade
+// from another rack; the lender retires the blade from its own
+// allocator and the borrower registers it as a new (remote-homed)
+// blade, so every existing mechanism — translation, placement,
+// protection, coherence — applies unchanged. Only the data path
+// differs: messages to a borrowed blade leave the borrower's egress
+// pipeline, cross the interconnect, and traverse the owning rack's
+// switch before reaching the blade's NIC ("routed through both
+// switches"). Coherence domains stay per-rack, exactly as in MIND: one
+// ToR owns the directory for the address ranges its compute blades
+// fault on.
+//
+// An epoch-driven promotion policy (ctrlplane.PlanPromotions,
+// INDIGO-style) watches per-blade remote fetch heat and migrates hot
+// remote vmas back to local blades with the elasticity machinery
+// (freeze → reset → throttled page copy → TCAM rewrite), and returns
+// fully-emptied borrowed blades to their owners.
+
+import (
+	"fmt"
+
+	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// PromotionConfig paces the pod's hot-page promotion policy.
+type PromotionConfig struct {
+	// Epoch is the policy scan period (default 500 µs).
+	Epoch sim.Duration
+	// Threshold is the minimum remote data-path messages (fault fetch
+	// requests plus page writebacks) a borrowed blade must see in one
+	// epoch before its vmas become promotion candidates (default 32).
+	Threshold uint64
+	// MaxVMAsPerEpoch bounds promotions started per rack per epoch
+	// (default 8).
+	MaxVMAsPerEpoch int
+	// Disable turns the policy off: borrowed memory stays remote (the
+	// no-migration ablation the pod experiment toggles).
+	Disable bool
+}
+
+// DefaultPromotionConfig returns the promotion policy defaults.
+func DefaultPromotionConfig() PromotionConfig {
+	return PromotionConfig{
+		Epoch:           500 * sim.Microsecond,
+		Threshold:       32,
+		MaxVMAsPerEpoch: 8,
+	}
+}
+
+// PodConfig assembles a pod.
+type PodConfig struct {
+	// Racks configures each member rack.
+	Racks []Config
+	// Interconnect calibrates the inter-rack network (zero value: the
+	// fabric package default).
+	Interconnect fabric.InterConfig
+	// Promotion paces hot-page promotion (zero fields take defaults).
+	Promotion PromotionConfig
+}
+
+// DefaultPodConfig returns a pod of racks identical racks, each shaped
+// by core.DefaultConfig.
+func DefaultPodConfig(racks, computeBlades, memoryBlades int) PodConfig {
+	cfgs := make([]Config, racks)
+	for i := range cfgs {
+		cfgs[i] = DefaultConfig(computeBlades, memoryBlades)
+	}
+	return PodConfig{Racks: cfgs, Interconnect: fabric.DefaultInterConfig()}
+}
+
+// Pod is a multi-rack MIND deployment sharing one simulation engine and
+// one metrics collector.
+type Pod struct {
+	eng   *sim.Engine
+	col   *stats.Collector
+	racks []*Rack
+	ic    *fabric.Interconnect
+	promo PromotionConfig
+	// multiRack is fixed at construction (before racks are built): it
+	// gates address striping, the interconnect, and the pod counters.
+	multiRack bool
+
+	promoTick     *sim.Event
+	activeThreads int
+
+	// leases records live cross-rack blade loans, for diagnostics.
+	leases int
+
+	// crossFree pools the inter-rack message-hop jobs.
+	crossFree sim.Pool[crossJob]
+
+	// Cross-rack counters (registered only for multi-rack pods, so a
+	// 1-rack pod's counter set is exactly the classic single-rack one).
+	hCrossMsgs     stats.Handle
+	hBorrows       stats.Handle
+	hReturns       stats.Handle
+	hPromotedVMAs  stats.Handle
+	hPromotedPages stats.Handle
+}
+
+// NewPod builds and wires a pod of racks.
+func NewPod(cfg PodConfig) (*Pod, error) {
+	if len(cfg.Racks) == 0 {
+		return nil, fmt.Errorf("core: pod needs at least one rack")
+	}
+	if cfg.Promotion.Epoch == 0 {
+		cfg.Promotion.Epoch = DefaultPromotionConfig().Epoch
+	}
+	if cfg.Promotion.Threshold == 0 {
+		cfg.Promotion.Threshold = DefaultPromotionConfig().Threshold
+	}
+	if cfg.Promotion.MaxVMAsPerEpoch == 0 {
+		cfg.Promotion.MaxVMAsPerEpoch = DefaultPromotionConfig().MaxVMAsPerEpoch
+	}
+	p := &Pod{
+		eng:       sim.NewEngine(),
+		col:       stats.NewCollector(),
+		promo:     cfg.Promotion,
+		multiRack: len(cfg.Racks) > 1,
+	}
+	if len(cfg.Racks) > 1 {
+		ic := cfg.Interconnect
+		if ic == (fabric.InterConfig{}) {
+			ic = fabric.DefaultInterConfig()
+		}
+		p.ic = fabric.NewInterconnect(p.eng, ic, len(cfg.Racks))
+		p.hCrossMsgs = p.col.Handle(stats.CtrCrossRackMsgs)
+		p.hBorrows = p.col.Handle(stats.CtrBladeBorrows)
+		p.hReturns = p.col.Handle(stats.CtrBladeReturns)
+		p.hPromotedVMAs = p.col.Handle(stats.CtrPromotedVMAs)
+		p.hPromotedPages = p.col.Handle(stats.CtrPromotedPages)
+	}
+	for i, rc := range cfg.Racks {
+		r, err := newRack(p, i, rc)
+		if err != nil {
+			return nil, fmt.Errorf("core: rack %d: %w", i, err)
+		}
+		p.racks = append(p.racks, r)
+	}
+	if len(p.racks) > 1 && !cfg.Promotion.Disable {
+		p.schedulePromotionEpoch()
+	}
+	return p, nil
+}
+
+// Rack returns member rack i.
+func (p *Pod) Rack(i int) *Rack { return p.racks[i] }
+
+// Racks returns the number of member racks.
+func (p *Pod) Racks() int { return len(p.racks) }
+
+// Engine exposes the pod-shared simulation engine.
+func (p *Pod) Engine() *sim.Engine { return p.eng }
+
+// Collector exposes the pod-shared metrics collector.
+func (p *Pod) Collector() *stats.Collector { return p.col }
+
+// Interconnect exposes the inter-rack network model (nil for a 1-rack
+// pod).
+func (p *Pod) Interconnect() *fabric.Interconnect { return p.ic }
+
+// Leases returns the number of live cross-rack blade loans.
+func (p *Pod) Leases() int { return p.leases }
+
+// Now returns current virtual time.
+func (p *Pod) Now() sim.Time { return p.eng.Now() }
+
+// AdvanceTime idles the pod for d of virtual time (lets epochs run).
+func (p *Pod) AdvanceTime(d sim.Duration) {
+	p.eng.RunUntil(p.eng.Now().Add(d))
+}
+
+// RunThreads drives the engine until every started thread in the pod
+// finishes, then stops the epoch loops and drains remaining events
+// (in-flight writebacks etc.). It returns the virtual time at which the
+// last thread finished.
+func (p *Pod) RunThreads() sim.Time {
+	for p.activeThreads > 0 {
+		if !p.eng.Step() {
+			panic("core: threads pending but no events (wedged)")
+		}
+	}
+	finishedAt := p.eng.Now()
+	for _, r := range p.racks {
+		r.StopEpochs()
+	}
+	p.StopPromotionEpochs()
+	p.eng.Run()
+	return finishedAt
+}
+
+// schedulePromotionEpoch arms the pod-wide promotion policy tick.
+func (p *Pod) schedulePromotionEpoch() {
+	p.promoTick = p.eng.Schedule(p.promo.Epoch, func() {
+		for _, r := range p.racks {
+			r.runPromotionEpoch()
+		}
+		p.schedulePromotionEpoch()
+	})
+}
+
+// StopPromotionEpochs cancels the promotion policy loop (end of run).
+func (p *Pod) StopPromotionEpochs() {
+	if p.promoTick != nil {
+		p.eng.Cancel(p.promoTick)
+		p.promoTick = nil
+	}
+}
+
+// canBorrow reports whether cross-rack borrowing is possible at all.
+func (p *Pod) canBorrow() bool { return len(p.racks) > 1 }
+
+// borrowAsync asks the pod for a remote memory blade able to hold a
+// reservation of need bytes for rack r. The negotiation costs one
+// inter-rack control round trip; done(ok) fires in event context.
+func (p *Pod) borrowAsync(r *Rack, need uint64, done func(ok bool)) {
+	p.eng.Schedule(p.ic.CtrlRTT(), func() {
+		done(p.borrow(r, need))
+	})
+}
+
+// borrow transfers one lendable blade from another rack to r. The
+// lender scan starts at the next rack index, so load spreads
+// deterministically. The lender's blade is only retired after the
+// borrower successfully registers the partition, so a borrower-side
+// failure (its address stripe cannot host the partition) leaves every
+// lender fully intact.
+func (p *Pod) borrow(r *Rack, need uint64) bool {
+	n := len(p.racks)
+	for k := 1; k < n; k++ {
+		lender := p.racks[(r.idx+k)%n]
+		// A blade the lender itself borrowed is not its to lend on: a
+		// second-hand lease would record the wrong physical owner (and a
+		// fabric node id from a third rack).
+		id, ok := lender.ctl.Allocator().LendableBlade(need, func(id ctrlplane.BladeID) bool {
+			return !lender.remoteBlade(id)
+		})
+		if !ok {
+			continue
+		}
+		cap, err := lender.ctl.Allocator().BladeCapacity(id)
+		if err != nil {
+			continue
+		}
+		if err := lender.ctl.Allocator().SetBladeAvailable(id, false); err != nil {
+			continue
+		}
+		newID, err := r.ctl.Allocator().AddBlade(cap)
+		if err != nil {
+			// Borrower-side failure: the lender keeps its blade. A
+			// smaller blade from another lender may still fit the
+			// borrower's stripe, so the scan continues.
+			_ = lender.ctl.Allocator().SetBladeAvailable(id, true)
+			continue
+		}
+		if err := lender.ctl.Allocator().RetireBlade(id); err != nil {
+			// Unreachable: the blade is empty and was just made
+			// unavailable, and the engine is single-threaded in between.
+			panic(fmt.Sprintf("core: lend of blade %d: %v", id, err))
+		}
+		if int(newID) != len(r.mblades) {
+			panic("core: borrow broke blade id/index correspondence")
+		}
+		r.mblades = append(r.mblades, lender.mblades[int(id)])
+		r.mbOwner = append(r.mbOwner, lender.idx)
+		r.mbOwnNode = append(r.mbOwnNode, lender.mbOwnNode[int(id)])
+		r.remoteHeat = append(r.remoteHeat, 0)
+		r.borrowed++
+		p.leases++
+		p.col.IncH(p.hBorrows, 1)
+		p.col.IncH(r.hBladeEvents, 1)
+		return true
+	}
+	return false
+}
+
+// returnBlade hands an empty borrowed blade back to its owner: the
+// owner re-registers it under a fresh local id (blade ids are never
+// reused), and only then does the borrower retire its side — so a
+// failed owner-side registration (e.g. the owner's address stripe is
+// exhausted) leaves the lease fully intact instead of stranding the
+// blade between the two allocators. Reports whether the return
+// happened.
+func (p *Pod) returnBlade(borrower *Rack, id ctrlplane.BladeID) bool {
+	owner := p.racks[borrower.mbOwner[int(id)]]
+	blade := borrower.mblades[int(id)]
+	cap, err := borrower.ctl.Allocator().BladeCapacity(id)
+	if err != nil {
+		return false
+	}
+	newID, err := owner.ctl.Allocator().AddBlade(cap)
+	if err != nil {
+		return false
+	}
+	if err := borrower.ctl.Allocator().SetBladeAvailable(id, false); err != nil {
+		panic(fmt.Sprintf("core: return of borrowed blade %d: %v", id, err))
+	}
+	if err := borrower.ctl.Allocator().RetireBlade(id); err != nil {
+		// Unreachable: the caller verified the blade holds nothing, and
+		// the engine is single-threaded between that check and here.
+		panic(fmt.Sprintf("core: return of borrowed blade %d: %v", id, err))
+	}
+	blade.DropAll()
+	owner.fab.AddNode(memNodeBase + fabric.NodeID(newID))
+	owner.mblades = append(owner.mblades, blade)
+	owner.mbOwner = append(owner.mbOwner, owner.idx)
+	owner.mbOwnNode = append(owner.mbOwnNode, memNodeBase+fabric.NodeID(newID))
+	owner.remoteHeat = append(owner.remoteHeat, 0)
+	borrower.borrowed--
+	p.leases--
+	p.col.IncH(p.hReturns, 1)
+	p.col.IncH(owner.hBladeEvents, 1)
+	return true
+}
+
+// crossJob carries one inter-rack message hop chain through the engine;
+// jobs are pooled so the cross-rack fault path allocates nothing in
+// steady state.
+type crossJob struct {
+	p     *Pod
+	from  *Rack // borrower (the rack whose switch originated the route)
+	owner *Rack // rack physically hosting the blade
+	node  fabric.NodeID
+	bytes int
+	fn    func(any)
+	arg   any
+}
+
+func (p *Pod) newCrossJob(from, owner *Rack, node fabric.NodeID, bytes int, fn func(any), arg any) *crossJob {
+	j := p.crossFree.Get()
+	if j == nil {
+		j = &crossJob{p: p}
+	}
+	j.from, j.owner, j.node, j.bytes, j.fn, j.arg = from, owner, node, bytes, fn, arg
+	return j
+}
+
+func (p *Pod) freeCrossJob(j *crossJob) (fn func(any), arg any) {
+	fn, arg = j.fn, j.arg
+	j.fn, j.arg = nil, nil
+	j.from, j.owner = nil, nil
+	p.crossFree.Put(j)
+	return fn, arg
+}
+
+// crossToBlade routes borrower switch -> interconnect -> owner switch ->
+// blade NIC.
+func (p *Pod) crossToBlade(from *Rack, ownerIdx int, node fabric.NodeID, bytes int, fn func(any), arg any) {
+	p.col.IncH(p.hCrossMsgs, 1)
+	j := p.newCrossJob(from, p.racks[ownerIdx], node, bytes, fn, arg)
+	from.fab.TraverseEgressArg(crossToUplink, j)
+}
+
+// crossToUplink: the packet left the borrower's egress pipeline; cross
+// the interconnect.
+func crossToUplink(x any) {
+	j := x.(*crossJob)
+	j.p.ic.Send(j.from.idx, j.owner.idx, j.bytes, crossAtOwner, j)
+}
+
+// crossAtOwner: the packet arrived at the owning rack's switch;
+// traverse its ingress pipeline.
+func crossAtOwner(x any) {
+	j := x.(*crossJob)
+	j.owner.fab.TraverseIngressArg(crossOwnerToBlade, j)
+}
+
+// crossOwnerToBlade: the owner's data plane forwards to the blade (its
+// egress + the blade's NIC), completing the route.
+func crossOwnerToBlade(x any) {
+	j := x.(*crossJob)
+	owner, node, bytes := j.owner, j.node, j.bytes
+	fn, arg := j.p.freeCrossJob(j)
+	owner.fab.SendFromSwitchArg(node, bytes, fn, arg)
+}
+
+// crossFromBlade routes blade NIC -> owner switch -> interconnect ->
+// borrower switch (the mirror of crossToBlade).
+func (p *Pod) crossFromBlade(to *Rack, ownerIdx int, node fabric.NodeID, bytes int, fn func(any), arg any) {
+	p.col.IncH(p.hCrossMsgs, 1)
+	j := p.newCrossJob(to, p.racks[ownerIdx], node, bytes, fn, arg)
+	j.owner.fab.SendToSwitchArg(node, bytes, crossBladeAtOwner, j)
+}
+
+// crossBladeAtOwner: the blade's message traversed the owner's ingress;
+// forward it through the owner's egress into the interconnect.
+func crossBladeAtOwner(x any) {
+	j := x.(*crossJob)
+	j.owner.fab.TraverseEgressArg(crossFromUplink, j)
+}
+
+// crossFromUplink: cross the interconnect toward the borrower.
+func crossFromUplink(x any) {
+	j := x.(*crossJob)
+	j.p.ic.Send(j.owner.idx, j.from.idx, j.bytes, crossAtBorrower, j)
+}
+
+// crossAtBorrower: arrival at the borrower's switch; one ingress
+// traversal and the data-plane continuation runs.
+func crossAtBorrower(x any) {
+	j := x.(*crossJob)
+	from := j.from
+	fn, arg := j.p.freeCrossJob(j)
+	from.fab.TraverseIngressArg(fn, arg)
+}

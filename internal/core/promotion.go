@@ -1,0 +1,161 @@
+package core
+
+// Hot-page promotion (INDIGO-style): every promotion epoch the pod
+// scans each rack's borrowed blades; a blade whose remote-fetch heat
+// crossed the policy threshold gets its vmas migrated back to local
+// memory with the same live-migration machinery drains use — freeze →
+// directory reset → throttled page copy across the interconnect → TCAM
+// rewrite (outlier entries) → unfreeze. Borrowed blades that end up
+// empty are returned to their owning rack.
+
+import (
+	"mind/internal/ctrlplane"
+	"mind/internal/mem"
+	"mind/internal/memblade"
+)
+
+// runPromotionEpoch executes one policy tick for the rack: plan
+// promotions from the epoch's heat counters, start executing them (one
+// freeze→copy→rewrite chain at a time), and reset the heat for the next
+// epoch.
+func (c *Rack) runPromotionEpoch() {
+	if c.borrowed == 0 {
+		return
+	}
+	if !c.promoting {
+		alloc := c.ctl.Allocator()
+		plan := alloc.PlanPromotions(c.remoteBlade, func(id ctrlplane.BladeID) uint64 {
+			return c.remoteHeat[int(id)]
+		}, ctrlplane.PromotionPolicy{
+			Threshold: c.pod.promo.Threshold,
+			MaxVMAs:   c.pod.promo.MaxVMAsPerEpoch,
+		})
+		if len(plan) > 0 {
+			c.promoting = true
+			c.runPromotions(plan, 0)
+		} else {
+			c.returnIdleBorrowedBlades()
+		}
+	}
+	for i := range c.remoteHeat {
+		c.remoteHeat[i] = 0
+	}
+}
+
+// runPromotions executes the plan sequentially; each step is itself an
+// asynchronous event chain.
+func (c *Rack) runPromotions(plan []ctrlplane.Promotion, i int) {
+	if i >= len(plan) {
+		c.promoting = false
+		c.returnIdleBorrowedBlades()
+		return
+	}
+	c.promoteVMA(plan[i], func() { c.runPromotions(plan, i+1) })
+}
+
+// promoteVMA migrates one remote-homed vma to a local blade: the exact
+// drain step, with the page copy crossing the interconnect.
+func (c *Rack) promoteVMA(st ctrlplane.Promotion, done func()) {
+	alloc := c.ctl.Allocator()
+	reserved, err := alloc.Reserved(st.Base)
+	if err != nil || reserved != st.Reserved {
+		// The vma was munmapped (or replaced) since planning.
+		done()
+		return
+	}
+	area := mem.Range{Base: st.Base, Size: reserved}
+	c.dir.FreezeRange(area)
+	c.resetRange(area, func(int) {
+		mst := ctrlplane.MigrationStep{Base: st.Base, Reserved: reserved, From: st.From, To: st.To}
+		var scratch DrainReport
+		c.copyPages(mst, &scratch, func(moved []memblade.PageCopy, copyOK bool) {
+			if !copyOK {
+				c.dir.UnfreezeRange(area)
+				done()
+				return
+			}
+			err := alloc.Migrate(st.Base, st.To)
+			c.dir.UnfreezeRange(area)
+			if err != nil {
+				// Transient or persistent, the promotion is abandoned for
+				// this epoch; the pages go back to the remote home.
+				for _, pg := range moved {
+					c.mblades[int(st.From)].ReturnPage(pg)
+				}
+				done()
+				return
+			}
+			for _, pg := range moved {
+				c.mblades[int(st.To)].InstallPage(pg)
+			}
+			c.col.IncH(c.hMigratedPages, uint64(len(moved)))
+			c.col.IncH(c.pod.hPromotedVMAs, 1)
+			c.col.IncH(c.pod.hPromotedPages, uint64(len(moved)))
+			done()
+		})
+	})
+}
+
+// returnIdleBorrowedBlades hands borrowed blades that hold no
+// allocations back to their owners.
+func (c *Rack) returnIdleBorrowedBlades() {
+	if c.borrowed == 0 {
+		return
+	}
+	alloc := c.ctl.Allocator()
+	for id := range c.mblades {
+		bid := ctrlplane.BladeID(id)
+		if !c.remoteBlade(bid) || alloc.BladeRetired(bid) {
+			continue
+		}
+		if used, err := alloc.BladeAllocatedBytes(bid); err != nil || used != 0 {
+			continue
+		}
+		c.pod.returnBlade(c, bid)
+	}
+}
+
+// bladeTransfer models one blade-to-blade batch transfer with guaranteed
+// completion (see transfer). When both endpoints are rack-local it is
+// exactly the classic one-switch path; when either side is borrowed the
+// batch additionally traverses the owning rack's switch and the pod
+// interconnect in each direction it crosses.
+func (c *Rack) bladeTransfer(from, to ctrlplane.BladeID, bytes int, done func(delivered bool)) {
+	fromOwner := c.pod.racks[c.mbOwner[int(from)]]
+	toOwner := c.pod.racks[c.mbOwner[int(to)]]
+	fromNode, toNode := c.mbOwnNode[int(from)], c.mbOwnNode[int(to)]
+	if fromOwner == c && toOwner == c {
+		c.transfer(fromNode, toNode, bytes, done)
+		return
+	}
+	errComplete := func() {
+		c.eng.Schedule(c.fab.OneWayBase(bytes), func() { done(false) })
+	}
+	if fromOwner.fab.NodeDead(fromNode) || toOwner.fab.NodeDead(toNode) {
+		errComplete()
+		return
+	}
+	// Source blade -> its rack's switch.
+	fromOwner.fab.SendToSwitch(fromNode, bytes, func() {
+		deliver := func() {
+			if toOwner.fab.NodeDead(toNode) {
+				errComplete()
+				return
+			}
+			toOwner.fab.SendFromSwitch(toNode, bytes, func() { done(true) })
+		}
+		if fromOwner == toOwner {
+			deliver()
+			return
+		}
+		// Cross the interconnect between the two owning switches (the
+		// batch is one cross-rack message, like any other both-switch
+		// route).
+		c.pod.col.IncH(c.pod.hCrossMsgs, 1)
+		fromOwner.fab.TraverseEgressArg(func(any) {
+			c.pod.ic.Send(fromOwner.idx, toOwner.idx, bytes, func(any) {
+				toOwner.fab.TraverseIngressArg(func(any) { deliver() }, nil)
+			}, nil)
+		}, nil)
+	})
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"fmt"
+
+	"mind/internal/coherence"
+	"mind/internal/computeblade"
+	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
+	"mind/internal/mem"
+	"mind/internal/memblade"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// memNodeBase offsets memory-blade fabric node IDs away from compute
+// blades'.
+const memNodeBase fabric.NodeID = 1000
+
+// Rack is one simulated MIND rack (Figure 2): a programmable ToR switch
+// holding the TCAM translations and the coherence directory for its
+// blades, the rack-local fabric, and the compute/memory blades behind
+// it. Racks are always members of a Pod; a 1-rack Pod is the classic
+// single-rack MIND deployment (Cluster is its facade).
+type Rack struct {
+	pod *Pod
+	idx int
+	cfg Config
+
+	// eng and col alias the pod-shared engine and collector, so the
+	// per-access paths stay one pointer hop away.
+	eng *sim.Engine
+	col *stats.Collector
+
+	fab *fabric.Fabric
+
+	ctl      *ctrlplane.Controller
+	dir      *coherence.Directory
+	splitter *ctrlplane.Splitter
+
+	cblades []*computeblade.Blade
+	mblades []*memblade.Blade
+
+	// mbOwner maps a registered memory blade id to the pod rack index
+	// that physically hosts it; mbOwnNode is the blade's fabric NodeID
+	// in the owner's fabric. Local blades own themselves. remoteHeat
+	// counts the data-path messages (fault fetch requests and page
+	// writebacks) routed to each remote blade in the current promotion
+	// epoch — the signal the hot-page promotion policy consumes.
+	mbOwner    []int
+	mbOwnNode  []fabric.NodeID
+	remoteHeat []uint64
+	borrowed   int // registered blades currently homed in other racks
+
+	// promoting serializes vma promotions: at most one freeze→copy→
+	// TCAM-rewrite chain runs per rack at a time.
+	promoting bool
+
+	threads   []*Thread
+	epochTick *sim.Event
+
+	// Free lists for the pooled fabric-glue jobs (single-threaded
+	// engine context).
+	reqFree sim.Pool[reqJob]
+	wbFree  sim.Pool[wbJob]
+
+	hLostWrites    stats.Handle
+	hBladeEvents   stats.Handle
+	hMigratedPages stats.Handle
+}
+
+// reqJob carries one page-fault request blade -> switch; jobs are pooled
+// and recycled as soon as the request is handed to the directory.
+type reqJob struct {
+	c     *Rack
+	blade int
+	pdid  mem.PDID
+	va    mem.VA
+	want  mem.Perm
+	done  func(coherence.Completion)
+}
+
+// reqAtSwitch runs when the fault request finishes ingress processing.
+func reqAtSwitch(x any) {
+	j := x.(*reqJob)
+	c, blade, pdid, va, want, done := j.c, j.blade, j.pdid, j.va, j.want, j.done
+	j.done = nil
+	c.reqFree.Put(j)
+	c.dir.RequestPage(blade, pdid, va, want, done)
+}
+
+// wbJob carries one page writeback blade -> switch -> memory blade.
+type wbJob struct {
+	c    *Rack
+	va   mem.VA
+	data []byte
+	home ctrlplane.BladeID
+	done func()
+}
+
+// wbAtSwitch runs when the writeback reaches the switch: translate and
+// forward to the home memory blade (or account a lost write).
+func wbAtSwitch(x any) {
+	j := x.(*wbJob)
+	c := j.c
+	home, err := c.ctl.Allocator().Translate(j.va)
+	if err != nil {
+		c.freeWB(j, true) // unmapped (racing munmap); drop
+		return
+	}
+	if c.mblades[int(home)].Dead() {
+		// One-sided write to a failed blade: the NIC's reliable
+		// connection errors out after the send attempt. The data is
+		// lost, but the completion (with error) still fires — flush
+		// barriers must not wedge on a dead target (§4.4).
+		c.col.IncH(c.hLostWrites, 1)
+		done := j.done
+		c.freeWB(j, false)
+		c.eng.ScheduleArg(c.fab.OneWayBase(fabric.PageBytes), sim.CallFunc, done)
+		return
+	}
+	j.home = home
+	c.sendToMemBlade(home, fabric.PageBytes, wbLanded, j)
+}
+
+// wbLanded runs at the memory blade: persist the page and complete.
+func wbLanded(x any) {
+	j := x.(*wbJob)
+	c, va, data, home, done := j.c, j.va, j.data, j.home, j.done
+	c.freeWB(j, false)
+	c.mblades[int(home)].WritePage(va, data)
+	done()
+}
+
+func (c *Rack) freeWB(j *wbJob, callDone bool) {
+	done := j.done
+	j.done, j.data = nil, nil
+	c.wbFree.Put(j)
+	if callDone {
+		done()
+	}
+}
+
+// checkConfig validates and defaults one rack's configuration.
+func checkConfig(cfg Config) (Config, error) {
+	if cfg.ComputeBlades < 1 || cfg.MemoryBlades < 1 {
+		return cfg, fmt.Errorf("core: need at least one compute and one memory blade")
+	}
+	if cfg.CachePagesPerBlade < 1 {
+		return cfg, fmt.Errorf("core: cache must hold at least one page")
+	}
+	if cfg.StoreBufferDepth == 0 {
+		cfg.StoreBufferDepth = 16
+	}
+	if cfg.ThinkTime == 0 {
+		cfg.ThinkTime = 30 * sim.Nanosecond
+	}
+	if cfg.Migration.BatchPages == 0 {
+		cfg.Migration.BatchPages = DefaultMigrationConfig().BatchPages
+	}
+	if cfg.Migration.BatchGap == 0 {
+		cfg.Migration.BatchGap = DefaultMigrationConfig().BatchGap
+	}
+	if cfg.Migration.DetectionDelay == 0 {
+		cfg.Migration.DetectionDelay = DefaultMigrationConfig().DetectionDelay
+	}
+	return cfg, nil
+}
+
+// newRack builds and wires one rack onto the pod's engine and collector.
+// The construction order (stat handles, fabric, controller, nodes,
+// blades, directory, splitter) fixes resource identities and therefore
+// the event schedule; it must stay exactly what the single-rack Cluster
+// constructor did so a 1-rack pod is bit-identical to the pre-pod code.
+func newRack(pod *Pod, idx int, cfg Config) (*Rack, error) {
+	cfg, err := checkConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	asicCfg := cfg.ASIC
+	if cfg.Consistency == PSOPlus {
+		// MIND-PSO+ simulates infinite directory capacity (§7.1).
+		asicCfg.SlotCapacity = 0
+	}
+
+	c := &Rack{
+		pod: pod,
+		idx: idx,
+		cfg: cfg,
+		eng: pod.eng,
+		col: pod.col,
+	}
+	c.hLostWrites = c.col.Handle(stats.CtrLostWrites)
+	c.hBladeEvents = c.col.Handle(stats.CtrBladeEvents)
+	c.hMigratedPages = c.col.Handle(stats.CtrMigratedPages)
+	c.fab = fabric.New(c.eng, cfg.Fabric)
+	c.ctl = ctrlplane.NewController(asicCfg, cfg.Placement, cfg.ComputeBlades)
+	if pod.multiRack {
+		// Each rack gets a disjoint 1 TB stripe of the pod-global
+		// virtual address space (enforced end-to-end by the allocator),
+		// so a physical page store lent across racks can never see
+		// aliased addresses. Rack 0 keeps the classic single-rack base;
+		// a 1-rack pod stays unbounded, exactly the pre-pod behavior.
+		const stripe = uint64(1) << 40
+		base := mem.VA(uint64(idx) * stripe)
+		if idx == 0 {
+			base = mem.VA(1) << 32
+		}
+		c.ctl.Allocator().SetAddressStripe(base, uint64(mem.VA(uint64(idx+1)*stripe)-base))
+	}
+
+	for i := 0; i < cfg.ComputeBlades; i++ {
+		c.fab.AddNode(fabric.NodeID(i))
+	}
+	for m := 0; m < cfg.MemoryBlades; m++ {
+		c.fab.AddNode(memNodeBase + fabric.NodeID(m))
+		if _, err := c.ctl.Allocator().AddBlade(cfg.MemoryBladeCapacity); err != nil {
+			return nil, fmt.Errorf("core: register memory blade %d: %w", m, err)
+		}
+		c.mblades = append(c.mblades, memblade.New(m))
+		c.mbOwner = append(c.mbOwner, idx)
+		c.mbOwnNode = append(c.mbOwnNode, memNodeBase+fabric.NodeID(m))
+		c.remoteHeat = append(c.remoteHeat, 0)
+	}
+
+	c.dir = coherence.NewDirectory(coherence.Config{
+		InitialRegionSize:      cfg.InitialRegionSize,
+		TopLevelSize:           cfg.TopLevelRegionSize,
+		SequentialInvalidation: cfg.SequentialInvalidation,
+		ExclusiveOnColdRead:    cfg.ExclusiveReads,
+	}, coherence.Deps{
+		Engine:      c.eng,
+		Fabric:      c.fab,
+		ASIC:        c.ctl.ASIC(),
+		Collector:   c.col,
+		Translate:   c.ctl.Allocator().Translate,
+		Protect:     c.ctl.Protection().Check,
+		SendToMem:   c.sendToMemBlade,
+		SendFromMem: c.sendFromMemBlade,
+		BladeNode:   func(i int) fabric.NodeID { return fabric.NodeID(i) },
+	})
+
+	for i := 0; i < cfg.ComputeBlades; i++ {
+		bcfg := cfg.Blade
+		if bcfg.PageFaultCost == 0 {
+			bcfg = computeblade.DefaultConfig(i, cfg.CachePagesPerBlade)
+		}
+		bcfg.ID = i
+		bcfg.CachePages = cfg.CachePagesPerBlade
+		blade := computeblade.New(bcfg, computeblade.Deps{
+			Engine:    c.eng,
+			Collector: c.col,
+			SendRequest: func(i int) func(mem.PDID, mem.VA, mem.Perm, func(coherence.Completion)) {
+				return func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion)) {
+					j := c.newReqJob()
+					j.blade, j.pdid, j.va, j.want, j.done = i, pdid, va, want, done
+					c.fab.SendToSwitchArg(fabric.NodeID(i), fabric.CtrlMsgBytes, reqAtSwitch, j)
+				}
+			}(i),
+			Writeback: func(i int) func(mem.VA, []byte, func()) {
+				return func(va mem.VA, data []byte, done func()) {
+					c.writeback(fabric.NodeID(i), va, data, done)
+				}
+			}(i),
+			FetchData: c.fetchData,
+			Reset: func(va mem.VA, done func()) {
+				// Reset goes through the (slow) control plane (§4.4).
+				c.fab.CtrlCall(fabric.SwitchNode, func() {
+					c.dir.ResetRegion(va, done)
+				})
+			},
+		})
+		c.cblades = append(c.cblades, blade)
+		c.dir.RegisterBlade(i, blade)
+	}
+
+	// Bounded Splitting runs as a control-plane epoch loop (§5).
+	if !cfg.DisableSplitting {
+		scfg := ctrlplane.DefaultSplitterConfig()
+		if cfg.SplitterEpoch > 0 {
+			scfg.Epoch = int64(cfg.SplitterEpoch)
+		}
+		if cfg.TopLevelRegionSize > 0 {
+			scfg.TopLevelSize = cfg.TopLevelRegionSize
+		}
+		if cfg.SplitterC > 0 {
+			scfg.C = cfg.SplitterC
+		}
+		c.splitter = ctrlplane.NewSplitter(scfg, c.dir)
+		c.scheduleEpoch(sim.Duration(scfg.Epoch))
+	}
+	return c, nil
+}
+
+func (c *Rack) scheduleEpoch(epoch sim.Duration) {
+	c.epochTick = c.eng.Schedule(epoch, func() {
+		c.splitter.RunEpoch()
+		c.col.Series(c.seriesName("directory_entries")).Append(c.eng.Now(), float64(c.dir.SlotsInUse()))
+		c.scheduleEpoch(epoch)
+	})
+}
+
+// seriesName qualifies a per-rack series on the pod-shared collector.
+// Rack 0 keeps the bare name every single-rack consumer reads.
+func (c *Rack) seriesName(name string) string {
+	if c.idx == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s[rack%d]", name, c.idx)
+}
+
+// StopEpochs cancels the splitter's epoch loop (end of run).
+func (c *Rack) StopEpochs() {
+	if c.epochTick != nil {
+		c.eng.Cancel(c.epochTick)
+		c.epochTick = nil
+	}
+}
+
+// newReqJob takes a request job from the free list (or allocates one).
+func (c *Rack) newReqJob() *reqJob {
+	if j := c.reqFree.Get(); j != nil {
+		return j
+	}
+	return &reqJob{c: c}
+}
+
+// remoteBlade reports whether registered memory blade id is homed in
+// another rack of the pod.
+func (c *Rack) remoteBlade(id ctrlplane.BladeID) bool {
+	return c.mbOwner[int(id)] != c.idx
+}
+
+// sendToMemBlade routes a message switch -> home memory blade. For a
+// local blade that is one egress traversal plus the blade's NIC — the
+// exact classic path. For a borrowed (remote-homed) blade the message
+// leaves through the local egress pipeline, crosses the pod
+// interconnect, and then takes the owning rack's egress+NIC hop to the
+// blade: routed through both switches.
+func (c *Rack) sendToMemBlade(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
+	owner := c.mbOwner[int(id)]
+	if owner == c.idx {
+		c.fab.SendFromSwitchArg(c.mbOwnNode[int(id)], bytes, fn, arg)
+		return
+	}
+	c.remoteHeat[int(id)]++
+	c.pod.crossToBlade(c, owner, c.mbOwnNode[int(id)], bytes, fn, arg)
+}
+
+// sendFromMemBlade routes a message home memory blade -> switch (the
+// 4 KB fetch response, for instance). The remote path is the mirror of
+// sendToMemBlade: blade NIC and owner-side ingress, the interconnect,
+// then the borrower's ingress pipeline.
+func (c *Rack) sendFromMemBlade(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
+	owner := c.mbOwner[int(id)]
+	if owner == c.idx {
+		c.fab.SendToSwitchArg(c.mbOwnNode[int(id)], bytes, fn, arg)
+		return
+	}
+	c.pod.crossFromBlade(c, owner, c.mbOwnNode[int(id)], bytes, fn, arg)
+}
+
+// writeback models a one-sided RDMA page write from a blade to the home
+// memory blade, via the switch.
+func (c *Rack) writeback(from fabric.NodeID, va mem.VA, data []byte, done func()) {
+	j := c.wbFree.Get()
+	if j == nil {
+		j = &wbJob{c: c}
+	}
+	j.va, j.data, j.done = va, data, done
+	c.fab.SendToSwitchArg(from, fabric.PageBytes, wbAtSwitch, j)
+}
+
+// fetchData copies page bytes from the home memory blade at the simulated
+// moment of delivery.
+func (c *Rack) fetchData(va mem.VA) []byte {
+	home, err := c.ctl.Allocator().Translate(va)
+	if err != nil {
+		return nil
+	}
+	return c.mblades[int(home)].ReadPage(va)
+}
+
+// Pod returns the pod this rack is a member of.
+func (c *Rack) Pod() *Pod { return c.pod }
+
+// RackIndex returns this rack's index within its pod.
+func (c *Rack) RackIndex() int { return c.idx }
+
+// Engine exposes the simulation engine.
+func (c *Rack) Engine() *sim.Engine { return c.eng }
+
+// Collector exposes run metrics.
+func (c *Rack) Collector() *stats.Collector { return c.col }
+
+// Controller exposes the switch control plane.
+func (c *Rack) Controller() *ctrlplane.Controller { return c.ctl }
+
+// Directory exposes the coherence directory (tests, experiments).
+func (c *Rack) Directory() *coherence.Directory { return c.dir }
+
+// Splitter exposes the Bounded Splitting controller (nil when disabled).
+func (c *Rack) Splitter() *ctrlplane.Splitter { return c.splitter }
+
+// Blade returns compute blade i.
+func (c *Rack) Blade(i int) *computeblade.Blade { return c.cblades[i] }
+
+// MemBlade returns memory blade m.
+func (c *Rack) MemBlade(m int) *memblade.Blade { return c.mblades[m] }
+
+// BorrowedBlades returns how many of this rack's registered memory
+// blades are physically homed in other racks.
+func (c *Rack) BorrowedBlades() int { return c.borrowed }
+
+// Config returns the rack's configuration.
+func (c *Rack) Config() Config { return c.cfg }
+
+// Now returns current virtual time.
+func (c *Rack) Now() sim.Time { return c.eng.Now() }
+
+// await drives the engine until done() has been called by some event.
+func (c *Rack) await(op func(done func())) {
+	fired := false
+	op(func() { fired = true })
+	steps := 0
+	for !fired {
+		if !c.eng.Step() {
+			panic("core: await ran out of events (protocol wedge)")
+		}
+		steps++
+		if steps > 500_000_000 {
+			panic("core: await exceeded step budget")
+		}
+	}
+}
+
+// InjectFailure installs a message-drop hook on the fabric (nil clears).
+func (c *Rack) InjectFailure(drop func(from, to fabric.NodeID) bool) {
+	c.fab.DropFn = drop
+}
+
+// Failover switches to the backup control plane/data plane (§4.4).
+// Directory entries are data-plane state and are not replicated: every
+// live region is reset first (compute blades flush their data), then the
+// backup ASIC is reconstructed from control-plane state and becomes
+// active. This is the blocking wrapper around KillSwitch, the
+// in-simulation failover event (elasticity.go).
+func (c *Rack) Failover() {
+	c.KillSwitch()
+}

@@ -17,7 +17,7 @@ type AccessGen func() (va mem.VA, write bool, ok bool)
 // Thread executes an access stream on one compute blade under the
 // cluster's consistency model.
 type Thread struct {
-	c     *Cluster
+	c     *Rack
 	proc  *Process
 	tid   ctrlplane.TID
 	blade int
@@ -101,7 +101,7 @@ func (t *Thread) Start(gen AccessGen, onFinish func()) {
 		t.c.eng.ScheduleArg(0, threadStep, t)
 	}
 	t.asyncDone = func(r accessResultAlias) { t.writeDrained(r.Page) }
-	t.c.activeThreads++
+	t.c.pod.activeThreads++
 	t.c.eng.ScheduleArg(0, threadStep, t)
 }
 
@@ -110,7 +110,7 @@ func (t *Thread) finish() {
 		return
 	}
 	t.done = true
-	t.c.activeThreads--
+	t.c.pod.activeThreads--
 	if t.finished != nil {
 		t.finished()
 	}
@@ -245,17 +245,10 @@ func (t *Thread) replay(st stashed) {
 	t.issueBlocking(st.va, st.write)
 }
 
-// RunThreads drives the engine until every started thread finishes, then
-// stops the epoch loop and drains remaining events (in-flight writebacks
-// etc.). It returns the virtual time at which the last thread finished.
-func (c *Cluster) RunThreads() sim.Time {
-	for c.activeThreads > 0 {
-		if !c.eng.Step() {
-			panic("core: threads pending but no events (wedged)")
-		}
-	}
-	finishedAt := c.eng.Now()
-	c.StopEpochs()
-	c.eng.Run()
-	return finishedAt
+// RunThreads drives the engine until every started thread in the pod
+// finishes, then stops the epoch loops and drains remaining events
+// (in-flight writebacks etc.). It returns the virtual time at which the
+// last thread finished.
+func (c *Rack) RunThreads() sim.Time {
+	return c.pod.RunThreads()
 }

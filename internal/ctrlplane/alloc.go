@@ -167,8 +167,11 @@ type Allocator struct {
 	asic   *switchasic.ASIC
 	policy PlacementPolicy
 
-	blades  []*bladeState
-	nextVA  mem.VA
+	blades []*bladeState
+	nextVA mem.VA
+	// limitVA, when nonzero, is the exclusive end of this allocator's
+	// address stripe (see SetAddressStripe).
+	limitVA mem.VA
 	rrNext  int
 	allocs  map[mem.VA]*allocation // by vma base
 	nAllocs uint64
@@ -197,6 +200,10 @@ func (a *Allocator) AddBlade(capacity uint64) (BladeID, error) {
 	id := BladeID(len(a.blades))
 	base := mem.AlignUp(a.nextVA, capacity)
 	part := mem.Range{Base: base, Size: capacity}
+	if a.limitVA != 0 && part.End() > a.limitVA {
+		return 0, fmt.Errorf("ctrlplane: blade partition [%#x,+%#x) exceeds the allocator's address stripe (ends %#x): %w",
+			uint64(base), capacity, uint64(a.limitVA), ErrNoMemory)
+	}
 	if err := a.asic.Translation.Insert(switchasic.Entry{
 		PDID:  switchasic.WildcardPDID,
 		Base:  uint64(part.Base),
@@ -210,8 +217,35 @@ func (a *Allocator) AddBlade(capacity uint64) (BladeID, error) {
 	return id, nil
 }
 
+// SetAddressStripe confines the allocator to [base, base+size) of the
+// global virtual address space — a pod gives each rack's allocator a
+// disjoint stripe so addresses are pod-unique, and AddBlade refuses to
+// grow past the stripe's end (otherwise a fully-loaded or long-churned
+// rack could silently spill into its neighbour's stripe and a lent page
+// store would see aliased addresses). Must be called before any blade
+// is registered.
+func (a *Allocator) SetAddressStripe(base mem.VA, size uint64) {
+	if len(a.blades) != 0 {
+		panic("ctrlplane: SetAddressStripe after blades registered")
+	}
+	if base < mem.VA(1)<<32 {
+		base = mem.VA(1) << 32
+	}
+	a.nextVA = base
+	a.limitVA = base + mem.VA(size)
+}
+
 // Blades returns the number of registered memory blades.
 func (a *Allocator) Blades() int { return len(a.blades) }
+
+// BladeCapacity returns the partition size of blade id.
+func (a *Allocator) BladeCapacity(id BladeID) (uint64, error) {
+	b, err := a.blade(id)
+	if err != nil {
+		return 0, err
+	}
+	return b.partition.Size, nil
+}
 
 // BladeLoad returns the reserved bytes currently placed on each blade —
 // the loads Figure 8 (right) feeds into Jain's fairness index.

@@ -84,6 +84,17 @@ func (a *Allocator) AvailableBlades() int {
 	return n
 }
 
+// BladeAllocatedBytes returns the reserved bytes currently placed on
+// the blade — the allocation-free emptiness probe epoch loops use
+// (AllocationsOn builds and sorts a slice).
+func (a *Allocator) BladeAllocatedBytes(id BladeID) (uint64, error) {
+	b, err := a.blade(id)
+	if err != nil {
+		return 0, err
+	}
+	return b.allocated, nil
+}
+
 // AllocationsOn returns the bases of every vma currently placed on the
 // blade, in ascending order — the work list of a drain.
 func (a *Allocator) AllocationsOn(id BladeID) []mem.VA {
@@ -103,10 +114,19 @@ func (a *Allocator) AllocationsOn(id BladeID) []mem.VA {
 // view of earlier steps completing. This is the single target-selection
 // rule; PlanDrain and PickMigrationTarget must not diverge.
 func (a *Allocator) pickLeastLoaded(victim BladeID, reserved uint64, extra map[BladeID]uint64) (BladeID, error) {
+	return a.pickTarget(func(id BladeID) bool { return id == victim }, reserved, extra)
+}
+
+// pickTarget is the generalized selection rule behind pickLeastLoaded:
+// the least-loaded available blade not excluded by the predicate (ties
+// to the lowest id) that can fit reserved more bytes. The promotion
+// planner excludes every remote-homed blade; drains exclude only the
+// victim.
+func (a *Allocator) pickTarget(exclude func(BladeID) bool, reserved uint64, extra map[BladeID]uint64) (BladeID, error) {
 	var best *bladeState
 	var bestLoad uint64
 	for _, b := range a.blades {
-		if b.id == victim || b.unavailable {
+		if b.unavailable || exclude(b.id) {
 			continue
 		}
 		load := b.allocated + extra[b.id]

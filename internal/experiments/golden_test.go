@@ -57,10 +57,11 @@ func hashFigMap(h interface{ Write(p []byte) (int, error) }, figs map[string]*Fi
 // goldenFingerprint regenerates a cross-section of panels — workload
 // counters (Fig6), region-granularity sweeps (Fig9 left), steady-state
 // pairs across all four systems including GAM's multi-blade software
-// invalidation path (Fig5 center), allocation studies (Fig8 center) and
+// invalidation path (Fig5 center), allocation studies (Fig8 center),
 // the elasticity timeline with its membership events and migration
-// scheduling (Fig10) — with the given worker setting, on a fresh cache
-// so every run really executes.
+// scheduling (Fig10), and the pod panel with cross-rack borrowing and
+// hot-page promotion (FigPod) — with the given worker setting, on a
+// fresh cache so every run really executes.
 func goldenFingerprint(t *testing.T, workers int) string {
 	t.Helper()
 	s := goldenScale
@@ -98,6 +99,12 @@ func goldenFingerprint(t *testing.T, workers int) string {
 	}
 	hashFig(h, fig10)
 
+	figPod, err := FigPod(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashFig(h, figPod)
+
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
@@ -114,7 +121,9 @@ func TestDeterminismGoldenAcrossWorkerCounts(t *testing.T) {
 
 // TestRootSeedPinsResults is the other half of the golden: re-running
 // with the same root seed reproduces the exact bits, and a different
-// root seed actually changes the workload streams.
+// root seed actually changes the workload streams. The pod panel rides
+// along so root-seed pinning covers the multi-rack topology (borrow
+// timing, promotion epochs, interconnect queueing) too.
 func TestRootSeedPinsResults(t *testing.T) {
 	t.Parallel()
 	run := func(rootSeed uint64) string {
@@ -127,6 +136,11 @@ func TestRootSeedPinsResults(t *testing.T) {
 		}
 		h := sha256.New()
 		hashFigMap(h, figs)
+		figPod, err := FigPod(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashFig(h, figPod)
 		return fmt.Sprintf("%x", h.Sum(nil))
 	}
 	a, b := run(42), run(42)

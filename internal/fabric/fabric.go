@@ -258,6 +258,22 @@ func (f *Fabric) Recirculate(fn func()) {
 	f.RecirculateArg(sim.CallFunc, fn)
 }
 
+// TraverseIngressArg models one ingress pipeline traversal for a packet
+// arriving on a port with no NIC model of its own (a pod uplink):
+// fn(arg) fires after match-action processing.
+func (f *Fabric) TraverseIngressArg(fn func(any), arg any) {
+	_, ingEnd := f.ingress.Reserve(f.eng.Now(), f.cfg.PipelineService)
+	f.eng.AtArg(ingEnd.Add(f.cfg.PipelineDelay), fn, arg)
+}
+
+// TraverseEgressArg models one egress pipeline traversal toward a port
+// with no NIC model of its own (a pod uplink): fn(arg) fires when the
+// packet leaves the pipeline.
+func (f *Fabric) TraverseEgressArg(fn func(any), arg any) {
+	_, egrEnd := f.egress.Reserve(f.eng.Now(), f.cfg.PipelineService)
+	f.eng.AtArg(egrEnd.Add(f.cfg.PipelineDelay), fn, arg)
+}
+
 // SendFromSwitchArg models switch → node: one egress pipeline traversal,
 // the wire, and RX NIC processing. The pre-bound fn(arg) fires at
 // delivery, unless the drop hook eats the message.

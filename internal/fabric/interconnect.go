@@ -1,0 +1,108 @@
+package fabric
+
+import (
+	"fmt"
+
+	"mind/internal/sim"
+)
+
+// InterConfig calibrates the inter-rack interconnect of a pod: each
+// rack's ToR switch owns one uplink into a spine, with much higher
+// propagation delay and lower per-lane bandwidth than the rack-internal
+// fabric. Queueing above line rate shows up as delay, exactly like the
+// rack-local resources.
+type InterConfig struct {
+	// Propagation is the one-way ToR-to-ToR latency through the spine
+	// (cabling plus spine pipeline traversals).
+	Propagation sim.Duration
+	// Overhead is the fixed per-message gateway/encapsulation cost paid
+	// on each uplink and downlink crossing.
+	Overhead sim.Duration
+	// BytesPerNs is the serialization bandwidth of one uplink lane;
+	// 40 Gbps = 5 B/ns.
+	BytesPerNs float64
+	// LinkSlots is the number of parallel lanes per direction per rack.
+	LinkSlots int
+	// CtrlRTT is the inter-rack control-plane round trip (switch CPU to
+	// switch CPU) used for borrow negotiations.
+	CtrlRTT sim.Duration
+}
+
+// DefaultInterConfig returns an interconnect calibrated as a pod-scale
+// spine: ~5x the rack's wire delay per direction and a third of the
+// per-NIC bandwidth, so remote memory is distinctly — but not
+// hopelessly — slower than rack-local memory.
+func DefaultInterConfig() InterConfig {
+	return InterConfig{
+		Propagation: 1 * sim.Microsecond,
+		Overhead:    150 * sim.Nanosecond,
+		BytesPerNs:  5.0,
+		LinkSlots:   4,
+		CtrlRTT:     100 * sim.Microsecond,
+	}
+}
+
+// Interconnect is the instantiated inter-rack network: one
+// uplink/downlink resource pair per rack.
+type Interconnect struct {
+	eng *sim.Engine
+	cfg InterConfig
+
+	up   []*sim.Resource
+	down []*sim.Resource
+
+	// Sent counts messages crossed; BytesSent totals their payloads.
+	Sent      uint64
+	BytesSent uint64
+}
+
+// NewInterconnect builds the interconnect for a pod of racks racks.
+func NewInterconnect(eng *sim.Engine, cfg InterConfig, racks int) *Interconnect {
+	if cfg.LinkSlots < 1 {
+		cfg.LinkSlots = 1
+	}
+	if cfg.BytesPerNs <= 0 {
+		cfg.BytesPerNs = DefaultInterConfig().BytesPerNs
+	}
+	if cfg.CtrlRTT == 0 {
+		cfg.CtrlRTT = DefaultInterConfig().CtrlRTT
+	}
+	ic := &Interconnect{eng: eng, cfg: cfg}
+	for i := 0; i < racks; i++ {
+		ic.up = append(ic.up, sim.NewResource(fmt.Sprintf("pod-uplink-%d", i), cfg.LinkSlots))
+		ic.down = append(ic.down, sim.NewResource(fmt.Sprintf("pod-downlink-%d", i), cfg.LinkSlots))
+	}
+	return ic
+}
+
+// Config returns the interconnect's calibration constants.
+func (ic *Interconnect) Config() InterConfig { return ic.cfg }
+
+func (ic *Interconnect) serialize(bytes int) sim.Duration {
+	return sim.Duration(float64(bytes) / ic.cfg.BytesPerNs)
+}
+
+// Send models one rack-to-rack crossing: serialization on the source
+// rack's uplink, spine propagation, and serialization on the target
+// rack's downlink. fn(arg) fires when the message is ready to enter the
+// target ToR's ingress pipeline.
+func (ic *Interconnect) Send(from, to int, bytes int, fn func(any), arg any) {
+	if from == to {
+		panic(fmt.Sprintf("fabric: interconnect send within rack %d", from))
+	}
+	_, upEnd := ic.up[from].Reserve(ic.eng.Now(), ic.cfg.Overhead+ic.serialize(bytes))
+	arrive := upEnd.Add(ic.cfg.Propagation)
+	_, downEnd := ic.down[to].Reserve(arrive, ic.cfg.Overhead+ic.serialize(bytes))
+	ic.Sent++
+	ic.BytesSent += uint64(bytes)
+	ic.eng.AtArg(downEnd, fn, arg)
+}
+
+// CtrlRTT returns the inter-rack control-plane round-trip time.
+func (ic *Interconnect) CtrlRTT() sim.Duration { return ic.cfg.CtrlRTT }
+
+// OneWay returns the unloaded one-way crossing latency for a message of
+// the given size — for calibration tests and documentation.
+func (ic *Interconnect) OneWay(bytes int) sim.Duration {
+	return 2*(ic.cfg.Overhead+ic.serialize(bytes)) + ic.cfg.Propagation
+}

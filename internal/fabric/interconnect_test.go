@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"testing"
+
+	"mind/internal/sim"
+)
+
+func TestInterconnectUnloadedLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultInterConfig()
+	ic := NewInterconnect(eng, cfg, 2)
+	var at sim.Time
+	ic.Send(0, 1, PageBytes, func(any) { at = eng.Now() }, nil)
+	eng.Run()
+	want := ic.OneWay(PageBytes)
+	if got := at.Sub(0); got != want {
+		t.Fatalf("unloaded crossing = %v, want OneWay = %v", got, want)
+	}
+	if ic.Sent != 1 || ic.BytesSent != PageBytes {
+		t.Fatalf("accounting: sent=%d bytes=%d", ic.Sent, ic.BytesSent)
+	}
+}
+
+// TestInterconnectBandwidthQueues pins the bounded-bandwidth property:
+// a burst wider than the lane count serializes on the uplink, so the
+// last arrival is strictly later than an unloaded crossing.
+func TestInterconnectBandwidthQueues(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultInterConfig()
+	cfg.LinkSlots = 1
+	ic := NewInterconnect(eng, cfg, 2)
+	const burst = 8
+	var last sim.Time
+	for i := 0; i < burst; i++ {
+		ic.Send(0, 1, PageBytes, func(any) { last = eng.Now() }, nil)
+	}
+	eng.Run()
+	unloaded := ic.OneWay(PageBytes)
+	if got := last.Sub(0); got < unloaded+sim.Duration(burst-1)*(cfg.Overhead) {
+		t.Fatalf("burst of %d finished at %v; no uplink queueing visible (unloaded %v)",
+			burst, got, unloaded)
+	}
+	// Traffic in the opposite direction uses separate lanes and must not
+	// have been delayed by this burst's uplink occupancy.
+	eng2 := sim.NewEngine()
+	ic2 := NewInterconnect(eng2, cfg, 2)
+	var revAt sim.Time
+	ic2.Send(0, 1, PageBytes, func(any) {}, nil)
+	ic2.Send(1, 0, CtrlMsgBytes, func(any) { revAt = eng2.Now() }, nil)
+	eng2.Run()
+	if got := revAt.Sub(0); got != ic2.OneWay(CtrlMsgBytes) {
+		t.Fatalf("reverse-direction crossing = %v, want unloaded %v", got, ic2.OneWay(CtrlMsgBytes))
+	}
+}
+
+func TestInterconnectRejectsIntraRackSend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send within one rack did not panic")
+		}
+	}()
+	ic := NewInterconnect(sim.NewEngine(), DefaultInterConfig(), 2)
+	ic.Send(1, 1, 64, func(any) {}, nil)
+}

@@ -4,7 +4,7 @@
 // is pinned (shape + seed) so ns/op, allocs/op and events/sec are
 // comparable across revisions.
 //
-// Two scenarios are tracked:
+// Three scenarios are tracked:
 //
 //   - "hotpath" (BENCH_hotpath.json): the TF access stream on an 8-blade
 //     rack, one thread per blade — the per-op cost probe.
@@ -13,6 +13,12 @@
 //     count and blade count are high enough that any per-event structure
 //     that grows with either (event-queue sifts, hash lookups, sharer-set
 //     walks) dominates the host-side cost.
+//   - "pod" (BENCH_pod.json): the multi-rack probe — a 4-rack pod, 16
+//     compute blades per rack, a GC/memcached mix, where two racks
+//     exhaust their local memory blades and borrow capacity across the
+//     interconnect. Every fault on the borrowing racks exercises the
+//     both-switches route and the interconnect queueing, so this pins
+//     the host-side cost of the pod topology layer.
 package hotpath
 
 import (
@@ -36,6 +42,12 @@ type Config struct {
 	Threads       int
 	TotalOps      int
 	Seed          uint64
+	// Racks > 1 runs the scenario on a multi-rack pod: ComputeBlades is
+	// then per rack and Threads/TotalOps are pod totals. Racks alternate
+	// the GC and MA workloads, and the first half of the racks are
+	// shaped with too little local memory, so they borrow blades from
+	// the second half's spares over the interconnect.
+	Racks int
 	// Workload names the Fig-6 application mix: "TF" (high locality,
 	// sparse sharing) or "GC" (PageRank: poor locality, rack-wide
 	// read-write sharing). Empty means TF.
@@ -82,6 +94,27 @@ func Rack() Config {
 	}
 }
 
+// PodScenario is the tracked multi-rack configuration (BENCH_pod.json):
+// a 4-rack pod, 16 compute blades and 64 threads per rack, racks
+// alternating the GC (PageRank) and M_A (Memcached/YCSB-A) mixes. Racks
+// 0 and 1 get a single undersized local memory blade and must borrow
+// from racks 2 and 3, so half the pod's faults cross the interconnect
+// and traverse two switch pipelines.
+func PodScenario() Config {
+	return Config{
+		Scenario:      "pod",
+		Racks:         4,
+		ComputeBlades: 16,
+		MemoryBlades:  0, // shaped per rack (see runPod)
+		Threads:       256,
+		TotalOps:      256_000,
+		Seed:          1021,
+		Workload:      "GC+MA",
+		WorkloadScale: 4,
+		CacheFrac:     0.25,
+	}
+}
+
 // Scenario returns the tracked configuration with the given name.
 func Scenario(name string) (Config, error) {
 	switch name {
@@ -89,8 +122,10 @@ func Scenario(name string) (Config, error) {
 		return Default(), nil
 	case "rack":
 		return Rack(), nil
+	case "pod":
+		return PodScenario(), nil
 	}
-	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath or rack)", name)
+	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack or pod)", name)
 }
 
 // Result is one measured macro run.
@@ -106,6 +141,13 @@ type Result struct {
 	Events      uint64  `json:"events"`
 	RemoteRate  float64 `json:"remote_per_access"`
 	VirtualEndS float64 `json:"virtual_end_s"`
+
+	// Pod-scenario outputs (zero elsewhere): racks in the pod,
+	// cross-rack messages routed through both switches, and blades
+	// borrowed across racks.
+	Racks         int    `json:"racks,omitempty"`
+	CrossRackMsgs uint64 `json:"cross_rack_msgs,omitempty"`
+	BladeBorrows  uint64 `json:"blade_borrows,omitempty"`
 
 	// Host-side cost per simulated access.
 	NsPerOp      float64 `json:"ns_per_op"`
@@ -123,6 +165,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.CacheFrac <= 0 {
 		cfg.CacheFrac = 0.25
+	}
+	if cfg.Racks > 1 {
+		return runPod(cfg)
 	}
 	var w workloads.Workload
 	switch cfg.Workload {
@@ -196,5 +241,126 @@ func Run(cfg Config) (Result, error) {
 		AllocsPerOp:  float64(allocs) / float64(ops),
 		BytesPerOp:   float64(bytes) / float64(ops),
 		EventsPerSec: float64(events) / wall.Seconds(),
+	}, nil
+}
+
+// podBorrowerCap and podLenderCap shape the pod scenario's memory tiers:
+// borrower racks get one 32 MB blade (smaller than either workload's
+// reservation), lender racks three 128 MB blades (enough for their own
+// vma plus a lendable spare).
+const (
+	podBorrowerCap = 1 << 25
+	podLenderCap   = 1 << 27
+)
+
+// runPod executes a multi-rack scenario: racks alternate the GC and MA
+// workload mixes; the first half of the racks are memory-poor and
+// borrow from the second half.
+func runPod(cfg Config) (Result, error) {
+	racks := cfg.Racks
+	perRackThreads := cfg.Threads / racks
+	if perRackThreads < 1 {
+		return Result{}, fmt.Errorf("hotpath: %d threads cannot cover %d racks", cfg.Threads, racks)
+	}
+	rackWorkload := func(ri int) workloads.Workload {
+		if ri%2 == 0 {
+			return workloads.GC(cfg.WorkloadScale)
+		}
+		return workloads.MemcachedA(cfg.WorkloadScale)
+	}
+	pcfg := core.PodConfig{}
+	for ri := 0; ri < racks; ri++ {
+		rc := core.DefaultConfig(cfg.ComputeBlades, 1)
+		if ri < racks/2 {
+			rc.MemoryBlades, rc.MemoryBladeCapacity = 1, podBorrowerCap
+		} else {
+			rc.MemoryBlades, rc.MemoryBladeCapacity = 3, podLenderCap
+		}
+		rc.CachePagesPerBlade = int(float64(rackWorkload(ri).Footprint/mem.PageSize) * cfg.CacheFrac)
+		pcfg.Racks = append(pcfg.Racks, rc)
+	}
+	pod, err := core.NewPod(pcfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Set every rack up (the memory-poor racks borrow during their
+	// mmaps), then start all threads on the shared engine.
+	type rackRun struct {
+		w    workloads.Workload
+		base mem.VA
+		ths  []*core.Thread
+	}
+	runs := make([]rackRun, racks)
+	for ri := 0; ri < racks; ri++ {
+		w := rackWorkload(ri)
+		p := pod.Rack(ri).Exec(fmt.Sprintf("pod-r%d", ri))
+		vma, err := p.Mmap(w.Footprint, mem.PermReadWrite)
+		if err != nil {
+			return Result{}, fmt.Errorf("rack %d mmap: %w", ri, err)
+		}
+		ths := make([]*core.Thread, perRackThreads)
+		for k := 0; k < perRackThreads; k++ {
+			th, err := p.SpawnThread(k % cfg.ComputeBlades)
+			if err != nil {
+				return Result{}, err
+			}
+			ths[k] = th
+		}
+		runs[ri] = rackRun{w: w, base: vma.Base, ths: ths}
+	}
+	for ri := 0; ri < racks/2; ri++ {
+		if pod.Rack(ri).BorrowedBlades() == 0 {
+			return Result{}, fmt.Errorf("hotpath: pod scenario rack %d did not borrow (shape drifted)", ri)
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	events0 := pod.Engine().Executed
+	start := time.Now()
+
+	opsPerThread := cfg.TotalOps / cfg.Threads
+	for ri, rr := range runs {
+		params := workloads.Params{
+			Threads:      perRackThreads,
+			Blades:       cfg.ComputeBlades,
+			OpsPerThread: opsPerThread,
+			Seed:         cfg.Seed + uint64(ri)*1021,
+		}
+		for k, th := range rr.ths {
+			th.Start(rr.w.Gen(rr.base, k, params), nil)
+		}
+	}
+	end := pod.RunThreads()
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	col := pod.Collector()
+	ops := col.Counter(stats.CtrAccesses)
+	if ops == 0 {
+		return Result{}, fmt.Errorf("hotpath: pod run performed no accesses")
+	}
+	events := pod.Engine().Executed - events0
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	return Result{
+		Scenario:      cfg.Scenario,
+		Workload:      fmt.Sprintf("GC+MA x%d racks (pod mix)", racks),
+		Blades:        racks * cfg.ComputeBlades,
+		Threads:       cfg.Threads,
+		Ops:           ops,
+		Events:        events,
+		RemoteRate:    col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:   end.Sub(0).Seconds(),
+		Racks:         racks,
+		CrossRackMsgs: col.Counter(stats.CtrCrossRackMsgs),
+		BladeBorrows:  col.Counter(stats.CtrBladeBorrows),
+		NsPerOp:       float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:   float64(allocs) / float64(ops),
+		BytesPerOp:    float64(bytes) / float64(ops),
+		EventsPerSec:  float64(events) / wall.Seconds(),
 	}, nil
 }

@@ -1,0 +1,75 @@
+package hotpath
+
+import "testing"
+
+// TestScenariosSmoke runs each tracked scenario at a tiny op count and
+// checks the structural invariants the BENCH files rely on: accesses
+// happened, events were executed, and the pod scenario really borrowed
+// and routed traffic across racks.
+func TestScenariosSmoke(t *testing.T) {
+	for _, name := range []string{"hotpath", "rack", "pod"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg, err := Scenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.TotalOps = cfg.Threads * 25
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Scenario != name {
+				t.Errorf("scenario stamp = %q", res.Scenario)
+			}
+			if res.Ops == 0 || res.Events == 0 || res.VirtualEndS <= 0 {
+				t.Errorf("degenerate result: %+v", res)
+			}
+			if name == "pod" {
+				if res.Racks != 4 {
+					t.Errorf("racks = %d, want 4", res.Racks)
+				}
+				if res.BladeBorrows < 2 {
+					t.Errorf("blade_borrows = %d, want >= 2 (both poor racks)", res.BladeBorrows)
+				}
+				if res.CrossRackMsgs == 0 {
+					t.Error("no cross-rack messages in the pod scenario")
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism pins the simulation outputs of each scenario:
+// two runs of the same config must agree exactly (the BENCH files use
+// them as a cross-revision identity check).
+func TestScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario double-runs are not short")
+	}
+	for _, name := range []string{"hotpath", "rack", "pod"} {
+		cfg, err := Scenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.TotalOps = cfg.Threads * 25
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Ops != b.Ops || a.Events != b.Events || a.RemoteRate != b.RemoteRate ||
+			a.VirtualEndS != b.VirtualEndS || a.CrossRackMsgs != b.CrossRackMsgs {
+			t.Errorf("%s: simulation outputs diverged:\n%+v\n%+v", name, a, b)
+		}
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if _, err := Scenario("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

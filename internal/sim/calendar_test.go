@@ -162,9 +162,9 @@ func TestOverflowMigrationOrdering(t *testing.T) {
 func TestCancelAcrossContainers(t *testing.T) {
 	e := NewEngine()
 	bad := func() { t.Error("canceled event fired") }
-	lane := e.Schedule(0, bad)                        // now lane
-	ring := e.Schedule(Duration(5*bucketWidth), bad)  // calendar ring
-	far := e.Schedule(Duration(horizon)+12345, bad)   // overflow heap
+	lane := e.Schedule(0, bad)                       // now lane
+	ring := e.Schedule(Duration(5*bucketWidth), bad) // calendar ring
+	far := e.Schedule(Duration(horizon)+12345, bad)  // overflow heap
 	keep := false
 	e.Schedule(1, func() { keep = true })
 	if e.Pending() != 4 {

@@ -67,11 +67,11 @@ func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
 // ticks of slow configs, Fig-10 elasticity scripts) touch the overflow
 // heap.
 const (
-	bucketShift = 8                           // log2 bucket width (256 ns)
-	ringShift   = 13                          // log2 bucket count (8192 buckets)
-	numBuckets  = 1 << ringShift              // buckets in the ring
-	ringMask    = numBuckets - 1              // bucket index mask
-	bucketWidth = Time(1) << bucketShift      // ns per bucket
+	bucketShift = 8                              // log2 bucket width (256 ns)
+	ringShift   = 13                             // log2 bucket count (8192 buckets)
+	numBuckets  = 1 << ringShift                 // buckets in the ring
+	ringMask    = numBuckets - 1                 // bucket index mask
+	bucketWidth = Time(1) << bucketShift         // ns per bucket
 	horizon     = bucketWidth * Time(numBuckets) // ring coverage (~2.1 ms)
 )
 
@@ -91,12 +91,12 @@ const (
 // canceled lazily and stay resident until their FIFO slot or sorted
 // window drains, so Rearm must not reuse the object before then.
 const (
-	whereNone uint8 = iota
-	whereLane      // nowQ FIFO (current instant)
-	whereRing      // a calendar-ring bucket; idx = position in the bucket
-	whereSorted    // the sorted current-window slice being drained
-	whereCurHeap   // the small heap of events behind the drain cursor
-	whereOverflow  // the far-future overflow heap; idx = heap index
+	whereNone     uint8 = iota
+	whereLane           // nowQ FIFO (current instant)
+	whereRing           // a calendar-ring bucket; idx = position in the bucket
+	whereSorted         // the sorted current-window slice being drained
+	whereCurHeap        // the small heap of events behind the drain cursor
+	whereOverflow       // the far-future overflow heap; idx = heap index
 )
 
 // Event is a scheduled callback. The zero Event is invalid. Events
@@ -410,7 +410,13 @@ func (e *Engine) pushRing(ev *Event) {
 	b := int(ev.at>>bucketShift) & ringMask
 	bucket := e.ring[b]
 	if bucket == nil {
-		bucket = e.popSlab()
+		if bucket = e.popSlab(); bucket == nil {
+			// Slab pool dry (more buckets concurrently populated than
+			// windows drained so far — e.g. thousands of in-flight fault
+			// timeouts spread across the horizon): seed real capacity up
+			// front so the bucket doesn't pay the 1→2→4→… growth ladder.
+			bucket = make([]*Event, 0, 32)
+		}
 	}
 	ev.where = whereRing
 	ev.idx = len(bucket)

@@ -37,6 +37,14 @@ const (
 	CtrMigratedPages   = "migrated_pages"   // pages moved between blades by drains
 	CtrLostWrites      = "lost_writes"      // writebacks addressed to a dead blade
 	CtrBladeEvents     = "blade_events"     // membership changes (add/drain/kill)
+
+	// Pod-scale (multi-rack) counters; registered only when a pod has
+	// more than one rack.
+	CtrCrossRackMsgs = "cross_rack_msgs" // messages routed through both switches
+	CtrBladeBorrows  = "blade_borrows"   // memory blades lent across racks
+	CtrBladeReturns  = "blade_returns"   // borrowed blades handed back
+	CtrPromotedVMAs  = "promoted_vmas"   // vmas migrated home by the promotion policy
+	CtrPromotedPages = "promoted_pages"  // pages those promotions copied
 )
 
 // Latency component names (Figure 7 right breakdown).
@@ -48,9 +56,9 @@ const (
 )
 
 // Handle is an integer index into a Collector's counter (or latency)
-// table, resolved once from a name. Hot-path components resolve their
-// handles at construction and bump plain slice slots per event; the
-// string-keyed methods remain as thin shims for tests and cold paths.
+// table, resolved once from a name. Components resolve their handles at
+// construction and bump plain slice slots per event; name-keyed reads
+// (Counter, MeanLatency) remain for cold paths and tests.
 type Handle int
 
 // Collector accumulates all metrics for one simulation run. It is not
@@ -96,15 +104,10 @@ func (c *Collector) Handle(name string) Handle {
 }
 
 // IncH adds delta to the counter behind a pre-resolved handle — the
-// allocation- and hash-free hot-path form of Inc.
+// allocation- and hash-free per-event form. The old string-keyed Inc
+// shim (which hashed the name on every call) is gone; resolve a Handle
+// once and use IncH.
 func (c *Collector) IncH(h Handle, delta uint64) { c.cvals[h] += delta }
-
-// Inc adds delta to the named counter.
-//
-// Deprecated: Inc hashes the counter name on every call. In-tree
-// components resolve a Handle once at construction and use IncH; the
-// string form remains only for external callers and tests.
-func (c *Collector) Inc(name string, delta uint64) { c.IncH(c.Handle(name), delta) }
 
 // Counter returns the current value of the named counter (zero if never
 // incremented).
@@ -137,20 +140,12 @@ func (c *Collector) LatencyHandle(name string) Handle {
 	return h
 }
 
-// AddLatencyH accumulates d under a pre-resolved latency handle.
+// AddLatencyH accumulates d under a pre-resolved latency handle. The
+// old string-keyed AddLatency shim is gone; resolve a Handle once via
+// LatencyHandle and use AddLatencyH.
 func (c *Collector) AddLatencyH(h Handle, d sim.Duration) {
 	c.lsum[h] += d
 	c.lcount[h]++
-}
-
-// AddLatency accumulates d under the named latency component.
-//
-// Deprecated: AddLatency hashes the component name on every call.
-// In-tree components resolve a Handle once via LatencyHandle and use
-// AddLatencyH; the string form remains only for external callers and
-// tests.
-func (c *Collector) AddLatency(component string, d sim.Duration) {
-	c.AddLatencyH(c.LatencyHandle(component), d)
 }
 
 // MeanLatency returns the mean of the named component over ops sampled

@@ -10,8 +10,8 @@ import (
 
 func TestCounters(t *testing.T) {
 	c := NewCollector()
-	c.Inc(CtrAccesses, 100)
-	c.Inc(CtrInvalidations, 5)
+	c.IncH(c.Handle(CtrAccesses), 100)
+	c.IncH(c.Handle(CtrInvalidations), 5)
 	if c.Counter(CtrAccesses) != 100 {
 		t.Errorf("accesses = %d", c.Counter(CtrAccesses))
 	}
@@ -25,7 +25,7 @@ func TestCounters(t *testing.T) {
 
 func TestPerAccessZeroDenominator(t *testing.T) {
 	c := NewCollector()
-	c.Inc(CtrInvalidations, 5)
+	c.IncH(c.Handle(CtrInvalidations), 5)
 	if got := c.PerAccess(CtrInvalidations); got != 0 {
 		t.Errorf("per-access with zero accesses = %v, want 0", got)
 	}
@@ -33,9 +33,9 @@ func TestPerAccessZeroDenominator(t *testing.T) {
 
 func TestLatencyBreakdown(t *testing.T) {
 	c := NewCollector()
-	c.AddLatency(LatNetwork, 6*sim.Microsecond)
-	c.AddLatency(LatNetwork, 4*sim.Microsecond)
-	c.AddLatency(LatPgFault, 2*sim.Microsecond)
+	c.AddLatencyH(c.LatencyHandle(LatNetwork), 6*sim.Microsecond)
+	c.AddLatencyH(c.LatencyHandle(LatNetwork), 4*sim.Microsecond)
+	c.AddLatencyH(c.LatencyHandle(LatPgFault), 2*sim.Microsecond)
 	if got := c.MeanLatency(LatNetwork, 0); got != 5*sim.Microsecond {
 		t.Errorf("mean network = %v", got)
 	}
@@ -211,16 +211,16 @@ func TestFormatPerAccess(t *testing.T) {
 
 func TestSnapshot(t *testing.T) {
 	c := NewCollector()
-	c.Inc("a", 1)
+	c.IncH(c.Handle("a"), 1)
 	snap := c.Snapshot()
-	c.Inc("a", 1)
+	c.IncH(c.Handle("a"), 1)
 	if snap["a"] != 1 {
 		t.Error("snapshot should be a copy")
 	}
 }
 
 // TestHandleStringEquivalence pins the contract between the indexed
-// hot-path API and the string shim: both address the same slots.
+// hot-path API and the name-keyed reads: both address the same slots.
 func TestHandleStringEquivalence(t *testing.T) {
 	c := NewCollector()
 	h := c.Handle(CtrAccesses)
@@ -228,7 +228,7 @@ func TestHandleStringEquivalence(t *testing.T) {
 		t.Fatalf("Handle not stable: %d then %d", h, h2)
 	}
 	c.IncH(h, 3)
-	c.Inc(CtrAccesses, 2)
+	c.IncH(c.Handle(CtrAccesses), 2)
 	if got := c.Counter(CtrAccesses); got != 5 {
 		t.Errorf("Counter = %d, want 5 (handle and string increments must merge)", got)
 	}
@@ -238,7 +238,7 @@ func TestHandleStringEquivalence(t *testing.T) {
 
 	lh := c.LatencyHandle(LatNetwork)
 	c.AddLatencyH(lh, 100)
-	c.AddLatency(LatNetwork, 300)
+	c.AddLatencyH(c.LatencyHandle(LatNetwork), 300)
 	if got := c.LatencySum(LatNetwork); got != 400 {
 		t.Errorf("LatencySum = %d, want 400", got)
 	}

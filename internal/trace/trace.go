@@ -33,6 +33,14 @@ const writeBit = uint64(1) << 63
 // ErrBadTrace is returned for malformed trace data.
 var ErrBadTrace = errors.New("trace: malformed trace")
 
+// UnknownCount is the header count sentinel a Writer leaves behind when
+// its sink is not seekable (Finish cannot rewind to fix the count up).
+// Readers must treat it as "count not recorded" — the record framing is
+// authoritative — and must NOT treat it as a declared count of 2^64-1.
+// Any other declared count that disagrees with the records actually
+// present is a real corruption and fails with ErrBadTrace.
+const UnknownCount = ^uint64(0)
+
 // Record is one captured access.
 type Record struct {
 	VA    mem.VA
@@ -44,10 +52,10 @@ type Record struct {
 type Writer struct {
 	w     *bufio.Writer
 	count uint64
-	// counting the header's count field requires a seekable sink or a
+	// Fixing up the header's count field requires a seekable sink or a
 	// two-pass scheme; we instead terminate with a footer-free format and
 	// trust the record framing. The header count is written by Finish
-	// when the sink supports io.WriteSeeker, else left as ^0 ("unknown").
+	// when the sink supports io.WriteSeeker, else left as UnknownCount.
 	seeker io.WriteSeeker
 }
 
@@ -60,7 +68,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	}
 	var hdr [16]byte
 	copy(hdr[:8], magic[:])
-	binary.LittleEndian.PutUint64(hdr[8:], ^uint64(0))
+	binary.LittleEndian.PutUint64(hdr[8:], UnknownCount)
 	if _, err := tw.w.Write(hdr[:]); err != nil {
 		return nil, err
 	}
@@ -114,7 +122,7 @@ func Read(r io.Reader) ([]Record, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: header: %w", ErrBadTrace)
 	}
-	if hdr[:8][0] != magic[0] || string(hdr[:8]) != string(magic[:]) {
+	if string(hdr[:8]) != string(magic[:]) {
 		return nil, fmt.Errorf("trace: bad magic: %w", ErrBadTrace)
 	}
 	declared := binary.LittleEndian.Uint64(hdr[8:])
@@ -131,7 +139,12 @@ func Read(r io.Reader) ([]Record, error) {
 		v := binary.LittleEndian.Uint64(rec[:8])
 		out = append(out, Record{VA: mem.VA(v &^ writeBit), Write: v&writeBit != 0})
 	}
-	if declared != ^uint64(0) && declared != uint64(len(out)) {
+	// A Writer over a non-seekable sink cannot fix the header up and
+	// leaves the UnknownCount sentinel: the record framing above is
+	// authoritative then. Any other declared value must match exactly —
+	// a trace truncated at a record boundary parses cleanly record by
+	// record and only this check catches it.
+	if declared != UnknownCount && declared != uint64(len(out)) {
 		return nil, fmt.Errorf("trace: header declares %d records, found %d: %w",
 			declared, len(out), ErrBadTrace)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -160,5 +161,73 @@ func TestRebase(t *testing.T) {
 	// The original is untouched.
 	if recs[0].VA != 0x100000010 {
 		t.Error("rebase mutated input")
+	}
+}
+
+// TestUnknownCountTolerated is the header-count-footgun regression test:
+// a Writer over a non-seekable sink (bytes.Buffer) cannot fix the header
+// up, so the count stays UnknownCount — Read must treat that as "not
+// recorded" and trust the record framing, not as a declared 2^64-1.
+func TestUnknownCountTolerated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := w.Append(mem.VA(0x100000000+i*0x1000), i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(buf.Bytes()[8:16]); got != UnknownCount {
+		t.Fatalf("non-seekable sink header count = %#x, want UnknownCount", got)
+	}
+	recs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read rejected an unknown-count trace: %v", err)
+	}
+	if len(recs) != 7 {
+		t.Fatalf("got %d records, want 7", len(recs))
+	}
+}
+
+// TestRealCountMismatchRejected: a declared count that disagrees with
+// the records present is corruption and must fail with ErrBadTrace —
+// including a trace truncated at a clean record boundary, which parses
+// record by record without error.
+func TestRealCountMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(mem.VA(0x100000000+i*0x1000), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Stamp the real count in (as a seekable sink's Finish would)...
+	binary.LittleEndian.PutUint64(data[8:16], 5)
+	if _, err := Read(bytes.NewReader(data)); err != nil {
+		t.Fatalf("exact count rejected: %v", err)
+	}
+	// ...then truncate at a record boundary: framing alone can't see it.
+	trunc := data[:16+3*9]
+	_, err = Read(bytes.NewReader(trunc))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("boundary-truncated trace: err = %v, want ErrBadTrace", err)
+	}
+	// An over-declared count is equally corrupt.
+	binary.LittleEndian.PutUint64(data[8:16], 9)
+	_, err = Read(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("over-declared count: err = %v, want ErrBadTrace", err)
 	}
 }
