@@ -86,6 +86,26 @@ func BenchmarkPodMacro(b *testing.B) {
 	}
 }
 
+// BenchmarkPodParMacro is the parallel-executor macro benchmark behind
+// BENCH_podpar.json: a 32-rack pod run twice in one invocation — first
+// serially, then on the windowed worker pool — with hotpath.Run failing
+// outright if any simulation output diverges. The parallel-speedup
+// metric is the events/sec ratio between the two runs.
+func BenchmarkPodParMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hotpath.Run(hotpath.PodParScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerOp, "sim-ns/op")
+		b.ReportMetric(res.AllocsPerOp, "sim-allocs/op")
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+		b.ReportMetric(float64(res.CrossRackMsgs), "cross-rack-msgs")
+		b.ReportMetric(res.ParallelSpeedup, "parallel-speedup-x")
+	}
+}
+
 // BenchmarkFig5IntraBlade regenerates Figure 5 (left): intra-blade
 // thread scaling of MIND vs FastSwap vs GAM.
 func BenchmarkFig5IntraBlade(b *testing.B) {

@@ -21,6 +21,9 @@
 // count; -parallel -1 forces the reference serial execution. Points
 // repeated across panels (e.g. Figure 7 center/right, Figure 8
 // center/right) are computed once per process via the run cache.
+// Independently, -workers sets the pod panel's windowed executor width
+// (racks advancing concurrently inside one simulation); the executor's
+// determinism contract makes the panel bit-identical at any setting.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10 pod, all)")
 	scaleName := flag.String("scale", "quick", "experiment scale: tiny, quick, full")
 	parallel := flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
+	workers := flag.Int("workers", 0, "pod executor workers for the pod panel (0 = serial; output is identical at any count)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -52,6 +56,7 @@ func main() {
 		os.Exit(2)
 	}
 	scale.Workers = *parallel
+	scale.PodWorkers = *workers
 
 	type panel struct {
 		id  string

@@ -101,9 +101,9 @@ type reqKey struct {
 	want  mem.Perm
 }
 
-// pending is one in-flight or queued page request. The directory, region
-// and home-node fields let the whole request pipeline run on pre-bound
-// package-level continuations (pendExec, pendAtMem, ...) instead of
+// pending is one in-flight or queued page request. The directory and
+// region fields let the whole request pipeline run on pre-bound
+// package-level continuations (pendExec, pendAtSwitch, ...) instead of
 // per-hop closures. Pendings are pooled: a request that completes
 // normally (notifyComplete/failPending with every expected ACK counted)
 // has no surviving references — the fetch chain has ended at the blade,
@@ -120,7 +120,6 @@ type pending struct {
 
 	// Transition bookkeeping.
 	region       *Region
-	home         ctrlplane.BladeID
 	inv          Invalidation
 	transition   string
 	needAcks     int
@@ -154,11 +153,10 @@ type Directory struct {
 	col  *stats.Collector
 	cfg  Config
 
-	translate   func(mem.VA) (ctrlplane.BladeID, error)
-	protect     func(mem.PDID, mem.VA, mem.Perm) error
-	sendToMem   func(ctrlplane.BladeID, int, func(any), any)
-	sendFromMem func(ctrlplane.BladeID, int, func(any), any)
-	bladeNode   func(int) fabric.NodeID
+	translate func(mem.VA) (ctrlplane.BladeID, error)
+	protect   func(mem.PDID, mem.VA, mem.Perm) error
+	memFetch  func(ctrlplane.BladeID, func(any), any)
+	bladeNode func(int) fabric.NodeID
 
 	// blades is indexed by blade ID (dense; the control plane numbers
 	// compute blades 0..N-1).
@@ -217,13 +215,16 @@ type Deps struct {
 	// MemNode and BladeNode map blade identities to fabric endpoints.
 	MemNode   func(ctrlplane.BladeID) fabric.NodeID
 	BladeNode func(int) fabric.NodeID
-	// SendToMem and SendFromMem, when set, route messages between the
-	// switch and a home memory blade — core wires these so borrowed
+	// MemFetch, when set, performs the full switch -> home blade -> switch
+	// round trip of a page fetch (64 B request out, NIC-only DMA at the
+	// blade, 4 KB response back) and fires fn(arg) when the response is
+	// ready at the requester's switch. core wires this so borrowed
 	// (remote-homed) blades are reached through the owning rack's switch
-	// over the pod interconnect. When nil, both default to the classic
+	// over the pod interconnect — as one fused round trip, which keeps
+	// every intermediate hop on the owning rack's shard under the
+	// parallel executor. When nil, it defaults to the classic
 	// single-switch hops over Fabric via MemNode.
-	SendToMem   func(id ctrlplane.BladeID, bytes int, fn func(any), arg any)
-	SendFromMem func(id ctrlplane.BladeID, bytes int, fn func(any), arg any)
+	MemFetch func(id ctrlplane.BladeID, fn func(any), arg any)
 }
 
 // NewDirectory builds the directory.
@@ -238,30 +239,28 @@ func NewDirectory(cfg Config, d Deps) *Directory {
 		cfg.InitialRegionSize < mem.PageSize || cfg.TopLevelSize < cfg.InitialRegionSize {
 		panic(fmt.Sprintf("coherence: bad region config %+v", cfg))
 	}
-	sendToMem, sendFromMem := d.SendToMem, d.SendFromMem
-	if sendToMem == nil {
-		fab, memNode := d.Fabric, d.MemNode
-		sendToMem = func(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
-			fab.SendFromSwitchArg(memNode(id), bytes, fn, arg)
-		}
-	}
-	if sendFromMem == nil {
-		fab, memNode := d.Fabric, d.MemNode
-		sendFromMem = func(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
-			fab.SendToSwitchArg(memNode(id), bytes, fn, arg)
+	memFetch := d.MemFetch
+	if memFetch == nil {
+		fab, memNode, eng := d.Fabric, d.MemNode, d.Engine
+		memFetch = func(id ctrlplane.BladeID, fn func(any), arg any) {
+			node := memNode(id)
+			fab.SendFromSwitchArg(node, fabric.CtrlMsgBytes, func(any) {
+				eng.ScheduleArg(fab.MemDMA(), func(any) {
+					fab.SendToSwitchArg(node, fabric.PageBytes, fn, arg)
+				}, nil)
+			}, nil)
 		}
 	}
 	return &Directory{
-		eng:         d.Engine,
-		fab:         d.Fabric,
-		asic:        d.ASIC,
-		col:         d.Collector,
-		cfg:         cfg,
-		translate:   d.Translate,
-		protect:     d.Protect,
-		sendToMem:   sendToMem,
-		sendFromMem: sendFromMem,
-		bladeNode:   d.BladeNode,
+		eng:       d.Engine,
+		fab:       d.Fabric,
+		asic:      d.ASIC,
+		col:       d.Collector,
+		cfg:       cfg,
+		translate: d.Translate,
+		protect:   d.Protect,
+		memFetch:  memFetch,
+		bladeNode: d.BladeNode,
 		rt:          newBlockTable(cfg.TopLevelSize),
 		inFlight:    make(map[reqKey]*pending),
 
@@ -362,7 +361,7 @@ func (d *Directory) newPending(key reqKey, pdid mem.PDID, done func(Completion))
 		p = &pending{d: d}
 	}
 	p.key, p.pdid, p.va, p.done = key, pdid, key.page, done
-	p.region, p.home = nil, 0
+	p.region = nil
 	p.inv = Invalidation{}
 	p.transition = ""
 	p.needAcks, p.invCount = 0, 0
@@ -686,30 +685,16 @@ func (d *Directory) handleAck(r *Region, p *pending, info AckInfo) {
 
 // fetchAndDeliver issues the one-sided RDMA read to the home memory blade
 // and forwards the 4 KB response to the requester, rewriting headers
-// (RDMA connection virtualization, §6.3). The four hops run on pre-bound
-// continuations carried by the pending.
+// (RDMA connection virtualization, §6.3). The round trip to the home
+// blade runs behind the MemFetch hook; the remaining hops run on
+// pre-bound continuations carried by the pending.
 func (d *Directory) fetchAndDeliver(r *Region, p *pending) {
 	home, err := d.translate(p.va)
 	if err != nil {
 		d.failPending(r, p, err)
 		return
 	}
-	p.home = home
-	d.sendToMem(home, fabric.CtrlMsgBytes, pendAtMem, p)
-}
-
-// pendAtMem: the request reached the memory blade — NIC-only DMA
-// service, no CPU (§6.2).
-func pendAtMem(x any) {
-	p := x.(*pending)
-	p.d.eng.ScheduleArg(p.d.fab.MemDMA(), pendDMADone, p)
-}
-
-// pendDMADone: the DMA read finished; the 4 KB response heads back to
-// the switch.
-func pendDMADone(x any) {
-	p := x.(*pending)
-	p.d.sendFromMem(p.home, fabric.PageBytes, pendAtSwitch, p)
+	d.memFetch(home, pendAtSwitch, p)
 }
 
 // pendAtSwitch: the response is in the switch; forward it (with header

@@ -259,6 +259,12 @@ func (t *Thread) Touch(va mem.VA, write bool) error {
 }
 
 // AdvanceTime idles the cluster for d of virtual time (lets epochs run).
+// In a multi-rack pod the whole pod advances together — a lone engine
+// cannot outrun its peers past the lookahead bound.
 func (c *Rack) AdvanceTime(d sim.Duration) {
+	if c.pod.multiRack {
+		c.pod.AdvanceTime(d)
+		return
+	}
 	c.eng.RunUntil(c.eng.Now().Add(d))
 }

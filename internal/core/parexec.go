@@ -1,0 +1,222 @@
+package core
+
+// Parallel pod execution: conservative lookahead over per-rack engines.
+//
+// The inter-rack interconnect has a fixed propagation delay P: nothing a
+// rack does can affect another rack in less than P of virtual time. The
+// executor exploits exactly that bound. All rack engines advance in
+// lockstep windows [vnow, vnow+W) with W <= P; within a window each
+// engine runs independently (optionally on a worker pool), because any
+// cross-rack message sent inside the window arrives no earlier than its
+// uplink completion plus P — at or beyond the window's end. Sends
+// buffer in the interconnect's per-source outboxes and the barrier
+// between windows injects them into the destination engines
+// (fabric.Interconnect.FlushBoundary), merged in deterministic arrival
+// order.
+//
+// RunWindow dispatches strictly below the window end and then parks the
+// engine's clock ON the boundary, so between windows every engine sits
+// at exactly vnow. That makes the lookahead argument airtight: any
+// event scheduled from barrier context lands at >= vnow, and any send
+// booked during the next window departs at >= vnow, arriving at
+// >= vnow + P >= the next boundary.
+//
+// The barrier is also the pod's exclusive section. Operations that
+// inherently span racks — blade borrow/return (two allocators), idle
+// lease returns, the experiment sampler — run only here, with every
+// engine parked. Rack events merely flag or enqueue them. Everything
+// else a rack event touches is rack-local by construction: per-rack
+// engine, collector, fabric, blades, pools. A borrowed blade's page
+// store belongs to the borrowing rack's shard for the duration of the
+// lease (the owner retired it from its own tables), which is why data
+// can land in it from borrower events.
+//
+// Determinism: none of this depends on the worker count. Window
+// contents are fixed by the event schedule, boundary injection order is
+// fixed by arrival time (ties by source rack, then send order), and
+// barrier work runs in rack-index order. Serial, 1-worker and N-worker
+// execution produce bit-identical simulations; workers only change
+// wall-clock time. parexec_test.go enforces this with engine dispatch
+// hashes.
+
+import "mind/internal/sim"
+
+// borrowReq is one queued blade-borrow negotiation: the allocator
+// transfer happens at the barrier preceding the window that contains
+// due, and done(ok) fires as a borrower event at due.
+type borrowReq struct {
+	need uint64
+	due  sim.Time
+	done func(ok bool)
+}
+
+// podExec drives a multi-rack pod in lockstep windows.
+type podExec struct {
+	p *Pod
+	// window is the lockstep window width, clamped to the interconnect
+	// propagation delay (the conservative lookahead bound).
+	window sim.Duration
+	// workers is the configured worker-pool width for parallel drives.
+	workers int
+	// vnow is the pod-wide window cursor: every rack engine sits
+	// exactly here between drives.
+	vnow sim.Time
+
+	// Barrier-driven sampler (Pod.SampleEvery).
+	sampleEvery sim.Duration
+	sampleFn    func(sim.Time)
+	nextSample  sim.Time
+}
+
+func newPodExec(p *Pod, window sim.Duration, workers int) *podExec {
+	prop := p.ic.Config().Propagation
+	if window <= 0 || window > prop {
+		window = prop
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &podExec{p: p, window: window, workers: workers}
+}
+
+// drive advances the pod window by window until stop() reports done,
+// evaluated at barriers. A nonzero target caps the final window (used
+// by AdvanceTime to land exactly on its deadline); a zero target means
+// "until stop", and running dry beforehand is a protocol wedge. When
+// parallel is set (and the pod has both workers and racks to use),
+// windows execute on a worker pool; the pool lives for this drive only,
+// so an idle pod holds no goroutines.
+func (x *podExec) drive(parallel bool, target sim.Time, stop func() bool) {
+	var wp *wpool
+	if parallel && x.workers > 1 && len(x.p.racks) > 1 {
+		wp = newWpool(x.p.racks, x.workers)
+		defer wp.close()
+	}
+	startExec := x.p.ExecutedEvents()
+	for !stop() {
+		if target == 0 && x.idle() {
+			panic("core: pod drive ran out of events (protocol wedge)")
+		}
+		end := x.vnow.Add(x.window)
+		if target != 0 && end > target {
+			end = target
+		}
+		if wp != nil {
+			wp.run(end)
+		} else {
+			for _, r := range x.p.racks {
+				r.eng.RunWindow(end)
+			}
+		}
+		x.vnow = end
+		x.p.ic.FlushBoundary()
+		x.barrier(end)
+		if x.p.ExecutedEvents()-startExec > 2_000_000_000 {
+			panic("core: pod drive exceeded event budget")
+		}
+	}
+}
+
+// idle reports whether the pod can make no further progress: every
+// engine empty and no queued borrow negotiations. Outboxes are always
+// empty here (the previous barrier flushed them).
+func (x *podExec) idle() bool {
+	for _, r := range x.p.racks {
+		if r.eng.Pending() > 0 || len(r.pendingBorrows) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// barrier is the exclusive section between windows: every rack engine
+// is parked on end. It performs the flagged idle-blade returns, the due
+// borrow negotiations, and the sampler — in rack-index order, so the
+// outcome is independent of how the windows were scheduled.
+func (x *podExec) barrier(end sim.Time) {
+	for _, r := range x.p.racks {
+		if r.wantReturns {
+			r.wantReturns = false
+			r.returnIdleBorrowedBlades()
+		}
+	}
+	// A borrow whose due time falls inside the next window [end,
+	// end+window) must resolve now; later ones keep waiting. done fires
+	// as a normal borrower event at the due time, so threads observe
+	// the negotiation RTT exactly.
+	horizon := end.Add(x.window)
+	for _, r := range x.p.racks {
+		if len(r.pendingBorrows) == 0 {
+			continue
+		}
+		rest := r.pendingBorrows[:0]
+		for _, req := range r.pendingBorrows {
+			if req.due >= horizon {
+				rest = append(rest, req)
+				continue
+			}
+			ok := x.p.borrow(r, req.need)
+			done := req.done
+			r.eng.At(req.due, func() { done(ok) })
+		}
+		r.pendingBorrows = rest
+	}
+	if x.sampleFn != nil {
+		for x.nextSample <= x.vnow {
+			x.sampleFn(x.nextSample)
+			x.nextSample = x.nextSample.Add(x.sampleEvery)
+		}
+	}
+}
+
+// wpool executes one window across the racks on a fixed set of
+// goroutines. Worker w owns racks w, w+n, w+2n, … for its lifetime, so
+// a rack's engine is only ever touched by one goroutine per drive; the
+// start/done channel operations order each window's rack mutations
+// before the barrier's reads.
+type wpool struct {
+	racks []*Rack
+	n     int
+	start []chan sim.Time
+	done  chan struct{}
+}
+
+func newWpool(racks []*Rack, workers int) *wpool {
+	if workers > len(racks) {
+		workers = len(racks)
+	}
+	wp := &wpool{
+		racks: racks,
+		n:     workers,
+		start: make([]chan sim.Time, workers),
+		done:  make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		ch := make(chan sim.Time, 1)
+		wp.start[w] = ch
+		go func(w int, ch chan sim.Time) {
+			for end := range ch {
+				for i := w; i < len(wp.racks); i += wp.n {
+					wp.racks[i].eng.RunWindow(end)
+				}
+				wp.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	return wp
+}
+
+func (wp *wpool) run(end sim.Time) {
+	for _, ch := range wp.start {
+		ch <- end
+	}
+	for range wp.start {
+		<-wp.done
+	}
+}
+
+func (wp *wpool) close() {
+	for _, ch := range wp.start {
+		close(ch)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mind/internal/mem"
+	"mind/internal/sim"
+)
+
+// equivRun drives one randomized multi-rack workload — borrow on the
+// memory-poor rack 0, promotion churn, cross-rack fault traffic — and
+// returns everything that must be invariant across worker counts: the
+// finish time, each engine's executed-event count and dispatch-trace
+// hash, and the merged counter snapshot.
+func equivRun(t *testing.T, racks, workers int, window sim.Duration) (sim.Time, []uint64, []uint64, map[string]uint64) {
+	t.Helper()
+	cfgs := make([]Config, racks)
+	cfgs[0] = podRackConfig(2, 1, 1024)
+	for i := 1; i < racks; i++ {
+		cfgs[i] = podRackConfig(2, 3, 1024)
+	}
+	pod, err := NewPod(PodConfig{
+		Racks:     cfgs,
+		Promotion: PromotionConfig{Epoch: 200 * sim.Microsecond, Threshold: 4},
+		Workers:   workers,
+		Window:    window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < racks; i++ {
+		pod.Rack(i).Engine().EnableDispatchHash()
+	}
+	for ri := 0; ri < racks; ri++ {
+		r := pod.Rack(ri)
+		p := r.Exec("equiv")
+		var vma mem.VMA
+		if ri == 0 {
+			// Fill the only local blade, borrow for the working set,
+			// then free local capacity so mid-run promotion (and the
+			// eventual lease return) really happen.
+			filler, err := p.Mmap(900*mem.PageSize, mem.PermReadWrite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vma, err = p.Mmap(400*mem.PageSize, mem.PermReadWrite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.BorrowedBlades() == 0 {
+				t.Fatal("setup: rack 0 did not borrow")
+			}
+			if err := p.Munmap(filler.Base); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var err error
+			vma, err = p.Mmap(600*mem.PageSize, mem.PermReadWrite)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		pages := vma.Len / mem.PageSize
+		for b := 0; b < 2; b++ {
+			th, err := p.SpawnThread(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Randomized but seeded per (rack, blade, window): every
+			// worker count replays the identical access stream.
+			rng := sim.NewRNG(uint64(13+ri*8+b)^uint64(window), "parexec-equiv")
+			ops := 1500 + int(rng.Uint64n(1500))
+			n := 0
+			th.Start(func() (mem.VA, bool, bool) {
+				if n >= ops {
+					return 0, false, false
+				}
+				n++
+				pg := rng.Uint64n(pages)
+				return vma.Base + mem.VA(pg*mem.PageSize), rng.Bool(0.3), true
+			}, nil)
+		}
+	}
+	end := pod.RunThreads()
+	execs := make([]uint64, racks)
+	hashes := make([]uint64, racks)
+	for i := 0; i < racks; i++ {
+		execs[i] = pod.Rack(i).Engine().Executed
+		hashes[i] = pod.Rack(i).Engine().DispatchHash()
+	}
+	return end, execs, hashes, pod.Collector().Snapshot()
+}
+
+// TestParallelEquivalence is the determinism contract of the windowed
+// executor: for every pod shape and window width, running serially
+// (1 worker) and on worker pools of any width must produce the same
+// simulation — same finish time, the same dispatch sequence on every
+// engine (event-by-event, via the trace hash), and byte-identical
+// merged statistics. The window width itself legitimately changes the
+// schedule (boundary-buffered deliveries batch differently), which is
+// why equality is asserted across worker counts within one window, not
+// across windows.
+func TestParallelEquivalence(t *testing.T) {
+	for _, racks := range []int{2, 3} {
+		for _, window := range []sim.Duration{250 * sim.Nanosecond, 500 * sim.Nanosecond, sim.Microsecond} {
+			t.Run(fmt.Sprintf("racks=%d/window=%v", racks, window), func(t *testing.T) {
+				endS, execS, hashS, snapS := equivRun(t, racks, 1, window)
+				for _, workers := range []int{2, 4, 8} {
+					end, exec, hash, snap := equivRun(t, racks, workers, window)
+					if end != endS {
+						t.Errorf("workers=%d: end %v, serial %v", workers, end, endS)
+					}
+					for i := 0; i < racks; i++ {
+						if exec[i] != execS[i] || hash[i] != hashS[i] {
+							t.Errorf("workers=%d rack %d: executed/hash %d/%#x, serial %d/%#x",
+								workers, i, exec[i], hash[i], execS[i], hashS[i])
+						}
+					}
+					if len(snap) != len(snapS) {
+						t.Errorf("workers=%d: counter sets differ: %d vs %d", workers, len(snap), len(snapS))
+					}
+					for k, v := range snapS {
+						if snap[k] != v {
+							t.Errorf("workers=%d: counter %q = %d, serial %d", workers, k, snap[k], v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPodWindowClamp pins the lookahead bound: a configured window wider
+// than the interconnect propagation delay must be clamped to it, and a
+// zero window must default to it.
+func TestPodWindowClamp(t *testing.T) {
+	mk := func(window sim.Duration) *Pod {
+		pod, err := NewPod(PodConfig{
+			Racks:  []Config{podRackConfig(2, 1, 1024), podRackConfig(2, 3, 1024)},
+			Window: window,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pod
+	}
+	prop := mk(0).Interconnect().Config().Propagation
+	if got := mk(0).exec.window; got != prop {
+		t.Errorf("zero window defaulted to %v, want propagation %v", got, prop)
+	}
+	if got := mk(10 * prop).exec.window; got != prop {
+		t.Errorf("oversized window clamped to %v, want propagation %v", got, prop)
+	}
+	if got := mk(prop / 4).exec.window; got != prop/4 {
+		t.Errorf("narrow window = %v, want %v", got, prop/4)
+	}
+}

@@ -23,6 +23,14 @@ package core
 // remote vmas back to local blades with the elasticity machinery
 // (freeze → reset → throttled page copy → TCAM rewrite), and returns
 // fully-emptied borrowed blades to their owners.
+//
+// Execution model: a 1-rack pod shares one engine and one collector
+// with its rack — the classic single-threaded simulation, bit-identical
+// to the pre-pod code. A multi-rack pod gives every rack its own engine
+// and collector and advances them in lockstep windows no wider than the
+// interconnect propagation delay (parexec.go); racks only interact
+// through boundary-buffered interconnect messages and barrier-context
+// control-plane operations, so windows may execute concurrently.
 
 import (
 	"fmt"
@@ -67,6 +75,14 @@ type PodConfig struct {
 	Interconnect fabric.InterConfig
 	// Promotion paces hot-page promotion (zero fields take defaults).
 	Promotion PromotionConfig
+	// Workers is how many OS threads execute rack windows concurrently
+	// in a multi-rack pod (0 or 1: serial). Any worker count produces
+	// bit-identical results; workers only change wall-clock time.
+	Workers int
+	// Window overrides the lockstep window width (0: the interconnect
+	// propagation delay). It is clamped to at most the propagation
+	// delay — the conservative lookahead bound.
+	Window sim.Duration
 }
 
 // DefaultPodConfig returns a pod of racks identical racks, each shaped
@@ -79,34 +95,33 @@ func DefaultPodConfig(racks, computeBlades, memoryBlades int) PodConfig {
 	return PodConfig{Racks: cfgs, Interconnect: fabric.DefaultInterConfig()}
 }
 
-// Pod is a multi-rack MIND deployment sharing one simulation engine and
-// one metrics collector.
+// Pod is a multi-rack MIND deployment. A 1-rack pod shares one engine
+// and collector with its rack; a multi-rack pod runs one engine per
+// rack under the windowed executor (exec).
 type Pod struct {
+	// eng and col are the shared engine/collector of a 1-rack pod. For
+	// a multi-rack pod eng is unused (each rack owns an engine) and col
+	// holds only the pod's own barrier-context counters (borrows,
+	// returns); Collector() merges everything on demand.
 	eng   *sim.Engine
 	col   *stats.Collector
 	racks []*Rack
 	ic    *fabric.Interconnect
 	promo PromotionConfig
+	exec  *podExec
 	// multiRack is fixed at construction (before racks are built): it
-	// gates address striping, the interconnect, and the pod counters.
+	// gates address striping, the interconnect, per-rack engines and
+	// the pod counters.
 	multiRack bool
-
-	promoTick     *sim.Event
-	activeThreads int
 
 	// leases records live cross-rack blade loans, for diagnostics.
 	leases int
 
-	// crossFree pools the inter-rack message-hop jobs.
-	crossFree sim.Pool[crossJob]
-
-	// Cross-rack counters (registered only for multi-rack pods, so a
-	// 1-rack pod's counter set is exactly the classic single-rack one).
-	hCrossMsgs     stats.Handle
-	hBorrows       stats.Handle
-	hReturns       stats.Handle
-	hPromotedVMAs  stats.Handle
-	hPromotedPages stats.Handle
+	// Pod-level counters, bumped only in barrier context (registered
+	// only for multi-rack pods, so a 1-rack pod's counter set is
+	// exactly the classic single-rack one).
+	hBorrows stats.Handle
+	hReturns stats.Handle
 }
 
 // NewPod builds and wires a pod of racks.
@@ -129,17 +144,9 @@ func NewPod(cfg PodConfig) (*Pod, error) {
 		promo:     cfg.Promotion,
 		multiRack: len(cfg.Racks) > 1,
 	}
-	if len(cfg.Racks) > 1 {
-		ic := cfg.Interconnect
-		if ic == (fabric.InterConfig{}) {
-			ic = fabric.DefaultInterConfig()
-		}
-		p.ic = fabric.NewInterconnect(p.eng, ic, len(cfg.Racks))
-		p.hCrossMsgs = p.col.Handle(stats.CtrCrossRackMsgs)
+	if p.multiRack {
 		p.hBorrows = p.col.Handle(stats.CtrBladeBorrows)
 		p.hReturns = p.col.Handle(stats.CtrBladeReturns)
-		p.hPromotedVMAs = p.col.Handle(stats.CtrPromotedVMAs)
-		p.hPromotedPages = p.col.Handle(stats.CtrPromotedPages)
 	}
 	for i, rc := range cfg.Racks {
 		r, err := newRack(p, i, rc)
@@ -148,8 +155,18 @@ func NewPod(cfg PodConfig) (*Pod, error) {
 		}
 		p.racks = append(p.racks, r)
 	}
-	if len(p.racks) > 1 && !cfg.Promotion.Disable {
-		p.schedulePromotionEpoch()
+	if p.multiRack {
+		engs := make([]*sim.Engine, len(p.racks))
+		for i, r := range p.racks {
+			engs[i] = r.eng
+		}
+		p.ic = fabric.NewShardedInterconnect(engs, cfg.Interconnect)
+		p.exec = newPodExec(p, cfg.Window, cfg.Workers)
+		if !cfg.Promotion.Disable {
+			for _, r := range p.racks {
+				r.schedulePromotionTick(p.promo.Epoch)
+			}
+		}
 	}
 	return p, nil
 }
@@ -160,11 +177,54 @@ func (p *Pod) Rack(i int) *Rack { return p.racks[i] }
 // Racks returns the number of member racks.
 func (p *Pod) Racks() int { return len(p.racks) }
 
-// Engine exposes the pod-shared simulation engine.
+// Engine exposes the shared simulation engine of a 1-rack pod. A
+// multi-rack pod has one engine per rack (Rack.Engine); use
+// ExecutedEvents for pod-wide event counts.
 func (p *Pod) Engine() *sim.Engine { return p.eng }
 
-// Collector exposes the pod-shared metrics collector.
-func (p *Pod) Collector() *stats.Collector { return p.col }
+// ExecutedEvents returns the total events dispatched across the pod's
+// engines. Under the parallel executor, read it only between drives or
+// at barriers.
+func (p *Pod) ExecutedEvents() uint64 {
+	if !p.multiRack {
+		return p.eng.Executed
+	}
+	var n uint64
+	for _, r := range p.racks {
+		n += r.eng.Executed
+	}
+	return n
+}
+
+// Collector returns the pod's metrics. For a 1-rack pod this is the
+// shared live collector. For a multi-rack pod it is a merged snapshot:
+// counters and latency components sum across the rack shards and the
+// pod's own counters; series and histograms are shared by reference
+// (per-rack series names are rack-qualified, so they never collide).
+// Call it between drives or at barriers.
+func (p *Pod) Collector() *stats.Collector {
+	if !p.multiRack {
+		return p.col
+	}
+	m := stats.NewCollector()
+	m.MergeFrom(p.col)
+	for _, r := range p.racks {
+		m.MergeFrom(r.col)
+	}
+	return m
+}
+
+// CounterTotal sums one named counter across the pod's collectors — the
+// cheap form of Collector().Counter(name) for barrier-context sampling.
+func (p *Pod) CounterTotal(name string) uint64 {
+	n := p.col.Counter(name)
+	if p.multiRack {
+		for _, r := range p.racks {
+			n += r.col.Counter(name)
+		}
+	}
+	return n
+}
 
 // Interconnect exposes the inter-rack network model (nil for a 1-rack
 // pod).
@@ -173,20 +233,47 @@ func (p *Pod) Interconnect() *fabric.Interconnect { return p.ic }
 // Leases returns the number of live cross-rack blade loans.
 func (p *Pod) Leases() int { return p.leases }
 
-// Now returns current virtual time.
-func (p *Pod) Now() sim.Time { return p.eng.Now() }
+// Now returns current virtual time (the window cursor for a multi-rack
+// pod).
+func (p *Pod) Now() sim.Time {
+	if p.multiRack {
+		return p.exec.vnow
+	}
+	return p.eng.Now()
+}
 
 // AdvanceTime idles the pod for d of virtual time (lets epochs run).
 func (p *Pod) AdvanceTime(d sim.Duration) {
+	if p.multiRack {
+		target := p.exec.vnow.Add(d)
+		p.exec.drive(true, target, func() bool { return p.exec.vnow >= target })
+		return
+	}
 	p.eng.RunUntil(p.eng.Now().Add(d))
 }
 
-// RunThreads drives the engine until every started thread in the pod
+// RunThreads drives the engines until every started thread in the pod
 // finishes, then stops the epoch loops and drains remaining events
 // (in-flight writebacks etc.). It returns the virtual time at which the
 // last thread finished.
 func (p *Pod) RunThreads() sim.Time {
-	for p.activeThreads > 0 {
+	if p.multiRack {
+		x := p.exec
+		x.drive(true, 0, func() bool { return p.activeThreadCount() == 0 })
+		finishedAt := sim.Time(0)
+		for _, r := range p.racks {
+			if r.lastFinish > finishedAt {
+				finishedAt = r.lastFinish
+			}
+		}
+		for _, r := range p.racks {
+			r.StopEpochs()
+		}
+		p.StopPromotionEpochs()
+		x.drive(true, 0, x.idle)
+		return finishedAt
+	}
+	for p.racks[0].activeThreads > 0 {
 		if !p.eng.Step() {
 			panic("core: threads pending but no events (wedged)")
 		}
@@ -200,21 +287,37 @@ func (p *Pod) RunThreads() sim.Time {
 	return finishedAt
 }
 
-// schedulePromotionEpoch arms the pod-wide promotion policy tick.
-func (p *Pod) schedulePromotionEpoch() {
-	p.promoTick = p.eng.Schedule(p.promo.Epoch, func() {
-		for _, r := range p.racks {
-			r.runPromotionEpoch()
-		}
-		p.schedulePromotionEpoch()
-	})
+// activeThreadCount sums started-but-unfinished threads over the racks.
+// Rack counts are mutated by rack events; call only at barriers.
+func (p *Pod) activeThreadCount() int {
+	n := 0
+	for _, r := range p.racks {
+		n += r.activeThreads
+	}
+	return n
 }
 
-// StopPromotionEpochs cancels the promotion policy loop (end of run).
+// SampleEvery registers a barrier-driven sampler: fn(now) runs at the
+// first window barrier at or after each multiple of every. This
+// replaces engine-scheduled self-rescheduling samplers, which would
+// keep the engines eternally non-idle and — worse — run as rack events
+// whose placement depends on the shard layout. Multi-rack pods only.
+func (p *Pod) SampleEvery(every sim.Duration, fn func(now sim.Time)) {
+	if !p.multiRack {
+		panic("core: SampleEvery requires a multi-rack pod")
+	}
+	p.exec.sampleEvery = every
+	p.exec.sampleFn = fn
+	p.exec.nextSample = p.exec.vnow.Add(every)
+}
+
+// StopPromotionEpochs cancels the promotion policy loops (end of run).
 func (p *Pod) StopPromotionEpochs() {
-	if p.promoTick != nil {
-		p.eng.Cancel(p.promoTick)
-		p.promoTick = nil
+	for _, r := range p.racks {
+		if r.promoTick != nil {
+			r.eng.Cancel(r.promoTick)
+			r.promoTick = nil
+		}
 	}
 }
 
@@ -223,10 +326,15 @@ func (p *Pod) canBorrow() bool { return len(p.racks) > 1 }
 
 // borrowAsync asks the pod for a remote memory blade able to hold a
 // reservation of need bytes for rack r. The negotiation costs one
-// inter-rack control round trip; done(ok) fires in event context.
+// inter-rack control round trip; done(ok) fires in the borrower's event
+// context at the due time. Called from rack event context: the request
+// only queues on the rack, and the barrier performs the allocator
+// transfer exclusively (parexec.go).
 func (p *Pod) borrowAsync(r *Rack, need uint64, done func(ok bool)) {
-	p.eng.Schedule(p.ic.CtrlRTT(), func() {
-		done(p.borrow(r, need))
+	r.pendingBorrows = append(r.pendingBorrows, borrowReq{
+		need: need,
+		due:  r.eng.Now().Add(p.ic.CtrlRTT()),
+		done: done,
 	})
 }
 
@@ -235,7 +343,8 @@ func (p *Pod) borrowAsync(r *Rack, need uint64, done func(ok bool)) {
 // deterministically. The lender's blade is only retired after the
 // borrower successfully registers the partition, so a borrower-side
 // failure (its address stripe cannot host the partition) leaves every
-// lender fully intact.
+// lender fully intact. Barrier context only: it mutates two racks'
+// allocators and blade tables.
 func (p *Pod) borrow(r *Rack, need uint64) bool {
 	n := len(p.racks)
 	for k := 1; k < n; k++ {
@@ -266,7 +375,7 @@ func (p *Pod) borrow(r *Rack, need uint64) bool {
 		}
 		if err := lender.ctl.Allocator().RetireBlade(id); err != nil {
 			// Unreachable: the blade is empty and was just made
-			// unavailable, and the engine is single-threaded in between.
+			// unavailable, and borrows run exclusively at barriers.
 			panic(fmt.Sprintf("core: lend of blade %d: %v", id, err))
 		}
 		if int(newID) != len(r.mblades) {
@@ -279,7 +388,7 @@ func (p *Pod) borrow(r *Rack, need uint64) bool {
 		r.borrowed++
 		p.leases++
 		p.col.IncH(p.hBorrows, 1)
-		p.col.IncH(r.hBladeEvents, 1)
+		r.col.IncH(r.hBladeEvents, 1)
 		return true
 	}
 	return false
@@ -291,7 +400,7 @@ func (p *Pod) borrow(r *Rack, need uint64) bool {
 // failed owner-side registration (e.g. the owner's address stripe is
 // exhausted) leaves the lease fully intact instead of stranding the
 // blade between the two allocators. Reports whether the return
-// happened.
+// happened. Barrier context only.
 func (p *Pod) returnBlade(borrower *Rack, id ctrlplane.BladeID) bool {
 	owner := p.racks[borrower.mbOwner[int(id)]]
 	blade := borrower.mblades[int(id)]
@@ -308,7 +417,7 @@ func (p *Pod) returnBlade(borrower *Rack, id ctrlplane.BladeID) bool {
 	}
 	if err := borrower.ctl.Allocator().RetireBlade(id); err != nil {
 		// Unreachable: the caller verified the blade holds nothing, and
-		// the engine is single-threaded between that check and here.
+		// returns run exclusively at barriers.
 		panic(fmt.Sprintf("core: return of borrowed blade %d: %v", id, err))
 	}
 	blade.DropAll()
@@ -320,97 +429,125 @@ func (p *Pod) returnBlade(borrower *Rack, id ctrlplane.BladeID) bool {
 	borrower.borrowed--
 	p.leases--
 	p.col.IncH(p.hReturns, 1)
-	p.col.IncH(owner.hBladeEvents, 1)
+	owner.col.IncH(owner.hBladeEvents, 1)
 	return true
 }
 
-// crossJob carries one inter-rack message hop chain through the engine;
-// jobs are pooled so the cross-rack fault path allocates nothing in
-// steady state.
+// crossJob carries one switch -> home blade -> switch round trip
+// through the engines (memRound). Jobs are pooled per requester rack,
+// so the fault path allocates nothing in steady state; a job is
+// allocated and freed on its requester's shard, and in between each
+// stage runs on whichever shard currently holds the message — the
+// handoffs ride the interconnect's boundary buffering, which is what
+// makes the chain safe under the parallel executor.
 type crossJob struct {
 	p     *Pod
-	from  *Rack // borrower (the rack whose switch originated the route)
+	from  *Rack // requester; for a local round trip also the owner
 	owner *Rack // rack physically hosting the blade
 	node  fabric.NodeID
-	bytes int
+	req   int          // request payload size
+	resp  int          // response payload size
+	dma   sim.Duration // blade-side service between request and response
 	fn    func(any)
 	arg   any
 }
 
-func (p *Pod) newCrossJob(from, owner *Rack, node fabric.NodeID, bytes int, fn func(any), arg any) *crossJob {
-	j := p.crossFree.Get()
+// memRound runs one switch -> home blade -> switch round trip for rack
+// c against registered blade id: a req-byte request to the blade, dma
+// of blade-side service, and a resp-byte response; fn(arg) fires when
+// the response is ready at c's switch. For a local blade this is the
+// classic two-hop path (bit-identical to the pre-pod fetch chain). For
+// a borrowed blade the whole round trip is fused: request and response
+// each cross the interconnect once, and every owner-side hop runs on
+// the owner's shard.
+func (c *Rack) memRound(id ctrlplane.BladeID, req, resp int, dma sim.Duration, fn func(any), arg any) {
+	j := c.crossFree.Get()
 	if j == nil {
-		j = &crossJob{p: p}
+		j = &crossJob{p: c.pod, from: c}
 	}
-	j.from, j.owner, j.node, j.bytes, j.fn, j.arg = from, owner, node, bytes, fn, arg
-	return j
+	owner := c.pod.racks[c.mbOwner[int(id)]]
+	j.owner, j.node, j.req, j.resp, j.dma, j.fn, j.arg = owner, c.mbOwnNode[int(id)], req, resp, dma, fn, arg
+	if owner == c {
+		c.fab.SendFromSwitchArg(j.node, req, memAtBlade, j)
+		return
+	}
+	c.remoteHeat[int(id)]++
+	c.col.IncH(c.hCrossMsgs, 1)
+	c.fab.TraverseEgressArg(memReqToUplink, j)
 }
 
-func (p *Pod) freeCrossJob(j *crossJob) (fn func(any), arg any) {
+func (c *Rack) freeCrossJob(j *crossJob) (fn func(any), arg any) {
 	fn, arg = j.fn, j.arg
 	j.fn, j.arg = nil, nil
-	j.from, j.owner = nil, nil
-	p.crossFree.Put(j)
+	j.owner = nil
+	c.crossFree.Put(j)
 	return fn, arg
 }
 
-// crossToBlade routes borrower switch -> interconnect -> owner switch ->
-// blade NIC.
-func (p *Pod) crossToBlade(from *Rack, ownerIdx int, node fabric.NodeID, bytes int, fn func(any), arg any) {
-	p.col.IncH(p.hCrossMsgs, 1)
-	j := p.newCrossJob(from, p.racks[ownerIdx], node, bytes, fn, arg)
-	from.fab.TraverseEgressArg(crossToUplink, j)
-}
-
-// crossToUplink: the packet left the borrower's egress pipeline; cross
-// the interconnect.
-func crossToUplink(x any) {
+// memReqToUplink: the request left the requester's egress pipeline;
+// cross the interconnect.
+func memReqToUplink(x any) {
 	j := x.(*crossJob)
-	j.p.ic.Send(j.from.idx, j.owner.idx, j.bytes, crossAtOwner, j)
+	j.p.ic.Send(j.from.idx, j.owner.idx, j.req, memReqAtOwner, j)
 }
 
-// crossAtOwner: the packet arrived at the owning rack's switch;
+// memReqAtOwner: the request arrived at the owning rack's switch;
 // traverse its ingress pipeline.
-func crossAtOwner(x any) {
+func memReqAtOwner(x any) {
 	j := x.(*crossJob)
-	j.owner.fab.TraverseIngressArg(crossOwnerToBlade, j)
+	j.owner.fab.TraverseIngressArg(memReqOwnerToBlade, j)
 }
 
-// crossOwnerToBlade: the owner's data plane forwards to the blade (its
-// egress + the blade's NIC), completing the route.
-func crossOwnerToBlade(x any) {
+// memReqOwnerToBlade: the owner's data plane forwards to the blade (its
+// egress + the blade's NIC).
+func memReqOwnerToBlade(x any) {
 	j := x.(*crossJob)
-	owner, node, bytes := j.owner, j.node, j.bytes
-	fn, arg := j.p.freeCrossJob(j)
-	owner.fab.SendFromSwitchArg(node, bytes, fn, arg)
+	j.owner.fab.SendFromSwitchArg(j.node, j.req, memAtBlade, j)
 }
 
-// crossFromBlade routes blade NIC -> owner switch -> interconnect ->
-// borrower switch (the mirror of crossToBlade).
-func (p *Pod) crossFromBlade(to *Rack, ownerIdx int, node fabric.NodeID, bytes int, fn func(any), arg any) {
-	p.col.IncH(p.hCrossMsgs, 1)
-	j := p.newCrossJob(to, p.racks[ownerIdx], node, bytes, fn, arg)
-	j.owner.fab.SendToSwitchArg(node, bytes, crossBladeAtOwner, j)
-}
-
-// crossBladeAtOwner: the blade's message traversed the owner's ingress;
-// forward it through the owner's egress into the interconnect.
-func crossBladeAtOwner(x any) {
+// memAtBlade: the request reached the memory blade — NIC-only DMA
+// service, no CPU (§6.2). A zero dma (page writebacks: the payload
+// travelled with the request) turns the blade around immediately.
+func memAtBlade(x any) {
 	j := x.(*crossJob)
-	j.owner.fab.TraverseEgressArg(crossFromUplink, j)
+	if j.dma > 0 {
+		j.owner.eng.ScheduleArg(j.dma, memDMADone, j)
+		return
+	}
+	memDMADone(x)
 }
 
-// crossFromUplink: cross the interconnect toward the borrower.
-func crossFromUplink(x any) {
+// memDMADone: blade service finished; the response heads back to the
+// owning switch.
+func memDMADone(x any) {
 	j := x.(*crossJob)
-	j.p.ic.Send(j.owner.idx, j.from.idx, j.bytes, crossAtBorrower, j)
+	j.owner.fab.SendToSwitchArg(j.node, j.resp, memRespAtOwnerSwitch, j)
 }
 
-// crossAtBorrower: arrival at the borrower's switch; one ingress
+// memRespAtOwnerSwitch: the response is in the owning rack's switch.
+// Local round trips complete here; remote ones cross back.
+func memRespAtOwnerSwitch(x any) {
+	j := x.(*crossJob)
+	if j.owner == j.from {
+		fn, arg := j.from.freeCrossJob(j)
+		fn(arg)
+		return
+	}
+	j.owner.col.IncH(j.owner.hCrossMsgs, 1)
+	j.owner.fab.TraverseEgressArg(memRespToUplink, j)
+}
+
+// memRespToUplink: cross the interconnect back toward the requester.
+func memRespToUplink(x any) {
+	j := x.(*crossJob)
+	j.p.ic.Send(j.owner.idx, j.from.idx, j.resp, memRespAtRequester, j)
+}
+
+// memRespAtRequester: arrival at the requester's switch; one ingress
 // traversal and the data-plane continuation runs.
-func crossAtBorrower(x any) {
+func memRespAtRequester(x any) {
 	j := x.(*crossJob)
 	from := j.from
-	fn, arg := j.p.freeCrossJob(j)
+	fn, arg := from.freeCrossJob(j)
 	from.fab.TraverseIngressArg(fn, arg)
 }

@@ -291,7 +291,10 @@ func TestSingleRackPodHasNoPodMachinery(t *testing.T) {
 	if pod.Interconnect() != nil {
 		t.Error("1-rack pod built an interconnect")
 	}
-	if pod.promoTick != nil {
+	if pod.exec != nil {
+		t.Error("1-rack pod built a windowed executor")
+	}
+	if c.Rack.promoTick != nil {
 		t.Error("1-rack pod scheduled a promotion tick")
 	}
 	if _, ok := c.Collector().Snapshot()[stats.CtrCrossRackMsgs]; ok {

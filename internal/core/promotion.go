@@ -10,9 +10,31 @@ package core
 
 import (
 	"mind/internal/ctrlplane"
+	"mind/internal/fabric"
 	"mind/internal/mem"
 	"mind/internal/memblade"
+	"mind/internal/sim"
 )
+
+// schedulePromotionTick arms this rack's promotion-policy epoch loop on
+// its own engine. Every rack scans at the same virtual instants (as the
+// old pod-wide tick did), but each scan only reads and mutates
+// rack-local state — heat counters, plans, freezes — so ticks are safe
+// inside concurrent windows. Blade returns, which transfer allocator
+// state across racks, are only flagged here and executed by the next
+// window barrier (parexec.go).
+func (c *Rack) schedulePromotionTick(epoch sim.Duration) {
+	c.promoEpoch = epoch
+	c.promoTick = c.eng.ScheduleTimer(epoch, promoTickFired, c)
+}
+
+// promoTickFired is the pre-bound promotion tick: it runs one epoch and
+// rearms the same event object, so the periodic loop is allocation-free.
+func promoTickFired(a any) {
+	c := a.(*Rack)
+	c.runPromotionEpoch()
+	c.promoTick = c.eng.Rearm(c.promoTick, c.promoEpoch, promoTickFired, c)
+}
 
 // runPromotionEpoch executes one policy tick for the rack: plan
 // promotions from the epoch's heat counters, start executing them (one
@@ -34,7 +56,7 @@ func (c *Rack) runPromotionEpoch() {
 			c.promoting = true
 			c.runPromotions(plan, 0)
 		} else {
-			c.returnIdleBorrowedBlades()
+			c.wantReturns = true
 		}
 	}
 	for i := range c.remoteHeat {
@@ -47,7 +69,7 @@ func (c *Rack) runPromotionEpoch() {
 func (c *Rack) runPromotions(plan []ctrlplane.Promotion, i int) {
 	if i >= len(plan) {
 		c.promoting = false
-		c.returnIdleBorrowedBlades()
+		c.wantReturns = true
 		return
 	}
 	c.promoteVMA(plan[i], func() { c.runPromotions(plan, i+1) })
@@ -89,15 +111,17 @@ func (c *Rack) promoteVMA(st ctrlplane.Promotion, done func()) {
 				c.mblades[int(st.To)].InstallPage(pg)
 			}
 			c.col.IncH(c.hMigratedPages, uint64(len(moved)))
-			c.col.IncH(c.pod.hPromotedVMAs, 1)
-			c.col.IncH(c.pod.hPromotedPages, uint64(len(moved)))
+			c.col.IncH(c.hPromotedVMAs, 1)
+			c.col.IncH(c.hPromotedPages, uint64(len(moved)))
 			done()
 		})
 	})
 }
 
 // returnIdleBorrowedBlades hands borrowed blades that hold no
-// allocations back to their owners.
+// allocations back to their owners. It mutates two racks' allocators,
+// so in a multi-rack pod it runs only from window barriers (when
+// c.wantReturns was flagged by a promotion epoch).
 func (c *Rack) returnIdleBorrowedBlades() {
 	if c.borrowed == 0 {
 		return
@@ -117,9 +141,14 @@ func (c *Rack) returnIdleBorrowedBlades() {
 
 // bladeTransfer models one blade-to-blade batch transfer with guaranteed
 // completion (see transfer). When both endpoints are rack-local it is
-// exactly the classic one-switch path; when either side is borrowed the
-// batch additionally traverses the owning rack's switch and the pod
-// interconnect in each direction it crosses.
+// exactly the classic one-switch path. When either side is borrowed the
+// transfer becomes a three-leg protocol so that every hop runs on the
+// shard that owns its state: a control request from the coordinating
+// rack to the source blade's owner, the batch itself between the two
+// owning switches, and a completion ack back to the coordinator. Node
+// liveness is checked by the owning shard when each leg arrives, and
+// the outcome — success or failure — always travels back as an ack, so
+// done fires in the coordinator's own event context.
 func (c *Rack) bladeTransfer(from, to ctrlplane.BladeID, bytes int, done func(delivered bool)) {
 	fromOwner := c.pod.racks[c.mbOwner[int(from)]]
 	toOwner := c.pod.racks[c.mbOwner[int(to)]]
@@ -128,34 +157,59 @@ func (c *Rack) bladeTransfer(from, to ctrlplane.BladeID, bytes int, done func(de
 		c.transfer(fromNode, toNode, bytes, done)
 		return
 	}
-	errComplete := func() {
-		c.eng.Schedule(c.fab.OneWayBase(bytes), func() { done(false) })
-	}
-	if fromOwner.fab.NodeDead(fromNode) || toOwner.fab.NodeDead(toNode) {
-		errComplete()
-		return
-	}
-	// Source blade -> its rack's switch.
-	fromOwner.fab.SendToSwitch(fromNode, bytes, func() {
-		deliver := func() {
-			if toOwner.fab.NodeDead(toNode) {
-				errComplete()
-				return
-			}
-			toOwner.fab.SendFromSwitch(toNode, bytes, func() { done(true) })
-		}
-		if fromOwner == toOwner {
-			deliver()
+	// finish routes the outcome to the coordinator's shard. Already
+	// there: a short local completion delay keeps the callback
+	// asynchronous. Elsewhere: a control ack crosses the interconnect.
+	finish := func(at *Rack, ok bool) {
+		if at == c {
+			c.eng.Schedule(c.fab.OneWayBase(fabric.CtrlMsgBytes), func() { done(ok) })
 			return
 		}
-		// Cross the interconnect between the two owning switches (the
-		// batch is one cross-rack message, like any other both-switch
-		// route).
-		c.pod.col.IncH(c.pod.hCrossMsgs, 1)
-		fromOwner.fab.TraverseEgressArg(func(any) {
-			c.pod.ic.Send(fromOwner.idx, toOwner.idx, bytes, func(any) {
-				toOwner.fab.TraverseIngressArg(func(any) { deliver() }, nil)
+		at.col.IncH(at.hCrossMsgs, 1)
+		at.fab.TraverseEgressArg(func(any) {
+			c.pod.ic.Send(at.idx, c.idx, fabric.CtrlMsgBytes, func(any) {
+				c.fab.TraverseIngressArg(func(any) { done(ok) }, nil)
 			}, nil)
 		}, nil)
-	})
+	}
+	// atDst runs on the destination owner's shard: deliver the batch
+	// into the target blade, then ack the coordinator.
+	atDst := func() {
+		if toOwner.fab.NodeDead(toNode) {
+			finish(toOwner, false)
+			return
+		}
+		toOwner.fab.SendFromSwitch(toNode, bytes, func() { finish(toOwner, true) })
+	}
+	// atSrc runs on the source owner's shard: pull the batch off the
+	// source blade and route it toward the destination switch.
+	atSrc := func() {
+		if fromOwner.fab.NodeDead(fromNode) {
+			finish(fromOwner, false)
+			return
+		}
+		fromOwner.fab.SendToSwitch(fromNode, bytes, func() {
+			if fromOwner == toOwner {
+				atDst()
+				return
+			}
+			fromOwner.col.IncH(fromOwner.hCrossMsgs, 1)
+			fromOwner.fab.TraverseEgressArg(func(any) {
+				c.pod.ic.Send(fromOwner.idx, toOwner.idx, bytes, func(any) {
+					toOwner.fab.TraverseIngressArg(func(any) { atDst() }, nil)
+				}, nil)
+			}, nil)
+		})
+	}
+	if fromOwner == c {
+		atSrc()
+		return
+	}
+	// Request leg: ask the source blade's owner to start the pull.
+	c.col.IncH(c.hCrossMsgs, 1)
+	c.fab.TraverseEgressArg(func(any) {
+		c.pod.ic.Send(c.idx, fromOwner.idx, fabric.CtrlMsgBytes, func(any) {
+			fromOwner.fab.TraverseIngressArg(func(any) { atSrc() }, nil)
+		}, nil)
+	}, nil)
 }

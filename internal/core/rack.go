@@ -27,8 +27,10 @@ type Rack struct {
 	idx int
 	cfg Config
 
-	// eng and col alias the pod-shared engine and collector, so the
-	// per-access paths stay one pointer hop away.
+	// eng and col are this rack's engine and collector. In a 1-rack pod
+	// they alias the pod's (the classic single-threaded simulation); in
+	// a multi-rack pod every rack owns both, so windows can execute
+	// concurrently without sharing mutable state (parexec.go).
 	eng *sim.Engine
 	col *stats.Collector
 
@@ -55,18 +57,43 @@ type Rack struct {
 	// promoting serializes vma promotions: at most one freeze→copy→
 	// TCAM-rewrite chain runs per rack at a time.
 	promoting bool
+	// wantReturns marks that this rack's promotion epoch found idle
+	// borrowed blades; the next window barrier performs the returns
+	// (cross-rack allocator mutations never run from rack events).
+	wantReturns bool
+	// pendingBorrows queues this rack's outstanding blade-borrow
+	// negotiations for the barrier (parexec.go). In a 1-rack pod
+	// borrowing is rejected up front, so the queue stays empty.
+	pendingBorrows []borrowReq
 
-	threads   []*Thread
+	threads []*Thread
+	// activeThreads counts started-but-unfinished threads on this rack;
+	// lastFinish is the virtual time the most recent one finished. Both
+	// are written only from rack event context.
+	activeThreads int
+	lastFinish    sim.Time
+
 	epochTick *sim.Event
+	promoTick *sim.Event
+	// promoEpoch is the promotion tick period; the tick event is rearmed
+	// in place each epoch (sim.Rearm), so the loop never allocates.
+	promoEpoch sim.Duration
 
-	// Free lists for the pooled fabric-glue jobs (single-threaded
-	// engine context).
-	reqFree sim.Pool[reqJob]
-	wbFree  sim.Pool[wbJob]
+	// Free lists for the pooled fabric-glue jobs (accessed only from
+	// this rack's execution context).
+	reqFree   sim.Pool[reqJob]
+	wbFree    sim.Pool[wbJob]
+	crossFree sim.Pool[crossJob]
 
 	hLostWrites    stats.Handle
 	hBladeEvents   stats.Handle
 	hMigratedPages stats.Handle
+	// Registered only for multi-rack pods (their code paths are
+	// unreachable in a 1-rack pod, whose counter set must stay exactly
+	// the classic single-rack one).
+	hCrossMsgs     stats.Handle
+	hPromotedVMAs  stats.Handle
+	hPromotedPages stats.Handle
 }
 
 // reqJob carries one page-fault request blade -> switch; jobs are pooled
@@ -120,10 +147,23 @@ func wbAtSwitch(x any) {
 		return
 	}
 	j.home = home
-	c.sendToMemBlade(home, fabric.PageBytes, wbLanded, j)
+	if c.remoteBlade(home) {
+		// Remote writeback: the page rides to the borrowed blade and a
+		// small ack rides back (the NIC's reliable-connection
+		// completion). The page lands in the blade's store when the ack
+		// reaches the borrower — the blade's page map belongs to the
+		// borrower's shard while the lease is live, so only borrower
+		// events may touch it; the in-flight window is invisible because
+		// every read of the blade also comes from this rack.
+		c.memRound(home, fabric.PageBytes, fabric.CtrlMsgBytes, 0, wbLanded, j)
+		return
+	}
+	c.fab.SendFromSwitchArg(c.mbOwnNode[int(home)], fabric.PageBytes, wbLanded, j)
 }
 
-// wbLanded runs at the memory blade: persist the page and complete.
+// wbLanded persists the page and completes. For a local blade it runs at
+// the blade, at delivery; for a borrowed blade it runs at the borrower's
+// switch when the write ack returns.
 func wbLanded(x any) {
 	j := x.(*wbJob)
 	c, va, data, home, done := j.c, j.va, j.data, j.home, j.done
@@ -191,9 +231,18 @@ func newRack(pod *Pod, idx int, cfg Config) (*Rack, error) {
 		eng: pod.eng,
 		col: pod.col,
 	}
+	if pod.multiRack {
+		c.eng = sim.NewEngine()
+		c.col = stats.NewCollector()
+	}
 	c.hLostWrites = c.col.Handle(stats.CtrLostWrites)
 	c.hBladeEvents = c.col.Handle(stats.CtrBladeEvents)
 	c.hMigratedPages = c.col.Handle(stats.CtrMigratedPages)
+	if pod.multiRack {
+		c.hCrossMsgs = c.col.Handle(stats.CtrCrossRackMsgs)
+		c.hPromotedVMAs = c.col.Handle(stats.CtrPromotedVMAs)
+		c.hPromotedPages = c.col.Handle(stats.CtrPromotedPages)
+	}
 	c.fab = fabric.New(c.eng, cfg.Fabric)
 	c.ctl = ctrlplane.NewController(asicCfg, cfg.Placement, cfg.ComputeBlades)
 	if pod.multiRack {
@@ -234,11 +283,10 @@ func newRack(pod *Pod, idx int, cfg Config) (*Rack, error) {
 		Fabric:      c.fab,
 		ASIC:        c.ctl.ASIC(),
 		Collector:   c.col,
-		Translate:   c.ctl.Allocator().Translate,
-		Protect:     c.ctl.Protection().Check,
-		SendToMem:   c.sendToMemBlade,
-		SendFromMem: c.sendFromMemBlade,
-		BladeNode:   func(i int) fabric.NodeID { return fabric.NodeID(i) },
+		Translate: c.ctl.Allocator().Translate,
+		Protect:   c.ctl.Protection().Check,
+		MemFetch:  c.memFetch,
+		BladeNode: func(i int) fabric.NodeID { return fabric.NodeID(i) },
 	})
 
 	for i := 0; i < cfg.ComputeBlades; i++ {
@@ -332,33 +380,14 @@ func (c *Rack) remoteBlade(id ctrlplane.BladeID) bool {
 	return c.mbOwner[int(id)] != c.idx
 }
 
-// sendToMemBlade routes a message switch -> home memory blade. For a
-// local blade that is one egress traversal plus the blade's NIC — the
-// exact classic path. For a borrowed (remote-homed) blade the message
-// leaves through the local egress pipeline, crosses the pod
-// interconnect, and then takes the owning rack's egress+NIC hop to the
-// blade: routed through both switches.
-func (c *Rack) sendToMemBlade(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
-	owner := c.mbOwner[int(id)]
-	if owner == c.idx {
-		c.fab.SendFromSwitchArg(c.mbOwnNode[int(id)], bytes, fn, arg)
-		return
-	}
-	c.remoteHeat[int(id)]++
-	c.pod.crossToBlade(c, owner, c.mbOwnNode[int(id)], bytes, fn, arg)
-}
-
-// sendFromMemBlade routes a message home memory blade -> switch (the
-// 4 KB fetch response, for instance). The remote path is the mirror of
-// sendToMemBlade: blade NIC and owner-side ingress, the interconnect,
-// then the borrower's ingress pipeline.
-func (c *Rack) sendFromMemBlade(id ctrlplane.BladeID, bytes int, fn func(any), arg any) {
-	owner := c.mbOwner[int(id)]
-	if owner == c.idx {
-		c.fab.SendToSwitchArg(c.mbOwnNode[int(id)], bytes, fn, arg)
-		return
-	}
-	c.pod.crossFromBlade(c, owner, c.mbOwnNode[int(id)], bytes, fn, arg)
+// memFetch serves the directory's page-fetch round trip against the
+// home memory blade: a control request to the blade, the blade-side
+// DMA, and the 4 KB page back, with fn(arg) firing when the page is
+// ready at this rack's switch. For a local blade that is the exact
+// classic event chain; for a borrowed blade the round trip crosses the
+// pod interconnect in both directions (memRound, pod.go).
+func (c *Rack) memFetch(id ctrlplane.BladeID, fn func(any), arg any) {
+	c.memRound(id, fabric.CtrlMsgBytes, fabric.PageBytes, c.fab.MemDMA(), fn, arg)
 }
 
 // writeback models a one-sided RDMA page write from a blade to the home
@@ -420,7 +449,19 @@ func (c *Rack) Config() Config { return c.cfg }
 func (c *Rack) Now() sim.Time { return c.eng.Now() }
 
 // await drives the engine until done() has been called by some event.
+// In a multi-rack pod the whole pod must advance — the operation may
+// involve other racks — so the pod executor drives windows until the
+// completion fires. Blocking waits always drive inline-serially, even
+// when the pod is configured with workers: the waiting caller sits
+// outside any rack's event context, and several blocking control-plane
+// operations (blade kills, drains) mutate state across racks.
 func (c *Rack) await(op func(done func())) {
+	if c.pod.multiRack {
+		fired := false
+		op(func() { fired = true })
+		c.pod.exec.drive(false, 0, func() bool { return fired })
+		return
+	}
 	fired := false
 	op(func() { fired = true })
 	steps := 0

@@ -101,7 +101,7 @@ func (t *Thread) Start(gen AccessGen, onFinish func()) {
 		t.c.eng.ScheduleArg(0, threadStep, t)
 	}
 	t.asyncDone = func(r accessResultAlias) { t.writeDrained(r.Page) }
-	t.c.pod.activeThreads++
+	t.c.activeThreads++
 	t.c.eng.ScheduleArg(0, threadStep, t)
 }
 
@@ -110,7 +110,10 @@ func (t *Thread) finish() {
 		return
 	}
 	t.done = true
-	t.c.pod.activeThreads--
+	t.c.activeThreads--
+	if t.c.eng.Now() > t.c.lastFinish {
+		t.c.lastFinish = t.c.eng.Now()
+	}
 	if t.finished != nil {
 		t.finished()
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"testing"
 )
 
@@ -24,6 +25,16 @@ func TestDumpAllPanels(t *testing.T) {
 		t.Skip("set DUMP_PANELS=<file> to dump panel hashes")
 	}
 	s := Tiny
+	// POD_WORKERS selects the pod executor's worker count for the pod
+	// panel; any value must yield the same dump (the goldens enforce it,
+	// and dumping at 1 and 8 is a quick manual cross-check).
+	if w := os.Getenv("POD_WORKERS"); w != "" {
+		n, err := strconv.Atoi(w)
+		if err != nil {
+			t.Fatalf("POD_WORKERS=%q: %v", w, err)
+		}
+		s.PodWorkers = n
+	}
 	var lines []string
 	one := func(name string, f *Figure, err error) {
 		if err != nil {
@@ -100,6 +111,10 @@ func TestDumpAllPanels(t *testing.T) {
 	{
 		f, err := Fig10(s)
 		one("fig10", f, err)
+	}
+	{
+		f, err := FigPod(s)
+		one("figpod", f, err)
 	}
 
 	sort.Strings(lines)

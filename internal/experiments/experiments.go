@@ -50,6 +50,11 @@ type Scale struct {
 	// n < 0 executes runs inline serially — the reference mode the
 	// determinism goldens compare the pool against.
 	Workers int
+	// PodWorkers selects the multi-rack pod executor's worker count for
+	// the pod panels (0 or 1: serial). Never part of a run's cache key:
+	// every worker count produces bit-identical simulations, which the
+	// determinism goldens enforce.
+	PodWorkers int
 	// RootSeed, when nonzero, overrides the default scale-derived run
 	// seed with sim.DeriveSeed(RootSeed, "experiments"), so one root
 	// seed pins every random stream of every run.

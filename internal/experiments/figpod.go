@@ -93,6 +93,10 @@ func (p figPodParams) spec(migrate bool, T sim.Duration) prun.Spec {
 				c.SplitterEpoch = p.s.Epoch
 				return c
 			}
+			// Workers is deliberately not part of the cache key: any
+			// worker count produces bit-identical simulations (the
+			// determinism goldens enforce it), so cached results are
+			// interchangeable across -workers settings.
 			pod, err := core.NewPod(core.PodConfig{
 				Racks: []core.Config{rcfg(1), rcfg(3)},
 				Promotion: core.PromotionConfig{
@@ -100,6 +104,7 @@ func (p figPodParams) spec(migrate bool, T sim.Duration) prun.Spec {
 					Threshold: 16,
 					Disable:   !migrate,
 				},
+				Workers: p.s.PodWorkers,
 			})
 			if err != nil {
 				return nil, err
@@ -146,16 +151,38 @@ func (p figPodParams) spec(migrate bool, T sim.Duration) prun.Spec {
 				th.Start(p.kw.w.Gen(work.Base, t, params), nil)
 			}
 
-			eng := pod.Engine()
-			col := pod.Collector()
 			var res figPodResult
 			bucket := 50 * sim.Microsecond
 			if T > 0 {
 				bucket = fig10Bucket(T)
 			}
-			fig10Sampler(eng, func() uint64 { return col.Counter(stats.CtrAccesses) }, bucket, &res.X, &res.Y)
+			// The throughput series samples at window barriers (every
+			// engine parked) instead of via a self-rescheduling engine
+			// event: an engine-resident sampler would live on one rack's
+			// shard and keep that engine eternally non-idle. Same series
+			// math as fig10Sampler, on the barrier grid.
+			maxBuckets := 3 * fig10Buckets
+			n := 0
+			last := uint64(0)
+			var lastT sim.Time
+			pod.SampleEvery(bucket, func(now sim.Time) {
+				if n >= maxBuckets {
+					return
+				}
+				n++
+				ops := pod.CounterTotal(stats.CtrAccesses)
+				dt := now.Sub(lastT).Seconds()
+				if dt > 0 {
+					res.X = append(res.X, lastT.Sub(0).Seconds()*1e3)
+					res.Y = append(res.Y, float64(ops-last)/dt/1e6)
+				}
+				last, lastT = ops, now
+			})
 
 			end := pod.RunThreads()
+			// The merged collector view must be taken after the run: it
+			// is a point-in-time merge of the per-rack shards.
+			col := pod.Collector()
 			res.EndMS = end.Sub(0).Seconds() * 1e3
 			remote := col.Counter(stats.CtrRemoteAccesses)
 			res.RemoteLatUS = col.MeanLatency(stats.LatNetwork, remote).Micros()

@@ -66,6 +66,10 @@ func goldenFingerprint(t *testing.T, workers int) string {
 	t.Helper()
 	s := goldenScale
 	s.Workers = workers
+	// The pod executor's worker count rides the same setting: the pod
+	// panel must produce identical bits whether its racks run serially
+	// (workers < 1 clamps to a serial drive) or on a worker pool.
+	s.PodWorkers = workers
 	s.cache = prun.NewCache()
 	h := sha256.New()
 

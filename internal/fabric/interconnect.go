@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math"
 
 	"mind/internal/sim"
 )
@@ -13,7 +14,10 @@ import (
 // rack-local resources.
 type InterConfig struct {
 	// Propagation is the one-way ToR-to-ToR latency through the spine
-	// (cabling plus spine pipeline traversals).
+	// (cabling plus spine pipeline traversals). It is also the
+	// conservative lookahead of the parallel pod executor: no rack can
+	// affect another in less than one propagation delay, so racks may
+	// safely run Propagation ahead of each other.
 	Propagation sim.Duration
 	// Overhead is the fixed per-message gateway/encapsulation cost paid
 	// on each uplink and downlink crossing.
@@ -42,60 +46,216 @@ func DefaultInterConfig() InterConfig {
 	}
 }
 
-// Interconnect is the instantiated inter-rack network: one
-// uplink/downlink resource pair per rack.
-type Interconnect struct {
-	eng *sim.Engine
-	cfg InterConfig
-
-	up   []*sim.Resource
-	down []*sim.Resource
-
-	// Sent counts messages crossed; BytesSent totals their payloads.
-	Sent      uint64
-	BytesSent uint64
-}
-
-// NewInterconnect builds the interconnect for a pod of racks racks.
-func NewInterconnect(eng *sim.Engine, cfg InterConfig, racks int) *Interconnect {
-	if cfg.LinkSlots < 1 {
-		cfg.LinkSlots = 1
+// withDefaults fills every zero field from DefaultInterConfig. A zero
+// Propagation or Overhead used to slip through and yield a free spine —
+// and, worse, a zero-width lookahead window for the parallel executor —
+// so all five fields now default consistently.
+func (cfg InterConfig) withDefaults() InterConfig {
+	def := DefaultInterConfig()
+	if cfg.Propagation <= 0 {
+		cfg.Propagation = def.Propagation
+	}
+	if cfg.Overhead <= 0 {
+		cfg.Overhead = def.Overhead
 	}
 	if cfg.BytesPerNs <= 0 {
-		cfg.BytesPerNs = DefaultInterConfig().BytesPerNs
+		cfg.BytesPerNs = def.BytesPerNs
+	}
+	if cfg.LinkSlots < 1 {
+		cfg.LinkSlots = def.LinkSlots
 	}
 	if cfg.CtrlRTT == 0 {
-		cfg.CtrlRTT = DefaultInterConfig().CtrlRTT
+		cfg.CtrlRTT = def.CtrlRTT
 	}
-	ic := &Interconnect{eng: eng, cfg: cfg}
-	for i := 0; i < racks; i++ {
-		ic.up = append(ic.up, sim.NewResource(fmt.Sprintf("pod-uplink-%d", i), cfg.LinkSlots))
-		ic.down = append(ic.down, sim.NewResource(fmt.Sprintf("pod-downlink-%d", i), cfg.LinkSlots))
+	return cfg
+}
+
+// crossMsg is one buffered rack-to-rack message: uplink serialization is
+// already paid (arrive includes it plus propagation); delivery books the
+// destination downlink and schedules fn(arg) on the destination engine.
+type crossMsg struct {
+	to     int
+	bytes  int
+	arrive sim.Time
+	fn     func(any)
+	arg    any
+}
+
+// icPort is one rack's attachment point: its engine, its uplink/downlink
+// lane pair, its outbox of not-yet-delivered messages, and its share of
+// the send accounting. Everything in a port is written only from its own
+// rack's execution context (or the barrier), so concurrent racks never
+// touch the same port — the sharding that makes Send race-free under the
+// parallel executor.
+type icPort struct {
+	eng       *sim.Engine
+	up        *sim.Resource
+	down      *sim.Resource
+	outbox    []crossMsg
+	sent      uint64
+	bytesSent uint64
+}
+
+// Interconnect is the instantiated inter-rack network: one port (engine
+// + uplink/downlink lane pair) per rack. In immediate mode (one shared
+// engine) Send delivers in place, as a single-threaded pod expects. In
+// buffered mode (one engine per rack) Send only books the source uplink
+// and appends to the source port's outbox; FlushBoundary, called at
+// window barriers, books destination downlinks and injects arrivals —
+// the boundary-buffering that lets racks run a window apart without
+// observing each other mid-window.
+type Interconnect struct {
+	cfg      InterConfig
+	ports    []icPort
+	buffered bool
+
+	flushScratch []crossMsg
+}
+
+// NewInterconnect builds the immediate-mode interconnect for a pod whose
+// racks all share one engine. Zero config fields default from
+// DefaultInterConfig.
+func NewInterconnect(eng *sim.Engine, cfg InterConfig, racks int) *Interconnect {
+	engs := make([]*sim.Engine, racks)
+	for i := range engs {
+		engs[i] = eng
+	}
+	ic := newInterconnect(engs, cfg)
+	ic.buffered = false
+	return ic
+}
+
+// NewShardedInterconnect builds the boundary-buffered interconnect for a
+// pod whose racks each own an engine (engs[i] drives rack i). Sends
+// buffer in per-source outboxes until FlushBoundary.
+func NewShardedInterconnect(engs []*sim.Engine, cfg InterConfig) *Interconnect {
+	ic := newInterconnect(engs, cfg)
+	ic.buffered = true
+	return ic
+}
+
+func newInterconnect(engs []*sim.Engine, cfg InterConfig) *Interconnect {
+	cfg = cfg.withDefaults()
+	ic := &Interconnect{cfg: cfg, ports: make([]icPort, len(engs))}
+	for i := range ic.ports {
+		ic.ports[i] = icPort{
+			eng:  engs[i],
+			up:   sim.NewResource(fmt.Sprintf("pod-uplink-%d", i), cfg.LinkSlots),
+			down: sim.NewResource(fmt.Sprintf("pod-downlink-%d", i), cfg.LinkSlots),
+		}
 	}
 	return ic
 }
 
-// Config returns the interconnect's calibration constants.
+// Config returns the interconnect's calibration constants (after
+// defaulting).
 func (ic *Interconnect) Config() InterConfig { return ic.cfg }
 
+// serialize converts a payload to wire time, rounding up so that a
+// nonzero message never serializes for free: a 1-byte control nibble at
+// 5 B/ns still occupies its lane for 1 ns, instead of truncating to zero
+// and queueing behind nothing.
 func (ic *Interconnect) serialize(bytes int) sim.Duration {
-	return sim.Duration(float64(bytes) / ic.cfg.BytesPerNs)
+	if bytes <= 0 {
+		return 0
+	}
+	d := sim.Duration(math.Ceil(float64(bytes) / ic.cfg.BytesPerNs))
+	if d < 1 {
+		d = 1
+	}
+	return d
 }
 
 // Send models one rack-to-rack crossing: serialization on the source
 // rack's uplink, spine propagation, and serialization on the target
-// rack's downlink. fn(arg) fires when the message is ready to enter the
-// target ToR's ingress pipeline.
+// rack's downlink. fn(arg) fires on the target rack's engine when the
+// message is ready to enter the target ToR's ingress pipeline.
+//
+// In buffered mode only the source half happens here — from the source
+// rack's own execution context — and the message waits in the source
+// outbox for the next FlushBoundary. Because arrive includes the full
+// propagation delay and windows are no wider than it, the arrival always
+// lands at or beyond the barrier doing the delivery.
 func (ic *Interconnect) Send(from, to int, bytes int, fn func(any), arg any) {
 	if from == to {
 		panic(fmt.Sprintf("fabric: interconnect send within rack %d", from))
 	}
-	_, upEnd := ic.up[from].Reserve(ic.eng.Now(), ic.cfg.Overhead+ic.serialize(bytes))
+	p := &ic.ports[from]
+	cost := ic.cfg.Overhead + ic.serialize(bytes)
+	_, upEnd := p.up.Reserve(p.eng.Now(), cost)
 	arrive := upEnd.Add(ic.cfg.Propagation)
-	_, downEnd := ic.down[to].Reserve(arrive, ic.cfg.Overhead+ic.serialize(bytes))
-	ic.Sent++
-	ic.BytesSent += uint64(bytes)
-	ic.eng.AtArg(downEnd, fn, arg)
+	p.sent++
+	p.bytesSent += uint64(bytes)
+	if ic.buffered {
+		p.outbox = append(p.outbox, crossMsg{to: to, bytes: bytes, arrive: arrive, fn: fn, arg: arg})
+		return
+	}
+	ic.deliver(crossMsg{to: to, bytes: bytes, arrive: arrive, fn: fn, arg: arg})
+}
+
+func (ic *Interconnect) deliver(m crossMsg) {
+	q := &ic.ports[m.to]
+	_, downEnd := q.down.Reserve(m.arrive, ic.cfg.Overhead+ic.serialize(m.bytes))
+	q.eng.AtArg(downEnd, m.fn, m.arg)
+}
+
+// FlushBoundary delivers every buffered message: it drains all outboxes,
+// orders messages by arrival time (ties keep source-port then send
+// order, so the merge is deterministic for any window schedule), books
+// each destination downlink, and schedules the arrival on the
+// destination engine. Call it at window barriers, with every rack parked
+// on the boundary; it returns how many messages it delivered. Immediate
+// mode never buffers, so this is then a no-op.
+func (ic *Interconnect) FlushBoundary() int {
+	s := ic.flushScratch[:0]
+	for i := range ic.ports {
+		p := &ic.ports[i]
+		s = append(s, p.outbox...)
+		for j := range p.outbox {
+			p.outbox[j].fn, p.outbox[j].arg = nil, nil
+		}
+		p.outbox = p.outbox[:0]
+	}
+	// Stable insertion sort by arrival: outbox batches are tiny (a
+	// handful of crossings per window) and this avoids the per-call
+	// allocation of the generic stable sort at barrier frequency.
+	for i := 1; i < len(s); i++ {
+		m := s[i]
+		j := i - 1
+		for j >= 0 && m.arrive < s[j].arrive {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = m
+	}
+	for i := range s {
+		ic.deliver(s[i])
+		s[i].fn, s[i].arg = nil, nil
+	}
+	n := len(s)
+	ic.flushScratch = s[:0]
+	return n
+}
+
+// Sent returns how many messages have crossed the interconnect, summed
+// over the per-rack shards. Under the parallel executor, read it only at
+// barriers or after the run — mid-window reads would race with sends.
+func (ic *Interconnect) Sent() uint64 {
+	var n uint64
+	for i := range ic.ports {
+		n += ic.ports[i].sent
+	}
+	return n
+}
+
+// BytesSent returns the total payload bytes crossed, summed over the
+// per-rack shards. Same barrier-only read rule as Sent.
+func (ic *Interconnect) BytesSent() uint64 {
+	var n uint64
+	for i := range ic.ports {
+		n += ic.ports[i].bytesSent
+	}
+	return n
 }
 
 // CtrlRTT returns the inter-rack control-plane round-trip time.

@@ -17,8 +17,103 @@ func TestInterconnectUnloadedLatency(t *testing.T) {
 	if got := at.Sub(0); got != want {
 		t.Fatalf("unloaded crossing = %v, want OneWay = %v", got, want)
 	}
-	if ic.Sent != 1 || ic.BytesSent != PageBytes {
-		t.Fatalf("accounting: sent=%d bytes=%d", ic.Sent, ic.BytesSent)
+	if ic.Sent() != 1 || ic.BytesSent() != PageBytes {
+		t.Fatalf("accounting: sent=%d bytes=%d", ic.Sent(), ic.BytesSent())
+	}
+}
+
+// TestInterconnectZeroConfigDefaults pins the defaulting bugfix: a
+// zero-value InterConfig used to keep Propagation and Overhead at zero
+// (a free spine, and a zero-width lookahead window), while the other
+// fields were defaulted. All fields must now default consistently.
+func TestInterconnectZeroConfigDefaults(t *testing.T) {
+	ic := NewInterconnect(sim.NewEngine(), InterConfig{}, 2)
+	def := DefaultInterConfig()
+	got := ic.Config()
+	if got != def {
+		t.Fatalf("zero-value config defaulted to %+v, want %+v", got, def)
+	}
+	if ic.OneWay(0) == 0 {
+		t.Fatal("zero-value config yields a zero-latency spine")
+	}
+}
+
+// TestInterconnectSerializeRoundsUp pins the truncation bugfix:
+// sub-bandwidth payloads (1-4 bytes at 5 B/ns) used to serialize for
+// 0 ns. Any nonzero payload must cost at least 1 ns of lane time, so a
+// 1-byte crossing is strictly slower than the payload-free baseline.
+func TestInterconnectSerializeRoundsUp(t *testing.T) {
+	ic := NewInterconnect(sim.NewEngine(), DefaultInterConfig(), 2)
+	if ic.OneWay(1) <= ic.OneWay(0) {
+		t.Fatalf("OneWay(1)=%v not above OneWay(0)=%v: 1-byte payload serialized for free",
+			ic.OneWay(1), ic.OneWay(0))
+	}
+	// 7 bytes at 5 B/ns is 1.4 ns on the wire; truncation said 1 ns.
+	if ic.OneWay(7) <= ic.OneWay(5) {
+		t.Fatalf("OneWay(7)=%v not above OneWay(5)=%v: fractional ns truncated",
+			ic.OneWay(7), ic.OneWay(5))
+	}
+}
+
+// TestInterconnectConcurrentSends pins the counter-sharding bugfix: with
+// per-rack engines, racks send concurrently, and the old bare
+// Sent/BytesSent fields were a data race (run under -race to see it on
+// the pre-fix code). Sharded per source port, parallel sends from
+// distinct racks are safe and the merged totals exact.
+func TestInterconnectConcurrentSends(t *testing.T) {
+	const racks = 4
+	const perRack = 1000
+	engs := make([]*sim.Engine, racks)
+	for i := range engs {
+		engs[i] = sim.NewEngine()
+	}
+	ic := NewShardedInterconnect(engs, DefaultInterConfig())
+	done := make(chan struct{}, racks)
+	for r := 0; r < racks; r++ {
+		go func(r int) {
+			for i := 0; i < perRack; i++ {
+				ic.Send(r, (r+1)%racks, CtrlMsgBytes, func(any) {}, nil)
+			}
+			done <- struct{}{}
+		}(r)
+	}
+	for r := 0; r < racks; r++ {
+		<-done
+	}
+	if ic.Sent() != racks*perRack || ic.BytesSent() != racks*perRack*CtrlMsgBytes {
+		t.Fatalf("accounting after concurrent sends: sent=%d bytes=%d", ic.Sent(), ic.BytesSent())
+	}
+}
+
+// TestInterconnectBufferedDelivery checks boundary buffering: sends on a
+// sharded interconnect stay in the outbox until FlushBoundary, then land
+// on the destination engine at the precomputed arrival, in arrival
+// order.
+func TestInterconnectBufferedDelivery(t *testing.T) {
+	engs := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	ic := NewShardedInterconnect(engs, DefaultInterConfig())
+	var order []int
+	ic.Send(0, 1, PageBytes, func(any) { order = append(order, 0) }, nil)
+	ic.Send(0, 1, CtrlMsgBytes, func(any) { order = append(order, 1) }, nil)
+	engs[1].Run()
+	if len(order) != 0 {
+		t.Fatal("buffered send delivered before FlushBoundary")
+	}
+	if n := ic.FlushBoundary(); n != 2 {
+		t.Fatalf("FlushBoundary delivered %d, want 2", n)
+	}
+	engs[1].Run()
+	// The control message rides a parallel lane and serializes faster,
+	// so it arrives first; FlushBoundary must deliver in arrival order,
+	// not send order.
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("delivery order %v, want [1 0] (arrival order)", order)
+	}
+	if at := engs[1].Now().Sub(0); at < ic.OneWay(CtrlMsgBytes) {
+		t.Fatalf("arrivals completed at %v, below unloaded latency %v", at, ic.OneWay(CtrlMsgBytes))
+	}
+	if n := ic.FlushBoundary(); n != 0 {
+		t.Fatalf("second FlushBoundary delivered %d, want 0", n)
 	}
 }
 

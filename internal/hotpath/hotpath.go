@@ -19,6 +19,12 @@
 //     interconnect. Every fault on the borrowing racks exercises the
 //     both-switches route and the interconnect queueing, so this pins
 //     the host-side cost of the pod topology layer.
+//   - "podpar" (BENCH_podpar.json): the parallel-executor probe — the
+//     same borrower/lender mix on a 32-rack pod, run twice in one
+//     invocation: serially (1 worker) and on the worker pool. The two
+//     runs must produce identical simulation outputs (the determinism
+//     contract), and the recorded ParallelSpeedup pins the scaling of
+//     the windowed executor.
 package hotpath
 
 import (
@@ -57,6 +63,10 @@ type Config struct {
 	// CacheFrac sizes each blade's page cache as a fraction of the
 	// workload footprint.
 	CacheFrac float64
+	// Workers is the multi-rack pod executor's worker count (0 or 1:
+	// serial). Simulation outputs are identical at any worker count;
+	// only host-side timings change.
+	Workers int
 }
 
 // Default is the tracked per-op macro-benchmark configuration
@@ -115,6 +125,26 @@ func PodScenario() Config {
 	}
 }
 
+// PodParScenario is the tracked parallel-executor configuration
+// (BENCH_podpar.json): the pod borrower/lender mix scaled to 32 racks
+// with 8 compute blades and 8 threads per rack. Run executes it twice —
+// once with 1 worker, once with the configured pool — verifies the two
+// simulations are identical, and records the events/sec speedup.
+func PodParScenario() Config {
+	return Config{
+		Scenario:      "podpar",
+		Racks:         32,
+		ComputeBlades: 8,
+		Threads:       256,
+		TotalOps:      1_024_000,
+		Seed:          1021,
+		Workload:      "GC+MA",
+		WorkloadScale: 4,
+		CacheFrac:     0.25,
+		Workers:       4,
+	}
+}
+
 // Scenario returns the tracked configuration with the given name.
 func Scenario(name string) (Config, error) {
 	switch name {
@@ -124,8 +154,10 @@ func Scenario(name string) (Config, error) {
 		return Rack(), nil
 	case "pod":
 		return PodScenario(), nil
+	case "podpar":
+		return PodParScenario(), nil
 	}
-	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack or pod)", name)
+	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack, pod or podpar)", name)
 }
 
 // Result is one measured macro run.
@@ -149,6 +181,13 @@ type Result struct {
 	CrossRackMsgs uint64 `json:"cross_rack_msgs,omitempty"`
 	BladeBorrows  uint64 `json:"blade_borrows,omitempty"`
 
+	// Parallel-executor outputs (podpar scenario only): the worker
+	// count of the parallel run, the serial baseline's events/sec, and
+	// the parallel/serial events-per-second ratio.
+	Workers          int     `json:"workers,omitempty"`
+	BaseEventsPerSec float64 `json:"base_events_per_sec,omitempty"`
+	ParallelSpeedup  float64 `json:"parallel_speedup,omitempty"`
+
 	// Host-side cost per simulated access.
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
@@ -165,6 +204,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.CacheFrac <= 0 {
 		cfg.CacheFrac = 0.25
+	}
+	if cfg.Scenario == "podpar" {
+		return runPodPar(cfg)
 	}
 	if cfg.Racks > 1 {
 		return runPod(cfg)
@@ -268,7 +310,7 @@ func runPod(cfg Config) (Result, error) {
 		}
 		return workloads.MemcachedA(cfg.WorkloadScale)
 	}
-	pcfg := core.PodConfig{}
+	pcfg := core.PodConfig{Workers: cfg.Workers}
 	for ri := 0; ri < racks; ri++ {
 		rc := core.DefaultConfig(cfg.ComputeBlades, 1)
 		if ri < racks/2 {
@@ -318,7 +360,7 @@ func runPod(cfg Config) (Result, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	events0 := pod.Engine().Executed
+	events0 := pod.ExecutedEvents()
 	start := time.Now()
 
 	opsPerThread := cfg.TotalOps / cfg.Threads
@@ -343,7 +385,7 @@ func runPod(cfg Config) (Result, error) {
 	if ops == 0 {
 		return Result{}, fmt.Errorf("hotpath: pod run performed no accesses")
 	}
-	events := pod.Engine().Executed - events0
+	events := pod.ExecutedEvents() - events0
 	allocs := after.Mallocs - before.Mallocs
 	bytes := after.TotalAlloc - before.TotalAlloc
 	return Result{
@@ -362,5 +404,40 @@ func runPod(cfg Config) (Result, error) {
 		AllocsPerOp:   float64(allocs) / float64(ops),
 		BytesPerOp:    float64(bytes) / float64(ops),
 		EventsPerSec:  float64(events) / wall.Seconds(),
+		Workers:       cfg.Workers,
 	}, nil
+}
+
+// runPodPar measures the parallel executor: the same pod simulation
+// once with 1 worker and once with the configured pool, in that order.
+// The two runs must agree on every simulation output — this is the
+// determinism contract under load, checked on every benchmark run —
+// and the result records the parallel run's costs plus the speedup
+// over the serial baseline.
+func runPodPar(cfg Config) (Result, error) {
+	serial := cfg
+	serial.Workers = 1
+	base, err := runPod(serial)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Workers < 2 {
+		cfg.Workers = 4
+	}
+	res, err := runPod(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if res.Ops != base.Ops || res.Events != base.Events ||
+		res.VirtualEndS != base.VirtualEndS || res.RemoteRate != base.RemoteRate ||
+		res.CrossRackMsgs != base.CrossRackMsgs || res.BladeBorrows != base.BladeBorrows {
+		return Result{}, fmt.Errorf(
+			"hotpath: parallel run diverged from serial baseline:\n  1 worker:  ops=%d events=%d end=%v remote=%v cross=%d borrows=%d\n  %d workers: ops=%d events=%d end=%v remote=%v cross=%d borrows=%d",
+			base.Ops, base.Events, base.VirtualEndS, base.RemoteRate, base.CrossRackMsgs, base.BladeBorrows,
+			cfg.Workers, res.Ops, res.Events, res.VirtualEndS, res.RemoteRate, res.CrossRackMsgs, res.BladeBorrows)
+	}
+	res.Scenario = cfg.Scenario
+	res.BaseEventsPerSec = base.EventsPerSec
+	res.ParallelSpeedup = res.EventsPerSec / base.EventsPerSec
+	return res, nil
 }

@@ -7,7 +7,7 @@ import "testing"
 // happened, events were executed, and the pod scenario really borrowed
 // and routed traffic across racks.
 func TestScenariosSmoke(t *testing.T) {
-	for _, name := range []string{"hotpath", "rack", "pod"} {
+	for _, name := range []string{"hotpath", "rack", "pod", "podpar"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			cfg, err := Scenario(name)
@@ -34,6 +34,22 @@ func TestScenariosSmoke(t *testing.T) {
 				}
 				if res.CrossRackMsgs == 0 {
 					t.Error("no cross-rack messages in the pod scenario")
+				}
+			}
+			if name == "podpar" {
+				// Run itself verifies serial-vs-parallel identity; the
+				// smoke only checks the shape and stamps.
+				if res.Racks != 32 {
+					t.Errorf("racks = %d, want 32", res.Racks)
+				}
+				if res.Workers < 2 {
+					t.Errorf("workers = %d, want the parallel run's pool", res.Workers)
+				}
+				if res.BaseEventsPerSec <= 0 || res.ParallelSpeedup <= 0 {
+					t.Errorf("missing baseline: base=%v speedup=%v", res.BaseEventsPerSec, res.ParallelSpeedup)
+				}
+				if res.BladeBorrows < 16 {
+					t.Errorf("blade_borrows = %d, want >= 16 (all poor racks)", res.BladeBorrows)
 				}
 			}
 		})

@@ -208,8 +208,13 @@ type Engine struct {
 	// slabs recycles bucket backing arrays: a drained window's slice
 	// returns here and the next insert into an empty bucket takes it,
 	// so steady-state bucket churn allocates nothing even though the
-	// set of active buckets slides forward in time.
-	slabs [][]*Event
+	// set of active buckets slides forward in time. slabMem is the
+	// carve block behind a dry pool: fresh slabs are sliced off one
+	// shared allocation instead of allocated one by one, so warming a
+	// wide ring (a pod runs one engine per rack, each with its own
+	// ring) costs O(buckets/64) allocations rather than O(buckets).
+	slabs   [][]*Event
+	slabMem []*Event
 
 	// nowQ is the same-time fast lane: a FIFO of events scheduled for
 	// the current instant. The calendar never receives an event at the
@@ -227,8 +232,10 @@ type Engine struct {
 	// recycled here. Events whose pointer escaped to a caller
 	// (Schedule/At/ScheduleTimer) are never recycled — a retained
 	// handle must stay inert forever, not come back to life as someone
-	// else's event.
-	free Pool[Event]
+	// else's event. evMem is the carve block behind a dry free list:
+	// like slabMem, it batches the warm-up of per-engine pools.
+	free  Pool[Event]
+	evMem []Event
 
 	stopped bool
 
@@ -240,6 +247,15 @@ type Engine struct {
 	// Executed counts events dispatched since creation, for debugging and
 	// runaway detection in tests.
 	Executed uint64
+
+	// Dispatch-trace hash (off by default): when enabled, fire folds
+	// every dispatched (at, seq) pair into an FNV-style accumulator.
+	// Two engines that executed the identical event sequence — same
+	// times, same tie-break order — end with the same hash, which is
+	// how the serial-vs-parallel equivalence tests assert "identical
+	// (time, seq) dispatch" without recording full traces.
+	hashOn       bool
+	dispatchHash uint64
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -355,12 +371,18 @@ func (e *Engine) Rearm(ev *Event, delay Duration, fn func(any), arg any) *Event 
 	return ev
 }
 
-// alloc takes an event from the free list, or heap-allocates one.
+// alloc takes an event from the free list, or carves one from the
+// engine's block allocation (refilled 64 events at a time).
 func (e *Engine) alloc() *Event {
 	if ev := e.free.Get(); ev != nil {
 		return ev
 	}
-	return &Event{}
+	if len(e.evMem) == 0 {
+		e.evMem = make([]Event, 64)
+	}
+	ev := &e.evMem[0]
+	e.evMem = e.evMem[1:]
+	return ev
 }
 
 // enqueue creates (or recycles) one event and places it.
@@ -413,9 +435,16 @@ func (e *Engine) pushRing(ev *Event) {
 		if bucket = e.popSlab(); bucket == nil {
 			// Slab pool dry (more buckets concurrently populated than
 			// windows drained so far — e.g. thousands of in-flight fault
-			// timeouts spread across the horizon): seed real capacity up
-			// front so the bucket doesn't pay the 1→2→4→… growth ladder.
-			bucket = make([]*Event, 0, 32)
+			// timeouts spread across the horizon): carve a 32-cap slab
+			// from the block allocation, so the bucket skips the
+			// 1→2→4→… growth ladder and warming the whole ring costs a
+			// handful of allocations instead of one per bucket.
+			const slabCap = 32
+			if len(e.slabMem) < slabCap {
+				e.slabMem = make([]*Event, 64*slabCap)
+			}
+			bucket = e.slabMem[:0:slabCap]
+			e.slabMem = e.slabMem[slabCap:]
 		}
 	}
 	ev.where = whereRing
@@ -473,6 +502,12 @@ func (e *Engine) Pending() int {
 
 // fire dispatches one event, recycling it first if it never escaped.
 func (e *Engine) fire(ev *Event) {
+	if e.hashOn {
+		h := e.dispatchHash
+		h = (h ^ uint64(ev.at)) * 1099511628211
+		h = (h ^ ev.seq) * 1099511628211
+		e.dispatchHash = h
+	}
 	fn, arg := ev.fn, ev.arg
 	ev.fn, ev.arg = nil, nil
 	ev.state = stateFired
@@ -771,9 +806,47 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
+// RunWindow dispatches every event with timestamp strictly below end,
+// then sets the clock to end. This is the lockstep-window primitive of
+// the parallel pod executor: a window [start, end) owns exactly the
+// events below its upper edge, and events at end belong to the next
+// window — so an event injected *at* a window boundary (a cross-rack
+// arrival) is never dispatched by the window that closed before it was
+// injected. After RunWindow returns, every remaining queued event has
+// at >= end and the clock sits exactly on the boundary, so boundary
+// injections with at == end are legal non-past schedules.
+func (e *Engine) RunWindow(end Time) {
+	e.stopped = false
+	for !e.stopped {
+		t, ok := e.peekTime()
+		if !ok || t >= end {
+			break
+		}
+		e.Step()
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
 // Stop halts Run/RunUntil after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
 // FreeListLen reports the current size of the event free list
 // (diagnostics and pool tests).
 func (e *Engine) FreeListLen() int { return e.free.Len() }
+
+// EnableDispatchHash turns on the dispatch-trace hash (see DispatchHash).
+// Enable before the first event fires; the accumulator starts at the
+// FNV-1a offset basis.
+func (e *Engine) EnableDispatchHash() {
+	e.hashOn = true
+	if e.dispatchHash == 0 {
+		e.dispatchHash = 14695981039346656037
+	}
+}
+
+// DispatchHash returns the accumulated hash over every dispatched
+// (time, seq) pair since EnableDispatchHash. Equal hashes mean the two
+// engines dispatched identical event sequences.
+func (e *Engine) DispatchHash() uint64 { return e.dispatchHash }

@@ -192,6 +192,28 @@ func (c *Collector) Histogram(name string) *Histogram {
 	return h
 }
 
+// MergeFrom folds another collector's metrics into this one: counters
+// and latency components add; series and histograms are adopted by
+// reference (callers keep their names disjoint — the per-rack series
+// names in a pod are rack-qualified). Used to present one merged view
+// over the per-rack collector shards of a parallel pod.
+func (c *Collector) MergeFrom(o *Collector) {
+	for name, h := range o.cidx {
+		c.cvals[c.Handle(name)] += o.cvals[h]
+	}
+	for name, h := range o.lidx {
+		hh := c.LatencyHandle(name)
+		c.lsum[hh] += o.lsum[h]
+		c.lcount[hh] += o.lcount[h]
+	}
+	for name, s := range o.series {
+		c.series[name] = s
+	}
+	for name, hg := range o.hists {
+		c.hists[name] = hg
+	}
+}
+
 // Snapshot returns a copy of all plain counters, for test assertions.
 func (c *Collector) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(c.cidx))
