@@ -106,6 +106,26 @@ func BenchmarkPodParMacro(b *testing.B) {
 	}
 }
 
+// BenchmarkServeMacro is the serving macro benchmark behind
+// BENCH_serve.json: three tenants (steady Poisson, MMPP burst behind a
+// QoS token bucket, diurnal) inject open-loop arrivals into a 4-blade
+// rack, so the arrival chains, admission control, and streaming
+// histograms sit on the measured path alongside the fault protocol.
+func BenchmarkServeMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hotpath.Run(hotpath.ServeScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerOp, "sim-ns/op")
+		b.ReportMetric(res.AllocsPerOp, "sim-allocs/op")
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+		b.ReportMetric(float64(res.ServeThrottled), "throttled")
+		b.ReportMetric(res.ServeP99Us, "steady-p99-us")
+	}
+}
+
 // BenchmarkFig5IntraBlade regenerates Figure 5 (left): intra-blade
 // thread scaling of MIND vs FastSwap vs GAM.
 func BenchmarkFig5IntraBlade(b *testing.B) {

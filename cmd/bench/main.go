@@ -1,12 +1,13 @@
 // Command bench runs the hot-path macro benchmarks (internal/hotpath) and
 // maintains the BENCH_*.json performance-trajectory files.
 //
-// Four scenarios are tracked (-scenario):
+// Five scenarios are tracked (-scenario):
 //
 //	hotpath  the 8-blade per-op cost probe           -> BENCH_hotpath.json
 //	rack     the 64-blade x 4-thread scale probe     -> BENCH_rack.json
 //	pod      the 4-rack cross-rack memory probe      -> BENCH_pod.json
 //	podpar   the 32-rack parallel-executor probe     -> BENCH_podpar.json
+//	serve    the open-loop multi-tenant serving probe -> BENCH_serve.json
 //
 // Each JSON report keeps two entries: "baseline" (the recorded reference
 // point) and "current" (the latest run). Every record is stamped with the
@@ -17,6 +18,7 @@
 //	go run ./cmd/bench -scenario rack    -out BENCH_rack.json
 //	go run ./cmd/bench -scenario pod     -out BENCH_pod.json
 //	go run ./cmd/bench -scenario podpar  -out BENCH_podpar.json
+//	go run ./cmd/bench -scenario serve   -out BENCH_serve.json
 //
 // The baseline block is the trajectory anchor: it is only ever written on
 // the very first run against a file, or when -rebaseline explicitly
@@ -81,6 +83,12 @@ var descriptions = map[string]string{
 		"memory blade and borrow capacity from racks 2-3, so their faults are routed " +
 		"through both ToR switches and the bounded-bandwidth interconnect. Pins the " +
 		"host-side cost of the pod topology layer (cross-rack hop chains are pooled).",
+	"serve": "Open-loop multi-tenant serving probe (3 tenants on a 4-blade rack, " +
+		"seed-pinned): a steady Poisson tenant, an MMPP burst aggressor held to a " +
+		"QoS token bucket, and a diurnal tenant, each an independent arrival chain " +
+		"injected into the engine. Arrival/completion/throttle/drop counts and the " +
+		"steady tenant's p99 sojourn are deterministic identity checks; allocs/op " +
+		"pins the pooled request path and the streaming histograms.",
 	"podpar": "Parallel-executor probe (32 racks x 8 compute blades, GC+Memcached/YCSB-A " +
 		"alternating per rack, half the racks borrowing, seed-pinned): the same pod " +
 		"simulation run serially and on the windowed worker pool in one invocation. " +
@@ -97,7 +105,7 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath, rack, pod or podpar)")
+	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath, rack, pod, podpar or serve)")
 	ops := flag.Int("ops", 0, "total accesses across all threads (0 = scenario default)")
 	workers := flag.Int("workers", 0, "pod executor worker count for multi-rack scenarios (0 = scenario default)")
 	out := flag.String("out", "", "JSON report to update (read-modify-write; empty = print only)")
@@ -246,6 +254,21 @@ func runCheck(scenario string, rep report, res hotpath.Result, fullOps bool) {
 		}
 		if res.CrossRackMsgs == 0 {
 			fatalf("pod scenario routed no cross-rack messages; the shape drifted")
+		}
+	}
+	if scenario == "serve" {
+		if res.ServeArrivals == 0 || res.ServeCompleted == 0 {
+			fatalf("serve scenario produced no traffic (arrivals=%d completed=%d)", res.ServeArrivals, res.ServeCompleted)
+		}
+		if res.ServeThrottled == 0 {
+			fatalf("serve scenario recorded no QoS throttles; the aggressor shape drifted")
+		}
+		if res.ServeArrivals != res.ServeCompleted+res.ServeThrottled+res.ServeDropped {
+			fatalf("serve scenario request conservation violated (%d != %d+%d+%d)",
+				res.ServeArrivals, res.ServeCompleted, res.ServeThrottled, res.ServeDropped)
+		}
+		if res.ServeP99Us <= 0 {
+			fatalf("serve scenario recorded no steady-tenant p99")
 		}
 	}
 	if scenario == "podpar" {

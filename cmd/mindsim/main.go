@@ -8,6 +8,14 @@
 //	mindsim -workload uniform -read 0.5 -sharing 1 -blades 8 -threads 8
 //	mindsim -workload MA -blades 8 -threads 80 -consistency pso
 //	mindsim -workload GC -runs 8 -parallel 4
+//	mindsim -serve -workload MA -blades 4 -ops 40000
+//
+// With -serve, mindsim switches from closed-loop threads to the
+// open-loop serving mode: three tenants (a steady Poisson stream, an
+// MMPP bursty tenant behind a QoS token bucket, and a diurnally
+// modulated stream) inject arrivals as engine events independent of
+// completions, and the report shows per-tenant p50/p99/p999 sojourn
+// times from the streaming histograms plus admission-control counters.
 //
 // With -runs N > 1, mindsim executes N replicates of the configuration —
 // replicate i derives its seed from the root -seed via sim.DeriveSeed,
@@ -82,6 +90,12 @@ func main() {
 		runs        = flag.Int("runs", 1, "replicates with seeds derived from the root seed")
 		parallel    = flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
 
+		// Open-loop serving mode (see the package comment).
+		serveMode    = flag.Bool("serve", false, "open-loop serving mode: three tenants inject arrivals; prints per-tenant p50/p99/p999")
+		serveHorizon = flag.Duration("serve-horizon", 0, "serving horizon of virtual time (0 = sized so ~3*ops arrivals land)")
+		serveRate    = flag.Float64("serve-rate", 100_000, "steady tenant arrival rate, req/s (bursty and diurnal tenants scale from it)")
+		serveQoS     = flag.Float64("serve-qos", 150_000, "contracted req/s for the bursty tenant's token bucket (0 = no throttling)")
+
 		// Online memory elasticity events (0 disables each).
 		addBladeAt = flag.Duration("add-blade-at", 0, "hot-add a memory blade at this virtual time")
 		drainAt    = flag.Duration("drain-blade-at", 0, "live-drain -drain-blade at this virtual time")
@@ -133,6 +147,15 @@ func main() {
 	cachePages := int(float64(w.Footprint/mem.PageSize) * *cacheFrac)
 	if cachePages < 64 {
 		cachePages = 64
+	}
+
+	if *serveMode {
+		if err := runServeMode(w, *blades, *memBlades, cachePages, *ops, *seed,
+			*serveRate, *serveQoS, sim.Duration(serveHorizon.Nanoseconds())); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	runOnce := func(runSeed uint64) (runReport, error) {
@@ -311,4 +334,95 @@ func main() {
 		fmt.Printf("  mean %.3f MOPS, min %.3f, max %.3f (spread %.1f%% of mean)\n",
 			mean, min, max, spreadPct)
 	}
+}
+
+// runServeMode drives the open-loop serving layer on the flag-built
+// rack: three tenants with distinct arrival shapes share the compute
+// blades, the bursty tenant rides a QoS token bucket, and the report
+// shows per-tenant sojourn percentiles from the streaming histograms.
+func runServeMode(w workloads.Workload, blades, memBlades, cachePages, ops int, seed uint64, rate, qos float64, horizon sim.Duration) error {
+	cfg := core.DefaultConfig(blades, memBlades)
+	cfg.MemoryBladeCapacity = 1 << 32
+	cfg.CachePagesPerBlade = cachePages
+	cfg.Seed = seed
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Traffic shape: steady Poisson at -serve-rate; an MMPP tenant
+	// alternating between rate/2 and 20x rate; a diurnal tenant whose
+	// rate swings +-80% around -serve-rate over a 2 ms period.
+	quiet, burst := rate/2, 20*rate
+	const quietDwellS, burstDwellS = 50e-6, 20e-6
+	mmppMean := (quiet*quietDwellS + burst*burstDwellS) / (quietDwellS + burstDwellS)
+	meanRate := rate + mmppMean + rate
+	if horizon <= 0 {
+		// Size the horizon so roughly 3*ops arrivals land in total.
+		horizon = sim.Duration(3 * float64(ops) / meanRate * float64(sim.Second))
+	}
+
+	specs := []ctrlplane.TenantSpec{
+		{Name: "steady", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: rate},
+		{Name: "burst", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: qos, Burst: 64},
+		{Name: "diurnal", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: rate},
+	}
+	placements, err := ctrlplane.PlaceTenants(specs, blades, 2*w.Footprint, 2)
+	if err != nil {
+		return fmt.Errorf("serve tenant placement: %w", err)
+	}
+
+	s := core.NewServing(c.Rack, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	params := workloads.Params{Threads: len(placements), Blades: blades, Seed: seed}
+	for i, pl := range placements {
+		p := c.Exec(pl.Spec.Name)
+		vma, err := p.Mmap(pl.Spec.Footprint, mem.PermReadWrite)
+		if err != nil {
+			return fmt.Errorf("serve tenant %s mmap: %w", pl.Spec.Name, err)
+		}
+		var arr core.ArrivalProcess
+		var lim *ctrlplane.TokenBucket
+		switch pl.Spec.Name {
+		case "steady":
+			arr = workloads.NewPoisson(seed, "steady", rate)
+		case "burst":
+			arr = workloads.NewMMPP(seed, "burst", quiet, burst, quietDwellS, burstDwellS)
+			if qos > 0 {
+				lim = ctrlplane.NewTokenBucket(pl.Spec.RatePerSec, pl.Spec.Burst)
+			}
+		case "diurnal":
+			arr = workloads.NewDiurnal(seed, "diurnal", rate, 0.8, 2*sim.Millisecond)
+		}
+		err = s.AddTenant(core.TenantWorkload{
+			Name:    pl.Spec.Name,
+			Proc:    p,
+			Blade:   pl.Blade,
+			Arrival: arr,
+			NextOp:  workloads.RequestStream(w, vma.Base, i, params),
+			Limiter: lim,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	end := s.Run()
+	col := c.Collector()
+	fmt.Printf("serving          workload=%s blades=%d horizon=%.3f ms (virtual end %.3f ms)\n",
+		w.Name, blades, horizon.Seconds()*1e3, end.Sub(0).Seconds()*1e3)
+	fmt.Printf("offered load     steady=%.0f/s burst=%.0f/s mean (QoS contract %.0f/s) diurnal=%.0f/s mean\n",
+		rate, mmppMean, qos, rate)
+	for _, pl := range placements {
+		n := pl.Spec.Name
+		lat := col.StreamHist("serve_lat[" + n + "]")
+		fmt.Printf("tenant %-9s blade=%d arrivals=%-7d completed=%-7d throttled=%-6d dropped=%-5d p50=%.1fus p99=%.1fus p999=%.1fus\n",
+			n, pl.Blade,
+			col.Counter("serve_arrivals["+n+"]"), col.Counter("serve_completed["+n+"]"),
+			col.Counter("serve_throttled["+n+"]"), col.Counter("serve_dropped["+n+"]"),
+			float64(lat.Percentile(50))/1e3, float64(lat.Percentile(99))/1e3, float64(lat.Percentile(99.9))/1e3)
+	}
+	fmt.Printf("total            arrivals=%d completed=%d throttled=%d dropped=%d\n",
+		col.Counter(stats.CtrServeArrivals), col.Counter(stats.CtrServeCompleted),
+		col.Counter(stats.CtrServeThrottled), col.Counter(stats.CtrServeDropped))
+	return nil
 }

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+
+	"mind/internal/computeblade"
+	"mind/internal/ctrlplane"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// Open-loop multi-tenant serving: arrivals are scheduled as engine
+// events from per-tenant arrival processes, independent of service
+// completion. A closed-loop Thread issues its next op only when the
+// previous one finishes, so its offered load self-throttles at
+// saturation; here the arrival chain keeps firing, queues build, and
+// tail latency diverges past the knee — the signature that defines
+// real serving SLOs. Each compute blade runs one serve worker pulling
+// from a FIFO of admitted requests; per-tenant latency (completion
+// minus arrival, i.e. queueing + service) streams into a fixed-memory
+// stats.StreamHist.
+
+// ArrivalProcess mirrors workloads.ArrivalProcess structurally: core
+// cannot import workloads (workloads imports core), so the serving
+// layer declares the one method it needs and any workloads process
+// satisfies it.
+type ArrivalProcess interface {
+	Next(now sim.Time) sim.Duration
+}
+
+// TenantWorkload wires one tenant into the serving layer.
+type TenantWorkload struct {
+	// Name labels the tenant's stats (serve_lat[Name], per-tenant
+	// counters).
+	Name string
+	// Proc is the tenant's process (owns its protection domain).
+	Proc *Process
+	// Blade is the compute blade serving this tenant's requests.
+	Blade int
+	// Arrival generates the tenant's open-loop inter-arrival gaps.
+	Arrival ArrivalProcess
+	// NextOp yields the tenant's next (va, write) op — an endless
+	// stream (workloads.RequestStream).
+	NextOp func() (mem.VA, bool)
+	// Limiter, when non-nil, gates admission (QoS throttling): an
+	// arrival that cannot take a token is shed and counted, never
+	// queued.
+	Limiter *ctrlplane.TokenBucket
+}
+
+// ServeConfig shapes a serving run.
+type ServeConfig struct {
+	// Horizon is how long (virtual time, from Run's start) arrivals
+	// keep coming. After the horizon the queues drain and the run ends.
+	Horizon sim.Duration
+	// QueueCap bounds each blade's request queue; an arrival to a full
+	// queue is dropped and counted. 0 means 4096.
+	QueueCap int
+}
+
+// serveReq is one admitted request; pooled and chained intrusively
+// into its blade's FIFO so steady-state serving allocates nothing.
+type serveReq struct {
+	tenant  *serveTenant
+	va      mem.VA
+	write   bool
+	arrival sim.Time
+	next    *serveReq
+}
+
+// serveTenant is the runtime state behind one TenantWorkload.
+type serveTenant struct {
+	s    *Serving
+	spec TenantWorkload
+	pdid mem.PDID
+
+	// Stop generating arrivals past this virtual time.
+	deadline sim.Time
+
+	lat *stats.StreamHist
+
+	hArrivals  stats.Handle
+	hCompleted stats.Handle
+	hThrottled stats.Handle
+	hDropped   stats.Handle
+}
+
+// serveWorker drains one blade's FIFO, one request at a time.
+type serveWorker struct {
+	s     *Serving
+	blade int
+
+	head, tail *serveReq
+	qlen       int
+	busy       bool
+
+	// cur is the request in service; accessDone is the pre-bound fault
+	// completion (one per worker — a worker serves one request at a
+	// time, so no per-request closure is needed).
+	cur        *serveReq
+	accessDone func(accessResultAlias)
+}
+
+// Pre-bound continuations (see thread.go): scheduling these allocates
+// neither a closure nor, steady-state, an event.
+func serveArrival(x any)    { x.(*serveTenant).arrive() }
+func serveWorkerStep(x any) { x.(*serveWorker).step() }
+func serveIssue(x any)      { x.(*serveWorker).issue() }
+func serveComplete(x any)   { x.(*serveWorker).complete() }
+
+// Serving runs open-loop tenants over one rack. It requires a 1-rack
+// pod: serving shares the rack's engine and collector directly, and
+// per-tenant SLO accounting across rack shards is exactly the merge
+// path the streaming histograms exist for — but the arrival chains
+// themselves are rack-local state.
+type Serving struct {
+	c   *Rack
+	cfg ServeConfig
+
+	tenants []*serveTenant
+	workers []*serveWorker
+	reqFree sim.Pool[serveReq]
+
+	hArrivals  stats.Handle
+	hCompleted stats.Handle
+	hThrottled stats.Handle
+	hDropped   stats.Handle
+
+	// liveArrivals counts tenants whose arrival chain has not passed
+	// its deadline; pending counts admitted-but-incomplete requests.
+	liveArrivals int
+	pending      int
+}
+
+// NewServing attaches a serving layer to a rack.
+func NewServing(c *Rack, cfg ServeConfig) *Serving {
+	if c.pod.multiRack {
+		panic("core: serving requires a 1-rack pod")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	s := &Serving{
+		c:          c,
+		cfg:        cfg,
+		hArrivals:  c.col.Handle(stats.CtrServeArrivals),
+		hCompleted: c.col.Handle(stats.CtrServeCompleted),
+		hThrottled: c.col.Handle(stats.CtrServeThrottled),
+		hDropped:   c.col.Handle(stats.CtrServeDropped),
+	}
+	for i := range c.cblades {
+		w := &serveWorker{s: s, blade: i}
+		w.accessDone = func(accessResultAlias) {
+			c.eng.ScheduleArg(0, serveComplete, w)
+		}
+		s.workers = append(s.workers, w)
+	}
+	return s
+}
+
+// AddTenant registers a tenant. Must be called before Run.
+func (s *Serving) AddTenant(t TenantWorkload) error {
+	if t.Blade < 0 || t.Blade >= len(s.c.cblades) {
+		return fmt.Errorf("core: serving tenant %s: no compute blade %d", t.Name, t.Blade)
+	}
+	if t.Arrival == nil || t.NextOp == nil || t.Proc == nil {
+		return fmt.Errorf("core: serving tenant %s: missing arrival/ops/process", t.Name)
+	}
+	st := &serveTenant{
+		s:          s,
+		spec:       t,
+		pdid:       t.Proc.PID(),
+		lat:        s.c.col.StreamHist("serve_lat[" + t.Name + "]"),
+		hArrivals:  s.c.col.Handle("serve_arrivals[" + t.Name + "]"),
+		hCompleted: s.c.col.Handle("serve_completed[" + t.Name + "]"),
+		hThrottled: s.c.col.Handle("serve_throttled[" + t.Name + "]"),
+		hDropped:   s.c.col.Handle("serve_dropped[" + t.Name + "]"),
+	}
+	s.tenants = append(s.tenants, st)
+	return nil
+}
+
+// Run schedules each tenant's first arrival, drives the engine until
+// every arrival chain has passed the horizon and every admitted
+// request has completed, then stops the rack's epoch loops and drains
+// remaining events. It returns the virtual time the last request
+// finished.
+func (s *Serving) Run() sim.Time {
+	if len(s.tenants) == 0 {
+		return s.c.eng.Now()
+	}
+	start := s.c.eng.Now()
+	for _, st := range s.tenants {
+		st.deadline = start.Add(s.cfg.Horizon)
+		s.liveArrivals++
+		s.c.eng.ScheduleArg(st.spec.Arrival.Next(start), serveArrival, st)
+	}
+	for s.liveArrivals > 0 || s.pending > 0 {
+		if !s.c.eng.Step() {
+			panic("core: serving pending but no events (wedged)")
+		}
+	}
+	finishedAt := s.c.eng.Now()
+	s.c.StopEpochs()
+	s.c.pod.StopPromotionEpochs()
+	s.c.eng.Run()
+	return finishedAt
+}
+
+// arrive processes one arrival: chain the next arrival first (the
+// open-loop property — the successor is scheduled whether or not this
+// request is even admitted), then run admission and enqueue.
+func (st *serveTenant) arrive() {
+	s := st.s
+	now := s.c.eng.Now()
+
+	// Chain the successor while the horizon is open; closing the chain
+	// is what lets Run's drain loop terminate.
+	if next := now.Add(st.spec.Arrival.Next(now)); next <= st.deadline {
+		s.c.eng.ScheduleArg(sim.Duration(next-now), serveArrival, st)
+	} else {
+		s.liveArrivals--
+	}
+
+	s.c.col.IncH(s.hArrivals, 1)
+	s.c.col.IncH(st.hArrivals, 1)
+
+	// QoS admission: over-rate arrivals are shed, not queued — the
+	// whole point is that an aggressor's excess never occupies the
+	// blade the compliant tenants share.
+	if st.spec.Limiter != nil && !st.spec.Limiter.Take(now) {
+		s.c.col.IncH(s.hThrottled, 1)
+		s.c.col.IncH(st.hThrottled, 1)
+		return
+	}
+
+	w := s.workers[st.spec.Blade]
+	if w.qlen >= s.cfg.QueueCap {
+		s.c.col.IncH(s.hDropped, 1)
+		s.c.col.IncH(st.hDropped, 1)
+		return
+	}
+
+	req := s.reqFree.Get()
+	if req == nil {
+		req = &serveReq{}
+	}
+	req.tenant = st
+	req.va, req.write = st.spec.NextOp()
+	req.arrival = now
+	req.next = nil
+	if w.tail != nil {
+		w.tail.next = req
+	} else {
+		w.head = req
+	}
+	w.tail = req
+	w.qlen++
+	s.pending++
+	if !w.busy {
+		w.busy = true
+		s.c.eng.ScheduleArg(0, serveWorkerStep, w)
+	}
+}
+
+// step pulls the next request and starts its service: think time
+// accrues first, then the access is issued (inline for a cache hit,
+// as a fault round trip otherwise).
+func (w *serveWorker) step() {
+	req := w.head
+	if req == nil {
+		w.busy = false
+		return
+	}
+	w.head = req.next
+	if w.head == nil {
+		w.tail = nil
+	}
+	req.next = nil
+	w.qlen--
+	w.cur = req
+
+	blade := w.s.c.cblades[w.blade]
+	local := w.s.c.cfg.ThinkTime
+	if blade.WouldHit(req.va, req.write) {
+		blade.Access(req.tenant.pdid, req.va, req.write, nil)
+		w.s.c.eng.ScheduleArg(local+computeblade.HitLatency, serveComplete, w)
+		return
+	}
+	w.s.c.eng.ScheduleArg(local, serveIssue, w)
+}
+
+// issue starts the blocking fault for the request in service.
+func (w *serveWorker) issue() {
+	req := w.cur
+	blade := w.s.c.cblades[w.blade]
+	hit := blade.Access(req.tenant.pdid, req.va, req.write, w.accessDone)
+	if hit {
+		// Raced with a concurrent fault that installed the page.
+		w.s.c.eng.ScheduleArg(0, serveComplete, w)
+	}
+}
+
+// complete finishes the request in service: observe its sojourn time
+// (queueing + service) into the tenant's streaming histogram, recycle
+// the request, and continue with the queue.
+func (w *serveWorker) complete() {
+	s := w.s
+	req := w.cur
+	w.cur = nil
+	st := req.tenant
+
+	st.lat.Observe(int64(s.c.eng.Now() - req.arrival))
+	s.c.col.IncH(s.hCompleted, 1)
+	s.c.col.IncH(st.hCompleted, 1)
+	s.pending--
+
+	req.tenant = nil
+	s.reqFree.Put(req)
+
+	if w.head != nil {
+		s.c.eng.ScheduleArg(0, serveWorkerStep, w)
+		return
+	}
+	w.busy = false
+}

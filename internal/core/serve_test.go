@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"mind/internal/ctrlplane"
+	"mind/internal/mem"
+	"mind/internal/sim"
+	"mind/internal/stats"
+)
+
+// fixedGap is a deterministic arrival process for tests: one arrival
+// every d of virtual time.
+type fixedGap sim.Duration
+
+func (g fixedGap) Next(now sim.Time) sim.Duration { return sim.Duration(g) }
+
+// serveCluster builds a small serving cluster with one tenant process
+// and a round-robin op stream over its vma.
+func serveCluster(t *testing.T, blades int) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig(blades, 1)
+	cfg.MemoryBladeCapacity = 1 << 28
+	cfg.CachePagesPerBlade = 512
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// roundRobinOps returns an endless op stream striding pages of a vma.
+func roundRobinOps(base mem.VA, pages uint64) func() (mem.VA, bool) {
+	i := uint64(0)
+	return func() (mem.VA, bool) {
+		va := base + mem.VA((i%pages)*mem.PageSize)
+		i++
+		return va, i%4 == 0
+	}
+}
+
+func addServeTenant(t *testing.T, c *Cluster, s *Serving, name string, blade int, gap sim.Duration, limiter *ctrlplane.TokenBucket) {
+	t.Helper()
+	p := c.Exec(name)
+	vma, err := p.Mmap(64*mem.PageSize, mem.PermReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.AddTenant(TenantWorkload{
+		Name:    name,
+		Proc:    p,
+		Blade:   blade,
+		Arrival: fixedGap(gap),
+		NextOp:  roundRobinOps(vma.Base, 64),
+		Limiter: limiter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServingCompletesAllAdmitted: a tenant below saturation has every
+// arrival admitted, served, and latency-accounted.
+func TestServingCompletesAllAdmitted(t *testing.T) {
+	c := serveCluster(t, 2)
+	s := NewServing(c.Rack, ServeConfig{Horizon: 10 * sim.Millisecond})
+	addServeTenant(t, c, s, "a", 0, 100*sim.Microsecond, nil)
+	s.Run()
+
+	col := c.Collector()
+	arr := col.Counter(stats.CtrServeArrivals)
+	done := col.Counter(stats.CtrServeCompleted)
+	if arr == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	// 10 ms / 100 µs = ~100 arrivals.
+	if arr < 90 || arr > 110 {
+		t.Errorf("arrivals = %d, want ~100", arr)
+	}
+	if done != arr {
+		t.Errorf("completed %d of %d arrivals (unsaturated tenant must drain fully)", done, arr)
+	}
+	if col.Counter(stats.CtrServeThrottled) != 0 || col.Counter(stats.CtrServeDropped) != 0 {
+		t.Error("no-QoS unsaturated run must not shed requests")
+	}
+	lat := col.StreamHist("serve_lat[a]")
+	if lat.Count() != done {
+		t.Errorf("latency samples %d != completed %d", lat.Count(), done)
+	}
+	if lat.Percentile(99) <= 0 {
+		t.Error("p99 must be positive")
+	}
+}
+
+// TestServingOpenLoopQueueing: past saturation, latency grows with the
+// backlog — the open-loop signature a closed-loop workload cannot
+// produce — and per-tenant accounting separates the aggressor from the
+// compliant tenant.
+func TestServingOpenLoopQueueing(t *testing.T) {
+	// Saturated: arrivals every 200 ns on one blade whose per-request
+	// service (think + fault) is far slower.
+	c := serveCluster(t, 1)
+	s := NewServing(c.Rack, ServeConfig{Horizon: sim.Millisecond, QueueCap: 1 << 20})
+	addServeTenant(t, c, s, "hot", 0, 200*sim.Nanosecond, nil)
+	s.Run()
+	hotP99 := c.Collector().StreamHist("serve_lat[hot]").Percentile(99)
+
+	// Same workload far below saturation.
+	c2 := serveCluster(t, 1)
+	s2 := NewServing(c2.Rack, ServeConfig{Horizon: sim.Millisecond, QueueCap: 1 << 20})
+	addServeTenant(t, c2, s2, "cool", 0, 50*sim.Microsecond, nil)
+	s2.Run()
+	coolP99 := c2.Collector().StreamHist("serve_lat[cool]").Percentile(99)
+
+	if hotP99 < 10*coolP99 {
+		t.Errorf("saturated p99 %d ns not >> unsaturated p99 %d ns (no queueing collapse)", hotP99, coolP99)
+	}
+}
+
+// TestServingQoSThrottling: a token bucket sheds an aggressor's excess
+// and keeps the shared blade's backlog bounded for the compliant
+// tenant.
+func TestServingQoSThrottling(t *testing.T) {
+	// Both tenants on blade 0; aggressor at 5M req/s, limited to 100k.
+	c := serveCluster(t, 1)
+	s := NewServing(c.Rack, ServeConfig{Horizon: 2 * sim.Millisecond, QueueCap: 1 << 20})
+	addServeTenant(t, c, s, "victim", 0, 100*sim.Microsecond, nil)
+	addServeTenant(t, c, s, "aggr", 0, 200*sim.Nanosecond, ctrlplane.NewTokenBucket(100_000, 16))
+	s.Run()
+
+	col := c.Collector()
+	if col.Counter("serve_throttled[aggr]") == 0 {
+		t.Error("aggressor over its contracted rate must be throttled")
+	}
+	if col.Counter("serve_throttled[victim]") != 0 {
+		t.Error("tenant without a limiter must never be throttled")
+	}
+	aggrArr := col.Counter("serve_arrivals[aggr]")
+	aggrDone := col.Counter("serve_completed[aggr]")
+	if aggrDone >= aggrArr {
+		t.Errorf("aggressor completed %d of %d arrivals; throttling admitted everything", aggrDone, aggrArr)
+	}
+	if got := col.Counter("serve_completed[victim]"); got == 0 {
+		t.Error("victim starved completely")
+	}
+}
+
+// TestServingQueueCapDrops: a bounded queue sheds load instead of
+// growing without limit.
+func TestServingQueueCapDrops(t *testing.T) {
+	c := serveCluster(t, 1)
+	s := NewServing(c.Rack, ServeConfig{Horizon: sim.Millisecond, QueueCap: 8})
+	addServeTenant(t, c, s, "a", 0, 200*sim.Nanosecond, nil)
+	s.Run()
+	col := c.Collector()
+	if col.Counter(stats.CtrServeDropped) == 0 {
+		t.Error("overloaded bounded queue must drop")
+	}
+	if arr, done, thr, drop := col.Counter(stats.CtrServeArrivals), col.Counter(stats.CtrServeCompleted),
+		col.Counter(stats.CtrServeThrottled), col.Counter(stats.CtrServeDropped); arr != done+thr+drop {
+		t.Errorf("conservation violated: %d arrivals != %d completed + %d throttled + %d dropped",
+			arr, done, thr, drop)
+	}
+}
+
+// TestServingDeterministic: identical runs produce identical counters
+// and identical percentile bits.
+func TestServingDeterministic(t *testing.T) {
+	run := func() (uint64, uint64, int64, sim.Time) {
+		c := serveCluster(t, 2)
+		s := NewServing(c.Rack, ServeConfig{Horizon: 2 * sim.Millisecond})
+		addServeTenant(t, c, s, "a", 0, 1*sim.Microsecond, ctrlplane.NewTokenBucket(400_000, 32))
+		addServeTenant(t, c, s, "b", 1, 20*sim.Microsecond, nil)
+		end := s.Run()
+		col := c.Collector()
+		return col.Counter(stats.CtrServeCompleted), col.Counter(stats.CtrServeThrottled),
+			col.StreamHist("serve_lat[a]").Percentile(99), end
+	}
+	d1, t1, p1, e1 := run()
+	d2, t2, p2, e2 := run()
+	if d1 != d2 || t1 != t2 || p1 != p2 || e1 != e2 {
+		t.Fatalf("serving run not deterministic: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			d1, t1, p1, e1, d2, t2, p2, e2)
+	}
+}
+
+// TestServingRequiresSingleRack pins the 1-rack restriction.
+func TestServingRequiresSingleRack(t *testing.T) {
+	rc := DefaultConfig(1, 1)
+	rc.MemoryBladeCapacity = 1 << 26
+	pod, err := NewPod(PodConfig{Racks: []Config{rc, rc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewServing on a multi-rack pod must panic")
+		}
+	}()
+	NewServing(pod.Rack(0), ServeConfig{Horizon: sim.Millisecond})
+}

@@ -1,0 +1,146 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sort"
+
+	"mind/internal/sim"
+)
+
+// Multi-tenant serving policy (Maruf & Chowdhury name multi-tenant QoS
+// and memory overcommit as the open problems for disaggregated racks):
+// the control plane maps tenants onto compute blades, gates admission
+// of their memory footprints under an overcommit factor, and rate-
+// limits each tenant's request stream with a token bucket so one
+// aggressor cannot collapse its neighbours' tails.
+
+// TenantSpec describes one serving tenant as the control plane sees
+// it: a reserved share of memory and a contracted request rate.
+type TenantSpec struct {
+	// Name identifies the tenant in stats and figures.
+	Name string
+	// Footprint is the tenant's allocated bytes (its reservation).
+	Footprint uint64
+	// Active is the expected hot subset of the footprint, in bytes —
+	// what the tenant actually touches at steady state. Overcommit
+	// admits on ΣActive, not ΣFootprint.
+	Active uint64
+	// RatePerSec is the contracted request rate the QoS policy
+	// enforces; arrivals beyond it are throttled when QoS is on.
+	RatePerSec float64
+	// Burst is the token-bucket depth in requests (how far a tenant
+	// may briefly exceed its contracted rate). Zero means a depth of
+	// one second's worth of tokens.
+	Burst float64
+}
+
+// TenantPlacement is the control plane's decision for one tenant.
+type TenantPlacement struct {
+	Spec  TenantSpec
+	Blade int // compute blade serving this tenant's requests
+}
+
+// PlaceTenants maps tenants onto blades least-loaded-first (by placed
+// Active bytes, ties broken by blade index — deterministic) and admits
+// them under the overcommit gate:
+//
+//	Σ Active    <= capacity            (the hot sets must fit)
+//	Σ Footprint <= capacity*overcommit (reservations may oversubscribe)
+//
+// Tenants are considered in the given order; a tenant failing either
+// gate is rejected with an error naming it, and placement stops — the
+// caller decides whether to shed it or re-plan.
+func PlaceTenants(tenants []TenantSpec, blades int, capacity uint64, overcommit float64) ([]TenantPlacement, error) {
+	if blades < 1 {
+		return nil, fmt.Errorf("ctrlplane: no compute blades to place on")
+	}
+	if overcommit < 1 {
+		overcommit = 1
+	}
+	load := make([]uint64, blades)
+	var sumActive, sumFootprint uint64
+	limit := uint64(float64(capacity) * overcommit)
+	out := make([]TenantPlacement, 0, len(tenants))
+	for _, t := range tenants {
+		if sumActive+t.Active > capacity {
+			return out, fmt.Errorf("ctrlplane: tenant %s rejected: hot-set gate (%d + %d > %d)",
+				t.Name, sumActive, t.Active, capacity)
+		}
+		if sumFootprint+t.Footprint > limit {
+			return out, fmt.Errorf("ctrlplane: tenant %s rejected: overcommit gate (%d + %d > %d)",
+				t.Name, sumFootprint, t.Footprint, limit)
+		}
+		sumActive += t.Active
+		sumFootprint += t.Footprint
+		// Least-loaded blade, lowest index on ties.
+		best := 0
+		for b := 1; b < blades; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		load[best] += t.Active
+		out = append(out, TenantPlacement{Spec: t, Blade: best})
+	}
+	return out, nil
+}
+
+// SortPlacementsByBlade orders placements blade-major (stable within a
+// blade) — the iteration order the serving layer uses so per-blade
+// setup is deterministic regardless of tenant declaration order.
+func SortPlacementsByBlade(ps []TenantPlacement) {
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Blade < ps[j].Blade })
+}
+
+// TokenBucket rate-limits one tenant's admissions in virtual time.
+// Refill is lazy — tokens accrue as a pure function of the elapsed
+// virtual time since the last take, so the bucket adds no events to
+// the engine and is deterministic by construction.
+type TokenBucket struct {
+	rate  float64  // tokens per second
+	depth float64  // max tokens
+	level float64  // current tokens
+	last  sim.Time // virtual time of last refill
+}
+
+// NewTokenBucket builds a bucket at ratePerSec with the given depth
+// (depth <= 0 defaults to one second's worth). The bucket starts full.
+func NewTokenBucket(ratePerSec, depth float64) *TokenBucket {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	if depth <= 0 {
+		depth = ratePerSec
+	}
+	return &TokenBucket{rate: ratePerSec, depth: depth, level: depth}
+}
+
+// Take attempts to admit one request at virtual time now. It returns
+// false — throttle — when the bucket is empty.
+func (b *TokenBucket) Take(now sim.Time) bool {
+	if now > b.last {
+		b.level += b.rate * float64(now-b.last) / float64(sim.Second)
+		if b.level > b.depth {
+			b.level = b.depth
+		}
+		b.last = now
+	}
+	if b.level >= 1 {
+		b.level--
+		return true
+	}
+	return false
+}
+
+// Level reports the current token level (after refilling to now) —
+// for tests and debugging.
+func (b *TokenBucket) Level(now sim.Time) float64 {
+	if now > b.last {
+		b.level += b.rate * float64(now-b.last) / float64(sim.Second)
+		if b.level > b.depth {
+			b.level = b.depth
+		}
+		b.last = now
+	}
+	return b.level
+}

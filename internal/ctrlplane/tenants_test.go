@@ -1,0 +1,120 @@
+package ctrlplane
+
+import (
+	"strings"
+	"testing"
+
+	"mind/internal/sim"
+)
+
+func TestPlaceTenantsLeastLoaded(t *testing.T) {
+	tenants := []TenantSpec{
+		{Name: "a", Footprint: 100, Active: 40},
+		{Name: "b", Footprint: 100, Active: 30},
+		{Name: "c", Footprint: 100, Active: 20},
+	}
+	ps, err := PlaceTenants(tenants, 2, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a → blade 0 (tie, lowest index), b → blade 1 (empty), c → blade 1
+	// (30 < 40).
+	want := []int{0, 1, 1}
+	for i, p := range ps {
+		if p.Blade != want[i] {
+			t.Errorf("tenant %s on blade %d, want %d", p.Spec.Name, p.Blade, want[i])
+		}
+	}
+}
+
+func TestPlaceTenantsOvercommitGates(t *testing.T) {
+	// Hot-set gate: ΣActive must fit raw capacity.
+	_, err := PlaceTenants([]TenantSpec{
+		{Name: "a", Footprint: 50, Active: 60},
+		{Name: "b", Footprint: 50, Active: 50},
+	}, 2, 100, 4)
+	if err == nil || !strings.Contains(err.Error(), "hot-set") {
+		t.Errorf("want hot-set rejection, got %v", err)
+	}
+	// Overcommit gate: ΣFootprint may exceed capacity up to the factor.
+	ps, err := PlaceTenants([]TenantSpec{
+		{Name: "a", Footprint: 150, Active: 40},
+		{Name: "b", Footprint: 40, Active: 40},
+	}, 2, 100, 2)
+	if err != nil || len(ps) != 2 {
+		t.Errorf("2x overcommit should admit 190 footprint on 100 capacity: %v", err)
+	}
+	_, err = PlaceTenants([]TenantSpec{
+		{Name: "a", Footprint: 150, Active: 40},
+		{Name: "b", Footprint: 60, Active: 40},
+	}, 2, 100, 2)
+	if err == nil || !strings.Contains(err.Error(), "overcommit") {
+		t.Errorf("want overcommit rejection, got %v", err)
+	}
+}
+
+func TestPlaceTenantsDeterministic(t *testing.T) {
+	tenants := []TenantSpec{
+		{Name: "a", Footprint: 10, Active: 10},
+		{Name: "b", Footprint: 10, Active: 10},
+		{Name: "c", Footprint: 10, Active: 10},
+		{Name: "d", Footprint: 10, Active: 10},
+	}
+	p1, err1 := PlaceTenants(tenants, 3, 1000, 1)
+	p2, err2 := PlaceTenants(tenants, 3, 1000, 1)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("placement not deterministic at %d", i)
+		}
+	}
+}
+
+func TestTokenBucketThrottlesAboveRate(t *testing.T) {
+	// 1000 req/s, depth 10: an aggressor arriving at 10x the rate over
+	// one virtual second gets ~rate+depth admissions.
+	b := NewTokenBucket(1000, 10)
+	admitted := 0
+	for i := 0; i < 10000; i++ {
+		now := sim.Time(i) * sim.Time(sim.Second) / 10000 // 10k req over 1 s
+		if b.Take(now) {
+			admitted++
+		}
+	}
+	if admitted < 1000 || admitted > 1015 {
+		t.Errorf("admitted %d of 10000, want ~1010 (rate + burst)", admitted)
+	}
+}
+
+func TestTokenBucketAdmitsAtRate(t *testing.T) {
+	// A compliant tenant at half the contracted rate is never throttled.
+	b := NewTokenBucket(1000, 10)
+	for i := 0; i < 500; i++ {
+		now := sim.Time(i) * sim.Time(sim.Second) / 500
+		if !b.Take(now) {
+			t.Fatalf("compliant tenant throttled at request %d", i)
+		}
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	// The full depth is available instantly, then the bucket empties.
+	b := NewTokenBucket(10, 5)
+	for i := 0; i < 5; i++ {
+		if !b.Take(0) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if b.Take(0) {
+		t.Error("empty bucket admitted")
+	}
+	// After 100 ms at 10/s, one token is back.
+	if !b.Take(sim.Time(100 * sim.Millisecond)) {
+		t.Error("refilled token denied")
+	}
+	if b.Take(sim.Time(100 * sim.Millisecond)) {
+		t.Error("second take at same instant admitted")
+	}
+}

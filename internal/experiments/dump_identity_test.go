@@ -116,6 +116,10 @@ func TestDumpAllPanels(t *testing.T) {
 		f, err := FigPod(s)
 		one("figpod", f, err)
 	}
+	{
+		f, err := FigServe(s)
+		one("figserve", f, err)
+	}
 
 	sort.Strings(lines)
 	data := ""

@@ -59,9 +59,10 @@ func hashFigMap(h interface{ Write(p []byte) (int, error) }, figs map[string]*Fi
 // pairs across all four systems including GAM's multi-blade software
 // invalidation path (Fig5 center), allocation studies (Fig8 center),
 // the elasticity timeline with its membership events and migration
-// scheduling (Fig10), and the pod panel with cross-rack borrowing and
-// hot-page promotion (FigPod) — with the given worker setting, on a
-// fresh cache so every run really executes.
+// scheduling (Fig10), the pod panel with cross-rack borrowing and
+// hot-page promotion (FigPod), and the open-loop serving sweep with
+// its arrival chains and QoS admission (FigServe) — with the given
+// worker setting, on a fresh cache so every run really executes.
 func goldenFingerprint(t *testing.T, workers int) string {
 	t.Helper()
 	s := goldenScale
@@ -108,6 +109,12 @@ func goldenFingerprint(t *testing.T, workers int) string {
 		t.Fatal(err)
 	}
 	hashFig(h, figPod)
+
+	figServe, err := FigServe(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashFig(h, figServe)
 
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -33,7 +33,9 @@ import (
 	"time"
 
 	"mind/internal/core"
+	"mind/internal/ctrlplane"
 	"mind/internal/mem"
+	"mind/internal/sim"
 	"mind/internal/stats"
 	"mind/internal/workloads"
 )
@@ -145,6 +147,27 @@ func PodParScenario() Config {
 	}
 }
 
+// ServeScenario is the tracked open-loop serving configuration
+// (BENCH_serve.json): three tenants with distinct arrival processes —
+// a steady Poisson tenant, an MMPP burst aggressor held to a QoS
+// token bucket, and a diurnal tenant — sharing a 4-blade rack.
+// TotalOps sets the approximate arrival budget; the horizon is derived
+// from it and the tenants' aggregate mean rate, so CI smoke runs scale
+// down with -ops exactly like the closed-loop scenarios.
+func ServeScenario() Config {
+	return Config{
+		Scenario:      "serve",
+		ComputeBlades: 4,
+		MemoryBlades:  2,
+		Threads:       3, // one serve stream per tenant
+		TotalOps:      160_000,
+		Seed:          1021,
+		Workload:      "MA",
+		WorkloadScale: 1,
+		CacheFrac:     0.25,
+	}
+}
+
 // Scenario returns the tracked configuration with the given name.
 func Scenario(name string) (Config, error) {
 	switch name {
@@ -156,8 +179,10 @@ func Scenario(name string) (Config, error) {
 		return PodScenario(), nil
 	case "podpar":
 		return PodParScenario(), nil
+	case "serve":
+		return ServeScenario(), nil
 	}
-	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack, pod or podpar)", name)
+	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack, pod, podpar or serve)", name)
 }
 
 // Result is one measured macro run.
@@ -188,6 +213,16 @@ type Result struct {
 	BaseEventsPerSec float64 `json:"base_events_per_sec,omitempty"`
 	ParallelSpeedup  float64 `json:"parallel_speedup,omitempty"`
 
+	// Serving-scenario outputs (serve scenario only): open-loop
+	// arrival accounting and the steady (compliant) tenant's p99
+	// sojourn time — all deterministic, so they double as identity
+	// checks across revisions.
+	ServeArrivals  uint64  `json:"serve_arrivals,omitempty"`
+	ServeCompleted uint64  `json:"serve_completed,omitempty"`
+	ServeThrottled uint64  `json:"serve_throttled,omitempty"`
+	ServeDropped   uint64  `json:"serve_dropped,omitempty"`
+	ServeP99Us     float64 `json:"serve_p99_us,omitempty"`
+
 	// Host-side cost per simulated access.
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
@@ -207,6 +242,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Scenario == "podpar" {
 		return runPodPar(cfg)
+	}
+	if cfg.Scenario == "serve" {
+		return runServe(cfg)
 	}
 	if cfg.Racks > 1 {
 		return runPod(cfg)
@@ -283,6 +321,128 @@ func Run(cfg Config) (Result, error) {
 		AllocsPerOp:  float64(allocs) / float64(ops),
 		BytesPerOp:   float64(bytes) / float64(ops),
 		EventsPerSec: float64(events) / wall.Seconds(),
+	}, nil
+}
+
+// Serve-scenario traffic shape: a steady Poisson tenant, an MMPP
+// aggressor whose bursts exceed its contracted rate (so the QoS token
+// bucket sheds load), and a diurnal tenant — rates in requests/sec,
+// dwells in seconds.
+const (
+	serveSteadyRate  = 100_000
+	serveQuietRate   = 50_000
+	serveBurstRate   = 2_000_000
+	serveQuietDwellS = 50e-6
+	serveBurstDwellS = 20e-6
+	serveDiurnalRate = 100_000
+	serveAggrLimit   = 150_000 // aggressor's contracted rate (token bucket)
+	serveAggrBurst   = 64      // token-bucket depth
+)
+
+// serveMeanRate is the tenants' aggregate mean arrival rate, used to
+// derive the horizon from TotalOps.
+func serveMeanRate() float64 {
+	mmppMean := (serveQuietRate*serveQuietDwellS + serveBurstRate*serveBurstDwellS) /
+		(serveQuietDwellS + serveBurstDwellS)
+	return serveSteadyRate + mmppMean + serveDiurnalRate
+}
+
+// runServe executes the open-loop serving scenario: three tenants are
+// placed onto blades by the control-plane policy, their arrival chains
+// are injected into the engine, and the run drains after the horizon.
+func runServe(cfg Config) (Result, error) {
+	w := workloads.MemcachedA(cfg.WorkloadScale)
+	ccfg := core.DefaultConfig(cfg.ComputeBlades, cfg.MemoryBlades)
+	ccfg.MemoryBladeCapacity = 1 << 30
+	ccfg.CachePagesPerBlade = int(float64(w.Footprint/mem.PageSize) * cfg.CacheFrac)
+	c, err := core.NewCluster(ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Place tenants via the overcommit-gated control-plane policy: the
+	// hot sets must fit raw capacity, the reservations ride a 2x factor.
+	specs := []ctrlplane.TenantSpec{
+		{Name: "steady", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: serveSteadyRate},
+		{Name: "burst", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: serveAggrLimit, Burst: serveAggrBurst},
+		{Name: "diurnal", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: serveDiurnalRate},
+	}
+	placements, err := ctrlplane.PlaceTenants(specs, cfg.ComputeBlades, 2*w.Footprint, 2)
+	if err != nil {
+		return Result{}, fmt.Errorf("hotpath: serve tenant placement: %w", err)
+	}
+
+	horizon := sim.Duration(float64(cfg.TotalOps) / serveMeanRate() * float64(sim.Second))
+	s := core.NewServing(c.Rack, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	params := workloads.Params{Threads: len(placements), Blades: cfg.ComputeBlades, Seed: cfg.Seed}
+	for i, pl := range placements {
+		p := c.Exec(pl.Spec.Name)
+		vma, err := p.Mmap(pl.Spec.Footprint, mem.PermReadWrite)
+		if err != nil {
+			return Result{}, fmt.Errorf("hotpath: serve tenant %s mmap: %w", pl.Spec.Name, err)
+		}
+		var arr core.ArrivalProcess
+		var lim *ctrlplane.TokenBucket
+		switch pl.Spec.Name {
+		case "steady":
+			arr = workloads.NewPoisson(cfg.Seed, "steady", serveSteadyRate)
+		case "burst":
+			arr = workloads.NewMMPP(cfg.Seed, "burst",
+				serveQuietRate, serveBurstRate, serveQuietDwellS, serveBurstDwellS)
+			lim = ctrlplane.NewTokenBucket(pl.Spec.RatePerSec, pl.Spec.Burst)
+		case "diurnal":
+			arr = workloads.NewDiurnal(cfg.Seed, "diurnal", serveDiurnalRate, 0.8, 2*sim.Millisecond)
+		}
+		err = s.AddTenant(core.TenantWorkload{
+			Name:    pl.Spec.Name,
+			Proc:    p,
+			Blade:   pl.Blade,
+			Arrival: arr,
+			NextOp:  workloads.RequestStream(w, vma.Base, i, params),
+			Limiter: lim,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	events0 := c.Engine().Executed
+	start := time.Now()
+
+	end := s.Run()
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	col := c.Collector()
+	ops := col.Counter(stats.CtrAccesses)
+	if ops == 0 {
+		return Result{}, fmt.Errorf("hotpath: serve run performed no accesses")
+	}
+	events := c.Engine().Executed - events0
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	return Result{
+		Scenario:       cfg.Scenario,
+		Workload:       fmt.Sprintf("open-loop MA x%d tenants (serve)", len(placements)),
+		Blades:         cfg.ComputeBlades,
+		Threads:        len(placements),
+		Ops:            ops,
+		Events:         events,
+		RemoteRate:     col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:    end.Sub(0).Seconds(),
+		ServeArrivals:  col.Counter(stats.CtrServeArrivals),
+		ServeCompleted: col.Counter(stats.CtrServeCompleted),
+		ServeThrottled: col.Counter(stats.CtrServeThrottled),
+		ServeDropped:   col.Counter(stats.CtrServeDropped),
+		ServeP99Us:     float64(col.StreamHist("serve_lat[steady]").Percentile(99)) / 1e3,
+		NsPerOp:        float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:    float64(allocs) / float64(ops),
+		BytesPerOp:     float64(bytes) / float64(ops),
+		EventsPerSec:   float64(events) / wall.Seconds(),
 	}, nil
 }
 

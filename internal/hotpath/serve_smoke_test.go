@@ -1,0 +1,36 @@
+package hotpath
+
+import "testing"
+
+// TestServeScenarioSmoke runs a scaled-down serve scenario and checks
+// the structural gates the bench -check mode enforces.
+func TestServeScenarioSmoke(t *testing.T) {
+	cfg := ServeScenario()
+	cfg.TotalOps = 20_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServeArrivals == 0 || res.ServeCompleted == 0 {
+		t.Fatalf("no serving traffic: %+v", res)
+	}
+	if res.ServeThrottled == 0 {
+		t.Errorf("MMPP aggressor produced no throttles (QoS not exercised): %+v", res)
+	}
+	if res.ServeArrivals != res.ServeCompleted+res.ServeThrottled+res.ServeDropped {
+		t.Errorf("conservation violated: %+v", res)
+	}
+	if res.ServeP99Us <= 0 {
+		t.Errorf("steady tenant p99 not recorded: %+v", res)
+	}
+	// Determinism: simulation outputs must be bit-identical on a rerun.
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != res2.Events || res.Ops != res2.Ops ||
+		res.VirtualEndS != res2.VirtualEndS || res.ServeArrivals != res2.ServeArrivals ||
+		res.ServeThrottled != res2.ServeThrottled || res.ServeP99Us != res2.ServeP99Us {
+		t.Errorf("serve scenario not deterministic:\n  %+v\n  %+v", res, res2)
+	}
+}

@@ -45,6 +45,13 @@ const (
 	CtrBladeReturns  = "blade_returns"   // borrowed blades handed back
 	CtrPromotedVMAs  = "promoted_vmas"   // vmas migrated home by the promotion policy
 	CtrPromotedPages = "promoted_pages"  // pages those promotions copied
+
+	// Open-loop serving counters; registered only when a serving layer
+	// is attached to a rack.
+	CtrServeArrivals  = "serve_arrivals"  // open-loop requests generated
+	CtrServeCompleted = "serve_completed" // requests served to completion
+	CtrServeThrottled = "serve_throttled" // requests shed by QoS admission
+	CtrServeDropped   = "serve_dropped"   // requests shed by a full queue
 )
 
 // Latency component names (Figure 7 right breakdown).
@@ -72,8 +79,9 @@ type Collector struct {
 	lsum   []sim.Duration
 	lcount []uint64
 
-	series map[string]*Series
-	hists  map[string]*Histogram
+	series  map[string]*Series
+	hists   map[string]*Histogram
+	streams map[string]*StreamHist
 
 	// hAccesses is the pre-resolved CtrAccesses handle PerAccess uses.
 	hAccesses Handle
@@ -82,10 +90,11 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	c := &Collector{
-		cidx:   make(map[string]Handle),
-		lidx:   make(map[string]Handle),
-		series: make(map[string]*Series),
-		hists:  make(map[string]*Histogram),
+		cidx:    make(map[string]Handle),
+		lidx:    make(map[string]Handle),
+		series:  make(map[string]*Series),
+		hists:   make(map[string]*Histogram),
+		streams: make(map[string]*StreamHist),
 	}
 	c.hAccesses = c.Handle(CtrAccesses)
 	return c
@@ -193,10 +202,13 @@ func (c *Collector) Histogram(name string) *Histogram {
 }
 
 // MergeFrom folds another collector's metrics into this one: counters
-// and latency components add; series and histograms are adopted by
-// reference (callers keep their names disjoint — the per-rack series
-// names in a pod are rack-qualified). Used to present one merged view
-// over the per-rack collector shards of a parallel pod.
+// and latency components add; series, histograms and streaming
+// histograms merge sample-for-sample (or bucket-for-bucket), never by
+// reference — two shards observing under the same name accumulate into
+// one merged metric instead of the last shard silently overwriting the
+// rest, and the destination never aliases the source's slices. Used to
+// present one merged view over the per-rack collector shards of a
+// parallel pod.
 func (c *Collector) MergeFrom(o *Collector) {
 	for name, h := range o.cidx {
 		c.cvals[c.Handle(name)] += o.cvals[h]
@@ -207,11 +219,29 @@ func (c *Collector) MergeFrom(o *Collector) {
 		c.lcount[hh] += o.lcount[h]
 	}
 	for name, s := range o.series {
-		c.series[name] = s
+		d := c.Series(name)
+		d.Times = append(d.Times, s.Times...)
+		d.Values = append(d.Values, s.Values...)
 	}
 	for name, hg := range o.hists {
-		c.hists[name] = hg
+		d := c.Histogram(name)
+		d.samples = append(d.samples, hg.samples...)
+		d.sum += hg.sum
 	}
+	for name, sh := range o.streams {
+		c.StreamHist(name).MergeFrom(sh)
+	}
+}
+
+// StreamHist returns (creating on first use) a named streaming
+// histogram (fixed-memory log-bucketed percentiles; see streamhist.go).
+func (c *Collector) StreamHist(name string) *StreamHist {
+	h, ok := c.streams[name]
+	if !ok {
+		h = NewStreamHist()
+		c.streams[name] = h
+	}
+	return h
 }
 
 // Snapshot returns a copy of all plain counters, for test assertions.
@@ -239,11 +269,31 @@ func (s *Series) Append(t sim.Time, v float64) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Times) }
 
-// Max returns the maximum value (0 for an empty series).
+// Max returns the maximum value (0 for an empty series). The running
+// max is seeded from the first element, not zero, so an all-negative
+// series reports its true maximum.
 func (s *Series) Max() float64 {
-	m := 0.0
-	for _, v := range s.Values {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
 		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value (0 for an empty series), seeded from
+// the first element like Max.
+func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
 			m = v
 		}
 	}
@@ -285,10 +335,15 @@ func (s *Series) Normalized() (x, y []float64) {
 
 // Histogram is a simple exact-value histogram over int64 samples with
 // percentile queries; sample counts in this simulator are small enough
-// that exact storage is fine.
+// that exact storage is fine. For unbounded sample streams (open-loop
+// serving latencies) use StreamHist instead.
 type Histogram struct {
 	samples []int64
-	sorted  bool
+	// scratch is the lazily rebuilt sorted view Percentile reads.
+	// samples itself is append-only and never reordered, so a read
+	// from one collector can never corrupt a histogram another
+	// collector merged from the same source.
+	scratch []int64
 	sum     int64
 }
 
@@ -299,7 +354,6 @@ func NewHistogram() *Histogram { return &Histogram{} }
 func (h *Histogram) Observe(v int64) {
 	h.samples = append(h.samples, v)
 	h.sum += v
-	h.sorted = false
 }
 
 // Count returns the number of samples.
@@ -314,26 +368,28 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by
-// nearest-rank; 0 if empty.
+// nearest-rank; 0 if empty. The read sorts a private scratch copy, not
+// the sample slice itself, so querying one collector never reorders
+// samples a merge may have shared with another.
 func (h *Histogram) Percentile(p float64) int64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
+	if len(h.scratch) != len(h.samples) {
+		h.scratch = append(h.scratch[:0], h.samples...)
+		sort.Slice(h.scratch, func(i, j int) bool { return h.scratch[i] < h.scratch[j] })
 	}
 	if p <= 0 {
-		return h.samples[0]
+		return h.scratch[0]
 	}
 	if p >= 100 {
-		return h.samples[len(h.samples)-1]
+		return h.scratch[len(h.scratch)-1]
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	rank := int(math.Ceil(p / 100 * float64(len(h.scratch))))
 	if rank < 1 {
 		rank = 1
 	}
-	return h.samples[rank-1]
+	return h.scratch[rank-1]
 }
 
 // JainFairness computes Jain's fairness index (Σx)² / (n·Σx²) over the

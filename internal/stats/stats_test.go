@@ -277,3 +277,108 @@ func TestIncHZeroAlloc(t *testing.T) {
 		t.Errorf("IncH/AddLatencyH allocates %v/op, want 0", avg)
 	}
 }
+
+// TestMergeFromCollidingNames is the regression test for the shard-merge
+// bug: histograms and series observed under the same name on two shards
+// must merge their samples/points, not have the second shard's object
+// silently replace the first's.
+func TestMergeFromCollidingNames(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	a.Histogram("lat").Observe(10)
+	a.Histogram("lat").Observe(20)
+	b.Histogram("lat").Observe(30)
+	a.Series("occ").Append(1, 1.5)
+	b.Series("occ").Append(2, 2.5)
+	a.StreamHist("slat").Observe(100)
+	b.StreamHist("slat").Observe(200)
+
+	m := NewCollector()
+	m.MergeFrom(a)
+	m.MergeFrom(b)
+
+	if got := m.Histogram("lat").Count(); got != 3 {
+		t.Errorf("merged histogram count = %d, want 3 (collision must merge, not overwrite)", got)
+	}
+	if got := m.Histogram("lat").Mean(); got != 20 {
+		t.Errorf("merged histogram mean = %v, want 20", got)
+	}
+	if got := m.Series("occ").Len(); got != 2 {
+		t.Errorf("merged series len = %d, want 2", got)
+	}
+	if got := m.StreamHist("slat").Count(); got != 2 {
+		t.Errorf("merged stream hist count = %d, want 2", got)
+	}
+	// Sources must be untouched.
+	if a.Histogram("lat").Count() != 2 || b.Histogram("lat").Count() != 1 {
+		t.Error("merge mutated a source histogram")
+	}
+	if a.Series("occ").Len() != 1 || b.Series("occ").Len() != 1 {
+		t.Error("merge mutated a source series")
+	}
+}
+
+// TestMergeFromDoesNotAliasSources: percentile reads from the merged
+// collector must not disturb the shards (and vice versa) — the old
+// adopt-by-reference merge let a post-merge read from one collector
+// reorder a slice another collector still referenced.
+func TestMergeFromDoesNotAliasSources(t *testing.T) {
+	shard := NewCollector()
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		shard.Histogram("lat").Observe(v)
+	}
+	m := NewCollector()
+	m.MergeFrom(shard)
+
+	if got := m.Histogram("lat").Percentile(50); got != 5 {
+		t.Errorf("merged p50 = %d, want 5", got)
+	}
+	// Keep observing on the shard after the merged collector's sorted
+	// read; the shard's own percentiles must stay correct, and the
+	// merged collector must not see the new sample.
+	shard.Histogram("lat").Observe(0)
+	if got := shard.Histogram("lat").Percentile(0); got != 0 {
+		t.Errorf("shard p0 after post-merge observe = %d, want 0", got)
+	}
+	if got := m.Histogram("lat").Count(); got != 5 {
+		t.Errorf("merged count changed to %d after shard observe (aliasing)", got)
+	}
+	// And reading percentiles from both, in both orders, stays stable.
+	if got := m.Histogram("lat").Percentile(100); got != 9 {
+		t.Errorf("merged p100 = %d, want 9", got)
+	}
+	if got := shard.Histogram("lat").Percentile(100); got != 9 {
+		t.Errorf("shard p100 = %d, want 9", got)
+	}
+}
+
+// TestSeriesMaxNegative is the regression test for the zero-seeded
+// running max: an all-negative series must report its true (negative)
+// maximum, not 0.
+func TestSeriesMaxNegative(t *testing.T) {
+	var s Series
+	s.Append(0, -7)
+	s.Append(1, -3)
+	s.Append(2, -12)
+	if got := s.Max(); got != -3 {
+		t.Errorf("all-negative max = %v, want -3", got)
+	}
+	if got := s.Min(); got != -12 {
+		t.Errorf("all-negative min = %v, want -12", got)
+	}
+}
+
+// TestHistogramPercentileNonMutating pins that reads never reorder the
+// underlying sample slice.
+func TestHistogramPercentileNonMutating(t *testing.T) {
+	h := NewHistogram()
+	in := []int64{5, 1, 9, 3}
+	for _, v := range in {
+		h.Observe(v)
+	}
+	_ = h.Percentile(99)
+	for i, v := range h.samples {
+		if v != in[i] {
+			t.Fatalf("samples reordered by Percentile: %v", h.samples)
+		}
+	}
+}

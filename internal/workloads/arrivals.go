@@ -1,0 +1,216 @@
+package workloads
+
+import (
+	"math"
+
+	"mind/internal/mem"
+	"mind/internal/sim"
+)
+
+// ArrivalProcess generates open-loop inter-arrival gaps: the serving
+// layer asks for the next gap at each arrival and schedules the
+// successor as an engine event, independent of service completion.
+// That independence is the open-loop property — offered load does not
+// back off when the system saturates, so queues (and tail latency)
+// grow without bound past the knee, unlike the closed-loop Thread
+// model where each op waits for the previous one.
+//
+// Implementations must be deterministic functions of their seed and
+// the virtual times they are called with.
+type ArrivalProcess interface {
+	// Next returns the gap until the next arrival after one at now.
+	// The returned duration is always >= 1 ns so arrival chains make
+	// progress.
+	Next(now sim.Time) sim.Duration
+}
+
+// expGap samples an exponential inter-arrival gap for the given rate
+// (arrivals per second). Inverse-CDF with the RNG's Float64 keeps the
+// stream a pure function of the seed.
+func expGap(rng *sim.RNG, ratePerSec float64) sim.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	gap := -math.Log(u) / ratePerSec // seconds
+	d := sim.Duration(gap * float64(sim.Second))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Poisson is a constant-rate memoryless arrival process — the baseline
+// open-loop tenant.
+type Poisson struct {
+	rng  *sim.RNG
+	rate float64
+}
+
+// NewPoisson builds a Poisson process at ratePerSec arrivals/second.
+func NewPoisson(seed uint64, tag string, ratePerSec float64) *Poisson {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	return &Poisson{rng: sim.NewRNG(seed, "poisson/"+tag), rate: ratePerSec}
+}
+
+// Next returns an exponential gap at the fixed rate.
+func (p *Poisson) Next(now sim.Time) sim.Duration { return expGap(p.rng, p.rate) }
+
+// MMPP is a two-state Markov-modulated Poisson process: a quiet state
+// and a burst state, each with its own arrival rate, switching after
+// exponentially distributed dwell times. This is the standard bursty-
+// traffic model — bursts arrive at burstRate regardless of whether the
+// quiet-state queue has drained.
+//
+// Sampling is exact across state switches: the gap is accumulated
+// piecewise, consuming the remaining dwell in the current state before
+// re-drawing in the next, so the process is memoryless within states
+// and the switch times never quantize arrivals.
+type MMPP struct {
+	rng        *sim.RNG
+	rate       [2]float64 // arrivals/sec per state
+	meanDwell  [2]float64 // seconds per state
+	state      int
+	dwellLeft  float64 // seconds remaining in current state
+	dwellDrawn bool
+}
+
+// NewMMPP builds a two-state MMPP. quietRate/burstRate are arrivals
+// per second; quietDwell/burstDwell are mean state-dwell times in
+// seconds.
+func NewMMPP(seed uint64, tag string, quietRate, burstRate, quietDwell, burstDwell float64) *MMPP {
+	if quietRate <= 0 {
+		quietRate = 1
+	}
+	if burstRate <= 0 {
+		burstRate = 1
+	}
+	if quietDwell <= 0 {
+		quietDwell = 1
+	}
+	if burstDwell <= 0 {
+		burstDwell = 1
+	}
+	return &MMPP{
+		rng:       sim.NewRNG(seed, "mmpp/"+tag),
+		rate:      [2]float64{quietRate, burstRate},
+		meanDwell: [2]float64{quietDwell, burstDwell},
+	}
+}
+
+func (m *MMPP) expSec(mean float64) float64 {
+	u := m.rng.Float64()
+	for u == 0 {
+		u = m.rng.Float64()
+	}
+	return -math.Log(u) * mean
+}
+
+// Next accumulates the gap piecewise across state switches.
+func (m *MMPP) Next(now sim.Time) sim.Duration {
+	var gap float64 // seconds
+	for {
+		if !m.dwellDrawn {
+			m.dwellLeft = m.expSec(m.meanDwell[m.state])
+			m.dwellDrawn = true
+		}
+		// Candidate arrival gap at the current state's rate.
+		g := m.expSec(1 / m.rate[m.state])
+		if g <= m.dwellLeft {
+			m.dwellLeft -= g
+			gap += g
+			d := sim.Duration(gap * float64(sim.Second))
+			if d < 1 {
+				d = 1
+			}
+			return d
+		}
+		// State switches before the candidate arrival; by memorylessness
+		// discard it, consume the dwell, and re-draw in the next state.
+		gap += m.dwellLeft
+		m.state = 1 - m.state
+		m.dwellDrawn = false
+	}
+}
+
+// Diurnal modulates a Poisson process with a sinusoidal rate curve
+// (period = one virtual "day"), via thinning against the peak rate:
+// candidate arrivals are drawn at peakRate and accepted with
+// probability rate(t)/peakRate, which yields an exact inhomogeneous
+// Poisson process without numeric integration.
+type Diurnal struct {
+	rng      *sim.RNG
+	baseRate float64 // trough-to-peak midpoint, arrivals/sec
+	swing    float64 // amplitude as a fraction of baseRate, in [0,1)
+	period   sim.Duration
+}
+
+// NewDiurnal builds a diurnal process oscillating around basePerSec
+// with relative amplitude swing (0 = flat, 0.9 = near-silent troughs)
+// and the given period.
+func NewDiurnal(seed uint64, tag string, basePerSec, swing float64, period sim.Duration) *Diurnal {
+	if basePerSec <= 0 {
+		basePerSec = 1
+	}
+	if swing < 0 {
+		swing = 0
+	}
+	if swing > 0.95 {
+		swing = 0.95
+	}
+	if period <= 0 {
+		period = sim.Second
+	}
+	return &Diurnal{
+		rng:      sim.NewRNG(seed, "diurnal/"+tag),
+		baseRate: basePerSec,
+		swing:    swing,
+		period:   period,
+	}
+}
+
+// rateAt returns the instantaneous rate at virtual time t.
+func (d *Diurnal) rateAt(t sim.Time) float64 {
+	phase := 2 * math.Pi * float64(sim.Time(sim.Duration(t)%d.period)) / float64(d.period)
+	return d.baseRate * (1 + d.swing*math.Sin(phase))
+}
+
+// Next thins candidates drawn at the peak rate.
+func (d *Diurnal) Next(now sim.Time) sim.Duration {
+	peak := d.baseRate * (1 + d.swing)
+	t := now
+	for {
+		g := expGap(d.rng, peak)
+		t += sim.Time(g)
+		if d.rng.Float64()*peak <= d.rateAt(t) {
+			gap := sim.Duration(t - now)
+			if gap < 1 {
+				gap = 1
+			}
+			return gap
+		}
+	}
+}
+
+// RequestStream adapts a closed-loop Workload generator into an
+// endless per-tenant op source for the serving layer: each call to the
+// returned generator yields the next (va, write) op of the tenant's
+// access pattern, cycling the underlying pattern indefinitely. The
+// serving layer consumes one op per admitted request.
+func RequestStream(w Workload, base mem.VA, thread int, p Params) func() (mem.VA, bool) {
+	// Build with an effectively unbounded op budget; the arrival
+	// horizon, not an op count, ends a serving run.
+	p.OpsPerThread = math.MaxInt32
+	gen := w.Gen(base, thread, p)
+	return func() (mem.VA, bool) {
+		va, wr, ok := gen()
+		if !ok {
+			// Pattern exhausted (cannot happen before ~2^31 ops); restart.
+			gen = w.Gen(base, thread, p)
+			va, wr, _ = gen()
+		}
+		return va, wr
+	}
+}
