@@ -126,6 +126,28 @@ func BenchmarkServeMacro(b *testing.B) {
 	}
 }
 
+// BenchmarkServeParMacro is the sharded-serving macro benchmark behind
+// BENCH_servepar.json: a mixed tenant population placed across a
+// 16-rack pod (memory-poor racks borrowing, two tenants spanning racks)
+// injects open-loop arrivals from every rack's serving shard, run
+// serially then on the windowed worker pool in one invocation —
+// hotpath.Run fails outright if any simulation output diverges.
+func BenchmarkServeParMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hotpath.Run(hotpath.ServeParScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerOp, "sim-ns/op")
+		b.ReportMetric(res.AllocsPerOp, "sim-allocs/op")
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+		b.ReportMetric(float64(res.CrossRackMsgs), "cross-rack-msgs")
+		b.ReportMetric(float64(res.ServeThrottled), "throttled")
+		b.ReportMetric(res.ParallelSpeedup, "parallel-speedup-x")
+	}
+}
+
 // BenchmarkFig5IntraBlade regenerates Figure 5 (left): intra-blade
 // thread scaling of MIND vs FastSwap vs GAM.
 func BenchmarkFig5IntraBlade(b *testing.B) {

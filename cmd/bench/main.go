@@ -1,13 +1,14 @@
 // Command bench runs the hot-path macro benchmarks (internal/hotpath) and
 // maintains the BENCH_*.json performance-trajectory files.
 //
-// Five scenarios are tracked (-scenario):
+// Six scenarios are tracked (-scenario):
 //
-//	hotpath  the 8-blade per-op cost probe           -> BENCH_hotpath.json
-//	rack     the 64-blade x 4-thread scale probe     -> BENCH_rack.json
-//	pod      the 4-rack cross-rack memory probe      -> BENCH_pod.json
-//	podpar   the 32-rack parallel-executor probe     -> BENCH_podpar.json
+//	hotpath  the 8-blade per-op cost probe            -> BENCH_hotpath.json
+//	rack     the 64-blade x 4-thread scale probe      -> BENCH_rack.json
+//	pod      the 4-rack cross-rack memory probe       -> BENCH_pod.json
+//	podpar   the 32-rack parallel-executor probe      -> BENCH_podpar.json
 //	serve    the open-loop multi-tenant serving probe -> BENCH_serve.json
+//	servepar the 16-rack sharded-serving probe        -> BENCH_servepar.json
 //
 // Each JSON report keeps two entries: "baseline" (the recorded reference
 // point) and "current" (the latest run). Every record is stamped with the
@@ -19,6 +20,7 @@
 //	go run ./cmd/bench -scenario pod     -out BENCH_pod.json
 //	go run ./cmd/bench -scenario podpar  -out BENCH_podpar.json
 //	go run ./cmd/bench -scenario serve   -out BENCH_serve.json
+//	go run ./cmd/bench -scenario servepar -out BENCH_servepar.json
 //
 // The baseline block is the trajectory anchor: it is only ever written on
 // the very first run against a file, or when -rebaseline explicitly
@@ -97,6 +99,16 @@ var descriptions = map[string]string{
 		"claim of the conservative-lookahead executor. The ratio is host-relative: " +
 		"it only exceeds 1 when the host grants the workers real cores (see the " +
 		"cpus stamp), so -check gates it only on hosts with cpus >= workers.",
+	"servepar": "Sharded-serving probe (16 racks x 8 compute blades, seed-pinned): a " +
+		"mixed Poisson/MMPP/diurnal tenant population placed across the pod by the " +
+		"pod-wide control plane — the first half of the racks are memory-poor and " +
+		"borrow blades, and two oversized tenants span racks, so cross-rack faults " +
+		"exercise the interconnect while every rack's serving shard injects its own " +
+		"arrival streams. The same run executes serially and on the windowed worker " +
+		"pool in one invocation; any simulation-output divergence fails the run " +
+		"(no speedup is reported), and parallel_speedup records the events/sec " +
+		"ratio. Host-relative like podpar: -check gates the ratio only on full-ops " +
+		"runs where the host grants the workers real cores.",
 }
 
 func fatalf(format string, args ...any) {
@@ -105,7 +117,7 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath, rack, pod, podpar or serve)")
+	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath, rack, pod, podpar, serve or servepar)")
 	ops := flag.Int("ops", 0, "total accesses across all threads (0 = scenario default)")
 	workers := flag.Int("workers", 0, "pod executor worker count for multi-rack scenarios (0 = scenario default)")
 	out := flag.String("out", "", "JSON report to update (read-modify-write; empty = print only)")
@@ -242,6 +254,14 @@ func main() {
 //     and a host with fewer CPUs than workers records the ratio without
 //     gating it: there, the ratio measures pure executor overhead and
 //     physically cannot exceed 1.
+//   - servepar: same identity-then-speedup structure as podpar, applied
+//     to the sharded serving layer, plus the serve-family structural
+//     claims — pod-wide request conservation across the rack shards, at
+//     least one tenant spanning racks, cross-rack traffic from the
+//     memory-poor racks, and QoS throttling actually engaging. The
+//     speedup gate arms under the same full-ops + enough-cores rule as
+//     podpar (threshold 2.0x: serving windows carry arrival injection
+//     on every rack, so the barrier fraction is higher than podpar's).
 func runCheck(scenario string, rep report, res hotpath.Result, fullOps bool) {
 	if scenario == "hotpath" {
 		if got := rep.Improvement.AllocsPerOpPct; got < 30 {
@@ -269,6 +289,38 @@ func runCheck(scenario string, rep report, res hotpath.Result, fullOps bool) {
 		}
 		if res.ServeP99Us <= 0 {
 			fatalf("serve scenario recorded no steady-tenant p99")
+		}
+	}
+	if scenario == "servepar" {
+		if res.ServeArrivals == 0 || res.ServeCompleted == 0 {
+			fatalf("servepar scenario produced no traffic (arrivals=%d completed=%d)", res.ServeArrivals, res.ServeCompleted)
+		}
+		if res.ServeArrivals != res.ServeCompleted+res.ServeThrottled+res.ServeDropped {
+			fatalf("servepar scenario request conservation violated across racks (%d != %d+%d+%d)",
+				res.ServeArrivals, res.ServeCompleted, res.ServeThrottled, res.ServeDropped)
+		}
+		if res.ServeThrottled == 0 {
+			fatalf("servepar scenario recorded no QoS throttles; the tenant shape drifted")
+		}
+		if res.SpannedTenants < 1 {
+			fatalf("servepar scenario placed no tenant across racks (spanned=%d); the placement shape drifted", res.SpannedTenants)
+		}
+		if res.CrossRackMsgs == 0 {
+			fatalf("servepar scenario routed no cross-rack messages; the shape drifted")
+		}
+		if res.BladeBorrows == 0 {
+			fatalf("servepar scenario borrowed no blades; the memory-poor racks drifted")
+		}
+		if res.ParallelSpeedup <= 0 {
+			fatalf("servepar scenario recorded no parallel speedup ratio")
+		}
+		if fullOps && res.ParallelSpeedup < 2.0 {
+			if runtime.NumCPU() >= res.Workers {
+				fatalf("parallel speedup %.2fx at %d workers (want >= 2.0x on a full-ops run)",
+					res.ParallelSpeedup, res.Workers)
+			}
+			fmt.Fprintf(os.Stderr, "bench[servepar]: %d CPUs for %d workers — speedup %.2fx recorded, gate skipped (needs >= %d cores)\n",
+				runtime.NumCPU(), res.Workers, res.ParallelSpeedup, res.Workers)
 		}
 	}
 	if scenario == "podpar" {

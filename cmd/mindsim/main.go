@@ -95,6 +95,8 @@ func main() {
 		serveHorizon = flag.Duration("serve-horizon", 0, "serving horizon of virtual time (0 = sized so ~3*ops arrivals land)")
 		serveRate    = flag.Float64("serve-rate", 100_000, "steady tenant arrival rate, req/s (bursty and diurnal tenants scale from it)")
 		serveQoS     = flag.Float64("serve-qos", 150_000, "contracted req/s for the bursty tenant's token bucket (0 = no throttling)")
+		serveRacks   = flag.Int("racks", 1, "serving mode: racks in the pod (tenants are placed across racks; >1 runs sharded serving)")
+		serveWorkers = flag.Int("workers", 0, "serving mode: pod executor worker count for multi-rack runs (0 or 1 = serial)")
 
 		// Online memory elasticity events (0 disables each).
 		addBladeAt = flag.Duration("add-blade-at", 0, "hot-add a memory blade at this virtual time")
@@ -150,7 +152,7 @@ func main() {
 	}
 
 	if *serveMode {
-		if err := runServeMode(w, *blades, *memBlades, cachePages, *ops, *seed,
+		if err := runServeMode(w, *serveRacks, *serveWorkers, *blades, *memBlades, cachePages, *ops, *seed,
 			*serveRate, *serveQoS, sim.Duration(serveHorizon.Nanoseconds())); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -337,15 +339,25 @@ func main() {
 }
 
 // runServeMode drives the open-loop serving layer on the flag-built
-// rack: three tenants with distinct arrival shapes share the compute
-// blades, the bursty tenant rides a QoS token bucket, and the report
-// shows per-tenant sojourn percentiles from the streaming histograms.
-func runServeMode(w workloads.Workload, blades, memBlades, cachePages, ops int, seed uint64, rate, qos float64, horizon sim.Duration) error {
-	cfg := core.DefaultConfig(blades, memBlades)
-	cfg.MemoryBladeCapacity = 1 << 32
-	cfg.CachePagesPerBlade = cachePages
-	cfg.Seed = seed
-	c, err := core.NewCluster(cfg)
+// pod: three tenants with distinct arrival shapes are placed across
+// the racks by the pod-wide control-plane policy (a tenant too big for
+// one rack's admission headroom spans racks), the bursty tenant rides
+// a QoS token bucket split proportional to its placement shares, and
+// the report shows sojourn percentiles per (tenant, home rack) share
+// from the per-rack streaming histograms.
+func runServeMode(w workloads.Workload, racks, workers, blades, memBlades, cachePages, ops int, seed uint64, rate, qos float64, horizon sim.Duration) error {
+	if racks < 1 {
+		return fmt.Errorf("-racks must be >= 1 (got %d)", racks)
+	}
+	pcfg := core.PodConfig{Workers: workers}
+	for ri := 0; ri < racks; ri++ {
+		cfg := core.DefaultConfig(blades, memBlades)
+		cfg.MemoryBladeCapacity = 1 << 32
+		cfg.CachePagesPerBlade = cachePages
+		cfg.Seed = seed
+		pcfg.Racks = append(pcfg.Racks, cfg)
+	}
+	pod, err := core.NewPod(pcfg)
 	if err != nil {
 		return err
 	}
@@ -367,59 +379,88 @@ func runServeMode(w workloads.Workload, blades, memBlades, cachePages, ops int, 
 		{Name: "burst", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: qos, Burst: 64},
 		{Name: "diurnal", Footprint: w.Footprint, Active: w.Footprint / 2, RatePerSec: rate},
 	}
-	placements, err := ctrlplane.PlaceTenants(specs, blades, 2*w.Footprint, 2)
+	placements, err := ctrlplane.PlaceTenantsPod(specs, racks, blades, 2*w.Footprint, 2)
 	if err != nil {
 		return fmt.Errorf("serve tenant placement: %w", err)
 	}
 
-	s := core.NewServing(c.Rack, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	s, err := core.NewPodServing(pod, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	if err != nil {
+		return err
+	}
 	params := workloads.Params{Threads: len(placements), Blades: blades, Seed: seed}
-	for i, pl := range placements {
-		p := c.Exec(pl.Spec.Name)
-		vma, err := p.Mmap(pl.Spec.Footprint, mem.PermReadWrite)
-		if err != nil {
-			return fmt.Errorf("serve tenant %s mmap: %w", pl.Spec.Name, err)
-		}
-		var arr core.ArrivalProcess
-		var lim *ctrlplane.TokenBucket
-		switch pl.Spec.Name {
-		case "steady":
-			arr = workloads.NewPoisson(seed, "steady", rate)
-		case "burst":
-			arr = workloads.NewMMPP(seed, "burst", quiet, burst, quietDwellS, burstDwellS)
-			if qos > 0 {
-				lim = ctrlplane.NewTokenBucket(pl.Spec.RatePerSec, pl.Spec.Burst)
+	stream := 0
+	for _, pl := range placements {
+		for si, share := range pl.Shares {
+			tag := fmt.Sprintf("%s@r%d", pl.Spec.Name, share.Rack)
+			p := pod.Rack(share.Rack).Exec(tag)
+			footprint := share.Footprint
+			if footprint < mem.PageSize {
+				footprint = mem.PageSize
 			}
-		case "diurnal":
-			arr = workloads.NewDiurnal(seed, "diurnal", rate, 0.8, 2*sim.Millisecond)
-		}
-		err = s.AddTenant(core.TenantWorkload{
-			Name:    pl.Spec.Name,
-			Proc:    p,
-			Blade:   pl.Blade,
-			Arrival: arr,
-			NextOp:  workloads.RequestStream(w, vma.Base, i, params),
-			Limiter: lim,
-		})
-		if err != nil {
-			return err
+			vma, err := p.Mmap(footprint, mem.PermReadWrite)
+			if err != nil {
+				return fmt.Errorf("serve tenant share %s mmap: %w", tag, err)
+			}
+			var arr core.ArrivalProcess
+			var lim *ctrlplane.TokenBucket
+			switch pl.Spec.Name {
+			case "steady":
+				arr = workloads.NewPoisson(seed, tag, rate*share.Share)
+			case "burst":
+				arr = workloads.NewMMPP(seed, tag, quiet*share.Share, burst*share.Share, quietDwellS, burstDwellS)
+				if qos > 0 {
+					lim = pl.Bucket(si)
+				}
+			case "diurnal":
+				arr = workloads.NewDiurnal(seed, tag, rate*share.Share, 0.8, 2*sim.Millisecond)
+			}
+			err = s.AddTenant(core.TenantWorkload{
+				Name:    pl.Spec.Name,
+				Proc:    p,
+				Blade:   share.Blade,
+				Arrival: arr,
+				NextOp:  workloads.RequestStream(w, vma.Base, stream, params),
+				Limiter: lim,
+			})
+			if err != nil {
+				return err
+			}
+			stream++
 		}
 	}
 
-	end := s.Run()
-	col := c.Collector()
-	fmt.Printf("serving          workload=%s blades=%d horizon=%.3f ms (virtual end %.3f ms)\n",
-		w.Name, blades, horizon.Seconds()*1e3, end.Sub(0).Seconds()*1e3)
+	end, err := s.Run()
+	if err != nil {
+		return err
+	}
+	col := pod.Collector()
+	fmt.Printf("serving          workload=%s racks=%d blades=%d/rack workers=%d horizon=%.3f ms (virtual end %.3f ms)\n",
+		w.Name, racks, blades, workers, horizon.Seconds()*1e3, end.Sub(0).Seconds()*1e3)
 	fmt.Printf("offered load     steady=%.0f/s burst=%.0f/s mean (QoS contract %.0f/s) diurnal=%.0f/s mean\n",
 		rate, mmppMean, qos, rate)
+	// Per-tenant percentiles split by home rack: each share's sojourn
+	// histogram lives in its rack's collector; the pod-wide totals are
+	// the commutative merge of the shards.
 	for _, pl := range placements {
 		n := pl.Spec.Name
-		lat := col.StreamHist("serve_lat[" + n + "]")
-		fmt.Printf("tenant %-9s blade=%d arrivals=%-7d completed=%-7d throttled=%-6d dropped=%-5d p50=%.1fus p99=%.1fus p999=%.1fus\n",
-			n, pl.Blade,
-			col.Counter("serve_arrivals["+n+"]"), col.Counter("serve_completed["+n+"]"),
-			col.Counter("serve_throttled["+n+"]"), col.Counter("serve_dropped["+n+"]"),
-			float64(lat.Percentile(50))/1e3, float64(lat.Percentile(99))/1e3, float64(lat.Percentile(99.9))/1e3)
+		for _, share := range pl.Shares {
+			rcol := pod.Rack(share.Rack).Collector()
+			lat := rcol.StreamHist("serve_lat[" + n + "]")
+			fmt.Printf("tenant %-9s rack=%-2d blade=%d share=%.2f arrivals=%-7d completed=%-7d throttled=%-6d dropped=%-5d p50=%.1fus p99=%.1fus p999=%.1fus\n",
+				n, share.Rack, share.Blade, share.Share,
+				rcol.Counter("serve_arrivals["+n+"]"), rcol.Counter("serve_completed["+n+"]"),
+				rcol.Counter("serve_throttled["+n+"]"), rcol.Counter("serve_dropped["+n+"]"),
+				float64(lat.Percentile(50))/1e3, float64(lat.Percentile(99))/1e3, float64(lat.Percentile(99.9))/1e3)
+		}
+		if pl.Spans() {
+			lat := col.StreamHist("serve_lat[" + n + "]")
+			fmt.Printf("tenant %-9s pod-wide (spans %d racks)      arrivals=%-7d completed=%-7d throttled=%-6d dropped=%-5d p50=%.1fus p99=%.1fus p999=%.1fus\n",
+				n, len(pl.Shares),
+				col.Counter("serve_arrivals["+n+"]"), col.Counter("serve_completed["+n+"]"),
+				col.Counter("serve_throttled["+n+"]"), col.Counter("serve_dropped["+n+"]"),
+				float64(lat.Percentile(50))/1e3, float64(lat.Percentile(99))/1e3, float64(lat.Percentile(99.9))/1e3)
+		}
 	}
 	fmt.Printf("total            arrivals=%d completed=%d throttled=%d dropped=%d\n",
 		col.Counter(stats.CtrServeArrivals), col.Counter(stats.CtrServeCompleted),

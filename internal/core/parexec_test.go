@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"mind/internal/ctrlplane"
 	"mind/internal/mem"
 	"mind/internal/sim"
 )
@@ -115,6 +116,126 @@ func TestParallelEquivalence(t *testing.T) {
 						if exec[i] != execS[i] || hash[i] != hashS[i] {
 							t.Errorf("workers=%d rack %d: executed/hash %d/%#x, serial %d/%#x",
 								workers, i, exec[i], hash[i], execS[i], hashS[i])
+						}
+					}
+					if len(snap) != len(snapS) {
+						t.Errorf("workers=%d: counter sets differ: %d vs %d", workers, len(snap), len(snapS))
+					}
+					for k, v := range snapS {
+						if snap[k] != v {
+							t.Errorf("workers=%d: counter %q = %d, serial %d", workers, k, snap[k], v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// seededGap is a randomized ArrivalProcess for the serving equivalence
+// sweep: gaps are a pure function of the per-(tenant,rack) RNG tag, so
+// serial and parallel runs replay the identical arrival stream.
+type seededGap struct {
+	rng  *sim.RNG
+	mean sim.Duration
+}
+
+func newSeededGap(tag string, mean sim.Duration) *seededGap {
+	return &seededGap{rng: sim.NewRNG(71, "equiv-serve/"+tag), mean: mean}
+}
+
+func (g *seededGap) Next(now sim.Time) sim.Duration {
+	return sim.Duration(1 + g.rng.Uint64n(uint64(2*g.mean)))
+}
+
+// equivServeRun drives one randomized multi-rack serving run — open-loop
+// arrivals on every rack, a spanning tenant whose rack-0 share lives on
+// borrowed memory, a QoS bucket in the mix — and returns the invariants:
+// finish time, per-engine dispatch-trace hashes, and the merged counter
+// snapshot.
+func equivServeRun(t *testing.T, racks, workers int, window sim.Duration) (sim.Time, []uint64, map[string]uint64) {
+	t.Helper()
+	cfgs := make([]Config, racks)
+	cfgs[0] = podRackConfig(2, 1, 1024)
+	for i := 1; i < racks; i++ {
+		cfgs[i] = podRackConfig(2, 3, 1024)
+	}
+	pod, err := NewPod(PodConfig{Racks: cfgs, Workers: workers, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < racks; i++ {
+		pod.Rack(i).Engine().EnableDispatchHash()
+	}
+	s, err := NewPodServing(pod, ServeConfig{Horizon: 300 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addShare := func(name string, rack, blade, pages int, lim *ctrlplane.TokenBucket) {
+		p := pod.Rack(rack).Exec(name)
+		vma, err := p.Mmap(uint64(pages)*mem.PageSize, mem.PermReadWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.AddTenant(TenantWorkload{
+			Name:    name,
+			Proc:    p,
+			Blade:   blade,
+			Arrival: newSeededGap(fmt.Sprintf("%s@r%d", name, rack), 5*sim.Microsecond),
+			NextOp:  roundRobinOps(vma.Base, uint64(pages)),
+			Limiter: lim,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The spanning tenant's rack-0 share lands on borrowed memory: a
+	// filler consumes the 4 MB local blade first, so the share's vma
+	// (whose pow2-rounded need fits a lender blade) goes cross-rack.
+	// Every other rack hosts a local tenant, rack 1's throttled.
+	if _, err := pod.Rack(0).Exec("filler").Mmap(900*mem.PageSize, mem.PermReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	addShare("span", 0, 0, 400, nil)
+	addShare("span", 1, 1, 64, nil)
+	for i := 1; i < racks; i++ {
+		addShare(fmt.Sprintf("solo%d", i), i, 0, 64, nil)
+	}
+	addShare("gated", 1, 0, 32, ctrlplane.NewTokenBucket(120_000, 8))
+	if pod.Rack(0).BorrowedBlades() == 0 {
+		t.Fatal("setup: rack 0 did not borrow")
+	}
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make([]uint64, racks)
+	for i := 0; i < racks; i++ {
+		hashes[i] = pod.Rack(i).Engine().DispatchHash()
+	}
+	return end, hashes, pod.Collector().Snapshot()
+}
+
+// TestParallelEquivalenceServing extends the determinism contract to the
+// sharded serving layer: with open-loop arrivals injected on every rack
+// (including a borrowed-memory spanning share and a token-bucketed
+// tenant), serial and parallel execution must produce the same finish
+// time, the same per-engine dispatch sequence, and byte-identical merged
+// statistics at every racks×window×workers point.
+func TestParallelEquivalenceServing(t *testing.T) {
+	for _, racks := range []int{2, 3} {
+		for _, window := range []sim.Duration{250 * sim.Nanosecond, 500 * sim.Nanosecond, sim.Microsecond} {
+			t.Run(fmt.Sprintf("racks=%d/window=%v", racks, window), func(t *testing.T) {
+				endS, hashS, snapS := equivServeRun(t, racks, 1, window)
+				for _, workers := range []int{2, 4, 8} {
+					end, hash, snap := equivServeRun(t, racks, workers, window)
+					if end != endS {
+						t.Errorf("workers=%d: end %v, serial %v", workers, end, endS)
+					}
+					for i := 0; i < racks; i++ {
+						if hash[i] != hashS[i] {
+							t.Errorf("workers=%d rack %d: dispatch hash %#x, serial %#x",
+								workers, i, hash[i], hashS[i])
 						}
 					}
 					if len(snap) != len(snapS) {

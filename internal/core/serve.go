@@ -20,6 +20,20 @@ import (
 // from a FIFO of admitted requests; per-tenant latency (completion
 // minus arrival, i.e. queueing + service) streams into a fixed-memory
 // stats.StreamHist.
+//
+// Sharding: a Serving spans its whole pod. All mutable serving state —
+// arrival chains, worker FIFOs, request pools, token buckets, latency
+// histograms, counters — is owned by a per-rack serveShard and touched
+// only from that rack's event context, so a multi-rack serving run
+// rides the conservative-lookahead windowed executor (parexec.go)
+// unchanged: shards execute their windows concurrently, interact only
+// through boundary-buffered interconnect messages (cross-rack faults
+// on borrowed blades), and the run's termination condition is read at
+// barriers, where every engine is parked. Per-tenant SLO accounting
+// across shards is exactly the commutative StreamHist.MergeFrom /
+// Collector.MergeFrom path: a tenant spanning racks registers one
+// share per rack under the same name, and Pod.Collector() folds the
+// shards' histograms and counters into pod-wide totals on read.
 
 // ArrivalProcess mirrors workloads.ArrivalProcess structurally: core
 // cannot import workloads (workloads imports core), so the serving
@@ -29,18 +43,28 @@ type ArrivalProcess interface {
 	Next(now sim.Time) sim.Duration
 }
 
-// TenantWorkload wires one tenant into the serving layer.
+// TenantWorkload wires one tenant (or, in a multi-rack pod, one rack's
+// share of a tenant) into the serving layer. The home rack is implied
+// by Proc: requests are served by compute blade Blade of Proc's rack.
+// A tenant spanning racks registers one TenantWorkload per rack under
+// the same Name; the per-share Arrival streams must use distinct
+// per-(tenant,rack) RNG tags so the event schedule is deterministic,
+// and the per-share Limiters carry the tenant's contracted rate split
+// by placement share (ctrlplane.PodPlacement.Bucket).
 type TenantWorkload struct {
 	// Name labels the tenant's stats (serve_lat[Name], per-tenant
-	// counters).
+	// counters). Shares of one tenant on different racks reuse the
+	// Name; Pod.Collector() merges them into pod-wide totals.
 	Name string
-	// Proc is the tenant's process (owns its protection domain).
+	// Proc is the tenant's process (owns its protection domain) and
+	// pins the share to Proc's rack.
 	Proc *Process
-	// Blade is the compute blade serving this tenant's requests.
+	// Blade is the compute blade (within Proc's rack) serving this
+	// share's requests.
 	Blade int
-	// Arrival generates the tenant's open-loop inter-arrival gaps.
+	// Arrival generates the share's open-loop inter-arrival gaps.
 	Arrival ArrivalProcess
-	// NextOp yields the tenant's next (va, write) op — an endless
+	// NextOp yields the share's next (va, write) op — an endless
 	// stream (workloads.RequestStream).
 	NextOp func() (mem.VA, bool)
 	// Limiter, when non-nil, gates admission (QoS throttling): an
@@ -69,9 +93,9 @@ type serveReq struct {
 	next    *serveReq
 }
 
-// serveTenant is the runtime state behind one TenantWorkload.
+// serveTenant is the runtime state behind one TenantWorkload share.
 type serveTenant struct {
-	s    *Serving
+	s    *serveShard
 	spec TenantWorkload
 	pdid mem.PDID
 
@@ -88,7 +112,7 @@ type serveTenant struct {
 
 // serveWorker drains one blade's FIFO, one request at a time.
 type serveWorker struct {
-	s     *Serving
+	s     *serveShard
 	blade int
 
 	head, tail *serveReq
@@ -109,14 +133,15 @@ func serveWorkerStep(x any) { x.(*serveWorker).step() }
 func serveIssue(x any)      { x.(*serveWorker).issue() }
 func serveComplete(x any)   { x.(*serveWorker).complete() }
 
-// Serving runs open-loop tenants over one rack. It requires a 1-rack
-// pod: serving shares the rack's engine and collector directly, and
-// per-tenant SLO accounting across rack shards is exactly the merge
-// path the streaming histograms exist for — but the arrival chains
-// themselves are rack-local state.
-type Serving struct {
-	c   *Rack
-	cfg ServeConfig
+// serveShard owns one rack's slice of a serving run. Every field is
+// mutated only from its rack's event context (or, for multi-rack pods,
+// read at window barriers where all engines are parked), which is the
+// whole determinism argument: a shard's window contents are fixed by
+// its own event schedule regardless of how many OS threads execute the
+// windows.
+type serveShard struct {
+	sv *Serving
+	c  *Rack
 
 	tenants []*serveTenant
 	workers []*serveWorker
@@ -127,85 +152,167 @@ type Serving struct {
 	hThrottled stats.Handle
 	hDropped   stats.Handle
 
-	// liveArrivals counts tenants whose arrival chain has not passed
-	// its deadline; pending counts admitted-but-incomplete requests.
+	// liveArrivals counts tenant shares whose arrival chain has not
+	// passed its deadline; pending counts admitted-but-incomplete
+	// requests. lastFinish is the virtual time of the shard's most
+	// recent completion or chain close — the pod-wide maximum is the
+	// run's finish time.
 	liveArrivals int
 	pending      int
+	lastFinish   sim.Time
 }
 
-// NewServing attaches a serving layer to a rack.
-func NewServing(c *Rack, cfg ServeConfig) *Serving {
-	if c.pod.multiRack {
-		panic("core: serving requires a 1-rack pod")
+// outstanding reports the shard's open work. Barrier/rack context only.
+func (sh *serveShard) outstanding() int { return sh.liveArrivals + sh.pending }
+
+// Serving runs open-loop tenants over a pod: one serving shard per
+// rack, executing inside the pod's lockstep windows. A 1-rack pod
+// degenerates to the classic single-engine injector, bit-identical to
+// the pre-shard serving layer.
+type Serving struct {
+	p   *Pod
+	cfg ServeConfig
+
+	// shards is index-aligned with the pod's racks.
+	shards []*serveShard
+
+	tenants int // total registered shares, across all shards
+}
+
+// NewServing attaches a serving layer to the pod that owns rack c —
+// the compatibility form of NewPodServing for single-rack callers.
+func NewServing(c *Rack, cfg ServeConfig) (*Serving, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: serving needs a rack")
+	}
+	return NewPodServing(c.pod, cfg)
+}
+
+// NewPodServing attaches a serving layer to a pod: one shard per rack,
+// one serve worker per compute blade. Invalid configurations are
+// reported as errors, never panics.
+func NewPodServing(p *Pod, cfg ServeConfig) (*Serving, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: serving needs a pod")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("core: serving horizon must be positive (got %v)", cfg.Horizon)
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 4096
 	}
-	s := &Serving{
-		c:          c,
-		cfg:        cfg,
-		hArrivals:  c.col.Handle(stats.CtrServeArrivals),
-		hCompleted: c.col.Handle(stats.CtrServeCompleted),
-		hThrottled: c.col.Handle(stats.CtrServeThrottled),
-		hDropped:   c.col.Handle(stats.CtrServeDropped),
-	}
-	for i := range c.cblades {
-		w := &serveWorker{s: s, blade: i}
-		w.accessDone = func(accessResultAlias) {
-			c.eng.ScheduleArg(0, serveComplete, w)
+	s := &Serving{p: p, cfg: cfg}
+	for _, c := range p.racks {
+		if len(c.cblades) == 0 {
+			return nil, fmt.Errorf("core: serving rack %d has no compute blades", c.idx)
 		}
-		s.workers = append(s.workers, w)
+		sh := &serveShard{
+			sv:         s,
+			c:          c,
+			hArrivals:  c.col.Handle(stats.CtrServeArrivals),
+			hCompleted: c.col.Handle(stats.CtrServeCompleted),
+			hThrottled: c.col.Handle(stats.CtrServeThrottled),
+			hDropped:   c.col.Handle(stats.CtrServeDropped),
+		}
+		eng := c.eng
+		for i := range c.cblades {
+			w := &serveWorker{s: sh, blade: i}
+			w.accessDone = func(accessResultAlias) {
+				eng.ScheduleArg(0, serveComplete, w)
+			}
+			sh.workers = append(sh.workers, w)
+		}
+		s.shards = append(s.shards, sh)
 	}
-	return s
+	return s, nil
 }
 
-// AddTenant registers a tenant. Must be called before Run.
+// AddTenant registers a tenant share on its process's rack. Must be
+// called before Run.
 func (s *Serving) AddTenant(t TenantWorkload) error {
-	if t.Blade < 0 || t.Blade >= len(s.c.cblades) {
-		return fmt.Errorf("core: serving tenant %s: no compute blade %d", t.Name, t.Blade)
-	}
 	if t.Arrival == nil || t.NextOp == nil || t.Proc == nil {
 		return fmt.Errorf("core: serving tenant %s: missing arrival/ops/process", t.Name)
 	}
+	sh := s.shards[t.Proc.Rack().idx]
+	if t.Blade < 0 || t.Blade >= len(sh.c.cblades) {
+		return fmt.Errorf("core: serving tenant %s: no compute blade %d on rack %d", t.Name, t.Blade, sh.c.idx)
+	}
 	st := &serveTenant{
-		s:          s,
+		s:          sh,
 		spec:       t,
 		pdid:       t.Proc.PID(),
-		lat:        s.c.col.StreamHist("serve_lat[" + t.Name + "]"),
-		hArrivals:  s.c.col.Handle("serve_arrivals[" + t.Name + "]"),
-		hCompleted: s.c.col.Handle("serve_completed[" + t.Name + "]"),
-		hThrottled: s.c.col.Handle("serve_throttled[" + t.Name + "]"),
-		hDropped:   s.c.col.Handle("serve_dropped[" + t.Name + "]"),
+		lat:        sh.c.col.StreamHist("serve_lat[" + t.Name + "]"),
+		hArrivals:  sh.c.col.Handle("serve_arrivals[" + t.Name + "]"),
+		hCompleted: sh.c.col.Handle("serve_completed[" + t.Name + "]"),
+		hThrottled: sh.c.col.Handle("serve_throttled[" + t.Name + "]"),
+		hDropped:   sh.c.col.Handle("serve_dropped[" + t.Name + "]"),
 	}
-	s.tenants = append(s.tenants, st)
+	sh.tenants = append(sh.tenants, st)
+	s.tenants++
 	return nil
 }
 
-// Run schedules each tenant's first arrival, drives the engine until
-// every arrival chain has passed the horizon and every admitted
-// request has completed, then stops the rack's epoch loops and drains
-// remaining events. It returns the virtual time the last request
-// finished.
-func (s *Serving) Run() sim.Time {
-	if len(s.tenants) == 0 {
-		return s.c.eng.Now()
+// Run schedules each tenant share's first arrival on its home shard,
+// drives the pod until every arrival chain has passed the horizon and
+// every admitted request has completed, then stops the epoch loops and
+// drains remaining events. It returns the virtual time the last
+// request finished.
+//
+// A 1-rack pod steps its single shared engine directly — the classic
+// serial injector. A multi-rack pod rides the windowed executor:
+// shards run their windows (concurrently, when the pod has workers),
+// and the termination condition — every shard's outstanding count zero
+// — is evaluated only at window barriers, where all engines are parked
+// and the happens-before edges of the worker pool make the counter
+// reads safe and deterministic.
+func (s *Serving) Run() (sim.Time, error) {
+	if s.tenants == 0 {
+		return s.p.Now(), fmt.Errorf("core: serving run with no tenants")
 	}
-	start := s.c.eng.Now()
-	for _, st := range s.tenants {
-		st.deadline = start.Add(s.cfg.Horizon)
-		s.liveArrivals++
-		s.c.eng.ScheduleArg(st.spec.Arrival.Next(start), serveArrival, st)
-	}
-	for s.liveArrivals > 0 || s.pending > 0 {
-		if !s.c.eng.Step() {
-			panic("core: serving pending but no events (wedged)")
+	start := s.p.Now()
+	for _, sh := range s.shards {
+		for _, st := range sh.tenants {
+			st.deadline = start.Add(s.cfg.Horizon)
+			sh.liveArrivals++
+			sh.c.eng.ScheduleArg(st.spec.Arrival.Next(start), serveArrival, st)
 		}
 	}
-	finishedAt := s.c.eng.Now()
-	s.c.StopEpochs()
-	s.c.pod.StopPromotionEpochs()
-	s.c.eng.Run()
-	return finishedAt
+
+	if !s.p.multiRack {
+		sh := s.shards[0]
+		for sh.outstanding() > 0 {
+			if !sh.c.eng.Step() {
+				return 0, fmt.Errorf("core: serving pending but no events (wedged)")
+			}
+		}
+		finishedAt := sh.c.eng.Now()
+		sh.c.StopEpochs()
+		s.p.StopPromotionEpochs()
+		sh.c.eng.Run()
+		return finishedAt, nil
+	}
+
+	x := s.p.exec
+	x.drive(true, 0, func() bool {
+		for _, sh := range s.shards {
+			if sh.outstanding() > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	finishedAt := sim.Time(0)
+	for _, sh := range s.shards {
+		if sh.lastFinish > finishedAt {
+			finishedAt = sh.lastFinish
+		}
+	}
+	for _, r := range s.p.racks {
+		r.StopEpochs()
+	}
+	s.p.StopPromotionEpochs()
+	x.drive(true, 0, x.idle)
+	return finishedAt, nil
 }
 
 // arrive processes one arrival: chain the next arrival first (the
@@ -221,6 +328,9 @@ func (st *serveTenant) arrive() {
 		s.c.eng.ScheduleArg(sim.Duration(next-now), serveArrival, st)
 	} else {
 		s.liveArrivals--
+		if now > s.lastFinish {
+			s.lastFinish = now
+		}
 	}
 
 	s.c.col.IncH(s.hArrivals, 1)
@@ -236,7 +346,7 @@ func (st *serveTenant) arrive() {
 	}
 
 	w := s.workers[st.spec.Blade]
-	if w.qlen >= s.cfg.QueueCap {
+	if w.qlen >= s.sv.cfg.QueueCap {
 		s.c.col.IncH(s.hDropped, 1)
 		s.c.col.IncH(st.hDropped, 1)
 		return
@@ -291,7 +401,11 @@ func (w *serveWorker) step() {
 	w.s.c.eng.ScheduleArg(local, serveIssue, w)
 }
 
-// issue starts the blocking fault for the request in service.
+// issue starts the blocking fault for the request in service. On a
+// memory-poor rack the faulted page may live on a borrowed blade: the
+// fetch round trip then crosses the pod interconnect (memRound), which
+// is how a serving shard exercises cross-rack traffic without ever
+// touching another shard's state directly.
 func (w *serveWorker) issue() {
 	req := w.cur
 	blade := w.s.c.cblades[w.blade]
@@ -311,10 +425,14 @@ func (w *serveWorker) complete() {
 	w.cur = nil
 	st := req.tenant
 
-	st.lat.Observe(int64(s.c.eng.Now() - req.arrival))
+	now := s.c.eng.Now()
+	st.lat.Observe(int64(now - req.arrival))
 	s.c.col.IncH(s.hCompleted, 1)
 	s.c.col.IncH(st.hCompleted, 1)
 	s.pending--
+	if now > s.lastFinish {
+		s.lastFinish = now
+	}
 
 	req.tenant = nil
 	s.reqFree.Put(req)

@@ -1,6 +1,7 @@
 package ctrlplane
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -116,5 +117,104 @@ func TestTokenBucketBurst(t *testing.T) {
 	}
 	if b.Take(sim.Time(100 * sim.Millisecond)) {
 		t.Error("second take at same instant admitted")
+	}
+}
+
+func TestPlaceTenantsPodWholeAndSplit(t *testing.T) {
+	tenants := []TenantSpec{
+		{Name: "a", Footprint: 100, Active: 30, RatePerSec: 1000, Burst: 40},
+		{Name: "b", Footprint: 100, Active: 30},
+		{Name: "big", Footprint: 240, Active: 120, RatePerSec: 3000, Burst: 60},
+	}
+	ps, err := PlaceTenantsPod(tenants, 2, 2, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a → rack 0 (tie, lowest index), b → rack 1 (empty), big (120 active
+	// vs 70 headroom per rack) must span both racks.
+	if ps[0].Spans() || ps[0].Shares[0].Rack != 0 {
+		t.Errorf("a placed %+v, want whole on rack 0", ps[0].Shares)
+	}
+	if ps[1].Spans() || ps[1].Shares[0].Rack != 1 {
+		t.Errorf("b placed %+v, want whole on rack 1", ps[1].Shares)
+	}
+	if !ps[2].Spans() {
+		t.Fatalf("big placed %+v, want a spanning placement", ps[2].Shares)
+	}
+	// Split shares conserve the tenant's totals and sum to share 1.
+	var active, foot uint64
+	var share float64
+	for _, sh := range ps[2].Shares {
+		active += sh.Active
+		foot += sh.Footprint
+		share += sh.Share
+	}
+	if active != 120 || foot != 240 {
+		t.Errorf("split conserves active/footprint: got %d/%d, want 120/240", active, foot)
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("shares sum to %v, want 1", share)
+	}
+	// The split bucket rates sum to the contract.
+	var rate float64
+	for i := range ps[2].Shares {
+		b := ps[2].Bucket(i)
+		rate += b.rate
+	}
+	if rate < 2999 || rate > 3001 {
+		t.Errorf("split bucket rates sum to %v, want 3000", rate)
+	}
+}
+
+func TestPlaceTenantsPodGates(t *testing.T) {
+	// Pod-wide hot-set exhaustion: 2 racks × 100 active capacity cannot
+	// admit 250 active bytes.
+	_, err := PlaceTenantsPod([]TenantSpec{
+		{Name: "huge", Footprint: 250, Active: 250},
+	}, 2, 1, 100, 4)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("want pod rejection, got %v", err)
+	}
+	// Footprint overcommit gate binds per rack even with active headroom.
+	_, err = PlaceTenantsPod([]TenantSpec{
+		{Name: "thin", Footprint: 500, Active: 10},
+	}, 2, 1, 100, 2) // limit 200/rack, 400 pod-wide < 500
+	if err == nil {
+		t.Error("want footprint rejection, got nil")
+	}
+	// Degenerate shapes error out rather than panic.
+	if _, err := PlaceTenantsPod(nil, 0, 1, 100, 2); err == nil {
+		t.Error("zero racks must error")
+	}
+	if _, err := PlaceTenantsPod(nil, 1, 0, 100, 2); err == nil {
+		t.Error("zero blades must error")
+	}
+}
+
+func TestPlaceTenantsPodDeterministic(t *testing.T) {
+	tenants := []TenantSpec{
+		{Name: "a", Footprint: 90, Active: 45},
+		{Name: "b", Footprint: 80, Active: 40},
+		{Name: "big", Footprint: 240, Active: 120},
+		{Name: "c", Footprint: 60, Active: 30},
+	}
+	run := func() string {
+		ps, err := PlaceTenantsPod(tenants, 3, 2, 100, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ""
+		for _, p := range ps {
+			for _, sh := range p.Shares {
+				s += fmt.Sprintf("%s:r%db%d:%d/%d;", p.Spec.Name, sh.Rack, sh.Blade, sh.Active, sh.Footprint)
+			}
+		}
+		return s
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("placement not deterministic:\n%s\nvs\n%s", got, first)
+		}
 	}
 }

@@ -120,6 +120,10 @@ func TestDumpAllPanels(t *testing.T) {
 		f, err := FigServe(s)
 		one("figserve", f, err)
 	}
+	{
+		f, err := FigServePod(s)
+		one("figservepod", f, err)
+	}
 
 	sort.Strings(lines)
 	data := ""

@@ -95,7 +95,10 @@ func (p figServeParams) spec(mult int, qos bool) prun.Spec {
 			if err != nil {
 				return nil, fmt.Errorf("figserve placement: %w", err)
 			}
-			s := core.NewServing(c.Rack, core.ServeConfig{Horizon: p.horizon, QueueCap: 1 << 20})
+			s, err := core.NewServing(c.Rack, core.ServeConfig{Horizon: p.horizon, QueueCap: 1 << 20})
+			if err != nil {
+				return nil, err
+			}
 			params := workloads.Params{Threads: len(placements), Blades: 1, Seed: p.seed}
 			for i, pl := range placements {
 				proc := c.Exec(pl.Spec.Name)
@@ -123,7 +126,10 @@ func (p figServeParams) spec(mult int, qos bool) prun.Spec {
 					return nil, err
 				}
 			}
-			end := s.Run()
+			end, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
 			col := c.Collector()
 			return figServeResult{
 				CompliantP99US: float64(col.StreamHist("serve_lat[compliant]").Percentile(99)) / 1e3,

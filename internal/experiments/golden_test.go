@@ -60,9 +60,11 @@ func hashFigMap(h interface{ Write(p []byte) (int, error) }, figs map[string]*Fi
 // invalidation path (Fig5 center), allocation studies (Fig8 center),
 // the elasticity timeline with its membership events and migration
 // scheduling (Fig10), the pod panel with cross-rack borrowing and
-// hot-page promotion (FigPod), and the open-loop serving sweep with
-// its arrival chains and QoS admission (FigServe) — with the given
-// worker setting, on a fresh cache so every run really executes.
+// hot-page promotion (FigPod), the open-loop serving sweep with
+// its arrival chains and QoS admission (FigServe), and the sharded
+// multi-rack serving sweep with its pod-wide placement and per-rack
+// arrival shards (FigServePod) — with the given worker setting, on a
+// fresh cache so every run really executes.
 func goldenFingerprint(t *testing.T, workers int) string {
 	t.Helper()
 	s := goldenScale
@@ -115,6 +117,12 @@ func goldenFingerprint(t *testing.T, workers int) string {
 		t.Fatal(err)
 	}
 	hashFig(h, figServe)
+
+	figServePod, err := FigServePod(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashFig(h, figServePod)
 
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -25,6 +25,14 @@
 //     runs must produce identical simulation outputs (the determinism
 //     contract), and the recorded ParallelSpeedup pins the scaling of
 //     the windowed executor.
+//   - "servepar" (BENCH_servepar.json): the sharded-serving probe — a
+//     16-rack pod serving a mixed Poisson/MMPP/diurnal tenant population
+//     placed across racks by the pod-wide control-plane policy (two
+//     tenants too big for any single rack span racks), with the first
+//     half of the racks memory-poor so their serving faults cross the
+//     interconnect. Run twice like podpar (serial, then the worker
+//     pool); any simulation-output divergence fails the run instead of
+//     reporting a speedup.
 package hotpath
 
 import (
@@ -168,6 +176,32 @@ func ServeScenario() Config {
 	}
 }
 
+// ServeParScenario is the tracked sharded-serving configuration
+// (BENCH_servepar.json): a 16-rack pod, 8 compute blades per rack,
+// serving 26 open-loop tenants — a per-class mix of steady Poisson,
+// MMPP burst (QoS-throttled), and diurnal arrival processes, plus two
+// "span" tenants whose hot sets exceed any single rack's admission
+// headroom and are split across racks by the pod placement policy.
+// The first half of the racks are memory-poor and borrow blades, so
+// serving faults exercise the interconnect. Run executes the scenario
+// twice — serially, then on the worker pool — verifies the two
+// simulations are bit-identical, and records the events/sec speedup.
+func ServeParScenario() Config {
+	return Config{
+		Scenario:      "servepar",
+		Racks:         16,
+		ComputeBlades: 8,
+		MemoryBlades:  0, // shaped per rack (see runServePod)
+		Threads:       26,
+		TotalOps:      1_024_000,
+		Seed:          1021,
+		Workload:      "MA",
+		WorkloadScale: 1,
+		CacheFrac:     0.25,
+		Workers:       4,
+	}
+}
+
 // Scenario returns the tracked configuration with the given name.
 func Scenario(name string) (Config, error) {
 	switch name {
@@ -181,8 +215,10 @@ func Scenario(name string) (Config, error) {
 		return PodParScenario(), nil
 	case "serve":
 		return ServeScenario(), nil
+	case "servepar":
+		return ServeParScenario(), nil
 	}
-	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack, pod, podpar or serve)", name)
+	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack, pod, podpar, serve or servepar)", name)
 }
 
 // Result is one measured macro run.
@@ -213,15 +249,17 @@ type Result struct {
 	BaseEventsPerSec float64 `json:"base_events_per_sec,omitempty"`
 	ParallelSpeedup  float64 `json:"parallel_speedup,omitempty"`
 
-	// Serving-scenario outputs (serve scenario only): open-loop
-	// arrival accounting and the steady (compliant) tenant's p99
-	// sojourn time — all deterministic, so they double as identity
-	// checks across revisions.
+	// Serving-scenario outputs (serve family only): open-loop arrival
+	// accounting and the steady (compliant) tenant's p99 sojourn time
+	// — all deterministic, so they double as identity checks across
+	// revisions. SpannedTenants counts tenants the pod placement split
+	// across racks (servepar only).
 	ServeArrivals  uint64  `json:"serve_arrivals,omitempty"`
 	ServeCompleted uint64  `json:"serve_completed,omitempty"`
 	ServeThrottled uint64  `json:"serve_throttled,omitempty"`
 	ServeDropped   uint64  `json:"serve_dropped,omitempty"`
 	ServeP99Us     float64 `json:"serve_p99_us,omitempty"`
+	SpannedTenants int     `json:"spanned_tenants,omitempty"`
 
 	// Host-side cost per simulated access.
 	NsPerOp      float64 `json:"ns_per_op"`
@@ -245,6 +283,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Scenario == "serve" {
 		return runServe(cfg)
+	}
+	if cfg.Scenario == "servepar" {
+		return runServePar(cfg)
 	}
 	if cfg.Racks > 1 {
 		return runPod(cfg)
@@ -373,7 +414,10 @@ func runServe(cfg Config) (Result, error) {
 	}
 
 	horizon := sim.Duration(float64(cfg.TotalOps) / serveMeanRate() * float64(sim.Second))
-	s := core.NewServing(c.Rack, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	s, err := core.NewServing(c.Rack, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	if err != nil {
+		return Result{}, err
+	}
 	params := workloads.Params{Threads: len(placements), Blades: cfg.ComputeBlades, Seed: cfg.Seed}
 	for i, pl := range placements {
 		p := c.Exec(pl.Spec.Name)
@@ -412,7 +456,10 @@ func runServe(cfg Config) (Result, error) {
 	events0 := c.Engine().Executed
 	start := time.Now()
 
-	end := s.Run()
+	end, err := s.Run()
+	if err != nil {
+		return Result{}, err
+	}
 
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
@@ -434,6 +481,7 @@ func runServe(cfg Config) (Result, error) {
 		Events:         events,
 		RemoteRate:     col.PerAccess(stats.CtrRemoteAccesses),
 		VirtualEndS:    end.Sub(0).Seconds(),
+		Racks:          1,
 		ServeArrivals:  col.Counter(stats.CtrServeArrivals),
 		ServeCompleted: col.Counter(stats.CtrServeCompleted),
 		ServeThrottled: col.Counter(stats.CtrServeThrottled),
@@ -444,6 +492,259 @@ func runServe(cfg Config) (Result, error) {
 		BytesPerOp:     float64(bytes) / float64(ops),
 		EventsPerSec:   float64(events) / wall.Seconds(),
 	}, nil
+}
+
+// Servepar traffic shape: per-class arrival rates (requests/sec) and
+// the contracted QoS rates the per-share token buckets enforce. The
+// MMPP class's burst mean (~321k/s) far exceeds its 150k contract, so
+// throttling is exercised on every run; the span tenants are heavy
+// steady tenants whose hot sets exceed a rack's admission headroom.
+const (
+	sparSteadyRate   = 100_000
+	sparQuietRate    = 50_000
+	sparBurstRate    = 1_000_000
+	sparQuietDwellS  = 50e-6
+	sparBurstDwellS  = 20e-6
+	sparDiurnalRate  = 100_000
+	sparDiurnalSwing = 0.8
+	sparSpanRate     = 300_000
+	sparClassLimit   = 150_000 // steady/burst/diurnal contracted rate
+	sparSpanLimit    = 450_000 // span tenants' contracted rate
+	sparBucketDepth  = 64
+)
+
+// sparMeanRate returns the aggregate mean arrival rate of the servepar
+// tenant population, used to derive the horizon from TotalOps.
+func sparMeanRate(normals, spans int) float64 {
+	mmppMean := (sparQuietRate*sparQuietDwellS + sparBurstRate*sparBurstDwellS) /
+		(sparQuietDwellS + sparBurstDwellS)
+	perClass := float64(normals / 3)
+	rem := normals % 3 // extra tenants go to the earlier classes
+	steady := perClass
+	mmpp := perClass
+	if rem > 0 {
+		steady++
+	}
+	if rem > 1 {
+		mmpp++
+	}
+	return steady*sparSteadyRate + mmpp*mmppMean +
+		perClass*sparDiurnalRate + float64(spans)*sparSpanRate
+}
+
+// runServePod executes the sharded-serving scenario once at the given
+// worker count: tenants are placed across the pod by the control-plane
+// pod policy (PlaceTenantsPod), each rack share gets its own
+// deterministic per-(tenant,rack) arrival stream and its proportional
+// slice of the tenant's QoS bucket, and the whole run rides the
+// windowed executor.
+func runServePod(cfg Config) (Result, error) {
+	racks := cfg.Racks
+	if racks < 2 {
+		return Result{}, fmt.Errorf("hotpath: servepar needs a multi-rack pod (got %d racks)", racks)
+	}
+	w := workloads.MemcachedA(cfg.WorkloadScale)
+	pcfg := core.PodConfig{Workers: cfg.Workers}
+	for ri := 0; ri < racks; ri++ {
+		rc := core.DefaultConfig(cfg.ComputeBlades, 1)
+		if ri < racks/2 {
+			rc.MemoryBlades, rc.MemoryBladeCapacity = 1, podBorrowerCap
+		} else {
+			rc.MemoryBlades, rc.MemoryBladeCapacity = 3, podLenderCap
+		}
+		rc.CachePagesPerBlade = int(float64(w.Footprint/mem.PageSize) * cfg.CacheFrac)
+		pcfg.Racks = append(pcfg.Racks, rc)
+	}
+	pod, err := core.NewPod(pcfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Tenant population: 3 normal tenants per 2 racks, mixed across the
+	// three arrival classes, plus two span tenants whose hot sets
+	// (3x footprint) exceed the per-rack admission capacity (2x) and
+	// must be split across racks.
+	normals := racks * 3 / 2
+	spans := 2
+	capacityPerRack := 2 * w.Footprint
+	specs := make([]ctrlplane.TenantSpec, 0, normals+spans)
+	for i := 0; i < normals; i++ {
+		var name string
+		switch i % 3 {
+		case 0:
+			name = fmt.Sprintf("steady%d", i/3)
+		case 1:
+			name = fmt.Sprintf("burst%d", i/3)
+		default:
+			name = fmt.Sprintf("diurnal%d", i/3)
+		}
+		specs = append(specs, ctrlplane.TenantSpec{
+			Name: name, Footprint: w.Footprint, Active: w.Footprint / 2,
+			RatePerSec: sparClassLimit, Burst: sparBucketDepth,
+		})
+	}
+	for i := 0; i < spans; i++ {
+		specs = append(specs, ctrlplane.TenantSpec{
+			Name: fmt.Sprintf("span%d", i), Footprint: 3 * w.Footprint, Active: 3 * w.Footprint,
+			RatePerSec: sparSpanLimit, Burst: sparBucketDepth,
+		})
+	}
+	placements, err := ctrlplane.PlaceTenantsPod(specs, racks, cfg.ComputeBlades, capacityPerRack, 2)
+	if err != nil {
+		return Result{}, fmt.Errorf("hotpath: servepar placement: %w", err)
+	}
+	spanned := 0
+	for _, pl := range placements {
+		if pl.Spans() {
+			spanned++
+		}
+	}
+	if spanned == 0 {
+		return Result{}, fmt.Errorf("hotpath: servepar placed no cross-rack tenants (shape drifted)")
+	}
+
+	horizon := sim.Duration(float64(cfg.TotalOps) / sparMeanRate(normals, spans) * float64(sim.Second))
+	s, err := core.NewPodServing(pod, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	if err != nil {
+		return Result{}, err
+	}
+	params := workloads.Params{Threads: len(specs), Blades: cfg.ComputeBlades, Seed: cfg.Seed}
+	stream := 0
+	for ti, pl := range placements {
+		for si, share := range pl.Shares {
+			// One process, vma and arrival chain per (tenant, rack)
+			// share; the arrival RNG tag carries the rack so serial and
+			// parallel execution draw identical per-shard streams.
+			tag := fmt.Sprintf("%s@r%d", pl.Spec.Name, share.Rack)
+			p := pod.Rack(share.Rack).Exec(tag)
+			footprint := share.Footprint
+			if footprint < mem.PageSize {
+				footprint = mem.PageSize
+			}
+			vma, err := p.Mmap(footprint, mem.PermReadWrite)
+			if err != nil {
+				return Result{}, fmt.Errorf("hotpath: servepar share %s mmap: %w", tag, err)
+			}
+			var arr core.ArrivalProcess
+			switch {
+			case ti >= normals: // span tenants: heavy steady Poisson
+				arr = workloads.NewPoisson(cfg.Seed, tag, sparSpanRate*share.Share)
+			case ti%3 == 0:
+				arr = workloads.NewPoisson(cfg.Seed, tag, sparSteadyRate*share.Share)
+			case ti%3 == 1:
+				arr = workloads.NewMMPP(cfg.Seed, tag,
+					sparQuietRate*share.Share, sparBurstRate*share.Share,
+					sparQuietDwellS, sparBurstDwellS)
+			default:
+				arr = workloads.NewDiurnal(cfg.Seed, tag,
+					sparDiurnalRate*share.Share, sparDiurnalSwing, 2*sim.Millisecond)
+			}
+			err = s.AddTenant(core.TenantWorkload{
+				Name:    pl.Spec.Name,
+				Proc:    p,
+				Blade:   share.Blade,
+				Arrival: arr,
+				NextOp:  workloads.RequestStream(w, vma.Base, stream, params),
+				Limiter: pl.Bucket(si),
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			stream++
+		}
+	}
+	borrowed := 0
+	for ri := 0; ri < racks; ri++ {
+		borrowed += pod.Rack(ri).BorrowedBlades()
+	}
+	if borrowed == 0 {
+		return Result{}, fmt.Errorf("hotpath: servepar borrowed no blades (shape drifted)")
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	events0 := pod.ExecutedEvents()
+	start := time.Now()
+
+	end, err := s.Run()
+	if err != nil {
+		return Result{}, err
+	}
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	col := pod.Collector()
+	ops := col.Counter(stats.CtrAccesses)
+	if ops == 0 {
+		return Result{}, fmt.Errorf("hotpath: servepar run performed no accesses")
+	}
+	events := pod.ExecutedEvents() - events0
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	return Result{
+		Scenario:       cfg.Scenario,
+		Workload:       fmt.Sprintf("open-loop MA x%d tenant shares over %d racks (servepar)", stream, racks),
+		Blades:         racks * cfg.ComputeBlades,
+		Threads:        stream,
+		Ops:            ops,
+		Events:         events,
+		RemoteRate:     col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:    end.Sub(0).Seconds(),
+		Racks:          racks,
+		CrossRackMsgs:  col.Counter(stats.CtrCrossRackMsgs),
+		BladeBorrows:   col.Counter(stats.CtrBladeBorrows),
+		Workers:        cfg.Workers,
+		ServeArrivals:  col.Counter(stats.CtrServeArrivals),
+		ServeCompleted: col.Counter(stats.CtrServeCompleted),
+		ServeThrottled: col.Counter(stats.CtrServeThrottled),
+		ServeDropped:   col.Counter(stats.CtrServeDropped),
+		ServeP99Us:     float64(col.StreamHist("serve_lat[steady0]").Percentile(99)) / 1e3,
+		SpannedTenants: spanned,
+		NsPerOp:        float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:    float64(allocs) / float64(ops),
+		BytesPerOp:     float64(bytes) / float64(ops),
+		EventsPerSec:   float64(events) / wall.Seconds(),
+	}, nil
+}
+
+// runServePar measures the sharded serving layer under the parallel
+// executor: the same pod serving simulation once with 1 worker and
+// once with the configured pool, in that order. The two runs must
+// agree on every simulation output — any divergence fails the run, so
+// a speedup is never reported for a simulation that changed — and the
+// result records the parallel run's costs plus the events/sec speedup
+// over the serial baseline.
+func runServePar(cfg Config) (Result, error) {
+	serial := cfg
+	serial.Workers = 1
+	base, err := runServePod(serial)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Workers < 2 {
+		cfg.Workers = 4
+	}
+	res, err := runServePod(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if res.Ops != base.Ops || res.Events != base.Events ||
+		res.VirtualEndS != base.VirtualEndS || res.RemoteRate != base.RemoteRate ||
+		res.CrossRackMsgs != base.CrossRackMsgs || res.BladeBorrows != base.BladeBorrows ||
+		res.ServeArrivals != base.ServeArrivals || res.ServeCompleted != base.ServeCompleted ||
+		res.ServeThrottled != base.ServeThrottled || res.ServeDropped != base.ServeDropped ||
+		res.ServeP99Us != base.ServeP99Us {
+		return Result{}, fmt.Errorf(
+			"hotpath: parallel serving run diverged from serial baseline:\n  1 worker:  ops=%d events=%d end=%v arrivals=%d completed=%d throttled=%d dropped=%d p99us=%v cross=%d borrows=%d\n  %d workers: ops=%d events=%d end=%v arrivals=%d completed=%d throttled=%d dropped=%d p99us=%v cross=%d borrows=%d",
+			base.Ops, base.Events, base.VirtualEndS, base.ServeArrivals, base.ServeCompleted, base.ServeThrottled, base.ServeDropped, base.ServeP99Us, base.CrossRackMsgs, base.BladeBorrows,
+			cfg.Workers, res.Ops, res.Events, res.VirtualEndS, res.ServeArrivals, res.ServeCompleted, res.ServeThrottled, res.ServeDropped, res.ServeP99Us, res.CrossRackMsgs, res.BladeBorrows)
+	}
+	res.Scenario = cfg.Scenario
+	res.BaseEventsPerSec = base.EventsPerSec
+	res.ParallelSpeedup = res.EventsPerSec / base.EventsPerSec
+	return res, nil
 }
 
 // podBorrowerCap and podLenderCap shape the pod scenario's memory tiers:

@@ -136,6 +136,54 @@ func TestStreamHistMergeCommutes(t *testing.T) {
 	}
 }
 
+// TestStreamHistMergeTreeEquivalence is the sharded-serving contract:
+// observations scattered across N shards and merged back through an
+// arbitrary merge tree (random shard count, random sample assignment,
+// random pairwise reduction order) must equal the histogram that
+// observed the single combined stream directly. This is what lets the
+// per-rack serving shards keep private StreamHists and merge only at
+// barriers or on read.
+func TestStreamHistMergeTreeEquivalence(t *testing.T) {
+	rng := sim.NewRNG(29, "streamhist-mergetree")
+	for trial := 0; trial < 40; trial++ {
+		shards := 1 + int(rng.Uint64n(12))
+		n := 1 + int(rng.Uint64n(3000))
+		single := NewStreamHist()
+		parts := make([]*StreamHist, shards)
+		for i := range parts {
+			parts[i] = NewStreamHist()
+		}
+		for i := 0; i < n; i++ {
+			var v int64
+			switch rng.Uint64n(3) {
+			case 0:
+				v = int64(rng.Uint64n(64))
+			case 1:
+				v = int64(rng.Uint64n(1 << 20))
+			default:
+				v = int64(rng.Uint64n(1 << 40))
+			}
+			single.Observe(v)
+			parts[rng.Uint64n(uint64(shards))].Observe(v)
+		}
+		// Reduce the shards through a random-shaped merge tree: repeatedly
+		// pick two survivors and merge one into the other.
+		for len(parts) > 1 {
+			i := int(rng.Uint64n(uint64(len(parts))))
+			j := int(rng.Uint64n(uint64(len(parts) - 1)))
+			if j >= i {
+				j++
+			}
+			parts[i].MergeFrom(parts[j])
+			parts[j] = parts[len(parts)-1]
+			parts = parts[:len(parts)-1]
+		}
+		if *parts[0] != *single {
+			t.Fatalf("trial %d shards=%d n=%d: merge tree != single-stream histogram", trial, shards, n)
+		}
+	}
+}
+
 // TestStreamHistEmpty pins zero-value behavior.
 func TestStreamHistEmpty(t *testing.T) {
 	h := NewStreamHist()

@@ -24,6 +24,45 @@ type ArrivalProcess interface {
 	Next(now sim.Time) sim.Duration
 }
 
+// Degenerate-parameter policy: a rate or dwell that is non-positive or
+// not finite (NaN, ±Inf — which would sail through a plain `<= 0`
+// check and wedge the arrival chain in NaN arithmetic or zero-length
+// gaps) is clamped rather than rejected, so a mis-scaled tenant spec
+// degrades to a trickle instead of hanging the simulation:
+//
+//   - rates clamp to [1, 1e9] arrivals/sec (the upper bound matches
+//     the 1 ns gap floor — one arrival per simulated nanosecond);
+//   - dwell times clamp to [1e-9, 1e9] seconds;
+//   - NaN takes the documented floor (1/s, 1e-9 s).
+const (
+	minRatePerSec = 1.0
+	maxRatePerSec = 1e9
+	minDwellSec   = 1e-9
+	maxDwellSec   = 1e9
+)
+
+// clampRate applies the documented arrival-rate floor and ceiling.
+func clampRate(ratePerSec float64) float64 {
+	if math.IsNaN(ratePerSec) || ratePerSec < minRatePerSec {
+		return minRatePerSec
+	}
+	if ratePerSec > maxRatePerSec {
+		return maxRatePerSec
+	}
+	return ratePerSec
+}
+
+// clampDwell applies the documented dwell-time floor and ceiling.
+func clampDwell(dwellSec float64) float64 {
+	if math.IsNaN(dwellSec) || dwellSec < minDwellSec {
+		return minDwellSec
+	}
+	if dwellSec > maxDwellSec {
+		return maxDwellSec
+	}
+	return dwellSec
+}
+
 // expGap samples an exponential inter-arrival gap for the given rate
 // (arrivals per second). Inverse-CDF with the RNG's Float64 keeps the
 // stream a pure function of the seed.
@@ -47,12 +86,10 @@ type Poisson struct {
 	rate float64
 }
 
-// NewPoisson builds a Poisson process at ratePerSec arrivals/second.
+// NewPoisson builds a Poisson process at ratePerSec arrivals/second
+// (clamped to the documented [1, 1e9] band).
 func NewPoisson(seed uint64, tag string, ratePerSec float64) *Poisson {
-	if ratePerSec <= 0 {
-		ratePerSec = 1
-	}
-	return &Poisson{rng: sim.NewRNG(seed, "poisson/"+tag), rate: ratePerSec}
+	return &Poisson{rng: sim.NewRNG(seed, "poisson/"+tag), rate: clampRate(ratePerSec)}
 }
 
 // Next returns an exponential gap at the fixed rate.
@@ -78,25 +115,28 @@ type MMPP struct {
 }
 
 // NewMMPP builds a two-state MMPP. quietRate/burstRate are arrivals
-// per second; quietDwell/burstDwell are mean state-dwell times in
-// seconds.
+// per second (clamped to [1, 1e9]); quietDwell/burstDwell are mean
+// state-dwell times in seconds (clamped to [1e-9, 1e9]). Each state's
+// dwell is additionally floored so the state expects at least 1e-3
+// arrivals per dwell: Next's piecewise sampler runs one iteration per
+// state switch, so without this floor a degenerate pair like
+// (rate floor 1/s, dwell floor 1e-9 s) would take ~1e9 switches per
+// gap — a wedge in all but name. Real configurations sit far above
+// the floor and are unaffected.
 func NewMMPP(seed uint64, tag string, quietRate, burstRate, quietDwell, burstDwell float64) *MMPP {
-	if quietRate <= 0 {
-		quietRate = 1
+	rq, rb := clampRate(quietRate), clampRate(burstRate)
+	dq, db := clampDwell(quietDwell), clampDwell(burstDwell)
+	const minArrivalsPerDwell = 1e-3
+	if dq*rq < minArrivalsPerDwell {
+		dq = minArrivalsPerDwell / rq
 	}
-	if burstRate <= 0 {
-		burstRate = 1
-	}
-	if quietDwell <= 0 {
-		quietDwell = 1
-	}
-	if burstDwell <= 0 {
-		burstDwell = 1
+	if db*rb < minArrivalsPerDwell {
+		db = minArrivalsPerDwell / rb
 	}
 	return &MMPP{
 		rng:       sim.NewRNG(seed, "mmpp/"+tag),
-		rate:      [2]float64{quietRate, burstRate},
-		meanDwell: [2]float64{quietDwell, burstDwell},
+		rate:      [2]float64{rq, rb},
+		meanDwell: [2]float64{dq, db},
 	}
 }
 
@@ -148,13 +188,11 @@ type Diurnal struct {
 }
 
 // NewDiurnal builds a diurnal process oscillating around basePerSec
-// with relative amplitude swing (0 = flat, 0.9 = near-silent troughs)
-// and the given period.
+// (clamped to [1, 1e9]) with relative amplitude swing (0 = flat,
+// 0.9 = near-silent troughs; NaN flattens to 0) and the given period.
 func NewDiurnal(seed uint64, tag string, basePerSec, swing float64, period sim.Duration) *Diurnal {
-	if basePerSec <= 0 {
-		basePerSec = 1
-	}
-	if swing < 0 {
+	basePerSec = clampRate(basePerSec)
+	if math.IsNaN(swing) || swing < 0 {
 		swing = 0
 	}
 	if swing > 0.95 {

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"math"
 	"testing"
 
 	"mind/internal/sim"
@@ -124,5 +125,44 @@ func TestRequestStreamEndless(t *testing.T) {
 		if va1 != va2 || wr1 != wr2 {
 			t.Fatalf("stream diverges at op %d", i)
 		}
+	}
+}
+
+// TestArrivalDegenerateParams pins the clamp policy: zero, negative,
+// NaN, and ±Inf rates/dwells must all yield processes that make
+// progress and terminate (no zero gaps, no wedged NaN arithmetic). A
+// NaN dwell formerly spun NewMMPP's Next forever because every NaN
+// comparison is false.
+func TestArrivalDegenerateParams(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	procs := map[string]ArrivalProcess{
+		"poisson-zero": NewPoisson(1, "z", 0),
+		"poisson-neg":  NewPoisson(1, "n", -500),
+		"poisson-nan":  NewPoisson(1, "na", nan),
+		"poisson-inf":  NewPoisson(1, "i", inf),
+		"mmpp-zero":    NewMMPP(2, "z", 0, 0, 0, 0),
+		"mmpp-neg":     NewMMPP(2, "n", -1, -1, -1, -1),
+		"mmpp-nan":     NewMMPP(2, "na", nan, nan, nan, nan),
+		"mmpp-inf":     NewMMPP(2, "i", inf, inf, inf, inf),
+		"diurnal-zero": NewDiurnal(3, "z", 0, 0.5, sim.Millisecond),
+		"diurnal-nan":  NewDiurnal(3, "na", nan, nan, 0),
+		"diurnal-inf":  NewDiurnal(3, "i", inf, inf, -sim.Second),
+	}
+	for name, p := range procs {
+		gaps := drainGaps(p, 200)
+		for i, g := range gaps {
+			if g < 1 {
+				t.Errorf("%s: gap %d = %d, want >= 1 ns", name, i, g)
+				break
+			}
+		}
+	}
+	// Floor and ceiling are the documented band: a zero-rate Poisson
+	// trickles at ~1/s, an Inf-rate one runs at ~1e9/s (1 ns gaps).
+	if m := meanGap(drainGaps(NewPoisson(4, "floor", 0), 500)); m < 0.5*float64(sim.Second) {
+		t.Errorf("zero rate should clamp to the 1/s floor (mean gap %.0f ns)", m)
+	}
+	if m := meanGap(drainGaps(NewPoisson(4, "ceil", inf), 500)); m > 10 {
+		t.Errorf("Inf rate should clamp to the 1e9/s ceiling (mean gap %.2f ns)", m)
 	}
 }
