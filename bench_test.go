@@ -148,6 +148,30 @@ func BenchmarkServeParMacro(b *testing.B) {
 	}
 }
 
+// BenchmarkServeKillMacro is the failure-injection macro benchmark
+// behind BENCH_servekill.json: a 2-rack pod serves three open-loop
+// tenants under deadlines, retries and brownout shedding while a kill
+// storm lands (hot-add, borrowed-blade kill, switch failover, live
+// drain), so the recovery machinery — migration batches, fault
+// retransmits against a dead blade, retry backoff timers — sits on the
+// measured path.
+func BenchmarkServeKillMacro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hotpath.Run(hotpath.ServeKillScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NsPerOp, "sim-ns/op")
+		b.ReportMetric(res.AllocsPerOp, "sim-allocs/op")
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+		b.ReportMetric(float64(res.ServeShed), "shed")
+		b.ReportMetric(float64(res.ServeTimedOut), "timedout")
+		b.ReportMetric(float64(res.ServeRetried), "retried")
+		b.ReportMetric(float64(res.Kills), "kills")
+	}
+}
+
 // BenchmarkFig5IntraBlade regenerates Figure 5 (left): intra-blade
 // thread scaling of MIND vs FastSwap vs GAM.
 func BenchmarkFig5IntraBlade(b *testing.B) {

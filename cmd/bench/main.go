@@ -1,14 +1,15 @@
 // Command bench runs the hot-path macro benchmarks (internal/hotpath) and
 // maintains the BENCH_*.json performance-trajectory files.
 //
-// Six scenarios are tracked (-scenario):
+// Seven scenarios are tracked (-scenario):
 //
-//	hotpath  the 8-blade per-op cost probe            -> BENCH_hotpath.json
-//	rack     the 64-blade x 4-thread scale probe      -> BENCH_rack.json
-//	pod      the 4-rack cross-rack memory probe       -> BENCH_pod.json
-//	podpar   the 32-rack parallel-executor probe      -> BENCH_podpar.json
-//	serve    the open-loop multi-tenant serving probe -> BENCH_serve.json
-//	servepar the 16-rack sharded-serving probe        -> BENCH_servepar.json
+//	hotpath   the 8-blade per-op cost probe            -> BENCH_hotpath.json
+//	rack      the 64-blade x 4-thread scale probe      -> BENCH_rack.json
+//	pod       the 4-rack cross-rack memory probe       -> BENCH_pod.json
+//	podpar    the 32-rack parallel-executor probe      -> BENCH_podpar.json
+//	serve     the open-loop multi-tenant serving probe -> BENCH_serve.json
+//	servepar  the 16-rack sharded-serving probe        -> BENCH_servepar.json
+//	servekill the kill-storm robust-serving probe      -> BENCH_servekill.json
 //
 // Each JSON report keeps two entries: "baseline" (the recorded reference
 // point) and "current" (the latest run). Every record is stamped with the
@@ -21,6 +22,7 @@
 //	go run ./cmd/bench -scenario podpar  -out BENCH_podpar.json
 //	go run ./cmd/bench -scenario serve   -out BENCH_serve.json
 //	go run ./cmd/bench -scenario servepar -out BENCH_servepar.json
+//	go run ./cmd/bench -scenario servekill -out BENCH_servekill.json
 //
 // The baseline block is the trajectory anchor: it is only ever written on
 // the very first run against a file, or when -rebaseline explicitly
@@ -109,6 +111,15 @@ var descriptions = map[string]string{
 		"(no speedup is reported), and parallel_speedup records the events/sec " +
 		"ratio. Host-relative like podpar: -check gates the ratio only on full-ops " +
 		"runs where the host grants the workers real cores.",
+	"servekill": "Failure-injection probe (2-rack pod, seed-pinned): rack 0 is " +
+		"memory-poor so its victim tenant's share sits on a borrowed blade, and a " +
+		"kill storm lands mid-run — a hot-added blade, the borrowed blade's death " +
+		"(cross-rack re-home), a switch failover and a live drain — while three " +
+		"open-loop tenants are served under per-request deadlines, bounded retries " +
+		"and brownout shedding. The terminal request accounting (shed, timed out, " +
+		"retried; arrivals settle exactly once) and kills == recoveries are " +
+		"deterministic identity checks; allocs/op pins the recovery machinery " +
+		"under load.",
 }
 
 func fatalf(format string, args ...any) {
@@ -117,7 +128,7 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath, rack, pod, podpar, serve or servepar)")
+	scenario := flag.String("scenario", "hotpath", "tracked scenario to run (hotpath, rack, pod, podpar, serve, servepar or servekill)")
 	ops := flag.Int("ops", 0, "total accesses across all threads (0 = scenario default)")
 	workers := flag.Int("workers", 0, "pod executor worker count for multi-rack scenarios (0 = scenario default)")
 	out := flag.String("out", "", "JSON report to update (read-modify-write; empty = print only)")
@@ -254,6 +265,13 @@ func main() {
 //     and a host with fewer CPUs than workers records the ratio without
 //     gating it: there, the ratio measures pure executor overhead and
 //     physically cannot exceed 1.
+//   - servekill: brand-new scenario (its baseline IS the failure
+//     machinery), so the gate is the absolute allocation budget plus the
+//     structural claims — the storm really happened (>= 2 kills counting
+//     the switch failover, every kill recovered, pages lost and moved),
+//     the robustness layer engaged (shed, terminal timeouts, retries all
+//     nonzero), and every arrival settled exactly once across all six
+//     terminal fates.
 //   - servepar: same identity-then-speedup structure as podpar, applied
 //     to the sharded serving layer, plus the serve-family structural
 //     claims — pod-wide request conservation across the rack shards, at
@@ -289,6 +307,32 @@ func runCheck(scenario string, rep report, res hotpath.Result, fullOps bool) {
 		}
 		if res.ServeP99Us <= 0 {
 			fatalf("serve scenario recorded no steady-tenant p99")
+		}
+	}
+	if scenario == "servekill" {
+		if res.ServeArrivals == 0 || res.ServeCompleted == 0 {
+			fatalf("servekill scenario produced no traffic (arrivals=%d completed=%d)", res.ServeArrivals, res.ServeCompleted)
+		}
+		settled := res.ServeCompleted + res.ServeThrottled + res.ServeDropped +
+			res.ServeShed + res.ServeTimedOut + res.ServeFailed
+		if res.ServeArrivals != settled {
+			fatalf("servekill request conservation violated (%d arrivals != %d settled)",
+				res.ServeArrivals, settled)
+		}
+		if res.Kills < 2 || res.Recoveries != res.Kills {
+			fatalf("servekill recovery accounting: kills=%d recoveries=%d (want >= 2 and equal)",
+				res.Kills, res.Recoveries)
+		}
+		if res.PagesLost == 0 || res.PagesMoved == 0 {
+			fatalf("servekill storm moved no data (lost=%d moved=%d); the shape drifted",
+				res.PagesLost, res.PagesMoved)
+		}
+		if res.ServeShed == 0 || res.ServeTimedOut == 0 || res.ServeRetried == 0 {
+			fatalf("servekill robustness layer never engaged (shed=%d timedout=%d retried=%d)",
+				res.ServeShed, res.ServeTimedOut, res.ServeRetried)
+		}
+		if res.ServeP99Us <= 0 {
+			fatalf("servekill scenario recorded no steady-tenant p99")
 		}
 	}
 	if scenario == "servepar" {

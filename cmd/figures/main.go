@@ -7,8 +7,8 @@
 //	figures -fig all -scale quick
 //	figures -fig 5c -scale full -parallel 8
 //
-// Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10 pod serve servepod,
-// or "all". Panel 10 is the elasticity timeline (beyond the paper):
+// Panel ids: 5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10 pod serve servepod
+// servekill, or "all". Panel 10 is the elasticity timeline (beyond the paper):
 // throughput while a memory blade hot-joins, another drains with live
 // page migration, and a third is killed mid-run. Panel "pod" is the
 // pod-scale panel (beyond the paper): a 2-rack pod whose memory-poor
@@ -20,7 +20,12 @@
 // tenant population placed across pods of growing rack count by the
 // pod-wide control plane, per-tenant p99 vs racks at constant offered
 // load — the serving shards ride the windowed pod executor, so
-// -workers applies to this panel too.
+// -workers applies to this panel too. Panel "servekill" is the
+// failure-injection timeline (beyond the paper): a kill storm — a
+// borrowed-blade kill, a switch failover and a live drain — lands on a
+// 2-rack pod serving open-loop traffic with per-request deadlines,
+// bounded retries and brownout shedding; the panel plots availability
+// and degraded fraction per time bucket through blackout and recovery.
 //
 // Every data point is an independent deterministic simulation run, so
 // -parallel fans the runs of each panel out across a worker pool
@@ -44,7 +49,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10 pod serve servepod, all)")
+	fig := flag.String("fig", "all", "panel to regenerate (5l 5c 5r 6 7l 7c 7r 8l 8c 8r 9l 9r 10 pod serve servepod servekill, all)")
 	scaleName := flag.String("scale", "quick", "experiment scale: tiny, quick, full")
 	parallel := flag.Int("parallel", 0, "runner workers: 0 = one per CPU, -1 = serial, n = n workers")
 	workers := flag.Int("workers", 0, "pod executor workers for the pod panel (0 = serial; output is identical at any count)")
@@ -98,6 +103,7 @@ func main() {
 		{"pod", func() error { f, err := experiments.FigPod(scale); printOneIf(printOne, f, err); return err }},
 		{"serve", func() error { f, err := experiments.FigServe(scale); printOneIf(printOne, f, err); return err }},
 		{"servepod", func() error { f, err := experiments.FigServePod(scale); printOneIf(printOne, f, err); return err }},
+		{"servekill", func() error { f, err := experiments.FigServeKill(scale); printOneIf(printOne, f, err); return err }},
 	}
 
 	ran := false

@@ -9,6 +9,8 @@
 //	mindsim -workload MA -blades 8 -threads 80 -consistency pso
 //	mindsim -workload GC -runs 8 -parallel 4
 //	mindsim -serve -workload MA -blades 4 -ops 40000
+//	mindsim -serve -racks 2 -serve-deadline 40us -serve-retries 2 \
+//	    -kill-blade 1ms:0:1 -kill-switch 2ms:1
 //
 // With -serve, mindsim switches from closed-loop threads to the
 // open-loop serving mode: three tenants (a steady Poisson stream, an
@@ -16,6 +18,16 @@
 // modulated stream) inject arrivals as engine events independent of
 // completions, and the report shows per-tenant p50/p99/p999 sojourn
 // times from the streaming histograms plus admission-control counters.
+//
+// Serving mode also accepts timed fault injection: -kill-blade and
+// -drain-blade take "dur:rack:blade" (e.g. 1ms:0:1 kills rack 0's
+// blade 1 one virtual millisecond in) and -kill-switch takes
+// "dur:rack" for a switch failover. Faults land barrier-ordered on the
+// pod executor — the same virtual timeline at any -workers count — and
+// the recovery report (pages lost/moved, vmas re-homed, blackout) is
+// printed after the run, along with the degraded-mode request
+// counters (shed, timed out, retried, failed) when -serve-deadline
+// and -serve-retries arm the robustness layer.
 //
 // With -runs N > 1, mindsim executes N replicates of the configuration —
 // replicate i derives its seed from the root -seed via sim.DeriveSeed,
@@ -29,6 +41,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"mind/internal/core"
 	"mind/internal/ctrlplane"
@@ -95,15 +110,23 @@ func main() {
 		serveHorizon = flag.Duration("serve-horizon", 0, "serving horizon of virtual time (0 = sized so ~3*ops arrivals land)")
 		serveRate    = flag.Float64("serve-rate", 100_000, "steady tenant arrival rate, req/s (bursty and diurnal tenants scale from it)")
 		serveQoS     = flag.Float64("serve-qos", 150_000, "contracted req/s for the bursty tenant's token bucket (0 = no throttling)")
-		serveRacks   = flag.Int("racks", 1, "serving mode: racks in the pod (tenants are placed across racks; >1 runs sharded serving)")
-		serveWorkers = flag.Int("workers", 0, "serving mode: pod executor worker count for multi-rack runs (0 or 1 = serial)")
+		serveRacks    = flag.Int("racks", 1, "serving mode: racks in the pod (tenants are placed across racks; >1 runs sharded serving)")
+		serveWorkers  = flag.Int("workers", 0, "serving mode: pod executor worker count for multi-rack runs (0 or 1 = serial)")
+		serveDeadline = flag.Duration("serve-deadline", 0, "serving mode: end-to-end request deadline (0 = none)")
+		serveRetries  = flag.Int("serve-retries", 0, "serving mode: retries per request within its deadline")
+		serveBrownout = flag.Float64("serve-brownout", 0, "serving mode: probability of shedding an arrival while its rack is recovering")
 
-		// Online memory elasticity events (0 disables each).
+		// Online memory elasticity events. In closed-loop mode
+		// -kill-blade/-drain-blade name a blade id and fire at the
+		// matching -*-at time; in serving mode they take timed
+		// "dur:rack:blade" forms and -kill-switch ("dur:rack") joins
+		// them (0 / empty disables each).
 		addBladeAt = flag.Duration("add-blade-at", 0, "hot-add a memory blade at this virtual time")
 		drainAt    = flag.Duration("drain-blade-at", 0, "live-drain -drain-blade at this virtual time")
-		drainBlade = flag.Int("drain-blade", 0, "memory blade to drain")
+		drainBlade = flag.String("drain-blade", "0", "memory blade to drain: id (closed-loop), or dur:rack:blade (serving mode)")
 		killAt     = flag.Duration("kill-blade-at", 0, "kill -kill-blade at this virtual time (failure injection)")
-		killBlade  = flag.Int("kill-blade", 1, "memory blade to kill")
+		killBlade  = flag.String("kill-blade", "1", "memory blade to kill: id (closed-loop), or dur:rack:blade (serving mode)")
+		killSwitch = flag.String("kill-switch", "", "serving mode: switch failover as dur:rack")
 	)
 	flag.Parse()
 
@@ -151,13 +174,39 @@ func main() {
 		cachePages = 64
 	}
 
+	killID, killFault, err := parseFaultFlag("kill-blade", *killBlade)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	drainID, drainFault, err := parseFaultFlag("drain-blade", *drainBlade)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var switchFault *timedFault
+	if *killSwitch != "" {
+		f, err := parseTimedFault("kill-switch", *killSwitch, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		switchFault = &f
+	}
+
 	if *serveMode {
+		faults := serveFaults{kill: killFault, drain: drainFault, failover: switchFault}
 		if err := runServeMode(w, *serveRacks, *serveWorkers, *blades, *memBlades, cachePages, *ops, *seed,
-			*serveRate, *serveQoS, sim.Duration(serveHorizon.Nanoseconds())); err != nil {
+			*serveRate, *serveQoS, sim.Duration(serveHorizon.Nanoseconds()),
+			sim.Duration(serveDeadline.Nanoseconds()), *serveRetries, *serveBrownout, faults); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if killFault != nil || drainFault != nil || switchFault != nil {
+		fmt.Fprintln(os.Stderr, "timed fault forms (dur:rack:blade, -kill-switch) require -serve")
+		os.Exit(2)
 	}
 
 	runOnce := func(runSeed uint64) (runReport, error) {
@@ -205,7 +254,7 @@ func main() {
 		}
 		if *drainAt > 0 {
 			c.Engine().Schedule(sim.Duration(drainAt.Nanoseconds()), func() {
-				c.DrainMemBladeAsync(ctrlplane.BladeID(*drainBlade), func(r core.DrainReport, err error) {
+				c.DrainMemBladeAsync(ctrlplane.BladeID(drainID), func(r core.DrainReport, err error) {
 					report.Drain, report.DidDrain = r, true
 					if err != nil && evErr == nil {
 						evErr = err
@@ -215,7 +264,7 @@ func main() {
 		}
 		if *killAt > 0 {
 			c.Engine().Schedule(sim.Duration(killAt.Nanoseconds()), func() {
-				c.KillMemBladeAsync(ctrlplane.BladeID(*killBlade), func(r core.KillReport, err error) {
+				c.KillMemBladeAsync(ctrlplane.BladeID(killID), func(r core.KillReport, err error) {
 					report.Kill, report.DidKill = r, true
 					if err != nil && evErr == nil {
 						evErr = err
@@ -267,7 +316,7 @@ func main() {
 		specs[i] = runner.Spec{
 			Key: runner.KeyOf("mindsim", *workload, *blades, *memBlades, *threads, *ops,
 				cons, *readRatio, *sharing, *scale, cachePages, *dirSlots, int64(*epoch), runSeed,
-				int64(*addBladeAt), int64(*drainAt), *drainBlade, int64(*killAt), *killBlade),
+				int64(*addBladeAt), int64(*drainAt), drainID, int64(*killAt), killID),
 			Run: func() (any, error) { return runOnce(runSeed) },
 		}
 	}
@@ -338,14 +387,74 @@ func main() {
 	}
 }
 
+// timedFault is one serving-mode fault parsed from "dur:rack[:blade]":
+// it lands at the given virtual time on the given rack.
+type timedFault struct {
+	at    time.Duration
+	rack  int
+	blade int
+}
+
+// serveFaults collects the serving-mode fault schedule (nil = none).
+type serveFaults struct {
+	kill, drain, failover *timedFault
+}
+
+// parseFaultFlag interprets a -kill-blade/-drain-blade value: a bare
+// integer is the closed-loop blade id (paired with -kill-blade-at /
+// -drain-blade-at), a "dur:rack:blade" triple is a serving-mode timed
+// fault.
+func parseFaultFlag(name, s string) (id int, fault *timedFault, err error) {
+	if !strings.Contains(s, ":") {
+		id, err = strconv.Atoi(s)
+		if err != nil {
+			return 0, nil, fmt.Errorf("-%s: blade id %q is not an integer (timed form is dur:rack:blade)", name, s)
+		}
+		return id, nil, nil
+	}
+	f, err := parseTimedFault(name, s, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	return 0, &f, nil
+}
+
+// parseTimedFault parses "dur:rack:blade" (wantBlade) or "dur:rack".
+func parseTimedFault(name, s string, wantBlade bool) (timedFault, error) {
+	parts := strings.Split(s, ":")
+	want, form := 2, "dur:rack"
+	if wantBlade {
+		want, form = 3, "dur:rack:blade"
+	}
+	if len(parts) != want {
+		return timedFault{}, fmt.Errorf("-%s: %q is not of the form %s", name, s, form)
+	}
+	d, err := time.ParseDuration(parts[0])
+	if err != nil || d <= 0 {
+		return timedFault{}, fmt.Errorf("-%s: bad fault time %q (want a positive duration like 1ms)", name, parts[0])
+	}
+	f := timedFault{at: d}
+	if f.rack, err = strconv.Atoi(parts[1]); err != nil {
+		return timedFault{}, fmt.Errorf("-%s: bad rack %q", name, parts[1])
+	}
+	if wantBlade {
+		if f.blade, err = strconv.Atoi(parts[2]); err != nil {
+			return timedFault{}, fmt.Errorf("-%s: bad blade %q", name, parts[2])
+		}
+	}
+	return f, nil
+}
+
 // runServeMode drives the open-loop serving layer on the flag-built
 // pod: three tenants with distinct arrival shapes are placed across
 // the racks by the pod-wide control-plane policy (a tenant too big for
 // one rack's admission headroom spans racks), the bursty tenant rides
 // a QoS token bucket split proportional to its placement shares, and
 // the report shows sojourn percentiles per (tenant, home rack) share
-// from the per-rack streaming histograms.
-func runServeMode(w workloads.Workload, racks, workers, blades, memBlades, cachePages, ops int, seed uint64, rate, qos float64, horizon sim.Duration) error {
+// from the per-rack streaming histograms. Timed faults land
+// barrier-ordered on the pod executor; their recovery reports print
+// after the run.
+func runServeMode(w workloads.Workload, racks, workers, blades, memBlades, cachePages, ops int, seed uint64, rate, qos float64, horizon sim.Duration, deadline sim.Duration, retries int, brownout float64, faults serveFaults) error {
 	if racks < 1 {
 		return fmt.Errorf("-racks must be >= 1 (got %d)", racks)
 	}
@@ -384,9 +493,49 @@ func runServeMode(w workloads.Workload, racks, workers, blades, memBlades, cache
 		return fmt.Errorf("serve tenant placement: %w", err)
 	}
 
-	s, err := core.NewPodServing(pod, core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16})
+	scfg := core.ServeConfig{Horizon: horizon, QueueCap: 1 << 16, Seed: seed,
+		Deadline: deadline, MaxRetries: retries, Brownout: brownout}
+	if retries > 0 && deadline > 0 {
+		scfg.RetryBackoff = deadline / 10
+	}
+	s, err := core.NewPodServing(pod, scfg)
 	if err != nil {
 		return err
+	}
+
+	// Timed faults: registration queues each on its rack; the window
+	// barrier injects it at its exact virtual time regardless of
+	// -workers, so the fault timeline is worker-count invariant.
+	var killRep core.KillReport
+	var drainRep core.DrainReport
+	var failRep core.SwitchFailoverReport
+	var didKill, didDrain, didFail bool
+	var faultErr error
+	keepErr := func(e error) {
+		if e != nil && faultErr == nil {
+			faultErr = e
+		}
+	}
+	if f := faults.kill; f != nil {
+		err := pod.KillMemBladeAt(f.rack, ctrlplane.BladeID(f.blade), pod.Now().Add(sim.Duration(f.at.Nanoseconds())),
+			func(r core.KillReport, e error) { killRep, didKill = r, true; keepErr(e) })
+		if err != nil {
+			return fmt.Errorf("-kill-blade: %w", err)
+		}
+	}
+	if f := faults.drain; f != nil {
+		err := pod.DrainMemBladeAt(f.rack, ctrlplane.BladeID(f.blade), pod.Now().Add(sim.Duration(f.at.Nanoseconds())),
+			func(r core.DrainReport, e error) { drainRep, didDrain = r, true; keepErr(e) })
+		if err != nil {
+			return fmt.Errorf("-drain-blade: %w", err)
+		}
+	}
+	if f := faults.failover; f != nil {
+		err := pod.KillSwitchAt(f.rack, pod.Now().Add(sim.Duration(f.at.Nanoseconds())),
+			func(r core.SwitchFailoverReport, e error) { failRep, didFail = r, true; keepErr(e) })
+		if err != nil {
+			return fmt.Errorf("-kill-switch: %w", err)
+		}
 	}
 	params := workloads.Params{Threads: len(placements), Blades: blades, Seed: seed}
 	stream := 0
@@ -434,6 +583,9 @@ func runServeMode(w workloads.Workload, racks, workers, blades, memBlades, cache
 	if err != nil {
 		return err
 	}
+	if faultErr != nil {
+		return fmt.Errorf("fault injection: %w", faultErr)
+	}
 	col := pod.Collector()
 	fmt.Printf("serving          workload=%s racks=%d blades=%d/rack workers=%d horizon=%.3f ms (virtual end %.3f ms)\n",
 		w.Name, racks, blades, workers, horizon.Seconds()*1e3, end.Sub(0).Seconds()*1e3)
@@ -465,5 +617,24 @@ func runServeMode(w workloads.Workload, racks, workers, blades, memBlades, cache
 	fmt.Printf("total            arrivals=%d completed=%d throttled=%d dropped=%d\n",
 		col.Counter(stats.CtrServeArrivals), col.Counter(stats.CtrServeCompleted),
 		col.Counter(stats.CtrServeThrottled), col.Counter(stats.CtrServeDropped))
+	if deadline > 0 || brownout > 0 {
+		fmt.Printf("degraded         shed=%d timedout=%d retried=%d failed=%d\n",
+			col.Counter(stats.CtrServeShed), col.Counter(stats.CtrServeTimedOut),
+			col.Counter(stats.CtrServeRetried), col.Counter(stats.CtrServeFailed))
+	}
+	if didKill {
+		k := killRep
+		fmt.Printf("blade killed     rack=%d id=%d: %d pages lost, %d vmas re-homed, %d vmas lost, blackout %.3f ms\n",
+			faults.kill.rack, k.Victim, k.PagesLost, k.Allocations, k.VMAsLost, k.Blackout().Seconds()*1e3)
+	}
+	if didDrain {
+		d := drainRep
+		fmt.Printf("blade drained    rack=%d id=%d: %d vmas, %d pages in %d batches, blackout %.3f ms\n",
+			faults.drain.rack, d.Victim, d.Allocations, d.PagesMoved, d.Batches, d.Blackout().Seconds()*1e3)
+	}
+	if didFail {
+		fmt.Printf("switch failover  rack=%d: %d regions reset, blackout %.3f ms\n",
+			faults.failover.rack, failRep.RegionsReset, failRep.Blackout().Seconds()*1e3)
+	}
 	return nil
 }

@@ -82,12 +82,16 @@ type Deps struct {
 	// arrives (it includes all network time).
 	SendRequest func(pdid mem.PDID, va mem.VA, want mem.Perm, done func(coherence.Completion))
 	// Writeback sends one dirty page to its memory blade via one-sided
-	// RDMA; done runs when the write has landed.
+	// RDMA; done runs when the write has landed. The implementation must
+	// not retain data past the call (the blade may recycle the buffer),
+	// so it snapshots the bytes if the write is modelled asynchronously.
 	Writeback func(va mem.VA, data []byte, done func())
 	// FetchData copies the page's current bytes at the simulated moment
 	// of arrival (zero-time data plumbing; latency is modelled by the
-	// protocol path).
-	FetchData func(va mem.VA) []byte
+	// protocol path). dst, when non-nil, is a recycled page buffer the
+	// implementation should fill and return instead of allocating; the
+	// return value is nil when the page holds no materialized bytes.
+	FetchData func(va mem.VA, dst []byte) []byte
 	// Reset asks the control plane to reset a wedged address (§4.4).
 	Reset func(va mem.VA, done func())
 }
@@ -397,9 +401,12 @@ func (b *Blade) onCompletion(f *fault, c coherence.Completion) {
 	}
 	p := b.cache.Insert(f.page, c.Writable)
 	if b.deps.FetchData != nil {
-		if data := b.deps.FetchData(f.page); data != nil {
-			p.Data = data
-		}
+		// The record may carry a recycled buffer from its previous
+		// identity; the fetch overwrites it in place (or returns nil for
+		// a never-materialized page, which must read as zero).
+		p.Data = b.deps.FetchData(f.page, p.Data)
+	} else {
+		p.Data = nil
 	}
 	if f.want == mem.PermReadWrite {
 		p.Dirty = true

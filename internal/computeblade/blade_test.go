@@ -38,7 +38,7 @@ func (f *fakeSwitch) deps(col *stats.Collector) Deps {
 		Writeback: func(va mem.VA, data []byte, done func()) {
 			f.eng.Schedule(500*sim.Nanosecond, done)
 		},
-		FetchData: func(va mem.VA) []byte { return nil },
+		FetchData: func(va mem.VA, dst []byte) []byte { return nil },
 		Reset: func(va mem.VA, done func()) {
 			f.resets++
 			f.eng.Schedule(f.latency, done)
@@ -310,7 +310,7 @@ func TestFaultPoolDuplicateCompletion(t *testing.T) {
 			})
 		},
 		Writeback: func(va mem.VA, data []byte, done func()) { eng.Schedule(1, done) },
-		FetchData: func(va mem.VA) []byte { return nil },
+		FetchData: func(va mem.VA, dst []byte) []byte { return nil },
 		Reset:     func(va mem.VA, done func()) { eng.Schedule(1, done) },
 	}
 	b = New(cfg, deps)
@@ -379,7 +379,7 @@ func TestFaultDoubleRetryReissue(t *testing.T) {
 			}
 		},
 		Writeback: func(va mem.VA, data []byte, done func()) { eng.Schedule(1, done) },
-		FetchData: func(va mem.VA) []byte { return nil },
+		FetchData: func(va mem.VA, dst []byte) []byte { return nil },
 		Reset:     func(va mem.VA, done func()) { eng.Schedule(1, done) },
 	}
 	b := New(cfg, deps)

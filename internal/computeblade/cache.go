@@ -131,9 +131,12 @@ func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
 	}
 	p := c.free.Get()
 	if p != nil {
-		// Reinitialize fully: stale Data from the page's previous
-		// identity must not leak into the new one.
-		p.Dirty, p.Data = false, nil
+		// Reinitialize, but keep the Data buffer: the blade's fill
+		// either overwrites it in place or replaces it with nil, so
+		// steady-state cache churn over materialized pages recycles page
+		// buffers instead of allocating. Stale bytes never leak — the
+		// buffer is unreachable until the fill assigns Data.
+		p.Dirty = false
 	} else if c.arenaNext < len(c.arena) {
 		p = &c.arena[c.arenaNext]
 		c.arenaNext++

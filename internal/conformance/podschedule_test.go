@@ -1,0 +1,142 @@
+package conformance
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mind/internal/runner"
+	"mind/internal/sim"
+)
+
+// podScheduleCount is how many randomized pod failure storms the suite
+// replays serial-vs-parallel. The acceptance bar is 100+; short mode
+// (CI's race job) runs a reduced count at a narrower horizon.
+const podScheduleCount = 110
+
+func podScheduleConfig(i int, short bool) PodSchedule {
+	cfg := PodSchedule{Seed: sim.DeriveSeed(rootSeed, fmt.Sprintf("pod-schedule-%d", i))}
+	if short {
+		cfg.Horizon = 300 * sim.Microsecond
+		cfg.Faults = 2
+	}
+	// A slice of schedules stresses three racks and denser storms.
+	if i%4 == 0 {
+		cfg.Racks = 3
+	}
+	if !short && i%3 == 0 {
+		cfg.Faults = 4
+	}
+	return cfg
+}
+
+// TestRandomPodSchedules replays randomized pod-scale failure storms —
+// kills (borrowed blades included), drains and switch failovers under
+// robust serving load — each executed serially and on a worker pool,
+// asserting bit-identical outcomes (finish time, dispatch hashes,
+// merged counters, fault reports) plus the safety invariants
+// documented on RunPodSchedule.
+func TestRandomPodSchedules(t *testing.T) {
+	t.Parallel()
+	n := podScheduleCount
+	if testing.Short() {
+		n = 25
+	}
+	var kills, drains, switches, errs int
+	for i := 0; i < n; i++ {
+		cfg := podScheduleConfig(i, testing.Short())
+		serial, err := RunPodSchedule(cfg, 1)
+		if err != nil {
+			t.Fatalf("schedule %d serial: %v", i, err)
+		}
+		par, err := RunPodSchedule(cfg, 2+i%3)
+		if err != nil {
+			t.Fatalf("schedule %d parallel: %v", i, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("schedule %d (seed %d) diverged between worker counts:\nserial   %+v\nparallel %+v",
+				i, cfg.Seed, serial, par)
+		}
+		for _, rec := range serial.Faults {
+			if rec.Err != "" {
+				errs++
+				continue
+			}
+			if !rec.Done {
+				continue
+			}
+			switch rec.Kind {
+			case "kill":
+				kills++
+			case "drain":
+				drains++
+			case "switch":
+				switches++
+			}
+		}
+	}
+	// The generator must exercise every fault kind and the error paths,
+	// or the determinism contract is vacuous.
+	if kills == 0 || drains == 0 || switches == 0 || errs == 0 {
+		t.Fatalf("storm mix degenerate: kills=%d drains=%d switches=%d errors=%d",
+			kills, drains, switches, errs)
+	}
+	t.Logf("%d schedules: %d kills, %d drains, %d switch failovers, %d faulted injections",
+		n, kills, drains, switches, errs)
+}
+
+// TestPodScheduleDeterminism re-runs one storm at the same worker count
+// and requires identical outcomes — failing seeds must replay
+// bit-identically — and a different seed must actually change the run.
+func TestPodScheduleDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg := podScheduleConfig(3, true)
+	a, err := RunPodSchedule(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPodSchedule(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+	cfg.Seed++
+	c, err := RunPodSchedule(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seed produced an identical storm")
+	}
+}
+
+// TestPodSchedulesRace fans storms across the runner's worker pool —
+// whole pods, each itself running a parallel windowed executor,
+// simulated concurrently — so the race detector sweeps the failure
+// injection and recovery paths the way CI runs them.
+func TestPodSchedulesRace(t *testing.T) {
+	t.Parallel()
+	n := 8
+	if testing.Short() {
+		n = 4
+	}
+	specs := make([]runner.Spec, n)
+	for i := range specs {
+		cfg := podScheduleConfig(2000+i, testing.Short())
+		specs[i] = runner.Spec{
+			Key: runner.KeyOf("conformance-pod-race", cfg.Seed, cfg.Faults),
+			Run: func() (any, error) {
+				out, err := RunPodSchedule(cfg, 3)
+				if err != nil {
+					return nil, err
+				}
+				return len(out.Faults), nil
+			},
+		}
+	}
+	if _, err := runner.Do(specs, runner.Options{Workers: 4, Cache: runner.NewCache()}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -98,15 +98,41 @@ func (c *Rack) AddMemBlade(capacity uint64) (ctrlplane.BladeID, error) {
 	return id, nil
 }
 
+// bladeLive validates that victim names a registered, living,
+// unretired memory blade — the shared precondition of every membership
+// event. Killing or draining a blade that is already dead or retired
+// is a caller error reported explicitly, never a panic or a silent
+// double-recovery.
+func (c *Rack) bladeLive(victim ctrlplane.BladeID) error {
+	if int(victim) < 0 || int(victim) >= len(c.mblades) {
+		return fmt.Errorf("core: no memory blade %d", victim)
+	}
+	if c.mblades[int(victim)].Dead() {
+		return fmt.Errorf("core: memory blade %d is already dead", victim)
+	}
+	if c.ctl.Allocator().BladeRetired(victim) {
+		return fmt.Errorf("core: memory blade %d is retired", victim)
+	}
+	return nil
+}
+
 // DrainMemBladeAsync starts draining victim from event context; done
 // fires (still in event context) when the blade is empty and retired.
 // Foreground traffic keeps flowing while pages move.
+//
+// A borrowed blade may be drained: the copy path (bladeTransfer) runs
+// each leg on the shard that owns it, the outlier rewrite is local to
+// this rack's TCAM, and retirement releases the lease — the device
+// stays stranded at its owner, exactly like a kill. The only
+// borrow-specific restriction is inherited from PlanDrain: the
+// remaining blades (borrowed or local) must have headroom for the
+// displaced vmas.
 func (c *Rack) DrainMemBladeAsync(victim ctrlplane.BladeID, done func(DrainReport, error)) {
 	alloc := c.ctl.Allocator()
 	rep := DrainReport{Victim: victim, Start: c.eng.Now()}
 	rep.End = rep.Start // failed reports still carry a sane window
-	if int(victim) < 0 || int(victim) >= len(c.mblades) {
-		done(rep, fmt.Errorf("core: no memory blade %d", victim))
+	if err := c.bladeLive(victim); err != nil {
+		done(rep, err)
 		return
 	}
 	if err := alloc.SetBladeAvailable(victim, false); err != nil {
@@ -362,19 +388,40 @@ func (c *Rack) DrainMemBlade(victim ctrlplane.BladeID) (DrainReport, error) {
 // every vma that lived there (their pages read as zero — the data died)
 // and retires the blade. done fires when recovery completes.
 func (c *Rack) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillReport, error)) {
+	c.killMemBladeAsync(victim, true, done)
+}
+
+// killMemBladeAsync is the kill implementation. markPort controls who
+// blackens the blade's fabric port: a rack-local kill (or any kill in a
+// 1-rack pod) marks it inline, but when the pod injector kills a
+// borrowed blade under the windowed executor the port lives in the
+// lender's fabric, so the injector schedules the SetNodeDead as a
+// lender-rack event at the same instant (podfail.go) and this shard
+// must not touch it — rack events only mutate rack-local state.
+func (c *Rack) killMemBladeAsync(victim ctrlplane.BladeID, markPort bool, done func(KillReport, error)) {
 	alloc := c.ctl.Allocator()
 	rep := KillReport{Victim: victim, Start: c.eng.Now()}
 	rep.End = rep.Start // failed reports still carry a sane window
-	if int(victim) < 0 || int(victim) >= len(c.mblades) {
-		done(rep, fmt.Errorf("core: no memory blade %d", victim))
+	if err := c.bladeLive(victim); err != nil {
+		done(rep, err)
 		return
 	}
 	rep.PagesLost = c.mblades[int(victim)].Kill()
-	// The blade's fabric port lives in the rack that physically hosts it
-	// (for a borrowed blade, the lender's fabric).
-	c.pod.racks[c.mbOwner[int(victim)]].fab.SetNodeDead(c.mbOwnNode[int(victim)], true)
-	if err := alloc.SetBladeAvailable(victim, false); err != nil {
+	if markPort {
+		// The blade's fabric port lives in the rack that physically
+		// hosts it (for a borrowed blade, the lender's fabric).
+		c.pod.racks[c.mbOwner[int(victim)]].fab.SetNodeDead(c.mbOwnNode[int(victim)], true)
+	}
+	c.col.IncH(c.hKills, 1)
+	c.recovering++
+	finish := func(err error) {
+		rep.End = c.eng.Now()
+		c.recovering--
+		c.col.IncH(c.hRecoveries, 1)
 		done(rep, err)
+	}
+	if err := alloc.SetBladeAvailable(victim, false); err != nil {
+		finish(err)
 		return
 	}
 	c.col.IncH(c.hBladeEvents, 1)
@@ -388,15 +435,13 @@ func (c *Rack) KillMemBladeAsync(victim ctrlplane.BladeID, done func(KillReport,
 			if err == nil && !alreadyRetired {
 				c.releaseLease(victim)
 			}
-			rep.End = c.eng.Now()
-			done(rep, err)
+			finish(err)
 			return
 		}
 		base := bases[0]
 		reserved, err := alloc.Reserved(base)
 		if err != nil {
-			rep.End = c.eng.Now()
-			done(rep, err)
+			finish(err)
 			return
 		}
 		area := mem.Range{Base: base, Size: reserved}
@@ -455,6 +500,8 @@ func (c *Rack) KillSwitchAsync(done func(SwitchFailoverReport)) {
 	rep := SwitchFailoverReport{Start: c.eng.Now()}
 	c.dir.SetFreezeAll(true)
 	c.col.IncH(c.hBladeEvents, 1)
+	c.col.IncH(c.hKills, 1)
+	c.recovering++
 	// Under the rack-wide freeze no region can be created or split, so
 	// one snapshot covers every entry that must be torn down.
 	c.resetBases(c.dir.AllRegionBases(), func(n int) {
@@ -463,6 +510,8 @@ func (c *Rack) KillSwitchAsync(done func(SwitchFailoverReport)) {
 		c.dir.SwapASIC(backup)
 		c.dir.SetFreezeAll(false)
 		rep.End = c.eng.Now()
+		c.recovering--
+		c.col.IncH(c.hRecoveries, 1)
 		done(rep)
 	})
 }

@@ -23,8 +23,8 @@ package core
 //
 // The barrier is also the pod's exclusive section. Operations that
 // inherently span racks — blade borrow/return (two allocators), idle
-// lease returns, the experiment sampler — run only here, with every
-// engine parked. Rack events merely flag or enqueue them. Everything
+// lease returns, scheduled failure injection (podfail.go), the
+// experiment sampler — run only here, with every engine parked. Rack events merely flag or enqueue them. Everything
 // else a rack event touches is rack-local by construction: per-rack
 // engine, collector, fabric, blades, pools. A borrowed blade's page
 // store belongs to the borrowing rack's shard for the duration of the
@@ -122,7 +122,7 @@ func (x *podExec) drive(parallel bool, target sim.Time, stop func() bool) {
 // empty here (the previous barrier flushed them).
 func (x *podExec) idle() bool {
 	for _, r := range x.p.racks {
-		if r.eng.Pending() > 0 || len(r.pendingBorrows) > 0 {
+		if r.eng.Pending() > 0 || len(r.pendingBorrows) > 0 || len(r.pendingFaults) > 0 {
 			return false
 		}
 	}
@@ -134,6 +134,11 @@ func (x *podExec) idle() bool {
 // borrow negotiations, and the sampler — in rack-index order, so the
 // outcome is independent of how the windows were scheduled.
 func (x *podExec) barrier(end sim.Time) {
+	// Failure injection precedes the barrier's lease traffic: a fault
+	// due inside the next window [end, end+window) becomes ordinary
+	// rack events at its exact injection time (podfail.go), before any
+	// blade changes hands at this boundary.
+	x.injectDueFaults(end.Add(x.window))
 	for _, r := range x.p.racks {
 		if r.wantReturns {
 			r.wantReturns = false

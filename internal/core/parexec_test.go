@@ -7,6 +7,7 @@ import (
 	"mind/internal/ctrlplane"
 	"mind/internal/mem"
 	"mind/internal/sim"
+	"mind/internal/stats"
 )
 
 // equivRun drives one randomized multi-rack workload — borrow on the
@@ -237,6 +238,229 @@ func TestParallelEquivalenceServing(t *testing.T) {
 							t.Errorf("workers=%d rack %d: dispatch hash %#x, serial %#x",
 								workers, i, hash[i], hashS[i])
 						}
+					}
+					if len(snap) != len(snapS) {
+						t.Errorf("workers=%d: counter sets differ: %d vs %d", workers, len(snap), len(snapS))
+					}
+					for k, v := range snapS {
+						if snap[k] != v {
+							t.Errorf("workers=%d: counter %q = %d, serial %d", workers, k, snap[k], v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// faultOutcomes collects every fault report of one equivFailRun in a
+// comparable struct, so serial and parallel runs can be checked for
+// bit-identical failure timelines (start, end, pages lost, regions hit
+// — and therefore identical Blackout() and detection-delay accounting).
+type faultOutcomes struct {
+	kill     KillReport
+	killErr  string
+	rekill   KillReport
+	rekilErr string
+	drain    DrainReport
+	drainErr string
+	swch     SwitchFailoverReport
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// equivFailRun drives the equivServeRun serving mix with the request
+// robustness layer armed (deadlines, retries with jittered backoff,
+// brownout shedding) and a pod-scale kill storm on top: the borrowed
+// blade lent to rack 0 dies mid-run (the cross-rack case — its vma has
+// no local headroom and is forcibly unmapped, so span requests on rack
+// 0 error and burn their retries), the last rack's switch fails over,
+// a rack-1 blade drains, and a second kill of the already-dead blade
+// must report the same error at the same instant regardless of worker
+// count.
+func equivFailRun(t *testing.T, racks, workers int, window sim.Duration) (sim.Time, []uint64, map[string]uint64, faultOutcomes) {
+	t.Helper()
+	cfgs := make([]Config, racks)
+	cfgs[0] = podRackConfig(2, 1, 1024)
+	for i := 1; i < racks; i++ {
+		cfgs[i] = podRackConfig(2, 3, 1024)
+	}
+	pod, err := NewPod(PodConfig{Racks: cfgs, Workers: workers, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < racks; i++ {
+		pod.Rack(i).Engine().EnableDispatchHash()
+	}
+	s, err := NewPodServing(pod, ServeConfig{
+		Horizon:      300 * sim.Microsecond,
+		Deadline:     40 * sim.Microsecond,
+		MaxRetries:   2,
+		RetryBackoff: 2 * sim.Microsecond,
+		Brownout:     0.4,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addShare := func(name string, rack, blade, pages int, lim *ctrlplane.TokenBucket) mem.VMA {
+		p := pod.Rack(rack).Exec(name)
+		vma, err := p.Mmap(uint64(pages)*mem.PageSize, mem.PermReadWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.AddTenant(TenantWorkload{
+			Name:    name,
+			Proc:    p,
+			Blade:   blade,
+			Arrival: newSeededGap(fmt.Sprintf("fail/%s@r%d", name, rack), 5*sim.Microsecond),
+			NextOp:  roundRobinOps(vma.Base, uint64(pages)),
+			Limiter: lim,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vma
+	}
+	if _, err := pod.Rack(0).Exec("filler").Mmap(900*mem.PageSize, mem.PermReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	spanVMA := addShare("span", 0, 0, 400, nil)
+	addShare("span", 1, 1, 64, nil)
+	var solo1VMA mem.VMA
+	for i := 1; i < racks; i++ {
+		vma := addShare(fmt.Sprintf("solo%d", i), i, 0, 64, nil)
+		if i == 1 {
+			solo1VMA = vma
+		}
+	}
+	addShare("gated", 1, 0, 32, ctrlplane.NewTokenBucket(120_000, 8))
+	if pod.Rack(0).BorrowedBlades() == 0 {
+		t.Fatal("setup: rack 0 did not borrow")
+	}
+	// The kill victim is the span share's borrowed home blade; a few of
+	// its pages are materialized directly so the kill has real bytes to
+	// lose (serving writes sit in the compute-blade caches this early).
+	victim, err := pod.Rack(0).Controller().Allocator().Translate(spanVMA.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pod.Rack(0).remoteBlade(victim) {
+		t.Fatal("setup: span share not on a borrowed blade")
+	}
+	buf := make([]byte, mem.PageSize)
+	for i := 0; i < 32; i++ {
+		buf[0] = byte(i)
+		pod.Rack(0).MemBlade(int(victim)).WritePage(spanVMA.Base+mem.VA(i)*mem.PageSize, buf)
+	}
+	// The drain victim is solo1's home on rack 1 — a live local blade
+	// there (the lent blade is dead by drain time and must not be it).
+	drainVictim, err := pod.Rack(1).Controller().Allocator().Translate(solo1VMA.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Setup (mmaps, the borrow negotiation) advances virtual time
+	// deterministically; the storm is timed relative to the run start.
+	base := pod.Now()
+	var out faultOutcomes
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(pod.KillMemBladeAt(0, victim, base.Add(60*sim.Microsecond), func(r KillReport, e error) {
+		out.kill, out.killErr = r, errString(e)
+	}))
+	must(pod.KillSwitchAt(racks-1, base.Add(80*sim.Microsecond), func(r SwitchFailoverReport, e error) {
+		out.swch = r
+		if e != nil {
+			t.Errorf("switch failover: %v", e)
+		}
+	}))
+	must(pod.DrainMemBladeAt(1, drainVictim, base.Add(120*sim.Microsecond), func(r DrainReport, e error) {
+		out.drain, out.drainErr = r, errString(e)
+	}))
+	must(pod.KillMemBladeAt(0, victim, base.Add(200*sim.Microsecond), func(r KillReport, e error) {
+		out.rekill, out.rekilErr = r, errString(e)
+	}))
+
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make([]uint64, racks)
+	for i := 0; i < racks; i++ {
+		hashes[i] = pod.Rack(i).Engine().DispatchHash()
+	}
+	snap := pod.Collector().Snapshot()
+
+	// Structural checks every run must satisfy, at any worker count.
+	if out.killErr != "" {
+		t.Errorf("borrowed-blade kill failed: %s", out.killErr)
+	}
+	if out.kill.PagesLost == 0 || out.kill.Blackout() <= 0 {
+		t.Errorf("implausible borrowed-blade kill report: %+v", out.kill)
+	}
+	if out.rekilErr == "" {
+		t.Error("second kill of the dead blade reported no error")
+	}
+	if out.drainErr != "" {
+		t.Errorf("drain failed: %s", out.drainErr)
+	}
+	if out.swch.Blackout() <= 0 {
+		t.Errorf("implausible switch failover report: %+v", out.swch)
+	}
+	arr := snap[stats.CtrServeArrivals]
+	settled := snap[stats.CtrServeCompleted] + snap[stats.CtrServeThrottled] +
+		snap[stats.CtrServeDropped] + snap[stats.CtrServeShed] +
+		snap[stats.CtrServeTimedOut] + snap[stats.CtrServeFailed]
+	if arr != settled {
+		t.Errorf("request conservation violated: %d arrivals, %d settled", arr, settled)
+	}
+	if snap[stats.CtrServeTimedOut] == 0 && snap[stats.CtrServeFailed] == 0 {
+		t.Error("kill storm produced no timed-out or failed requests")
+	}
+	if snap[stats.CtrServeShed] == 0 {
+		t.Error("brownout shed nothing during recovery blackout")
+	}
+	if snap[stats.CtrBladeKills] == 0 || snap[stats.CtrBladeRecoveries] == 0 {
+		t.Error("kill/recovery counters silent")
+	}
+	return end, hashes, snap, out
+}
+
+// TestParallelEquivalenceFailures extends the determinism contract to
+// failure injection: with blade kills (including the borrowed-blade
+// cross-rack case), a switch failover and a drain landing mid-run in a
+// robust serving mix, serial and parallel execution must produce the
+// same finish time, per-engine dispatch sequences, merged statistics,
+// and bit-identical fault reports (same Start/End — so the same
+// Blackout() and detection-delay accounting — same pages lost, same
+// errors).
+func TestParallelEquivalenceFailures(t *testing.T) {
+	for _, racks := range []int{2, 3} {
+		for _, window := range []sim.Duration{250 * sim.Nanosecond, sim.Microsecond} {
+			t.Run(fmt.Sprintf("racks=%d/window=%v", racks, window), func(t *testing.T) {
+				endS, hashS, snapS, outS := equivFailRun(t, racks, 1, window)
+				for _, workers := range []int{2, 4, 8} {
+					end, hash, snap, out := equivFailRun(t, racks, workers, window)
+					if end != endS {
+						t.Errorf("workers=%d: end %v, serial %v", workers, end, endS)
+					}
+					for i := 0; i < racks; i++ {
+						if hash[i] != hashS[i] {
+							t.Errorf("workers=%d rack %d: dispatch hash %#x, serial %#x",
+								workers, i, hash[i], hashS[i])
+						}
+					}
+					if out != outS {
+						t.Errorf("workers=%d: fault outcomes diverged:\n  parallel %+v\n  serial   %+v", workers, out, outS)
 					}
 					if len(snap) != len(snapS) {
 						t.Errorf("workers=%d: counter sets differ: %d vs %d", workers, len(snap), len(snapS))

@@ -65,6 +65,16 @@ type Rack struct {
 	// negotiations for the barrier (parexec.go). In a 1-rack pod
 	// borrowing is rejected up front, so the queue stays empty.
 	pendingBorrows []borrowReq
+	// pendingFaults queues this rack's scheduled failure injections
+	// (podfail.go); the barrier converts due ones into rack events in
+	// rack-index order, so the injection schedule is independent of the
+	// worker count. 1-rack pods schedule directly and keep this empty.
+	pendingFaults []*podFault
+	// recovering counts failure recoveries in flight on this rack (blade
+	// kill re-homing, switch failover). While it is nonzero the rack is
+	// in recovery blackout; the serving layer's brownout admission sheds
+	// load against it. Written only from rack event context.
+	recovering int
 
 	threads []*Thread
 	// activeThreads counts started-but-unfinished threads on this rack;
@@ -88,6 +98,8 @@ type Rack struct {
 	hLostWrites    stats.Handle
 	hBladeEvents   stats.Handle
 	hMigratedPages stats.Handle
+	hKills         stats.Handle
+	hRecoveries    stats.Handle
 	// Registered only for multi-rack pods (their code paths are
 	// unreachable in a 1-rack pod, whose counter set must stay exactly
 	// the classic single-rack one).
@@ -116,11 +128,16 @@ func reqAtSwitch(x any) {
 	c.dir.RequestPage(blade, pdid, va, want, done)
 }
 
-// wbJob carries one page writeback blade -> switch -> memory blade.
+// wbJob carries one page writeback blade -> switch -> memory blade. The
+// job owns its page bytes: writeback snapshots the caller's buffer into
+// buf at enqueue (the compute blade recycles its buffers immediately,
+// and an invalidation downgrade keeps the page cached while its flush
+// is still in flight), and buf stays with the pooled job forever.
 type wbJob struct {
 	c    *Rack
 	va   mem.VA
 	data []byte
+	buf  []byte
 	home ctrlplane.BladeID
 	done func()
 }
@@ -238,6 +255,8 @@ func newRack(pod *Pod, idx int, cfg Config) (*Rack, error) {
 	c.hLostWrites = c.col.Handle(stats.CtrLostWrites)
 	c.hBladeEvents = c.col.Handle(stats.CtrBladeEvents)
 	c.hMigratedPages = c.col.Handle(stats.CtrMigratedPages)
+	c.hKills = c.col.Handle(stats.CtrBladeKills)
+	c.hRecoveries = c.col.Handle(stats.CtrBladeRecoveries)
 	if pod.multiRack {
 		c.hCrossMsgs = c.col.Handle(stats.CtrCrossRackMsgs)
 		c.hPromotedVMAs = c.col.Handle(stats.CtrPromotedVMAs)
@@ -397,22 +416,36 @@ func (c *Rack) writeback(from fabric.NodeID, va mem.VA, data []byte, done func()
 	if j == nil {
 		j = &wbJob{c: c}
 	}
-	j.va, j.data, j.done = va, data, done
+	j.va, j.data, j.done = va, nil, done
+	if data != nil {
+		if j.buf == nil {
+			j.buf = make([]byte, mem.PageSize)
+		}
+		copy(j.buf, data)
+		j.data = j.buf
+	}
 	c.fab.SendToSwitchArg(from, fabric.PageBytes, wbAtSwitch, j)
 }
 
 // fetchData copies page bytes from the home memory blade at the simulated
-// moment of delivery.
-func (c *Rack) fetchData(va mem.VA) []byte {
+// moment of delivery, filling the caller's recycled buffer when one is
+// offered (allocation-free on the steady-state fault path).
+func (c *Rack) fetchData(va mem.VA, dst []byte) []byte {
 	home, err := c.ctl.Allocator().Translate(va)
 	if err != nil {
 		return nil
 	}
-	return c.mblades[int(home)].ReadPage(va)
+	return c.mblades[int(home)].ReadPageInto(va, dst)
 }
 
 // Pod returns the pod this rack is a member of.
 func (c *Rack) Pod() *Pod { return c.pod }
+
+// Recovering reports whether a failure recovery (blade-kill re-homing
+// or switch failover) is in flight on this rack — the recovery blackout
+// the serving layer's brownout admission keys off. Rack event or
+// barrier context only.
+func (c *Rack) Recovering() bool { return c.recovering > 0 }
 
 // RackIndex returns this rack's index within its pod.
 func (c *Rack) RackIndex() int { return c.idx }

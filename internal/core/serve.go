@@ -71,6 +71,9 @@ type TenantWorkload struct {
 	// arrival that cannot take a token is shed and counted, never
 	// queued.
 	Limiter *ctrlplane.TokenBucket
+	// Deadline overrides ServeConfig.Deadline for this tenant share
+	// when nonzero (end-to-end request budget).
+	Deadline sim.Duration
 }
 
 // ServeConfig shapes a serving run.
@@ -81,6 +84,73 @@ type ServeConfig struct {
 	// QueueCap bounds each blade's request queue; an arrival to a full
 	// queue is dropped and counted. 0 means 4096.
 	QueueCap int
+
+	// Request-robustness layer. All zero values disable every
+	// mechanism and keep the event schedule bit-identical to a run
+	// without the layer — no timers arm, no RNG draws happen.
+
+	// Deadline is the end-to-end request budget, fixed at admission: a
+	// request that has not completed Deadline after its arrival is timed
+	// out, and retries spend from the same budget (deadline propagation
+	// — a retry of an already-expired request fails at dequeue without
+	// touching the blade). The in-service deadline is a pooled engine
+	// timer racing the fault chain (a kill's blackout stalls faults in
+	// the §4.4 timeout machinery for milliseconds; the timer is what
+	// keeps the client's view of the request bounded). 0 disables
+	// deadlines.
+	Deadline sim.Duration
+	// MaxRetries re-admits a timed-out or errored request up to this
+	// many times, after exponential backoff, within the request's
+	// original deadline.
+	MaxRetries int
+	// RetryBackoff is the base backoff: attempt k waits
+	// RetryBackoff<<(k-1) plus a deterministic jitter in [0,
+	// RetryBackoff), clamped to MaxBackoff. 0 with retries enabled
+	// defaults to 2us.
+	RetryBackoff sim.Duration
+	// MaxBackoff clamps the exponential backoff (overflow guard). 0
+	// defaults to 64x RetryBackoff.
+	MaxBackoff sim.Duration
+	// Brownout is the probability that an arrival on a rack currently
+	// in recovery blackout (blade-kill re-homing or switch failover in
+	// flight) is shed at admission — graceful degradation instead of
+	// queue collapse while the rack heals. 0 disables brownout.
+	Brownout float64
+	// Seed roots the per-shard RNG streams behind retry jitter and
+	// brownout coins (tag "serve-robust/r<rack>"); draws happen only in
+	// shard event order, so the schedule is deterministic across worker
+	// counts.
+	Seed uint64
+}
+
+// retryBackoff computes attempt's backoff (attempt >= 1): exponential
+// from the base with an overflow-proof doubling loop, clamped to max,
+// plus a jitter draw in [0, base) from the shard's RNG stream.
+func (cfg *ServeConfig) retryBackoff(attempt int, rng *sim.RNG) sim.Duration {
+	base := cfg.RetryBackoff
+	if base <= 0 {
+		base = 2 * sim.Microsecond
+	}
+	max := cfg.MaxBackoff
+	if max <= 0 {
+		if base > sim.Duration(1)<<56 {
+			max = base
+		} else {
+			max = base << 6
+		}
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		if d > max/2 {
+			d = max
+			break
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d + sim.Duration(rng.Uint64n(uint64(base)))
 }
 
 // serveReq is one admitted request; pooled and chained intrusively
@@ -91,6 +161,14 @@ type serveReq struct {
 	write   bool
 	arrival sim.Time
 	next    *serveReq
+
+	// attempt counts re-admissions; deadline is the request's end-to-end
+	// expiry, fixed at admission and never refreshed across retries
+	// (zero when the tenant has no request budget). arrival stays the
+	// original arrival across retries, so a served retry's observed
+	// sojourn spans the whole client wait.
+	attempt  int
+	deadline sim.Time
 }
 
 // serveTenant is the runtime state behind one TenantWorkload share.
@@ -101,6 +179,9 @@ type serveTenant struct {
 
 	// Stop generating arrivals past this virtual time.
 	deadline sim.Time
+	// budget is the end-to-end request deadline (tenant override or
+	// ServeConfig.Deadline); 0 means unbounded.
+	budget sim.Duration
 
 	lat *stats.StreamHist
 
@@ -108,6 +189,10 @@ type serveTenant struct {
 	hCompleted stats.Handle
 	hThrottled stats.Handle
 	hDropped   stats.Handle
+	hTimedOut  stats.Handle
+	hRetried   stats.Handle
+	hShed      stats.Handle
+	hFailed    stats.Handle
 }
 
 // serveWorker drains one blade's FIFO, one request at a time.
@@ -121,9 +206,19 @@ type serveWorker struct {
 
 	// cur is the request in service; accessDone is the pre-bound fault
 	// completion (one per worker — a worker serves one request at a
-	// time, so no per-request closure is needed).
+	// time, so no per-request closure is needed). curErr carries the
+	// access's error into complete.
 	cur        *serveReq
+	curErr     error
 	accessDone func(accessResultAlias)
+
+	// deadEv is the worker's pooled deadline timer (engine.Rearm): it
+	// races the in-service fault chain and, firing first, marks the
+	// attempt expired. The worker still waits for the access completion
+	// — exactly one access per worker is ever outstanding — so a late
+	// fault return can never be confused with a newer request's.
+	deadEv  *sim.Event
+	expired bool
 }
 
 // Pre-bound continuations (see thread.go): scheduling these allocates
@@ -132,6 +227,8 @@ func serveArrival(x any)    { x.(*serveTenant).arrive() }
 func serveWorkerStep(x any) { x.(*serveWorker).step() }
 func serveIssue(x any)      { x.(*serveWorker).issue() }
 func serveComplete(x any)   { x.(*serveWorker).complete() }
+func serveDeadline(x any)   { x.(*serveWorker).expired = true }
+func serveRetry(x any)      { req := x.(*serveReq); req.tenant.readmit(req) }
 
 // serveShard owns one rack's slice of a serving run. Every field is
 // mutated only from its rack's event context (or, for multi-rack pods,
@@ -147,10 +244,18 @@ type serveShard struct {
 	workers []*serveWorker
 	reqFree sim.Pool[serveReq]
 
+	// rng feeds retry jitter and brownout coins; drawn from only in
+	// shard event order, so the stream is schedule-deterministic.
+	rng *sim.RNG
+
 	hArrivals  stats.Handle
 	hCompleted stats.Handle
 	hThrottled stats.Handle
 	hDropped   stats.Handle
+	hTimedOut  stats.Handle
+	hRetried   stats.Handle
+	hShed      stats.Handle
+	hFailed    stats.Handle
 
 	// liveArrivals counts tenant shares whose arrival chain has not
 	// passed its deadline; pending counts admitted-but-incomplete
@@ -209,15 +314,21 @@ func NewPodServing(p *Pod, cfg ServeConfig) (*Serving, error) {
 		sh := &serveShard{
 			sv:         s,
 			c:          c,
+			rng:        sim.NewRNG(cfg.Seed, fmt.Sprintf("serve-robust/r%d", c.idx)),
 			hArrivals:  c.col.Handle(stats.CtrServeArrivals),
 			hCompleted: c.col.Handle(stats.CtrServeCompleted),
 			hThrottled: c.col.Handle(stats.CtrServeThrottled),
 			hDropped:   c.col.Handle(stats.CtrServeDropped),
+			hTimedOut:  c.col.Handle(stats.CtrServeTimedOut),
+			hRetried:   c.col.Handle(stats.CtrServeRetried),
+			hShed:      c.col.Handle(stats.CtrServeShed),
+			hFailed:    c.col.Handle(stats.CtrServeFailed),
 		}
 		eng := c.eng
 		for i := range c.cblades {
 			w := &serveWorker{s: sh, blade: i}
-			w.accessDone = func(accessResultAlias) {
+			w.accessDone = func(r accessResultAlias) {
+				w.curErr = r.Err
 				eng.ScheduleArg(0, serveComplete, w)
 			}
 			sh.workers = append(sh.workers, w)
@@ -241,11 +352,19 @@ func (s *Serving) AddTenant(t TenantWorkload) error {
 		s:          sh,
 		spec:       t,
 		pdid:       t.Proc.PID(),
+		budget:     s.cfg.Deadline,
 		lat:        sh.c.col.StreamHist("serve_lat[" + t.Name + "]"),
 		hArrivals:  sh.c.col.Handle("serve_arrivals[" + t.Name + "]"),
 		hCompleted: sh.c.col.Handle("serve_completed[" + t.Name + "]"),
 		hThrottled: sh.c.col.Handle("serve_throttled[" + t.Name + "]"),
 		hDropped:   sh.c.col.Handle("serve_dropped[" + t.Name + "]"),
+		hTimedOut:  sh.c.col.Handle("serve_timedout[" + t.Name + "]"),
+		hRetried:   sh.c.col.Handle("serve_retried[" + t.Name + "]"),
+		hShed:      sh.c.col.Handle("serve_shed[" + t.Name + "]"),
+		hFailed:    sh.c.col.Handle("serve_failed[" + t.Name + "]"),
+	}
+	if t.Deadline > 0 {
+		st.budget = t.Deadline
 	}
 	sh.tenants = append(sh.tenants, st)
 	s.tenants++
@@ -336,6 +455,17 @@ func (st *serveTenant) arrive() {
 	s.c.col.IncH(s.hArrivals, 1)
 	s.c.col.IncH(st.hArrivals, 1)
 
+	// Brownout admission: while the rack is in recovery blackout (a
+	// blade kill's re-homing or a switch failover in flight), shed a
+	// fraction of arrivals instead of letting queues collapse onto the
+	// degraded data plane. The coin is a shard-RNG draw in event order,
+	// so the shed set is deterministic.
+	if s.sv.cfg.Brownout > 0 && s.c.recovering > 0 && s.rng.Bool(s.sv.cfg.Brownout) {
+		s.c.col.IncH(s.hShed, 1)
+		s.c.col.IncH(st.hShed, 1)
+		return
+	}
+
 	// QoS admission: over-rate arrivals are shed, not queued — the
 	// whole point is that an aggressor's excess never occupies the
 	// blade the compliant tenants share.
@@ -359,6 +489,11 @@ func (st *serveTenant) arrive() {
 	req.tenant = st
 	req.va, req.write = st.spec.NextOp()
 	req.arrival = now
+	req.attempt = 0
+	req.deadline = 0
+	if st.budget > 0 {
+		req.deadline = now.Add(st.budget)
+	}
 	req.next = nil
 	if w.tail != nil {
 		w.tail.next = req
@@ -376,29 +511,46 @@ func (st *serveTenant) arrive() {
 
 // step pulls the next request and starts its service: think time
 // accrues first, then the access is issued (inline for a cache hit,
-// as a fault round trip otherwise).
+// as a fault round trip otherwise). An attempt whose deadline already
+// passed while queued never reaches the blade — it times out at
+// dequeue, and the worker moves straight to the next request.
 func (w *serveWorker) step() {
-	req := w.head
-	if req == nil {
-		w.busy = false
-		return
-	}
-	w.head = req.next
-	if w.head == nil {
-		w.tail = nil
-	}
-	req.next = nil
-	w.qlen--
-	w.cur = req
+	s := w.s
+	for {
+		req := w.head
+		if req == nil {
+			w.busy = false
+			return
+		}
+		w.head = req.next
+		if w.head == nil {
+			w.tail = nil
+		}
+		req.next = nil
+		w.qlen--
 
-	blade := w.s.c.cblades[w.blade]
-	local := w.s.c.cfg.ThinkTime
-	if blade.WouldHit(req.va, req.write) {
-		blade.Access(req.tenant.pdid, req.va, req.write, nil)
-		w.s.c.eng.ScheduleArg(local+computeblade.HitLatency, serveComplete, w)
+		now := s.c.eng.Now()
+		if req.deadline != 0 && now >= req.deadline {
+			req.tenant.failAttempt(req, true)
+			continue
+		}
+		w.cur = req
+		w.curErr = nil
+		w.expired = false
+		if req.deadline != 0 {
+			w.deadEv = s.c.eng.Rearm(w.deadEv, sim.Duration(req.deadline-now), serveDeadline, w)
+		}
+
+		blade := s.c.cblades[w.blade]
+		local := s.c.cfg.ThinkTime
+		if blade.WouldHit(req.va, req.write) {
+			blade.Access(req.tenant.pdid, req.va, req.write, nil)
+			s.c.eng.ScheduleArg(local+computeblade.HitLatency, serveComplete, w)
+			return
+		}
+		s.c.eng.ScheduleArg(local, serveIssue, w)
 		return
 	}
-	w.s.c.eng.ScheduleArg(local, serveIssue, w)
 }
 
 // issue starts the blocking fault for the request in service. On a
@@ -416,30 +568,108 @@ func (w *serveWorker) issue() {
 	}
 }
 
-// complete finishes the request in service: observe its sojourn time
-// (queueing + service) into the tenant's streaming histogram, recycle
-// the request, and continue with the queue.
+// complete finishes the request in service. The worker always waits
+// for the access completion (the §4.4 timeout/retransmit/reset
+// machinery bounds every access, even to a dead blade), then settles
+// the attempt: expired or errored attempts go to failAttempt; a clean
+// completion observes its sojourn time (queueing + service, from the
+// original arrival — a served retry's latency spans the whole client
+// wait) into the tenant's streaming histogram and recycles the
+// request. Either way the worker continues with its queue.
 func (w *serveWorker) complete() {
 	s := w.s
 	req := w.cur
 	w.cur = nil
 	st := req.tenant
+	s.c.eng.Cancel(w.deadEv)
 
-	now := s.c.eng.Now()
-	st.lat.Observe(int64(now - req.arrival))
-	s.c.col.IncH(s.hCompleted, 1)
-	s.c.col.IncH(st.hCompleted, 1)
-	s.pending--
-	if now > s.lastFinish {
-		s.lastFinish = now
+	switch {
+	case w.expired:
+		st.failAttempt(req, true)
+	case w.curErr != nil:
+		st.failAttempt(req, false)
+	default:
+		now := s.c.eng.Now()
+		st.lat.Observe(int64(now - req.arrival))
+		s.c.col.IncH(s.hCompleted, 1)
+		s.c.col.IncH(st.hCompleted, 1)
+		s.pending--
+		if now > s.lastFinish {
+			s.lastFinish = now
+		}
+		req.tenant = nil
+		s.reqFree.Put(req)
 	}
-
-	req.tenant = nil
-	s.reqFree.Put(req)
+	w.curErr = nil
+	w.expired = false
 
 	if w.head != nil {
 		s.c.eng.ScheduleArg(0, serveWorkerStep, w)
 		return
 	}
 	w.busy = false
+}
+
+// failAttempt settles one failed attempt. timedOut distinguishes a
+// deadline expiry from an access error (the VA was lost in a blade
+// kill). With retry budget left the request is re-admitted after
+// exponential backoff; otherwise its fate is terminal — timed-out or
+// failed — and the shard's pending count finally drops.
+func (st *serveTenant) failAttempt(req *serveReq, timedOut bool) {
+	s := st.s
+	if req.attempt < s.sv.cfg.MaxRetries {
+		req.attempt++
+		s.c.col.IncH(s.hRetried, 1)
+		s.c.col.IncH(st.hRetried, 1)
+		s.c.eng.ScheduleArg(s.sv.cfg.retryBackoff(req.attempt, s.rng), serveRetry, req)
+		return
+	}
+	now := s.c.eng.Now()
+	if timedOut {
+		s.c.col.IncH(s.hTimedOut, 1)
+		s.c.col.IncH(st.hTimedOut, 1)
+	} else {
+		s.c.col.IncH(s.hFailed, 1)
+		s.c.col.IncH(st.hFailed, 1)
+	}
+	s.pending--
+	if now > s.lastFinish {
+		s.lastFinish = now
+	}
+	req.tenant = nil
+	s.reqFree.Put(req)
+}
+
+// readmit re-enqueues a retried request on its blade. The deadline is
+// NOT refreshed: it is the request's end-to-end budget, fixed at
+// admission, and retries spend from it (deadline propagation). A full
+// queue at readmission is a terminal drop — the same fate an arrival
+// would have met.
+func (st *serveTenant) readmit(req *serveReq) {
+	s := st.s
+	now := s.c.eng.Now()
+	w := s.workers[st.spec.Blade]
+	if w.qlen >= s.sv.cfg.QueueCap {
+		s.c.col.IncH(s.hDropped, 1)
+		s.c.col.IncH(st.hDropped, 1)
+		s.pending--
+		if now > s.lastFinish {
+			s.lastFinish = now
+		}
+		req.tenant = nil
+		s.reqFree.Put(req)
+		return
+	}
+	req.next = nil
+	if w.tail != nil {
+		w.tail.next = req
+	} else {
+		w.head = req
+	}
+	w.tail = req
+	w.qlen++
+	if !w.busy {
+		w.busy = true
+		s.c.eng.ScheduleArg(0, serveWorkerStep, w)
+	}
 }

@@ -124,6 +124,10 @@ func TestDumpAllPanels(t *testing.T) {
 		f, err := FigServePod(s)
 		one("figservepod", f, err)
 	}
+	{
+		f, err := FigServeKill(s)
+		one("figservekill", f, err)
+	}
 
 	sort.Strings(lines)
 	data := ""

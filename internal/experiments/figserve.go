@@ -119,7 +119,7 @@ func (p figServeParams) spec(mult int, qos bool) prun.Spec {
 					Proc:    proc,
 					Blade:   pl.Blade,
 					Arrival: workloads.NewPoisson(p.seed, pl.Spec.Name, rate),
-					NextOp:  workloads.RequestStream(w, vma.Base, i, params),
+					NextOp:  workloads.RequestStreamIn(w, vma.Base, vma.Len, i, params),
 					Limiter: lim,
 				})
 				if err != nil {

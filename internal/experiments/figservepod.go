@@ -149,7 +149,7 @@ func (p figServePodParams) spec(racks int) prun.Spec {
 						Proc:    proc,
 						Blade:   share.Blade,
 						Arrival: arr,
-						NextOp:  workloads.RequestStream(w, vma.Base, stream, params),
+						NextOp:  workloads.RequestStreamIn(w, vma.Base, vma.Len, stream, params),
 						Limiter: lim,
 					})
 					if err != nil {

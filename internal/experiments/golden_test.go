@@ -61,10 +61,12 @@ func hashFigMap(h interface{ Write(p []byte) (int, error) }, figs map[string]*Fi
 // the elasticity timeline with its membership events and migration
 // scheduling (Fig10), the pod panel with cross-rack borrowing and
 // hot-page promotion (FigPod), the open-loop serving sweep with
-// its arrival chains and QoS admission (FigServe), and the sharded
+// its arrival chains and QoS admission (FigServe), the sharded
 // multi-rack serving sweep with its pod-wide placement and per-rack
-// arrival shards (FigServePod) — with the given worker setting, on a
-// fresh cache so every run really executes.
+// arrival shards (FigServePod), and the failure-injection panel with
+// its kill storm, deadline/retry/brownout robustness layer and
+// availability timeline (FigServeKill) — with the given worker
+// setting, on a fresh cache so every run really executes.
 func goldenFingerprint(t *testing.T, workers int) string {
 	t.Helper()
 	s := goldenScale
@@ -123,6 +125,12 @@ func goldenFingerprint(t *testing.T, workers int) string {
 		t.Fatal(err)
 	}
 	hashFig(h, figServePod)
+
+	figServeKill, err := FigServeKill(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashFig(h, figServeKill)
 
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -33,9 +33,18 @@
 //     interconnect. Run twice like podpar (serial, then the worker
 //     pool); any simulation-output divergence fails the run instead of
 //     reporting a speedup.
+//   - "servekill" (BENCH_servekill.json): the failure-injection probe —
+//     a 2-rack pod serving open-loop traffic with the request-robustness
+//     layer armed (deadlines, bounded retries, brownout shedding) while
+//     a kill storm lands: a hot-added blade, a borrowed-blade kill, a
+//     switch failover, and a live drain. Pins the host-side cost of the
+//     recovery machinery under load; the request accounting (shed /
+//     timed-out / retried and kills == recoveries) is the identity
+//     check.
 package hotpath
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"time"
@@ -202,6 +211,31 @@ func ServeParScenario() Config {
 	}
 }
 
+// ServeKillScenario is the tracked failure-injection configuration
+// (BENCH_servekill.json): a 2-rack pod — rack 0 memory-poor, so its
+// victim tenant's share sits on a borrowed blade — serving three
+// open-loop Poisson tenants with per-request deadlines, bounded
+// retries and brownout shedding, while the pod injector's full
+// repertoire lands mid-run: a hot-added blade, the borrowed blade's
+// death (cross-rack recovery), a switch failover on the other rack,
+// and a live blade drain. All failure timing derives from the horizon,
+// so smoke runs at lower -ops see the same storm shape.
+func ServeKillScenario() Config {
+	return Config{
+		Scenario:      "servekill",
+		Racks:         2,
+		ComputeBlades: 2,
+		MemoryBlades:  0, // shaped per rack (see runServeKill)
+		Threads:       3, // one serve stream per tenant
+		TotalOps:      480_000,
+		Seed:          1021,
+		Workload:      "MA",
+		WorkloadScale: 1,
+		CacheFrac:     0.25,
+		Workers:       2,
+	}
+}
+
 // Scenario returns the tracked configuration with the given name.
 func Scenario(name string) (Config, error) {
 	switch name {
@@ -217,8 +251,10 @@ func Scenario(name string) (Config, error) {
 		return ServeScenario(), nil
 	case "servepar":
 		return ServeParScenario(), nil
+	case "servekill":
+		return ServeKillScenario(), nil
 	}
-	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack, pod, podpar, serve or servepar)", name)
+	return Config{}, fmt.Errorf("hotpath: unknown scenario %q (want hotpath, rack, pod, podpar, serve, servepar or servekill)", name)
 }
 
 // Result is one measured macro run.
@@ -261,6 +297,19 @@ type Result struct {
 	ServeP99Us     float64 `json:"serve_p99_us,omitempty"`
 	SpannedTenants int     `json:"spanned_tenants,omitempty"`
 
+	// Failure-injection outputs (servekill scenario only): terminal
+	// request fates from the robustness layer and the recovery
+	// accounting (kills counts the blade kill and the switch failover;
+	// every kill must have a matching completed recovery).
+	ServeShed     uint64 `json:"serve_shed,omitempty"`
+	ServeTimedOut uint64 `json:"serve_timedout,omitempty"`
+	ServeRetried  uint64 `json:"serve_retried,omitempty"`
+	ServeFailed   uint64 `json:"serve_failed,omitempty"`
+	Kills         uint64 `json:"kills,omitempty"`
+	Recoveries    uint64 `json:"recoveries,omitempty"`
+	PagesLost     int    `json:"pages_lost,omitempty"`
+	PagesMoved    int    `json:"pages_moved,omitempty"`
+
 	// Host-side cost per simulated access.
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
@@ -286,6 +335,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Scenario == "servepar" {
 		return runServePar(cfg)
+	}
+	if cfg.Scenario == "servekill" {
+		return runServeKill(cfg)
 	}
 	if cfg.Racks > 1 {
 		return runPod(cfg)
@@ -442,7 +494,7 @@ func runServe(cfg Config) (Result, error) {
 			Proc:    p,
 			Blade:   pl.Blade,
 			Arrival: arr,
-			NextOp:  workloads.RequestStream(w, vma.Base, i, params),
+			NextOp:  workloads.RequestStreamIn(w, vma.Base, vma.Len, i, params),
 			Limiter: lim,
 		})
 		if err != nil {
@@ -644,7 +696,7 @@ func runServePod(cfg Config) (Result, error) {
 				Proc:    p,
 				Blade:   share.Blade,
 				Arrival: arr,
-				NextOp:  workloads.RequestStream(w, vma.Base, stream, params),
+				NextOp:  workloads.RequestStreamIn(w, vma.Base, vma.Len, stream, params),
 				Limiter: pl.Bucket(si),
 			})
 			if err != nil {
@@ -745,6 +797,212 @@ func runServePar(cfg Config) (Result, error) {
 	res.BaseEventsPerSec = base.EventsPerSec
 	res.ParallelSpeedup = res.EventsPerSec / base.EventsPerSec
 	return res, nil
+}
+
+// Servekill traffic shape: each tenant's Poisson rate (requests/sec) —
+// low enough that every tenant, including the cache-missing cross-rack
+// victim, keeps up in steady state, so degradation is the storm's
+// doing, not chronic saturation.
+const skRate = 60_000
+
+// runServeKill executes the failure-injection scenario: a 2-rack pod
+// under robust open-loop serving, with the full kill storm timed off
+// the horizon (headroom hot-adds at 20%, the borrowed blade dies at
+// 30%, rack 1's switch fails over at 50%, a rack-1 blade drains at
+// 65%). Setup — including pre-materializing the victim and drain
+// datasets so the kill loses real pages and the drain moves real bytes
+// — happens before the measured window; the storm itself is on the
+// measured path.
+func runServeKill(cfg Config) (Result, error) {
+	H := sim.Duration(float64(cfg.TotalOps) / (3 * skRate) * float64(sim.Second))
+	// Detection is slowed so the blackout is a visible fraction of the
+	// run; the deadline sits well under it (queued requests genuinely
+	// burn out during the blackout) but well above a healthy sojourn.
+	detection := H / 40
+	deadline := H / 200
+	mk := func(blades int) core.Config {
+		rc := core.DefaultConfig(cfg.ComputeBlades, blades)
+		rc.MemoryBladeCapacity = 1024 * mem.PageSize
+		rc.CachePagesPerBlade = 64
+		rc.Migration.DetectionDelay = detection
+		rc.Seed = cfg.Seed
+		return rc
+	}
+	// Promotion epochs are disabled: left on, the promotion policy would
+	// pull the borrowed share local once the hot-add creates headroom
+	// and return the lease before the kill lands.
+	pod, err := core.NewPod(core.PodConfig{
+		Racks:     []core.Config{mk(1), mk(3)},
+		Promotion: core.PromotionConfig{Disable: true},
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	s, err := core.NewPodServing(pod, core.ServeConfig{
+		Horizon:      H,
+		QueueCap:     1 << 16,
+		Deadline:     deadline,
+		MaxRetries:   2,
+		RetryBackoff: deadline / 10,
+		Brownout:     0.5,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	addTenant := func(name string, rack, blade, pages int) (mem.VMA, error) {
+		proc := pod.Rack(rack).Exec(name)
+		vma, err := proc.Mmap(uint64(pages)*mem.PageSize, mem.PermReadWrite)
+		if err != nil {
+			return mem.VMA{}, err
+		}
+		i := uint64(0)
+		return vma, s.AddTenant(core.TenantWorkload{
+			Name:    name,
+			Proc:    proc,
+			Blade:   blade,
+			Arrival: workloads.NewPoisson(cfg.Seed, "servekill/"+name, skRate),
+			NextOp: func() (mem.VA, bool) {
+				pg := i % uint64(pages)
+				wr := i%4 == 0
+				i++
+				return vma.Base + mem.VA(pg*mem.PageSize), wr
+			},
+		})
+	}
+	// The filler consumes rack 0's only local blade, so the victim
+	// tenant's share lands on a borrowed blade.
+	if _, err := pod.Rack(0).Exec("filler").Mmap(900*mem.PageSize, mem.PermReadWrite); err != nil {
+		return Result{}, err
+	}
+	victimVMA, err := addTenant("victim", 0, 0, 400)
+	if err != nil {
+		return Result{}, err
+	}
+	if pod.Rack(0).BorrowedBlades() == 0 {
+		return Result{}, fmt.Errorf("hotpath: servekill rack 0 did not borrow (shape drifted)")
+	}
+	if _, err := addTenant("steady", 1, 0, 64); err != nil {
+		return Result{}, err
+	}
+	bulkVMA, err := addTenant("bulk", 1, 1, 128)
+	if err != nil {
+		return Result{}, err
+	}
+	killVictim, err := pod.Rack(0).Controller().Allocator().Translate(victimVMA.Base)
+	if err != nil {
+		return Result{}, err
+	}
+	drainVictim, err := pod.Rack(1).Controller().Allocator().Translate(bulkVMA.Base)
+	if err != nil {
+		return Result{}, err
+	}
+	materialize := func(rack int, vma mem.VMA, pages int) error {
+		alloc := pod.Rack(rack).Controller().Allocator()
+		buf := make([]byte, mem.PageSize)
+		for i := 0; i < pages; i++ {
+			va := vma.Base + mem.VA(i)*mem.PageSize
+			home, err := alloc.Translate(va)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, uint64(i+1))
+			pod.Rack(rack).MemBlade(int(home)).WritePage(va, buf)
+		}
+		return nil
+	}
+	if err := materialize(0, victimVMA, 400); err != nil {
+		return Result{}, err
+	}
+	if err := materialize(1, bulkVMA, 128); err != nil {
+		return Result{}, err
+	}
+
+	base := pod.Now()
+	var addErr, killErr, switchErr, drainErr error
+	var krep core.KillReport
+	var drep core.DrainReport
+	r0 := pod.Rack(0)
+	r0.Engine().At(base.Add(H*2/10), func() { _, addErr = r0.AddMemBlade(0) })
+	err = pod.KillMemBladeAt(0, killVictim, base.Add(H*3/10), func(r core.KillReport, e error) {
+		krep, killErr = r, e
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	err = pod.KillSwitchAt(1, base.Add(H*5/10), func(r core.SwitchFailoverReport, e error) {
+		switchErr = e
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	err = pod.DrainMemBladeAt(1, drainVictim, base.Add(H*65/100), func(r core.DrainReport, e error) {
+		drep, drainErr = r, e
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	events0 := pod.ExecutedEvents()
+	start := time.Now()
+
+	end, err := s.Run()
+	if err != nil {
+		return Result{}, err
+	}
+
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	for _, e := range []error{addErr, killErr, switchErr, drainErr} {
+		if e != nil {
+			return Result{}, fmt.Errorf("hotpath: servekill storm event: %w", e)
+		}
+	}
+
+	col := pod.Collector()
+	ops := col.Counter(stats.CtrAccesses)
+	if ops == 0 {
+		return Result{}, fmt.Errorf("hotpath: servekill run performed no accesses")
+	}
+	events := pod.ExecutedEvents() - events0
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	return Result{
+		Scenario:       cfg.Scenario,
+		Workload:       "open-loop MA x3 tenants under kill storm (servekill)",
+		Blades:         2 * cfg.ComputeBlades,
+		Threads:        3,
+		Ops:            ops,
+		Events:         events,
+		RemoteRate:     col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:    end.Sub(0).Seconds(),
+		Racks:          2,
+		CrossRackMsgs:  col.Counter(stats.CtrCrossRackMsgs),
+		BladeBorrows:   col.Counter(stats.CtrBladeBorrows),
+		Workers:        cfg.Workers,
+		ServeArrivals:  col.Counter(stats.CtrServeArrivals),
+		ServeCompleted: col.Counter(stats.CtrServeCompleted),
+		ServeThrottled: col.Counter(stats.CtrServeThrottled),
+		ServeDropped:   col.Counter(stats.CtrServeDropped),
+		ServeP99Us:     float64(col.StreamHist("serve_lat[steady]").Percentile(99)) / 1e3,
+		ServeShed:      col.Counter(stats.CtrServeShed),
+		ServeTimedOut:  col.Counter(stats.CtrServeTimedOut),
+		ServeRetried:   col.Counter(stats.CtrServeRetried),
+		ServeFailed:    col.Counter(stats.CtrServeFailed),
+		Kills:          col.Counter(stats.CtrBladeKills),
+		Recoveries:     col.Counter(stats.CtrBladeRecoveries),
+		PagesLost:      krep.PagesLost,
+		PagesMoved:     drep.PagesMoved,
+		NsPerOp:        float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:    float64(allocs) / float64(ops),
+		BytesPerOp:     float64(bytes) / float64(ops),
+		EventsPerSec:   float64(events) / wall.Seconds(),
+	}, nil
 }
 
 // podBorrowerCap and podLenderCap shape the pod scenario's memory tiers:

@@ -56,6 +56,29 @@ func (b *Blade) ReadPage(va mem.VA) []byte {
 	return cp
 }
 
+// ReadPageInto copies the page containing va into dst — allocating a
+// fresh page buffer only when dst is nil — and returns it, or nil if
+// the page was never materialized (all-zero; dst is then untouched and
+// stays the caller's to reuse). This is the allocation-free variant of
+// ReadPage for callers that recycle page buffers. A dead blade serves
+// nothing.
+func (b *Blade) ReadPageInto(va mem.VA, dst []byte) []byte {
+	if b.dead {
+		b.deadOps++
+		return nil
+	}
+	b.reads++
+	p, ok := b.pages[mem.PageIndex(va)]
+	if !ok {
+		return nil
+	}
+	if dst == nil {
+		dst = make([]byte, mem.PageSize)
+	}
+	copy(dst, p)
+	return dst
+}
+
 // WritePage stores the page containing va. A nil data writes nothing (a
 // never-materialized page stays zero) — used by barrier writebacks.
 func (b *Blade) WritePage(va mem.VA, data []byte) {

@@ -52,6 +52,20 @@ const (
 	CtrServeCompleted = "serve_completed" // requests served to completion
 	CtrServeThrottled = "serve_throttled" // requests shed by QoS admission
 	CtrServeDropped   = "serve_dropped"   // requests shed by a full queue
+
+	// Failure-injection counters: one kill per injected blade death or
+	// switch failover, one recovery when its re-home/failover completes.
+	CtrBladeKills      = "blade_kills"
+	CtrBladeRecoveries = "blade_recoveries"
+
+	// Serving request-robustness counters. A request's terminal fate is
+	// exactly one of completed / throttled / dropped / shed / timedout /
+	// failed (the serving conservation identity); retried counts
+	// re-admissions and is informational, not a terminal state.
+	CtrServeTimedOut = "serve_timedout" // deadline exhausted (terminal)
+	CtrServeRetried  = "serve_retried"  // failed attempts re-admitted
+	CtrServeShed     = "serve_shed"     // arrivals shed by brownout admission
+	CtrServeFailed   = "serve_failed"   // errored out of retries (lost)
 )
 
 // Latency component names (Figure 7 right breakdown).

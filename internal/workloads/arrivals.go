@@ -252,3 +252,27 @@ func RequestStream(w Workload, base mem.VA, thread int, p Params) func() (mem.VA
 		return va, wr
 	}
 }
+
+// RequestStreamIn is RequestStream folded into the tenant's mapped
+// window [base, base+bytes): a generated VA past the window wraps
+// modulo the window length. Serving tenants map their placement share
+// of the workload, not the workload's whole footprint, and an access
+// outside the mapping is a data-plane permission rejection (EACCES at
+// the switch) — a request failure, not service. Folding keeps the
+// generator's draw sequence (and so the whole event schedule)
+// deterministic while modeling a tenant whose working set is its
+// share. When bytes covers the workload footprint the fold is the
+// identity and the stream equals RequestStream's.
+func RequestStreamIn(w Workload, base mem.VA, bytes uint64, thread int, p Params) func() (mem.VA, bool) {
+	next := RequestStream(w, base, thread, p)
+	if bytes == 0 || bytes >= w.Footprint {
+		return next
+	}
+	return func() (mem.VA, bool) {
+		va, wr := next()
+		if off := uint64(va - base); off >= bytes {
+			va = base + mem.VA(off%bytes)
+		}
+		return va, wr
+	}
+}
