@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"mind/internal/hotpath"
 )
@@ -135,6 +136,8 @@ func main() {
 	label := flag.String("label", "current", "label for this measurement")
 	rebaseline := flag.Bool("rebaseline", false, "also record this run as the new baseline")
 	check := flag.Bool("check", false, "fail unless the scenario's improvement gate holds vs the stored baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	flag.Parse()
 
 	cfg, err := hotpath.Scenario(*scenario)
@@ -148,9 +151,35 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	var cpuf *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("creating %s: %v", *cpuprofile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		cpuf = f
+	}
 	res, err := hotpath.Run(cfg)
+	if cpuf != nil {
+		pprof.StopCPUProfile()
+		cpuf.Close()
+	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("creating %s: %v", *memprofile, err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("writing heap profile: %v", err)
+		}
+		f.Close()
 	}
 
 	// rep starts zero so a stored report's identity (or its absence) is
@@ -358,6 +387,9 @@ func runCheck(scenario string, rep report, res hotpath.Result, fullOps bool) {
 		if res.ParallelSpeedup <= 0 {
 			fatalf("servepar scenario recorded no parallel speedup ratio")
 		}
+		if res.WindowsSkipped == 0 {
+			fatalf("servepar scenario skipped no windows; the sparse-horizon executor never engaged")
+		}
 		if fullOps && res.ParallelSpeedup < 2.0 {
 			if runtime.NumCPU() >= res.Workers {
 				fatalf("parallel speedup %.2fx at %d workers (want >= 2.0x on a full-ops run)",
@@ -376,6 +408,9 @@ func runCheck(scenario string, rep report, res hotpath.Result, fullOps bool) {
 		}
 		if res.ParallelSpeedup <= 0 {
 			fatalf("podpar scenario recorded no parallel speedup ratio")
+		}
+		if res.WindowsSkipped == 0 {
+			fatalf("podpar scenario skipped no windows; the sparse-horizon executor never engaged")
 		}
 		if fullOps && res.ParallelSpeedup < 2.5 {
 			if runtime.NumCPU() >= res.Workers {

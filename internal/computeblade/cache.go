@@ -33,7 +33,10 @@ type PageState struct {
 // NewCache.
 type Cache struct {
 	capacity int // pages
-	pages    map[mem.VA]*PageState
+	// pages indexes the cached records by page base: an open-addressed
+	// table sized once for the capacity bound, so the per-access lookup
+	// never pays runtime map hashing (see pagetable.go).
+	pages pageTable
 	// head is the LRU ring sentinel: head.next is most recent, head.prev
 	// least recent.
 	head PageState
@@ -58,7 +61,7 @@ func NewCache(capacity int) *Cache {
 	}
 	c := &Cache{
 		capacity: capacity,
-		pages:    make(map[mem.VA]*PageState, capacity),
+		pages:    newPageTable(capacity),
 		arena:    make([]PageState, capacity),
 	}
 	c.head.prev = &c.head
@@ -85,7 +88,7 @@ func (c *Cache) pushFront(p *PageState) {
 func (c *Cache) Capacity() int { return c.capacity }
 
 // Len returns the number of cached pages.
-func (c *Cache) Len() int { return len(c.pages) }
+func (c *Cache) Len() int { return c.pages.n }
 
 // Hits and Misses return lookup accounting.
 func (c *Cache) Hits() uint64 { return c.hits }
@@ -95,8 +98,8 @@ func (c *Cache) Misses() uint64 { return c.misses }
 
 // Lookup returns the page if cached, bumping recency.
 func (c *Cache) Lookup(va mem.VA) (*PageState, bool) {
-	p, ok := c.pages[mem.PageBase(va)]
-	if !ok {
+	p := c.pages.get(packPageKey(mem.PageBase(va)))
+	if p == nil {
 		c.misses++
 		return nil, false
 	}
@@ -110,15 +113,15 @@ func (c *Cache) Lookup(va mem.VA) (*PageState, bool) {
 
 // Peek returns the page without recency or accounting effects.
 func (c *Cache) Peek(va mem.VA) (*PageState, bool) {
-	p, ok := c.pages[mem.PageBase(va)]
-	return p, ok
+	p := c.pages.get(packPageKey(mem.PageBase(va)))
+	return p, p != nil
 }
 
 // Insert adds a page (evicting if needed is the caller's job — use
 // NeedsEviction/EvictLRU first). Inserting an existing page updates it.
 func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
 	base := mem.PageBase(va)
-	if p, ok := c.pages[base]; ok {
+	if p := c.pages.get(packPageKey(base)); p != nil {
 		p.Writable = writable
 		if c.head.next != p {
 			c.unlink(p)
@@ -126,7 +129,7 @@ func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
 		}
 		return p
 	}
-	if len(c.pages) >= c.capacity {
+	if c.pages.n >= c.capacity {
 		panic(fmt.Sprintf("computeblade: insert over capacity (%d)", c.capacity))
 	}
 	p := c.free.Get()
@@ -145,12 +148,12 @@ func (c *Cache) Insert(va mem.VA, writable bool) *PageState {
 	}
 	p.VA, p.Writable = base, writable
 	c.pushFront(p)
-	c.pages[base] = p
+	c.pages.put(packPageKey(base), p)
 	return p
 }
 
 // NeedsEviction reports whether an insert requires evicting first.
-func (c *Cache) NeedsEviction() bool { return len(c.pages) >= c.capacity }
+func (c *Cache) NeedsEviction() bool { return c.pages.n >= c.capacity }
 
 // EvictLRU removes and returns the least-recently-used page. Returns nil
 // if the cache is empty. The returned record is recycled on the next
@@ -167,8 +170,8 @@ func (c *Cache) EvictLRU() *PageState {
 // Remove drops a specific page (invalidation path). Returns false if not
 // cached.
 func (c *Cache) Remove(va mem.VA) bool {
-	p, ok := c.pages[mem.PageBase(va)]
-	if !ok {
+	p := c.pages.get(packPageKey(mem.PageBase(va)))
+	if p == nil {
 		return false
 	}
 	c.remove(p)
@@ -177,7 +180,7 @@ func (c *Cache) Remove(va mem.VA) bool {
 
 func (c *Cache) remove(p *PageState) {
 	c.unlink(p)
-	delete(c.pages, p.VA)
+	c.pages.del(packPageKey(p.VA))
 	c.free.Put(p)
 }
 
@@ -188,17 +191,18 @@ func (c *Cache) remove(p *PageState) {
 func (c *Cache) PagesIn(base mem.VA, size uint64) []*PageState {
 	out := c.scratch[:0]
 	end := base + mem.VA(size)
-	// Scan-by-page when the range is small relative to occupancy,
-	// otherwise scan the map.
+	// Probe per page when the range is small relative to occupancy,
+	// otherwise walk the LRU ring (every cached page, recency order —
+	// deterministic, unlike the map scan this replaced).
 	pagesInRange := size / mem.PageSize
-	if pagesInRange <= uint64(len(c.pages)) {
+	if pagesInRange <= uint64(c.pages.n) {
 		for va := base; va < end; va += mem.PageSize {
-			if p, ok := c.pages[va]; ok {
+			if p := c.pages.get(packPageKey(va)); p != nil {
 				out = append(out, p)
 			}
 		}
 	} else {
-		for _, p := range c.pages {
+		for p := c.head.next; p != &c.head; p = p.next {
 			if p.VA >= base && p.VA < end {
 				out = append(out, p)
 			}

@@ -1,0 +1,115 @@
+package computeblade
+
+import (
+	"mind/internal/mem"
+)
+
+// pageKey is a cached page's identity packed into one nonzero word:
+// pages are 4 KB aligned, so setting the low bit keeps every valid key
+// nonzero and lets zero mark empty table slots (VA 0 is a legal page
+// base).
+type pageKey uint64
+
+func packPageKey(base mem.VA) pageKey {
+	return pageKey(uint64(base) | 1)
+}
+
+// pageTable is an open-addressed hash table from page bases to cached
+// PageState records — the cache's per-access lookup structure, on the
+// hit path of every simulated memory access. Linear probing with
+// backward-shift deletion (the faultTable idiom) keeps a lookup to a
+// few cache-line touches with no hashing of runtime map machinery and
+// no tombstone decay. The cache's occupancy is bounded by its capacity,
+// so the table is sized once at construction (load factor <= 1/2) and
+// never grows.
+type pageTable struct {
+	keys []pageKey
+	vals []*PageState
+	n    int
+}
+
+func newPageTable(capacity int) pageTable {
+	size := 16
+	for size < 2*capacity {
+		size *= 2
+	}
+	return pageTable{
+		keys: make([]pageKey, size),
+		vals: make([]*PageState, size),
+	}
+}
+
+func (t *pageTable) mask() uint64 { return uint64(len(t.keys) - 1) }
+
+// hash mixes the packed key (fibonacci hashing; page bases are aligned
+// so the low bits alone would collide structurally).
+func (t *pageTable) hash(k pageKey) uint64 {
+	return (uint64(k) * 0x9e3779b97f4a7c15) >> 32
+}
+
+// get returns the page for k, or nil.
+func (t *pageTable) get(k pageKey) *PageState {
+	if t.n == 0 {
+		return nil
+	}
+	m := t.mask()
+	for i := t.hash(k) & m; ; i = (i + 1) & m {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// put inserts k -> p (k must not be present).
+func (t *pageTable) put(k pageKey, p *PageState) {
+	m := t.mask()
+	i := t.hash(k) & m
+	for t.keys[i] != 0 {
+		i = (i + 1) & m
+	}
+	t.keys[i] = k
+	t.vals[i] = p
+	t.n++
+}
+
+// del removes k; absent keys are a no-op. Backward-shift deletion: the
+// vacated slot pulls back any displaced entries in its probe chain, so
+// the table never accumulates tombstones.
+func (t *pageTable) del(k pageKey) {
+	if t.n == 0 {
+		return
+	}
+	m := t.mask()
+	i := t.hash(k) & m
+	for t.keys[i] != k {
+		if t.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & m
+	}
+	t.n--
+	for {
+		t.keys[i] = 0
+		t.vals[i] = nil
+		// Shift back any entry whose home position precedes the hole.
+		j := i
+		for {
+			j = (j + 1) & m
+			if t.keys[j] == 0 {
+				return
+			}
+			home := t.hash(t.keys[j]) & m
+			// Entry j may move into the hole i iff its home position is
+			// outside the (cyclic) range (i, j].
+			if (j-home)&m >= (j-i)&m {
+				t.keys[i] = t.keys[j]
+				t.vals[i] = t.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}

@@ -42,6 +42,12 @@ type PodSchedule struct {
 	Window  sim.Duration // executor window (default 500ns)
 	Horizon sim.Duration // serving horizon (default 400us)
 	Faults  int          // failure injections (default 3)
+	// Dense disables the executor's sparse-horizon jump (every grid
+	// barrier visited). The storm suite sweeps it: dense and sparse
+	// executions of the same seed must be bit-identical, fault timelines
+	// included. Dense does not feed the schedule RNG, so toggling it
+	// drives the identical storm.
+	Dense bool
 }
 
 func (c *PodSchedule) defaults() {
@@ -131,7 +137,7 @@ func RunPodSchedule(cfg PodSchedule, workers int) (*PodOutcome, error) {
 		rc.Seed = cfg.Seed
 		cfgs[i] = rc
 	}
-	pod, err := core.NewPod(core.PodConfig{Racks: cfgs, Workers: workers, Window: cfg.Window})
+	pod, err := core.NewPod(core.PodConfig{Racks: cfgs, Workers: workers, Window: cfg.Window, DenseWindows: cfg.Dense})
 	if err != nil {
 		return nil, err
 	}

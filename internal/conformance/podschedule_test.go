@@ -35,7 +35,10 @@ func podScheduleConfig(i int, short bool) PodSchedule {
 // robust serving load — each executed serially and on a worker pool,
 // asserting bit-identical outcomes (finish time, dispatch hashes,
 // merged counters, fault reports) plus the safety invariants
-// documented on RunPodSchedule.
+// documented on RunPodSchedule. Every other schedule is additionally
+// replayed with dense windowing (sparse-horizon jump disabled): the
+// dense oracle must match the sparse runs bit-for-bit, fault timelines
+// included.
 func TestRandomPodSchedules(t *testing.T) {
 	t.Parallel()
 	n := podScheduleCount
@@ -56,6 +59,18 @@ func TestRandomPodSchedules(t *testing.T) {
 		if !reflect.DeepEqual(serial, par) {
 			t.Fatalf("schedule %d (seed %d) diverged between worker counts:\nserial   %+v\nparallel %+v",
 				i, cfg.Seed, serial, par)
+		}
+		if i%2 == 0 {
+			denseCfg := cfg
+			denseCfg.Dense = true
+			dense, err := RunPodSchedule(denseCfg, 1+i%4)
+			if err != nil {
+				t.Fatalf("schedule %d dense: %v", i, err)
+			}
+			if !reflect.DeepEqual(serial, dense) {
+				t.Fatalf("schedule %d (seed %d) diverged between sparse and dense windowing:\nsparse %+v\ndense  %+v",
+					i, cfg.Seed, serial, dense)
+			}
 		}
 		for _, rec := range serial.Faults {
 			if rec.Err != "" {

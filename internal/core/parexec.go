@@ -61,14 +61,33 @@ type podExec struct {
 	// vnow is the pod-wide window cursor: every rack engine sits
 	// exactly here between drives.
 	vnow sim.Time
+	// dense disables the sparse-horizon jump: every 1-window barrier is
+	// visited even when provably a no-op. The equivalence suites sweep
+	// it to pin sparse execution bit-identical to the dense baseline.
+	dense bool
+
+	// wp is the persistent worker pool of parallel drives. It is
+	// created lazily on the first parallel drive and survives across
+	// drives (RunThreads drives twice, AdvanceTime sampling loops drive
+	// per tick) so window handoff reuses parked goroutines instead of
+	// spawning a pool per drive; any drive that ends with the pod fully
+	// drained releases it, so an idle pod holds no goroutines.
+	wp *wpool
 
 	// Barrier-driven sampler (Pod.SampleEvery).
 	sampleEvery sim.Duration
 	sampleFn    func(sim.Time)
 	nextSample  sim.Time
+
+	// Executor observability, read via Pod.WindowStats: windows actually
+	// swept, grid windows skipped by the sparse-horizon jump, and
+	// barriers whose cross-rack flush was elided (no buffered sends).
+	windowsExecuted uint64
+	windowsSkipped  uint64
+	flushesElided   uint64
 }
 
-func newPodExec(p *Pod, window sim.Duration, workers int) *podExec {
+func newPodExec(p *Pod, window sim.Duration, workers int, dense bool) *podExec {
 	prop := p.ic.Config().Propagation
 	if window <= 0 || window > prop {
 		window = prop
@@ -76,7 +95,7 @@ func newPodExec(p *Pod, window sim.Duration, workers int) *podExec {
 	if workers < 1 {
 		workers = 1
 	}
-	return &podExec{p: p, window: window, workers: workers}
+	return &podExec{p: p, window: window, workers: workers, dense: dense}
 }
 
 // drive advances the pod window by window until stop() reports done,
@@ -84,23 +103,30 @@ func newPodExec(p *Pod, window sim.Duration, workers int) *podExec {
 // by AdvanceTime to land exactly on its deadline); a zero target means
 // "until stop", and running dry beforehand is a protocol wedge. When
 // parallel is set (and the pod has both workers and racks to use),
-// windows execute on a worker pool; the pool lives for this drive only,
-// so an idle pod holds no goroutines.
+// windows execute on the persistent worker pool.
+//
+// In sparse mode (the default) each iteration jumps the cursor directly
+// to the window containing the pod's safe horizon (nextBarrier),
+// collapsing every provably-empty grid window in between into the
+// single barrier at the jump's end. stop() need not be re-evaluated at
+// the skipped boundaries: every stop condition used by callers
+// (targets, thread counts, serve completion, await flags, idleness) can
+// only change through dispatched events or barrier work, and the
+// skipped region has neither.
 func (x *podExec) drive(parallel bool, target sim.Time, stop func() bool) {
 	var wp *wpool
 	if parallel && x.workers > 1 && len(x.p.racks) > 1 {
-		wp = newWpool(x.p.racks, x.workers)
-		defer wp.close()
+		if x.wp == nil {
+			x.wp = newWpool(x.p.racks, x.workers)
+		}
+		wp = x.wp
 	}
 	startExec := x.p.ExecutedEvents()
 	for !stop() {
 		if target == 0 && x.idle() {
 			panic("core: pod drive ran out of events (protocol wedge)")
 		}
-		end := x.vnow.Add(x.window)
-		if target != 0 && end > target {
-			end = target
-		}
+		end := x.nextBarrier(target)
 		if wp != nil {
 			wp.run(end)
 		} else {
@@ -109,12 +135,149 @@ func (x *podExec) drive(parallel bool, target sim.Time, stop func() bool) {
 			}
 		}
 		x.vnow = end
-		x.p.ic.FlushBoundary()
+		x.windowsExecuted++
+		// Elide the cross-rack merge entirely on a quiet boundary: the
+		// pending counter is exact here (workers parked), so skipping
+		// FlushBoundary when it is zero delivers the same nothing.
+		if x.p.ic.PendingBoundary() > 0 {
+			x.p.ic.FlushBoundary()
+		} else {
+			x.flushesElided++
+		}
 		x.barrier(end)
 		if x.p.ExecutedEvents()-startExec > 2_000_000_000 {
 			panic("core: pod drive exceeded event budget")
 		}
 	}
+	// Release the pool once the pod has fully drained: parked workers
+	// are cheap between drives of a live run, but an idle pod (between
+	// tests, or retired) should hold no goroutines.
+	if x.wp != nil && x.idle() {
+		x.wp.close()
+		x.wp = nil
+	}
+}
+
+// nextBarrier returns the end of the next window to sweep. Dense mode
+// always advances one window (capped at target). Sparse mode jumps
+// ahead k windows when the k-1 intermediate grid barriers are provably
+// no-ops, which is exactly when every obligation lies at or beyond the
+// jump's end:
+//
+//   - earliest pending event: with every engine parked on vnow and the
+//     outboxes empty (the previous barrier flushed), no rack can
+//     dispatch before tE = min PeekTime across engines, and no
+//     cross-rack send can exist before a dispatch. The jump lands on
+//     the grid window containing tE, so skipped windows dispatch
+//     nothing, flush nothing, and consume no sequence numbers — the
+//     (time, seq) dispatch order is bit-identical to grinding densely.
+//     Sends booked inside the final window still arrive at or beyond
+//     its boundary (send time >= end-W, propagation >= W).
+//   - sampler tick: the dense run fires sampleFn at the first barrier
+//     >= nextSample; the jump stops there.
+//   - pending fault injection / borrow resolution: each resolves at the
+//     first barrier end with at < end+W (podfail.go / barrier); the
+//     jump stops at that barrier so injection happens at the same grid
+//     point, at the same vnow, as in dense mode.
+//   - run target: the final window is capped exactly as dense capping
+//     would, so AdvanceTime lands on its deadline and the grid
+//     re-anchors there identically.
+//
+// Serve-termination probes and thread-completion checks need no clamp:
+// they are stop() conditions evaluated at barriers, and nothing in a
+// skipped region can change them (see drive).
+func (x *podExec) nextBarrier(target sim.Time) sim.Time {
+	end := x.vnow.Add(x.window)
+	if x.dense {
+		if target != 0 && end > target {
+			end = target
+		}
+		return end
+	}
+	k := x.safeJump(target)
+	if k > 1 {
+		end = x.vnow.Add(x.window * sim.Duration(k))
+		x.windowsSkipped += uint64(k - 1)
+	}
+	if target != 0 && end > target {
+		end = target
+	}
+	return end
+}
+
+// safeJump returns how many grid windows the cursor may advance in one
+// sweep: the largest k such that no obligation (event dispatch, sampler
+// tick, fault injection, borrow resolution) is due at any of the k-1
+// intermediate barriers. Returns at least 1. Barrier context only.
+func (x *podExec) safeJump(target sim.Time) int64 {
+	w := int64(x.window)
+	vnow := int64(x.vnow)
+	const unbounded = int64(1) << 62
+	k := unbounded
+
+	// Earliest pending event across the rack engines. kE is the minimal
+	// k with vnow+kW > tE, i.e. the jump's final window contains tE. One
+	// pass, exiting on the first rack that forces the adjacent window —
+	// an event inside it, or a flagged lease return (wantReturns can
+	// only be set by a rack event and is consumed by the barrier
+	// immediately after, so it is clear here; if it ever were set, the
+	// next barrier must run it). In busy phases some rack nearly always
+	// has imminent work, so the sparse check typically costs one peek
+	// instead of a full sweep plus the obligation clamps below.
+	for _, r := range x.p.racks {
+		if r.wantReturns {
+			return 1
+		}
+		t, ok := r.eng.PeekTime()
+		if !ok {
+			continue
+		}
+		kE := (int64(t)-vnow)/w + 1
+		if kE <= 1 {
+			return 1
+		}
+		if kE < k {
+			k = kE
+		}
+	}
+	// Sampler tick: minimal k with vnow+kW >= nextSample.
+	if x.sampleFn != nil {
+		if d := int64(x.nextSample) - vnow; d > 0 {
+			if kS := (d + w - 1) / w; kS < k {
+				k = kS
+			}
+		} else {
+			k = 1
+		}
+	}
+	// Fault injections (podfail.go) and borrow resolutions: each is
+	// performed by the first barrier end with obligation time < end+W,
+	// i.e. minimal k with vnow+kW > at-W.
+	if kF := x.faultJumpBound(); kF < k {
+		k = kF
+	}
+	for _, r := range x.p.racks {
+		for _, req := range r.pendingBorrows {
+			if kB := (int64(req.due)-w-vnow)/w + 1; kB < k {
+				k = kB
+			}
+		}
+	}
+	if target != 0 {
+		// Dense mode reaches target in ceil((target-vnow)/W) windows;
+		// never jump past that (nextBarrier caps the final window).
+		if kT := (int64(target) - vnow + w - 1) / w; kT < k {
+			k = kT
+		}
+	}
+	if k < 1 || k == unbounded {
+		// Clamped below a window (an overdue obligation — cannot happen
+		// after a correct barrier, but never jump past one), or nothing
+		// pending at all with no target (the idle/wedge check in drive
+		// owns that case): advance exactly one window.
+		return 1
+	}
+	return k
 }
 
 // idle reports whether the pod can make no further progress: every

@@ -15,7 +15,7 @@ import (
 // returns everything that must be invariant across worker counts: the
 // finish time, each engine's executed-event count and dispatch-trace
 // hash, and the merged counter snapshot.
-func equivRun(t *testing.T, racks, workers int, window sim.Duration) (sim.Time, []uint64, []uint64, map[string]uint64) {
+func equivRun(t *testing.T, racks, workers int, window sim.Duration, dense bool) (sim.Time, []uint64, []uint64, map[string]uint64) {
 	t.Helper()
 	cfgs := make([]Config, racks)
 	cfgs[0] = podRackConfig(2, 1, 1024)
@@ -23,10 +23,11 @@ func equivRun(t *testing.T, racks, workers int, window sim.Duration) (sim.Time, 
 		cfgs[i] = podRackConfig(2, 3, 1024)
 	}
 	pod, err := NewPod(PodConfig{
-		Racks:     cfgs,
-		Promotion: PromotionConfig{Epoch: 200 * sim.Microsecond, Threshold: 4},
-		Workers:   workers,
-		Window:    window,
+		Racks:        cfgs,
+		Promotion:    PromotionConfig{Epoch: 200 * sim.Microsecond, Threshold: 4},
+		Workers:      workers,
+		Window:       window,
+		DenseWindows: dense,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,36 +96,49 @@ func equivRun(t *testing.T, racks, workers int, window sim.Duration) (sim.Time, 
 }
 
 // TestParallelEquivalence is the determinism contract of the windowed
-// executor: for every pod shape and window width, running serially
-// (1 worker) and on worker pools of any width must produce the same
-// simulation — same finish time, the same dispatch sequence on every
-// engine (event-by-event, via the trace hash), and byte-identical
+// executor: for every pod shape and window width, the dense serial
+// baseline (every 1-window barrier visited), dense parallel execution,
+// and sparse-horizon execution at every worker count must produce the
+// same simulation — same finish time, the same dispatch sequence on
+// every engine (event-by-event, via the trace hash), and byte-identical
 // merged statistics. The window width itself legitimately changes the
 // schedule (boundary-buffered deliveries batch differently), which is
-// why equality is asserted across worker counts within one window, not
-// across windows.
+// why equality is asserted across worker counts and sparseness within
+// one window, not across windows.
 func TestParallelEquivalence(t *testing.T) {
+	type variant struct {
+		workers int
+		dense   bool
+	}
+	variants := []variant{
+		{workers: 4, dense: true},
+		{workers: 1, dense: false},
+		{workers: 2, dense: false},
+		{workers: 4, dense: false},
+		{workers: 8, dense: false},
+	}
 	for _, racks := range []int{2, 3} {
 		for _, window := range []sim.Duration{250 * sim.Nanosecond, 500 * sim.Nanosecond, sim.Microsecond} {
 			t.Run(fmt.Sprintf("racks=%d/window=%v", racks, window), func(t *testing.T) {
-				endS, execS, hashS, snapS := equivRun(t, racks, 1, window)
-				for _, workers := range []int{2, 4, 8} {
-					end, exec, hash, snap := equivRun(t, racks, workers, window)
+				endS, execS, hashS, snapS := equivRun(t, racks, 1, window, true)
+				for _, v := range variants {
+					end, exec, hash, snap := equivRun(t, racks, v.workers, window, v.dense)
+					tag := fmt.Sprintf("workers=%d dense=%v", v.workers, v.dense)
 					if end != endS {
-						t.Errorf("workers=%d: end %v, serial %v", workers, end, endS)
+						t.Errorf("%s: end %v, dense serial %v", tag, end, endS)
 					}
 					for i := 0; i < racks; i++ {
 						if exec[i] != execS[i] || hash[i] != hashS[i] {
-							t.Errorf("workers=%d rack %d: executed/hash %d/%#x, serial %d/%#x",
-								workers, i, exec[i], hash[i], execS[i], hashS[i])
+							t.Errorf("%s rack %d: executed/hash %d/%#x, dense serial %d/%#x",
+								tag, i, exec[i], hash[i], execS[i], hashS[i])
 						}
 					}
 					if len(snap) != len(snapS) {
-						t.Errorf("workers=%d: counter sets differ: %d vs %d", workers, len(snap), len(snapS))
+						t.Errorf("%s: counter sets differ: %d vs %d", tag, len(snap), len(snapS))
 					}
-					for k, v := range snapS {
-						if snap[k] != v {
-							t.Errorf("workers=%d: counter %q = %d, serial %d", workers, k, snap[k], v)
+					for k, val := range snapS {
+						if snap[k] != val {
+							t.Errorf("%s: counter %q = %d, dense serial %d", tag, k, snap[k], val)
 						}
 					}
 				}
@@ -154,14 +168,14 @@ func (g *seededGap) Next(now sim.Time) sim.Duration {
 // borrowed memory, a QoS bucket in the mix — and returns the invariants:
 // finish time, per-engine dispatch-trace hashes, and the merged counter
 // snapshot.
-func equivServeRun(t *testing.T, racks, workers int, window sim.Duration) (sim.Time, []uint64, map[string]uint64) {
+func equivServeRun(t *testing.T, racks, workers int, window sim.Duration, dense bool) (sim.Time, []uint64, map[string]uint64) {
 	t.Helper()
 	cfgs := make([]Config, racks)
 	cfgs[0] = podRackConfig(2, 1, 1024)
 	for i := 1; i < racks; i++ {
 		cfgs[i] = podRackConfig(2, 3, 1024)
 	}
-	pod, err := NewPod(PodConfig{Racks: cfgs, Workers: workers, Window: window})
+	pod, err := NewPod(PodConfig{Racks: cfgs, Workers: workers, Window: window, DenseWindows: dense})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,31 +234,44 @@ func equivServeRun(t *testing.T, racks, workers int, window sim.Duration) (sim.T
 // TestParallelEquivalenceServing extends the determinism contract to the
 // sharded serving layer: with open-loop arrivals injected on every rack
 // (including a borrowed-memory spanning share and a token-bucketed
-// tenant), serial and parallel execution must produce the same finish
-// time, the same per-engine dispatch sequence, and byte-identical merged
-// statistics at every racks×window×workers point.
+// tenant), the dense serial baseline, dense parallel execution, and
+// sparse-horizon execution at every worker count must produce the same
+// finish time, the same per-engine dispatch sequence, and byte-identical
+// merged statistics at every racks×window point.
 func TestParallelEquivalenceServing(t *testing.T) {
+	type variant struct {
+		workers int
+		dense   bool
+	}
+	variants := []variant{
+		{workers: 4, dense: true},
+		{workers: 1, dense: false},
+		{workers: 2, dense: false},
+		{workers: 4, dense: false},
+		{workers: 8, dense: false},
+	}
 	for _, racks := range []int{2, 3} {
 		for _, window := range []sim.Duration{250 * sim.Nanosecond, 500 * sim.Nanosecond, sim.Microsecond} {
 			t.Run(fmt.Sprintf("racks=%d/window=%v", racks, window), func(t *testing.T) {
-				endS, hashS, snapS := equivServeRun(t, racks, 1, window)
-				for _, workers := range []int{2, 4, 8} {
-					end, hash, snap := equivServeRun(t, racks, workers, window)
+				endS, hashS, snapS := equivServeRun(t, racks, 1, window, true)
+				for _, v := range variants {
+					end, hash, snap := equivServeRun(t, racks, v.workers, window, v.dense)
+					tag := fmt.Sprintf("workers=%d dense=%v", v.workers, v.dense)
 					if end != endS {
-						t.Errorf("workers=%d: end %v, serial %v", workers, end, endS)
+						t.Errorf("%s: end %v, dense serial %v", tag, end, endS)
 					}
 					for i := 0; i < racks; i++ {
 						if hash[i] != hashS[i] {
-							t.Errorf("workers=%d rack %d: dispatch hash %#x, serial %#x",
-								workers, i, hash[i], hashS[i])
+							t.Errorf("%s rack %d: dispatch hash %#x, dense serial %#x",
+								tag, i, hash[i], hashS[i])
 						}
 					}
 					if len(snap) != len(snapS) {
-						t.Errorf("workers=%d: counter sets differ: %d vs %d", workers, len(snap), len(snapS))
+						t.Errorf("%s: counter sets differ: %d vs %d", tag, len(snap), len(snapS))
 					}
-					for k, v := range snapS {
-						if snap[k] != v {
-							t.Errorf("workers=%d: counter %q = %d, serial %d", workers, k, snap[k], v)
+					for k, val := range snapS {
+						if snap[k] != val {
+							t.Errorf("%s: counter %q = %d, dense serial %d", tag, k, snap[k], val)
 						}
 					}
 				}
@@ -473,6 +500,46 @@ func TestParallelEquivalenceFailures(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestSparseWindowStats pins the executor's work accounting. Idling a
+// pod whose only traffic is the 500 µs promotion epoch ticks leaves
+// almost every 1 µs grid window empty: the sparse run must skip most of
+// them and elide every quiet boundary's flush, the dense run must skip
+// none, and the two must agree on the total grid (executed + skipped)
+// — the same virtual span, just fewer barriers.
+func TestSparseWindowStats(t *testing.T) {
+	mk := func(dense bool) *Pod {
+		pod, err := NewPod(PodConfig{
+			Racks:        []Config{podRackConfig(2, 1, 1024), podRackConfig(2, 3, 1024)},
+			DenseWindows: dense,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pod
+	}
+	sparse := mk(false)
+	sparse.AdvanceTime(2 * sim.Millisecond)
+	sx, ss, sf := sparse.WindowStats()
+	if ss == 0 {
+		t.Error("sparse idle run skipped no windows")
+	}
+	if sf == 0 {
+		t.Error("sparse idle run elided no flushes")
+	}
+	dense := mk(true)
+	dense.AdvanceTime(2 * sim.Millisecond)
+	dx, ds, _ := dense.WindowStats()
+	if ds != 0 {
+		t.Errorf("dense run skipped %d windows, want 0", ds)
+	}
+	if sx+ss != dx {
+		t.Errorf("sparse grid %d executed + %d skipped != dense %d executed", sx, ss, dx)
+	}
+	if sx >= dx {
+		t.Errorf("sparse executed %d windows, want fewer than dense's %d", sx, dx)
 	}
 }
 

@@ -83,6 +83,13 @@ type PodConfig struct {
 	// propagation delay). It is clamped to at most the propagation
 	// delay — the conservative lookahead bound.
 	Window sim.Duration
+	// DenseWindows disables the sparse-horizon jump: the executor
+	// visits every 1-window barrier even when provably a no-op, as it
+	// did before sparse execution existed. Either setting produces
+	// bit-identical simulations (the equivalence suites sweep both);
+	// dense exists as the oracle for that comparison and as an escape
+	// hatch, not as a supported performance mode.
+	DenseWindows bool
 }
 
 // DefaultPodConfig returns a pod of racks identical racks, each shaped
@@ -161,7 +168,7 @@ func NewPod(cfg PodConfig) (*Pod, error) {
 			engs[i] = r.eng
 		}
 		p.ic = fabric.NewShardedInterconnect(engs, cfg.Interconnect)
-		p.exec = newPodExec(p, cfg.Window, cfg.Workers)
+		p.exec = newPodExec(p, cfg.Window, cfg.Workers, cfg.DenseWindows)
 		if !cfg.Promotion.Disable {
 			for _, r := range p.racks {
 				r.schedulePromotionTick(p.promo.Epoch)
@@ -232,6 +239,18 @@ func (p *Pod) Interconnect() *fabric.Interconnect { return p.ic }
 
 // Leases returns the number of live cross-rack blade loans.
 func (p *Pod) Leases() int { return p.leases }
+
+// WindowStats reports the windowed executor's work accounting: windows
+// actually swept, grid windows skipped by the sparse-horizon jump, and
+// barriers whose cross-rack flush was elided because no send was
+// buffered. All zero for a 1-rack pod (no windowed executor). Read
+// between drives or at barriers.
+func (p *Pod) WindowStats() (executed, skipped, flushesElided uint64) {
+	if !p.multiRack {
+		return 0, 0, 0
+	}
+	return p.exec.windowsExecuted, p.exec.windowsSkipped, p.exec.flushesElided
+}
 
 // Now returns current virtual time (the window cursor for a multi-rack
 // pod).

@@ -123,6 +123,27 @@ func (x *podExec) injectDueFaults(horizon sim.Time) {
 	}
 }
 
+// faultJumpBound returns the maximum number of grid windows the
+// sparse-horizon executor may advance without deferring a queued
+// fault's injection barrier: a fault at A is converted by the first
+// barrier end with A < end + W (see injectDueFaults' horizon), so the
+// jump must stop at the minimal k with vnow + kW > A - W. Queued faults
+// always satisfy A >= vnow + W (earlier ones were injected at
+// registration or a prior barrier), so the bound is at least 1.
+// Barrier context only.
+func (x *podExec) faultJumpBound() int64 {
+	w, vnow := int64(x.window), int64(x.vnow)
+	k := int64(1) << 62
+	for _, r := range x.p.racks {
+		for _, f := range r.pendingFaults {
+			if kF := (int64(f.at)-w-vnow)/w + 1; kF < k {
+				k = kF
+			}
+		}
+	}
+	return k
+}
+
 // injectFault schedules the fault's event(s) at its injection time.
 // Exclusive context (barrier or parked engines): it may read ownership
 // tables and schedule on more than one rack's engine.

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mind/internal/sim"
 )
@@ -109,6 +110,14 @@ type Interconnect struct {
 	ports    []icPort
 	buffered bool
 
+	// pending counts buffered messages across every outbox, maintained
+	// O(1) so a barrier can decide to elide FlushBoundary — and all the
+	// merge work behind it — without scanning the ports. It is atomic
+	// because Send runs concurrently from per-rack worker goroutines;
+	// the barrier's read happens with every worker parked, so the value
+	// it observes is exact, not a racy estimate.
+	pending atomic.Int64
+
 	flushScratch []crossMsg
 }
 
@@ -188,6 +197,7 @@ func (ic *Interconnect) Send(from, to int, bytes int, fn func(any), arg any) {
 	p.bytesSent += uint64(bytes)
 	if ic.buffered {
 		p.outbox = append(p.outbox, crossMsg{to: to, bytes: bytes, arrive: arrive, fn: fn, arg: arg})
+		ic.pending.Add(1)
 		return
 	}
 	ic.deliver(crossMsg{to: to, bytes: bytes, arrive: arrive, fn: fn, arg: arg})
@@ -199,14 +209,25 @@ func (ic *Interconnect) deliver(m crossMsg) {
 	q.eng.AtArg(downEnd, m.fn, m.arg)
 }
 
+// PendingBoundary returns how many sends are buffered awaiting the next
+// FlushBoundary, in O(1). Read it only at barriers (workers parked);
+// immediate mode never buffers, so it is then always zero.
+func (ic *Interconnect) PendingBoundary() int { return int(ic.pending.Load()) }
+
 // FlushBoundary delivers every buffered message: it drains all outboxes,
 // orders messages by arrival time (ties keep source-port then send
 // order, so the merge is deterministic for any window schedule), books
 // each destination downlink, and schedules the arrival on the
 // destination engine. Call it at window barriers, with every rack parked
-// on the boundary; it returns how many messages it delivered. Immediate
-// mode never buffers, so this is then a no-op.
+// on the boundary; it returns how many messages it delivered. An
+// all-empty boundary returns immediately — no port scan, no sort, no
+// allocation — so quiet barriers cost one atomic load. Immediate mode
+// never buffers, so this is then a no-op.
 func (ic *Interconnect) FlushBoundary() int {
+	if ic.pending.Load() == 0 {
+		return 0
+	}
+	ic.pending.Store(0)
 	s := ic.flushScratch[:0]
 	for i := range ic.ports {
 		p := &ic.ports[i]

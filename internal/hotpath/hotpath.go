@@ -285,6 +285,15 @@ type Result struct {
 	BaseEventsPerSec float64 `json:"base_events_per_sec,omitempty"`
 	ParallelSpeedup  float64 `json:"parallel_speedup,omitempty"`
 
+	// Windowed-executor work accounting (multi-rack scenarios only):
+	// windows swept, grid windows the sparse-horizon jump skipped, and
+	// barriers whose cross-rack flush was elided. Deterministic — the
+	// window schedule is worker-count invariant — so the parallel
+	// scenarios include them in their divergence checks.
+	WindowsExecuted uint64 `json:"windows_executed,omitempty"`
+	WindowsSkipped  uint64 `json:"windows_skipped,omitempty"`
+	FlushesElided   uint64 `json:"flushes_elided,omitempty"`
+
 	// Serving-scenario outputs (serve family only): open-loop arrival
 	// accounting and the steady (compliant) tenant's p99 sojourn time
 	// — all deterministic, so they double as identity checks across
@@ -735,29 +744,33 @@ func runServePod(cfg Config) (Result, error) {
 	events := pod.ExecutedEvents() - events0
 	allocs := after.Mallocs - before.Mallocs
 	bytes := after.TotalAlloc - before.TotalAlloc
+	wx, ws, fe := pod.WindowStats()
 	return Result{
-		Scenario:       cfg.Scenario,
-		Workload:       fmt.Sprintf("open-loop MA x%d tenant shares over %d racks (servepar)", stream, racks),
-		Blades:         racks * cfg.ComputeBlades,
-		Threads:        stream,
-		Ops:            ops,
-		Events:         events,
-		RemoteRate:     col.PerAccess(stats.CtrRemoteAccesses),
-		VirtualEndS:    end.Sub(0).Seconds(),
-		Racks:          racks,
-		CrossRackMsgs:  col.Counter(stats.CtrCrossRackMsgs),
-		BladeBorrows:   col.Counter(stats.CtrBladeBorrows),
-		Workers:        cfg.Workers,
-		ServeArrivals:  col.Counter(stats.CtrServeArrivals),
-		ServeCompleted: col.Counter(stats.CtrServeCompleted),
-		ServeThrottled: col.Counter(stats.CtrServeThrottled),
-		ServeDropped:   col.Counter(stats.CtrServeDropped),
-		ServeP99Us:     float64(col.StreamHist("serve_lat[steady0]").Percentile(99)) / 1e3,
-		SpannedTenants: spanned,
-		NsPerOp:        float64(wall.Nanoseconds()) / float64(ops),
-		AllocsPerOp:    float64(allocs) / float64(ops),
-		BytesPerOp:     float64(bytes) / float64(ops),
-		EventsPerSec:   float64(events) / wall.Seconds(),
+		Scenario:        cfg.Scenario,
+		Workload:        fmt.Sprintf("open-loop MA x%d tenant shares over %d racks (servepar)", stream, racks),
+		Blades:          racks * cfg.ComputeBlades,
+		Threads:         stream,
+		Ops:             ops,
+		Events:          events,
+		RemoteRate:      col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:     end.Sub(0).Seconds(),
+		Racks:           racks,
+		CrossRackMsgs:   col.Counter(stats.CtrCrossRackMsgs),
+		BladeBorrows:    col.Counter(stats.CtrBladeBorrows),
+		Workers:         cfg.Workers,
+		ServeArrivals:   col.Counter(stats.CtrServeArrivals),
+		ServeCompleted:  col.Counter(stats.CtrServeCompleted),
+		ServeThrottled:  col.Counter(stats.CtrServeThrottled),
+		ServeDropped:    col.Counter(stats.CtrServeDropped),
+		ServeP99Us:      float64(col.StreamHist("serve_lat[steady0]").Percentile(99)) / 1e3,
+		SpannedTenants:  spanned,
+		WindowsExecuted: wx,
+		WindowsSkipped:  ws,
+		FlushesElided:   fe,
+		NsPerOp:         float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:     float64(allocs) / float64(ops),
+		BytesPerOp:      float64(bytes) / float64(ops),
+		EventsPerSec:    float64(events) / wall.Seconds(),
 	}, nil
 }
 
@@ -787,11 +800,13 @@ func runServePar(cfg Config) (Result, error) {
 		res.CrossRackMsgs != base.CrossRackMsgs || res.BladeBorrows != base.BladeBorrows ||
 		res.ServeArrivals != base.ServeArrivals || res.ServeCompleted != base.ServeCompleted ||
 		res.ServeThrottled != base.ServeThrottled || res.ServeDropped != base.ServeDropped ||
-		res.ServeP99Us != base.ServeP99Us {
+		res.ServeP99Us != base.ServeP99Us ||
+		res.WindowsExecuted != base.WindowsExecuted || res.WindowsSkipped != base.WindowsSkipped ||
+		res.FlushesElided != base.FlushesElided {
 		return Result{}, fmt.Errorf(
-			"hotpath: parallel serving run diverged from serial baseline:\n  1 worker:  ops=%d events=%d end=%v arrivals=%d completed=%d throttled=%d dropped=%d p99us=%v cross=%d borrows=%d\n  %d workers: ops=%d events=%d end=%v arrivals=%d completed=%d throttled=%d dropped=%d p99us=%v cross=%d borrows=%d",
-			base.Ops, base.Events, base.VirtualEndS, base.ServeArrivals, base.ServeCompleted, base.ServeThrottled, base.ServeDropped, base.ServeP99Us, base.CrossRackMsgs, base.BladeBorrows,
-			cfg.Workers, res.Ops, res.Events, res.VirtualEndS, res.ServeArrivals, res.ServeCompleted, res.ServeThrottled, res.ServeDropped, res.ServeP99Us, res.CrossRackMsgs, res.BladeBorrows)
+			"hotpath: parallel serving run diverged from serial baseline:\n  1 worker:  ops=%d events=%d end=%v arrivals=%d completed=%d throttled=%d dropped=%d p99us=%v cross=%d borrows=%d windows=%d/%d/%d\n  %d workers: ops=%d events=%d end=%v arrivals=%d completed=%d throttled=%d dropped=%d p99us=%v cross=%d borrows=%d windows=%d/%d/%d",
+			base.Ops, base.Events, base.VirtualEndS, base.ServeArrivals, base.ServeCompleted, base.ServeThrottled, base.ServeDropped, base.ServeP99Us, base.CrossRackMsgs, base.BladeBorrows, base.WindowsExecuted, base.WindowsSkipped, base.FlushesElided,
+			cfg.Workers, res.Ops, res.Events, res.VirtualEndS, res.ServeArrivals, res.ServeCompleted, res.ServeThrottled, res.ServeDropped, res.ServeP99Us, res.CrossRackMsgs, res.BladeBorrows, res.WindowsExecuted, res.WindowsSkipped, res.FlushesElided)
 	}
 	res.Scenario = cfg.Scenario
 	res.BaseEventsPerSec = base.EventsPerSec
@@ -972,36 +987,40 @@ func runServeKill(cfg Config) (Result, error) {
 	events := pod.ExecutedEvents() - events0
 	allocs := after.Mallocs - before.Mallocs
 	bytes := after.TotalAlloc - before.TotalAlloc
+	wx, ws, fe := pod.WindowStats()
 	return Result{
-		Scenario:       cfg.Scenario,
-		Workload:       "open-loop MA x3 tenants under kill storm (servekill)",
-		Blades:         2 * cfg.ComputeBlades,
-		Threads:        3,
-		Ops:            ops,
-		Events:         events,
-		RemoteRate:     col.PerAccess(stats.CtrRemoteAccesses),
-		VirtualEndS:    end.Sub(0).Seconds(),
-		Racks:          2,
-		CrossRackMsgs:  col.Counter(stats.CtrCrossRackMsgs),
-		BladeBorrows:   col.Counter(stats.CtrBladeBorrows),
-		Workers:        cfg.Workers,
-		ServeArrivals:  col.Counter(stats.CtrServeArrivals),
-		ServeCompleted: col.Counter(stats.CtrServeCompleted),
-		ServeThrottled: col.Counter(stats.CtrServeThrottled),
-		ServeDropped:   col.Counter(stats.CtrServeDropped),
-		ServeP99Us:     float64(col.StreamHist("serve_lat[steady]").Percentile(99)) / 1e3,
-		ServeShed:      col.Counter(stats.CtrServeShed),
-		ServeTimedOut:  col.Counter(stats.CtrServeTimedOut),
-		ServeRetried:   col.Counter(stats.CtrServeRetried),
-		ServeFailed:    col.Counter(stats.CtrServeFailed),
-		Kills:          col.Counter(stats.CtrBladeKills),
-		Recoveries:     col.Counter(stats.CtrBladeRecoveries),
-		PagesLost:      krep.PagesLost,
-		PagesMoved:     drep.PagesMoved,
-		NsPerOp:        float64(wall.Nanoseconds()) / float64(ops),
-		AllocsPerOp:    float64(allocs) / float64(ops),
-		BytesPerOp:     float64(bytes) / float64(ops),
-		EventsPerSec:   float64(events) / wall.Seconds(),
+		Scenario:        cfg.Scenario,
+		Workload:        "open-loop MA x3 tenants under kill storm (servekill)",
+		Blades:          2 * cfg.ComputeBlades,
+		Threads:         3,
+		Ops:             ops,
+		Events:          events,
+		RemoteRate:      col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:     end.Sub(0).Seconds(),
+		Racks:           2,
+		CrossRackMsgs:   col.Counter(stats.CtrCrossRackMsgs),
+		BladeBorrows:    col.Counter(stats.CtrBladeBorrows),
+		Workers:         cfg.Workers,
+		ServeArrivals:   col.Counter(stats.CtrServeArrivals),
+		ServeCompleted:  col.Counter(stats.CtrServeCompleted),
+		ServeThrottled:  col.Counter(stats.CtrServeThrottled),
+		ServeDropped:    col.Counter(stats.CtrServeDropped),
+		ServeP99Us:      float64(col.StreamHist("serve_lat[steady]").Percentile(99)) / 1e3,
+		ServeShed:       col.Counter(stats.CtrServeShed),
+		ServeTimedOut:   col.Counter(stats.CtrServeTimedOut),
+		ServeRetried:    col.Counter(stats.CtrServeRetried),
+		ServeFailed:     col.Counter(stats.CtrServeFailed),
+		Kills:           col.Counter(stats.CtrBladeKills),
+		Recoveries:      col.Counter(stats.CtrBladeRecoveries),
+		PagesLost:       krep.PagesLost,
+		PagesMoved:      drep.PagesMoved,
+		WindowsExecuted: wx,
+		WindowsSkipped:  ws,
+		FlushesElided:   fe,
+		NsPerOp:         float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:     float64(allocs) / float64(ops),
+		BytesPerOp:      float64(bytes) / float64(ops),
+		EventsPerSec:    float64(events) / wall.Seconds(),
 	}, nil
 }
 
@@ -1107,23 +1126,27 @@ func runPod(cfg Config) (Result, error) {
 	events := pod.ExecutedEvents() - events0
 	allocs := after.Mallocs - before.Mallocs
 	bytes := after.TotalAlloc - before.TotalAlloc
+	wx, ws, fe := pod.WindowStats()
 	return Result{
-		Scenario:      cfg.Scenario,
-		Workload:      fmt.Sprintf("GC+MA x%d racks (pod mix)", racks),
-		Blades:        racks * cfg.ComputeBlades,
-		Threads:       cfg.Threads,
-		Ops:           ops,
-		Events:        events,
-		RemoteRate:    col.PerAccess(stats.CtrRemoteAccesses),
-		VirtualEndS:   end.Sub(0).Seconds(),
-		Racks:         racks,
-		CrossRackMsgs: col.Counter(stats.CtrCrossRackMsgs),
-		BladeBorrows:  col.Counter(stats.CtrBladeBorrows),
-		NsPerOp:       float64(wall.Nanoseconds()) / float64(ops),
-		AllocsPerOp:   float64(allocs) / float64(ops),
-		BytesPerOp:    float64(bytes) / float64(ops),
-		EventsPerSec:  float64(events) / wall.Seconds(),
-		Workers:       cfg.Workers,
+		Scenario:        cfg.Scenario,
+		Workload:        fmt.Sprintf("GC+MA x%d racks (pod mix)", racks),
+		Blades:          racks * cfg.ComputeBlades,
+		Threads:         cfg.Threads,
+		Ops:             ops,
+		Events:          events,
+		RemoteRate:      col.PerAccess(stats.CtrRemoteAccesses),
+		VirtualEndS:     end.Sub(0).Seconds(),
+		Racks:           racks,
+		CrossRackMsgs:   col.Counter(stats.CtrCrossRackMsgs),
+		BladeBorrows:    col.Counter(stats.CtrBladeBorrows),
+		WindowsExecuted: wx,
+		WindowsSkipped:  ws,
+		FlushesElided:   fe,
+		NsPerOp:         float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerOp:     float64(allocs) / float64(ops),
+		BytesPerOp:      float64(bytes) / float64(ops),
+		EventsPerSec:    float64(events) / wall.Seconds(),
+		Workers:         cfg.Workers,
 	}, nil
 }
 
@@ -1149,11 +1172,13 @@ func runPodPar(cfg Config) (Result, error) {
 	}
 	if res.Ops != base.Ops || res.Events != base.Events ||
 		res.VirtualEndS != base.VirtualEndS || res.RemoteRate != base.RemoteRate ||
-		res.CrossRackMsgs != base.CrossRackMsgs || res.BladeBorrows != base.BladeBorrows {
+		res.CrossRackMsgs != base.CrossRackMsgs || res.BladeBorrows != base.BladeBorrows ||
+		res.WindowsExecuted != base.WindowsExecuted || res.WindowsSkipped != base.WindowsSkipped ||
+		res.FlushesElided != base.FlushesElided {
 		return Result{}, fmt.Errorf(
-			"hotpath: parallel run diverged from serial baseline:\n  1 worker:  ops=%d events=%d end=%v remote=%v cross=%d borrows=%d\n  %d workers: ops=%d events=%d end=%v remote=%v cross=%d borrows=%d",
-			base.Ops, base.Events, base.VirtualEndS, base.RemoteRate, base.CrossRackMsgs, base.BladeBorrows,
-			cfg.Workers, res.Ops, res.Events, res.VirtualEndS, res.RemoteRate, res.CrossRackMsgs, res.BladeBorrows)
+			"hotpath: parallel run diverged from serial baseline:\n  1 worker:  ops=%d events=%d end=%v remote=%v cross=%d borrows=%d windows=%d/%d/%d\n  %d workers: ops=%d events=%d end=%v remote=%v cross=%d borrows=%d windows=%d/%d/%d",
+			base.Ops, base.Events, base.VirtualEndS, base.RemoteRate, base.CrossRackMsgs, base.BladeBorrows, base.WindowsExecuted, base.WindowsSkipped, base.FlushesElided,
+			cfg.Workers, res.Ops, res.Events, res.VirtualEndS, res.RemoteRate, res.CrossRackMsgs, res.BladeBorrows, res.WindowsExecuted, res.WindowsSkipped, res.FlushesElided)
 	}
 	res.Scenario = cfg.Scenario
 	res.BaseEventsPerSec = base.EventsPerSec

@@ -782,6 +782,20 @@ func (e *Engine) peekTime() (Time, bool) {
 	return 0, false
 }
 
+// PeekTime returns the earliest pending event's timestamp without
+// dispatching anything. It is the lookahead primitive of the
+// sparse-horizon pod executor: at a barrier, the minimum PeekTime
+// across all rack engines bounds the first window in which any rack can
+// dispatch, so every window before it may be skipped.
+//
+// Peeking may rotate the calendar ring's drain window (and migrate
+// overflow events that have come inside the horizon) to locate the
+// head, but it never fires, reorders or drops an event: the dispatch
+// sequence — and therefore the dispatch-trace hash — is identical
+// whether or not PeekTime was called. Call it only from contexts that
+// already own the engine (barrier context under the pod executor).
+func (e *Engine) PeekTime() (Time, bool) { return e.peekTime() }
+
 // Run dispatches events until the queue drains or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false

@@ -37,21 +37,35 @@ func (r *Resource) Name() string { return r.name }
 // actual start and end times. The caller is responsible for scheduling any
 // completion event at end.
 func (r *Resource) Reserve(at Time, d Duration) (start, end Time) {
-	// Find the earliest-free slot (linear scan: slot counts are small,
-	// typically 1-32, and this is the hot path — a scan beats heap
-	// maintenance at these sizes).
-	best := 0
-	for i := 1; i < len(r.slots); i++ {
-		if r.slots[i] < r.slots[best] {
-			best = i
-		}
-	}
+	// slots is a min-heap by next-free time, so the earliest-free slot
+	// is the root: replace it with the new end and sift down (~log k
+	// compares vs the k-wide scan this replaced — the switch pipelines
+	// run 32 slots and Reserve is the hot path). Only the multiset of
+	// slot values is observable (start = max(at, min); which slot served
+	// a job never surfaces), so heap order is output-identical to the
+	// linear min scan.
 	start = at
-	if r.slots[best] > start {
-		start = r.slots[best]
+	if r.slots[0] > start {
+		start = r.slots[0]
 	}
 	end = start.Add(d)
-	r.slots[best] = end
+	r.slots[0] = end
+	n := len(r.slots)
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if rc := c + 1; rc < n && r.slots[rc] < r.slots[c] {
+			c = rc
+		}
+		if r.slots[i] <= r.slots[c] {
+			break
+		}
+		r.slots[i], r.slots[c] = r.slots[c], r.slots[i]
+		i = c
+	}
 
 	wait := start.Sub(at)
 	r.waits += wait
@@ -66,16 +80,10 @@ func (r *Resource) Reserve(at Time, d Duration) (start, end Time) {
 // QueueDelay returns the delay a reservation arriving at time at would
 // experience without booking anything.
 func (r *Resource) QueueDelay(at Time) Duration {
-	best := r.slots[0]
-	for _, s := range r.slots[1:] {
-		if s < best {
-			best = s
-		}
+	if best := r.slots[0]; best > at {
+		return best.Sub(at)
 	}
-	if best <= at {
-		return 0
-	}
-	return best.Sub(at)
+	return 0
 }
 
 // Stats returns cumulative accounting: jobs served, total busy time, total
